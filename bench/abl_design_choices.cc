@@ -1,0 +1,72 @@
+// Ablation of this implementation's own design choices (DESIGN.md §4),
+// beyond the paper's Fig. 13: candidate sampling strategy, kappa, count
+// providers (learned RFDE vs exact), and the skip-cost alpha. Reports
+// build time, range latency, and points scanned per query for WaZI on the
+// default scenario, with the Base Z-index as the reference row.
+
+#include <cstdio>
+#include <functional>
+
+#include "common/harness.h"
+#include "common/timer.h"
+
+int main() {
+  using namespace wazi;
+  using namespace wazi::bench;
+
+  const Scale& scale = CurrentScale();
+  const Region region = Region::kNewYork;
+  const Dataset& data = GetDataset(region, scale.default_n);
+  const Workload& workload =
+      GetWorkload(region, scale.num_queries, kSelectivityMid1);
+
+  struct Config {
+    std::string label;
+    std::string index;
+    std::function<void(BuildOptions*)> tweak;
+  };
+  const std::vector<Config> configs = {
+      {"base (reference)", "base", [](BuildOptions*) {}},
+      {"wazi default (corner+uniform, k=32, learned)", "wazi",
+       [](BuildOptions*) {}},
+      {"uniform-only candidates (paper Alg.3)", "wazi",
+       [](BuildOptions* o) { o->corner_candidates = false; }},
+      {"kappa=8", "wazi", [](BuildOptions* o) { o->kappa = 8; }},
+      {"kappa=64", "wazi", [](BuildOptions* o) { o->kappa = 64; }},
+      {"exact counts (no estimators)", "wazi",
+       [](BuildOptions* o) { o->use_estimators = false; }},
+      {"alpha=0.5 while skipping", "wazi",
+       [](BuildOptions* o) { o->alpha = 0.5; }},
+      {"coarse RFDE (4 trees, leaf 32)", "wazi",
+       [](BuildOptions* o) {
+         o->rfde_trees = 4;
+         o->rfde_leaf_size = 32;
+       }},
+  };
+
+  std::vector<std::vector<std::string>> rows;
+  for (const Config& config : configs) {
+    BuildOptions opts;
+    config.tweak(&opts);
+    double build_s = 0.0;
+    auto index = BuildIndex(config.index, data, workload, &build_s, &opts);
+    const double ns = MeasureRangeNs(*index, workload);
+    index->stats().Reset();
+    std::vector<Point> sink;
+    const size_t nq = std::min(workload.queries.size(), scale.measure_queries);
+    for (size_t i = 0; i < nq; ++i) {
+      sink.clear();
+      index->RangeQuery(workload.queries[i], &sink);
+    }
+    char build_buf[32], pts_buf[32];
+    std::snprintf(build_buf, sizeof(build_buf), "%.2fs", build_s);
+    std::snprintf(pts_buf, sizeof(pts_buf), "%.0f",
+                  static_cast<double>(index->stats().points_scanned) /
+                      static_cast<double>(nq));
+    rows.push_back({config.label, build_buf, FormatNs(ns), pts_buf});
+    std::fprintf(stderr, "[abl] %s done\n", config.label.c_str());
+  }
+  PrintTable("Design-choice ablation (NewYork, sel 0.0064%)",
+             {"configuration", "build", "range latency", "pts/query"}, rows);
+  return 0;
+}

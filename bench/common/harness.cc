@@ -1,0 +1,234 @@
+#include "common/harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+
+#include "common/timer.h"
+
+namespace wazi::bench {
+namespace {
+
+Scale MakeScale(const std::string& name) {
+  Scale s;
+  s.name = name;
+  if (name == "smoke") {
+    s.size_sweep = {5000, 10000, 20000};
+    s.default_n = 10000;
+    s.big_n = 20000;
+    s.num_queries = 400;
+    s.num_point_queries = 1000;
+    s.measure_queries = 200;
+    s.repetitions = 3;
+  } else if (name == "paper") {
+    s.size_sweep = {4000000, 8000000, 16000000, 32000000, 64000000};
+    s.default_n = 8000000;
+    s.big_n = 32000000;
+    s.num_queries = 20000;
+    s.num_point_queries = 50000;
+    s.measure_queries = 20000;
+    s.repetitions = 3;
+  } else {
+    // default
+    s.size_sweep = {50000, 100000, 200000, 400000, 800000};
+    s.default_n = 200000;
+    s.big_n = 400000;
+    s.num_queries = 2000;
+    s.num_point_queries = 5000;
+    s.measure_queries = 1000;
+    s.repetitions = 5;
+  }
+  return s;
+}
+
+}  // namespace
+
+const Scale& CurrentScale() {
+  static const Scale kScale = [] {
+    const char* env = std::getenv("WAZI_SCALE");
+    return MakeScale(env == nullptr ? "default" : env);
+  }();
+  return kScale;
+}
+
+const Dataset& GetDataset(Region region, size_t n) {
+  static std::map<std::pair<int, size_t>, Dataset>& cache =
+      *new std::map<std::pair<int, size_t>, Dataset>();
+  const auto key = std::make_pair(static_cast<int>(region), n);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, GenerateRegion(region, n, /*seed=*/42)).first;
+  }
+  return it->second;
+}
+
+const Workload& GetWorkload(Region region, size_t n_queries,
+                            double selectivity) {
+  static std::map<std::tuple<int, size_t, double>, Workload>& cache =
+      *new std::map<std::tuple<int, size_t, double>, Workload>();
+  const auto key =
+      std::make_tuple(static_cast<int>(region), n_queries, selectivity);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    QueryGenOptions opts;
+    opts.num_queries = n_queries;
+    opts.selectivity = selectivity;
+    opts.seed = 7;
+    it = cache
+             .emplace(key, GenerateCheckinWorkload(
+                               region, Rect::Of(0, 0, 1, 1), opts))
+             .first;
+  }
+  return it->second;
+}
+
+std::unique_ptr<SpatialIndex> BuildIndex(const std::string& name,
+                                         const Dataset& data,
+                                         const Workload& workload,
+                                         double* build_seconds,
+                                         const BuildOptions* opts) {
+  std::unique_ptr<SpatialIndex> index = MakeIndex(name);
+  BuildOptions build_opts = (opts != nullptr) ? *opts : BuildOptions{};
+  Timer timer;
+  index->Build(data, workload, build_opts);
+  if (build_seconds != nullptr) *build_seconds = timer.ElapsedSeconds();
+  return index;
+}
+
+double MeasureRangeNs(const SpatialIndex& index, const Workload& workload) {
+  const Scale& scale = CurrentScale();
+  const size_t nq = std::min(workload.queries.size(), scale.measure_queries);
+  if (nq == 0) return 0.0;
+  std::vector<double> runs;
+  std::vector<Point> sink;
+  sink.reserve(1 << 16);
+  for (int rep = 0; rep < scale.repetitions; ++rep) {
+    Timer timer;
+    for (size_t i = 0; i < nq; ++i) {
+      sink.clear();
+      index.RangeQuery(workload.queries[i], &sink);
+    }
+    runs.push_back(static_cast<double>(timer.ElapsedNs()) /
+                   static_cast<double>(nq));
+  }
+  std::sort(runs.begin(), runs.end());
+  return runs[runs.size() / 2];
+}
+
+double MeasurePointNs(const SpatialIndex& index,
+                      const std::vector<Point>& queries) {
+  const Scale& scale = CurrentScale();
+  if (queries.empty()) return 0.0;
+  std::vector<double> runs;
+  int64_t sink = 0;
+  for (int rep = 0; rep < scale.repetitions; ++rep) {
+    Timer timer;
+    for (const Point& p : queries) sink += index.PointQuery(p) ? 1 : 0;
+    runs.push_back(static_cast<double>(timer.ElapsedNs()) /
+                   static_cast<double>(queries.size()));
+  }
+  if (sink < 0) std::fprintf(stderr, "impossible\n");  // keep `sink` alive
+  std::sort(runs.begin(), runs.end());
+  return runs[runs.size() / 2];
+}
+
+PhaseNs MeasurePhasesNs(const SpatialIndex& index, const Workload& workload) {
+  const Scale& scale = CurrentScale();
+  const size_t nq = std::min(workload.queries.size(), scale.measure_queries);
+  PhaseNs result{0.0, 0.0};
+  if (nq == 0) return result;
+
+  std::vector<double> proj_runs, scan_runs;
+  std::vector<Point> sink;
+  Projection proj;
+  for (int rep = 0; rep < scale.repetitions; ++rep) {
+    // Projection phase.
+    Timer proj_timer;
+    for (size_t i = 0; i < nq; ++i) {
+      proj.clear();
+      index.Project(workload.queries[i], &proj);
+    }
+    proj_runs.push_back(static_cast<double>(proj_timer.ElapsedNs()) /
+                        static_cast<double>(nq));
+    // Scan phase (projections recomputed outside the timed region).
+    std::vector<Projection> projections(nq);
+    for (size_t i = 0; i < nq; ++i) {
+      index.Project(workload.queries[i], &projections[i]);
+    }
+    Timer scan_timer;
+    for (size_t i = 0; i < nq; ++i) {
+      sink.clear();
+      index.ScanProjection(projections[i], workload.queries[i], &sink);
+    }
+    scan_runs.push_back(static_cast<double>(scan_timer.ElapsedNs()) /
+                        static_cast<double>(nq));
+  }
+  std::sort(proj_runs.begin(), proj_runs.end());
+  std::sort(scan_runs.begin(), scan_runs.end());
+  result.projection = proj_runs[proj_runs.size() / 2];
+  result.scan = scan_runs[scan_runs.size() / 2];
+  return result;
+}
+
+void PrintTable(const std::string& title,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows) {
+  std::vector<size_t> widths(header.size());
+  for (size_t c = 0; c < header.size(); ++c) widths[c] = header[c].size();
+  for (const auto& row : rows) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::printf("\n=== %s (scale: %s) ===\n", title.c_str(),
+              CurrentScale().name.c_str());
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s  ", static_cast<int>(widths[c]), row[c].c_str());
+    }
+    std::printf("\n");
+  };
+  print_row(header);
+  std::string rule;
+  for (size_t c = 0; c < header.size(); ++c) {
+    rule.append(widths[c], '-');
+    rule.append("  ");
+  }
+  std::printf("%s\n", rule.c_str());
+  for (const auto& row : rows) print_row(row);
+  std::fflush(stdout);
+}
+
+std::string FormatNs(double ns) {
+  char buf[64];
+  if (ns >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else if (ns >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+  }
+  return buf;
+}
+
+std::string FormatCount(double v) {
+  char buf[64];
+  if (v >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", v / 1e6);
+  } else if (v >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  }
+  return buf;
+}
+
+const std::vector<double>& PaperSelectivities() {
+  static const std::vector<double> kSel = {
+      kSelectivityLow, kSelectivityMid1, kSelectivityMid2, kSelectivityHigh};
+  return kSel;
+}
+
+}  // namespace wazi::bench

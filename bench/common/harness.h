@@ -1,0 +1,87 @@
+// Bench harness shared by every table/figure binary: scale profiles,
+// dataset/workload caching, latency measurement, and paper-style table
+// printing.
+//
+// Scale is selected with the WAZI_SCALE environment variable:
+//   smoke    tiny inputs, seconds total (CI)
+//   default  ~200k points (laptop, minutes for the full suite)
+//   paper    the paper's parameters (4M-64M points, 20k queries)
+
+#ifndef WAZI_BENCH_COMMON_HARNESS_H_
+#define WAZI_BENCH_COMMON_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/spatial_index.h"
+#include "workload/dataset.h"
+#include "workload/query_generator.h"
+#include "workload/region_generator.h"
+
+namespace wazi::bench {
+
+struct Scale {
+  std::string name;
+  // Fig. 8 / 10 / Tab. 3 / 5 size sweep (the paper's 4M..64M).
+  std::vector<size_t> size_sweep;
+  size_t default_n;       // dataset size for single-size experiments
+  size_t big_n;           // Fig. 9's "32M" analogue
+  size_t num_queries;     // range-query workload size (paper: 20k)
+  size_t num_point_queries;  // paper: 50k
+  size_t measure_queries;    // queries timed per measurement
+  int repetitions;           // timed repetitions (median reported)
+};
+
+// Resolves WAZI_SCALE (default "default").
+const Scale& CurrentScale();
+
+// Cached dataset / workload construction (benches reuse across tables).
+const Dataset& GetDataset(Region region, size_t n);
+const Workload& GetWorkload(Region region, size_t n_queries,
+                            double selectivity);
+
+// Builds an index by registry name with default BuildOptions; returns the
+// build time in seconds through `build_seconds` when non-null.
+std::unique_ptr<SpatialIndex> BuildIndex(const std::string& name,
+                                         const Dataset& data,
+                                         const Workload& workload,
+                                         double* build_seconds = nullptr,
+                                         const BuildOptions* opts = nullptr);
+
+// Average range-query latency (ns/query) over the first
+// `scale.measure_queries` queries of `workload`, median of
+// `scale.repetitions` passes. Also verifies result counts against an
+// expected total when `expected_results` >= 0.
+double MeasureRangeNs(const SpatialIndex& index, const Workload& workload);
+
+// Average point-query latency (ns/query).
+double MeasurePointNs(const SpatialIndex& index,
+                      const std::vector<Point>& queries);
+
+// Projection-only and scan-only latencies (ns/query), Fig. 9.
+struct PhaseNs {
+  double projection;
+  double scan;
+};
+PhaseNs MeasurePhasesNs(const SpatialIndex& index, const Workload& workload);
+
+// --- table printing ---
+
+// Prints a titled table: header row then data rows, columns padded.
+void PrintTable(const std::string& title,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<std::string>>& rows);
+
+std::string FormatNs(double ns);
+std::string FormatCount(double v);
+
+// Canonical selectivity sweep of the paper (Table 2).
+const std::vector<double>& PaperSelectivities();
+
+}  // namespace wazi::bench
+
+#endif  // WAZI_BENCH_COMMON_HARNESS_H_

@@ -1,0 +1,32 @@
+// Figure 4: average range-query latency of all eleven indexes (the six
+// main competitors plus the discarded rank-space SFC baselines) on the
+// default dataset and selectivity.
+
+#include <cstdio>
+
+#include "common/harness.h"
+
+int main() {
+  using namespace wazi;
+  using namespace wazi::bench;
+
+  const Scale& scale = CurrentScale();
+  const Dataset& data = GetDataset(Region::kCaliNev, scale.default_n);
+  const Workload& workload =
+      GetWorkload(Region::kCaliNev, scale.num_queries, kSelectivityMid2);
+
+  std::vector<std::vector<std::string>> rows;
+  for (const std::string& name : AllIndexNames()) {
+    double build_s = 0.0;
+    auto index = BuildIndex(name, data, workload, &build_s);
+    const double ns = MeasureRangeNs(*index, workload);
+    rows.push_back({name, FormatNs(ns),
+                    std::to_string(static_cast<long long>(ns)) + " ns"});
+    std::fprintf(stderr, "[fig04] %s done (build %.1fs)\n", name.c_str(),
+                 build_s);
+  }
+  PrintTable("Figure 4: avg range query latency, all indexes (" + data.name +
+                 ", sel 0.0256%)",
+             {"index", "range latency", "(ns/query)"}, rows);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 6: average range-query latency of the six main indexes over the
+// four datasets at the paper's four selectivity levels (one table per
+// selectivity, matching the four panels of the figure).
+
+#include <cstdio>
+
+#include "common/harness.h"
+
+int main() {
+  using namespace wazi;
+  using namespace wazi::bench;
+
+  const Scale& scale = CurrentScale();
+  const std::vector<std::string> indexes = MainIndexNames();
+
+  for (const double sel : PaperSelectivities()) {
+    std::vector<std::vector<std::string>> rows;
+    for (const std::string& name : indexes) {
+      std::vector<std::string> row = {name};
+      for (Region region : AllRegions()) {
+        const Dataset& data = GetDataset(region, scale.default_n);
+        const Workload& workload =
+            GetWorkload(region, scale.num_queries, sel);
+        auto index = BuildIndex(name, data, workload);
+        row.push_back(FormatNs(MeasureRangeNs(*index, workload)));
+      }
+      rows.push_back(std::move(row));
+      std::fprintf(stderr, "[fig06] sel=%g %s done\n", sel, name.c_str());
+    }
+    char title[128];
+    std::snprintf(title, sizeof(title),
+                  "Figure 6: range query latency, selectivity %.4f%%",
+                  sel * 100.0);
+    PrintTable(title, {"index", "CaliNev", "NewYork", "Japan", "Iberia"},
+               rows);
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 7: percentage improvement in range-query latency over the Base
+// Z-index, aggregated (top) per dataset across selectivities and (bottom)
+// per selectivity across datasets.
+
+#include <cstdio>
+#include <map>
+
+#include "common/harness.h"
+
+int main() {
+  using namespace wazi;
+  using namespace wazi::bench;
+
+  const Scale& scale = CurrentScale();
+  const std::vector<std::string> others = {"quasii", "cur", "str", "flood",
+                                           "wazi"};
+
+  // latency[index][region][sel]
+  std::map<std::string, std::map<int, std::map<double, double>>> latency;
+  for (Region region : AllRegions()) {
+    const Dataset& data = GetDataset(region, scale.default_n);
+    for (const double sel : PaperSelectivities()) {
+      const Workload& workload = GetWorkload(region, scale.num_queries, sel);
+      for (const std::string& name :
+           std::vector<std::string>{"base", "quasii", "cur", "str", "flood",
+                                    "wazi"}) {
+        auto index = BuildIndex(name, data, workload);
+        latency[name][static_cast<int>(region)][sel] =
+            MeasureRangeNs(*index, workload);
+      }
+      std::fprintf(stderr, "[fig07] %s sel=%g done\n",
+                   RegionName(region).c_str(), sel);
+    }
+  }
+
+  auto improvement = [&](const std::string& name, int region, double sel) {
+    const double base = latency["base"][region][sel];
+    const double x = latency[name][region][sel];
+    return 100.0 * (base - x) / base;
+  };
+
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const std::string& name : others) {
+      std::vector<std::string> row = {name};
+      for (Region region : AllRegions()) {
+        double mean = 0.0;
+        for (const double sel : PaperSelectivities()) {
+          mean += improvement(name, static_cast<int>(region), sel) /
+                  PaperSelectivities().size();
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%+.1f%%", mean);
+        row.push_back(buf);
+      }
+      rows.push_back(std::move(row));
+    }
+    PrintTable(
+        "Figure 7 (top): % improvement over Base, per data distribution",
+        {"index", "CaliNev", "NewYork", "Japan", "Iberia"}, rows);
+  }
+  {
+    std::vector<std::vector<std::string>> rows;
+    for (const std::string& name : others) {
+      std::vector<std::string> row = {name};
+      for (const double sel : PaperSelectivities()) {
+        double mean = 0.0;
+        for (Region region : AllRegions()) {
+          mean += improvement(name, static_cast<int>(region), sel) / 4.0;
+        }
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%+.1f%%", mean);
+        row.push_back(buf);
+      }
+      rows.push_back(std::move(row));
+    }
+    PrintTable("Figure 7 (bottom): % improvement over Base, per selectivity",
+               {"index", "0.0016%", "0.0064%", "0.0256%", "0.1024%"}, rows);
+  }
+  return 0;
+}

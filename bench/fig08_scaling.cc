@@ -1,0 +1,34 @@
+// Figure 8: average range-query latency of the six main indexes as the
+// dataset size grows (the paper sweeps 4M..64M at mid selectivity
+// 0.0256%; WAZI_SCALE=paper reproduces those sizes).
+
+#include <cstdio>
+
+#include "common/harness.h"
+
+int main() {
+  using namespace wazi;
+  using namespace wazi::bench;
+
+  const Scale& scale = CurrentScale();
+  std::vector<std::string> header = {"index"};
+  for (size_t n : scale.size_sweep) header.push_back(FormatCount(n));
+
+  std::vector<std::vector<std::string>> rows;
+  for (const std::string& name : MainIndexNames()) {
+    std::vector<std::string> row = {name};
+    for (const size_t n : scale.size_sweep) {
+      const Dataset& data = GetDataset(Region::kCaliNev, n);
+      const Workload& workload =
+          GetWorkload(Region::kCaliNev, scale.num_queries, kSelectivityMid2);
+      auto index = BuildIndex(name, data, workload);
+      row.push_back(FormatNs(MeasureRangeNs(*index, workload)));
+      std::fprintf(stderr, "[fig08] %s n=%zu done\n", name.c_str(), n);
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintTable(
+      "Figure 8: range query latency vs dataset size (CaliNev, sel 0.0256%)",
+      header, rows);
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Figure 9: range-query latency split into the Projection phase (search
+// structure traversal identifying overlapping pages) and the Scan phase
+// (filtering the projected points), on the large dataset at mid
+// selectivity.
+
+#include <cstdio>
+
+#include "common/harness.h"
+
+int main() {
+  using namespace wazi;
+  using namespace wazi::bench;
+
+  const Scale& scale = CurrentScale();
+  const Dataset& data = GetDataset(Region::kCaliNev, scale.big_n);
+  const Workload& workload =
+      GetWorkload(Region::kCaliNev, scale.num_queries, kSelectivityMid1);
+
+  std::vector<std::vector<std::string>> rows;
+  for (const std::string& name : MainIndexNames()) {
+    auto index = BuildIndex(name, data, workload);
+    const PhaseNs phases = MeasurePhasesNs(*index, workload);
+    rows.push_back({name, FormatNs(phases.projection), FormatNs(phases.scan)});
+    std::fprintf(stderr, "[fig09] %s done\n", name.c_str());
+  }
+  PrintTable("Figure 9: projection vs scan phase latency (CaliNev, big n, "
+             "sel 0.0064%)",
+             {"index", "projection", "scan"}, rows);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Figure 10: average point-query latency of the six main indexes as the
+// dataset size grows (50k point queries sampled from the data).
+
+#include <cstdio>
+
+#include "common/harness.h"
+#include "workload/query_generator.h"
+
+int main() {
+  using namespace wazi;
+  using namespace wazi::bench;
+
+  const Scale& scale = CurrentScale();
+  std::vector<std::string> header = {"index"};
+  for (size_t n : scale.size_sweep) header.push_back(FormatCount(n));
+
+  std::vector<std::vector<std::string>> rows;
+  for (const std::string& name : MainIndexNames()) {
+    std::vector<std::string> row = {name};
+    for (const size_t n : scale.size_sweep) {
+      const Dataset& data = GetDataset(Region::kCaliNev, n);
+      const Workload& workload =
+          GetWorkload(Region::kCaliNev, scale.num_queries, kSelectivityMid2);
+      const std::vector<Point> probes =
+          SamplePointQueries(data, scale.num_point_queries, 99);
+      auto index = BuildIndex(name, data, workload);
+      row.push_back(FormatNs(MeasurePointNs(*index, probes)));
+      std::fprintf(stderr, "[fig10] %s n=%zu done\n", name.c_str(), n);
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintTable("Figure 10: point query latency vs dataset size (CaliNev)",
+             header, rows);
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Figure 11: insert latency and post-insert range-query latency for the
+// updatable indexes (WaZI, CUR, Flood). The paper inserts 25% of the
+// dataset size, uniformly over the data space, in five equal batches.
+
+#include <cstdio>
+
+#include "common/harness.h"
+#include "common/timer.h"
+#include "workload/query_generator.h"
+
+int main() {
+  using namespace wazi;
+  using namespace wazi::bench;
+
+  const Scale& scale = CurrentScale();
+  const Dataset& data = GetDataset(Region::kCaliNev, scale.default_n);
+  const Workload& workload =
+      GetWorkload(Region::kCaliNev, scale.num_queries, kSelectivityMid2);
+  const size_t total_inserts = data.size() / 4;
+  const size_t batch = total_inserts / 5;
+  const std::vector<Point> stream = GenerateInsertStream(
+      data.bounds, total_inserts, static_cast<int64_t>(data.size()), 13);
+
+  std::vector<std::vector<std::string>> insert_rows, range_rows;
+  for (const std::string& name : {std::string("wazi"), std::string("cur"),
+                                  std::string("flood")}) {
+    auto index = BuildIndex(name, data, workload);
+    std::vector<std::string> irow = {name};
+    std::vector<std::string> rrow = {name, FormatNs(MeasureRangeNs(
+                                               *index, workload))};
+    for (int b = 0; b < 5; ++b) {
+      Timer timer;
+      for (size_t i = b * batch; i < (b + 1) * batch && i < stream.size();
+           ++i) {
+        index->Insert(stream[i]);
+      }
+      irow.push_back(
+          FormatNs(static_cast<double>(timer.ElapsedNs()) /
+                   static_cast<double>(batch)));
+      rrow.push_back(FormatNs(MeasureRangeNs(*index, workload)));
+    }
+    insert_rows.push_back(std::move(irow));
+    range_rows.push_back(std::move(rrow));
+    std::fprintf(stderr, "[fig11] %s done\n", name.c_str());
+  }
+  PrintTable("Figure 11 (left): insert latency per batch (+5% .. +25%)",
+             {"index", "+5%", "+10%", "+15%", "+20%", "+25%"}, insert_rows);
+  PrintTable("Figure 11 (right): range latency after each insert batch",
+             {"index", "+0%", "+5%", "+10%", "+15%", "+20%", "+25%"},
+             range_rows);
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Figure 12: range-query latency of Base and WaZI as the evaluated
+// workload drifts away from the training workload — towards a uniform
+// workload (left panel) and towards a differently-skewed workload from
+// another region (right panel).
+
+#include <cstdio>
+
+#include "common/harness.h"
+#include "workload/query_generator.h"
+
+int main() {
+  using namespace wazi;
+  using namespace wazi::bench;
+
+  const Scale& scale = CurrentScale();
+  const Region region = Region::kCaliNev;
+  const Dataset& data = GetDataset(region, scale.default_n);
+  const Workload& train =
+      GetWorkload(region, scale.num_queries, kSelectivityMid2);
+
+  QueryGenOptions qopts;
+  qopts.num_queries = scale.num_queries;
+  qopts.selectivity = kSelectivityMid2;
+  qopts.seed = 311;
+  const Workload uniform_drift = GenerateUniformWorkload(data.bounds, qopts);
+  // "Differently skewed": same region (so queries still hit data), but a
+  // different venue popularity structure (fresh venue seed).
+  const Workload skewed_drift =
+      GenerateCheckinWorkload(region, data.bounds, qopts);
+
+  auto base = BuildIndex("base", data, train);
+  auto wazi_index = BuildIndex("wazi", data, train);
+
+  const std::vector<double> fractions = {0.0, 0.25, 0.5, 0.75, 1.0};
+  for (const auto& [title, drift] :
+       {std::make_pair(std::string("Figure 12 (left): drift to uniform"),
+                       &uniform_drift),
+        std::make_pair(std::string("Figure 12 (right): drift to other skew"),
+                       &skewed_drift)}) {
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& [name, index] :
+         {std::make_pair(std::string("base"), base.get()),
+          std::make_pair(std::string("wazi"), wazi_index.get())}) {
+      std::vector<std::string> row = {name};
+      for (const double frac : fractions) {
+        const Workload blended = BlendWorkloads(train, *drift, frac, 17);
+        row.push_back(FormatNs(MeasureRangeNs(*index, blended)));
+      }
+      rows.push_back(std::move(row));
+    }
+    PrintTable(title, {"index", "0%", "25%", "50%", "75%", "100%"}, rows);
+  }
+  return 0;
+}

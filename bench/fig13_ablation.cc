@@ -1,0 +1,62 @@
+// Figure 13: ablation of WaZI's two mechanisms — adaptive partitioning
+// (layout) and look-ahead pointers (skipping) — via the four variants
+// Base, Base+SK, WaZI-SK, WaZI, reporting the figure's four metrics:
+// query time, excess points, bounding boxes checked, pages scanned.
+
+#include <cstdio>
+
+#include "common/harness.h"
+
+int main() {
+  using namespace wazi;
+  using namespace wazi::bench;
+
+  const Scale& scale = CurrentScale();
+  const Region region = Region::kCaliNev;
+  const Dataset& data = GetDataset(region, scale.default_n);
+  const std::vector<double> sels = {kSelectivityTiny, kSelectivityMid1,
+                                    kSelectivityHigh};
+  const std::vector<std::string> variants = {"base", "wazi", "base+sk",
+                                             "wazi-sk"};
+
+  std::vector<std::vector<std::string>> time_rows, excess_rows, bbs_rows,
+      pages_rows;
+  for (const std::string& name : variants) {
+    std::vector<std::string> trow = {name}, erow = {name}, brow = {name},
+                             prow = {name};
+    for (const double sel : sels) {
+      const Workload& workload = GetWorkload(region, scale.num_queries, sel);
+      auto index = BuildIndex(name, data, workload);
+      const double ns = MeasureRangeNs(*index, workload);
+      // Work counters over one clean pass of the measured queries.
+      index->stats().Reset();
+      std::vector<Point> sink;
+      const size_t nq =
+          std::min(workload.queries.size(), scale.measure_queries);
+      for (size_t i = 0; i < nq; ++i) {
+        sink.clear();
+        index->RangeQuery(workload.queries[i], &sink);
+      }
+      const QueryStats& st = index->stats();
+      trow.push_back(FormatNs(ns));
+      erow.push_back(FormatCount(static_cast<double>(st.excess_points())));
+      brow.push_back(FormatCount(static_cast<double>(st.bbs_checked)));
+      prow.push_back(FormatCount(static_cast<double>(st.pages_scanned)));
+      std::fprintf(stderr, "[fig13] %s sel=%g done\n", name.c_str(), sel);
+    }
+    time_rows.push_back(std::move(trow));
+    excess_rows.push_back(std::move(erow));
+    bbs_rows.push_back(std::move(brow));
+    pages_rows.push_back(std::move(prow));
+  }
+  const std::vector<std::string> header = {"variant", "0.0004%", "0.0064%",
+                                           "0.1024%"};
+  PrintTable("Figure 13 (top-left): query time", header, time_rows);
+  PrintTable("Figure 13 (top-right): excess points (total)", header,
+             excess_rows);
+  PrintTable("Figure 13 (bottom-left): bounding boxes checked (total)",
+             header, bbs_rows);
+  PrintTable("Figure 13 (bottom-right): pages scanned (total)", header,
+             pages_rows);
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Substrate microbenchmarks (google-benchmark): the per-operation costs
+// underlying the index implementations — Z-curve encoding, BIGMIN,
+// Hilbert encoding, PGM/RMI lookups, RFDE box counts, rank-space
+// projection, and Z-index tree traversal.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/wazi.h"
+#include "density/kd_forest.h"
+#include "learned/pgm_index.h"
+#include "learned/rmi.h"
+#include "sfc/bigmin.h"
+#include "sfc/hilbert.h"
+#include "sfc/rank_space.h"
+#include "sfc/zcurve.h"
+#include "workload/query_generator.h"
+#include "workload/region_generator.h"
+
+namespace wazi {
+namespace {
+
+void BM_ZEncode(benchmark::State& state) {
+  Rng rng(1);
+  uint32_t x = static_cast<uint32_t>(rng.NextU64());
+  uint32_t y = static_cast<uint32_t>(rng.NextU64());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ZEncode(x, y));
+    x += 0x9e3779b9u;
+    y ^= x;
+  }
+}
+BENCHMARK(BM_ZEncode);
+
+void BM_BigMin(benchmark::State& state) {
+  Rng rng(2);
+  const uint64_t zmin = ZEncode(1000, 2000);
+  const uint64_t zmax = ZEncode(50000, 60000);
+  uint64_t z = zmin;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BigMin(z, zmin, zmax));
+    z = zmin + (z * 2862933555777941757ULL + 3037000493ULL) % (zmax - zmin);
+  }
+}
+BENCHMARK(BM_BigMin);
+
+void BM_HilbertEncode(benchmark::State& state) {
+  Rng rng(3);
+  uint32_t x = static_cast<uint32_t>(rng.NextBelow(1u << 16));
+  uint32_t y = static_cast<uint32_t>(rng.NextBelow(1u << 16));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HilbertEncode(16, x & 0xffff, y & 0xffff));
+    x += 12345;
+    y += 6789;
+  }
+}
+BENCHMARK(BM_HilbertEncode);
+
+void BM_PgmLowerBound(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<uint64_t> keys(1 << 20);
+  for (auto& k : keys) k = rng.NextU64() >> 20;
+  std::sort(keys.begin(), keys.end());
+  PgmIndex pgm;
+  pgm.Build(keys, 32);
+  uint64_t probe = keys[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pgm.LowerBound(probe));
+    probe = probe * 6364136223846793005ULL + 1442695040888963407ULL;
+    probe >>= 20;
+  }
+}
+BENCHMARK(BM_PgmLowerBound);
+
+void BM_RmiLowerBound(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<uint64_t> keys(1 << 20);
+  for (auto& k : keys) k = rng.NextU64() >> 20;
+  std::sort(keys.begin(), keys.end());
+  Rmi rmi;
+  rmi.Build(keys, 4096);
+  uint64_t probe = keys[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rmi.LowerBound(probe));
+    probe = probe * 6364136223846793005ULL + 1442695040888963407ULL;
+    probe >>= 20;
+  }
+}
+BENCHMARK(BM_RmiLowerBound);
+
+void BM_RfdeEstimate2D(benchmark::State& state) {
+  const Dataset data = GenerateRegion(Region::kCaliNev, 200000, 6);
+  std::vector<DVec> rows;
+  rows.reserve(data.points.size());
+  for (const Point& p : data.points) rows.push_back(DVec{p.x, p.y, 0, 0});
+  KdForest forest;
+  KdForestOptions opts;
+  opts.dim = 2;
+  forest.Build(rows, {}, opts);
+  Rng rng(7);
+  for (auto _ : state) {
+    const double x = rng.Uniform(0, 0.9);
+    const double y = rng.Uniform(0, 0.9);
+    DBox box;
+    box.lo = DVec{x, y, 0, 0};
+    box.hi = DVec{x + 0.1, y + 0.1, 0, 0};
+    benchmark::DoNotOptimize(forest.Estimate(box));
+  }
+}
+BENCHMARK(BM_RfdeEstimate2D);
+
+void BM_RankSpaceProjection(benchmark::State& state) {
+  const Dataset data = GenerateRegion(Region::kJapan, 200000, 8);
+  RankSpace rs;
+  rs.Build(data.points, 16);
+  Rng rng(9);
+  double v = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.XRank(v));
+    v = rng.NextDouble();
+  }
+}
+BENCHMARK(BM_RankSpaceProjection);
+
+void BM_ZIndexTreeTraversal(benchmark::State& state) {
+  const Dataset data = GenerateRegion(Region::kNewYork, 200000, 10);
+  QueryGenOptions qopts;
+  qopts.num_queries = 1000;
+  const Workload workload =
+      GenerateCheckinWorkload(Region::kNewYork, data.bounds, qopts);
+  Wazi index;
+  BuildOptions opts;
+  index.Build(data, workload, opts);
+  Rng rng(11);
+  for (auto _ : state) {
+    const Point& p = data.points[rng.NextBelow(data.points.size())];
+    benchmark::DoNotOptimize(index.zindex().FindLeafNode(p.x, p.y));
+  }
+}
+BENCHMARK(BM_ZIndexTreeTraversal);
+
+void BM_WaziRangeQuery(benchmark::State& state) {
+  const Dataset data = GenerateRegion(Region::kNewYork, 200000, 12);
+  QueryGenOptions qopts;
+  qopts.num_queries = 2000;
+  qopts.selectivity = kSelectivityMid2;
+  const Workload workload =
+      GenerateCheckinWorkload(Region::kNewYork, data.bounds, qopts);
+  Wazi index;
+  BuildOptions opts;
+  index.Build(data, workload, opts);
+  size_t qi = 0;
+  std::vector<Point> sink;
+  for (auto _ : state) {
+    sink.clear();
+    index.RangeQuery(workload.queries[qi], &sink);
+    benchmark::DoNotOptimize(sink.data());
+    qi = (qi + 1) % workload.queries.size();
+  }
+}
+BENCHMARK(BM_WaziRangeQuery);
+
+}  // namespace
+}  // namespace wazi
+
+BENCHMARK_MAIN();

@@ -1,0 +1,35 @@
+// Table 3: build time (seconds) of the six main indexes across dataset
+// sizes.
+
+#include <cstdio>
+
+#include "common/harness.h"
+
+int main() {
+  using namespace wazi;
+  using namespace wazi::bench;
+
+  const Scale& scale = CurrentScale();
+  std::vector<std::string> header = {"size"};
+  for (const std::string& name : MainIndexNames()) header.push_back(name);
+
+  std::vector<std::vector<std::string>> rows;
+  for (const size_t n : scale.size_sweep) {
+    const Dataset& data = GetDataset(Region::kCaliNev, n);
+    const Workload& workload =
+        GetWorkload(Region::kCaliNev, scale.num_queries, kSelectivityMid2);
+    std::vector<std::string> row = {FormatCount(n)};
+    for (const std::string& name : MainIndexNames()) {
+      double build_s = 0.0;
+      auto index = BuildIndex(name, data, workload, &build_s);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2fs", build_s);
+      row.push_back(buf);
+      std::fprintf(stderr, "[tab03] %s n=%zu done (%.2fs)\n", name.c_str(),
+                   n, build_s);
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintTable("Table 3: build time (seconds), CaliNev", header, rows);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Table 4: cost redemption against Base — the number of queries after
+// which an index's cumulative (build + query) time crosses Base's:
+//   red_X = (X.build - Base.build) / (Base.query - X.query).
+// (+)N  : builds slower than Base, redeems after N queries.
+// (-)N  : builds faster but queries slower; ahead only for the first N.
+// (+)   : faster build AND faster queries (always ahead).
+// (-)   : slower build AND slower queries (never redeems).
+
+#include <cstdio>
+
+#include "common/harness.h"
+
+int main() {
+  using namespace wazi;
+  using namespace wazi::bench;
+
+  const Scale& scale = CurrentScale();
+  const std::vector<std::string> others = {"cur", "flood", "quasii", "str",
+                                           "wazi"};
+  std::vector<std::string> header = {"data dist."};
+  for (const std::string& name : others) header.push_back(name);
+
+  std::vector<std::vector<std::string>> rows;
+  for (Region region : AllRegions()) {
+    const Dataset& data = GetDataset(region, scale.default_n);
+    const Workload& workload =
+        GetWorkload(region, scale.num_queries, kSelectivityMid2);
+    double base_build = 0.0;
+    auto base = BuildIndex("base", data, workload, &base_build);
+    const double base_query = MeasureRangeNs(*base, workload);
+
+    std::vector<std::string> row = {RegionName(region)};
+    for (const std::string& name : others) {
+      double build_s = 0.0;
+      auto index = BuildIndex(name, data, workload, &build_s);
+      const double query_ns = MeasureRangeNs(*index, workload);
+      const double build_delta_ns = (build_s - base_build) * 1e9;
+      const double query_delta_ns = base_query - query_ns;  // >0: X faster
+      char buf[64];
+      if (build_delta_ns <= 0 && query_delta_ns >= 0) {
+        std::snprintf(buf, sizeof(buf), "(+)");
+      } else if (build_delta_ns > 0 && query_delta_ns <= 0) {
+        std::snprintf(buf, sizeof(buf), "(-)");
+      } else {
+        const double redemption =
+            std::abs(build_delta_ns) / std::abs(query_delta_ns);
+        std::snprintf(buf, sizeof(buf), "(%c) %s",
+                      build_delta_ns > 0 ? '+' : '-',
+                      FormatCount(redemption).c_str());
+      }
+      row.push_back(buf);
+      std::fprintf(stderr, "[tab04] %s %s done\n",
+                   RegionName(region).c_str(), name.c_str());
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintTable("Table 4: cost-redemption vs Base (queries to break even; "
+             "(+)N = redeems after N, (-)N = ahead only first N)",
+             header, rows);
+  return 0;
+}

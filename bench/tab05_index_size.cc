@@ -1,0 +1,34 @@
+// Table 5: index sizes (MB) of the six main indexes across dataset sizes.
+
+#include <cstdio>
+
+#include "common/harness.h"
+
+int main() {
+  using namespace wazi;
+  using namespace wazi::bench;
+
+  const Scale& scale = CurrentScale();
+  std::vector<std::string> header = {"size"};
+  for (const std::string& name : MainIndexNames()) header.push_back(name);
+
+  std::vector<std::vector<std::string>> rows;
+  for (const size_t n : scale.size_sweep) {
+    const Dataset& data = GetDataset(Region::kCaliNev, n);
+    const Workload& workload =
+        GetWorkload(Region::kCaliNev, scale.num_queries, kSelectivityMid2);
+    std::vector<std::string> row = {FormatCount(n)};
+    for (const std::string& name : MainIndexNames()) {
+      auto index = BuildIndex(name, data, workload);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.2fMB",
+                    static_cast<double>(index->SizeBytes()) /
+                        (1024.0 * 1024.0));
+      row.push_back(buf);
+      std::fprintf(stderr, "[tab05] %s n=%zu done\n", name.c_str(), n);
+    }
+    rows.push_back(std::move(row));
+  }
+  PrintTable("Table 5: index size (MB), CaliNev", header, rows);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Bake-off across the whole index family on one scenario: build time,
+// size, range/point query latency, and work counters — a compact version
+// of the paper's evaluation for a single dataset.
+//
+//   ./examples/index_comparison [region] [num_points]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "index/spatial_index.h"
+#include "workload/query_generator.h"
+#include "workload/region_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace wazi;
+
+  Region region = Region::kCaliNev;
+  if (argc > 1 && !ParseRegion(argv[1], &region)) {
+    std::fprintf(stderr, "unknown region '%s' (CaliNev|NewYork|Japan|Iberia)\n",
+                 argv[1]);
+    return 1;
+  }
+  const size_t n = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 100000;
+
+  const Dataset data = GenerateRegion(region, n, 42);
+  QueryGenOptions qopts;
+  qopts.num_queries = 2000;
+  qopts.selectivity = kSelectivityMid2;
+  const Workload workload =
+      GenerateCheckinWorkload(region, data.bounds, qopts);
+  const std::vector<Point> probes = SamplePointQueries(data, 2000, 7);
+
+  std::printf("index comparison on %s (%zu points, %zu queries, "
+              "sel 0.0256%%)\n\n",
+              data.name.c_str(), data.size(), workload.size());
+  std::printf("%-8s %8s %9s %11s %11s %9s\n", "index", "build", "size",
+              "range ns/q", "point ns/q", "pts/query");
+  for (const std::string& name : AllIndexNames()) {
+    auto index = MakeIndex(name);
+    BuildOptions opts;
+    Timer build_timer;
+    index->Build(data, workload, opts);
+    const double build_s = build_timer.ElapsedSeconds();
+
+    index->stats().Reset();
+    std::vector<Point> sink;
+    Timer range_timer;
+    for (const Rect& q : workload.queries) {
+      sink.clear();
+      index->RangeQuery(q, &sink);
+    }
+    const double range_ns =
+        static_cast<double>(range_timer.ElapsedNs()) / workload.size();
+    const double pts_per_q =
+        static_cast<double>(index->stats().points_scanned) / workload.size();
+
+    Timer point_timer;
+    int found = 0;
+    for (const Point& p : probes) found += index->PointQuery(p);
+    const double point_ns =
+        static_cast<double>(point_timer.ElapsedNs()) / probes.size();
+    if (found != static_cast<int>(probes.size())) {
+      std::fprintf(stderr, "%s lost points!\n", name.c_str());
+      return 1;
+    }
+
+    std::printf("%-8s %7.2fs %7.1fMB %11.0f %11.0f %9.0f\n", name.c_str(),
+                build_s,
+                static_cast<double>(index->SizeBytes()) / (1024.0 * 1024.0),
+                range_ns, point_ns, pts_per_q);
+  }
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Location-based-service scenario: a map service indexing New-York-style
+// points of interest, serving "viewport" range queries whose distribution
+// follows user check-ins (paper §1's motivating workload). Compares WaZI
+// against the Base Z-index on the exact work the service cares about.
+//
+//   ./examples/poi_search [num_points]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "core/wazi.h"
+#include "workload/query_generator.h"
+#include "workload/region_generator.h"
+
+int main(int argc, char** argv) {
+  using namespace wazi;
+
+  const size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200000;
+  const Dataset data = GenerateRegion(Region::kNewYork, n, /*seed=*/42);
+
+  // The service's historical query log: viewport queries centred on
+  // popular venues, at two zoom levels.
+  QueryGenOptions qopts;
+  qopts.num_queries = 4000;
+  qopts.selectivity = kSelectivityMid2;  // "neighbourhood" zoom
+  const Workload log_mid =
+      GenerateCheckinWorkload(Region::kNewYork, data.bounds, qopts);
+  qopts.selectivity = kSelectivityHigh;  // "district" zoom
+  qopts.seed = 8;
+  const Workload log_wide =
+      GenerateCheckinWorkload(Region::kNewYork, data.bounds, qopts);
+
+  Workload log = log_mid;
+  log.queries.insert(log.queries.end(), log_wide.queries.begin(),
+                     log_wide.queries.end());
+
+  std::printf("POI search demo: %zu POIs, %zu logged viewport queries\n\n",
+              data.size(), log.size());
+
+  BuildOptions opts;
+  auto run = [&](ZIndexVariant& index, const char* label) {
+    Timer build_timer;
+    index.Build(data, log, opts);
+    const double build_s = build_timer.ElapsedSeconds();
+
+    index.stats().Reset();
+    std::vector<Point> viewport;
+    Timer query_timer;
+    for (const Rect& q : log.queries) {
+      viewport.clear();
+      index.RangeQuery(q, &viewport);
+    }
+    const double ns_per_q =
+        static_cast<double>(query_timer.ElapsedNs()) / log.size();
+    std::printf("%-6s build %.2fs | %7.0f ns/viewport | %5.1f pages and "
+                "%6.0f points touched per viewport\n",
+                label, build_s, ns_per_q,
+                static_cast<double>(index.stats().pages_scanned) / log.size(),
+                static_cast<double>(index.stats().points_scanned) /
+                    log.size());
+    return ns_per_q;
+  };
+
+  BaseZ base;
+  Wazi wazi_index;
+  const double base_ns = run(base, "base");
+  const double wazi_ns = run(wazi_index, "wazi");
+  std::printf("\nWaZI serves viewports %.0f%% faster than the base Z-index "
+              "on this workload.\n",
+              100.0 * (base_ns - wazi_ns) / base_ns);
+
+  // A single concrete lookup, as an app would issue it.
+  const Rect times_square = Rect::Of(0.47, 0.56, 0.49, 0.60);
+  std::vector<Point> hits;
+  wazi_index.RangeQuery(times_square, &hits);
+  std::printf("viewport %s -> %zu POIs\n",
+              times_square.DebugString().c_str(), hits.size());
+  return 0;
+}

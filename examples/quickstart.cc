@@ -1,0 +1,63 @@
+// Quickstart: build a WaZI index over a synthetic region, run range and
+// point queries, and print what the index did.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+
+#include "common/timer.h"
+#include "core/wazi.h"
+#include "workload/query_generator.h"
+#include "workload/region_generator.h"
+
+int main() {
+  using namespace wazi;
+
+  // 1. Data: 100k points-of-interest shaped like the California coast.
+  const Dataset data = GenerateRegion(Region::kCaliNev, 100000, /*seed=*/42);
+  std::printf("dataset: %s, %zu points\n", data.name.c_str(), data.size());
+
+  // 2. Anticipated workload: 2,000 skewed range queries (check-in style),
+  //    each covering 0.0256%% of the data space.
+  QueryGenOptions qopts;
+  qopts.num_queries = 2000;
+  qopts.selectivity = kSelectivityMid2;
+  const Workload workload =
+      GenerateCheckinWorkload(Region::kCaliNev, data.bounds, qopts);
+
+  // 3. Build WaZI: workload-aware partitioning + look-ahead skipping.
+  Wazi index;
+  BuildOptions opts;  // leaf capacity 256, kappa=32, alpha=1e-5
+  Timer build_timer;
+  index.Build(data, workload, opts);
+  std::printf("built wazi in %.2fs: %zu leaves, %zu nodes, %.1f MB\n",
+              build_timer.ElapsedSeconds(), index.zindex().num_leaves(),
+              index.zindex().num_nodes(),
+              static_cast<double>(index.SizeBytes()) / (1024.0 * 1024.0));
+
+  // 4. Range query.
+  const Rect viewport = Rect::Of(0.40, 0.20, 0.48, 0.28);  // LA-ish window
+  std::vector<Point> hits;
+  Timer query_timer;
+  index.RangeQuery(viewport, &hits);
+  std::printf("range query %s -> %zu points in %ldus\n",
+              viewport.DebugString().c_str(), hits.size(),
+              query_timer.ElapsedNs() / 1000);
+  std::printf("  work: %lld bounding boxes checked, %lld pages scanned, "
+              "%lld points filtered\n",
+              static_cast<long long>(index.stats().bbs_checked),
+              static_cast<long long>(index.stats().pages_scanned),
+              static_cast<long long>(index.stats().points_scanned));
+
+  // 5. Point query.
+  const Point probe = data.points[12345];
+  std::printf("point query (%.4f, %.4f) -> %s\n", probe.x, probe.y,
+              index.PointQuery(probe) ? "found" : "missing");
+
+  // 6. Updates: insert a new point and find it again.
+  const Point fresh{0.444, 0.244, 1000000};
+  index.Insert(fresh);
+  std::printf("inserted (%.3f, %.3f) -> point query %s\n", fresh.x, fresh.y,
+              index.PointQuery(fresh) ? "found" : "missing");
+  return 0;
+}

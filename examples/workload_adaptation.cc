@@ -1,0 +1,87 @@
+// Workload adaptation and drift: builds WaZI for one workload, shows the
+// advantage over Base, then drifts the workload (paper §6.8) and shows
+// when a rebuild pays off.
+//
+//   ./examples/workload_adaptation
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/wazi.h"
+#include "workload/query_generator.h"
+#include "workload/region_generator.h"
+
+namespace {
+
+double AvgNs(const wazi::SpatialIndex& index, const wazi::Workload& w) {
+  std::vector<wazi::Point> sink;
+  // Warmup pass, then median of three timed passes.
+  for (const wazi::Rect& q : w.queries) {
+    sink.clear();
+    index.RangeQuery(q, &sink);
+  }
+  std::vector<double> runs;
+  for (int rep = 0; rep < 3; ++rep) {
+    wazi::Timer timer;
+    for (const wazi::Rect& q : w.queries) {
+      sink.clear();
+      index.RangeQuery(q, &sink);
+    }
+    runs.push_back(static_cast<double>(timer.ElapsedNs()) / w.size());
+  }
+  std::sort(runs.begin(), runs.end());
+  return runs[1];
+}
+
+}  // namespace
+
+int main() {
+  using namespace wazi;
+
+  const Dataset data = GenerateRegion(Region::kIberia, 200000, 42);
+  QueryGenOptions qopts;
+  qopts.num_queries = 3000;
+  qopts.selectivity = kSelectivityMid2;
+  const Workload original =
+      GenerateCheckinWorkload(Region::kIberia, data.bounds, qopts);
+  // A differently-skewed workload over the same region: fresh venue seed,
+  // so the popular places move but queries still land on data.
+  qopts.seed = 99;
+  const Workload other =
+      GenerateCheckinWorkload(Region::kIberia, data.bounds, qopts);
+
+  BuildOptions opts;
+  BaseZ base;
+  base.Build(data, original, opts);
+  Wazi trained;
+  trained.Build(data, original, opts);
+
+  std::printf("drift%%   base(ns)   wazi(ns)   wazi/base\n");
+  double last_ratio = 0.0;
+  for (const double frac : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const Workload drifted = BlendWorkloads(original, other, frac, 5);
+    const double b = AvgNs(base, drifted);
+    const double w = AvgNs(trained, drifted);
+    last_ratio = w / b;
+    std::printf("%5.0f%%   %8.0f   %8.0f   %8.2f\n", frac * 100, b, w,
+                last_ratio);
+  }
+
+  if (last_ratio > 1.0) {
+    std::printf("\nworkload drifted past break-even: rebuilding WaZI on the "
+                "new workload...\n");
+  } else {
+    std::printf("\nrebuilding WaZI on the new workload anyway, to show the "
+                "recovered margin...\n");
+  }
+  Timer rebuild_timer;
+  Wazi retrained;
+  retrained.Build(data, other, opts);
+  std::printf("rebuild took %.2fs; on the new workload: base %8.0f ns, "
+              "retrained wazi %8.0f ns\n",
+              rebuild_timer.ElapsedSeconds(), AvgNs(base, other),
+              AvgNs(retrained, other));
+  return 0;
+}

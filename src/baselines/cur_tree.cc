@@ -1,0 +1,142 @@
+#include "baselines/cur_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/density_adapters.h"
+#include "density/kd_forest.h"
+
+namespace wazi {
+namespace {
+
+// Sorts pts/weights jointly by a comparator over points.
+template <typename Cmp>
+void SortJoint(std::vector<Point>* pts, std::vector<double>* weights,
+               size_t begin, size_t end, Cmp cmp) {
+  std::vector<size_t> idx(end - begin);
+  std::iota(idx.begin(), idx.end(), begin);
+  std::sort(idx.begin(), idx.end(),
+            [&](size_t a, size_t b) { return cmp((*pts)[a], (*pts)[b]); });
+  std::vector<Point> tmp_p(end - begin);
+  std::vector<double> tmp_w(end - begin);
+  for (size_t i = 0; i < idx.size(); ++i) {
+    tmp_p[i] = (*pts)[idx[i]];
+    tmp_w[i] = (*weights)[idx[i]];
+  }
+  std::copy(tmp_p.begin(), tmp_p.end(), pts->begin() + begin);
+  std::copy(tmp_w.begin(), tmp_w.end(), weights->begin() + begin);
+}
+
+}  // namespace
+
+std::vector<uint32_t> WeightedStrTile(std::vector<Point>* pts,
+                                      std::vector<double>* weights,
+                                      int leaf_capacity) {
+  const size_t n = pts->size();
+  std::vector<uint32_t> offsets;
+  if (n == 0) return {0, 0};
+
+  const double total_w = std::accumulate(weights->begin(), weights->end(), 0.0);
+  const size_t leaves =
+      (n + leaf_capacity - 1) / static_cast<size_t>(leaf_capacity);
+  const size_t slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(std::max<size_t>(1, leaves)))));
+  const double slab_target = total_w / static_cast<double>(slabs);
+  const double leaf_target =
+      total_w / static_cast<double>(std::max<size_t>(1, leaves));
+
+  SortJoint(pts, weights, 0, n,
+            [](const Point& a, const Point& b) { return a.x < b.x; });
+
+  size_t slab_begin = 0;
+  double slab_acc = 0.0;
+  auto close_slab = [&](size_t slab_end) {
+    SortJoint(pts, weights, slab_begin, slab_end,
+              [](const Point& a, const Point& b) { return a.y < b.y; });
+    // Leaf boundaries: close a leaf when its weight reaches the target or
+    // its size reaches L, whichever first.
+    size_t leaf_begin = slab_begin;
+    double leaf_acc = 0.0;
+    for (size_t i = slab_begin; i < slab_end; ++i) {
+      if (i == leaf_begin) offsets.push_back(static_cast<uint32_t>(i));
+      leaf_acc += (*weights)[i];
+      const size_t count = i - leaf_begin + 1;
+      if ((leaf_acc >= leaf_target && i + 1 < slab_end) ||
+          count >= static_cast<size_t>(leaf_capacity)) {
+        leaf_begin = i + 1;
+        leaf_acc = 0.0;
+      }
+    }
+    slab_begin = slab_end;
+    slab_acc = 0.0;
+  };
+
+  for (size_t i = 0; i < n; ++i) {
+    slab_acc += (*weights)[i];
+    const size_t count = i - slab_begin + 1;
+    // Cap slab size so a zero-weight region cannot absorb everything.
+    const size_t max_slab = std::max<size_t>(
+        static_cast<size_t>(leaf_capacity),
+        2 * ((n + slabs - 1) / slabs));
+    if ((slab_acc >= slab_target && i + 1 < n) || count >= max_slab) {
+      close_slab(i + 1);
+    }
+  }
+  if (slab_begin < n) close_slab(n);
+  offsets.push_back(static_cast<uint32_t>(n));
+  return offsets;
+}
+
+void CurTree::Build(const Dataset& data, const Workload& workload,
+                    const BuildOptions& opts) {
+  // Weighted RFDE over query corners; weight(p) = 1 + #queries fetching p
+  // (the +1 keeps cold regions packing at full pages).
+  KdForest query_forest;
+  {
+    std::vector<DVec> rows = QueryCornerRows(workload);
+    KdForestOptions fo;
+    fo.dim = 4;
+    fo.num_trees = std::max(2, opts.rfde_trees / 2);
+    fo.subsample = opts.rfde_subsample;
+    fo.leaf_size = opts.rfde_leaf_size;
+    fo.seed = opts.seed + 17;
+    query_forest.Build(rows, {}, fo);
+  }
+  std::vector<Point> pts = data.points;
+  std::vector<double> weights(pts.size(), 1.0);
+  if (query_forest.built() && !workload.queries.empty()) {
+    for (size_t i = 0; i < pts.size(); ++i) {
+      weights[i] = 1.0 + EstimateQueriesCovering(query_forest, pts[i]);
+    }
+  }
+  const std::vector<uint32_t> offsets =
+      WeightedStrTile(&pts, &weights, opts.leaf_capacity);
+  RTree::Options ropts;
+  ropts.leaf_capacity = opts.leaf_capacity;
+  tree_.BulkLoad(std::move(pts), offsets, ropts);
+  stats_.Reset();
+}
+
+void CurTree::RangeQuery(const Rect& query, std::vector<Point>* out) const {
+  tree_.RangeQuery(query, out, &stats_);
+}
+
+void CurTree::Project(const Rect& query, Projection* proj) const {
+  tree_.Project(query, proj, &stats_);
+}
+
+bool CurTree::PointQuery(const Point& p) const {
+  return tree_.PointQuery(p.x, p.y, &stats_);
+}
+
+bool CurTree::Insert(const Point& p) {
+  tree_.Insert(p);
+  return true;
+}
+
+bool CurTree::Remove(const Point& p) { return tree_.Remove(p.x, p.y); }
+
+size_t CurTree::SizeBytes() const { return tree_.SizeBytes(); }
+
+}  // namespace wazi

@@ -1,0 +1,46 @@
+// Cost-based Unbalanced R-tree (Ross, Sitzmann & Stuckey, SSDBM 2001),
+// adapted to point data as in the paper's §6.1: each point is weighted by
+// the (estimated) number of workload queries that fetch it — a 4-D
+// dominance count on the query-corner RFDE forest — and the Sort-Tile-
+// Recursive pass balances *weight* rather than cardinality. Hot regions
+// therefore get smaller leaves (cheaper per-query scans), cold regions
+// get full pages.
+
+#ifndef WAZI_BASELINES_CUR_TREE_H_
+#define WAZI_BASELINES_CUR_TREE_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/rtree_base.h"
+#include "index/spatial_index.h"
+
+namespace wazi {
+
+// Weighted STR tiling: sorts `pts` into tiling order, balancing slabs and
+// leaves by `weights` (parallel to pts before sorting — the function
+// reorders both). Returns leaf offsets with end sentinel.
+std::vector<uint32_t> WeightedStrTile(std::vector<Point>* pts,
+                                      std::vector<double>* weights,
+                                      int leaf_capacity);
+
+class CurTree : public SpatialIndex {
+ public:
+  std::string name() const override { return "cur"; }
+
+  void Build(const Dataset& data, const Workload& workload,
+             const BuildOptions& opts) override;
+  void RangeQuery(const Rect& query, std::vector<Point>* out) const override;
+  void Project(const Rect& query, Projection* proj) const override;
+  bool PointQuery(const Point& p) const override;
+  bool Insert(const Point& p) override;
+  bool Remove(const Point& p) override;
+  size_t SizeBytes() const override;
+
+ private:
+  RTree tree_;
+};
+
+}  // namespace wazi
+
+#endif  // WAZI_BASELINES_CUR_TREE_H_

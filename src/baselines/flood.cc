@@ -1,0 +1,224 @@
+#include "baselines/flood.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace wazi {
+namespace {
+
+double PartKey(const Point& p, bool partition_x) {
+  return partition_x ? p.x : p.y;
+}
+double SortKey(const Point& p, bool partition_x) {
+  return partition_x ? p.y : p.x;
+}
+
+}  // namespace
+
+size_t Flood::ColumnOf(double v) const {
+  return static_cast<size_t>(
+      std::upper_bound(col_bounds_.begin(), col_bounds_.end(), v) -
+      col_bounds_.begin());
+}
+
+void Flood::BuildLayout(const std::vector<Point>& points, bool partition_x,
+                        size_t num_cols) {
+  partition_x_ = partition_x;
+  num_cols = std::max<size_t>(1, num_cols);
+  // Equi-depth boundaries on the partition dimension.
+  std::vector<double> keys;
+  keys.reserve(points.size());
+  for (const Point& p : points) keys.push_back(PartKey(p, partition_x));
+  std::sort(keys.begin(), keys.end());
+  col_bounds_.clear();
+  for (size_t c = 1; c < num_cols; ++c) {
+    const size_t pos = c * keys.size() / num_cols;
+    col_bounds_.push_back(keys[std::min(pos, keys.size() - 1)]);
+  }
+  cols_.assign(num_cols, {});
+  for (const Point& p : points) {
+    cols_[ColumnOf(PartKey(p, partition_x))].push_back(p);
+  }
+  for (std::vector<Point>& col : cols_) {
+    std::sort(col.begin(), col.end(), [&](const Point& a, const Point& b) {
+      return SortKey(a, partition_x) < SortKey(b, partition_x);
+    });
+  }
+}
+
+int64_t Flood::MeasureQueries(const std::vector<Rect>& queries) const {
+  Timer timer;
+  std::vector<Point> sink;
+  for (const Rect& q : queries) {
+    sink.clear();
+    RangeQuery(q, &sink);
+  }
+  return timer.ElapsedNs();
+}
+
+void Flood::Build(const Dataset& data, const Workload& workload,
+                  const BuildOptions& opts) {
+  const size_t n = data.points.size();
+  const size_t c0 = std::max<size_t>(
+      1, static_cast<size_t>(std::sqrt(
+             static_cast<double>(n) /
+             static_cast<double>(std::max(1, opts.leaf_capacity)))));
+
+  std::vector<Candidate> candidates;
+  for (const size_t mult_num : {1u, 2u, 4u, 8u}) {
+    for (const bool px : {true, false}) {
+      candidates.push_back(Candidate{px, std::max<size_t>(1, c0 * mult_num / 2)});
+    }
+  }
+
+  // Evaluate candidates on a sample of data and queries.
+  std::vector<Point> sample;
+  const size_t sample_n = std::min<size_t>(n, 100000);
+  if (sample_n == n) {
+    sample = data.points;
+  } else {
+    Rng rng(opts.seed + 5);
+    sample.reserve(sample_n);
+    for (size_t i = 0; i < sample_n; ++i) {
+      sample.push_back(data.points[rng.NextBelow(n)]);
+    }
+  }
+  std::vector<Rect> sample_queries;
+  {
+    Rng rng(opts.seed + 6);
+    const size_t qn =
+        std::min<size_t>(workload.queries.size(), opts.flood_sample_queries);
+    for (size_t i = 0; i < qn; ++i) {
+      sample_queries.push_back(
+          workload.queries[rng.NextBelow(workload.queries.size())]);
+    }
+  }
+
+  Candidate best = candidates.front();
+  if (!sample_queries.empty()) {
+    int64_t best_ns = 0;
+    bool first = true;
+    // Scale the candidate column count to the sample size so the chosen
+    // layout transfers to the full build.
+    const double scale = static_cast<double>(sample.size()) /
+                         static_cast<double>(std::max<size_t>(1, n));
+    for (const Candidate& cand : candidates) {
+      const size_t cols = std::max<size_t>(
+          1, static_cast<size_t>(std::lround(
+                 static_cast<double>(cand.num_cols) * std::sqrt(scale))));
+      BuildLayout(sample, cand.partition_x, cols);
+      const int64_t ns = MeasureQueries(sample_queries);
+      if (first || ns < best_ns) {
+        best = cand;
+        best_ns = ns;
+        first = false;
+      }
+    }
+  }
+  BuildLayout(data.points, best.partition_x, best.num_cols);
+  stats_.Reset();
+}
+
+void Flood::RangeQuery(const Rect& query, std::vector<Point>* out) const {
+  const double part_lo = partition_x_ ? query.min_x : query.min_y;
+  const double part_hi = partition_x_ ? query.max_x : query.max_y;
+  const double sort_lo = partition_x_ ? query.min_y : query.min_x;
+  const double sort_hi = partition_x_ ? query.max_y : query.max_x;
+  const size_t c_lo = ColumnOf(part_lo);
+  const size_t c_hi = ColumnOf(part_hi);
+  for (size_t c = c_lo; c <= c_hi && c < cols_.size(); ++c) {
+    const std::vector<Point>& col = cols_[c];
+    auto lo_it = std::lower_bound(
+        col.begin(), col.end(), sort_lo, [&](const Point& p, double v) {
+          return SortKey(p, partition_x_) < v;
+        });
+    ++stats_.pages_scanned;
+    for (auto it = lo_it; it != col.end(); ++it) {
+      if (SortKey(*it, partition_x_) > sort_hi) break;
+      ++stats_.points_scanned;
+      if (query.Contains(*it)) {
+        out->push_back(*it);
+        ++stats_.results;
+      }
+    }
+  }
+}
+
+void Flood::Project(const Rect& query, Projection* proj) const {
+  const double part_lo = partition_x_ ? query.min_x : query.min_y;
+  const double part_hi = partition_x_ ? query.max_x : query.max_y;
+  const double sort_lo = partition_x_ ? query.min_y : query.min_x;
+  const double sort_hi = partition_x_ ? query.max_y : query.max_x;
+  const size_t c_lo = ColumnOf(part_lo);
+  const size_t c_hi = ColumnOf(part_hi);
+  for (size_t c = c_lo; c <= c_hi && c < cols_.size(); ++c) {
+    const std::vector<Point>& col = cols_[c];
+    auto lo_it = std::lower_bound(
+        col.begin(), col.end(), sort_lo, [&](const Point& p, double v) {
+          return SortKey(p, partition_x_) < v;
+        });
+    auto hi_it = std::upper_bound(
+        col.begin(), col.end(), sort_hi, [&](double v, const Point& p) {
+          return v < SortKey(p, partition_x_);
+        });
+    if (lo_it != hi_it) {
+      proj->push_back(Span{&*lo_it, &*lo_it + (hi_it - lo_it)});
+    }
+  }
+}
+
+bool Flood::PointQuery(const Point& p) const {
+  if (cols_.empty()) return false;
+  const std::vector<Point>& col = cols_[ColumnOf(PartKey(p, partition_x_))];
+  const double key = SortKey(p, partition_x_);
+  auto it = std::lower_bound(col.begin(), col.end(), key,
+                             [&](const Point& q, double v) {
+                               return SortKey(q, partition_x_) < v;
+                             });
+  ++stats_.pages_scanned;
+  for (; it != col.end() && SortKey(*it, partition_x_) == key; ++it) {
+    ++stats_.points_scanned;
+    if (it->x == p.x && it->y == p.y) return true;
+  }
+  return false;
+}
+
+bool Flood::Insert(const Point& p) {
+  if (cols_.empty()) return false;
+  std::vector<Point>& col = cols_[ColumnOf(PartKey(p, partition_x_))];
+  const double key = SortKey(p, partition_x_);
+  auto it = std::upper_bound(col.begin(), col.end(), key,
+                             [&](double v, const Point& q) {
+                               return v < SortKey(q, partition_x_);
+                             });
+  col.insert(it, p);
+  return true;
+}
+
+bool Flood::Remove(const Point& p) {
+  if (cols_.empty()) return false;
+  std::vector<Point>& col = cols_[ColumnOf(PartKey(p, partition_x_))];
+  const double key = SortKey(p, partition_x_);
+  auto it = std::lower_bound(col.begin(), col.end(), key,
+                             [&](const Point& q, double v) {
+                               return SortKey(q, partition_x_) < v;
+                             });
+  for (; it != col.end() && SortKey(*it, partition_x_) == key; ++it) {
+    if (it->x == p.x && it->y == p.y) {
+      col.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t Flood::SizeBytes() const {
+  size_t bytes = sizeof(*this) + col_bounds_.capacity() * sizeof(double);
+  for (const auto& col : cols_) bytes += col.capacity() * sizeof(Point);
+  return bytes;
+}
+
+}  // namespace wazi

@@ -1,0 +1,62 @@
+#include "baselines/hrr.h"
+
+#include <algorithm>
+
+#include "sfc/hilbert.h"
+#include "sfc/rank_space.h"
+
+namespace wazi {
+
+void HilbertRTree::Build(const Dataset& data, const Workload&,
+                         const BuildOptions& opts) {
+  RankSpace ranks;
+  ranks.Build(data.points, opts.rank_bits);
+  std::vector<std::pair<uint64_t, Point>> keyed;
+  keyed.reserve(data.points.size());
+  for (const Point& p : data.points) {
+    keyed.emplace_back(
+        HilbertEncode(opts.rank_bits, ranks.XRank(p.x), ranks.YRank(p.y)), p);
+  }
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Point> pts;
+  pts.reserve(keyed.size());
+  for (const auto& kp : keyed) pts.push_back(kp.second);
+
+  std::vector<uint32_t> offsets;
+  for (size_t i = 0; i < pts.size();
+       i += static_cast<size_t>(opts.leaf_capacity)) {
+    offsets.push_back(static_cast<uint32_t>(i));
+  }
+  offsets.push_back(static_cast<uint32_t>(pts.size()));
+  if (pts.empty()) offsets.insert(offsets.begin(), 0);
+
+  RTree::Options ropts;
+  ropts.leaf_capacity = opts.leaf_capacity;
+  tree_.BulkLoad(std::move(pts), offsets, ropts);
+  stats_.Reset();
+}
+
+void HilbertRTree::RangeQuery(const Rect& query,
+                              std::vector<Point>* out) const {
+  tree_.RangeQuery(query, out, &stats_);
+}
+
+void HilbertRTree::Project(const Rect& query, Projection* proj) const {
+  tree_.Project(query, proj, &stats_);
+}
+
+bool HilbertRTree::PointQuery(const Point& p) const {
+  return tree_.PointQuery(p.x, p.y, &stats_);
+}
+
+bool HilbertRTree::Insert(const Point& p) {
+  tree_.Insert(p);
+  return true;
+}
+
+bool HilbertRTree::Remove(const Point& p) { return tree_.Remove(p.x, p.y); }
+
+size_t HilbertRTree::SizeBytes() const { return tree_.SizeBytes(); }
+
+}  // namespace wazi

@@ -1,0 +1,36 @@
+// HRR — Hilbert-packed R-tree (Qi et al., PVLDB 2018 / TODS 2020): points
+// are sorted by the Hilbert value of their rank-space coordinates, packed
+// into leaves of L, and topped with a packed R-tree. One of the paper's
+// discarded rank-space SFC baselines (Fig. 4).
+
+#ifndef WAZI_BASELINES_HRR_H_
+#define WAZI_BASELINES_HRR_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/rtree_base.h"
+#include "index/spatial_index.h"
+
+namespace wazi {
+
+class HilbertRTree : public SpatialIndex {
+ public:
+  std::string name() const override { return "hrr"; }
+
+  void Build(const Dataset& data, const Workload& workload,
+             const BuildOptions& opts) override;
+  void RangeQuery(const Rect& query, std::vector<Point>* out) const override;
+  void Project(const Rect& query, Projection* proj) const override;
+  bool PointQuery(const Point& p) const override;
+  bool Insert(const Point& p) override;
+  bool Remove(const Point& p) override;
+  size_t SizeBytes() const override;
+
+ private:
+  RTree tree_;
+};
+
+}  // namespace wazi
+
+#endif  // WAZI_BASELINES_HRR_H_

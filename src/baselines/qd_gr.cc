@@ -1,0 +1,212 @@
+#include "baselines/qd_gr.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace wazi {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Candidate cuts per node are capped; query bounds are plentiful and
+// near-duplicates add nothing.
+constexpr size_t kMaxCandidates = 64;
+
+struct Cut {
+  bool cut_x;
+  double val;
+};
+
+}  // namespace
+
+int32_t QdGreedy::BuildNode(uint32_t begin, uint32_t end, const Rect& box,
+                            std::vector<const Rect*> queries,
+                            int leaf_capacity, int depth) {
+  const size_t n = end - begin;
+  const int32_t id = static_cast<int32_t>(nodes_.size());
+  nodes_.push_back(Node{});
+  if (n <= 2 * static_cast<size_t>(leaf_capacity) || depth >= 48 ||
+      queries.empty()) {
+    nodes_[id].begin = begin;
+    nodes_[id].end = end;
+    return id;
+  }
+
+  // Candidate cuts: query bounds strictly inside the node's box.
+  std::vector<Cut> cuts;
+  for (const Rect* q : queries) {
+    if (q->min_x > box.min_x && q->min_x < box.max_x) {
+      cuts.push_back(Cut{true, q->min_x});
+    }
+    if (q->max_x > box.min_x && q->max_x < box.max_x) {
+      cuts.push_back(Cut{true, q->max_x});
+    }
+    if (q->min_y > box.min_y && q->min_y < box.max_y) {
+      cuts.push_back(Cut{false, q->min_y});
+    }
+    if (q->max_y > box.min_y && q->max_y < box.max_y) {
+      cuts.push_back(Cut{false, q->max_y});
+    }
+    if (cuts.size() >= 4 * kMaxCandidates) break;
+  }
+  if (cuts.size() > kMaxCandidates) {
+    // Deterministic thinning: keep every k-th candidate.
+    std::vector<Cut> thinned;
+    const size_t step = cuts.size() / kMaxCandidates + 1;
+    for (size_t i = 0; i < cuts.size(); i += step) thinned.push_back(cuts[i]);
+    cuts = std::move(thinned);
+  }
+
+  // Greedy objective: records scanned by the node's queries. Without a
+  // cut every query scans all n records.
+  const double no_cut_cost =
+      static_cast<double>(queries.size()) * static_cast<double>(n);
+  double best_cost = no_cut_cost;
+  Cut best_cut{true, 0.0};
+  bool found = false;
+  for (const Cut& cut : cuts) {
+    size_t n_left = 0;
+    for (uint32_t i = begin; i < end; ++i) {
+      const double v = cut.cut_x ? data_[i].x : data_[i].y;
+      if (v <= cut.val) ++n_left;
+    }
+    const size_t n_right = n - n_left;
+    if (n_left == 0 || n_right == 0) continue;
+    double cost = 0.0;
+    for (const Rect* q : queries) {
+      const double q_lo = cut.cut_x ? q->min_x : q->min_y;
+      const double q_hi = cut.cut_x ? q->max_x : q->max_y;
+      if (q_lo <= cut.val) cost += static_cast<double>(n_left);
+      if (q_hi > cut.val) cost += static_cast<double>(n_right);
+    }
+    if (cost < best_cost) {
+      best_cost = cost;
+      best_cut = cut;
+      found = true;
+    }
+  }
+  if (!found) {
+    nodes_[id].begin = begin;
+    nodes_[id].end = end;
+    return id;
+  }
+
+  const auto mid_it = std::partition(
+      data_.begin() + begin, data_.begin() + end, [&](const Point& p) {
+        return (best_cut.cut_x ? p.x : p.y) <= best_cut.val;
+      });
+  const uint32_t mid = static_cast<uint32_t>(mid_it - data_.begin());
+
+  Rect left_box = box, right_box = box;
+  if (best_cut.cut_x) {
+    left_box.max_x = best_cut.val;
+    right_box.min_x = best_cut.val;
+  } else {
+    left_box.max_y = best_cut.val;
+    right_box.min_y = best_cut.val;
+  }
+  std::vector<const Rect*> left_q, right_q;
+  for (const Rect* q : queries) {
+    const double q_lo = best_cut.cut_x ? q->min_x : q->min_y;
+    const double q_hi = best_cut.cut_x ? q->max_x : q->max_y;
+    if (q_lo <= best_cut.val) left_q.push_back(q);
+    if (q_hi > best_cut.val) right_q.push_back(q);
+  }
+
+  nodes_[id].cut_x = best_cut.cut_x;
+  nodes_[id].cut_val = best_cut.val;
+  const int32_t left = BuildNode(begin, mid, left_box, std::move(left_q),
+                                 leaf_capacity, depth + 1);
+  nodes_[id].left = left;
+  const int32_t right = BuildNode(mid, end, right_box, std::move(right_q),
+                                  leaf_capacity, depth + 1);
+  nodes_[id].right = right;
+  return id;
+}
+
+void QdGreedy::Build(const Dataset& data, const Workload& workload,
+                     const BuildOptions& opts) {
+  data_ = data.points;
+  nodes_.clear();
+  std::vector<const Rect*> queries;
+  queries.reserve(workload.queries.size());
+  for (const Rect& q : workload.queries) queries.push_back(&q);
+  const Rect box = Rect::Of(-kInf, -kInf, kInf, kInf);
+  root_ = BuildNode(0, static_cast<uint32_t>(data_.size()), box,
+                    std::move(queries), opts.leaf_capacity, 0);
+  stats_.Reset();
+}
+
+void QdGreedy::RangeQuery(const Rect& query, std::vector<Point>* out) const {
+  if (root_ < 0) return;
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.is_leaf()) {
+      ++stats_.pages_scanned;
+      for (uint32_t i = node.begin; i < node.end; ++i) {
+        ++stats_.points_scanned;
+        if (query.Contains(data_[i])) {
+          out->push_back(data_[i]);
+          ++stats_.results;
+        }
+      }
+      continue;
+    }
+    ++stats_.bbs_checked;
+    const double q_lo = node.cut_x ? query.min_x : query.min_y;
+    const double q_hi = node.cut_x ? query.max_x : query.max_y;
+    if (q_lo <= node.cut_val) stack.push_back(node.left);
+    if (q_hi > node.cut_val) stack.push_back(node.right);
+  }
+}
+
+void QdGreedy::Project(const Rect& query, Projection* proj) const {
+  if (root_ < 0) return;
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (node.is_leaf()) {
+      if (node.end > node.begin) {
+        proj->push_back(
+            Span{data_.data() + node.begin, data_.data() + node.end});
+      }
+      continue;
+    }
+    const double q_lo = node.cut_x ? query.min_x : query.min_y;
+    const double q_hi = node.cut_x ? query.max_x : query.max_y;
+    if (q_lo <= node.cut_val) stack.push_back(node.left);
+    if (q_hi > node.cut_val) stack.push_back(node.right);
+  }
+}
+
+bool QdGreedy::PointQuery(const Point& p) const {
+  if (root_ < 0) return false;
+  int32_t id = root_;
+  while (!nodes_[id].is_leaf()) {
+    const Node& node = nodes_[id];
+    const double v = node.cut_x ? p.x : p.y;
+    id = (v <= node.cut_val) ? node.left : node.right;
+  }
+  const Node& leaf = nodes_[id];
+  ++stats_.pages_scanned;
+  for (uint32_t i = leaf.begin; i < leaf.end; ++i) {
+    ++stats_.points_scanned;
+    if (data_[i].x == p.x && data_[i].y == p.y) return true;
+  }
+  return false;
+}
+
+size_t QdGreedy::num_leaves() const {
+  size_t count = 0;
+  for (const Node& n : nodes_) count += n.is_leaf();
+  return count;
+}
+
+size_t QdGreedy::SizeBytes() const {
+  return sizeof(*this) + data_.capacity() * sizeof(Point) +
+         nodes_.capacity() * sizeof(Node);
+}
+
+}  // namespace wazi

@@ -1,0 +1,55 @@
+// Greedy Qd-tree (Yang et al., SIGMOD 2020, "Qd-tree: Learning Data
+// Layouts for Big Data Analytics") — the greedy variant used by the paper
+// (§6.1), since the RL variant's action space is infeasible here. A binary
+// cut tree: candidate cuts come from the bounds of workload queries that
+// overlap a node; the greedy objective is the total number of records
+// scanned by the workload (a query scans every block it overlaps); leaves
+// are blocks of at least the page size.
+
+#ifndef WAZI_BASELINES_QD_GR_H_
+#define WAZI_BASELINES_QD_GR_H_
+
+#include <string>
+#include <vector>
+
+#include "index/spatial_index.h"
+
+namespace wazi {
+
+class QdGreedy : public SpatialIndex {
+ public:
+  std::string name() const override { return "qd-gr"; }
+
+  void Build(const Dataset& data, const Workload& workload,
+             const BuildOptions& opts) override;
+  void RangeQuery(const Rect& query, std::vector<Point>* out) const override;
+  void Project(const Rect& query, Projection* proj) const override;
+  bool PointQuery(const Point& p) const override;
+  size_t SizeBytes() const override;
+
+  size_t num_leaves() const;
+
+ private:
+  struct Node {
+    bool cut_x = false;
+    double cut_val = 0.0;
+    int32_t left = -1;   // <= cut_val side; -1 iff leaf
+    int32_t right = -1;
+    uint32_t begin = 0;  // leaf block range in data_
+    uint32_t end = 0;
+
+    bool is_leaf() const { return left < 0; }
+  };
+
+  int32_t BuildNode(uint32_t begin, uint32_t end, const Rect& box,
+                    std::vector<const Rect*> queries, int leaf_capacity,
+                    int depth);
+
+  std::vector<Point> data_;
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+};
+
+}  // namespace wazi
+
+#endif  // WAZI_BASELINES_QD_GR_H_

@@ -1,0 +1,255 @@
+#include "baselines/quasii.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace wazi {
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+size_t Quasii::SliceContaining(double x) const {
+  // Last slice with x_lo <= x.
+  size_t lo = 0, hi = slices_.size();
+  while (hi - lo > 1) {
+    const size_t mid = (lo + hi) / 2;
+    if (slices_[mid].x_lo <= x) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void Quasii::CrackX(double v) {
+  if (slices_.empty()) return;
+  const size_t idx = SliceContaining(v);
+  Slice& s = slices_[idx];
+  if (s.x_lo >= v || s.end - s.begin <= tau1_) return;
+  const auto mid_it =
+      std::partition(data_.begin() + s.begin, data_.begin() + s.end,
+                     [&](const Point& p) { return p.x <= v; });
+  const uint32_t mid = static_cast<uint32_t>(mid_it - data_.begin());
+  Slice right;
+  right.x_lo = v;
+  right.begin = mid;
+  right.end = s.end;
+  right.subs = {Sub{kNegInf, right.begin, right.end}};
+  s.end = mid;
+  s.subs = {Sub{kNegInf, s.begin, s.end}};
+  slices_.insert(slices_.begin() + idx + 1, std::move(right));
+}
+
+void Quasii::ChopSliceX(size_t slice_idx) {
+  // Equal-count chop of an oversized slice into tau1-sized slices.
+  Slice s = slices_[slice_idx];
+  const size_t n = s.end - s.begin;
+  if (n <= tau1_) return;
+  std::sort(data_.begin() + s.begin, data_.begin() + s.end,
+            [](const Point& a, const Point& b) { return a.x < b.x; });
+  std::vector<Slice> pieces;
+  for (uint32_t b = s.begin; b < s.end;
+       b += static_cast<uint32_t>(tau1_)) {
+    const uint32_t e =
+        std::min<uint32_t>(s.end, b + static_cast<uint32_t>(tau1_));
+    Slice piece;
+    piece.x_lo = (b == s.begin) ? s.x_lo : data_[b].x;
+    piece.begin = b;
+    piece.end = e;
+    piece.subs = {Sub{kNegInf, b, e}};
+    pieces.push_back(std::move(piece));
+  }
+  slices_.erase(slices_.begin() + slice_idx);
+  slices_.insert(slices_.begin() + slice_idx,
+                 std::make_move_iterator(pieces.begin()),
+                 std::make_move_iterator(pieces.end()));
+}
+
+void Quasii::CrackY(Slice& slice, double v) {
+  // Last sub with y_lo <= v.
+  size_t lo = 0, hi = slice.subs.size();
+  while (hi - lo > 1) {
+    const size_t mid = (lo + hi) / 2;
+    if (slice.subs[mid].y_lo <= v) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  Sub& sub = slice.subs[lo];
+  if (sub.y_lo >= v ||
+      sub.end - sub.begin <= static_cast<uint32_t>(leaf_capacity_)) {
+    return;
+  }
+  const auto mid_it =
+      std::partition(data_.begin() + sub.begin, data_.begin() + sub.end,
+                     [&](const Point& p) { return p.y <= v; });
+  const uint32_t mid = static_cast<uint32_t>(mid_it - data_.begin());
+  Sub right{v, mid, sub.end};
+  sub.end = mid;
+  slice.subs.insert(slice.subs.begin() + lo + 1, right);
+}
+
+void Quasii::ChopSubY(Slice& slice, size_t sub_idx) {
+  Sub sub = slice.subs[sub_idx];
+  const uint32_t cap = static_cast<uint32_t>(leaf_capacity_);
+  if (sub.end - sub.begin <= cap) return;
+  std::sort(data_.begin() + sub.begin, data_.begin() + sub.end,
+            [](const Point& a, const Point& b) { return a.y < b.y; });
+  std::vector<Sub> pieces;
+  for (uint32_t b = sub.begin; b < sub.end; b += cap) {
+    const uint32_t e = std::min<uint32_t>(sub.end, b + cap);
+    pieces.push_back(Sub{(b == sub.begin) ? sub.y_lo : data_[b].y, b, e});
+  }
+  slice.subs.erase(slice.subs.begin() + sub_idx);
+  slice.subs.insert(slice.subs.begin() + sub_idx, pieces.begin(),
+                    pieces.end());
+}
+
+void Quasii::AdaptiveQuery(const Rect& query, std::vector<Point>* out) {
+  CrackX(query.min_x);
+  CrackX(query.max_x);
+  // Chop oversized slices fully inside the query's x-range.
+  for (size_t i = 0; i < slices_.size(); ++i) {
+    const double x_hi = (i + 1 < slices_.size())
+                            ? slices_[i + 1].x_lo
+                            : std::numeric_limits<double>::infinity();
+    if (slices_[i].x_lo >= query.min_x && x_hi <= query.max_x &&
+        slices_[i].end - slices_[i].begin > tau1_) {
+      ChopSliceX(i);
+    }
+  }
+  // Level 2 within overlapping slices.
+  for (size_t i = 0; i < slices_.size(); ++i) {
+    const double x_hi = (i + 1 < slices_.size())
+                            ? slices_[i + 1].x_lo
+                            : std::numeric_limits<double>::infinity();
+    if (slices_[i].x_lo > query.max_x || x_hi < query.min_x) continue;
+    Slice& s = slices_[i];
+    CrackY(s, query.min_y);
+    CrackY(s, query.max_y);
+    for (size_t j = 0; j < s.subs.size(); ++j) {
+      const double y_hi = (j + 1 < s.subs.size())
+                              ? s.subs[j + 1].y_lo
+                              : std::numeric_limits<double>::infinity();
+      if (s.subs[j].y_lo >= query.min_y && y_hi <= query.max_y) {
+        ChopSubY(s, j);
+      }
+    }
+  }
+  RangeQuery(query, out);
+}
+
+void Quasii::Build(const Dataset& data, const Workload& workload,
+                   const BuildOptions& opts) {
+  data_ = data.points;
+  leaf_capacity_ = opts.leaf_capacity;
+  tau1_ = static_cast<size_t>(std::ceil(
+      std::sqrt(static_cast<double>(std::max<size_t>(1, data_.size())) *
+                static_cast<double>(leaf_capacity_))));
+  slices_.clear();
+  Slice all;
+  all.x_lo = kNegInf;
+  all.begin = 0;
+  all.end = static_cast<uint32_t>(data_.size());
+  all.subs = {Sub{kNegInf, 0, all.end}};
+  slices_.push_back(std::move(all));
+
+  std::vector<Point> sink;
+  for (int pass = 0; pass < opts.quasii_passes; ++pass) {
+    for (const Rect& q : workload.queries) {
+      sink.clear();
+      AdaptiveQuery(q, &sink);
+    }
+  }
+  stats_.Reset();
+}
+
+void Quasii::RangeQuery(const Rect& query, std::vector<Point>* out) const {
+  for (size_t i = slices_.empty() ? 0 : SliceContaining(query.min_x);
+       i < slices_.size() && slices_[i].x_lo <= query.max_x; ++i) {
+    const Slice& s = slices_[i];
+    ++stats_.bbs_checked;
+    // Subs overlapping [min_y, max_y].
+    size_t lo = 0, hi = s.subs.size();
+    while (hi - lo > 1) {
+      const size_t mid = (lo + hi) / 2;
+      if (s.subs[mid].y_lo <= query.min_y) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    for (size_t j = lo; j < s.subs.size() && s.subs[j].y_lo <= query.max_y;
+         ++j) {
+      const Sub& sub = s.subs[j];
+      ++stats_.bbs_checked;
+      ++stats_.pages_scanned;
+      for (uint32_t k = sub.begin; k < sub.end; ++k) {
+        ++stats_.points_scanned;
+        if (query.Contains(data_[k])) {
+          out->push_back(data_[k]);
+          ++stats_.results;
+        }
+      }
+    }
+  }
+}
+
+void Quasii::Project(const Rect& query, Projection* proj) const {
+  for (size_t i = slices_.empty() ? 0 : SliceContaining(query.min_x);
+       i < slices_.size() && slices_[i].x_lo <= query.max_x; ++i) {
+    const Slice& s = slices_[i];
+    size_t lo = 0, hi = s.subs.size();
+    while (hi - lo > 1) {
+      const size_t mid = (lo + hi) / 2;
+      if (s.subs[mid].y_lo <= query.min_y) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    for (size_t j = lo; j < s.subs.size() && s.subs[j].y_lo <= query.max_y;
+         ++j) {
+      const Sub& sub = s.subs[j];
+      if (sub.end > sub.begin) {
+        proj->push_back(
+            Span{data_.data() + sub.begin, data_.data() + sub.end});
+      }
+    }
+  }
+}
+
+bool Quasii::PointQuery(const Point& p) const {
+  if (slices_.empty()) return false;
+  const Slice& s = slices_[SliceContaining(p.x)];
+  size_t lo = 0, hi = s.subs.size();
+  while (hi - lo > 1) {
+    const size_t mid = (lo + hi) / 2;
+    if (s.subs[mid].y_lo <= p.y) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const Sub& sub = s.subs[lo];
+  ++stats_.pages_scanned;
+  for (uint32_t k = sub.begin; k < sub.end; ++k) {
+    ++stats_.points_scanned;
+    if (data_[k].x == p.x && data_[k].y == p.y) return true;
+  }
+  return false;
+}
+
+size_t Quasii::SizeBytes() const {
+  size_t bytes = sizeof(*this) + data_.capacity() * sizeof(Point) +
+                 slices_.capacity() * sizeof(Slice);
+  for (const Slice& s : slices_) bytes += s.subs.capacity() * sizeof(Sub);
+  return bytes;
+}
+
+}  // namespace wazi

@@ -1,0 +1,64 @@
+// QUASII — QUery-Aware Spatial Incremental Index (Pavlovic et al., EDBT
+// 2018): a two-level spatial cracking index. Level 1 cracks the point
+// array on query x-bounds into slices of target size tau1 = sqrt(N*L);
+// level 2 cracks each slice on query y-bounds into sub-slices of target
+// size L. Matching the paper's setup (§6.1), Build() replays the training
+// workload until the cracks converge, and the measured query path is the
+// read-only (non-adaptive) one.
+
+#ifndef WAZI_BASELINES_QUASII_H_
+#define WAZI_BASELINES_QUASII_H_
+
+#include <string>
+#include <vector>
+
+#include "index/spatial_index.h"
+
+namespace wazi {
+
+class Quasii : public SpatialIndex {
+ public:
+  std::string name() const override { return "quasii"; }
+
+  void Build(const Dataset& data, const Workload& workload,
+             const BuildOptions& opts) override;
+  void RangeQuery(const Rect& query, std::vector<Point>* out) const override;
+  void Project(const Rect& query, Projection* proj) const override;
+  bool PointQuery(const Point& p) const override;
+  size_t SizeBytes() const override;
+
+  // Adaptive query: cracks the structure, then returns results. Exposed
+  // so tests and the cost-redemption bench can exercise incremental
+  // behaviour directly.
+  void AdaptiveQuery(const Rect& query, std::vector<Point>* out);
+
+  size_t num_slices() const { return slices_.size(); }
+
+ private:
+  struct Sub {
+    double y_lo;     // lower y bound (first sub: -inf)
+    uint32_t begin;  // absolute range in data_
+    uint32_t end;
+  };
+  struct Slice {
+    double x_lo;  // lower x bound (first slice: -inf)
+    uint32_t begin;
+    uint32_t end;
+    std::vector<Sub> subs;
+  };
+
+  void CrackX(double v);
+  void ChopSliceX(size_t slice_idx);
+  void CrackY(Slice& slice, double v);
+  void ChopSubY(Slice& slice, size_t sub_idx);
+  size_t SliceContaining(double x) const;
+
+  std::vector<Point> data_;
+  std::vector<Slice> slices_;
+  size_t tau1_ = 0;
+  int leaf_capacity_ = 256;
+};
+
+}  // namespace wazi
+
+#endif  // WAZI_BASELINES_QUASII_H_

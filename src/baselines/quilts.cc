@@ -1,0 +1,227 @@
+#include "baselines/quilts.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace wazi {
+
+uint64_t ComposeKey(const BitPattern& pattern, uint32_t x, uint32_t y,
+                    int bits) {
+  uint64_t key = 0;
+  int next_x = bits - 1;  // next (highest remaining) source bit per dim
+  int next_y = bits - 1;
+  for (const uint8_t take_y : pattern) {
+    uint64_t bit;
+    if (take_y) {
+      bit = (y >> next_y) & 1u;
+      --next_y;
+    } else {
+      bit = (x >> next_x) & 1u;
+      --next_x;
+    }
+    key = (key << 1) | bit;
+  }
+  return key;
+}
+
+std::vector<BitPattern> QuiltsCandidatePatterns(int bits) {
+  std::vector<BitPattern> patterns;
+  // Alternating (Z-order), both phases.
+  for (const int start_y : {0, 1}) {
+    BitPattern p;
+    for (int i = 0; i < 2 * bits; ++i) {
+      p.push_back(static_cast<uint8_t>((i + start_y) % 2));
+    }
+    patterns.push_back(std::move(p));
+  }
+  // Block patterns: k x-bits then k y-bits, alternating; and the reverse.
+  for (const int k : {2, 4, 8}) {
+    for (const int y_first : {0, 1}) {
+      BitPattern p;
+      int cx = bits, cy = bits;
+      int phase = y_first;
+      while (cx > 0 || cy > 0) {
+        const int take_y = phase % 2;
+        int* counter = take_y ? &cy : &cx;
+        for (int i = 0; i < k && *counter > 0; ++i) {
+          p.push_back(static_cast<uint8_t>(take_y));
+          --(*counter);
+        }
+        ++phase;
+      }
+      patterns.push_back(std::move(p));
+    }
+  }
+  // Column-major (all x, then y) and row-major.
+  {
+    BitPattern col(2 * bits, 0);
+    std::fill(col.begin() + bits, col.end(), 1);
+    patterns.push_back(col);
+    BitPattern row(2 * bits, 1);
+    std::fill(row.begin() + bits, row.end(), 0);
+    patterns.push_back(row);
+  }
+  return patterns;
+}
+
+uint64_t Quilts::KeyOf(double x, double y) const {
+  return ComposeKey(pattern_, ranks_.XRank(x), ranks_.YRank(y), bits_);
+}
+
+void Quilts::Build(const Dataset& data, const Workload& workload,
+                   const BuildOptions& opts) {
+  bits_ = opts.rank_bits;
+  ranks_.Build(data.points, bits_);
+
+  // Choose the pattern with the fewest false positives on a sample.
+  const std::vector<BitPattern> candidates = QuiltsCandidatePatterns(bits_);
+  std::vector<Point> sample;
+  {
+    Rng rng(opts.seed + 31);
+    const size_t sn = std::min<size_t>(data.points.size(), 20000);
+    sample.reserve(sn);
+    for (size_t i = 0; i < sn; ++i) {
+      sample.push_back(data.points[rng.NextBelow(data.points.size())]);
+    }
+  }
+  std::vector<Rect> squeries;
+  {
+    Rng rng(opts.seed + 32);
+    const size_t qn = std::min<size_t>(workload.queries.size(), 200);
+    for (size_t i = 0; i < qn; ++i) {
+      squeries.push_back(
+          workload.queries[rng.NextBelow(workload.queries.size())]);
+    }
+  }
+  pattern_ = candidates.front();
+  if (!sample.empty() && !squeries.empty()) {
+    // True in-box counts are pattern-independent.
+    std::vector<int64_t> truth(squeries.size(), 0);
+    for (size_t qi = 0; qi < squeries.size(); ++qi) {
+      for (const Point& p : sample) {
+        if (squeries[qi].Contains(p)) ++truth[qi];
+      }
+    }
+    int64_t best_cost = 0;
+    bool first = true;
+    for (const BitPattern& pat : candidates) {
+      std::vector<uint64_t> keys;
+      keys.reserve(sample.size());
+      for (const Point& p : sample) {
+        keys.push_back(
+            ComposeKey(pat, ranks_.XRank(p.x), ranks_.YRank(p.y), bits_));
+      }
+      std::sort(keys.begin(), keys.end());
+      int64_t cost = 0;
+      for (size_t qi = 0; qi < squeries.size(); ++qi) {
+        const Rect& q = squeries[qi];
+        const uint64_t klo =
+            ComposeKey(pat, ranks_.XRank(q.min_x), ranks_.YRank(q.min_y),
+                       bits_);
+        const uint64_t khi =
+            ComposeKey(pat, ranks_.XRank(q.max_x), ranks_.YRank(q.max_y),
+                       bits_);
+        const int64_t in_range =
+            std::upper_bound(keys.begin(), keys.end(), khi) -
+            std::lower_bound(keys.begin(), keys.end(), klo);
+        cost += in_range - truth[qi];
+      }
+      if (first || cost < best_cost) {
+        best_cost = cost;
+        pattern_ = pat;
+        first = false;
+      }
+    }
+  }
+
+  // Final layout: sort by key, pack leaves of L with MBRs.
+  std::vector<std::pair<uint64_t, Point>> keyed;
+  keyed.reserve(data.points.size());
+  for (const Point& p : data.points) keyed.emplace_back(KeyOf(p.x, p.y), p);
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  pts_.clear();
+  keys_.clear();
+  pts_.reserve(keyed.size());
+  keys_.reserve(keyed.size());
+  for (const auto& kp : keyed) {
+    keys_.push_back(kp.first);
+    pts_.push_back(kp.second);
+  }
+  leaf_off_.clear();
+  leaf_mbr_.clear();
+  for (size_t i = 0; i < pts_.size();
+       i += static_cast<size_t>(opts.leaf_capacity)) {
+    leaf_off_.push_back(static_cast<uint32_t>(i));
+    Rect mbr;
+    const size_t end =
+        std::min(pts_.size(), i + static_cast<size_t>(opts.leaf_capacity));
+    for (size_t j = i; j < end; ++j) mbr.Expand(pts_[j]);
+    leaf_mbr_.push_back(mbr);
+  }
+  leaf_off_.push_back(static_cast<uint32_t>(pts_.size()));
+  stats_.Reset();
+}
+
+template <typename LeafFn>
+void Quilts::WalkLeaves(const Rect& query, LeafFn&& fn) const {
+  if (pts_.empty()) return;
+  const uint64_t klo = KeyOf(query.min_x, query.min_y);
+  const uint64_t khi = KeyOf(query.max_x, query.max_y);
+  // First and last leaves whose key range intersects [klo, khi].
+  const size_t plo = static_cast<size_t>(
+      std::lower_bound(keys_.begin(), keys_.end(), klo) - keys_.begin());
+  const size_t phi = static_cast<size_t>(
+      std::upper_bound(keys_.begin(), keys_.end(), khi) - keys_.begin());
+  if (plo >= phi) return;
+  const size_t leaf_lo = plo / (leaf_off_[1] - leaf_off_[0]);
+  const size_t leaf_hi = (phi - 1) / (leaf_off_[1] - leaf_off_[0]);
+  for (size_t leaf = leaf_lo; leaf <= leaf_hi && leaf + 1 < leaf_off_.size();
+       ++leaf) {
+    ++stats_.bbs_checked;
+    if (leaf_mbr_[leaf].Overlaps(query)) fn(leaf);
+  }
+}
+
+void Quilts::RangeQuery(const Rect& query, std::vector<Point>* out) const {
+  WalkLeaves(query, [&](size_t leaf) {
+    ++stats_.pages_scanned;
+    for (uint32_t i = leaf_off_[leaf]; i < leaf_off_[leaf + 1]; ++i) {
+      ++stats_.points_scanned;
+      if (query.Contains(pts_[i])) {
+        out->push_back(pts_[i]);
+        ++stats_.results;
+      }
+    }
+  });
+}
+
+void Quilts::Project(const Rect& query, Projection* proj) const {
+  WalkLeaves(query, [&](size_t leaf) {
+    proj->push_back(Span{pts_.data() + leaf_off_[leaf],
+                         pts_.data() + leaf_off_[leaf + 1]});
+  });
+}
+
+bool Quilts::PointQuery(const Point& p) const {
+  if (pts_.empty()) return false;
+  const uint64_t key = KeyOf(p.x, p.y);
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+  ++stats_.pages_scanned;
+  for (size_t i = static_cast<size_t>(it - keys_.begin());
+       i < keys_.size() && keys_[i] == key; ++i) {
+    ++stats_.points_scanned;
+    if (pts_[i].x == p.x && pts_[i].y == p.y) return true;
+  }
+  return false;
+}
+
+size_t Quilts::SizeBytes() const {
+  return sizeof(*this) + pts_.capacity() * sizeof(Point) +
+         keys_.capacity() * sizeof(uint64_t) +
+         leaf_off_.capacity() * sizeof(uint32_t) +
+         leaf_mbr_.capacity() * sizeof(Rect) + ranks_.SizeBytes();
+}
+
+}  // namespace wazi

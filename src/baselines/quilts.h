@@ -1,0 +1,62 @@
+// QUILTS (Nishimura & Yokota, SIGMOD 2017), simplified: a query-aware
+// choice among candidate bit-interleaving space-filling curve patterns.
+// Each pattern assigns the 2*rank_bits key bits (MSB first) to the x or y
+// rank; candidates range from plain Z-order through block patterns to
+// column/row-major. The pattern whose 1-D key interval yields the fewest
+// false positives on a workload sample wins; points are then sorted by
+// that key and packed into leaves with MBRs.
+
+#ifndef WAZI_BASELINES_QUILTS_H_
+#define WAZI_BASELINES_QUILTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/spatial_index.h"
+#include "sfc/rank_space.h"
+
+namespace wazi {
+
+// A bit-interleaving pattern: entry i (MSB-first) is 0 to take the next x
+// bit, 1 for the next y bit. Patterns must contain `bits` zeros and ones.
+using BitPattern = std::vector<uint8_t>;
+
+// Composes the key for rank-space coordinates under `pattern`.
+uint64_t ComposeKey(const BitPattern& pattern, uint32_t x, uint32_t y,
+                    int bits);
+
+// Candidate patterns evaluated by QUILTS (see .cc for the lineup).
+std::vector<BitPattern> QuiltsCandidatePatterns(int bits);
+
+class Quilts : public SpatialIndex {
+ public:
+  std::string name() const override { return "quilts"; }
+
+  void Build(const Dataset& data, const Workload& workload,
+             const BuildOptions& opts) override;
+  void RangeQuery(const Rect& query, std::vector<Point>* out) const override;
+  void Project(const Rect& query, Projection* proj) const override;
+  bool PointQuery(const Point& p) const override;
+  size_t SizeBytes() const override;
+
+  const BitPattern& chosen_pattern() const { return pattern_; }
+
+ private:
+  uint64_t KeyOf(double x, double y) const;
+
+  template <typename LeafFn>
+  void WalkLeaves(const Rect& query, LeafFn&& fn) const;
+
+  RankSpace ranks_;
+  BitPattern pattern_;
+  int bits_ = 16;
+  std::vector<Point> pts_;          // sorted by key
+  std::vector<uint64_t> keys_;      // parallel to pts_
+  std::vector<uint32_t> leaf_off_;  // leaf i: [leaf_off_[i], leaf_off_[i+1])
+  std::vector<Rect> leaf_mbr_;
+};
+
+}  // namespace wazi
+
+#endif  // WAZI_BASELINES_QUILTS_H_

@@ -1,0 +1,8 @@
+// Index factory: create any index by its canonical name.
+
+#ifndef WAZI_BASELINES_REGISTRY_H_
+#define WAZI_BASELINES_REGISTRY_H_
+
+#include "index/spatial_index.h"
+
+#endif  // WAZI_BASELINES_REGISTRY_H_

@@ -1,0 +1,107 @@
+#include "baselines/rsmi_lite.h"
+
+#include <algorithm>
+
+#include "sfc/zcurve.h"
+
+namespace wazi {
+
+uint64_t RsmiLite::ZOf(double x, double y) const {
+  return ZEncode(ranks_.XRank(x), ranks_.YRank(y));
+}
+
+void RsmiLite::Build(const Dataset& data, const Workload&,
+                     const BuildOptions& opts) {
+  leaf_capacity_ = opts.leaf_capacity;
+  ranks_.Build(data.points, opts.rank_bits);
+  std::vector<std::pair<uint64_t, Point>> keyed;
+  keyed.reserve(data.points.size());
+  for (const Point& p : data.points) keyed.emplace_back(ZOf(p.x, p.y), p);
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  pts_.clear();
+  keys_.clear();
+  pts_.reserve(keyed.size());
+  keys_.reserve(keyed.size());
+  for (const auto& kp : keyed) {
+    keys_.push_back(kp.first);
+    pts_.push_back(kp.second);
+  }
+  const size_t leaves =
+      std::max<size_t>(1, keys_.size() / (8 * static_cast<size_t>(
+                                                  opts.leaf_capacity)));
+  rmi_.Build(keys_, leaves);
+
+  leaf_off_.clear();
+  leaf_mbr_.clear();
+  for (size_t i = 0; i < pts_.size();
+       i += static_cast<size_t>(leaf_capacity_)) {
+    leaf_off_.push_back(static_cast<uint32_t>(i));
+    Rect mbr;
+    const size_t end =
+        std::min(pts_.size(), i + static_cast<size_t>(leaf_capacity_));
+    for (size_t j = i; j < end; ++j) mbr.Expand(pts_[j]);
+    leaf_mbr_.push_back(mbr);
+  }
+  leaf_off_.push_back(static_cast<uint32_t>(pts_.size()));
+  stats_.Reset();
+}
+
+template <typename LeafFn>
+void RsmiLite::WalkLeaves(const Rect& query, LeafFn&& fn) const {
+  if (pts_.empty()) return;
+  const uint64_t zlo = ZOf(query.min_x, query.min_y);
+  const uint64_t zhi = ZOf(query.max_x, query.max_y);
+  const size_t plo = rmi_.LowerBound(zlo);
+  size_t phi = rmi_.LowerBound(zhi);
+  while (phi < keys_.size() && keys_[phi] <= zhi) ++phi;
+  if (plo >= phi) return;
+  const size_t cap = static_cast<size_t>(leaf_capacity_);
+  const size_t leaf_lo = plo / cap;
+  const size_t leaf_hi = (phi - 1) / cap;
+  for (size_t leaf = leaf_lo; leaf <= leaf_hi && leaf + 1 < leaf_off_.size();
+       ++leaf) {
+    ++stats_.bbs_checked;
+    if (leaf_mbr_[leaf].Overlaps(query)) fn(leaf);
+  }
+}
+
+void RsmiLite::RangeQuery(const Rect& query, std::vector<Point>* out) const {
+  WalkLeaves(query, [&](size_t leaf) {
+    ++stats_.pages_scanned;
+    for (uint32_t i = leaf_off_[leaf]; i < leaf_off_[leaf + 1]; ++i) {
+      ++stats_.points_scanned;
+      if (query.Contains(pts_[i])) {
+        out->push_back(pts_[i]);
+        ++stats_.results;
+      }
+    }
+  });
+}
+
+void RsmiLite::Project(const Rect& query, Projection* proj) const {
+  WalkLeaves(query, [&](size_t leaf) {
+    proj->push_back(Span{pts_.data() + leaf_off_[leaf],
+                         pts_.data() + leaf_off_[leaf + 1]});
+  });
+}
+
+bool RsmiLite::PointQuery(const Point& p) const {
+  if (pts_.empty()) return false;
+  const uint64_t z = ZOf(p.x, p.y);
+  ++stats_.pages_scanned;
+  for (size_t i = rmi_.LowerBound(z); i < keys_.size() && keys_[i] == z; ++i) {
+    ++stats_.points_scanned;
+    if (pts_[i].x == p.x && pts_[i].y == p.y) return true;
+  }
+  return false;
+}
+
+size_t RsmiLite::SizeBytes() const {
+  return sizeof(*this) + pts_.capacity() * sizeof(Point) +
+         keys_.capacity() * sizeof(uint64_t) + rmi_.SizeBytes() +
+         leaf_off_.capacity() * sizeof(uint32_t) +
+         leaf_mbr_.capacity() * sizeof(Rect) + ranks_.SizeBytes();
+}
+
+}  // namespace wazi

@@ -1,0 +1,49 @@
+// RSMI-lite — a simplified Recursive Spatial Model Index (Qi et al.,
+// PVLDB 2020): rank-space Z-order codes indexed by a two-level RMI, with
+// points packed into pages of L carrying MBRs. Range queries locate the
+// code interval through the learned model and scan pages that pass the
+// MBR check (ZM/RSMI-style execution in the rank space, which is exactly
+// the design the paper discards after Fig. 4).
+
+#ifndef WAZI_BASELINES_RSMI_LITE_H_
+#define WAZI_BASELINES_RSMI_LITE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/spatial_index.h"
+#include "learned/rmi.h"
+#include "sfc/rank_space.h"
+
+namespace wazi {
+
+class RsmiLite : public SpatialIndex {
+ public:
+  std::string name() const override { return "rsmi"; }
+
+  void Build(const Dataset& data, const Workload& workload,
+             const BuildOptions& opts) override;
+  void RangeQuery(const Rect& query, std::vector<Point>* out) const override;
+  void Project(const Rect& query, Projection* proj) const override;
+  bool PointQuery(const Point& p) const override;
+  size_t SizeBytes() const override;
+
+ private:
+  uint64_t ZOf(double x, double y) const;
+
+  template <typename LeafFn>
+  void WalkLeaves(const Rect& query, LeafFn&& fn) const;
+
+  RankSpace ranks_;
+  std::vector<Point> pts_;
+  std::vector<uint64_t> keys_;
+  Rmi rmi_;
+  std::vector<uint32_t> leaf_off_;
+  std::vector<Rect> leaf_mbr_;
+  int leaf_capacity_ = 256;
+};
+
+}  // namespace wazi
+
+#endif  // WAZI_BASELINES_RSMI_LITE_H_

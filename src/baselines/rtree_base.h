@@ -1,0 +1,71 @@
+// Shared R-tree machinery for the packed-R-tree baselines (STR, CUR, HRR):
+// bulk load from pre-ordered leaf runs, recursive range/point queries, and
+// standard insert with min-enlargement descent and median node splits.
+
+#ifndef WAZI_BASELINES_RTREE_BASE_H_
+#define WAZI_BASELINES_RTREE_BASE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+#include "index/spatial_index.h"
+#include "storage/page_store.h"
+
+namespace wazi {
+
+class RTree {
+ public:
+  struct Options {
+    int leaf_capacity = 256;
+    int fanout = 32;
+  };
+
+  RTree() = default;
+
+  // Bulk-loads from `clustered` points already arranged so that leaf i
+  // spans [leaf_offsets[i], leaf_offsets[i+1]). Upper levels pack
+  // consecutive runs of `fanout` nodes (callers provide a locality-
+  // preserving leaf order: STR tiling, Hilbert order, ...).
+  void BulkLoad(std::vector<Point> clustered,
+                const std::vector<uint32_t>& leaf_offsets,
+                const Options& opts);
+
+  void RangeQuery(const Rect& query, std::vector<Point>* out,
+                  QueryStats* stats) const;
+  void Project(const Rect& query, Projection* proj, QueryStats* stats) const;
+  bool PointQuery(double x, double y, QueryStats* stats) const;
+
+  void Insert(const Point& p);
+  bool Remove(double x, double y);
+
+  size_t num_points() const { return store_.num_points(); }
+  size_t SizeBytes() const;
+
+ private:
+  struct Node {
+    Rect mbr;
+    std::vector<int32_t> children;  // node ids; empty for leaves
+    int32_t page = -1;              // valid iff leaf
+    bool is_leaf() const { return page >= 0; }
+  };
+
+  template <typename LeafFn>
+  void Walk(const Rect& query, QueryStats* stats, LeafFn&& fn) const;
+
+  // Returns the new sibling id when the child split, else -1; updates mbr.
+  int32_t InsertRec(int32_t node_id, const Point& p);
+  int32_t SplitLeafNode(int32_t node_id);
+  int32_t SplitInternalNode(int32_t node_id);
+  void RecomputeMbr(int32_t node_id);
+
+  std::vector<Node> nodes_;
+  PageStore store_;
+  int32_t root_ = -1;
+  Options opts_;
+};
+
+}  // namespace wazi
+
+#endif  // WAZI_BASELINES_RTREE_BASE_H_

@@ -1,0 +1,65 @@
+#include "baselines/str_rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wazi {
+
+std::vector<uint32_t> StrTile(std::vector<Point>* pts, int leaf_capacity) {
+  const size_t n = pts->size();
+  const size_t leaves =
+      (n + leaf_capacity - 1) / static_cast<size_t>(leaf_capacity);
+  const size_t slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(std::max<size_t>(1, leaves)))));
+  const size_t slab_pts = std::max<size_t>(
+      1, (n + slabs - 1) / slabs);
+
+  std::sort(pts->begin(), pts->end(),
+            [](const Point& a, const Point& b) { return a.x < b.x; });
+  std::vector<uint32_t> offsets;
+  for (size_t slab_begin = 0; slab_begin < n; slab_begin += slab_pts) {
+    const size_t slab_end = std::min(n, slab_begin + slab_pts);
+    std::sort(pts->begin() + slab_begin, pts->begin() + slab_end,
+              [](const Point& a, const Point& b) { return a.y < b.y; });
+    for (size_t leaf = slab_begin; leaf < slab_end;
+         leaf += static_cast<size_t>(leaf_capacity)) {
+      offsets.push_back(static_cast<uint32_t>(leaf));
+    }
+  }
+  offsets.push_back(static_cast<uint32_t>(n));
+  if (n == 0) offsets.insert(offsets.begin(), 0);
+  return offsets;
+}
+
+void StrRTree::Build(const Dataset& data, const Workload&,
+                     const BuildOptions& opts) {
+  std::vector<Point> pts = data.points;
+  const std::vector<uint32_t> offsets = StrTile(&pts, opts.leaf_capacity);
+  RTree::Options ropts;
+  ropts.leaf_capacity = opts.leaf_capacity;
+  tree_.BulkLoad(std::move(pts), offsets, ropts);
+  stats_.Reset();
+}
+
+void StrRTree::RangeQuery(const Rect& query, std::vector<Point>* out) const {
+  tree_.RangeQuery(query, out, &stats_);
+}
+
+void StrRTree::Project(const Rect& query, Projection* proj) const {
+  tree_.Project(query, proj, &stats_);
+}
+
+bool StrRTree::PointQuery(const Point& p) const {
+  return tree_.PointQuery(p.x, p.y, &stats_);
+}
+
+bool StrRTree::Insert(const Point& p) {
+  tree_.Insert(p);
+  return true;
+}
+
+bool StrRTree::Remove(const Point& p) { return tree_.Remove(p.x, p.y); }
+
+size_t StrRTree::SizeBytes() const { return tree_.SizeBytes(); }
+
+}  // namespace wazi

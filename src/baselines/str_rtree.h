@@ -1,0 +1,39 @@
+// Sort-Tile-Recursive packed R-tree (Leutenegger et al., ICDE 1997): sort
+// by x, cut into ~sqrt(P) vertical slabs, sort each slab by y, pack runs
+// of L points into leaves, then pack upper levels bottom-up.
+
+#ifndef WAZI_BASELINES_STR_RTREE_H_
+#define WAZI_BASELINES_STR_RTREE_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/rtree_base.h"
+#include "index/spatial_index.h"
+
+namespace wazi {
+
+// Computes STR leaf runs: sorts `pts` into tiling order and returns leaf
+// offsets (with end sentinel). Shared with tests.
+std::vector<uint32_t> StrTile(std::vector<Point>* pts, int leaf_capacity);
+
+class StrRTree : public SpatialIndex {
+ public:
+  std::string name() const override { return "str"; }
+
+  void Build(const Dataset& data, const Workload& workload,
+             const BuildOptions& opts) override;
+  void RangeQuery(const Rect& query, std::vector<Point>* out) const override;
+  void Project(const Rect& query, Projection* proj) const override;
+  bool PointQuery(const Point& p) const override;
+  bool Insert(const Point& p) override;
+  bool Remove(const Point& p) override;
+  size_t SizeBytes() const override;
+
+ private:
+  RTree tree_;
+};
+
+}  // namespace wazi
+
+#endif  // WAZI_BASELINES_STR_RTREE_H_

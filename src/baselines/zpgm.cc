@@ -1,0 +1,94 @@
+#include "baselines/zpgm.h"
+
+#include <algorithm>
+
+#include "sfc/bigmin.h"
+#include "sfc/zcurve.h"
+
+namespace wazi {
+
+uint64_t Zpgm::ZOf(double x, double y) const {
+  return ZEncode(ranks_.XRank(x), ranks_.YRank(y));
+}
+
+void Zpgm::Build(const Dataset& data, const Workload&,
+                 const BuildOptions& opts) {
+  bits_ = opts.rank_bits;
+  ranks_.Build(data.points, bits_);
+  std::vector<std::pair<uint64_t, Point>> keyed;
+  keyed.reserve(data.points.size());
+  for (const Point& p : data.points) keyed.emplace_back(ZOf(p.x, p.y), p);
+  std::sort(keyed.begin(), keyed.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  pts_.clear();
+  keys_.clear();
+  pts_.reserve(keyed.size());
+  keys_.reserve(keyed.size());
+  for (const auto& kp : keyed) {
+    keys_.push_back(kp.first);
+    pts_.push_back(kp.second);
+  }
+  pgm_.Build(keys_, opts.pgm_epsilon);
+  stats_.Reset();
+}
+
+template <typename HitFn>
+void Zpgm::WalkCodes(const Rect& query, HitFn&& fn) const {
+  if (pts_.empty()) return;
+  const uint64_t zlo = ZOf(query.min_x, query.min_y);
+  const uint64_t zhi = ZOf(query.max_x, query.max_y);
+  size_t i = pgm_.LowerBound(zlo);
+  while (i < keys_.size() && keys_[i] <= zhi) {
+    const uint64_t z = keys_[i];
+    ++stats_.bbs_checked;  // cell-in-box test plays the bbs role here
+    if (ZCellInBox(z, zlo, zhi)) {
+      // Consume the whole run of equal codes.
+      size_t j = i;
+      while (j < keys_.size() && keys_[j] == z) ++j;
+      fn(i, j);
+      i = j;
+      continue;
+    }
+    const uint64_t next = BigMin(z, zlo, zhi);
+    if (next > zhi || next <= z) break;
+    i = pgm_.LowerBound(next);
+  }
+}
+
+void Zpgm::RangeQuery(const Rect& query, std::vector<Point>* out) const {
+  WalkCodes(query, [&](size_t begin, size_t end) {
+    ++stats_.pages_scanned;
+    for (size_t i = begin; i < end; ++i) {
+      ++stats_.points_scanned;
+      if (query.Contains(pts_[i])) {
+        out->push_back(pts_[i]);
+        ++stats_.results;
+      }
+    }
+  });
+}
+
+void Zpgm::Project(const Rect& query, Projection* proj) const {
+  WalkCodes(query, [&](size_t begin, size_t end) {
+    proj->push_back(Span{pts_.data() + begin, pts_.data() + end});
+  });
+}
+
+bool Zpgm::PointQuery(const Point& p) const {
+  if (pts_.empty()) return false;
+  const uint64_t z = ZOf(p.x, p.y);
+  ++stats_.pages_scanned;
+  for (size_t i = pgm_.LowerBound(z); i < keys_.size() && keys_[i] == z; ++i) {
+    ++stats_.points_scanned;
+    if (pts_[i].x == p.x && pts_[i].y == p.y) return true;
+  }
+  return false;
+}
+
+size_t Zpgm::SizeBytes() const {
+  return sizeof(*this) + pts_.capacity() * sizeof(Point) +
+         keys_.capacity() * sizeof(uint64_t) + pgm_.SizeBytes() +
+         ranks_.SizeBytes();
+}
+
+}  // namespace wazi

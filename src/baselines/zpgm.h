@@ -1,0 +1,45 @@
+// Zpgm — rank-space Z-order codes indexed by a PGM-index, with BIGMIN
+// page skipping (the paper's [10] + [42] combination, Fig. 4). Range
+// queries scan the code interval [z(BL), z(TR)], jumping over out-of-box
+// code runs via Tropf-Herzog BIGMIN and re-locating with the PGM.
+
+#ifndef WAZI_BASELINES_ZPGM_H_
+#define WAZI_BASELINES_ZPGM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/spatial_index.h"
+#include "learned/pgm_index.h"
+#include "sfc/rank_space.h"
+
+namespace wazi {
+
+class Zpgm : public SpatialIndex {
+ public:
+  std::string name() const override { return "zpgm"; }
+
+  void Build(const Dataset& data, const Workload& workload,
+             const BuildOptions& opts) override;
+  void RangeQuery(const Rect& query, std::vector<Point>* out) const override;
+  void Project(const Rect& query, Projection* proj) const override;
+  bool PointQuery(const Point& p) const override;
+  size_t SizeBytes() const override;
+
+ private:
+  uint64_t ZOf(double x, double y) const;
+
+  template <typename HitFn>
+  void WalkCodes(const Rect& query, HitFn&& fn) const;
+
+  RankSpace ranks_;
+  std::vector<Point> pts_;      // sorted by Z code
+  std::vector<uint64_t> keys_;  // parallel
+  PgmIndex pgm_;
+  int bits_ = 16;
+};
+
+}  // namespace wazi
+
+#endif  // WAZI_BASELINES_ZPGM_H_

@@ -1,0 +1,85 @@
+#include "common/geometry.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace wazi {
+
+bool Dominates(const Point& b, const Point& a) {
+  return a.x <= b.x && a.y <= b.y && (a.x < b.x || a.y < b.y);
+}
+
+Rect Rect::Intersect(const Rect& r) const {
+  if (!Overlaps(r)) return Rect{};
+  return Rect::Of(std::max(min_x, r.min_x), std::max(min_y, r.min_y),
+                  std::min(max_x, r.max_x), std::min(max_y, r.max_y));
+}
+
+std::string Rect::DebugString() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rect& r) {
+  return os << "[" << r.min_x << "," << r.max_x << "]x[" << r.min_y << ","
+            << r.max_y << "]";
+}
+
+RectClass ClassifyRect(const Rect& query, const Rect& cell, double sx,
+                       double sy) {
+  const Rect clipped = query.Intersect(cell);
+  if (clipped.empty()) return RectClass::kOutside;
+  const Quadrant bl = QuadrantOf(clipped.BottomLeft(), sx, sy);
+  const Quadrant tr = QuadrantOf(clipped.TopRight(), sx, sy);
+  switch ((static_cast<int>(bl) << 2) | static_cast<int>(tr)) {
+    case 0b0000: return RectClass::kAA;
+    case 0b0001: return RectClass::kAB;
+    case 0b0010: return RectClass::kAC;
+    case 0b0011: return RectClass::kAD;
+    case 0b0101: return RectClass::kBB;
+    case 0b0111: return RectClass::kBD;
+    case 0b1010: return RectClass::kCC;
+    case 0b1011: return RectClass::kCD;
+    case 0b1111: return RectClass::kDD;
+    default: return RectClass::kOutside;  // Unreachable for valid rects.
+  }
+}
+
+const char* ToString(Quadrant q) {
+  switch (q) {
+    case Quadrant::kA: return "A";
+    case Quadrant::kB: return "B";
+    case Quadrant::kC: return "C";
+    case Quadrant::kD: return "D";
+  }
+  return "?";
+}
+
+const char* ToString(RectClass c) {
+  switch (c) {
+    case RectClass::kAA: return "AA";
+    case RectClass::kAB: return "AB";
+    case RectClass::kAC: return "AC";
+    case RectClass::kAD: return "AD";
+    case RectClass::kBB: return "BB";
+    case RectClass::kBD: return "BD";
+    case RectClass::kCC: return "CC";
+    case RectClass::kCD: return "CD";
+    case RectClass::kDD: return "DD";
+    case RectClass::kOutside: return "Outside";
+  }
+  return "?";
+}
+
+Rect QuadrantRect(const Rect& cell, double sx, double sy, Quadrant q) {
+  switch (q) {
+    case Quadrant::kA: return Rect::Of(cell.min_x, cell.min_y, sx, sy);
+    case Quadrant::kB: return Rect::Of(sx, cell.min_y, cell.max_x, sy);
+    case Quadrant::kC: return Rect::Of(cell.min_x, sy, sx, cell.max_y);
+    case Quadrant::kD: return Rect::Of(sx, sy, cell.max_x, cell.max_y);
+  }
+  return Rect{};
+}
+
+}  // namespace wazi

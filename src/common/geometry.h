@@ -1,0 +1,143 @@
+// Planar geometry primitives shared by every index in the library.
+//
+// Coordinates are doubles; datasets are normalized to (roughly) the unit
+// square by the workload generators, but nothing here assumes that.
+
+#ifndef WAZI_COMMON_GEOMETRY_H_
+#define WAZI_COMMON_GEOMETRY_H_
+
+#include <cstdint>
+#include <limits>
+#include <ostream>
+#include <string>
+
+namespace wazi {
+
+// A 2-D data point. `id` is an opaque payload (row id) carried through
+// every index so query results can be verified against a reference scan.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+  int64_t id = 0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y && a.id == b.id;
+  }
+};
+
+// Returns true iff `a` dominates-or-equals `b` component-wise is false and
+// instead: a is dominated by b (a.x <= b.x && a.y <= b.y with at least one
+// strict). Used by the Z-order monotonicity property tests.
+bool Dominates(const Point& b, const Point& a);
+
+// Closed axis-aligned rectangle [min_x,max_x] x [min_y,max_y].
+//
+// A default-constructed Rect is *empty* (min > max); Expand() grows it to
+// cover points/rects, and empty rectangles never overlap or contain
+// anything.
+struct Rect {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  static Rect Of(double min_x, double min_y, double max_x, double max_y) {
+    return Rect{min_x, min_y, max_x, max_y};
+  }
+
+  bool empty() const { return min_x > max_x || min_y > max_y; }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  bool Contains(const Rect& r) const {
+    return !r.empty() && r.min_x >= min_x && r.max_x <= max_x &&
+           r.min_y >= min_y && r.max_y <= max_y;
+  }
+
+  bool Overlaps(const Rect& r) const {
+    return !empty() && !r.empty() && r.min_x <= max_x && r.max_x >= min_x &&
+           r.min_y <= max_y && r.max_y >= min_y;
+  }
+
+  void Expand(const Point& p) {
+    if (p.x < min_x) min_x = p.x;
+    if (p.x > max_x) max_x = p.x;
+    if (p.y < min_y) min_y = p.y;
+    if (p.y > max_y) max_y = p.y;
+  }
+
+  void Expand(const Rect& r) {
+    if (r.empty()) return;
+    if (r.min_x < min_x) min_x = r.min_x;
+    if (r.max_x > max_x) max_x = r.max_x;
+    if (r.min_y < min_y) min_y = r.min_y;
+    if (r.max_y > max_y) max_y = r.max_y;
+  }
+
+  // Intersection; empty if the rectangles do not overlap.
+  Rect Intersect(const Rect& r) const;
+
+  double Area() const { return empty() ? 0.0 : (max_x - min_x) * (max_y - min_y); }
+
+  Point BottomLeft() const { return Point{min_x, min_y, 0}; }
+  Point TopRight() const { return Point{max_x, max_y, 0}; }
+
+  std::string DebugString() const;
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+std::ostream& operator<<(std::ostream& os, const Rect& r);
+
+// Child-cell labels of a quaternary Z-index node, following Algorithm 1 of
+// the paper: with split point s, bitx = (p.x > s.x), bity = (p.y > s.y) and
+//   A = (0,0)  dominated (bottom-left) quadrant
+//   B = (1,0)  bottom-right
+//   C = (0,1)  top-left
+//   D = (1,1)  top-right.
+enum class Quadrant : uint8_t { kA = 0, kB = 1, kC = 2, kD = 3 };
+
+inline Quadrant QuadrantOf(const Point& p, double split_x, double split_y) {
+  const int bitx = p.x > split_x;
+  const int bity = p.y > split_y;
+  return static_cast<Quadrant>((bity << 1) | bitx);
+}
+
+// The nine valid (BL-quadrant, TR-quadrant) classes of a query rectangle
+// relative to a split point; BC/CB etc. are impossible because TR
+// dominates BL. kOutside covers rectangles that do not overlap the cell
+// (possible when classifying unclipped queries).
+enum class RectClass : uint8_t {
+  kAA = 0,
+  kAB,
+  kAC,
+  kAD,
+  kBB,
+  kBD,
+  kCC,
+  kCD,
+  kDD,
+  kOutside,
+};
+
+// Classifies `query` (clipped to `cell`) against split point (sx, sy).
+// Returns kOutside when the query does not overlap the cell.
+RectClass ClassifyRect(const Rect& query, const Rect& cell, double sx,
+                       double sy);
+
+const char* ToString(Quadrant q);
+const char* ToString(RectClass c);
+
+// Quadrant sub-rectangle of `cell` for split point (sx, sy). The split
+// point is included in quadrant A's closed upper boundary, matching the
+// strict `>` comparisons of Algorithm 1.
+Rect QuadrantRect(const Rect& cell, double sx, double sy, Quadrant q);
+
+}  // namespace wazi
+
+#endif  // WAZI_COMMON_GEOMETRY_H_

@@ -1,0 +1,27 @@
+#include "common/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace wazi {
+
+double Rng::NextGaussian() {
+  // Box-Muller; u1 nudged away from 0 so log() is finite.
+  double u1 = NextDouble();
+  if (u1 < 1e-300) u1 = 1e-300;
+  const double u2 = NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0 || weights.empty()) return 0;
+  double r = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace wazi

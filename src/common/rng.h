@@ -1,0 +1,53 @@
+// Deterministic, fast pseudo-random generation used throughout the
+// library. Every generator in this project is seeded explicitly so that
+// datasets, workloads and index builds are exactly reproducible.
+
+#ifndef WAZI_COMMON_RNG_H_
+#define WAZI_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wazi {
+
+// SplitMix64: tiny, statistically solid, and trivially seedable. Used both
+// directly and to seed derived streams (`Fork`).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t NextU64() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  // Uniform integer in [0, n). n must be > 0.
+  uint64_t NextBelow(uint64_t n) { return NextU64() % n; }
+
+  // Standard normal via Box-Muller (no cached spare; simplicity over speed).
+  double NextGaussian();
+
+  // Independent generator derived from this one's stream.
+  Rng Fork() { return Rng(NextU64() ^ 0xd1b54a32d192ed03ULL); }
+
+  // Samples an index according to `weights` (unnormalized, non-negative).
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace wazi
+
+#endif  // WAZI_COMMON_RNG_H_

@@ -1,0 +1,33 @@
+// Wall-clock timing helper for build/query measurements.
+
+#ifndef WAZI_COMMON_TIMER_H_
+#define WAZI_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace wazi {
+
+// Monotonic stopwatch; `ElapsedNs` does not stop the clock.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  int64_t ElapsedNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedSeconds() const { return ElapsedNs() * 1e-9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace wazi
+
+#endif  // WAZI_COMMON_TIMER_H_

@@ -1,0 +1,213 @@
+#include "core/builder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace wazi {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Curve (visit) order of quadrants under each ordering.
+constexpr Quadrant kCurveOrder[2][4] = {
+    {Quadrant::kA, Quadrant::kB, Quadrant::kC, Quadrant::kD},  // abcd
+    {Quadrant::kA, Quadrant::kC, Quadrant::kB, Quadrant::kD},  // acbd
+};
+
+// Partitions [begin, end) of `pts` into the four quadrant segments in
+// curve order; fills `bounds[0..4]` with segment boundaries.
+void PartitionByQuadrant(Point* pts, uint32_t begin, uint32_t end,
+                         const SplitChoice& choice, uint32_t bounds[5]) {
+  const double sx = choice.sx;
+  const double sy = choice.sy;
+  Point* first = pts + begin;
+  Point* last = pts + end;
+  if (choice.ord == Ordering::kAbcd) {
+    // A,B (y <= sy) before C,D; then x <= sx within each half.
+    Point* mid = std::partition(first, last,
+                                [&](const Point& p) { return p.y <= sy; });
+    Point* m0 = std::partition(first, mid,
+                               [&](const Point& p) { return p.x <= sx; });
+    Point* m1 = std::partition(mid, last,
+                               [&](const Point& p) { return p.x <= sx; });
+    bounds[0] = begin;
+    bounds[1] = static_cast<uint32_t>(m0 - pts);
+    bounds[2] = static_cast<uint32_t>(mid - pts);
+    bounds[3] = static_cast<uint32_t>(m1 - pts);
+    bounds[4] = end;
+  } else {
+    // A,C (x <= sx) before B,D; then y <= sy within each half.
+    Point* mid = std::partition(first, last,
+                                [&](const Point& p) { return p.x <= sx; });
+    Point* m0 = std::partition(first, mid,
+                               [&](const Point& p) { return p.y <= sy; });
+    Point* m1 = std::partition(mid, last,
+                               [&](const Point& p) { return p.y <= sy; });
+    bounds[0] = begin;
+    bounds[1] = static_cast<uint32_t>(m0 - pts);
+    bounds[2] = static_cast<uint32_t>(mid - pts);
+    bounds[3] = static_cast<uint32_t>(m1 - pts);
+    bounds[4] = end;
+  }
+}
+
+class TreeBuilder {
+ public:
+  TreeBuilder(SplitPolicy& policy, const ZBuildParams& params, ZIndex* out)
+      : policy_(policy), params_(params), out_(out), rng_(params.seed) {}
+
+  int32_t BuildNode(std::vector<Point>& pts, uint32_t begin, uint32_t end,
+                    const Rect& cell, int depth) {
+    const size_t n = end - begin;
+    if (n <= static_cast<size_t>(params_.leaf_capacity) ||
+        depth >= params_.max_depth) {
+      return out_->AddLeaf(cell, pts.data(), begin, end);
+    }
+
+    SplitChoice choice = policy_.Choose(pts.data() + begin, n, cell, rng_);
+    uint32_t bounds[5];
+    PartitionByQuadrant(pts.data(), begin, end, choice, bounds);
+
+    // No-progress guard: if one quadrant swallowed everything, retry with
+    // the median; if even that cannot separate the points (duplicates),
+    // keep an oversize leaf.
+    bool degenerate = false;
+    for (int i = 0; i < 4; ++i) {
+      if (bounds[i + 1] - bounds[i] == n) degenerate = true;
+    }
+    if (degenerate) {
+      choice = MedianSplit(pts.data() + begin, n);
+      PartitionByQuadrant(pts.data(), begin, end, choice, bounds);
+      for (int i = 0; i < 4; ++i) {
+        if (bounds[i + 1] - bounds[i] == n) {
+          return out_->AddLeaf(cell, pts.data(), begin, end);
+        }
+      }
+    }
+
+    const int32_t node = out_->AddInternal(choice.sx, choice.sy, choice.ord);
+    const int ord_idx = static_cast<int>(choice.ord);
+    for (int i = 0; i < 4; ++i) {
+      const Quadrant q = kCurveOrder[ord_idx][i];
+      const Rect child_cell = QuadrantRect(cell, choice.sx, choice.sy, q);
+      const int32_t child =
+          BuildNode(pts, bounds[i], bounds[i + 1], child_cell, depth + 1);
+      out_->SetChild(node, q, child);
+    }
+    return node;
+  }
+
+ private:
+  SplitPolicy& policy_;
+  const ZBuildParams& params_;
+  ZIndex* out_;
+  Rng rng_;
+};
+
+}  // namespace
+
+SplitChoice MedianSplit(Point* points, size_t n) {
+  SplitChoice choice;
+  const size_t mid = n / 2;
+  std::nth_element(points, points + mid, points + n,
+                   [](const Point& a, const Point& b) { return a.x < b.x; });
+  choice.sx = points[mid].x;
+  std::nth_element(points, points + mid, points + n,
+                   [](const Point& a, const Point& b) { return a.y < b.y; });
+  choice.sy = points[mid].y;
+  choice.ord = Ordering::kAbcd;
+  return choice;
+}
+
+SplitChoice MedianSplitPolicy::Choose(Point* points, size_t n, const Rect&,
+                                      Rng&) {
+  return MedianSplit(points, n);
+}
+
+GreedySplitPolicy::GreedySplitPolicy(const CountProvider* provider,
+                                     const Workload* workload, int kappa,
+                                     double alpha)
+    : provider_(provider), kappa_(kappa), alpha_(alpha) {
+  if (workload != nullptr) {
+    corner_xs_.reserve(2 * workload->queries.size());
+    corner_ys_.reserve(2 * workload->queries.size());
+    for (const Rect& q : workload->queries) {
+      corner_xs_.push_back(q.min_x);
+      corner_xs_.push_back(q.max_x);
+      corner_ys_.push_back(q.min_y);
+      corner_ys_.push_back(q.max_y);
+    }
+    std::sort(corner_xs_.begin(), corner_xs_.end());
+    std::sort(corner_ys_.begin(), corner_ys_.end());
+  }
+}
+
+double GreedySplitPolicy::SampleCorner(const std::vector<double>& coords,
+                                       double lo, double hi, Rng& rng) const {
+  const auto first = std::lower_bound(coords.begin(), coords.end(), lo);
+  const auto last = std::upper_bound(coords.begin(), coords.end(), hi);
+  if (first >= last) return std::numeric_limits<double>::quiet_NaN();
+  const size_t span = static_cast<size_t>(last - first);
+  return *(first + rng.NextBelow(span));
+}
+
+SplitChoice GreedySplitPolicy::Choose(Point* points, size_t n,
+                                      const Rect& cell, Rng& rng) {
+  // Candidates are sampled from the node's data extent (cells may be
+  // unbounded; the data MBR is where splits can matter).
+  Rect extent;
+  for (size_t i = 0; i < n; ++i) extent.Expand(points[i]);
+
+  SplitChoice best = MedianSplit(points, n);
+  const QuadCounts nd =
+      provider_->CountData(points, n, cell, best.sx, best.sy);
+  const ClassCounts qc = provider_->CountQueries(cell, best.sx, best.sy);
+  const OrderedCost oc = BestOrdering(nd, qc, alpha_);
+  best.ord = oc.ordering;
+  double best_cost = oc.cost;
+  for (int k = 0; k < kappa_; ++k) {
+    double sx = std::numeric_limits<double>::quiet_NaN();
+    double sy = std::numeric_limits<double>::quiet_NaN();
+    // Half the candidates snap to query-corner coordinates inside the
+    // extent; the rest (and any failed snap) sample uniformly.
+    if (k % 2 == 0 && !corner_xs_.empty()) {
+      sx = SampleCorner(corner_xs_, extent.min_x, extent.max_x, rng);
+      sy = SampleCorner(corner_ys_, extent.min_y, extent.max_y, rng);
+    }
+    if (std::isnan(sx)) sx = rng.Uniform(extent.min_x, extent.max_x);
+    if (std::isnan(sy)) sy = rng.Uniform(extent.min_y, extent.max_y);
+    const QuadCounts cnd = provider_->CountData(points, n, cell, sx, sy);
+    const ClassCounts cqc = provider_->CountQueries(cell, sx, sy);
+    const OrderedCost coc = BestOrdering(cnd, cqc, alpha_);
+    if (coc.cost < best_cost) {
+      best_cost = coc.cost;
+      best = SplitChoice{sx, sy, coc.ordering};
+    }
+  }
+  return best;
+}
+
+void BuildZIndex(const Dataset& data, SplitPolicy& policy,
+                 const ZBuildParams& params, ZIndex* out) {
+  std::vector<Point> pts = data.points;
+  // Unbounded root cell: inserts outside the original bounds stay inside
+  // their leaf's cell (see header comment).
+  const Rect root_cell = Rect::Of(-kInf, -kInf, kInf, kInf);
+  out->StartBuild(root_cell, params.leaf_capacity);
+  if (pts.empty()) {
+    const int32_t leaf = out->AddLeaf(root_cell, pts.data(), 0, 0);
+    out->SetRoot(leaf);
+    out->FinishBuild(std::move(pts));
+    return;
+  }
+  TreeBuilder builder(policy, params, out);
+  const int32_t root =
+      builder.BuildNode(pts, 0, static_cast<uint32_t>(pts.size()), root_cell,
+                        /*depth=*/0);
+  out->SetRoot(root);
+  out->FinishBuild(std::move(pts));
+}
+
+}  // namespace wazi

@@ -1,0 +1,69 @@
+#include "core/cost_model.h"
+
+namespace wazi {
+
+const char* ToString(Ordering o) {
+  return o == Ordering::kAbcd ? "abcd" : "acbd";
+}
+
+double QueryClassCost(RectClass cls, const QuadCounts& nd, Ordering o,
+                      double alpha) {
+  const double na = nd[Quadrant::kA];
+  const double nb = nd[Quadrant::kB];
+  const double nc = nd[Quadrant::kC];
+  const double nd_ = nd[Quadrant::kD];
+  // Diagonal classes and AD are ordering-independent.
+  switch (cls) {
+    case RectClass::kAA: return na;
+    case RectClass::kBB: return nb;
+    case RectClass::kCC: return nc;
+    case RectClass::kDD: return nd_;
+    case RectClass::kAD: return na + nb + nc + nd_;
+    case RectClass::kOutside: return 0.0;
+    default: break;
+  }
+  if (o == Ordering::kAbcd) {
+    // Curve order A,B,C,D: AC spans A..C with B skipped; BD spans B..D
+    // with C skipped; AB and CD are adjacent.
+    switch (cls) {
+      case RectClass::kAC: return na + alpha * nb + nc;
+      case RectClass::kBD: return nb + alpha * nc + nd_;
+      case RectClass::kAB: return na + nb;
+      case RectClass::kCD: return nc + nd_;
+      default: break;
+    }
+  } else {
+    // Curve order A,C,B,D: AB spans A..B with C skipped; CD spans C..D
+    // with B skipped; AC and BD are adjacent. (Eq. 2 as printed in the
+    // paper has garbled subscripts here; this is the symmetric intent.)
+    switch (cls) {
+      case RectClass::kAB: return na + alpha * nc + nb;
+      case RectClass::kCD: return nc + alpha * nb + nd_;
+      case RectClass::kAC: return na + nc;
+      case RectClass::kBD: return nb + nd_;
+      default: break;
+    }
+  }
+  return 0.0;
+}
+
+double GreedyCost(const QuadCounts& nd, const ClassCounts& qc, Ordering o,
+                  double alpha) {
+  double cost = 0.0;
+  for (int c = 0; c < 9; ++c) {
+    const RectClass cls = static_cast<RectClass>(c);
+    const double count = qc[cls];
+    if (count > 0.0) cost += count * QueryClassCost(cls, nd, o, alpha);
+  }
+  return cost;
+}
+
+OrderedCost BestOrdering(const QuadCounts& nd, const ClassCounts& qc,
+                         double alpha) {
+  const double abcd = GreedyCost(nd, qc, Ordering::kAbcd, alpha);
+  const double acbd = GreedyCost(nd, qc, Ordering::kAcbd, alpha);
+  if (acbd < abcd) return OrderedCost{Ordering::kAcbd, acbd};
+  return OrderedCost{Ordering::kAbcd, abcd};
+}
+
+}  // namespace wazi

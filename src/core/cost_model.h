@@ -1,0 +1,65 @@
+// Retrieval-cost model of the paper (§4.1-4.2, Eq. 1-5).
+//
+// For one node with split point (sx, sy), the data space is divided into
+// quadrants A..D (geometry.h). A range query R is classified by which
+// quadrants contain its (clipped) bottom-left and top-right corners; the
+// retrieval cost of R is the number of points the scan phase touches,
+// where quadrants that fall between the query's first and last quadrant
+// in curve order but do not overlap R cost only a fraction alpha of their
+// points (they are skipped after a bounding-box check, or via look-ahead
+// pointers when those are enabled — hence the paper sets alpha = 1e-5 for
+// WaZI with skipping).
+
+#ifndef WAZI_CORE_COST_MODEL_H_
+#define WAZI_CORE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "common/geometry.h"
+
+namespace wazi {
+
+// Child-cell visit orderings that preserve dominance monotonicity (§4.1):
+// "abcd" visits A,B,C,D; "acbd" visits A,C,B,D.
+enum class Ordering : uint8_t { kAbcd = 0, kAcbd = 1 };
+
+const char* ToString(Ordering o);
+
+// Points (or point-count estimates) per quadrant; indexed by Quadrant.
+struct QuadCounts {
+  double n[4] = {0.0, 0.0, 0.0, 0.0};
+
+  double& operator[](Quadrant q) { return n[static_cast<int>(q)]; }
+  double operator[](Quadrant q) const { return n[static_cast<int>(q)]; }
+  double total() const { return n[0] + n[1] + n[2] + n[3]; }
+};
+
+// Queries (or estimates) per rectangle class; indexed by RectClass
+// (kOutside is not stored — such queries contribute nothing here).
+struct ClassCounts {
+  double q[9] = {0, 0, 0, 0, 0, 0, 0, 0, 0};
+
+  double& operator[](RectClass c) { return q[static_cast<int>(c)]; }
+  double operator[](RectClass c) const { return q[static_cast<int>(c)]; }
+};
+
+// Retrieval cost of a single query of class `cls` (Eq. 1/2 terms).
+double QueryClassCost(RectClass cls, const QuadCounts& nd, Ordering o,
+                      double alpha);
+
+// Workload-aggregated greedy cost C of Eq. 5: sum over classes of
+// class-count x class-cost, with the sub-partition upper bound q_XX * n_X.
+double GreedyCost(const QuadCounts& nd, const ClassCounts& qc, Ordering o,
+                  double alpha);
+
+// Convenience: the better of the two orderings and its cost.
+struct OrderedCost {
+  Ordering ordering;
+  double cost;
+};
+OrderedCost BestOrdering(const QuadCounts& nd, const ClassCounts& qc,
+                         double alpha);
+
+}  // namespace wazi
+
+#endif  // WAZI_CORE_COST_MODEL_H_

@@ -1,0 +1,157 @@
+#include "core/density_adapters.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace wazi {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+QuadCounts CountSpan(const Point* points, size_t n_points, double sx,
+                     double sy) {
+  QuadCounts counts;
+  for (size_t i = 0; i < n_points; ++i) {
+    counts.n[static_cast<int>(QuadrantOf(points[i], sx, sy))] += 1.0;
+  }
+  return counts;
+}
+
+// 4-D box (bl.x, bl.y, tr.x, tr.y) for queries-overlapping-`cell` whose
+// clipped BL corner is in `bl` and clipped TR corner in `tr`.
+DBox CornerBox(const Rect& cell, double sx, double sy, Quadrant bl,
+               Quadrant tr) {
+  const bool bl_low_x = (bl == Quadrant::kA || bl == Quadrant::kC);
+  const bool bl_low_y = (bl == Quadrant::kA || bl == Quadrant::kB);
+  const bool tr_low_x = (tr == Quadrant::kA || tr == Quadrant::kC);
+  const bool tr_low_y = (tr == Quadrant::kA || tr == Quadrant::kB);
+  DBox box;
+  // bl.x: clipped BL in a low-x quadrant  <=> raw bl.x <= sx; otherwise
+  // raw bl.x in (sx, cell.max_x] (bl.x <= cell.max_x is the overlap
+  // condition on this axis). Closed bounds are a negligible approximation
+  // for the estimator. Same reasoning per axis below.
+  box.lo[0] = bl_low_x ? -kInf : sx;
+  box.hi[0] = bl_low_x ? sx : cell.max_x;
+  box.lo[1] = bl_low_y ? -kInf : sy;
+  box.hi[1] = bl_low_y ? sy : cell.max_y;
+  // tr.x: clipped TR in a low-x quadrant <=> raw tr.x <= sx (with overlap
+  // requiring tr.x >= cell.min_x); otherwise raw tr.x > sx.
+  box.lo[2] = tr_low_x ? cell.min_x : sx;
+  box.hi[2] = tr_low_x ? sx : kInf;
+  box.lo[3] = tr_low_y ? cell.min_y : sy;
+  box.hi[3] = tr_low_y ? sy : kInf;
+  return box;
+}
+
+struct ClassPair {
+  RectClass cls;
+  Quadrant bl;
+  Quadrant tr;
+};
+
+constexpr ClassPair kClassPairs[] = {
+    {RectClass::kAA, Quadrant::kA, Quadrant::kA},
+    {RectClass::kAB, Quadrant::kA, Quadrant::kB},
+    {RectClass::kAC, Quadrant::kA, Quadrant::kC},
+    {RectClass::kAD, Quadrant::kA, Quadrant::kD},
+    {RectClass::kBB, Quadrant::kB, Quadrant::kB},
+    {RectClass::kBD, Quadrant::kB, Quadrant::kD},
+    {RectClass::kCC, Quadrant::kC, Quadrant::kC},
+    {RectClass::kCD, Quadrant::kC, Quadrant::kD},
+    {RectClass::kDD, Quadrant::kD, Quadrant::kD},
+};
+
+}  // namespace
+
+QuadCounts ExactCountProvider::CountData(const Point* points, size_t n_points,
+                                         const Rect& /*cell*/, double sx,
+                                         double sy) const {
+  return CountSpan(points, n_points, sx, sy);
+}
+
+ClassCounts ExactCountProvider::CountQueries(const Rect& cell, double sx,
+                                             double sy) const {
+  ClassCounts counts;
+  for (const Rect& q : workload_->queries) {
+    const RectClass cls = ClassifyRect(q, cell, sx, sy);
+    if (cls != RectClass::kOutside) counts[cls] += 1.0;
+  }
+  return counts;
+}
+
+std::vector<DVec> QueryCornerRows(const Workload& workload) {
+  std::vector<DVec> rows;
+  rows.reserve(workload.queries.size());
+  for (const Rect& q : workload.queries) {
+    rows.push_back(DVec{q.min_x, q.min_y, q.max_x, q.max_y});
+  }
+  return rows;
+}
+
+EstimatedCountProvider::EstimatedCountProvider(const Dataset& data,
+                                               const Workload& workload,
+                                               const EstimatorOptions& opts)
+    : opts_(opts) {
+  {
+    std::vector<DVec> rows;
+    rows.reserve(data.points.size());
+    for (const Point& p : data.points) rows.push_back(DVec{p.x, p.y, 0, 0});
+    KdForestOptions fo;
+    fo.dim = 2;
+    fo.num_trees = opts.data_trees;
+    fo.subsample = opts.subsample;
+    fo.leaf_size = opts.leaf_size;
+    fo.seed = opts.seed;
+    data_forest_.Build(rows, {}, fo);
+  }
+  {
+    std::vector<DVec> rows = QueryCornerRows(workload);
+    KdForestOptions fo;
+    fo.dim = 4;
+    fo.num_trees = opts.query_trees;
+    fo.subsample = opts.subsample;
+    fo.leaf_size = opts.query_leaf_size;
+    fo.seed = opts.seed + 1;
+    query_forest_.Build(rows, {}, fo);
+  }
+}
+
+QuadCounts EstimatedCountProvider::CountData(const Point* points,
+                                             size_t n_points, const Rect& cell,
+                                             double sx, double sy) const {
+  // Small spans are counted exactly: the points are already in hand and
+  // the scan is cheaper and tighter than four forest queries.
+  if (n_points <= static_cast<size_t>(opts_.exact_span_pages) *
+                      static_cast<size_t>(opts_.leaf_capacity)) {
+    return CountSpan(points, n_points, sx, sy);
+  }
+  QuadCounts counts;
+  for (int qi = 0; qi < 4; ++qi) {
+    const Quadrant quad = static_cast<Quadrant>(qi);
+    const Rect r = QuadrantRect(cell, sx, sy, quad);
+    DBox box;
+    box.lo = DVec{r.min_x, r.min_y, 0, 0};
+    box.hi = DVec{r.max_x, r.max_y, 0, 0};
+    counts.n[qi] = data_forest_.Estimate(box);
+  }
+  return counts;
+}
+
+ClassCounts EstimatedCountProvider::CountQueries(const Rect& cell, double sx,
+                                                 double sy) const {
+  ClassCounts counts;
+  for (const ClassPair& pair : kClassPairs) {
+    counts[pair.cls] =
+        query_forest_.Estimate(CornerBox(cell, sx, sy, pair.bl, pair.tr));
+  }
+  return counts;
+}
+
+double EstimateQueriesCovering(const KdForest& query_forest, const Point& p) {
+  DBox box;
+  box.lo = DVec{-kInf, -kInf, p.x, p.y};
+  box.hi = DVec{p.x, p.y, kInf, kInf};
+  return query_forest.Estimate(box);
+}
+
+}  // namespace wazi

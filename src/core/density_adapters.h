@@ -1,0 +1,99 @@
+// Count providers for the greedy builder: either exact (scan the node's
+// points and the workload) or learned (RFDE forests, §4.3).
+//
+// The learned path trains two forests once per build:
+//  * a 2-D forest over data points, answering n_X = |D ∩ quadrant| boxes;
+//  * a 4-D forest over query-corner tuples (bl.x, bl.y, tr.x, tr.y),
+//    answering q_XY counts. Each q_XY reduces to a single 4-D box count
+//    because, restricted to queries overlapping the cell, "clipped BL in
+//    quadrant X" is an axis-aligned constraint on the raw corners (see
+//    DESIGN.md §4.3).
+
+#ifndef WAZI_CORE_DENSITY_ADAPTERS_H_
+#define WAZI_CORE_DENSITY_ADAPTERS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/geometry.h"
+#include "core/cost_model.h"
+#include "density/kd_forest.h"
+#include "workload/dataset.h"
+
+namespace wazi {
+
+// Supplies quadrant data counts and query class counts for a candidate
+// split (sx, sy) of `cell`. `points`/`n_points` is the node's own point
+// span (exact providers use it; learned providers may ignore it).
+class CountProvider {
+ public:
+  virtual ~CountProvider() = default;
+
+  virtual QuadCounts CountData(const Point* points, size_t n_points,
+                               const Rect& cell, double sx, double sy) const = 0;
+
+  virtual ClassCounts CountQueries(const Rect& cell, double sx,
+                                   double sy) const = 0;
+};
+
+// Exact counts: data by scanning the node's span, queries by classifying
+// every workload rectangle that overlaps the cell. Used by tests and the
+// "no estimator" ablation.
+class ExactCountProvider : public CountProvider {
+ public:
+  explicit ExactCountProvider(const Workload* workload)
+      : workload_(workload) {}
+
+  QuadCounts CountData(const Point* points, size_t n_points, const Rect& cell,
+                       double sx, double sy) const override;
+  ClassCounts CountQueries(const Rect& cell, double sx,
+                           double sy) const override;
+
+ private:
+  const Workload* workload_;
+};
+
+struct EstimatorOptions {
+  int data_trees = 8;
+  int query_trees = 8;
+  size_t subsample = 64 * 1024;
+  int leaf_size = 16;
+  int query_leaf_size = 4;
+  uint64_t seed = 42;
+  // Spans at most this many multiples of a page are counted exactly (the
+  // span is already in hand and small); larger spans use the forest.
+  int exact_span_pages = 8;
+  int leaf_capacity = 256;
+};
+
+// Learned counts via RFDE forests.
+class EstimatedCountProvider : public CountProvider {
+ public:
+  // Trains the two forests; O(n log n).
+  EstimatedCountProvider(const Dataset& data, const Workload& workload,
+                         const EstimatorOptions& opts);
+
+  QuadCounts CountData(const Point* points, size_t n_points, const Rect& cell,
+                       double sx, double sy) const override;
+  ClassCounts CountQueries(const Rect& cell, double sx,
+                           double sy) const override;
+
+  const KdForest& data_forest() const { return data_forest_; }
+  const KdForest& query_forest() const { return query_forest_; }
+
+ private:
+  KdForest data_forest_;
+  KdForest query_forest_;
+  EstimatorOptions opts_;
+};
+
+// Builds the 4-D corner-tuple rows for a workload (shared with CUR).
+std::vector<DVec> QueryCornerRows(const Workload& workload);
+
+// Estimated number of workload queries whose rectangle covers point p:
+// a 4-D dominance box count on the corner forest. Used by CUR's weighting.
+double EstimateQueriesCovering(const KdForest& query_forest, const Point& p);
+
+}  // namespace wazi
+
+#endif  // WAZI_CORE_DENSITY_ADAPTERS_H_

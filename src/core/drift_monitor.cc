@@ -1,0 +1,35 @@
+#include "core/drift_monitor.h"
+
+namespace wazi {
+
+void DriftMonitor::Observe(int64_t points_scanned, int64_t results) {
+  const double work = WorkPerResult(points_scanned, results);
+  ++queries_observed_;
+  if (queries_observed_ <= opts_.calibration_queries) {
+    // Running mean during calibration; seed the recent EWMA with it.
+    baseline_ += (work - baseline_) / static_cast<double>(queries_observed_);
+    recent_ = baseline_;
+    return;
+  }
+  recent_ += opts_.recent_alpha * (work - recent_);
+  if (baseline_ > 0.0 && recent_ > opts_.degradation_factor * baseline_) {
+    if (++over_count_ >= opts_.patience) rebuild_recommended_ = true;
+  } else {
+    over_count_ = 0;
+  }
+}
+
+void DriftMonitor::ResetAfterRebuild() {
+  queries_observed_ = 0;
+  baseline_ = 0.0;
+  recent_ = 0.0;
+  over_count_ = 0;
+  rebuild_recommended_ = false;
+}
+
+double DriftMonitor::drift_ratio() const {
+  if (baseline_ <= 0.0) return 1.0;
+  return recent_ / baseline_;
+}
+
+}  // namespace wazi

@@ -1,0 +1,66 @@
+// Workload-drift detection for workload-aware indexes (the paper's §6.8
+// discussion and §7 future work: "mechanisms to decide when to retrain").
+//
+// The monitor watches the per-query work an index reports (points scanned
+// per result is a latency proxy that is robust to machine noise) and
+// compares a slow-moving baseline EWMA, calibrated right after (re)build,
+// against a fast-moving recent EWMA. When the recent average exceeds the
+// baseline by a configurable factor for enough queries, it recommends a
+// rebuild.
+
+#ifndef WAZI_CORE_DRIFT_MONITOR_H_
+#define WAZI_CORE_DRIFT_MONITOR_H_
+
+#include <cstdint>
+
+#include "index/spatial_index.h"
+
+namespace wazi {
+
+struct DriftMonitorOptions {
+  // Queries used to calibrate the baseline after (re)build.
+  int64_t calibration_queries = 500;
+  // Smoothing factor of the recent-work EWMA (per query).
+  double recent_alpha = 0.01;
+  // Recommend rebuild when recent/baseline exceeds this factor...
+  double degradation_factor = 1.5;
+  // ...for at least this many consecutive queries.
+  int64_t patience = 200;
+};
+
+class DriftMonitor {
+ public:
+  explicit DriftMonitor(DriftMonitorOptions opts = {}) : opts_(opts) {}
+
+  // Records one executed query's work. `stats_delta` is the work that
+  // query added (callers typically snapshot index.stats() around the
+  // query); cheapest usage is Observe(points_scanned, results).
+  void Observe(int64_t points_scanned, int64_t results);
+
+  // Call after rebuilding the index on the new workload.
+  void ResetAfterRebuild();
+
+  bool rebuild_recommended() const { return rebuild_recommended_; }
+  // Recent work per result relative to the calibrated baseline (1.0 = no
+  // drift; values above degradation_factor trigger the recommendation).
+  double drift_ratio() const;
+  int64_t queries_observed() const { return queries_observed_; }
+
+ private:
+  static double WorkPerResult(int64_t points_scanned, int64_t results) {
+    // +1 keeps empty-result queries meaningful (pure overhead).
+    return static_cast<double>(points_scanned) /
+           static_cast<double>(results + 1);
+  }
+
+  DriftMonitorOptions opts_;
+  int64_t queries_observed_ = 0;
+  double baseline_ = 0.0;   // mean work/result during calibration
+  double recent_ = 0.0;     // EWMA of work/result after calibration
+  int64_t over_count_ = 0;  // consecutive queries above threshold
+  bool rebuild_recommended_ = false;
+};
+
+}  // namespace wazi
+
+#endif  // WAZI_CORE_DRIFT_MONITOR_H_

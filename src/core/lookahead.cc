@@ -1,0 +1,110 @@
+#include "core/lookahead.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+namespace wazi {
+namespace {
+
+bool Improves(Criterion c, const Rect& target, const Rect& source) {
+  switch (c) {
+    case kBelow: return target.max_y > source.max_y;
+    case kAbove: return target.min_y < source.min_y;
+    case kLeft: return target.max_x > source.max_x;
+    case kRight: return target.min_x < source.min_x;
+  }
+  return true;
+}
+
+const char* CriterionName(int c) {
+  switch (c) {
+    case kBelow: return "Below";
+    case kAbove: return "Above";
+    case kLeft: return "Left";
+    case kRight: return "Right";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string ValidateLookahead(const ZIndex& index, bool strict) {
+  const LeafDir& dir = index.leaf_dir();
+  const std::vector<int32_t> order = dir.InOrder();
+  std::unordered_map<int32_t, size_t> pos;
+  pos.reserve(order.size());
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+
+  for (size_t i = 0; i < order.size(); ++i) {
+    const LeafRec& leaf = dir.leaf(order[i]);
+    for (int c = 0; c < kNumCriteria; ++c) {
+      const Criterion crit = static_cast<Criterion>(c);
+      const int32_t target = leaf.lookahead[c];
+      size_t target_pos = order.size();  // end of list
+      if (target != kInvalidLeaf) {
+        auto it = pos.find(target);
+        if (it == pos.end()) {
+          std::ostringstream os;
+          os << "leaf " << order[i] << " criterion " << CriterionName(c)
+             << ": target " << target << " not in LeafList";
+          return os.str();
+        }
+        target_pos = it->second;
+        if (target_pos <= i) {
+          std::ostringstream os;
+          os << "leaf " << order[i] << " criterion " << CriterionName(c)
+             << ": target " << target << " not strictly later in list";
+          return os.str();
+        }
+        if (strict && !Improves(crit, dir.leaf(target).cell, leaf.cell)) {
+          std::ostringstream os;
+          os << "leaf " << order[i] << " criterion " << CriterionName(c)
+             << ": target " << target << " does not improve the criterion";
+          return os.str();
+        }
+      }
+      for (size_t j = i + 1; j < target_pos; ++j) {
+        if (Improves(crit, dir.leaf(order[j]).cell, leaf.cell)) {
+          std::ostringstream os;
+          os << "leaf " << order[i] << " criterion " << CriterionName(c)
+             << ": skipped leaf " << order[j]
+             << " improves the criterion (unsafe skip)";
+          return os.str();
+        }
+      }
+    }
+  }
+  return std::string();
+}
+
+LookaheadSummary SummarizeLookahead(const ZIndex& index) {
+  const LeafDir& dir = index.leaf_dir();
+  const std::vector<int32_t> order = dir.InOrder();
+  std::unordered_map<int32_t, size_t> pos;
+  pos.reserve(order.size());
+  for (size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+
+  LookaheadSummary summary;
+  double total_jump = 0.0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    const LeafRec& leaf = dir.leaf(order[i]);
+    for (int c = 0; c < kNumCriteria; ++c) {
+      const int32_t target = leaf.lookahead[c];
+      ++summary.pointers;
+      const size_t tpos =
+          (target == kInvalidLeaf) ? order.size() : pos.at(target);
+      const int64_t jump = static_cast<int64_t>(tpos - i - 1);
+      if (target == kInvalidLeaf) ++summary.to_end;
+      if (jump == 0) ++summary.next_hops;
+      total_jump += static_cast<double>(jump);
+      summary.max_jump = std::max(summary.max_jump, jump);
+    }
+  }
+  if (summary.pointers > 0) {
+    summary.mean_jump = total_jump / static_cast<double>(summary.pointers);
+  }
+  return summary;
+}
+
+}  // namespace wazi

@@ -1,0 +1,40 @@
+// Validation and introspection helpers for the §5 look-ahead skipping
+// mechanism. The hot-path construction and traversal live in zindex.cc;
+// these functions check the structural invariants that make skipping
+// correct, and are used by tests and by debug assertions after updates.
+
+#ifndef WAZI_CORE_LOOKAHEAD_H_
+#define WAZI_CORE_LOOKAHEAD_H_
+
+#include <string>
+
+#include "core/zindex.h"
+
+namespace wazi {
+
+// Invariants checked, for every leaf P and criterion c with target T:
+//  1. T is strictly later than P in the LeafList (or the end of the list);
+//  2. every leaf strictly between P and T does not improve criterion c
+//     over P (so any query that disqualified P also disqualifies it).
+// The "improvement" invariant (T itself improves c over P) holds for bulk
+// builds but is deliberately allowed to lapse after leaf splits (targets
+// may shrink); correctness only needs (1) and (2). `strict` additionally
+// enforces improvement, for freshly bulk-built indexes.
+//
+// Returns an empty string when valid, else a description of the first
+// violation.
+std::string ValidateLookahead(const ZIndex& index, bool strict);
+
+// Counts of look-ahead pointers by jump distance (for diagnostics).
+struct LookaheadSummary {
+  int64_t pointers = 0;
+  int64_t to_end = 0;
+  int64_t next_hops = 0;    // pointers that only reach the next leaf
+  double mean_jump = 0.0;   // average number of leaves skipped
+  int64_t max_jump = 0;
+};
+LookaheadSummary SummarizeLookahead(const ZIndex& index);
+
+}  // namespace wazi
+
+#endif  // WAZI_CORE_LOOKAHEAD_H_

@@ -1,0 +1,89 @@
+#include "core/recursive_cost.h"
+
+#include <limits>
+#include <vector>
+
+namespace wazi {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Subtree point counts, indexed by node id.
+std::vector<double> SubtreeCounts(const ZIndex& index) {
+  std::vector<double> counts(index.num_nodes(), -1.0);
+  // Nodes were appended parent-before-children during bulk build and leaf
+  // splits, so a reverse pass resolves children first.
+  for (size_t i = index.num_nodes(); i-- > 0;) {
+    const ZIndex::Node& node = index.node(static_cast<int32_t>(i));
+    if (node.is_leaf()) {
+      counts[i] = static_cast<double>(
+          index.page_store().PageSize(index.leaf_dir().leaf(node.leaf_id).page));
+    } else {
+      double sum = 0.0;
+      for (int c = 0; c < 4; ++c) sum += counts[node.child[c]];
+      counts[i] = sum;
+    }
+  }
+  return counts;
+}
+
+bool IsDiagonal(RectClass cls) {
+  return cls == RectClass::kAA || cls == RectClass::kBB ||
+         cls == RectClass::kCC || cls == RectClass::kDD;
+}
+
+Quadrant DiagonalQuadrant(RectClass cls) {
+  switch (cls) {
+    case RectClass::kAA: return Quadrant::kA;
+    case RectClass::kBB: return Quadrant::kB;
+    case RectClass::kCC: return Quadrant::kC;
+    default: return Quadrant::kD;
+  }
+}
+
+double CostRec(const ZIndex& index, const std::vector<double>& counts,
+               int32_t node_id, const Rect& cell, const Rect& query,
+               double alpha) {
+  const ZIndex::Node& node = index.node(node_id);
+  if (node.is_leaf()) {
+    return query.Intersect(cell).empty() ? 0.0 : counts[node_id];
+  }
+  const RectClass cls = ClassifyRect(query, cell, node.sx, node.sy);
+  if (cls == RectClass::kOutside) return 0.0;
+  if (IsDiagonal(cls)) {
+    const Quadrant q = DiagonalQuadrant(cls);
+    return CostRec(index, counts, node.child[static_cast<int>(q)],
+                   QuadrantRect(cell, node.sx, node.sy, q), query, alpha);
+  }
+  QuadCounts nd;
+  for (int c = 0; c < 4; ++c) {
+    nd.n[c] = counts[node.child[c]];
+  }
+  return QueryClassCost(cls, nd, node.ord, alpha);
+}
+
+}  // namespace
+
+double RecursiveQueryCost(const ZIndex& index, const Rect& query,
+                          double alpha) {
+  if (index.num_nodes() == 0) return 0.0;
+  static thread_local std::vector<double> counts;
+  // Recompute per call: callers batch through RecursiveWorkloadCost.
+  counts = SubtreeCounts(index);
+  const Rect root_cell = Rect::Of(-kInf, -kInf, kInf, kInf);
+  return CostRec(index, counts, index.root(), root_cell, query, alpha);
+}
+
+double RecursiveWorkloadCost(const ZIndex& index, const Workload& workload,
+                             double alpha) {
+  if (index.num_nodes() == 0) return 0.0;
+  const std::vector<double> counts = SubtreeCounts(index);
+  const Rect root_cell = Rect::Of(-kInf, -kInf, kInf, kInf);
+  double total = 0.0;
+  for (const Rect& q : workload.queries) {
+    total += CostRec(index, counts, index.root(), root_cell, q, alpha);
+  }
+  return total;
+}
+
+}  // namespace wazi

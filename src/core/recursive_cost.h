@@ -1,0 +1,30 @@
+// Exact recursive retrieval-cost evaluation (Eq. 3) for a *built*
+// generalized Z-index. The greedy builder (Alg. 3) approximates the
+// recursive terms with the q_XX * n_X upper bound; this evaluator follows
+// the recursion exactly, which the paper's §7 earmarks for future
+// optimizers. It is used as a diagnostic (model-vs-actual studies, the
+// design-choice ablation bench) and to test that the greedy bound really
+// is an upper bound.
+
+#ifndef WAZI_CORE_RECURSIVE_COST_H_
+#define WAZI_CORE_RECURSIVE_COST_H_
+
+#include "core/zindex.h"
+#include "workload/dataset.h"
+
+namespace wazi {
+
+// Predicted number of points touched when processing `query` (Eq. 3):
+// recursing into the child that fully contains the (clipped) query,
+// charging straddled children their full point count and curve-order
+// middle children alpha times their count.
+double RecursiveQueryCost(const ZIndex& index, const Rect& query,
+                          double alpha);
+
+// Sum over the workload.
+double RecursiveWorkloadCost(const ZIndex& index, const Workload& workload,
+                             double alpha);
+
+}  // namespace wazi
+
+#endif  // WAZI_CORE_RECURSIVE_COST_H_

@@ -1,0 +1,32 @@
+// Binary serialization of built Z-index variants, so an offline-built
+// WaZI (the paper's intended deployment: expensive build, long-lived
+// serving, §6.5) can be persisted and loaded without retraining.
+//
+// Format: a small header (magic, version, flags), then the node array,
+// leaf directory and clustered pages. Byte order is host order; the
+// format is a persistence format, not an interchange format.
+
+#ifndef WAZI_CORE_SERIALIZE_H_
+#define WAZI_CORE_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "core/zindex.h"
+
+namespace wazi {
+
+// Writes `index` to `out`. Returns false on stream failure.
+bool SaveZIndex(const ZIndex& index, std::ostream& out);
+
+// Reads an index written by SaveZIndex. Returns false on corrupt or
+// incompatible input; `index` is left empty in that case.
+bool LoadZIndex(std::istream& in, ZIndex* index);
+
+// File-path convenience wrappers.
+bool SaveZIndexToFile(const ZIndex& index, const std::string& path);
+bool LoadZIndexFromFile(const std::string& path, ZIndex* index);
+
+}  // namespace wazi
+
+#endif  // WAZI_CORE_SERIALIZE_H_

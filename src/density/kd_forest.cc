@@ -1,0 +1,210 @@
+#include "density/kd_forest.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+
+namespace wazi {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Relationship of a node's box to the query box along all dims.
+enum class Overlap { kNone, kPartial, kFull };
+
+Overlap Classify(const DVec& lo, const DVec& hi, const DBox& box, int dim) {
+  bool full = true;
+  for (int d = 0; d < dim; ++d) {
+    if (hi[d] < box.lo[d] || lo[d] > box.hi[d]) return Overlap::kNone;
+    if (lo[d] < box.lo[d] || hi[d] > box.hi[d]) full = false;
+  }
+  return full ? Overlap::kFull : Overlap::kPartial;
+}
+
+// Fraction of the node's box volume covered by the query box, treating
+// zero-extent dimensions as fully covered (they already passed the
+// disjointness test).
+double VolumeFraction(const DVec& lo, const DVec& hi, const DBox& box,
+                      int dim) {
+  double frac = 1.0;
+  for (int d = 0; d < dim; ++d) {
+    const double extent = hi[d] - lo[d];
+    if (extent <= 0.0) continue;
+    const double covered =
+        std::min(hi[d], box.hi[d]) - std::max(lo[d], box.lo[d]);
+    frac *= std::clamp(covered / extent, 0.0, 1.0);
+  }
+  return frac;
+}
+
+}  // namespace
+
+DBox FullBox(int dim) {
+  DBox box;
+  for (int d = 0; d < kMaxDim; ++d) {
+    box.lo[d] = (d < dim) ? -kInf : 0.0;
+    box.hi[d] = (d < dim) ? kInf : 0.0;
+  }
+  return box;
+}
+
+void KdForest::Build(const std::vector<DVec>& rows,
+                     const std::vector<double>& weights,
+                     const KdForestOptions& opts) {
+  opts_ = opts;
+  rows_ = &rows;
+  row_weights_ = weights.empty() ? nullptr : &weights;
+  trees_.clear();
+  total_weight_ = 0.0;
+  if (row_weights_ != nullptr) {
+    for (double w : weights) total_weight_ += w;
+  } else {
+    total_weight_ = static_cast<double>(rows.size());
+  }
+  if (rows.empty()) return;
+
+  const size_t sample_n =
+      opts.subsample == 0 ? rows.size() : std::min(opts.subsample, rows.size());
+  Rng rng(opts.seed);
+  trees_.resize(opts.num_trees);
+  for (int t = 0; t < opts.num_trees; ++t) {
+    Tree& tree = trees_[t];
+    std::vector<uint32_t> idx;
+    idx.reserve(sample_n);
+    if (sample_n == rows.size()) {
+      for (size_t i = 0; i < rows.size(); ++i) idx.push_back(i);
+    } else {
+      for (size_t i = 0; i < sample_n; ++i) {
+        idx.push_back(static_cast<uint32_t>(rng.NextBelow(rows.size())));
+      }
+    }
+    tree.sample_weight = 0.0;
+    if (row_weights_ != nullptr) {
+      for (uint32_t i : idx) tree.sample_weight += weights[i];
+    } else {
+      tree.sample_weight = static_cast<double>(idx.size());
+    }
+    tree.nodes.reserve(2 * idx.size() / std::max(1, opts.leaf_size) + 8);
+    BuildNode(tree, idx, 0, idx.size(), 0, rng.NextU64());
+  }
+  rows_ = nullptr;
+  row_weights_ = nullptr;
+}
+
+int32_t KdForest::BuildNode(Tree& tree, std::vector<uint32_t>& idx,
+                            size_t begin, size_t end, int depth,
+                            uint64_t rng_state) {
+  const std::vector<DVec>& rows = *rows_;
+  Node node;
+  for (int d = 0; d < opts_.dim; ++d) {
+    node.lo[d] = kInf;
+    node.hi[d] = -kInf;
+  }
+  node.weight = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    const DVec& r = rows[idx[i]];
+    for (int d = 0; d < opts_.dim; ++d) {
+      node.lo[d] = std::min(node.lo[d], r[d]);
+      node.hi[d] = std::max(node.hi[d], r[d]);
+    }
+    node.weight +=
+        (row_weights_ != nullptr) ? (*row_weights_)[idx[i]] : 1.0;
+  }
+
+  const int32_t node_id = static_cast<int32_t>(tree.nodes.size());
+  tree.nodes.push_back(node);
+  const size_t count = end - begin;
+  if (count <= static_cast<size_t>(opts_.leaf_size) || depth >= 48) {
+    return node_id;
+  }
+
+  // Randomized split: random dimension (among those with extent), split at
+  // the coordinate of a uniformly chosen sample row, nudged so both sides
+  // are non-empty.
+  Rng rng(rng_state);
+  int split_dim = -1;
+  for (int attempt = 0; attempt < 2 * opts_.dim; ++attempt) {
+    const int d = static_cast<int>(rng.NextBelow(opts_.dim));
+    if (tree.nodes[node_id].hi[d] > tree.nodes[node_id].lo[d]) {
+      split_dim = d;
+      break;
+    }
+  }
+  if (split_dim < 0) return node_id;  // all rows identical: stay a leaf
+
+  const double pick =
+      rows[idx[begin + rng.NextBelow(count)]][split_dim];
+  auto mid_it = std::partition(
+      idx.begin() + begin, idx.begin() + end,
+      [&](uint32_t i) { return rows[i][split_dim] < pick; });
+  size_t mid = static_cast<size_t>(mid_it - idx.begin());
+  if (mid == begin || mid == end) {
+    // Degenerate pick (e.g. the minimum): fall back to a median value and
+    // retry; if even that cannot bipartition, put the median-equal rows on
+    // the left.
+    const size_t k = begin + count / 2;
+    std::nth_element(idx.begin() + begin, idx.begin() + k, idx.begin() + end,
+                     [&](uint32_t a, uint32_t b) {
+                       return rows[a][split_dim] < rows[b][split_dim];
+                     });
+    const double v = rows[idx[k]][split_dim];
+    mid_it = std::partition(idx.begin() + begin, idx.begin() + end,
+                            [&](uint32_t i) { return rows[i][split_dim] < v; });
+    mid = static_cast<size_t>(mid_it - idx.begin());
+    if (mid == begin) {
+      mid_it =
+          std::partition(idx.begin() + begin, idx.begin() + end,
+                         [&](uint32_t i) { return rows[i][split_dim] <= v; });
+      mid = static_cast<size_t>(mid_it - idx.begin());
+    }
+    if (mid == begin || mid == end) return node_id;  // cannot separate
+  }
+
+  tree.nodes[node_id].split_dim = split_dim;
+  tree.nodes[node_id].split_val = rows[idx[mid]][split_dim];
+  const int32_t left =
+      BuildNode(tree, idx, begin, mid, depth + 1, rng.NextU64());
+  tree.nodes[node_id].left = left;
+  const int32_t right =
+      BuildNode(tree, idx, mid, end, depth + 1, rng.NextU64());
+  tree.nodes[node_id].right = right;
+  return node_id;
+}
+
+double KdForest::Estimate(const DBox& box) const {
+  if (trees_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const Tree& tree : trees_) {
+    if (tree.nodes.empty() || tree.sample_weight <= 0.0) continue;
+    const double est = EstimateNode(tree, 0, box);
+    sum += est / tree.sample_weight;
+  }
+  return sum / static_cast<double>(trees_.size()) * total_weight_;
+}
+
+double KdForest::EstimateNode(const Tree& tree, int32_t node_id,
+                              const DBox& box) const {
+  const Node& node = tree.nodes[node_id];
+  switch (Classify(node.lo, node.hi, box, opts_.dim)) {
+    case Overlap::kNone: return 0.0;
+    case Overlap::kFull: return node.weight;
+    case Overlap::kPartial: break;
+  }
+  if (node.split_dim < 0) {
+    return node.weight * VolumeFraction(node.lo, node.hi, box, opts_.dim);
+  }
+  return EstimateNode(tree, node.left, box) +
+         EstimateNode(tree, node.right, box);
+}
+
+size_t KdForest::SizeBytes() const {
+  size_t bytes = sizeof(*this);
+  for (const Tree& tree : trees_) {
+    bytes += tree.nodes.capacity() * sizeof(Node);
+  }
+  return bytes;
+}
+
+}  // namespace wazi

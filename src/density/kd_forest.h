@@ -1,0 +1,109 @@
+// Random Forest Density Estimation (RFDE) in the style of Wen & Hang
+// (ICML 2022), as used by the paper (§4.3) to approximate the data
+// distribution D and the range-query distribution Q during WaZI's greedy
+// index construction.
+//
+// The estimator is a forest of randomized k-d trees. Each tree is built on
+// a bootstrap subsample; internal nodes split a randomly chosen dimension
+// at a randomized position, and every node stores the (weighted)
+// cardinality of its subtree. A box-count query walks each tree: nodes
+// fully inside the box contribute their cardinality, disjoint nodes
+// contribute zero, and partially overlapping leaves contribute their
+// cardinality scaled by the overlapped volume fraction. Tree estimates are
+// averaged and rescaled to the full population.
+//
+// The same class covers:
+//   * 2-D data counts       n_X  (points per candidate quadrant),
+//   * 4-D query-corner counts q_XY (queries per rectangle class), and
+//   * CUR's weighted counts (per-point weights = query coverage).
+
+#ifndef WAZI_DENSITY_KD_FOREST_H_
+#define WAZI_DENSITY_KD_FOREST_H_
+
+#include <cstddef>
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace wazi {
+
+// Maximum dimensionality supported (2 for data, 4 for query corners).
+inline constexpr int kMaxDim = 4;
+
+using DVec = std::array<double, kMaxDim>;
+
+// Axis-aligned box in up-to-4-D space; bounds are closed.
+struct DBox {
+  DVec lo;
+  DVec hi;
+};
+
+struct KdForestOptions {
+  int dim = 2;
+  int num_trees = 8;
+  // Per-tree bootstrap subsample size; 0 means "use all rows".
+  size_t subsample = 0;
+  // Leaves hold at most this many rows (their exact box is recorded so
+  // partial overlap can be interpolated by volume).
+  int leaf_size = 16;
+  uint64_t seed = 1234;
+};
+
+// Builds once, then serves Estimate() queries. Thread-compatible: const
+// after Build.
+class KdForest {
+ public:
+  KdForest() = default;
+
+  // Builds the forest on `rows` (only the first `opts.dim` coordinates are
+  // used). `weights` may be empty (all rows weigh 1.0) or have one entry
+  // per row.
+  void Build(const std::vector<DVec>& rows, const std::vector<double>& weights,
+             const KdForestOptions& opts);
+
+  // Estimated total weight of rows inside `box` (closed bounds).
+  double Estimate(const DBox& box) const;
+
+  // Total weight of the population the forest was built on.
+  double total_weight() const { return total_weight_; }
+
+  bool built() const { return !trees_.empty(); }
+
+  size_t SizeBytes() const;
+
+ private:
+  struct Node {
+    // Bounding box of the rows under this node.
+    DVec lo;
+    DVec hi;
+    double weight = 0.0;
+    int split_dim = -1;  // -1 for leaves.
+    double split_val = 0.0;
+    int32_t left = -1;
+    int32_t right = -1;
+  };
+
+  struct Tree {
+    std::vector<Node> nodes;
+    double sample_weight = 0.0;  // total weight of this tree's subsample
+  };
+
+  int32_t BuildNode(Tree& tree, std::vector<uint32_t>& idx, size_t begin,
+                    size_t end, int depth, uint64_t rng_state);
+
+  double EstimateNode(const Tree& tree, int32_t node_id,
+                      const DBox& box) const;
+
+  const std::vector<DVec>* rows_ = nullptr;  // only valid during Build
+  const std::vector<double>* row_weights_ = nullptr;
+  KdForestOptions opts_;
+  std::vector<Tree> trees_;
+  double total_weight_ = 0.0;
+};
+
+// Convenience: unbounded box for `dim` dimensions.
+DBox FullBox(int dim);
+
+}  // namespace wazi
+
+#endif  // WAZI_DENSITY_KD_FOREST_H_

@@ -1,0 +1,53 @@
+#include "index/brute_force.h"
+
+namespace wazi {
+
+void BruteForceIndex::Build(const Dataset& data, const Workload&,
+                            const BuildOptions&) {
+  points_ = data.points;
+}
+
+void BruteForceIndex::RangeQuery(const Rect& query,
+                                 std::vector<Point>* out) const {
+  for (const Point& p : points_) {
+    ++stats_.points_scanned;
+    if (query.Contains(p)) {
+      out->push_back(p);
+      ++stats_.results;
+    }
+  }
+  ++stats_.pages_scanned;
+}
+
+void BruteForceIndex::Project(const Rect&, Projection* proj) const {
+  proj->push_back(Span{points_.data(), points_.data() + points_.size()});
+}
+
+bool BruteForceIndex::PointQuery(const Point& p) const {
+  for (const Point& q : points_) {
+    if (q.x == p.x && q.y == p.y) return true;
+  }
+  return false;
+}
+
+bool BruteForceIndex::Insert(const Point& p) {
+  points_.push_back(p);
+  return true;
+}
+
+bool BruteForceIndex::Remove(const Point& p) {
+  for (size_t i = 0; i < points_.size(); ++i) {
+    if (points_[i].x == p.x && points_[i].y == p.y) {
+      points_[i] = points_.back();
+      points_.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+size_t BruteForceIndex::SizeBytes() const {
+  return sizeof(*this) + points_.capacity() * sizeof(Point);
+}
+
+}  // namespace wazi

@@ -1,0 +1,34 @@
+// Linear-scan reference index: the ground truth every other index is
+// tested against.
+
+#ifndef WAZI_INDEX_BRUTE_FORCE_H_
+#define WAZI_INDEX_BRUTE_FORCE_H_
+
+#include <string>
+#include <vector>
+
+#include "index/spatial_index.h"
+
+namespace wazi {
+
+class BruteForceIndex : public SpatialIndex {
+ public:
+  std::string name() const override { return "brute"; }
+
+  void Build(const Dataset& data, const Workload& workload,
+             const BuildOptions& opts) override;
+
+  void RangeQuery(const Rect& query, std::vector<Point>* out) const override;
+  void Project(const Rect& query, Projection* proj) const override;
+  bool PointQuery(const Point& p) const override;
+  bool Insert(const Point& p) override;
+  bool Remove(const Point& p) override;
+  size_t SizeBytes() const override;
+
+ private:
+  std::vector<Point> points_;
+};
+
+}  // namespace wazi
+
+#endif  // WAZI_INDEX_BRUTE_FORCE_H_

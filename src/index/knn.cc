@@ -1,0 +1,64 @@
+#include "index/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wazi {
+namespace {
+
+double Dist2(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace
+
+KnnResult KnnByRangeExpansion(const SpatialIndex& index, const Point& center,
+                              size_t k, const Rect& domain) {
+  KnnResult result;
+  if (k == 0 || domain.empty()) return result;
+
+  // Initial window: a square whose area would hold ~4k points if the data
+  // were uniform over the domain; unknown density makes this a heuristic,
+  // the expansion loop fixes any underestimate.
+  const double domain_span =
+      std::max(domain.max_x - domain.min_x, domain.max_y - domain.min_y);
+  double radius = domain_span / 64.0;
+
+  std::vector<Point> window;
+  while (true) {
+    const Rect q = Rect::Of(center.x - radius, center.y - radius,
+                            center.x + radius, center.y + radius);
+    window.clear();
+    index.RangeQuery(q, &window);
+    ++result.range_queries_issued;
+
+    const bool covers_domain = q.Contains(domain);
+    if (window.size() >= k) {
+      std::nth_element(window.begin(), window.begin() + (k - 1), window.end(),
+                       [&](const Point& a, const Point& b) {
+                         return Dist2(a, center) < Dist2(b, center);
+                       });
+      const double kth = std::sqrt(Dist2(window[k - 1], center));
+      // Correct iff the k-th neighbour's circle fits inside the window.
+      if (kth <= radius || covers_domain) {
+        window.resize(k);
+        break;
+      }
+      // Grow just enough (plus slack) to certify.
+      radius = std::max(kth * 1.001, radius * 1.5);
+      continue;
+    }
+    if (covers_domain) break;  // fewer than k points exist
+    radius *= 2.0;
+  }
+
+  std::sort(window.begin(), window.end(), [&](const Point& a, const Point& b) {
+    return Dist2(a, center) < Dist2(b, center);
+  });
+  result.neighbors = std::move(window);
+  return result;
+}
+
+}  // namespace wazi

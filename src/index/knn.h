@@ -1,0 +1,33 @@
+// k-nearest-neighbour queries on top of any SpatialIndex, by range-query
+// decomposition (the paper's §6.3 remark: indexes not specialised for kNN
+// process them as sets of range queries, so kNN performance tracks range
+// performance).
+//
+// Strategy: query an expanding square window centred on the target until
+// it contains at least k points whose k-th smallest distance fits inside
+// the window (so no closer point can be outside), then report the k
+// nearest by Euclidean distance.
+
+#ifndef WAZI_INDEX_KNN_H_
+#define WAZI_INDEX_KNN_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "index/spatial_index.h"
+
+namespace wazi {
+
+struct KnnResult {
+  std::vector<Point> neighbors;  // sorted by increasing distance
+  int range_queries_issued = 0;  // how many windows were needed
+};
+
+// `domain` bounds the expansion (pass the dataset bounds). If the dataset
+// holds fewer than k points, all of them are returned.
+KnnResult KnnByRangeExpansion(const SpatialIndex& index, const Point& center,
+                              size_t k, const Rect& domain);
+
+}  // namespace wazi
+
+#endif  // WAZI_INDEX_KNN_H_

@@ -1,0 +1,22 @@
+#include "index/spatial_index.h"
+
+namespace wazi {
+
+void SpatialIndex::ScanProjection(const Projection& proj, const Rect& query,
+                                  std::vector<Point>* out) const {
+  for (const Span& span : proj) {
+    ++stats_.pages_scanned;
+    for (const Point* p = span.begin; p != span.end; ++p) {
+      ++stats_.points_scanned;
+      if (query.Contains(*p)) {
+        out->push_back(*p);
+        ++stats_.results;
+      }
+    }
+  }
+}
+
+bool SpatialIndex::Insert(const Point&) { return false; }
+bool SpatialIndex::Remove(const Point&) { return false; }
+
+}  // namespace wazi

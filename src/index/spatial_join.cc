@@ -1,0 +1,37 @@
+#include "index/spatial_join.h"
+
+namespace wazi {
+
+std::vector<JoinPair> BoxJoin(const SpatialIndex& index,
+                              const std::vector<Point>& probes, double eps) {
+  std::vector<JoinPair> out;
+  std::vector<Point> hits;
+  for (const Point& p : probes) {
+    hits.clear();
+    index.RangeQuery(Rect::Of(p.x - eps, p.y - eps, p.x + eps, p.y + eps),
+                     &hits);
+    for (const Point& m : hits) out.push_back(JoinPair{p.id, m});
+  }
+  return out;
+}
+
+std::vector<JoinPair> DistanceJoin(const SpatialIndex& index,
+                                   const std::vector<Point>& probes,
+                                   double eps) {
+  std::vector<JoinPair> out;
+  std::vector<Point> hits;
+  const double eps2 = eps * eps;
+  for (const Point& p : probes) {
+    hits.clear();
+    index.RangeQuery(Rect::Of(p.x - eps, p.y - eps, p.x + eps, p.y + eps),
+                     &hits);
+    for (const Point& m : hits) {
+      const double dx = m.x - p.x;
+      const double dy = m.y - p.y;
+      if (dx * dx + dy * dy <= eps2) out.push_back(JoinPair{p.id, m});
+    }
+  }
+  return out;
+}
+
+}  // namespace wazi

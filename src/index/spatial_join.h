@@ -1,0 +1,35 @@
+// Spatial joins on top of any SpatialIndex, by range-query decomposition
+// (the paper's §6.3 remark: spatial joins are processed as sets of range
+// queries, so join performance tracks range performance).
+
+#ifndef WAZI_INDEX_SPATIAL_JOIN_H_
+#define WAZI_INDEX_SPATIAL_JOIN_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "index/spatial_index.h"
+
+namespace wazi {
+
+// Index-nested-loop box join: for every probe point, all indexed points
+// within the axis-aligned box of half-width `eps` around it. Emits
+// (probe_id, match) pairs in probe order.
+struct JoinPair {
+  int64_t probe_id;
+  Point match;
+};
+
+std::vector<JoinPair> BoxJoin(const SpatialIndex& index,
+                              const std::vector<Point>& probes, double eps);
+
+// Distance join (Euclidean): like BoxJoin but filtered to the disc of
+// radius `eps` around each probe.
+std::vector<JoinPair> DistanceJoin(const SpatialIndex& index,
+                                   const std::vector<Point>& probes,
+                                   double eps);
+
+}  // namespace wazi
+
+#endif  // WAZI_INDEX_SPATIAL_JOIN_H_

@@ -1,0 +1,185 @@
+#include "learned/pgm_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wazi {
+
+void PgmIndex::Build(const std::vector<uint64_t>& keys, int epsilon) {
+  epsilon_ = std::max(1, epsilon);
+  n_ = keys.size();
+  unique_keys_.clear();
+  first_pos_.clear();
+  levels_.clear();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (i == 0 || keys[i] != keys[i - 1]) {
+      unique_keys_.push_back(keys[i]);
+      first_pos_.push_back(i);
+    }
+  }
+  if (unique_keys_.empty()) return;
+
+  // Leaf level over unique keys -> unique positions.
+  std::vector<size_t> positions(unique_keys_.size());
+  for (size_t i = 0; i < positions.size(); ++i) positions[i] = i;
+  levels_.push_back(BuildLevel(unique_keys_, positions, epsilon_));
+
+  // Upper levels over segment first-keys until small enough for a binary
+  // search at the top.
+  while (levels_.back().size() > 64) {
+    const std::vector<Segment>& below = levels_.back();
+    std::vector<uint64_t> seg_keys(below.size());
+    std::vector<size_t> seg_pos(below.size());
+    for (size_t i = 0; i < below.size(); ++i) {
+      seg_keys[i] = below[i].key;
+      seg_pos[i] = i;
+    }
+    levels_.push_back(BuildLevel(seg_keys, seg_pos, epsilon_));
+  }
+}
+
+std::vector<PgmIndex::Segment> PgmIndex::BuildLevel(
+    const std::vector<uint64_t>& keys, const std::vector<size_t>& positions,
+    int epsilon) {
+  // Streaming shrinking-cone PLA: keep the feasible slope interval
+  // [slope_lo, slope_hi] for the current segment; start a new segment when
+  // it empties. Guarantees |predicted - actual| <= epsilon.
+  std::vector<Segment> segs;
+  const double eps = static_cast<double>(epsilon);
+  size_t start = 0;
+  double slope_lo = 0.0, slope_hi = 0.0;
+  auto flush = [&](size_t end_idx) {
+    Segment s;
+    s.key = keys[start];
+    s.intercept = static_cast<double>(positions[start]);
+    if (end_idx - start <= 1) {
+      s.slope = 0.0;
+    } else {
+      s.slope = 0.5 * (slope_lo + slope_hi);
+    }
+    segs.push_back(s);
+  };
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (segs.empty() && i == 0) {
+      start = 0;
+      continue;
+    }
+    if (i == start) continue;
+    const double dx =
+        static_cast<double>(keys[i] - keys[start]);  // > 0: keys unique
+    const double dy = static_cast<double>(positions[i]) -
+                      static_cast<double>(positions[start]);
+    const double lo = (dy - eps) / dx;
+    const double hi = (dy + eps) / dx;
+    if (i == start + 1) {
+      slope_lo = lo;
+      slope_hi = hi;
+      continue;
+    }
+    const double new_lo = std::max(slope_lo, lo);
+    const double new_hi = std::min(slope_hi, hi);
+    if (new_lo <= new_hi) {
+      slope_lo = new_lo;
+      slope_hi = new_hi;
+    } else {
+      flush(i);
+      start = i;
+    }
+  }
+  flush(keys.size());
+  return segs;
+}
+
+size_t PgmIndex::Predict(const Segment& seg, uint64_t key, size_t max_pos) {
+  const double delta = static_cast<double>(key - seg.key);
+  const double pred = seg.intercept + seg.slope * delta;
+  if (pred <= 0.0) return 0;
+  const size_t p = static_cast<size_t>(pred);
+  return std::min(p, max_pos);
+}
+
+PgmIndex::Approx PgmIndex::Search(uint64_t key) const {
+  if (unique_keys_.empty() || levels_.empty()) return Approx{0, 0, 0};
+  const size_t eps = static_cast<size_t>(epsilon_);
+
+  // Top level: plain binary search for the last segment with key <= `key`.
+  const std::vector<Segment>& top = levels_.back();
+  size_t seg_idx;
+  {
+    auto it = std::upper_bound(
+        top.begin(), top.end(), key,
+        [](uint64_t k, const Segment& s) { return k < s.key; });
+    seg_idx = (it == top.begin()) ? 0 : static_cast<size_t>(it - top.begin() - 1);
+  }
+
+  // Walk down: each level predicts an index into the level below (or into
+  // unique key positions at the leaf level), searched within +-epsilon.
+  for (size_t lvl = levels_.size(); lvl-- > 0;) {
+    const Segment& seg = levels_[lvl][seg_idx];
+    const bool leaf = (lvl == 0);
+    const size_t below_n =
+        leaf ? unique_keys_.size() : levels_[lvl - 1].size();
+    const size_t pred = Predict(seg, std::max(key, seg.key), below_n - 1);
+    const size_t lo = pred > eps ? pred - eps : 0;
+    const size_t hi = std::min(below_n, pred + eps + 2);
+    if (leaf) {
+      // Map the unique-key window back to original-array positions.
+      const size_t pos = first_pos_[std::min(pred, first_pos_.size() - 1)];
+      const size_t olo = first_pos_[lo];
+      const size_t ohi = hi >= first_pos_.size() ? n_ : first_pos_[hi];
+      return Approx{pos, olo, ohi};
+    }
+    // Find the last segment in the window whose key <= `key`.
+    const std::vector<Segment>& below = levels_[lvl - 1];
+    auto first = below.begin() + lo;
+    auto last = below.begin() + hi;
+    auto it = std::upper_bound(
+        first, last, key,
+        [](uint64_t k, const Segment& s) { return k < s.key; });
+    if (it == below.begin()) {
+      seg_idx = 0;
+    } else {
+      seg_idx = static_cast<size_t>(it - below.begin() - 1);
+    }
+  }
+  return Approx{0, 0, n_};  // unreachable
+}
+
+size_t PgmIndex::LowerBound(uint64_t key) const {
+  if (unique_keys_.empty()) return 0;
+  const Approx a = Search(key);
+  // Binary search over unique keys within the window [a.lo, a.hi) mapped
+  // back to unique indices.
+  const size_t ulo = static_cast<size_t>(
+      std::lower_bound(first_pos_.begin(), first_pos_.end(), a.lo) -
+      first_pos_.begin());
+  size_t uhi = static_cast<size_t>(
+      std::lower_bound(first_pos_.begin(), first_pos_.end(), a.hi) -
+      first_pos_.begin());
+  uhi = std::min(uhi + 1, unique_keys_.size());
+  auto it = std::lower_bound(unique_keys_.begin() + ulo,
+                             unique_keys_.begin() + uhi, key);
+  size_t u = static_cast<size_t>(it - unique_keys_.begin());
+  // The epsilon guarantee covers keys present in the array; for in-between
+  // keys the window can (rarely) miss by a segment boundary. Verify the
+  // global lower-bound property and fall back to a full search if needed.
+  const bool ok = (u == 0 || unique_keys_[u - 1] < key) &&
+                  (u == unique_keys_.size() || unique_keys_[u] >= key);
+  if (!ok) {
+    u = static_cast<size_t>(
+        std::lower_bound(unique_keys_.begin(), unique_keys_.end(), key) -
+        unique_keys_.begin());
+  }
+  if (u >= unique_keys_.size()) return n_;
+  return first_pos_[u];
+}
+
+size_t PgmIndex::SizeBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += unique_keys_.capacity() * sizeof(uint64_t);
+  bytes += first_pos_.capacity() * sizeof(size_t);
+  for (const auto& lvl : levels_) bytes += lvl.capacity() * sizeof(Segment);
+  return bytes;
+}
+
+}  // namespace wazi

@@ -1,0 +1,72 @@
+// PGM-style learned index over a sorted array of 64-bit keys (Ferragina &
+// Vinciguerra, 2020). Piecewise-linear segments with a hard error bound
+// epsilon are built with the streaming shrinking-cone method and stacked
+// recursively until the top level is small. Used by the Zpgm baseline to
+// locate Z-order codes.
+//
+// Duplicates are supported: the structure indexes unique keys and maps
+// predictions back to positions in the original (possibly duplicated)
+// array.
+
+#ifndef WAZI_LEARNED_PGM_INDEX_H_
+#define WAZI_LEARNED_PGM_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wazi {
+
+class PgmIndex {
+ public:
+  struct Approx {
+    size_t pos;  // predicted position in the original array
+    size_t lo;   // inclusive lower bound of the search window
+    size_t hi;   // exclusive upper bound of the search window
+  };
+
+  PgmIndex() = default;
+
+  // `keys` must be sorted ascending (duplicates allowed).
+  void Build(const std::vector<uint64_t>& keys, int epsilon);
+
+  // Error-bounded window that contains the lower-bound position of `key`.
+  Approx Search(uint64_t key) const;
+
+  // Exact index of the first element >= key (like std::lower_bound), using
+  // Search() plus a bounded binary search.
+  size_t LowerBound(uint64_t key) const;
+
+  size_t size() const { return n_; }
+  int epsilon() const { return epsilon_; }
+  size_t NumSegments() const {
+    return levels_.empty() ? 0 : levels_[0].size();
+  }
+  size_t SizeBytes() const;
+
+ private:
+  struct Segment {
+    uint64_t key;      // first key covered
+    double slope;      // positions per key unit
+    double intercept;  // predicted position at `key`
+  };
+
+  // Builds one epsilon-bounded piecewise-linear level over (key, pos).
+  static std::vector<Segment> BuildLevel(const std::vector<uint64_t>& keys,
+                                         const std::vector<size_t>& positions,
+                                         int epsilon);
+
+  // Position predicted by `seg` for `key`, clamped to [0, max_pos].
+  static size_t Predict(const Segment& seg, uint64_t key, size_t max_pos);
+
+  std::vector<uint64_t> unique_keys_;
+  std::vector<size_t> first_pos_;  // first_pos_[i]: first index of
+                                   // unique_keys_[i] in the original array
+  std::vector<std::vector<Segment>> levels_;  // levels_[0] = leaf level
+  size_t n_ = 0;
+  int epsilon_ = 32;
+};
+
+}  // namespace wazi
+
+#endif  // WAZI_LEARNED_PGM_INDEX_H_

@@ -1,0 +1,131 @@
+#include "learned/rmi.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace wazi {
+namespace {
+
+double AsDouble(uint64_t k) { return static_cast<double>(k); }
+
+}  // namespace
+
+Rmi::Linear Rmi::FitLinear(const std::vector<uint64_t>& keys, size_t begin,
+                           size_t end) {
+  // Least-squares fit of position on key over [begin, end).
+  Linear m;
+  const size_t n = end - begin;
+  if (n == 0) return m;
+  if (n == 1) {
+    m.intercept = static_cast<double>(begin);
+    return m;
+  }
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  const double x0 = AsDouble(keys[begin]);  // centre for stability
+  for (size_t i = begin; i < end; ++i) {
+    const double x = AsDouble(keys[i]) - x0;
+    const double y = static_cast<double>(i);
+    sx += x;
+    sy += y;
+    sxx += x * x;
+    sxy += x * y;
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (denom > 0.0) {
+    m.slope = (dn * sxy - sx * sy) / denom;
+    m.intercept = (sy - m.slope * sx) / dn - m.slope * x0;
+  } else {
+    m.slope = 0.0;
+    m.intercept = sy / dn;
+  }
+  return m;
+}
+
+size_t Rmi::LeafOf(uint64_t key) const {
+  const double pred = root_.intercept + root_.slope * AsDouble(key);
+  if (pred <= 0.0) return 0;
+  const size_t leaf = static_cast<size_t>(pred);
+  return std::min(leaf, leaves_.size() - 1);
+}
+
+void Rmi::Build(const std::vector<uint64_t>& keys, size_t num_leaves) {
+  keys_ = &keys;
+  n_ = keys.size();
+  leaves_.assign(std::max<size_t>(1, num_leaves), Linear{});
+  leaf_begin_.assign(leaves_.size() + 1, 0);
+  if (n_ == 0) return;
+
+  // Root: map key range onto [0, M) linearly over (key -> leaf id).
+  const double k_lo = AsDouble(keys.front());
+  const double k_hi = AsDouble(keys.back());
+  if (k_hi > k_lo) {
+    root_.slope = static_cast<double>(leaves_.size()) / (k_hi - k_lo);
+    root_.intercept = -root_.slope * k_lo;
+  } else {
+    root_.slope = 0.0;
+    root_.intercept = 0.0;
+  }
+
+  // Keys are sorted, so LeafOf is non-decreasing: find leaf boundaries.
+  size_t i = 0;
+  for (size_t leaf = 0; leaf < leaves_.size(); ++leaf) {
+    leaf_begin_[leaf] = i;
+    while (i < n_ && LeafOf(keys[i]) == leaf) ++i;
+  }
+  leaf_begin_[leaves_.size()] = n_;
+
+  for (size_t leaf = 0; leaf < leaves_.size(); ++leaf) {
+    const size_t b = leaf_begin_[leaf];
+    const size_t e = leaf_begin_[leaf + 1];
+    leaves_[leaf] = FitLinear(keys, b, e);
+    // Record max error of the leaf's predictions for its keys; for keys
+    // between array values, lower-bound positions interpolate, so this
+    // bound plus one covers lookups.
+    size_t max_err = 0;
+    for (size_t j = b; j < e; ++j) {
+      const double pred =
+          leaves_[leaf].intercept + leaves_[leaf].slope * AsDouble(keys[j]);
+      const double clamped = std::clamp(pred, 0.0, static_cast<double>(n_));
+      const double err = std::abs(clamped - static_cast<double>(j));
+      max_err = std::max(max_err, static_cast<size_t>(err) + 1);
+    }
+    leaves_[leaf].max_err = max_err;
+  }
+}
+
+Rmi::Approx Rmi::Search(uint64_t key) const {
+  if (n_ == 0) return Approx{0, 0, 0};
+  const Linear& leaf = leaves_[LeafOf(key)];
+  const double pred = leaf.intercept + leaf.slope * AsDouble(key);
+  size_t pos = 0;
+  if (pred > 0.0) pos = std::min(static_cast<size_t>(pred), n_ - 1);
+  const size_t err = leaf.max_err + 1;
+  const size_t lo = pos > err ? pos - err : 0;
+  const size_t hi = std::min(n_, pos + err + 1);
+  return Approx{pos, lo, hi};
+}
+
+size_t Rmi::LowerBound(uint64_t key) const {
+  if (n_ == 0) return 0;
+  const std::vector<uint64_t>& keys = *keys_;
+  const Approx a = Search(key);
+  auto it = std::lower_bound(keys.begin() + a.lo, keys.begin() + a.hi, key);
+  size_t pos = static_cast<size_t>(it - keys.begin());
+  // Verify the window actually bracketed the answer (leaf boundaries can
+  // shave a key or two); fall back to a full search when it did not.
+  const bool ok = (pos == 0 || keys[pos - 1] < key) &&
+                  (pos == n_ || keys[pos] >= key);
+  if (!ok) {
+    pos = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), key) - keys.begin());
+  }
+  return pos;
+}
+
+size_t Rmi::SizeBytes() const {
+  return sizeof(*this) + leaves_.capacity() * sizeof(Linear) +
+         leaf_begin_.capacity() * sizeof(size_t);
+}
+
+}  // namespace wazi

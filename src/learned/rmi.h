@@ -1,0 +1,59 @@
+// Two-level Recursive Model Index (Kraska et al., 2018) over a sorted
+// array of 64-bit keys: a linear root model routes a key to one of M
+// second-level linear models; each leaf model records its maximum
+// prediction error so lookups are exact after a bounded binary search.
+// Used by the RSMI-lite baseline.
+
+#ifndef WAZI_LEARNED_RMI_H_
+#define WAZI_LEARNED_RMI_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wazi {
+
+class Rmi {
+ public:
+  Rmi() = default;
+
+  // `keys` must be sorted ascending (duplicates allowed). `num_leaves` is
+  // the second-level model count.
+  void Build(const std::vector<uint64_t>& keys, size_t num_leaves);
+
+  struct Approx {
+    size_t pos;
+    size_t lo;  // inclusive
+    size_t hi;  // exclusive
+  };
+
+  // Error-bounded window containing the lower-bound position of `key`.
+  Approx Search(uint64_t key) const;
+
+  // Exact index of the first element >= key.
+  size_t LowerBound(uint64_t key) const;
+
+  size_t size() const { return n_; }
+  size_t SizeBytes() const;
+
+ private:
+  struct Linear {
+    double slope = 0.0;
+    double intercept = 0.0;
+    size_t max_err = 0;
+  };
+
+  size_t LeafOf(uint64_t key) const;
+  static Linear FitLinear(const std::vector<uint64_t>& keys, size_t begin,
+                          size_t end);
+
+  const std::vector<uint64_t>* keys_ = nullptr;  // borrowed; must outlive Rmi
+  Linear root_;
+  std::vector<Linear> leaves_;
+  std::vector<size_t> leaf_begin_;  // first key index routed to each leaf
+  size_t n_ = 0;
+};
+
+}  // namespace wazi
+
+#endif  // WAZI_LEARNED_RMI_H_

@@ -1,0 +1,68 @@
+#include "sfc/bigmin.h"
+
+#include "sfc/zcurve.h"
+
+namespace wazi {
+namespace {
+
+// Mask selecting the bits of the same dimension as `pos` that are strictly
+// below `pos` (x lives at even bit positions, y at odd ones).
+inline uint64_t SameDimLowerMask(int pos) {
+  const uint64_t dim_mask =
+      (pos & 1) ? 0xaaaaaaaaaaaaaaaaULL : 0x5555555555555555ULL;
+  return dim_mask & ((1ULL << pos) - 1);
+}
+
+// "Load 1000...": within pos's dimension, set bit pos and clear the lower
+// bits of that dimension; other dimension unchanged.
+inline uint64_t Load1000(uint64_t v, int pos) {
+  return (v & ~SameDimLowerMask(pos)) | (1ULL << pos);
+}
+
+// "Load 0111...": within pos's dimension, clear bit pos and set the lower
+// bits of that dimension; other dimension unchanged.
+inline uint64_t Load0111(uint64_t v, int pos) {
+  return (v & ~(1ULL << pos)) | SameDimLowerMask(pos);
+}
+
+}  // namespace
+
+bool ZCellInBox(uint64_t z, uint64_t zmin, uint64_t zmax) {
+  const uint32_t x = ZDecodeX(z), y = ZDecodeY(z);
+  return x >= ZDecodeX(zmin) && x <= ZDecodeX(zmax) && y >= ZDecodeY(zmin) &&
+         y <= ZDecodeY(zmax);
+}
+
+uint64_t BigMin(uint64_t z, uint64_t zmin, uint64_t zmax) {
+  uint64_t bigmin = zmax + 1;  // "no match" sentinel (callers use <= zmax)
+  uint64_t minv = zmin;
+  uint64_t maxv = zmax;
+  for (int pos = 63; pos >= 0; --pos) {
+    const int zb = static_cast<int>((z >> pos) & 1);
+    const int mnb = static_cast<int>((minv >> pos) & 1);
+    const int mxb = static_cast<int>((maxv >> pos) & 1);
+    switch ((zb << 2) | (mnb << 1) | mxb) {
+      case 0b000:
+        break;
+      case 0b001:
+        bigmin = Load1000(minv, pos);
+        maxv = Load0111(maxv, pos);
+        break;
+      case 0b011:
+        return minv;
+      case 0b100:
+        return bigmin;
+      case 0b101:
+        minv = Load1000(minv, pos);
+        break;
+      case 0b111:
+        break;
+      default:
+        // 0b010 / 0b110 would mean min > max: unreachable for valid boxes.
+        return bigmin;
+    }
+  }
+  return bigmin;
+}
+
+}  // namespace wazi

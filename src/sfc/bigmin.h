@@ -1,0 +1,28 @@
+// BIGMIN next-match computation for the Z-order curve (Tropf & Herzog,
+// 1981): given a query box [zmin, zmax] (Morton codes of its bottom-left
+// and top-right grid corners) and a code `z` that lies inside the 1-D
+// interval but outside the 2-D box, BIGMIN returns the smallest Morton
+// code > z whose grid cell is inside the box. Range scans over Z-ordered
+// data use it to jump over runs of irrelevant cells (the paper cites this
+// mechanism for the Zpgm baseline, §2).
+
+#ifndef WAZI_SFC_BIGMIN_H_
+#define WAZI_SFC_BIGMIN_H_
+
+#include <cstdint>
+
+namespace wazi {
+
+// True iff the grid cell of `z` lies inside the box spanned by zmin/zmax
+// (component-wise comparison of decoded coordinates).
+bool ZCellInBox(uint64_t z, uint64_t zmin, uint64_t zmax);
+
+// Smallest Morton code strictly greater than `z` whose cell is inside the
+// box [zmin, zmax]. Precondition: z < zmax. If no such code exists (z is
+// at/after the last in-box code), returns zmax + 1... callers must treat
+// any return value r with r > zmax as "no match".
+uint64_t BigMin(uint64_t z, uint64_t zmin, uint64_t zmax);
+
+}  // namespace wazi
+
+#endif  // WAZI_SFC_BIGMIN_H_

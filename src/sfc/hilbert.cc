@@ -1,0 +1,48 @@
+#include "sfc/hilbert.h"
+
+namespace wazi {
+namespace {
+
+// Rotate/flip the quadrant-local coordinates, standard Hilbert step.
+inline void Rotate(uint32_t s, uint32_t* x, uint32_t* y, uint32_t rx,
+                   uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = s - 1 - *x;
+      *y = s - 1 - *y;
+    }
+    const uint32_t t = *x;
+    *x = *y;
+    *y = t;
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertEncode(int order, uint32_t x, uint32_t y) {
+  uint64_t d = 0;
+  for (uint32_t s = 1u << (order - 1); s > 0; s >>= 1) {
+    const uint32_t rx = (x & s) ? 1 : 0;
+    const uint32_t ry = (y & s) ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    Rotate(s, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertDecode(int order, uint64_t d, uint32_t* x, uint32_t* y) {
+  uint32_t px = 0, py = 0;
+  uint64_t t = d;
+  for (uint32_t s = 1; s < (1u << order); s <<= 1) {
+    const uint32_t rx = static_cast<uint32_t>((t / 2) & 1);
+    const uint32_t ry = static_cast<uint32_t>((t ^ rx) & 1);
+    Rotate(s, &px, &py, rx, ry);
+    px += s * rx;
+    py += s * ry;
+    t /= 4;
+  }
+  *x = px;
+  *y = py;
+}
+
+}  // namespace wazi

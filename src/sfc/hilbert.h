@@ -1,0 +1,21 @@
+// Hilbert curve index <-> grid coordinate conversion for 2^order x 2^order
+// grids (iterative rotate-and-flip construction). Used by the HRR baseline
+// (Hilbert-packed R-tree).
+
+#ifndef WAZI_SFC_HILBERT_H_
+#define WAZI_SFC_HILBERT_H_
+
+#include <cstdint>
+
+namespace wazi {
+
+// Distance along the Hilbert curve of order `order` (grid side 2^order,
+// order <= 31) for cell (x, y). x, y must be < 2^order.
+uint64_t HilbertEncode(int order, uint32_t x, uint32_t y);
+
+// Inverse of HilbertEncode.
+void HilbertDecode(int order, uint64_t d, uint32_t* x, uint32_t* y);
+
+}  // namespace wazi
+
+#endif  // WAZI_SFC_HILBERT_H_

@@ -1,0 +1,47 @@
+#include "sfc/rank_space.h"
+
+#include <algorithm>
+
+namespace wazi {
+namespace {
+
+std::vector<double> EquiDepthBounds(std::vector<double> values,
+                                    uint32_t cells) {
+  std::sort(values.begin(), values.end());
+  std::vector<double> bounds;
+  bounds.reserve(cells - 1);
+  for (uint32_t i = 1; i < cells; ++i) {
+    const size_t pos = static_cast<size_t>(
+        static_cast<double>(i) / cells * static_cast<double>(values.size()));
+    bounds.push_back(values[std::min(pos, values.size() - 1)]);
+  }
+  return bounds;
+}
+
+}  // namespace
+
+void RankSpace::Build(const std::vector<Point>& points, int bits) {
+  bits_ = bits;
+  const uint32_t cells = 1u << bits;
+  std::vector<double> xs, ys;
+  xs.reserve(points.size());
+  ys.reserve(points.size());
+  for (const Point& p : points) {
+    xs.push_back(p.x);
+    ys.push_back(p.y);
+  }
+  if (points.empty()) {
+    x_bounds_.clear();
+    y_bounds_.clear();
+    return;
+  }
+  x_bounds_ = EquiDepthBounds(std::move(xs), cells);
+  y_bounds_ = EquiDepthBounds(std::move(ys), cells);
+}
+
+uint32_t RankSpace::Rank(const std::vector<double>& bounds, double v) {
+  return static_cast<uint32_t>(
+      std::upper_bound(bounds.begin(), bounds.end(), v) - bounds.begin());
+}
+
+}  // namespace wazi

@@ -1,0 +1,49 @@
+// Rank-space projection: maps double coordinates to integer grid ranks via
+// per-dimension equi-depth quantile boundaries. The rank-space SFC
+// baselines (Zpgm, HRR, QUILTS, RSMI) project data and query corners
+// through the same monotone map, which guarantees no false negatives when
+// filtering by the original coordinates afterwards.
+
+#ifndef WAZI_SFC_RANK_SPACE_H_
+#define WAZI_SFC_RANK_SPACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace wazi {
+
+class RankSpace {
+ public:
+  RankSpace() = default;
+
+  // Builds `1 << bits` equi-depth cells per dimension from `points`
+  // (bits <= 16).
+  void Build(const std::vector<Point>& points, int bits);
+
+  uint32_t XRank(double x) const { return Rank(x_bounds_, x); }
+  uint32_t YRank(double y) const { return Rank(y_bounds_, y); }
+
+  int bits() const { return bits_; }
+  uint32_t grid_size() const { return 1u << bits_; }
+
+  size_t SizeBytes() const {
+    return sizeof(*this) +
+           (x_bounds_.capacity() + y_bounds_.capacity()) * sizeof(double);
+  }
+
+ private:
+  // Number of internal boundaries is grid_size - 1; Rank returns the count
+  // of boundaries <= v, i.e. a value in [0, grid_size - 1], monotone in v.
+  static uint32_t Rank(const std::vector<double>& bounds, double v);
+
+  int bits_ = 0;
+  std::vector<double> x_bounds_;
+  std::vector<double> y_bounds_;
+};
+
+}  // namespace wazi
+
+#endif  // WAZI_SFC_RANK_SPACE_H_

@@ -1,0 +1,32 @@
+// Z-order (Morton) curve encoding for 2-D integer grids.
+//
+// Bit convention: bit i of x lands at output bit 2i, bit i of y at output
+// bit 2i+1 (y is the more significant dimension within each bit pair).
+// Encoding is monotone per dimension, so dominance in the grid implies
+// ordering only per the usual Z-curve partial guarantees; BIGMIN (bigmin.h)
+// relies on this exact layout.
+
+#ifndef WAZI_SFC_ZCURVE_H_
+#define WAZI_SFC_ZCURVE_H_
+
+#include <cstdint>
+
+namespace wazi {
+
+// Spreads the low 32 bits of v to the even bit positions of the result.
+uint64_t InterleaveBits(uint32_t v);
+
+// Inverse of InterleaveBits: gathers even bit positions into the low bits.
+uint32_t CompactBits(uint64_t v);
+
+// 64-bit Morton code of (x, y).
+inline uint64_t ZEncode(uint32_t x, uint32_t y) {
+  return InterleaveBits(x) | (InterleaveBits(y) << 1);
+}
+
+inline uint32_t ZDecodeX(uint64_t z) { return CompactBits(z); }
+inline uint32_t ZDecodeY(uint64_t z) { return CompactBits(z >> 1); }
+
+}  // namespace wazi
+
+#endif  // WAZI_SFC_ZCURVE_H_

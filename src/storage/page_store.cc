@@ -1,0 +1,103 @@
+#include "storage/page_store.h"
+
+#include <utility>
+
+namespace wazi {
+
+void PageStore::BulkLoad(std::vector<Point> points,
+                         const std::vector<uint32_t>& page_offsets) {
+  base_ = std::move(points);
+  owned_.clear();
+  pages_.clear();
+  num_points_ = base_.size();
+  if (page_offsets.empty()) return;
+  pages_.reserve(page_offsets.size() - 1);
+  for (size_t i = 0; i + 1 < page_offsets.size(); ++i) {
+    PageRec rec;
+    rec.begin = page_offsets[i];
+    rec.len = page_offsets[i + 1] - page_offsets[i];
+    pages_.push_back(rec);
+  }
+}
+
+void PageStore::Clear() {
+  base_.clear();
+  pages_.clear();
+  owned_.clear();
+  num_points_ = 0;
+}
+
+Span PageStore::PageSpan(int32_t page_id) const {
+  const PageRec& rec = pages_[page_id];
+  if (rec.owned >= 0) {
+    const std::vector<Point>& v = owned_[rec.owned];
+    return Span{v.data(), v.data() + v.size()};
+  }
+  return Span{base_.data() + rec.begin, base_.data() + rec.begin + rec.len};
+}
+
+size_t PageStore::PageSize(int32_t page_id) const {
+  const PageRec& rec = pages_[page_id];
+  return rec.owned >= 0 ? owned_[rec.owned].size() : rec.len;
+}
+
+std::vector<Point>& PageStore::MakeOwned(int32_t page_id) {
+  PageRec& rec = pages_[page_id];
+  if (rec.owned < 0) {
+    std::vector<Point> copy(base_.begin() + rec.begin,
+                            base_.begin() + rec.begin + rec.len);
+    rec.owned = static_cast<int32_t>(owned_.size());
+    owned_.push_back(std::move(copy));
+  }
+  return owned_[rec.owned];
+}
+
+void PageStore::Append(int32_t page_id, const Point& p) {
+  MakeOwned(page_id).push_back(p);
+  ++num_points_;
+}
+
+bool PageStore::Remove(int32_t page_id, double x, double y) {
+  std::vector<Point>& pts = MakeOwned(page_id);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    if (pts[i].x == x && pts[i].y == y) {
+      pts[i] = pts.back();
+      pts.pop_back();
+      --num_points_;
+      return true;
+    }
+  }
+  return false;
+}
+
+int32_t PageStore::AllocatePage(std::vector<Point> pts) {
+  num_points_ += pts.size();
+  PageRec rec;
+  rec.owned = static_cast<int32_t>(owned_.size());
+  owned_.push_back(std::move(pts));
+  pages_.push_back(rec);
+  return static_cast<int32_t>(pages_.size() - 1);
+}
+
+void PageStore::ReplacePage(int32_t page_id, std::vector<Point> pts) {
+  num_points_ -= PageSize(page_id);
+  num_points_ += pts.size();
+  PageRec& rec = pages_[page_id];
+  if (rec.owned < 0) {
+    rec.owned = static_cast<int32_t>(owned_.size());
+    owned_.push_back(std::move(pts));
+    rec.len = 0;
+  } else {
+    owned_[rec.owned] = std::move(pts);
+  }
+}
+
+size_t PageStore::SizeBytes() const {
+  size_t bytes = sizeof(*this);
+  bytes += base_.capacity() * sizeof(Point);
+  bytes += pages_.capacity() * sizeof(PageRec);
+  for (const auto& v : owned_) bytes += v.capacity() * sizeof(Point);
+  return bytes;
+}
+
+}  // namespace wazi

@@ -1,0 +1,80 @@
+// Clustered page storage for leaf data.
+//
+// Bulk-loaded indexes keep all points in one contiguous array ordered by
+// the index's leaf order (the paper's "clustered" assumption: consecutive
+// leaves live in consecutive pages), with each page a span of that array.
+// Updates copy a page out of the base array into owned storage on first
+// write, so bulk scan locality is preserved for read-mostly workloads
+// while inserts/deletes stay cheap and local.
+
+#ifndef WAZI_STORAGE_PAGE_STORE_H_
+#define WAZI_STORAGE_PAGE_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace wazi {
+
+// A borrowed, read-only run of points.
+struct Span {
+  const Point* begin = nullptr;
+  const Point* end = nullptr;
+
+  size_t size() const { return static_cast<size_t>(end - begin); }
+  bool empty() const { return begin == end; }
+};
+
+class PageStore {
+ public:
+  PageStore() = default;
+
+  // Adopts `points` (already in final clustered order). `page_offsets`
+  // holds each page's start index plus a final end-of-data sentinel, so
+  // page i spans [page_offsets[i], page_offsets[i+1]).
+  void BulkLoad(std::vector<Point> points,
+                const std::vector<uint32_t>& page_offsets);
+
+  // Creates an empty store (pages added via AllocatePage).
+  void Clear();
+
+  int32_t num_pages() const { return static_cast<int32_t>(pages_.size()); }
+  size_t num_points() const { return num_points_; }
+
+  Span PageSpan(int32_t page_id) const;
+  size_t PageSize(int32_t page_id) const;
+
+  // Appends a point to a page (copy-on-write from the base array).
+  void Append(int32_t page_id, const Point& p);
+
+  // Removes one point with matching coordinates; false if absent.
+  bool Remove(int32_t page_id, double x, double y);
+
+  // New page owning `pts`; returns its id.
+  int32_t AllocatePage(std::vector<Point> pts);
+
+  // Replaces a page's contents (used by leaf splits).
+  void ReplacePage(int32_t page_id, std::vector<Point> pts);
+
+  size_t SizeBytes() const;
+
+ private:
+  struct PageRec {
+    uint32_t begin = 0;   // into base_, when owned < 0
+    uint32_t len = 0;
+    int32_t owned = -1;   // into owned_, or -1 when backed by base_
+  };
+
+  std::vector<Point>& MakeOwned(int32_t page_id);
+
+  std::vector<Point> base_;
+  std::vector<PageRec> pages_;
+  std::vector<std::vector<Point>> owned_;
+  size_t num_points_ = 0;
+};
+
+}  // namespace wazi
+
+#endif  // WAZI_STORAGE_PAGE_STORE_H_

@@ -1,0 +1,33 @@
+#include "workload/dataset.h"
+
+namespace wazi {
+
+Rect ComputeBounds(const std::vector<Point>& points) {
+  Rect r;
+  for (const Point& p : points) r.Expand(p);
+  return r;
+}
+
+void AssignIds(std::vector<Point>* points) {
+  for (size_t i = 0; i < points->size(); ++i) {
+    (*points)[i].id = static_cast<int64_t>(i);
+  }
+}
+
+std::vector<Point> ScanRange(const Dataset& data, const Rect& query) {
+  std::vector<Point> out;
+  for (const Point& p : data.points) {
+    if (query.Contains(p)) out.push_back(p);
+  }
+  return out;
+}
+
+int64_t CountRange(const Dataset& data, const Rect& query) {
+  int64_t n = 0;
+  for (const Point& p : data.points) {
+    if (query.Contains(p)) ++n;
+  }
+  return n;
+}
+
+}  // namespace wazi

@@ -1,0 +1,51 @@
+// Dataset and workload containers shared by builders, tests and benches.
+
+#ifndef WAZI_WORKLOAD_DATASET_H_
+#define WAZI_WORKLOAD_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace wazi {
+
+// An in-memory point collection plus its bounding domain. `bounds` is the
+// *domain* rectangle (data space), which may be slightly larger than the
+// tight MBR of the points; query selectivity is defined as a fraction of
+// this domain's area, matching the paper.
+struct Dataset {
+  std::string name;
+  std::vector<Point> points;
+  Rect bounds;
+
+  size_t size() const { return points.size(); }
+};
+
+// A range-query workload: rectangles plus the nominal selectivity (fraction
+// of data-space area, e.g. 0.0256% -> 0.000256) they were grown to.
+struct Workload {
+  std::string name;
+  std::vector<Rect> queries;
+  double selectivity = 0.0;
+
+  size_t size() const { return queries.size(); }
+};
+
+// Computes the tight MBR of `points` (empty Rect if none).
+Rect ComputeBounds(const std::vector<Point>& points);
+
+// Reassigns ids 0..n-1 (the generators call this so ids are stable).
+void AssignIds(std::vector<Point>* points);
+
+// Reference result: all points of `data` inside `query`, by linear scan.
+std::vector<Point> ScanRange(const Dataset& data, const Rect& query);
+
+// Reference count of points of `data` inside `query`.
+int64_t CountRange(const Dataset& data, const Rect& query);
+
+}  // namespace wazi
+
+#endif  // WAZI_WORKLOAD_DATASET_H_

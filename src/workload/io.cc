@@ -1,0 +1,178 @@
+#include "workload/io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace wazi {
+namespace {
+
+void SetError(std::string* error, size_t line_no, const std::string& line,
+              const char* what) {
+  if (error != nullptr) {
+    std::ostringstream os;
+    os << "line " << line_no << ": " << what << " ('" << line << "')";
+    *error = os.str();
+  }
+}
+
+// Splits on commas, trimming spaces; empty fields are preserved.
+std::vector<std::string> SplitCsv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  for (const char c : line) {
+    if (c == ',') {
+      fields.push_back(field);
+      field.clear();
+    } else if (c != ' ' && c != '\t' && c != '\r') {
+      field.push_back(c);
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool ParseInt64(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoll(s.c_str(), &end, 10);
+  return end == s.c_str() + s.size();
+}
+
+bool SkippableLine(const std::string& line) {
+  for (const char c : line) {
+    if (c == '#') return true;
+    if (c != ' ' && c != '\t' && c != '\r') return false;
+  }
+  return true;  // blank
+}
+
+}  // namespace
+
+bool LoadPointsCsv(std::istream& in, Dataset* out, std::string* error) {
+  Dataset data;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (SkippableLine(line)) continue;
+    const std::vector<std::string> fields = SplitCsv(line);
+    if (fields.size() != 2 && fields.size() != 3) {
+      SetError(error, line_no, line, "expected x,y[,id]");
+      return false;
+    }
+    Point p;
+    if (!ParseDouble(fields[0], &p.x) || !ParseDouble(fields[1], &p.y)) {
+      SetError(error, line_no, line, "bad coordinate");
+      return false;
+    }
+    if (fields.size() == 3) {
+      if (!ParseInt64(fields[2], &p.id)) {
+        SetError(error, line_no, line, "bad id");
+        return false;
+      }
+    } else {
+      p.id = static_cast<int64_t>(data.points.size());
+    }
+    data.points.push_back(p);
+  }
+  data.bounds = ComputeBounds(data.points);
+  data.name = "csv";
+  *out = std::move(data);
+  return true;
+}
+
+bool LoadPointsCsvFile(const std::string& path, Dataset* out,
+                       std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  if (!LoadPointsCsv(in, out, error)) return false;
+  out->name = path;
+  return true;
+}
+
+bool SavePointsCsv(const Dataset& data, std::ostream& out) {
+  out << "# x,y,id\n";
+  out.precision(17);
+  for (const Point& p : data.points) {
+    out << p.x << ',' << p.y << ',' << p.id << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool SavePointsCsvFile(const Dataset& data, const std::string& path) {
+  std::ofstream out(path);
+  return out && SavePointsCsv(data, out) && static_cast<bool>(out.flush());
+}
+
+bool LoadQueriesCsv(std::istream& in, Workload* out, std::string* error) {
+  Workload w;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (SkippableLine(line)) continue;
+    const std::vector<std::string> fields = SplitCsv(line);
+    if (fields.size() != 4) {
+      SetError(error, line_no, line, "expected min_x,min_y,max_x,max_y");
+      return false;
+    }
+    double v[4];
+    for (int i = 0; i < 4; ++i) {
+      if (!ParseDouble(fields[i], &v[i])) {
+        SetError(error, line_no, line, "bad coordinate");
+        return false;
+      }
+    }
+    if (v[0] > v[2] || v[1] > v[3]) {
+      SetError(error, line_no, line, "empty rectangle (min > max)");
+      return false;
+    }
+    w.queries.push_back(Rect::Of(v[0], v[1], v[2], v[3]));
+  }
+  w.name = "csv";
+  *out = std::move(w);
+  return true;
+}
+
+bool LoadQueriesCsvFile(const std::string& path, Workload* out,
+                        std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  if (!LoadQueriesCsv(in, out, error)) return false;
+  out->name = path;
+  return true;
+}
+
+bool SaveQueriesCsv(const Workload& workload, std::ostream& out) {
+  out << "# min_x,min_y,max_x,max_y\n";
+  out.precision(17);
+  for (const Rect& q : workload.queries) {
+    out << q.min_x << ',' << q.min_y << ',' << q.max_x << ',' << q.max_y
+        << '\n';
+  }
+  return static_cast<bool>(out);
+}
+
+bool SaveQueriesCsvFile(const Workload& workload, const std::string& path) {
+  std::ofstream out(path);
+  return out && SaveQueriesCsv(workload, out) && static_cast<bool>(out.flush());
+}
+
+}  // namespace wazi

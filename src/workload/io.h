@@ -1,0 +1,36 @@
+// CSV import/export for datasets and workloads, so the library can be
+// used with real data (e.g. actual OSM extracts and Gowalla check-ins)
+// instead of the bundled synthetic generators.
+//
+// Point rows:  x,y[,id]   (id defaults to the row number)
+// Query rows:  min_x,min_y,max_x,max_y
+// Lines starting with '#' and blank lines are skipped.
+
+#ifndef WAZI_WORKLOAD_IO_H_
+#define WAZI_WORKLOAD_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/dataset.h"
+
+namespace wazi {
+
+// All loaders return false on malformed input and report the offending
+// line through `error` (when non-null), leaving the output untouched.
+
+bool LoadPointsCsv(std::istream& in, Dataset* out, std::string* error);
+bool LoadPointsCsvFile(const std::string& path, Dataset* out,
+                       std::string* error);
+bool SavePointsCsv(const Dataset& data, std::ostream& out);
+bool SavePointsCsvFile(const Dataset& data, const std::string& path);
+
+bool LoadQueriesCsv(std::istream& in, Workload* out, std::string* error);
+bool LoadQueriesCsvFile(const std::string& path, Workload* out,
+                        std::string* error);
+bool SaveQueriesCsv(const Workload& workload, std::ostream& out);
+bool SaveQueriesCsvFile(const Workload& workload, const std::string& path);
+
+}  // namespace wazi
+
+#endif  // WAZI_WORKLOAD_IO_H_

@@ -1,0 +1,70 @@
+// Query workload generation: the semi-synthetic, skewed range-query
+// workloads of the paper (§6.2), point-query sampling, insert streams, and
+// workload blending for the drift experiment (Fig. 12).
+//
+// The paper samples query centres from Gowalla check-in locations within
+// each region and grows rectangles until they cover a target fraction of
+// the data space. We reproduce the mechanism with a synthetic check-in
+// distribution: a popularity-weighted hotspot mixture over the same region
+// (see region_generator.h), which is skewed differently from the data.
+
+#ifndef WAZI_WORKLOAD_QUERY_GENERATOR_H_
+#define WAZI_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/dataset.h"
+#include "workload/region_generator.h"
+
+namespace wazi {
+
+// Paper default selectivities (fraction of data-space area): Table 2.
+// 0.0016%, 0.0064%, 0.0256% (default), 0.1024%; Fig. 13 also uses 0.0004%.
+inline constexpr double kSelectivityLow = 0.0016e-2;
+inline constexpr double kSelectivityMid1 = 0.0064e-2;
+inline constexpr double kSelectivityMid2 = 0.0256e-2;
+inline constexpr double kSelectivityHigh = 0.1024e-2;
+inline constexpr double kSelectivityTiny = 0.0004e-2;
+
+struct QueryGenOptions {
+  size_t num_queries = 20000;
+  // Fraction of data-space area each query covers.
+  double selectivity = kSelectivityMid2;
+  // Query aspect ratio jitter: height/width drawn log-uniform in
+  // [1/aspect_max, aspect_max]. 1.0 means exact squares.
+  double aspect_max = 2.0;
+  uint64_t seed = 7;
+};
+
+// Gowalla-like check-in workload: centres from a hotspot mixture over
+// `region`, rectangles of area selectivity * Area(domain), clipped to the
+// domain (clipping slides the rectangle inward so the area is preserved).
+Workload GenerateCheckinWorkload(Region region, const Rect& domain,
+                                 const QueryGenOptions& opts);
+
+// Uniform workload over the domain (used for the drift experiment).
+Workload GenerateUniformWorkload(const Rect& domain,
+                                 const QueryGenOptions& opts);
+
+// Samples check-in *centre* locations only (used to test the distribution
+// and by the density-estimation tests).
+std::vector<Point> SampleCheckinCenters(Region region, size_t n,
+                                        uint64_t seed);
+
+// Replaces `fraction` of `base`'s queries (chosen deterministically) with
+// queries from `drift`; used by Fig. 12 to shift a workload gradually.
+Workload BlendWorkloads(const Workload& base, const Workload& drift,
+                        double fraction, uint64_t seed);
+
+// Point queries drawn (with replacement) from the dataset's points.
+std::vector<Point> SamplePointQueries(const Dataset& data, size_t n,
+                                      uint64_t seed);
+
+// Insert stream: points uniform over the domain (paper §6.7).
+std::vector<Point> GenerateInsertStream(const Rect& domain, size_t n,
+                                        int64_t first_id, uint64_t seed);
+
+}  // namespace wazi
+
+#endif  // WAZI_WORKLOAD_QUERY_GENERATOR_H_

@@ -1,0 +1,236 @@
+#include "workload/region_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace wazi {
+namespace {
+
+// A Gaussian cluster component of a region mixture.
+struct Cluster {
+  double cx, cy;
+  double sx, sy;
+  double weight;
+};
+
+Point ClampToUnit(double x, double y) {
+  return Point{std::clamp(x, 0.0, 1.0), std::clamp(y, 0.0, 1.0), 0};
+}
+
+// Samples along the polyline through `knots`, with Gaussian jitter of
+// width `sigma` — models coastlines and island arcs.
+Point SampleBand(const std::vector<Point>& knots, double sigma, Rng& rng) {
+  const size_t seg = rng.NextBelow(knots.size() - 1);
+  const double t = rng.NextDouble();
+  const Point& a = knots[seg];
+  const Point& b = knots[seg + 1];
+  const double x = a.x + t * (b.x - a.x) + sigma * rng.NextGaussian();
+  const double y = a.y + t * (b.y - a.y) + sigma * rng.NextGaussian();
+  return ClampToUnit(x, y);
+}
+
+Point SampleCluster(const Cluster& c, Rng& rng) {
+  return ClampToUnit(c.cx + c.sx * rng.NextGaussian(),
+                     c.cy + c.sy * rng.NextGaussian());
+}
+
+// Snaps a coordinate towards the nearest line of an `m`-line lattice,
+// keeping a jitter of width `sigma` — models Manhattan-style street grids.
+double SnapToGrid(double v, int m, double sigma, Rng& rng) {
+  const double cell = 1.0 / m;
+  const double snapped = std::round(v / cell) * cell;
+  return std::clamp(snapped + sigma * rng.NextGaussian(), 0.0, 1.0);
+}
+
+const std::vector<Point>& CaliCoast() {
+  static const std::vector<Point> kKnots = {
+      {0.08, 0.97, 0}, {0.16, 0.78, 0}, {0.20, 0.62, 0},
+      {0.30, 0.45, 0}, {0.42, 0.28, 0}, {0.55, 0.12, 0}};
+  return kKnots;
+}
+
+const std::vector<Point>& JapanArcMain() {
+  static const std::vector<Point> kKnots = {
+      {0.18, 0.92, 0}, {0.30, 0.80, 0}, {0.45, 0.66, 0},
+      {0.60, 0.52, 0}, {0.72, 0.38, 0}, {0.80, 0.24, 0}};
+  return kKnots;
+}
+
+const std::vector<Point>& JapanArcSouth() {
+  static const std::vector<Point> kKnots = {
+      {0.55, 0.30, 0}, {0.45, 0.22, 0}, {0.32, 0.16, 0}, {0.20, 0.12, 0}};
+  return kKnots;
+}
+
+const std::vector<Point>& IberiaRing() {
+  // Rough coastal outline of a peninsula: west, south, east coasts.
+  static const std::vector<Point> kKnots = {
+      {0.12, 0.85, 0}, {0.08, 0.60, 0}, {0.10, 0.35, 0}, {0.20, 0.15, 0},
+      {0.45, 0.08, 0}, {0.70, 0.12, 0}, {0.88, 0.30, 0}, {0.92, 0.55, 0},
+      {0.85, 0.80, 0}};
+  return kKnots;
+}
+
+Point SampleCaliNev(Rng& rng) {
+  static const std::vector<Cluster> kCities = {
+      {0.17, 0.74, 0.015, 0.015, 3.0},  // Bay-Area-like
+      {0.44, 0.24, 0.025, 0.020, 4.0},  // LA-basin-like
+      {0.52, 0.14, 0.012, 0.012, 1.5},  // San-Diego-like
+      {0.62, 0.42, 0.015, 0.012, 1.5},  // Vegas-like
+      {0.30, 0.88, 0.012, 0.010, 0.8},  // inland north
+      {0.78, 0.70, 0.020, 0.020, 0.5},  // sparse Nevada town
+  };
+  static const std::vector<double> kWeights = [] {
+    std::vector<double> w;
+    for (const Cluster& c : kCities) w.push_back(c.weight);
+    return w;
+  }();
+  const double u = rng.NextDouble();
+  if (u < 0.45) return SampleBand(CaliCoast(), 0.02, rng);
+  if (u < 0.90) return SampleCluster(kCities[rng.WeightedIndex(kWeights)], rng);
+  return Point{rng.NextDouble(), rng.NextDouble(), 0};  // desert background
+}
+
+Point SampleNewYork(Rng& rng) {
+  static const std::vector<Cluster> kBoroughs = {
+      {0.48, 0.55, 0.04, 0.09, 5.0},  // Manhattan-like: tall and thin
+      {0.60, 0.38, 0.08, 0.06, 3.0},  // Brooklyn-like
+      {0.68, 0.55, 0.08, 0.07, 2.5},  // Queens-like
+      {0.45, 0.75, 0.06, 0.05, 1.5},  // Bronx-like
+      {0.28, 0.32, 0.06, 0.06, 1.0},  // Staten-Island-like
+  };
+  static const std::vector<double> kWeights = [] {
+    std::vector<double> w;
+    for (const Cluster& c : kBoroughs) w.push_back(c.weight);
+    return w;
+  }();
+  Point p = SampleCluster(kBoroughs[rng.WeightedIndex(kWeights)], rng);
+  // POIs concentrate along a street lattice within each borough.
+  if (rng.NextDouble() < 0.7) {
+    if (rng.NextDouble() < 0.5) {
+      p.x = SnapToGrid(p.x, 160, 0.0012, rng);
+    } else {
+      p.y = SnapToGrid(p.y, 160, 0.0012, rng);
+    }
+  }
+  return p;
+}
+
+Point SampleJapan(Rng& rng) {
+  static const std::vector<Cluster> kMetros = {
+      {0.60, 0.52, 0.020, 0.018, 5.0},  // Tokyo-like
+      {0.45, 0.40, 0.015, 0.013, 2.5},  // Osaka-like
+      {0.52, 0.46, 0.012, 0.010, 1.5},  // Nagoya-like
+      {0.24, 0.88, 0.015, 0.013, 1.0},  // Sapporo-like
+      {0.24, 0.14, 0.012, 0.010, 1.0},  // Fukuoka-like
+  };
+  static const std::vector<double> kWeights = [] {
+    std::vector<double> w;
+    for (const Cluster& c : kMetros) w.push_back(c.weight);
+    return w;
+  }();
+  const double u = rng.NextDouble();
+  if (u < 0.40) return SampleBand(JapanArcMain(), 0.018, rng);
+  if (u < 0.52) return SampleBand(JapanArcSouth(), 0.014, rng);
+  if (u < 0.97) return SampleCluster(kMetros[rng.WeightedIndex(kWeights)], rng);
+  return Point{rng.NextDouble(), rng.NextDouble(), 0};
+}
+
+Point SampleIberia(Rng& rng) {
+  static const std::vector<Cluster> kCities = {
+      {0.50, 0.50, 0.030, 0.030, 4.0},  // Madrid-like centre
+      {0.88, 0.62, 0.015, 0.015, 2.5},  // Barcelona-like
+      {0.12, 0.72, 0.015, 0.015, 2.0},  // Porto/Lisbon-like coast
+      {0.35, 0.10, 0.018, 0.012, 1.5},  // Seville-like south
+      {0.70, 0.12, 0.012, 0.012, 1.0},  // Murcia-like
+  };
+  static const std::vector<double> kWeights = [] {
+    std::vector<double> w;
+    for (const Cluster& c : kCities) w.push_back(c.weight);
+    return w;
+  }();
+  const double u = rng.NextDouble();
+  if (u < 0.42) return SampleBand(IberiaRing(), 0.022, rng);
+  if (u < 0.92) return SampleCluster(kCities[rng.WeightedIndex(kWeights)], rng);
+  return Point{rng.NextDouble(), rng.NextDouble(), 0};  // sparse interior
+}
+
+}  // namespace
+
+const std::vector<Region>& AllRegions() {
+  static const std::vector<Region> kAll = {Region::kCaliNev, Region::kNewYork,
+                                           Region::kJapan, Region::kIberia};
+  return kAll;
+}
+
+std::string RegionName(Region region) {
+  switch (region) {
+    case Region::kCaliNev: return "CaliNev";
+    case Region::kNewYork: return "NewYork";
+    case Region::kJapan: return "Japan";
+    case Region::kIberia: return "Iberia";
+  }
+  return "Unknown";
+}
+
+bool ParseRegion(const std::string& name, Region* out) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  for (Region r : AllRegions()) {
+    std::string cand = RegionName(r);
+    std::transform(cand.begin(), cand.end(), cand.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    if (cand == lower) {
+      *out = r;
+      return true;
+    }
+  }
+  return false;
+}
+
+Dataset GenerateRegion(Region region, size_t n, uint64_t seed) {
+  Dataset data;
+  data.name = RegionName(region);
+  data.points.reserve(n);
+  Rng rng(seed ^ (static_cast<uint64_t>(region) + 1) * 0x9e3779b97f4a7c15ULL);
+  for (size_t i = 0; i < n; ++i) {
+    Point p;
+    switch (region) {
+      case Region::kCaliNev: p = SampleCaliNev(rng); break;
+      case Region::kNewYork: p = SampleNewYork(rng); break;
+      case Region::kJapan: p = SampleJapan(rng); break;
+      case Region::kIberia: p = SampleIberia(rng); break;
+    }
+    data.points.push_back(p);
+  }
+  AssignIds(&data.points);
+  data.bounds = Rect::Of(0.0, 0.0, 1.0, 1.0);
+  return data;
+}
+
+std::vector<Point> RegionHotspots(Region region) {
+  // A handful of "popular places" per region. Deliberately *not* identical
+  // to the densest data clusters: check-ins concentrate on a few venues
+  // (and some places popular with visitors but sparse in POIs), which is
+  // what makes Q differently-skewed from D.
+  switch (region) {
+    case Region::kCaliNev:
+      return {{0.44, 0.24, 0}, {0.17, 0.74, 0}, {0.62, 0.42, 0},
+              {0.36, 0.36, 0}, {0.22, 0.55, 0}};
+    case Region::kNewYork:
+      return {{0.48, 0.58, 0}, {0.50, 0.48, 0}, {0.62, 0.40, 0},
+              {0.55, 0.64, 0}, {0.40, 0.30, 0}};
+    case Region::kJapan:
+      return {{0.60, 0.52, 0}, {0.45, 0.40, 0}, {0.62, 0.55, 0},
+              {0.24, 0.14, 0}, {0.50, 0.60, 0}};
+    case Region::kIberia:
+      return {{0.88, 0.62, 0}, {0.50, 0.50, 0}, {0.12, 0.72, 0},
+              {0.30, 0.30, 0}, {0.60, 0.20, 0}};
+  }
+  return {};
+}
+
+}  // namespace wazi

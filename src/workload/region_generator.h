@@ -1,0 +1,46 @@
+// Synthetic stand-ins for the paper's four OpenStreetMap POI extracts.
+//
+// The paper's experiments require skewed, clustered, region-distinct point
+// distributions (California coast, New York City, Japan, Iberian
+// Peninsula). We cannot ship OSM data, so each region is generated as a
+// deterministic mixture that mimics the qualitative spatial character of
+// its namesake: coastal bands, street grids, archipelago arcs, and a
+// coastal ring around a sparse interior. See DESIGN.md §1 for why this
+// substitution preserves the behaviour the experiments measure.
+//
+// All regions live in the unit square domain [0,1]^2.
+
+#ifndef WAZI_WORKLOAD_REGION_GENERATOR_H_
+#define WAZI_WORKLOAD_REGION_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workload/dataset.h"
+
+namespace wazi {
+
+enum class Region { kCaliNev, kNewYork, kJapan, kIberia };
+
+// All four regions, in the paper's presentation order.
+const std::vector<Region>& AllRegions();
+
+std::string RegionName(Region region);
+
+// Parses "CaliNev" / "NewYork" / "Japan" / "Iberia" (case-insensitive);
+// returns false on unknown names.
+bool ParseRegion(const std::string& name, Region* out);
+
+// Generates `n` points for `region`, deterministically for (region, n,
+// seed). Ids are 0..n-1 and `bounds` is the unit square.
+Dataset GenerateRegion(Region region, size_t n, uint64_t seed);
+
+// Hotspot centres that act as this region's "popular places". The query
+// generator uses these (re-weighted) to build a check-in distribution that
+// is skewed *differently* from the data. Deterministic per region.
+std::vector<Point> RegionHotspots(Region region);
+
+}  // namespace wazi
+
+#endif  // WAZI_WORKLOAD_REGION_GENERATOR_H_

@@ -1,0 +1,138 @@
+// Unit tests for the retrieval-cost model (Eq. 1-5), including
+// hand-computed cases and the structural properties the greedy builder
+// relies on.
+
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/density_adapters.h"
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+QuadCounts Counts(double a, double b, double c, double d) {
+  QuadCounts n;
+  n[Quadrant::kA] = a;
+  n[Quadrant::kB] = b;
+  n[Quadrant::kC] = c;
+  n[Quadrant::kD] = d;
+  return n;
+}
+
+TEST(CostModelTest, Eq1HandComputedAbcd) {
+  const QuadCounts nd = Counts(10, 20, 30, 40);
+  const double alpha = 0.5;
+  // Diagonal classes cost their own quadrant.
+  EXPECT_EQ(QueryClassCost(RectClass::kAA, nd, Ordering::kAbcd, alpha), 10);
+  EXPECT_EQ(QueryClassCost(RectClass::kBB, nd, Ordering::kAbcd, alpha), 20);
+  EXPECT_EQ(QueryClassCost(RectClass::kCC, nd, Ordering::kAbcd, alpha), 30);
+  EXPECT_EQ(QueryClassCost(RectClass::kDD, nd, Ordering::kAbcd, alpha), 40);
+  // AD fetches everything.
+  EXPECT_EQ(QueryClassCost(RectClass::kAD, nd, Ordering::kAbcd, alpha), 100);
+  // AC skips B at cost alpha*n_B; BD skips C.
+  EXPECT_EQ(QueryClassCost(RectClass::kAC, nd, Ordering::kAbcd, alpha),
+            10 + 0.5 * 20 + 30);
+  EXPECT_EQ(QueryClassCost(RectClass::kBD, nd, Ordering::kAbcd, alpha),
+            20 + 0.5 * 30 + 40);
+  // AB and CD are adjacent in curve order: no skipped quadrant.
+  EXPECT_EQ(QueryClassCost(RectClass::kAB, nd, Ordering::kAbcd, alpha), 30);
+  EXPECT_EQ(QueryClassCost(RectClass::kCD, nd, Ordering::kAbcd, alpha), 70);
+}
+
+TEST(CostModelTest, Eq2HandComputedAcbd) {
+  const QuadCounts nd = Counts(10, 20, 30, 40);
+  const double alpha = 0.1;
+  // Under A,C,B,D: AB skips C; CD skips B; AC and BD adjacent.
+  EXPECT_EQ(QueryClassCost(RectClass::kAB, nd, Ordering::kAcbd, alpha),
+            10 + 0.1 * 30 + 20);
+  EXPECT_EQ(QueryClassCost(RectClass::kCD, nd, Ordering::kAcbd, alpha),
+            30 + 0.1 * 20 + 40);
+  EXPECT_EQ(QueryClassCost(RectClass::kAC, nd, Ordering::kAcbd, alpha), 40);
+  EXPECT_EQ(QueryClassCost(RectClass::kBD, nd, Ordering::kAcbd, alpha), 60);
+  EXPECT_EQ(QueryClassCost(RectClass::kAD, nd, Ordering::kAcbd, alpha), 100);
+}
+
+TEST(CostModelTest, GreedyCostAggregatesClassCounts) {
+  const QuadCounts nd = Counts(10, 20, 30, 40);
+  ClassCounts qc;
+  qc[RectClass::kAA] = 2;
+  qc[RectClass::kAC] = 3;
+  const double alpha = 0.5;
+  EXPECT_EQ(GreedyCost(nd, qc, Ordering::kAbcd, alpha),
+            2 * 10 + 3 * (10 + 0.5 * 20 + 30));
+}
+
+TEST(CostModelTest, OrderingChoiceFollowsQueryShape) {
+  // Vertical strip queries (AC class) prefer acbd, which makes A and C
+  // adjacent; horizontal strips (AB) prefer abcd.
+  const QuadCounts nd = Counts(25, 25, 25, 25);
+  ClassCounts vertical;
+  vertical[RectClass::kAC] = 10;
+  EXPECT_EQ(BestOrdering(nd, vertical, 0.5).ordering, Ordering::kAcbd);
+  ClassCounts horizontal;
+  horizontal[RectClass::kAB] = 10;
+  EXPECT_EQ(BestOrdering(nd, horizontal, 0.5).ordering, Ordering::kAbcd);
+}
+
+TEST(CostModelTest, AlphaZeroMakesSkipsFree) {
+  const QuadCounts nd = Counts(10, 1000, 10, 10);
+  EXPECT_EQ(QueryClassCost(RectClass::kAC, nd, Ordering::kAbcd, 0.0), 20);
+  // With alpha = 1 a skipped quadrant costs as much as scanning it.
+  EXPECT_EQ(QueryClassCost(RectClass::kAC, nd, Ordering::kAbcd, 1.0), 1020);
+}
+
+TEST(CostModelTest, SymmetricOrderingsTieOnSymmetricLoads) {
+  const QuadCounts nd = Counts(25, 25, 25, 25);
+  ClassCounts qc;
+  qc[RectClass::kAD] = 5;
+  qc[RectClass::kAA] = 5;
+  const double abcd = GreedyCost(nd, qc, Ordering::kAbcd, 0.5);
+  const double acbd = GreedyCost(nd, qc, Ordering::kAcbd, 0.5);
+  EXPECT_EQ(abcd, acbd);
+  // Ties resolve to abcd (the base ordering).
+  EXPECT_EQ(BestOrdering(nd, qc, 0.5).ordering, Ordering::kAbcd);
+}
+
+// Exact vs estimated providers must agree in expectation.
+TEST(CostModelTest, ExactAndEstimatedCountsAgreeApproximately) {
+  const TestScenario s = MakeScenario(Region::kCaliNev, 20000, 4000, 1e-3, 91);
+  ExactCountProvider exact(&s.workload);
+  EstimatorOptions eo;
+  eo.seed = 92;
+  EstimatedCountProvider est(s.data, s.workload, eo);
+
+  const Rect cell = Rect::Of(0, 0, 1, 1);
+  Rng rng(93);
+  double data_err = 0.0, query_err = 0.0;
+  int trials = 0;
+  for (int i = 0; i < 30; ++i) {
+    const double sx = rng.Uniform(0.2, 0.8);
+    const double sy = rng.Uniform(0.2, 0.8);
+    const QuadCounts en = exact.CountData(s.data.points.data(),
+                                          s.data.points.size(), cell, sx, sy);
+    const QuadCounts an = est.CountData(s.data.points.data(),
+                                        s.data.points.size(), cell, sx, sy);
+    // Note: the estimated provider counts exactly for small spans; force
+    // the forest path by passing a null span.
+    const QuadCounts fn = est.CountData(nullptr, 1 << 30, cell, sx, sy);
+    for (int q = 0; q < 4; ++q) {
+      data_err += std::abs(fn.n[q] - en.n[q]);
+      (void)an;
+    }
+    const ClassCounts eq = exact.CountQueries(cell, sx, sy);
+    const ClassCounts aq = est.CountQueries(cell, sx, sy);
+    for (int c = 0; c < 9; ++c) {
+      query_err += std::abs(aq.q[c] - eq.q[c]);
+    }
+    ++trials;
+  }
+  // Mean absolute error per quadrant under ~8% of the dataset size and
+  // per class under ~10% of the workload size.
+  EXPECT_LT(data_err / (trials * 4), 0.08 * s.data.size());
+  EXPECT_LT(query_err / (trials * 9), 0.10 * s.workload.size());
+}
+
+}  // namespace
+}  // namespace wazi

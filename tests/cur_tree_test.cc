@@ -1,0 +1,107 @@
+#include "baselines/cur_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baselines/str_rtree.h"
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+TEST(WeightedStrTileTest, UniformWeightsBehaveLikeStr) {
+  std::vector<Point> pts = MakeUniformDataset(8000, 151).points;
+  std::vector<double> weights(pts.size(), 1.0);
+  const std::vector<uint32_t> offsets = WeightedStrTile(&pts, &weights, 100);
+  EXPECT_EQ(offsets.back(), 8000u);
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    ASSERT_LE(offsets[i + 1] - offsets[i], 100u);
+    ASSERT_LT(offsets[i], offsets[i + 1]);
+  }
+}
+
+TEST(WeightedStrTileTest, HotRegionGetsSmallerLeaves) {
+  // Left third carries 10x weight; its leaves must be smaller on average.
+  std::vector<Point> pts = MakeUniformDataset(12000, 152).points;
+  std::vector<double> weights;
+  weights.reserve(pts.size());
+  for (const Point& p : pts) weights.push_back(p.x < 0.33 ? 10.0 : 1.0);
+  std::vector<Point> pts_copy = pts;
+  const std::vector<uint32_t> offsets =
+      WeightedStrTile(&pts_copy, &weights, 128);
+
+  double hot_total = 0.0, cold_total = 0.0;
+  int hot_leaves = 0, cold_leaves = 0;
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    double mean_x = 0.0;
+    for (uint32_t j = offsets[i]; j < offsets[i + 1]; ++j) {
+      mean_x += pts_copy[j].x;
+    }
+    mean_x /= (offsets[i + 1] - offsets[i]);
+    if (mean_x < 0.33) {
+      hot_total += offsets[i + 1] - offsets[i];
+      ++hot_leaves;
+    } else if (mean_x > 0.4) {
+      cold_total += offsets[i + 1] - offsets[i];
+      ++cold_leaves;
+    }
+  }
+  ASSERT_GT(hot_leaves, 0);
+  ASSERT_GT(cold_leaves, 0);
+  EXPECT_LT(hot_total / hot_leaves, 0.7 * cold_total / cold_leaves)
+      << "hot leaves should hold fewer points";
+}
+
+TEST(CurTreeTest, CorrectOnSkewedWorkload) {
+  const TestScenario s = MakeScenario(Region::kIberia, 8000, 400, 2e-3, 153);
+  CurTree index;
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index.Build(s.data, s.workload, opts);
+  for (size_t qi = 0; qi < 150; ++qi) {
+    const Rect& q = s.workload.queries[qi];
+    std::vector<Point> got;
+    index.RangeQuery(q, &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(s.data, q));
+  }
+}
+
+TEST(CurTreeTest, WorkloadAwarenessReducesScanWork) {
+  // Against the trained workload, CUR should scan fewer points per query
+  // than plain STR on heavily skewed queries.
+  const TestScenario s =
+      MakeScenario(Region::kNewYork, 30000, 2000, kSelectivityMid1, 154);
+  BuildOptions opts;
+  opts.leaf_capacity = 256;
+  CurTree cur;
+  StrRTree str;
+  cur.Build(s.data, s.workload, opts);
+  str.Build(s.data, s.workload, opts);
+  std::vector<Point> sink;
+  cur.stats().Reset();
+  str.stats().Reset();
+  for (const Rect& q : s.workload.queries) {
+    sink.clear();
+    cur.RangeQuery(q, &sink);
+    sink.clear();
+    str.RangeQuery(q, &sink);
+  }
+  EXPECT_LT(cur.stats().points_scanned, str.stats().points_scanned);
+}
+
+TEST(CurTreeTest, EmptyWorkloadFallsBackToUnitWeights) {
+  const Dataset data = MakeUniformDataset(3000, 155);
+  Workload empty;
+  CurTree index;
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index.Build(data, empty, opts);
+  const Rect q = Rect::Of(0.2, 0.2, 0.4, 0.4);
+  std::vector<Point> got;
+  index.RangeQuery(q, &got);
+  EXPECT_EQ(SortedIds(got), TruthIds(data, q));
+}
+
+}  // namespace
+}  // namespace wazi

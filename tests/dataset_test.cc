@@ -1,0 +1,37 @@
+#include "workload/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+TEST(DatasetTest, ComputeBounds) {
+  std::vector<Point> pts = {{0.2, 0.8, 0}, {0.5, 0.1, 1}, {0.9, 0.4, 2}};
+  const Rect b = ComputeBounds(pts);
+  EXPECT_EQ(b, Rect::Of(0.2, 0.1, 0.9, 0.8));
+  EXPECT_TRUE(ComputeBounds({}).empty());
+}
+
+TEST(DatasetTest, AssignIdsSequential) {
+  std::vector<Point> pts(100);
+  AssignIds(&pts);
+  for (size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(pts[i].id, static_cast<int64_t>(i));
+  }
+}
+
+TEST(DatasetTest, ScanRangeAndCountAgree) {
+  const Dataset data = MakeUniformDataset(5000, 81);
+  const Rect q = Rect::Of(0.2, 0.3, 0.5, 0.7);
+  const std::vector<Point> hits = ScanRange(data, q);
+  EXPECT_EQ(static_cast<int64_t>(hits.size()), CountRange(data, q));
+  for (const Point& p : hits) EXPECT_TRUE(q.Contains(p));
+  // Uniform data: expected fraction = area.
+  const double expected = 0.3 * 0.4 * 5000;
+  EXPECT_NEAR(static_cast<double>(hits.size()), expected, 0.25 * expected);
+}
+
+}  // namespace
+}  // namespace wazi

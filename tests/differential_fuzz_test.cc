@@ -1,0 +1,92 @@
+// Differential fuzzing: random build configurations, random data shapes
+// and random query rectangles, all indexes checked against the brute-
+// force reference. Complements the structured parameterized suites with
+// unstructured randomness.
+
+#include <gtest/gtest.h>
+
+#include "index/spatial_index.h"
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+Dataset RandomDataset(Rng& rng) {
+  const int kind = static_cast<int>(rng.NextBelow(4));
+  const size_t n = 200 + rng.NextBelow(3000);
+  switch (kind) {
+    case 0:
+      return GenerateRegion(static_cast<Region>(rng.NextBelow(4)), n,
+                            rng.NextU64());
+    case 1: return MakeUniformDataset(n, rng.NextU64());
+    case 2: return MakeDegenerateDataset(n, rng.NextU64());
+    default: {
+      // Tight cluster plus far outliers: stresses MBR vs cell handling.
+      Dataset data;
+      data.name = "cluster+outliers";
+      for (size_t i = 0; i < n; ++i) {
+        if (rng.NextDouble() < 0.95) {
+          data.points.push_back(Point{0.5 + 0.01 * rng.NextGaussian(),
+                                      0.5 + 0.01 * rng.NextGaussian(), 0});
+        } else {
+          data.points.push_back(
+              Point{rng.NextDouble(), rng.NextDouble(), 0});
+        }
+      }
+      AssignIds(&data.points);
+      data.bounds = Rect::Of(0, 0, 1, 1);
+      return data;
+    }
+  }
+}
+
+Rect RandomQuery(Rng& rng) {
+  const double x0 = rng.Uniform(-0.1, 1.05);
+  const double y0 = rng.Uniform(-0.1, 1.05);
+  // Mix of tiny, thin, and large windows.
+  const double w = rng.NextDouble() < 0.3 ? rng.Uniform(0.0, 0.01)
+                                          : rng.Uniform(0.0, 0.5);
+  const double h = rng.NextDouble() < 0.3 ? rng.Uniform(0.0, 0.01)
+                                          : rng.Uniform(0.0, 0.5);
+  return Rect::Of(x0, y0, x0 + w, y0 + h);
+}
+
+class DifferentialFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialFuzzTest, AllIndexesAgreeWithReference) {
+  Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 1);
+  const Dataset data = RandomDataset(rng);
+  QueryGenOptions qopts;
+  qopts.num_queries = 100 + rng.NextBelow(200);
+  qopts.selectivity = rng.Uniform(1e-5, 1e-2);
+  qopts.seed = rng.NextU64();
+  const Workload workload = GenerateUniformWorkload(data.bounds, qopts);
+
+  BuildOptions opts;
+  opts.leaf_capacity = 16 << rng.NextBelow(4);  // 16..128
+  opts.kappa = 4 + static_cast<int>(rng.NextBelow(16));
+  opts.seed = rng.NextU64();
+  opts.use_estimators = rng.NextDouble() < 0.7;
+  opts.corner_candidates = rng.NextDouble() < 0.7;
+  opts.rank_bits = 8 + static_cast<int>(rng.NextBelow(9));
+  opts.pgm_epsilon = 4 + static_cast<int>(rng.NextBelow(64));
+
+  for (const std::string& name : AllIndexNames()) {
+    auto index = MakeIndex(name);
+    index->Build(data, workload, opts);
+    for (int i = 0; i < 60; ++i) {
+      const Rect q = RandomQuery(rng);
+      std::vector<Point> got;
+      index->RangeQuery(q, &got);
+      ASSERT_EQ(SortedIds(got), TruthIds(data, q))
+          << name << " on " << data.name << " L=" << opts.leaf_capacity
+          << " query " << q.DebugString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialFuzzTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace wazi

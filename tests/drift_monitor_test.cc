@@ -1,0 +1,116 @@
+#include "core/drift_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/wazi.h"
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+TEST(DriftMonitorTest, StableWorkloadNeverTriggers) {
+  DriftMonitorOptions opts;
+  opts.calibration_queries = 100;
+  DriftMonitor monitor(opts);
+  Rng rng(501);
+  for (int i = 0; i < 5000; ++i) {
+    // Work per result hovers around 10 with noise.
+    const int64_t results = 50 + static_cast<int64_t>(rng.NextBelow(20));
+    const int64_t scanned = results * 10 + static_cast<int64_t>(rng.NextBelow(50));
+    monitor.Observe(scanned, results);
+  }
+  EXPECT_FALSE(monitor.rebuild_recommended());
+  EXPECT_NEAR(monitor.drift_ratio(), 1.0, 0.15);
+}
+
+TEST(DriftMonitorTest, SustainedDegradationTriggers) {
+  DriftMonitorOptions opts;
+  opts.calibration_queries = 100;
+  opts.patience = 50;
+  DriftMonitor monitor(opts);
+  for (int i = 0; i < 200; ++i) monitor.Observe(500, 50);  // work 500/51~10
+  EXPECT_FALSE(monitor.rebuild_recommended());
+  for (int i = 0; i < 2000 && !monitor.rebuild_recommended(); ++i) {
+    monitor.Observe(2000, 50);  // work quadruples
+  }
+  EXPECT_TRUE(monitor.rebuild_recommended());
+  EXPECT_GT(monitor.drift_ratio(), 1.5);
+}
+
+TEST(DriftMonitorTest, TransientSpikeDoesNotTrigger) {
+  // A 50-query spike at 10x work raises the EWMA above threshold for
+  // roughly 250 queries (rise + exponential decay at alpha=0.01), which
+  // stays under the 400-query patience window.
+  DriftMonitorOptions opts;
+  opts.calibration_queries = 100;
+  opts.patience = 400;
+  DriftMonitor monitor(opts);
+  for (int i = 0; i < 150; ++i) monitor.Observe(500, 50);
+  for (int i = 0; i < 50; ++i) monitor.Observe(5000, 50);  // short spike
+  for (int i = 0; i < 3000; ++i) monitor.Observe(500, 50);  // recovers
+  EXPECT_FALSE(monitor.rebuild_recommended());
+}
+
+TEST(DriftMonitorTest, ResetClearsState) {
+  DriftMonitorOptions opts;
+  opts.calibration_queries = 10;
+  opts.patience = 10;
+  DriftMonitor monitor(opts);
+  for (int i = 0; i < 20; ++i) monitor.Observe(100, 10);
+  for (int i = 0; i < 500; ++i) monitor.Observe(1000, 10);
+  ASSERT_TRUE(monitor.rebuild_recommended());
+  monitor.ResetAfterRebuild();
+  EXPECT_FALSE(monitor.rebuild_recommended());
+  EXPECT_EQ(monitor.queries_observed(), 0);
+}
+
+// End-to-end: a WaZI index under real drift raises the flag; after a
+// rebuild on the new workload the monitor calms down.
+TEST(DriftMonitorTest, DetectsRealWorkloadDrift) {
+  const TestScenario s =
+      MakeScenario(Region::kNewYork, 30000, 2000, kSelectivityMid1, 502);
+  QueryGenOptions qopts;
+  qopts.num_queries = 2000;
+  qopts.selectivity = kSelectivityMid1;
+  qopts.seed = 777;  // different venues: differently-skewed workload
+  const Workload drifted =
+      GenerateCheckinWorkload(Region::kNewYork, s.data.bounds, qopts);
+
+  Wazi index;
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index.Build(s.data, s.workload, opts);
+
+  DriftMonitorOptions mopts;
+  mopts.calibration_queries = 400;
+  mopts.patience = 100;
+  mopts.degradation_factor = 1.3;
+  DriftMonitor monitor(mopts);
+
+  auto run = [&](const Workload& w) {
+    std::vector<Point> sink;
+    for (const Rect& q : w.queries) {
+      const int64_t scanned_before = index.stats().points_scanned;
+      const int64_t results_before = index.stats().results;
+      sink.clear();
+      index.RangeQuery(q, &sink);
+      monitor.Observe(index.stats().points_scanned - scanned_before,
+                      index.stats().results - results_before);
+    }
+  };
+  run(s.workload);  // calibrate + stable phase
+  const double stable_ratio = monitor.drift_ratio();
+  EXPECT_LT(stable_ratio, 1.3);
+  run(drifted);  // drift phase
+  EXPECT_GT(monitor.drift_ratio(), stable_ratio);
+
+  if (monitor.rebuild_recommended()) {
+    index.Build(s.data, drifted, opts);
+    monitor.ResetAfterRebuild();
+    run(drifted);
+    EXPECT_LT(monitor.drift_ratio(), 1.3);
+  }
+}
+
+}  // namespace
+}  // namespace wazi

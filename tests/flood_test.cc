@@ -1,0 +1,111 @@
+#include "baselines/flood.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+TEST(FloodTest, CorrectAcrossRegions) {
+  for (Region region : AllRegions()) {
+    const TestScenario s = MakeScenario(region, 6000, 300, 2e-3, 161);
+    Flood index;
+    BuildOptions opts;
+    opts.leaf_capacity = 64;
+    index.Build(s.data, s.workload, opts);
+    for (size_t qi = 0; qi < 100; ++qi) {
+      const Rect& q = s.workload.queries[qi];
+      std::vector<Point> got;
+      index.RangeQuery(q, &got);
+      ASSERT_EQ(SortedIds(got), TruthIds(s.data, q)) << RegionName(region);
+    }
+  }
+}
+
+TEST(FloodTest, ColumnsAreEquiDepthish) {
+  const Dataset data = GenerateRegion(Region::kCaliNev, 20000, 162);
+  Workload w;
+  QueryGenOptions qopts;
+  qopts.num_queries = 400;
+  w = GenerateCheckinWorkload(Region::kCaliNev, data.bounds, qopts);
+  Flood index;
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index.Build(data, w, opts);
+  EXPECT_GT(index.num_columns(), 1u);
+}
+
+TEST(FloodTest, ExtremeAspectQueriesScanTightRanges) {
+  // With per-column binary search on the sort dimension, even extreme
+  // aspect-ratio queries should scan points close to the true result
+  // count (the layout bake-off may pick either orientation; both trim).
+  const Dataset data = MakeUniformDataset(30000, 163);
+  Workload wide;
+  wide.selectivity = 0.01;
+  Rng rng(164);
+  for (int i = 0; i < 400; ++i) {
+    const double x0 = rng.Uniform(0.0, 0.5);
+    const double y0 = rng.Uniform(0.0, 0.97);
+    wide.queries.push_back(Rect::Of(x0, y0, x0 + 0.5, y0 + 0.02));
+  }
+  Flood index;
+  BuildOptions opts;
+  opts.leaf_capacity = 256;
+  index.Build(data, wide, opts);
+  index.stats().Reset();
+  int64_t results = 0;
+  for (size_t qi = 0; qi < 100; ++qi) {
+    std::vector<Point> got;
+    index.RangeQuery(wide.queries[qi], &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(data, wide.queries[qi]));
+    results += static_cast<int64_t>(got.size());
+  }
+  EXPECT_LT(index.stats().points_scanned, 3 * results);
+}
+
+TEST(FloodTest, InsertKeepsColumnsSorted) {
+  const TestScenario s = MakeScenario(Region::kJapan, 4000, 200, 1e-3, 165);
+  Flood index;
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index.Build(s.data, s.workload, opts);
+  Dataset augmented = s.data;
+  const std::vector<Point> stream =
+      GenerateInsertStream(s.data.bounds, 2000, 900000, 166);
+  for (const Point& p : stream) {
+    ASSERT_TRUE(index.Insert(p));
+    augmented.points.push_back(p);
+  }
+  for (size_t qi = 0; qi < 80; ++qi) {
+    const Rect& q = s.workload.queries[qi];
+    std::vector<Point> got;
+    index.RangeQuery(q, &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(augmented, q));
+  }
+}
+
+TEST(FloodTest, ProjectionSpansAreTight) {
+  // Flood's projection must already be trimmed to the sort-dimension
+  // range: scanned points should be close to results for thin queries.
+  const Dataset data = MakeUniformDataset(20000, 167);
+  QueryGenOptions qopts;
+  qopts.num_queries = 200;
+  qopts.selectivity = 1e-3;
+  const Workload w = GenerateUniformWorkload(data.bounds, qopts);
+  Flood index;
+  BuildOptions opts;
+  index.Build(data, w, opts);
+  for (size_t qi = 0; qi < 50; ++qi) {
+    Projection proj;
+    index.Project(w.queries[qi], &proj);
+    size_t projected = 0;
+    for (const Span& s : proj) projected += s.size();
+    const int64_t truth = CountRange(data, w.queries[qi]);
+    // Each projected span only filters the partition dimension.
+    EXPECT_LE(static_cast<int64_t>(truth), static_cast<int64_t>(projected));
+  }
+}
+
+}  // namespace
+}  // namespace wazi

@@ -1,0 +1,131 @@
+#include "common/geometry.h"
+
+#include <gtest/gtest.h>
+
+namespace wazi {
+namespace {
+
+TEST(RectTest, DefaultIsEmpty) {
+  Rect r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.Area(), 0.0);
+  EXPECT_FALSE(r.Contains(Point{0, 0, 0}));
+  EXPECT_FALSE(r.Overlaps(Rect::Of(-1, -1, 1, 1)));
+}
+
+TEST(RectTest, ContainsPointOnBoundary) {
+  const Rect r = Rect::Of(0, 0, 1, 1);
+  EXPECT_TRUE(r.Contains(Point{0, 0, 0}));
+  EXPECT_TRUE(r.Contains(Point{1, 1, 0}));
+  EXPECT_TRUE(r.Contains(Point{0.5, 1, 0}));
+  EXPECT_FALSE(r.Contains(Point{1.0001, 0.5, 0}));
+}
+
+TEST(RectTest, OverlapsIsSymmetricAndClosed) {
+  const Rect a = Rect::Of(0, 0, 1, 1);
+  const Rect b = Rect::Of(1, 1, 2, 2);  // touches at a corner
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+  const Rect c = Rect::Of(1.01, 0, 2, 1);
+  EXPECT_FALSE(a.Overlaps(c));
+}
+
+TEST(RectTest, ExpandGrowsToCover) {
+  Rect r;
+  r.Expand(Point{0.3, 0.7, 0});
+  EXPECT_FALSE(r.empty());
+  EXPECT_EQ(r.min_x, 0.3);
+  EXPECT_EQ(r.max_y, 0.7);
+  r.Expand(Point{-1, 2, 0});
+  EXPECT_TRUE(r.Contains(Point{0.3, 0.7, 0}));
+  EXPECT_TRUE(r.Contains(Point{-1, 2, 0}));
+}
+
+TEST(RectTest, ExpandWithEmptyRectIsNoop) {
+  Rect r = Rect::Of(0, 0, 1, 1);
+  r.Expand(Rect{});
+  EXPECT_EQ(r, Rect::Of(0, 0, 1, 1));
+}
+
+TEST(RectTest, IntersectComputesOverlap) {
+  const Rect a = Rect::Of(0, 0, 2, 2);
+  const Rect b = Rect::Of(1, 1, 3, 3);
+  EXPECT_EQ(a.Intersect(b), Rect::Of(1, 1, 2, 2));
+  EXPECT_TRUE(a.Intersect(Rect::Of(5, 5, 6, 6)).empty());
+}
+
+TEST(RectTest, ContainsRect) {
+  const Rect a = Rect::Of(0, 0, 2, 2);
+  EXPECT_TRUE(a.Contains(Rect::Of(0.5, 0.5, 1.5, 1.5)));
+  EXPECT_TRUE(a.Contains(a));
+  EXPECT_FALSE(a.Contains(Rect::Of(0.5, 0.5, 2.5, 1.5)));
+  EXPECT_FALSE(a.Contains(Rect{}));
+}
+
+TEST(DominatesTest, StrictAndEqualCases) {
+  EXPECT_TRUE(Dominates(Point{1, 1, 0}, Point{0, 0, 0}));
+  EXPECT_TRUE(Dominates(Point{1, 1, 0}, Point{1, 0, 0}));
+  EXPECT_FALSE(Dominates(Point{1, 1, 0}, Point{1, 1, 0}));  // equal
+  EXPECT_FALSE(Dominates(Point{0, 1, 0}, Point{1, 0, 0}));  // incomparable
+}
+
+TEST(QuadrantTest, FollowsAlgorithmOneBits) {
+  // bitx = x > sx, bity = y > sy; A=(0,0), B=(1,0), C=(0,1), D=(1,1).
+  EXPECT_EQ(QuadrantOf(Point{0.4, 0.4, 0}, 0.5, 0.5), Quadrant::kA);
+  EXPECT_EQ(QuadrantOf(Point{0.6, 0.4, 0}, 0.5, 0.5), Quadrant::kB);
+  EXPECT_EQ(QuadrantOf(Point{0.4, 0.6, 0}, 0.5, 0.5), Quadrant::kC);
+  EXPECT_EQ(QuadrantOf(Point{0.6, 0.6, 0}, 0.5, 0.5), Quadrant::kD);
+  // The split point itself belongs to A (strict > comparisons).
+  EXPECT_EQ(QuadrantOf(Point{0.5, 0.5, 0}, 0.5, 0.5), Quadrant::kA);
+}
+
+TEST(ClassifyRectTest, AllNineClasses) {
+  const Rect cell = Rect::Of(0, 0, 1, 1);
+  const double sx = 0.5, sy = 0.5;
+  EXPECT_EQ(ClassifyRect(Rect::Of(0.1, 0.1, 0.2, 0.2), cell, sx, sy),
+            RectClass::kAA);
+  EXPECT_EQ(ClassifyRect(Rect::Of(0.1, 0.1, 0.9, 0.2), cell, sx, sy),
+            RectClass::kAB);
+  EXPECT_EQ(ClassifyRect(Rect::Of(0.1, 0.1, 0.2, 0.9), cell, sx, sy),
+            RectClass::kAC);
+  EXPECT_EQ(ClassifyRect(Rect::Of(0.1, 0.1, 0.9, 0.9), cell, sx, sy),
+            RectClass::kAD);
+  EXPECT_EQ(ClassifyRect(Rect::Of(0.6, 0.1, 0.9, 0.2), cell, sx, sy),
+            RectClass::kBB);
+  EXPECT_EQ(ClassifyRect(Rect::Of(0.6, 0.1, 0.9, 0.9), cell, sx, sy),
+            RectClass::kBD);
+  EXPECT_EQ(ClassifyRect(Rect::Of(0.1, 0.6, 0.2, 0.9), cell, sx, sy),
+            RectClass::kCC);
+  EXPECT_EQ(ClassifyRect(Rect::Of(0.1, 0.6, 0.9, 0.9), cell, sx, sy),
+            RectClass::kCD);
+  EXPECT_EQ(ClassifyRect(Rect::Of(0.6, 0.6, 0.9, 0.9), cell, sx, sy),
+            RectClass::kDD);
+}
+
+TEST(ClassifyRectTest, ClipsToCellAndDetectsOutside) {
+  const Rect cell = Rect::Of(0, 0, 1, 1);
+  // A query spilling over the whole cell clips to AD.
+  EXPECT_EQ(ClassifyRect(Rect::Of(-1, -1, 2, 2), cell, 0.5, 0.5),
+            RectClass::kAD);
+  // A query overlapping only the right half clips to BD.
+  EXPECT_EQ(ClassifyRect(Rect::Of(0.7, -1, 2, 2), cell, 0.5, 0.5),
+            RectClass::kBD);
+  EXPECT_EQ(ClassifyRect(Rect::Of(2, 2, 3, 3), cell, 0.5, 0.5),
+            RectClass::kOutside);
+}
+
+TEST(QuadrantRectTest, PartitionsCell) {
+  const Rect cell = Rect::Of(0, 0, 1, 1);
+  const Rect a = QuadrantRect(cell, 0.3, 0.6, Quadrant::kA);
+  const Rect b = QuadrantRect(cell, 0.3, 0.6, Quadrant::kB);
+  const Rect c = QuadrantRect(cell, 0.3, 0.6, Quadrant::kC);
+  const Rect d = QuadrantRect(cell, 0.3, 0.6, Quadrant::kD);
+  EXPECT_EQ(a, Rect::Of(0, 0, 0.3, 0.6));
+  EXPECT_EQ(b, Rect::Of(0.3, 0, 1, 0.6));
+  EXPECT_EQ(c, Rect::Of(0, 0.6, 0.3, 1));
+  EXPECT_EQ(d, Rect::Of(0.3, 0.6, 1, 1));
+  EXPECT_NEAR(a.Area() + b.Area() + c.Area() + d.Area(), cell.Area(), 1e-12);
+}
+
+}  // namespace
+}  // namespace wazi

@@ -1,0 +1,137 @@
+// The Greedy construction (Alg. 3) must adapt layout to the workload and
+// beat (or match) the median Base layout on the training workload's
+// retrieval work.
+
+#include "core/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/wazi.h"
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+// Total points scanned by a workload on an index variant.
+int64_t ScannedPoints(ZIndexVariant& index, const Workload& w) {
+  index.stats().Reset();
+  std::vector<Point> sink;
+  for (const Rect& q : w.queries) {
+    sink.clear();
+    index.RangeQuery(q, &sink);
+  }
+  return index.stats().points_scanned;
+}
+
+TEST(GreedyBuilderTest, AdaptivePartitioningReducesScannedPoints) {
+  // Skewed workload on clustered data: WaZI-style layout must scan fewer
+  // points than the median Base layout (this is the paper's core claim;
+  // Fig. 13 "excess points").
+  const TestScenario s =
+      MakeScenario(Region::kNewYork, 30000, 1500, kSelectivityMid2, 101);
+  BuildOptions opts;
+  opts.leaf_capacity = 128;
+
+  BaseZ base;
+  base.Build(s.data, s.workload, opts);
+  WaziNoSk adaptive;  // adaptive layout, no skipping: isolates the layout
+  adaptive.Build(s.data, s.workload, opts);
+
+  const int64_t base_scanned = ScannedPoints(base, s.workload);
+  const int64_t adaptive_scanned = ScannedPoints(adaptive, s.workload);
+  EXPECT_LT(adaptive_scanned, base_scanned)
+      << "adaptive layout scans more than median layout";
+}
+
+TEST(GreedyBuilderTest, MedianCandidateKeepsWaziSaneOnUniform) {
+  // On uniform data with uniform queries the adaptive layout cannot be
+  // much worse than Base (the median is always a candidate).
+  const Dataset data = MakeUniformDataset(20000, 102);
+  QueryGenOptions qopts;
+  qopts.num_queries = 800;
+  qopts.selectivity = kSelectivityMid2;
+  const Workload w = GenerateUniformWorkload(data.bounds, qopts);
+  BuildOptions opts;
+  opts.leaf_capacity = 128;
+
+  BaseZ base;
+  base.Build(data, w, opts);
+  WaziNoSk adaptive;
+  adaptive.Build(data, w, opts);
+  const int64_t base_scanned = ScannedPoints(base, w);
+  const int64_t adaptive_scanned = ScannedPoints(adaptive, w);
+  EXPECT_LT(adaptive_scanned, base_scanned * 3 / 2);
+}
+
+TEST(GreedyBuilderTest, UsesBothOrderings) {
+  // On a workload with clear vertical-strip structure the builder should
+  // pick acbd somewhere.
+  const Dataset data = MakeUniformDataset(20000, 103);
+  Workload w;
+  w.selectivity = 0.01;
+  Rng rng(104);
+  for (int i = 0; i < 500; ++i) {
+    const double x0 = rng.Uniform(0.0, 0.95);
+    const double y0 = rng.Uniform(0.0, 0.4);
+    w.queries.push_back(Rect::Of(x0, y0, x0 + 0.02, y0 + 0.5));  // tall
+  }
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  Wazi index;
+  index.Build(data, w, opts);
+  int acbd_nodes = 0;
+  const ZIndex& z = index.zindex();
+  for (size_t i = 0; i < z.num_nodes(); ++i) {
+    const ZIndex::Node& node = z.node(static_cast<int32_t>(i));
+    if (!node.is_leaf() && node.ord == Ordering::kAcbd) ++acbd_nodes;
+  }
+  EXPECT_GT(acbd_nodes, 0) << "tall queries should trigger acbd orderings";
+}
+
+TEST(GreedyBuilderTest, CostDecreasesWithTrainingQueries) {
+  // Building against the evaluation workload must not be worse than
+  // building against an unrelated workload.
+  const TestScenario s =
+      MakeScenario(Region::kIberia, 25000, 1200, kSelectivityMid2, 105);
+  QueryGenOptions other_opts;
+  other_opts.num_queries = 1200;
+  other_opts.selectivity = kSelectivityMid2;
+  other_opts.seed = 999;
+  const Workload unrelated =
+      GenerateCheckinWorkload(Region::kNewYork, s.data.bounds, other_opts);
+
+  BuildOptions opts;
+  opts.leaf_capacity = 128;
+  WaziNoSk trained, mistrained;
+  trained.Build(s.data, s.workload, opts);
+  mistrained.Build(s.data, unrelated, opts);
+  EXPECT_LE(ScannedPoints(trained, s.workload),
+            ScannedPoints(mistrained, s.workload));
+}
+
+TEST(GreedyBuilderTest, MedianSplitComputesMedians) {
+  std::vector<Point> pts = {{1, 10, 0}, {2, 20, 1}, {3, 30, 2},
+                            {4, 40, 3}, {5, 50, 4}};
+  const SplitChoice c = MedianSplit(pts.data(), pts.size());
+  EXPECT_EQ(c.sx, 3);
+  EXPECT_EQ(c.sy, 30);
+  EXPECT_EQ(c.ord, Ordering::kAbcd);
+}
+
+TEST(GreedyBuilderTest, RespectsLeafCapacityAndDepth) {
+  const TestScenario s = MakeScenario(Region::kJapan, 10000, 300, 1e-3, 106);
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  Wazi index;
+  index.Build(s.data, s.workload, opts);
+  const ZIndex& z = index.zindex();
+  size_t total = 0;
+  for (int32_t id : z.leaf_dir().InOrder()) {
+    total += z.page_store().PageSize(z.leaf_dir().leaf(id).page);
+  }
+  EXPECT_EQ(total, s.data.size());
+  EXPECT_GE(z.num_leaves(), s.data.size() / 64);
+}
+
+}  // namespace
+}  // namespace wazi

@@ -1,0 +1,72 @@
+#include "sfc/hilbert.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "common/rng.h"
+
+namespace wazi {
+namespace {
+
+TEST(HilbertTest, RoundTripSmallOrders) {
+  for (int order = 1; order <= 6; ++order) {
+    const uint64_t cells = 1ull << (2 * order);
+    for (uint64_t d = 0; d < cells; ++d) {
+      uint32_t x = 0, y = 0;
+      HilbertDecode(order, d, &x, &y);
+      EXPECT_EQ(HilbertEncode(order, x, y), d) << "order=" << order;
+      EXPECT_LT(x, 1u << order);
+      EXPECT_LT(y, 1u << order);
+    }
+  }
+}
+
+TEST(HilbertTest, ConsecutiveCellsAreAdjacent) {
+  // The defining locality property: successive curve positions are
+  // neighbouring grid cells (Manhattan distance 1).
+  const int order = 7;
+  uint32_t px = 0, py = 0;
+  HilbertDecode(order, 0, &px, &py);
+  const uint64_t cells = 1ull << (2 * order);
+  for (uint64_t d = 1; d < cells; ++d) {
+    uint32_t x = 0, y = 0;
+    HilbertDecode(order, d, &x, &y);
+    const int dist = std::abs(static_cast<int>(x) - static_cast<int>(px)) +
+                     std::abs(static_cast<int>(y) - static_cast<int>(py));
+    ASSERT_EQ(dist, 1) << "jump at d=" << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(HilbertTest, RoundTripLargeOrderSampled) {
+  Rng rng(9);
+  const int order = 16;
+  for (int i = 0; i < 20000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextBelow(1u << order));
+    const uint32_t y = static_cast<uint32_t>(rng.NextBelow(1u << order));
+    const uint64_t d = HilbertEncode(order, x, y);
+    uint32_t rx = 0, ry = 0;
+    HilbertDecode(order, d, &rx, &ry);
+    ASSERT_EQ(rx, x);
+    ASSERT_EQ(ry, y);
+  }
+}
+
+TEST(HilbertTest, CoversAllCellsBijectively) {
+  const int order = 5;
+  const uint64_t cells = 1ull << (2 * order);
+  std::vector<bool> seen(cells, false);
+  for (uint32_t x = 0; x < (1u << order); ++x) {
+    for (uint32_t y = 0; y < (1u << order); ++y) {
+      const uint64_t d = HilbertEncode(order, x, y);
+      ASSERT_LT(d, cells);
+      ASSERT_FALSE(seen[d]) << "collision at d=" << d;
+      seen[d] = true;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wazi

@@ -1,0 +1,74 @@
+#include "baselines/hrr.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+TEST(HrrTest, CorrectAcrossRegions) {
+  for (Region region : {Region::kCaliNev, Region::kJapan}) {
+    const TestScenario s = MakeScenario(region, 6000, 300, 2e-3, 191);
+    HilbertRTree index;
+    BuildOptions opts;
+    opts.leaf_capacity = 64;
+    index.Build(s.data, s.workload, opts);
+    for (size_t qi = 0; qi < 120; ++qi) {
+      const Rect& q = s.workload.queries[qi];
+      std::vector<Point> got;
+      index.RangeQuery(q, &got);
+      ASSERT_EQ(SortedIds(got), TruthIds(s.data, q)) << RegionName(region);
+    }
+  }
+}
+
+TEST(HrrTest, HilbertPackingHasLocality) {
+  // Hilbert-packed leaves of uniform data should have compact MBRs: the
+  // total leaf MBR area must be a small multiple of the domain area / #leaves.
+  const Dataset data = MakeUniformDataset(20000, 192);
+  Workload w;
+  HilbertRTree index;
+  BuildOptions opts;
+  opts.leaf_capacity = 128;
+  index.Build(data, w, opts);
+  // Indirect check through query work: small queries should only touch a
+  // few pages.
+  QueryGenOptions qopts;
+  qopts.num_queries = 200;
+  qopts.selectivity = 1e-3;
+  const Workload probes = GenerateUniformWorkload(data.bounds, qopts);
+  index.stats().Reset();
+  std::vector<Point> sink;
+  for (const Rect& q : probes.queries) {
+    sink.clear();
+    index.RangeQuery(q, &sink);
+  }
+  const double pages_per_query =
+      static_cast<double>(index.stats().pages_scanned) / probes.size();
+  EXPECT_LT(pages_per_query, 8.0) << "Hilbert leaves lost locality";
+}
+
+TEST(HrrTest, InsertsSupported) {
+  const TestScenario s = MakeScenario(Region::kIberia, 3000, 150, 1e-3, 193);
+  HilbertRTree index;
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index.Build(s.data, s.workload, opts);
+  Dataset augmented = s.data;
+  const std::vector<Point> stream =
+      GenerateInsertStream(s.data.bounds, 1500, 800000, 194);
+  for (const Point& p : stream) {
+    ASSERT_TRUE(index.Insert(p));
+    augmented.points.push_back(p);
+  }
+  for (size_t qi = 0; qi < 60; ++qi) {
+    const Rect& q = s.workload.queries[qi];
+    std::vector<Point> got;
+    index.RangeQuery(q, &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(augmented, q));
+  }
+}
+
+}  // namespace
+}  // namespace wazi

@@ -1,0 +1,109 @@
+// Cross-index correctness: every registered index must agree with the
+// linear-scan ground truth on range and point queries, across a
+// parameterized sweep of (index, region, dataset size, selectivity).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "index/spatial_index.h"
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+using CorrectnessParam =
+    std::tuple<std::string /*index*/, int /*region*/, size_t /*n*/,
+               double /*selectivity*/>;
+
+class IndexCorrectnessTest
+    : public ::testing::TestWithParam<CorrectnessParam> {};
+
+TEST_P(IndexCorrectnessTest, RangeAndPointQueriesMatchBruteForce) {
+  const auto& [name, region_idx, n, selectivity] = GetParam();
+  const Region region = static_cast<Region>(region_idx);
+  const TestScenario s = MakeScenario(region, n, 200, selectivity, 1234);
+
+  auto index = MakeIndex(name);
+  ASSERT_NE(index, nullptr) << name;
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  opts.kappa = 8;
+  index->Build(s.data, s.workload, opts);
+
+  // Range queries: the training workload plus fresh unseen queries.
+  for (size_t qi = 0; qi < 100; ++qi) {
+    const Rect& q = s.workload.queries[qi];
+    std::vector<Point> got;
+    index->RangeQuery(q, &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(s.data, q)) << name << " query " << qi;
+  }
+  QueryGenOptions fresh_opts;
+  fresh_opts.num_queries = 50;
+  fresh_opts.selectivity = selectivity;
+  fresh_opts.seed = 777;
+  const Workload fresh = GenerateUniformWorkload(s.data.bounds, fresh_opts);
+  for (const Rect& q : fresh.queries) {
+    std::vector<Point> got;
+    index->RangeQuery(q, &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(s.data, q)) << name << " unseen query";
+  }
+
+  // Projection path must agree with the fused path.
+  for (size_t qi = 0; qi < 20; ++qi) {
+    const Rect& q = s.workload.queries[qi];
+    Projection proj;
+    index->Project(q, &proj);
+    std::vector<Point> got;
+    index->ScanProjection(proj, q, &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(s.data, q))
+        << name << " projection path, query " << qi;
+  }
+
+  // Point queries: stored points hit, off-grid points miss.
+  Rng rng(55);
+  for (int i = 0; i < 300; ++i) {
+    const Point& p = s.data.points[rng.NextBelow(s.data.points.size())];
+    ASSERT_TRUE(index->PointQuery(p)) << name;
+  }
+  EXPECT_FALSE(index->PointQuery(Point{-3.0, 0.5, 0})) << name;
+  EXPECT_FALSE(index->PointQuery(Point{0.512345678, 9.5, 0})) << name;
+}
+
+std::vector<std::string> AllNames() { return AllIndexNames(); }
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexesSmall, IndexCorrectnessTest,
+    ::testing::Combine(::testing::ValuesIn(AllNames()),
+                       ::testing::Values(0, 1, 2, 3),
+                       ::testing::Values<size_t>(3000),
+                       ::testing::Values(1e-3)),
+    [](const ::testing::TestParamInfo<CorrectnessParam>& info) {
+      std::string clean = std::get<0>(info.param);
+      for (char& c : clean) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return clean + "_r" + std::to_string(std::get<1>(info.param)) + "_n" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    MainIndexesSelectivitySweep, IndexCorrectnessTest,
+    ::testing::Combine(::testing::ValuesIn(MainIndexNames()),
+                       ::testing::Values(0),
+                       ::testing::Values<size_t>(8000),
+                       ::testing::Values(1e-4, 1e-3, 1e-2)),
+    [](const ::testing::TestParamInfo<CorrectnessParam>& info) {
+      std::string clean = std::get<0>(info.param);
+      for (char& c : clean) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return clean + "_sel" +
+             std::to_string(
+                 static_cast<int>(std::get<3>(info.param) * 1e5));
+    });
+
+}  // namespace
+}  // namespace wazi

@@ -1,0 +1,78 @@
+// Update support across the index family (Fig. 11 uses WaZI, CUR and
+// Flood): insert + query correctness, and graceful refusal elsewhere.
+
+#include <gtest/gtest.h>
+
+#include "index/spatial_index.h"
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+class UpdatableIndexTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(UpdatableIndexTest, InsertStreamKeepsQueriesExact) {
+  const std::string name = GetParam();
+  const TestScenario s = MakeScenario(Region::kCaliNev, 5000, 200, 1e-3, 131);
+  auto index = MakeIndex(name);
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index->Build(s.data, s.workload, opts);
+
+  Dataset augmented = s.data;
+  const std::vector<Point> stream =
+      GenerateInsertStream(s.data.bounds, 2500, 1000000, 132);
+  for (const Point& p : stream) {
+    ASSERT_TRUE(index->Insert(p)) << name;
+    augmented.points.push_back(p);
+  }
+  for (size_t qi = 0; qi < 80; ++qi) {
+    const Rect& q = s.workload.queries[qi];
+    std::vector<Point> got;
+    index->RangeQuery(q, &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(augmented, q)) << name;
+  }
+  for (size_t i = 0; i < stream.size(); i += 10) {
+    ASSERT_TRUE(index->PointQuery(stream[i])) << name;
+  }
+}
+
+TEST_P(UpdatableIndexTest, RemoveUndoesInsert) {
+  const std::string name = GetParam();
+  const TestScenario s = MakeScenario(Region::kJapan, 3000, 150, 1e-3, 133);
+  auto index = MakeIndex(name);
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index->Build(s.data, s.workload, opts);
+  const Point p{0.123456, 0.654321, 77777};
+  ASSERT_TRUE(index->Insert(p));
+  ASSERT_TRUE(index->PointQuery(p));
+  ASSERT_TRUE(index->Remove(p));
+  EXPECT_FALSE(index->PointQuery(p));
+  EXPECT_FALSE(index->Remove(p));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    UpdatableIndexes, UpdatableIndexTest,
+    ::testing::Values("wazi", "base", "str", "cur", "flood", "hrr", "brute"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string clean = info.param;
+      for (char& c : clean) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return clean;
+    });
+
+TEST(NonUpdatableIndexTest, RefuseInsertGracefully) {
+  const TestScenario s = MakeScenario(Region::kIberia, 2000, 100, 1e-3, 134);
+  for (const char* name : {"quasii", "qd-gr", "quilts", "zpgm", "rsmi"}) {
+    auto index = MakeIndex(name);
+    BuildOptions opts;
+    opts.leaf_capacity = 64;
+    index->Build(s.data, s.workload, opts);
+    EXPECT_FALSE(index->Insert(Point{0.5, 0.5, 999999})) << name;
+  }
+}
+
+}  // namespace
+}  // namespace wazi

@@ -1,0 +1,122 @@
+#include "workload/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "index/spatial_index.h"
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+TEST(IoTest, PointsRoundTrip) {
+  const Dataset data = GenerateRegion(Region::kCaliNev, 2000, 21);
+  std::stringstream buffer;
+  ASSERT_TRUE(SavePointsCsv(data, buffer));
+  Dataset restored;
+  std::string error;
+  ASSERT_TRUE(LoadPointsCsv(buffer, &restored, &error)) << error;
+  ASSERT_EQ(restored.size(), data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    ASSERT_EQ(restored.points[i].x, data.points[i].x);
+    ASSERT_EQ(restored.points[i].y, data.points[i].y);
+    ASSERT_EQ(restored.points[i].id, data.points[i].id);
+  }
+  EXPECT_FALSE(restored.bounds.empty());
+}
+
+TEST(IoTest, QueriesRoundTrip) {
+  QueryGenOptions opts;
+  opts.num_queries = 500;
+  const Workload w =
+      GenerateCheckinWorkload(Region::kJapan, Rect::Of(0, 0, 1, 1), opts);
+  std::stringstream buffer;
+  ASSERT_TRUE(SaveQueriesCsv(w, buffer));
+  Workload restored;
+  std::string error;
+  ASSERT_TRUE(LoadQueriesCsv(buffer, &restored, &error)) << error;
+  ASSERT_EQ(restored.size(), w.size());
+  for (size_t i = 0; i < w.size(); ++i) {
+    ASSERT_EQ(restored.queries[i], w.queries[i]);
+  }
+}
+
+TEST(IoTest, PointsWithoutIdsGetRowNumbers) {
+  std::stringstream in("0.1,0.2\n0.3,0.4\n");
+  Dataset data;
+  std::string error;
+  ASSERT_TRUE(LoadPointsCsv(in, &data, &error)) << error;
+  ASSERT_EQ(data.size(), 2u);
+  EXPECT_EQ(data.points[0].id, 0);
+  EXPECT_EQ(data.points[1].id, 1);
+}
+
+TEST(IoTest, CommentsAndBlanksSkipped) {
+  std::stringstream in("# header\n\n0.1,0.2,7\n   \n# trailing\n");
+  Dataset data;
+  std::string error;
+  ASSERT_TRUE(LoadPointsCsv(in, &data, &error)) << error;
+  ASSERT_EQ(data.size(), 1u);
+  EXPECT_EQ(data.points[0].id, 7);
+}
+
+TEST(IoTest, MalformedInputReportsLine) {
+  {
+    std::stringstream in("0.1,0.2\nnot,a,number\n");
+    Dataset data;
+    std::string error;
+    EXPECT_FALSE(LoadPointsCsv(in, &data, &error));
+    EXPECT_NE(error.find("line 2"), std::string::npos) << error;
+  }
+  {
+    std::stringstream in("0.1\n");
+    Dataset data;
+    std::string error;
+    EXPECT_FALSE(LoadPointsCsv(in, &data, &error));
+    EXPECT_NE(error.find("expected x,y"), std::string::npos);
+  }
+  {
+    std::stringstream in("0.5,0.5,0.1,0.1\n");  // min > max
+    Workload w;
+    std::string error;
+    EXPECT_FALSE(LoadQueriesCsv(in, &w, &error));
+    EXPECT_NE(error.find("empty rectangle"), std::string::npos);
+  }
+  {
+    Dataset data;
+    std::string error;
+    EXPECT_FALSE(LoadPointsCsvFile("/no/such/file.csv", &data, &error));
+    EXPECT_NE(error.find("cannot open"), std::string::npos);
+  }
+}
+
+TEST(IoTest, FileRoundTripAndIndexBuild) {
+  const TestScenario s = MakeScenario(Region::kIberia, 1500, 200, 1e-3, 22);
+  const std::string pts_path = ::testing::TempDir() + "/wazi_pts.csv";
+  const std::string q_path = ::testing::TempDir() + "/wazi_q.csv";
+  ASSERT_TRUE(SavePointsCsvFile(s.data, pts_path));
+  ASSERT_TRUE(SaveQueriesCsvFile(s.workload, q_path));
+
+  Dataset data;
+  Workload workload;
+  std::string error;
+  ASSERT_TRUE(LoadPointsCsvFile(pts_path, &data, &error)) << error;
+  ASSERT_TRUE(LoadQueriesCsvFile(q_path, &workload, &error)) << error;
+
+  auto index = MakeIndex("wazi");
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index->Build(data, workload, opts);
+  for (size_t qi = 0; qi < 50; ++qi) {
+    std::vector<Point> got;
+    index->RangeQuery(workload.queries[qi], &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(s.data, s.workload.queries[qi]));
+  }
+  std::remove(pts_path.c_str());
+  std::remove(q_path.c_str());
+}
+
+}  // namespace
+}  // namespace wazi

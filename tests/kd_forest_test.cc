@@ -1,0 +1,187 @@
+// RFDE (kd-forest) estimation accuracy: statistical tolerance against
+// exact counts on uniform, clustered and 4-D query-corner data.
+
+#include "density/kd_forest.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/density_adapters.h"
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+std::vector<DVec> ToRows2D(const std::vector<Point>& pts) {
+  std::vector<DVec> rows;
+  rows.reserve(pts.size());
+  for (const Point& p : pts) rows.push_back(DVec{p.x, p.y, 0, 0});
+  return rows;
+}
+
+double ExactCount2D(const std::vector<Point>& pts, const Rect& box) {
+  double n = 0;
+  for (const Point& p : pts) n += box.Contains(p) ? 1.0 : 0.0;
+  return n;
+}
+
+TEST(KdForestTest, TotalWeightAndFullBox) {
+  const Dataset data = MakeUniformDataset(20000, 51);
+  KdForest forest;
+  KdForestOptions opts;
+  opts.dim = 2;
+  forest.Build(ToRows2D(data.points), {}, opts);
+  EXPECT_EQ(forest.total_weight(), 20000.0);
+  EXPECT_NEAR(forest.Estimate(FullBox(2)), 20000.0, 1.0);
+}
+
+TEST(KdForestTest, EmptyAndDisjointBoxes) {
+  const Dataset data = MakeUniformDataset(5000, 52);
+  KdForest forest;
+  KdForestOptions opts;
+  opts.dim = 2;
+  forest.Build(ToRows2D(data.points), {}, opts);
+  DBox far_box;
+  far_box.lo = DVec{5, 5, 0, 0};
+  far_box.hi = DVec{6, 6, 0, 0};
+  EXPECT_EQ(forest.Estimate(far_box), 0.0);
+
+  KdForest empty;
+  empty.Build({}, {}, opts);
+  EXPECT_EQ(empty.Estimate(FullBox(2)), 0.0);
+}
+
+TEST(KdForestTest, UniformDataAccuracy) {
+  const Dataset data = MakeUniformDataset(50000, 53);
+  KdForest forest;
+  KdForestOptions opts;
+  opts.dim = 2;
+  opts.num_trees = 8;
+  forest.Build(ToRows2D(data.points), {}, opts);
+  Rng rng(54);
+  double rel_err_sum = 0.0;
+  int measured = 0;
+  for (int i = 0; i < 100; ++i) {
+    const double x0 = rng.Uniform(0, 0.7);
+    const double y0 = rng.Uniform(0, 0.7);
+    const double w = rng.Uniform(0.05, 0.3);
+    const Rect box = Rect::Of(x0, y0, x0 + w, y0 + w);
+    const double exact = ExactCount2D(data.points, box);
+    if (exact < 100) continue;
+    DBox dbox;
+    dbox.lo = DVec{box.min_x, box.min_y, 0, 0};
+    dbox.hi = DVec{box.max_x, box.max_y, 0, 0};
+    rel_err_sum += std::abs(forest.Estimate(dbox) - exact) / exact;
+    ++measured;
+  }
+  ASSERT_GT(measured, 20);
+  EXPECT_LT(rel_err_sum / measured, 0.10)
+      << "mean relative error too high on uniform data";
+}
+
+TEST(KdForestTest, ClusteredDataAccuracy) {
+  const Dataset data = GenerateRegion(Region::kCaliNev, 50000, 55);
+  KdForest forest;
+  KdForestOptions opts;
+  opts.dim = 2;
+  opts.num_trees = 12;
+  opts.leaf_size = 8;
+  forest.Build(ToRows2D(data.points), {}, opts);
+  Rng rng(56);
+  double rel_err_sum = 0.0;
+  int measured = 0;
+  for (int i = 0; i < 200; ++i) {
+    const Point& c = data.points[rng.NextBelow(data.points.size())];
+    const double w = rng.Uniform(0.02, 0.15);
+    const Rect box = Rect::Of(c.x - w, c.y - w, c.x + w, c.y + w);
+    const double exact = ExactCount2D(data.points, box);
+    if (exact < 200) continue;
+    DBox dbox;
+    dbox.lo = DVec{box.min_x, box.min_y, 0, 0};
+    dbox.hi = DVec{box.max_x, box.max_y, 0, 0};
+    rel_err_sum += std::abs(forest.Estimate(dbox) - exact) / exact;
+    ++measured;
+  }
+  ASSERT_GT(measured, 30);
+  EXPECT_LT(rel_err_sum / measured, 0.25)
+      << "mean relative error too high on clustered data";
+}
+
+TEST(KdForestTest, WeightedCounts) {
+  // Points on the left half weigh 3, right half weigh 1.
+  const Dataset data = MakeUniformDataset(20000, 57);
+  std::vector<double> weights;
+  weights.reserve(data.points.size());
+  double left_total = 0.0;
+  for (const Point& p : data.points) {
+    const double w = p.x < 0.5 ? 3.0 : 1.0;
+    weights.push_back(w);
+    if (p.x < 0.5) left_total += w;
+  }
+  KdForest forest;
+  KdForestOptions opts;
+  opts.dim = 2;
+  opts.num_trees = 8;
+  forest.Build(ToRows2D(data.points), weights, opts);
+  DBox left;
+  left.lo = DVec{-1, -1, 0, 0};
+  left.hi = DVec{0.5, 2, 0, 0};
+  EXPECT_NEAR(forest.Estimate(left), left_total, 0.08 * left_total);
+}
+
+TEST(KdForestTest, FourDimensionalCornerCounts) {
+  // Exactness proxy for the q_XY reduction: estimated 4-D box counts of
+  // query corners must track exact counts.
+  const TestScenario s = MakeScenario(Region::kNewYork, 2000, 5000, 1e-3, 58);
+  const std::vector<DVec> rows = QueryCornerRows(s.workload);
+  KdForest forest;
+  KdForestOptions opts;
+  opts.dim = 4;
+  opts.num_trees = 8;
+  forest.Build(rows, {}, opts);
+
+  Rng rng(59);
+  double rel_err_sum = 0.0;
+  int measured = 0;
+  for (int iter = 0; iter < 100; ++iter) {
+    DBox box;
+    for (int d = 0; d < 4; ++d) {
+      const double lo = rng.Uniform(0.0, 0.8);
+      box.lo[d] = lo;
+      box.hi[d] = lo + rng.Uniform(0.1, 0.4);
+    }
+    double exact = 0.0;
+    for (const DVec& r : rows) {
+      bool in = true;
+      for (int d = 0; d < 4; ++d) {
+        in = in && r[d] >= box.lo[d] && r[d] <= box.hi[d];
+      }
+      exact += in ? 1.0 : 0.0;
+    }
+    if (exact < 100) continue;
+    rel_err_sum += std::abs(forest.Estimate(box) - exact) / exact;
+    ++measured;
+  }
+  if (measured > 10) {
+    EXPECT_LT(rel_err_sum / measured, 0.30);
+  }
+}
+
+TEST(KdForestTest, SubsampledForestScalesToPopulation) {
+  const Dataset data = MakeUniformDataset(50000, 60);
+  KdForest forest;
+  KdForestOptions opts;
+  opts.dim = 2;
+  opts.num_trees = 8;
+  opts.subsample = 5000;
+  forest.Build(ToRows2D(data.points), {}, opts);
+  // Quarter box on uniform data: ~12.5k points.
+  DBox box;
+  box.lo = DVec{0, 0, 0, 0};
+  box.hi = DVec{0.5, 0.5, 0, 0};
+  EXPECT_NEAR(forest.Estimate(box), 12500.0, 1500.0);
+}
+
+}  // namespace
+}  // namespace wazi

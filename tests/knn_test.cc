@@ -1,0 +1,104 @@
+#include "index/knn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+double Dist(const Point& a, const Point& b) {
+  return std::hypot(a.x - b.x, a.y - b.y);
+}
+
+std::vector<double> BruteKnnDistances(const Dataset& data,
+                                      const Point& center, size_t k) {
+  std::vector<double> d;
+  d.reserve(data.points.size());
+  for (const Point& p : data.points) d.push_back(Dist(p, center));
+  std::sort(d.begin(), d.end());
+  if (d.size() > k) d.resize(k);
+  return d;
+}
+
+TEST(KnnTest, MatchesBruteForceOnAllMainIndexes) {
+  const TestScenario s = MakeScenario(Region::kCaliNev, 5000, 200, 1e-3, 301);
+  Rng rng(302);
+  for (const std::string& name : MainIndexNames()) {
+    auto index = MakeIndex(name);
+    BuildOptions opts;
+    opts.leaf_capacity = 64;
+    index->Build(s.data, s.workload, opts);
+    for (int trial = 0; trial < 20; ++trial) {
+      const Point center{rng.NextDouble(), rng.NextDouble(), 0};
+      const size_t k = 1 + rng.NextBelow(32);
+      const KnnResult got =
+          KnnByRangeExpansion(*index, center, k, s.data.bounds);
+      const std::vector<double> want = BruteKnnDistances(s.data, center, k);
+      ASSERT_EQ(got.neighbors.size(), want.size()) << name;
+      for (size_t i = 0; i < want.size(); ++i) {
+        ASSERT_NEAR(Dist(got.neighbors[i], center), want[i], 1e-12)
+            << name << " k=" << k << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(KnnTest, ResultsSortedByDistance) {
+  const TestScenario s = MakeScenario(Region::kJapan, 3000, 100, 1e-3, 303);
+  auto index = MakeIndex("wazi");
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index->Build(s.data, s.workload, opts);
+  const Point center{0.6, 0.52, 0};
+  const KnnResult got = KnnByRangeExpansion(*index, center, 50,
+                                            s.data.bounds);
+  ASSERT_EQ(got.neighbors.size(), 50u);
+  for (size_t i = 1; i < got.neighbors.size(); ++i) {
+    ASSERT_LE(Dist(got.neighbors[i - 1], center),
+              Dist(got.neighbors[i], center));
+  }
+  EXPECT_GE(got.range_queries_issued, 1);
+}
+
+TEST(KnnTest, KLargerThanDatasetReturnsAll) {
+  Dataset data;
+  data.bounds = Rect::Of(0, 0, 1, 1);
+  for (int i = 0; i < 10; ++i) {
+    data.points.push_back(Point{0.1 * i, 0.1 * i, i});
+  }
+  Workload w;
+  auto index = MakeIndex("base");
+  index->Build(data, w, BuildOptions{});
+  const KnnResult got =
+      KnnByRangeExpansion(*index, Point{0.5, 0.5, 0}, 100, data.bounds);
+  EXPECT_EQ(got.neighbors.size(), 10u);
+}
+
+TEST(KnnTest, CenterOutsideDomain) {
+  const TestScenario s = MakeScenario(Region::kIberia, 2000, 100, 1e-3, 304);
+  auto index = MakeIndex("wazi");
+  index->Build(s.data, s.workload, BuildOptions{});
+  const Point outside{-0.5, 1.5, 0};
+  const KnnResult got =
+      KnnByRangeExpansion(*index, outside, 5, s.data.bounds);
+  const std::vector<double> want = BruteKnnDistances(s.data, outside, 5);
+  ASSERT_EQ(got.neighbors.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    ASSERT_NEAR(Dist(got.neighbors[i], outside), want[i], 1e-12);
+  }
+}
+
+TEST(KnnTest, KZeroIsEmpty) {
+  const TestScenario s = MakeScenario(Region::kCaliNev, 500, 50, 1e-3, 305);
+  auto index = MakeIndex("base");
+  index->Build(s.data, s.workload, BuildOptions{});
+  const KnnResult got =
+      KnnByRangeExpansion(*index, Point{0.5, 0.5, 0}, 0, s.data.bounds);
+  EXPECT_TRUE(got.neighbors.empty());
+}
+
+}  // namespace
+}  // namespace wazi

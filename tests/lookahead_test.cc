@@ -1,0 +1,111 @@
+// Look-ahead pointer invariants (Alg. 4) and equivalence of skipping vs
+// naive range-query execution.
+
+#include "core/lookahead.h"
+
+#include <gtest/gtest.h>
+
+#include "core/wazi.h"
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+BuildOptions SmallOpts() {
+  BuildOptions opts;
+  opts.leaf_capacity = 32;
+  opts.kappa = 12;
+  return opts;
+}
+
+TEST(LookaheadInvariants, ValidAfterBulkBuildBase) {
+  const TestScenario s = MakeScenario(Region::kCaliNev, 6000, 200, 1e-3, 31);
+  BaseZSk index;
+  index.Build(s.data, s.workload, SmallOpts());
+  EXPECT_EQ(ValidateLookahead(index.zindex(), /*strict=*/true), "");
+}
+
+TEST(LookaheadInvariants, ValidAfterBulkBuildWazi) {
+  for (Region region : AllRegions()) {
+    const TestScenario s = MakeScenario(region, 5000, 300, 1e-3, 32);
+    Wazi index;
+    index.Build(s.data, s.workload, SmallOpts());
+    EXPECT_EQ(ValidateLookahead(index.zindex(), /*strict=*/true), "")
+        << RegionName(region);
+  }
+}
+
+TEST(LookaheadInvariants, PointersActuallySkip) {
+  const TestScenario s = MakeScenario(Region::kNewYork, 20000, 300, 1e-3, 33);
+  Wazi index;
+  index.Build(s.data, s.workload, SmallOpts());
+  const LookaheadSummary sum = SummarizeLookahead(index.zindex());
+  EXPECT_GT(sum.pointers, 0);
+  // On a clustered dataset a meaningful fraction of pointers must jump
+  // beyond the immediate next leaf, else skipping buys nothing.
+  EXPECT_GT(sum.mean_jump, 0.5);
+  EXPECT_GT(sum.max_jump, 4);
+}
+
+TEST(LookaheadEquivalence, SkippingMatchesNaiveOnSameTree) {
+  // Same adaptive tree, executed with and without skipping, must return
+  // identical results with identical pages scanned.
+  const TestScenario s = MakeScenario(Region::kJapan, 8000, 300, 2e-3, 34);
+  Wazi skipping;  // adaptive + lookahead
+  skipping.Build(s.data, s.workload, SmallOpts());
+  const ZIndex& z = skipping.zindex();
+
+  QueryStats naive_stats, skip_stats;
+  for (const Rect& q : s.workload.queries) {
+    std::vector<Point> naive_out, skip_out;
+    z.RangeQueryNaive(q, &naive_out, &naive_stats);
+    z.RangeQuerySkipping(q, &skip_out, &skip_stats);
+    ASSERT_EQ(SortedIds(naive_out), SortedIds(skip_out));
+  }
+  EXPECT_EQ(naive_stats.pages_scanned, skip_stats.pages_scanned);
+  EXPECT_EQ(naive_stats.results, skip_stats.results);
+  EXPECT_LE(skip_stats.bbs_checked, naive_stats.bbs_checked);
+}
+
+TEST(LookaheadEquivalence, RandomQueriesIncludingExtremes) {
+  const TestScenario s = MakeScenario(Region::kIberia, 6000, 200, 1e-3, 35);
+  Wazi index;
+  index.Build(s.data, s.workload, SmallOpts());
+  const ZIndex& z = index.zindex();
+  Rng rng(77);
+  QueryStats stats;
+  for (int i = 0; i < 500; ++i) {
+    const double x0 = rng.Uniform(-0.2, 1.2);
+    const double y0 = rng.Uniform(-0.2, 1.2);
+    const double w = rng.Uniform(0.0, 0.6);
+    const double h = rng.Uniform(0.0, 0.6);
+    const Rect q = Rect::Of(x0, y0, x0 + w, y0 + h);
+    std::vector<Point> naive_out, skip_out;
+    z.RangeQueryNaive(q, &naive_out, &stats);
+    z.RangeQuerySkipping(q, &skip_out, &stats);
+    ASSERT_EQ(SortedIds(naive_out), SortedIds(skip_out))
+        << "query " << q.DebugString();
+  }
+}
+
+TEST(LookaheadEquivalence, DegenerateData) {
+  Dataset data = MakeDegenerateDataset(4000, 36);
+  QueryGenOptions qopts;
+  qopts.num_queries = 200;
+  qopts.selectivity = 1e-3;
+  const Workload w = GenerateUniformWorkload(data.bounds, qopts);
+  BaseZSk index;
+  index.Build(data, w, SmallOpts());
+  EXPECT_EQ(ValidateLookahead(index.zindex(), /*strict=*/true), "");
+  const ZIndex& z = index.zindex();
+  QueryStats stats;
+  for (const Rect& q : w.queries) {
+    std::vector<Point> naive_out, skip_out;
+    z.RangeQueryNaive(q, &naive_out, &stats);
+    z.RangeQuerySkipping(q, &skip_out, &stats);
+    ASSERT_EQ(SortedIds(naive_out), SortedIds(skip_out));
+  }
+}
+
+}  // namespace
+}  // namespace wazi

@@ -1,0 +1,134 @@
+#include "learned/pgm_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace wazi {
+namespace {
+
+std::vector<uint64_t> RandomSortedKeys(size_t n, uint64_t seed,
+                                       uint64_t max_key,
+                                       bool with_duplicates) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(rng.NextBelow(max_key));
+    if (with_duplicates && i % 7 == 0 && !keys.empty()) {
+      keys.push_back(keys.back());
+    }
+  }
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(PgmIndexTest, LowerBoundMatchesStdOnPresentKeys) {
+  const std::vector<uint64_t> keys = RandomSortedKeys(50000, 61, 1ull << 40,
+                                                      /*with_duplicates=*/false);
+  PgmIndex pgm;
+  pgm.Build(keys, 32);
+  for (size_t i = 0; i < keys.size(); i += 13) {
+    const size_t expected = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), keys[i]) - keys.begin());
+    ASSERT_EQ(pgm.LowerBound(keys[i]), expected) << "key " << keys[i];
+  }
+}
+
+TEST(PgmIndexTest, LowerBoundMatchesStdOnAbsentKeys) {
+  const std::vector<uint64_t> keys = RandomSortedKeys(50000, 62, 1ull << 40,
+                                                      false);
+  PgmIndex pgm;
+  pgm.Build(keys, 16);
+  Rng rng(63);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t probe = rng.NextBelow(1ull << 41);
+    const size_t expected = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
+    ASSERT_EQ(pgm.LowerBound(probe), expected) << "probe " << probe;
+  }
+}
+
+TEST(PgmIndexTest, HandlesDuplicates) {
+  const std::vector<uint64_t> keys =
+      RandomSortedKeys(30000, 64, 1ull << 20, /*with_duplicates=*/true);
+  PgmIndex pgm;
+  pgm.Build(keys, 32);
+  Rng rng(65);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t probe = rng.NextBelow(1ull << 21);
+    const size_t expected = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
+    ASSERT_EQ(pgm.LowerBound(probe), expected);
+  }
+}
+
+TEST(PgmIndexTest, SearchWindowContainsAnswer) {
+  const std::vector<uint64_t> keys = RandomSortedKeys(40000, 66, 1ull << 36,
+                                                      false);
+  PgmIndex pgm;
+  pgm.Build(keys, 64);
+  for (size_t i = 0; i < keys.size(); i += 17) {
+    const PgmIndex::Approx a = pgm.Search(keys[i]);
+    const size_t expected = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), keys[i]) - keys.begin());
+    ASSERT_LE(a.lo, expected);
+    ASSERT_GE(a.hi, expected + 1);
+  }
+}
+
+TEST(PgmIndexTest, ExtremeProbes) {
+  const std::vector<uint64_t> keys = {10, 20, 30, 40, 50};
+  PgmIndex pgm;
+  pgm.Build(keys, 4);
+  EXPECT_EQ(pgm.LowerBound(0), 0u);
+  EXPECT_EQ(pgm.LowerBound(10), 0u);
+  EXPECT_EQ(pgm.LowerBound(11), 1u);
+  EXPECT_EQ(pgm.LowerBound(50), 4u);
+  EXPECT_EQ(pgm.LowerBound(51), 5u);
+}
+
+TEST(PgmIndexTest, SequentialAndConstantKeys) {
+  std::vector<uint64_t> seq(10000);
+  for (size_t i = 0; i < seq.size(); ++i) seq[i] = i * 3;
+  PgmIndex pgm;
+  pgm.Build(seq, 8);
+  // Perfectly linear data should need very few segments.
+  EXPECT_LE(pgm.NumSegments(), 4u);
+  EXPECT_EQ(pgm.LowerBound(2999 * 3), 2999u);
+
+  std::vector<uint64_t> constant(5000, 77);
+  PgmIndex pgm2;
+  pgm2.Build(constant, 8);
+  EXPECT_EQ(pgm2.LowerBound(77), 0u);
+  EXPECT_EQ(pgm2.LowerBound(78), 5000u);
+  EXPECT_EQ(pgm2.LowerBound(76), 0u);
+}
+
+TEST(PgmIndexTest, EmptyAndSingleton) {
+  PgmIndex empty;
+  empty.Build({}, 16);
+  EXPECT_EQ(empty.LowerBound(123), 0u);
+
+  PgmIndex one;
+  one.Build({42}, 16);
+  EXPECT_EQ(one.LowerBound(41), 0u);
+  EXPECT_EQ(one.LowerBound(42), 0u);
+  EXPECT_EQ(one.LowerBound(43), 1u);
+}
+
+TEST(PgmIndexTest, SmallerEpsilonMoreSegments) {
+  const std::vector<uint64_t> keys = RandomSortedKeys(60000, 67, 1ull << 44,
+                                                      false);
+  PgmIndex fine, coarse;
+  fine.Build(keys, 8);
+  coarse.Build(keys, 256);
+  EXPECT_GT(fine.NumSegments(), coarse.NumSegments());
+  EXPECT_GT(fine.SizeBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace wazi

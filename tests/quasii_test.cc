@@ -1,0 +1,90 @@
+#include "baselines/quasii.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+TEST(QuasiiTest, ConvergedIndexCorrect) {
+  const TestScenario s = MakeScenario(Region::kCaliNev, 8000, 400, 2e-3, 171);
+  Quasii index;
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index.Build(s.data, s.workload, opts);
+  for (size_t qi = 0; qi < 200; ++qi) {
+    const Rect& q = s.workload.queries[qi];
+    std::vector<Point> got;
+    index.RangeQuery(q, &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(s.data, q));
+  }
+}
+
+TEST(QuasiiTest, UnseenQueriesStillCorrect) {
+  // The read-only path must be exact even for queries that never cracked
+  // the index.
+  const TestScenario s = MakeScenario(Region::kJapan, 6000, 300, 1e-3, 172);
+  Quasii index;
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index.Build(s.data, s.workload, opts);
+  QueryGenOptions qopts;
+  qopts.num_queries = 150;
+  qopts.selectivity = 3e-3;
+  qopts.seed = 999;
+  const Workload fresh = GenerateUniformWorkload(s.data.bounds, qopts);
+  for (const Rect& q : fresh.queries) {
+    std::vector<Point> got;
+    index.RangeQuery(q, &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(s.data, q));
+  }
+}
+
+TEST(QuasiiTest, CrackingCreatesSlices) {
+  const TestScenario s = MakeScenario(Region::kNewYork, 20000, 500, 1e-3, 173);
+  Quasii index;
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index.Build(s.data, s.workload, opts);
+  EXPECT_GT(index.num_slices(), 4u) << "workload replay should crack slices";
+}
+
+TEST(QuasiiTest, AdaptiveQueryRefinesIncrementally) {
+  const Dataset data = MakeUniformDataset(20000, 174);
+  Workload none;
+  Quasii index;
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  opts.quasii_passes = 0;  // start uncracked
+  index.Build(data, none, opts);
+  EXPECT_EQ(index.num_slices(), 1u);
+  const Rect q = Rect::Of(0.3, 0.3, 0.4, 0.4);
+  std::vector<Point> got;
+  index.AdaptiveQuery(q, &got);
+  EXPECT_EQ(SortedIds(got), TruthIds(data, q));
+  EXPECT_GT(index.num_slices(), 1u);
+  // Work per repeated identical query must drop after cracking.
+  index.stats().Reset();
+  got.clear();
+  index.AdaptiveQuery(q, &got);
+  const int64_t scanned_after = index.stats().points_scanned;
+  EXPECT_LT(scanned_after, 20000 / 2);
+}
+
+TEST(QuasiiTest, PointQueriesAfterConvergence) {
+  const TestScenario s = MakeScenario(Region::kIberia, 5000, 300, 1e-3, 175);
+  Quasii index;
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index.Build(s.data, s.workload, opts);
+  Rng rng(176);
+  for (int i = 0; i < 500; ++i) {
+    const Point& p = s.data.points[rng.NextBelow(s.data.points.size())];
+    ASSERT_TRUE(index.PointQuery(p));
+  }
+  EXPECT_FALSE(index.PointQuery(Point{3.0, 3.0, 0}));
+}
+
+}  // namespace
+}  // namespace wazi

@@ -1,0 +1,80 @@
+// Edge-case queries across the whole index family: zero-area (point)
+// rectangles, line rectangles, full-domain and beyond-domain windows,
+// and queries exactly on split boundaries.
+
+#include <gtest/gtest.h>
+
+#include "index/spatial_index.h"
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+class QueryEdgeCaseTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  void SetUp() override {
+    scenario_ = MakeScenario(Region::kNewYork, 4000, 200, 1e-3, 401);
+    index_ = MakeIndex(GetParam());
+    BuildOptions opts;
+    opts.leaf_capacity = 64;
+    index_->Build(scenario_.data, scenario_.workload, opts);
+  }
+
+  void ExpectMatch(const Rect& q) {
+    std::vector<Point> got;
+    index_->RangeQuery(q, &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(scenario_.data, q))
+        << GetParam() << " query " << q.DebugString();
+  }
+
+  TestScenario scenario_;
+  std::unique_ptr<SpatialIndex> index_;
+};
+
+TEST_P(QueryEdgeCaseTest, ZeroAreaQueryOnExistingPoint) {
+  const Point& p = scenario_.data.points[123];
+  ExpectMatch(Rect::Of(p.x, p.y, p.x, p.y));
+}
+
+TEST_P(QueryEdgeCaseTest, ZeroAreaQueryOnEmptySpot) {
+  ExpectMatch(Rect::Of(0.987654321, 0.123456789, 0.987654321, 0.123456789));
+}
+
+TEST_P(QueryEdgeCaseTest, DegenerateLineQueries) {
+  ExpectMatch(Rect::Of(0.2, 0.0, 0.2, 1.0));  // vertical line
+  ExpectMatch(Rect::Of(0.0, 0.55, 1.0, 0.55));  // horizontal line
+}
+
+TEST_P(QueryEdgeCaseTest, FullDomainAndBeyond) {
+  ExpectMatch(Rect::Of(0, 0, 1, 1));
+  ExpectMatch(Rect::Of(-10, -10, 10, 10));
+}
+
+TEST_P(QueryEdgeCaseTest, QueryTouchingDomainCorners) {
+  ExpectMatch(Rect::Of(0, 0, 0.05, 0.05));
+  ExpectMatch(Rect::Of(0.95, 0.95, 1.0, 1.0));
+  ExpectMatch(Rect::Of(0.95, 0.0, 1.0, 0.05));
+}
+
+TEST_P(QueryEdgeCaseTest, QueryEdgesOnDataCoordinates) {
+  // Use actual point coordinates as query boundaries: closed-interval
+  // semantics must include points exactly on the edge.
+  const Point& a = scenario_.data.points[7];
+  const Point& b = scenario_.data.points[1234];
+  const Rect q = Rect::Of(std::min(a.x, b.x), std::min(a.y, b.y),
+                          std::max(a.x, b.x), std::max(a.y, b.y));
+  ExpectMatch(q);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, QueryEdgeCaseTest, ::testing::ValuesIn(AllIndexNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string clean = info.param;
+      for (char& c : clean) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return clean;
+    });
+
+}  // namespace
+}  // namespace wazi

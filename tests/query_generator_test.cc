@@ -1,0 +1,156 @@
+#include "workload/query_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+TEST(QueryGeneratorTest, QueriesHaveTargetAreaAndStayInDomain) {
+  const Rect domain = Rect::Of(0, 0, 1, 1);
+  QueryGenOptions opts;
+  opts.num_queries = 2000;
+  opts.selectivity = kSelectivityMid2;
+  const Workload w = GenerateCheckinWorkload(Region::kCaliNev, domain, opts);
+  ASSERT_EQ(w.size(), 2000u);
+  for (const Rect& q : w.queries) {
+    ASSERT_FALSE(q.empty());
+    EXPECT_NEAR(q.Area(), opts.selectivity * domain.Area(),
+                1e-9 + 0.01 * opts.selectivity);
+    EXPECT_GE(q.min_x, 0.0);
+    EXPECT_GE(q.min_y, 0.0);
+    EXPECT_LE(q.max_x, 1.0);
+    EXPECT_LE(q.max_y, 1.0);
+  }
+}
+
+TEST(QueryGeneratorTest, Deterministic) {
+  const Rect domain = Rect::Of(0, 0, 1, 1);
+  QueryGenOptions opts;
+  opts.num_queries = 500;
+  const Workload a = GenerateCheckinWorkload(Region::kJapan, domain, opts);
+  const Workload b = GenerateCheckinWorkload(Region::kJapan, domain, opts);
+  for (size_t i = 0; i < a.queries.size(); ++i) {
+    ASSERT_EQ(a.queries[i], b.queries[i]);
+  }
+}
+
+TEST(QueryGeneratorTest, CheckinWorkloadIsSkewed) {
+  // Query centres must concentrate: the densest 16x16 cell should hold far
+  // more centres than the uniform share.
+  const std::vector<Point> centers =
+      SampleCheckinCenters(Region::kNewYork, 20000, 7);
+  constexpr int kGrid = 16;
+  std::vector<int> counts(kGrid * kGrid, 0);
+  for (const Point& c : centers) {
+    const int cx = std::min(kGrid - 1, static_cast<int>(c.x * kGrid));
+    const int cy = std::min(kGrid - 1, static_cast<int>(c.y * kGrid));
+    ++counts[cy * kGrid + cx];
+  }
+  const int max_count = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(max_count, 20000 / (kGrid * kGrid) * 10);
+}
+
+TEST(QueryGeneratorTest, CheckinSkewDiffersFromDataSkew) {
+  // The point of the workload (paper §6.2): Q is skewed differently from
+  // D. Compare grid histograms of data vs query centres.
+  const Dataset data = GenerateRegion(Region::kCaliNev, 30000, 8);
+  const std::vector<Point> centers =
+      SampleCheckinCenters(Region::kCaliNev, 30000, 8);
+  constexpr int kGrid = 16;
+  std::vector<double> hd(kGrid * kGrid, 0.0), hq(kGrid * kGrid, 0.0);
+  for (const Point& p : data.points) {
+    hd[std::min(kGrid - 1, static_cast<int>(p.y * kGrid)) * kGrid +
+       std::min(kGrid - 1, static_cast<int>(p.x * kGrid))] += 1.0 / 30000;
+  }
+  for (const Point& p : centers) {
+    hq[std::min(kGrid - 1, static_cast<int>(p.y * kGrid)) * kGrid +
+       std::min(kGrid - 1, static_cast<int>(p.x * kGrid))] += 1.0 / 30000;
+  }
+  double l1 = 0.0;
+  for (size_t i = 0; i < hd.size(); ++i) l1 += std::abs(hd[i] - hq[i]);
+  EXPECT_GT(l1, 0.4) << "query distribution too similar to data";
+}
+
+TEST(QueryGeneratorTest, UniformWorkloadCoversDomain) {
+  QueryGenOptions opts;
+  opts.num_queries = 4000;
+  const Workload w = GenerateUniformWorkload(Rect::Of(0, 0, 1, 1), opts);
+  double cx = 0.0, cy = 0.0;
+  for (const Rect& q : w.queries) {
+    cx += (q.min_x + q.max_x) / 2;
+    cy += (q.min_y + q.max_y) / 2;
+  }
+  EXPECT_NEAR(cx / w.size(), 0.5, 0.03);
+  EXPECT_NEAR(cy / w.size(), 0.5, 0.03);
+}
+
+TEST(QueryGeneratorTest, BlendReplacesRequestedFraction) {
+  QueryGenOptions opts;
+  opts.num_queries = 1000;
+  const Workload base =
+      GenerateCheckinWorkload(Region::kIberia, Rect::Of(0, 0, 1, 1), opts);
+  opts.seed = 99;
+  const Workload drift = GenerateUniformWorkload(Rect::Of(0, 0, 1, 1), opts);
+  for (const double frac : {0.0, 0.25, 0.5, 1.0}) {
+    const Workload blended = BlendWorkloads(base, drift, frac, 5);
+    ASSERT_EQ(blended.size(), base.size());
+    int changed = 0;
+    for (size_t i = 0; i < base.queries.size(); ++i) {
+      if (!(blended.queries[i] == base.queries[i])) ++changed;
+    }
+    // A few replacements may coincide; allow slack.
+    EXPECT_NEAR(changed, frac * 1000, 30) << "frac " << frac;
+  }
+}
+
+TEST(QueryGeneratorTest, PointQueriesComeFromData) {
+  const Dataset data = MakeUniformDataset(2000, 10);
+  const std::vector<Point> pq = SamplePointQueries(data, 500, 11);
+  ASSERT_EQ(pq.size(), 500u);
+  for (const Point& p : pq) {
+    ASSERT_GE(p.id, 0);
+    ASSERT_LT(p.id, 2000);
+    const Point& orig = data.points[p.id];
+    ASSERT_EQ(p.x, orig.x);
+    ASSERT_EQ(p.y, orig.y);
+  }
+}
+
+TEST(QueryGeneratorTest, InsertStreamInDomainWithSequentialIds) {
+  const std::vector<Point> ins =
+      GenerateInsertStream(Rect::Of(0, 0, 1, 1), 1000, 5000, 12);
+  ASSERT_EQ(ins.size(), 1000u);
+  for (size_t i = 0; i < ins.size(); ++i) {
+    ASSERT_EQ(ins[i].id, 5000 + static_cast<int64_t>(i));
+    ASSERT_GE(ins[i].x, 0.0);
+    ASSERT_LE(ins[i].x, 1.0);
+  }
+}
+
+TEST(QueryGeneratorTest, SelectivityControlsResultSize) {
+  // Higher selectivity -> more results on average (sanity of the
+  // area-based definition on real region data).
+  const Dataset data = GenerateRegion(Region::kJapan, 30000, 13);
+  double prev_mean = 0.0;
+  for (const double sel : {kSelectivityLow, kSelectivityMid2,
+                           kSelectivityHigh}) {
+    QueryGenOptions opts;
+    opts.num_queries = 300;
+    opts.selectivity = sel;
+    const Workload w =
+        GenerateCheckinWorkload(Region::kJapan, data.bounds, opts);
+    double mean = 0.0;
+    for (const Rect& q : w.queries) {
+      mean += static_cast<double>(CountRange(data, q)) / w.size();
+    }
+    EXPECT_GT(mean, prev_mean);
+    prev_mean = mean;
+  }
+}
+
+}  // namespace
+}  // namespace wazi

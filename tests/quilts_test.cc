@@ -1,0 +1,96 @@
+#include "baselines/quilts.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+TEST(ComposeKeyTest, AlternatingPatternIsMorton) {
+  // Pattern y,x,y,x,... (MSB first) over 2 bits per dim reproduces the
+  // Morton visit order within a 4x4 grid.
+  const BitPattern zpat = {1, 0, 1, 0};
+  EXPECT_EQ(ComposeKey(zpat, 0, 0, 2), 0u);
+  EXPECT_EQ(ComposeKey(zpat, 1, 0, 2), 1u);
+  EXPECT_EQ(ComposeKey(zpat, 0, 1, 2), 2u);
+  EXPECT_EQ(ComposeKey(zpat, 1, 1, 2), 3u);
+  EXPECT_EQ(ComposeKey(zpat, 2, 0, 2), 4u);
+}
+
+TEST(ComposeKeyTest, ColumnMajorSortsByXFirst) {
+  BitPattern col(8, 0);
+  std::fill(col.begin() + 4, col.end(), 1);
+  // All x bits above all y bits: key = x * 16 + y.
+  for (uint32_t x = 0; x < 16; ++x) {
+    for (uint32_t y = 0; y < 16; ++y) {
+      EXPECT_EQ(ComposeKey(col, x, y, 4), x * 16 + y);
+    }
+  }
+}
+
+TEST(ComposeKeyTest, MonotonePerDimensionForAllCandidates) {
+  for (const BitPattern& pat : QuiltsCandidatePatterns(8)) {
+    Rng rng(201);
+    for (int i = 0; i < 2000; ++i) {
+      const uint32_t x = static_cast<uint32_t>(rng.NextBelow(255));
+      const uint32_t y = static_cast<uint32_t>(rng.NextBelow(255));
+      ASSERT_LT(ComposeKey(pat, x, y, 8), ComposeKey(pat, x + 1, y, 8));
+      ASSERT_LT(ComposeKey(pat, x, y, 8), ComposeKey(pat, x, y + 1, 8));
+    }
+  }
+}
+
+TEST(QuiltsCandidatesTest, PatternsAreWellFormed) {
+  const int bits = 16;
+  const std::vector<BitPattern> pats = QuiltsCandidatePatterns(bits);
+  EXPECT_GE(pats.size(), 6u);
+  for (const BitPattern& p : pats) {
+    ASSERT_EQ(p.size(), static_cast<size_t>(2 * bits));
+    int ones = 0;
+    for (uint8_t b : p) ones += b;
+    ASSERT_EQ(ones, bits);
+  }
+}
+
+TEST(QuiltsTest, CorrectOnSkewedWorkload) {
+  const TestScenario s = MakeScenario(Region::kNewYork, 8000, 400, 2e-3, 202);
+  Quilts index;
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index.Build(s.data, s.workload, opts);
+  for (size_t qi = 0; qi < 150; ++qi) {
+    const Rect& q = s.workload.queries[qi];
+    std::vector<Point> got;
+    index.RangeQuery(q, &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(s.data, q));
+  }
+}
+
+TEST(QuiltsTest, PicksNonDefaultPatternForStripWorkload) {
+  // Extremely tall queries: a pattern giving y-bits more contiguity (or
+  // column-major layouts) should beat plain Morton; we only require that
+  // the bake-off is exercised and correctness holds.
+  const Dataset data = MakeUniformDataset(20000, 203);
+  Workload tall;
+  tall.selectivity = 0.01;
+  Rng rng(204);
+  for (int i = 0; i < 300; ++i) {
+    const double x0 = rng.Uniform(0.0, 0.97);
+    const double y0 = rng.Uniform(0.0, 0.3);
+    tall.queries.push_back(Rect::Of(x0, y0, x0 + 0.01, y0 + 0.7));
+  }
+  Quilts index;
+  BuildOptions opts;
+  opts.leaf_capacity = 128;
+  index.Build(data, tall, opts);
+  ASSERT_EQ(index.chosen_pattern().size(), 32u);
+  for (size_t qi = 0; qi < 50; ++qi) {
+    std::vector<Point> got;
+    index.RangeQuery(tall.queries[qi], &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(data, tall.queries[qi]));
+  }
+}
+
+}  // namespace
+}  // namespace wazi

@@ -1,0 +1,85 @@
+#include "sfc/rank_space.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+TEST(RankSpaceTest, MonotoneInEachDimension) {
+  const Dataset data = MakeUniformDataset(20000, 41);
+  RankSpace rs;
+  rs.Build(data.points, 10);
+  Rng rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    const double a = rng.Uniform(-0.5, 1.5);
+    const double b = rng.Uniform(-0.5, 1.5);
+    if (a <= b) {
+      ASSERT_LE(rs.XRank(a), rs.XRank(b));
+      ASSERT_LE(rs.YRank(a), rs.YRank(b));
+    } else {
+      ASSERT_GE(rs.XRank(a), rs.XRank(b));
+    }
+  }
+}
+
+TEST(RankSpaceTest, RanksWithinGrid) {
+  const Dataset data = MakeUniformDataset(5000, 43);
+  RankSpace rs;
+  rs.Build(data.points, 8);
+  for (const Point& p : data.points) {
+    ASSERT_LT(rs.XRank(p.x), rs.grid_size());
+    ASSERT_LT(rs.YRank(p.y), rs.grid_size());
+  }
+  EXPECT_EQ(rs.XRank(-100.0), 0u);
+  EXPECT_EQ(rs.XRank(100.0), rs.grid_size() - 1);
+}
+
+TEST(RankSpaceTest, EquiDepthOnUniformData) {
+  // On uniform data, equi-depth cells should each hold roughly n/cells
+  // points.
+  const Dataset data = MakeUniformDataset(64000, 44);
+  RankSpace rs;
+  rs.Build(data.points, 6);  // 64 cells
+  std::vector<int> counts(rs.grid_size(), 0);
+  for (const Point& p : data.points) ++counts[rs.XRank(p.x)];
+  for (int c : counts) {
+    EXPECT_GT(c, 500);
+    EXPECT_LT(c, 1500);
+  }
+}
+
+TEST(RankSpaceTest, SkewedDataStillCoversAllRanks) {
+  const Dataset data = GenerateRegion(Region::kNewYork, 50000, 45);
+  RankSpace rs;
+  rs.Build(data.points, 8);
+  std::vector<int> seen(rs.grid_size(), 0);
+  for (const Point& p : data.points) ++seen[rs.XRank(p.x)];
+  int nonempty = 0;
+  for (int c : seen) nonempty += (c > 0);
+  // Equi-depth boundaries must spread skewed data over most cells.
+  EXPECT_GT(nonempty, static_cast<int>(rs.grid_size() * 3 / 4));
+}
+
+TEST(RankSpaceTest, NoFalseNegativesForBoxMapping) {
+  // rank(bl) <= rank(p) <= rank(tr) for every p in the box.
+  const Dataset data = GenerateRegion(Region::kJapan, 10000, 46);
+  RankSpace rs;
+  rs.Build(data.points, 12);
+  Rng rng(47);
+  for (int iter = 0; iter < 200; ++iter) {
+    const double x0 = rng.NextDouble(), y0 = rng.NextDouble();
+    const Rect q = Rect::Of(x0, y0, x0 + 0.05, y0 + 0.05);
+    for (const Point& p : data.points) {
+      if (!q.Contains(p)) continue;
+      ASSERT_GE(rs.XRank(p.x), rs.XRank(q.min_x));
+      ASSERT_LE(rs.XRank(p.x), rs.XRank(q.max_x));
+      ASSERT_GE(rs.YRank(p.y), rs.YRank(q.min_y));
+      ASSERT_LE(rs.YRank(p.y), rs.YRank(q.max_y));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wazi

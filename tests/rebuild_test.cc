@@ -1,0 +1,66 @@
+// The SpatialIndex contract requires Build() to be repeatable: rebuilding
+// on different data must fully replace the previous state.
+
+#include <gtest/gtest.h>
+
+#include "index/spatial_index.h"
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+class RebuildTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RebuildTest, SecondBuildReplacesFirst) {
+  const TestScenario first = MakeScenario(Region::kCaliNev, 3000, 150, 1e-3,
+                                          901);
+  const TestScenario second = MakeScenario(Region::kJapan, 4000, 150, 1e-3,
+                                           902);
+  auto index = MakeIndex(GetParam());
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+
+  index->Build(first.data, first.workload, opts);
+  std::vector<Point> got;
+  index->RangeQuery(Rect::Of(0, 0, 1, 1), &got);
+  ASSERT_EQ(got.size(), first.data.size()) << GetParam();
+
+  index->Build(second.data, second.workload, opts);
+  got.clear();
+  index->RangeQuery(Rect::Of(0, 0, 1, 1), &got);
+  ASSERT_EQ(got.size(), second.data.size()) << GetParam();
+  for (size_t qi = 0; qi < 60; ++qi) {
+    const Rect& q = second.workload.queries[qi];
+    got.clear();
+    index->RangeQuery(q, &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(second.data, q)) << GetParam();
+  }
+}
+
+TEST_P(RebuildTest, RebuildAfterInsertsIsClean) {
+  const TestScenario s = MakeScenario(Region::kIberia, 2000, 100, 1e-3, 903);
+  auto index = MakeIndex(GetParam());
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index->Build(s.data, s.workload, opts);
+  // Some indexes support inserts; mutate if so, then rebuild.
+  index->Insert(Point{0.42, 0.42, 999999});
+  index->Build(s.data, s.workload, opts);
+  EXPECT_FALSE(index->PointQuery(Point{0.42, 0.42, 999999}));
+  std::vector<Point> got;
+  index->RangeQuery(Rect::Of(0, 0, 1, 1), &got);
+  EXPECT_EQ(got.size(), s.data.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, RebuildTest, ::testing::ValuesIn(AllIndexNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string clean = info.param;
+      for (char& c : clean) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return clean;
+    });
+
+}  // namespace
+}  // namespace wazi

@@ -1,0 +1,124 @@
+#include "workload/region_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/dataset.h"
+
+namespace wazi {
+namespace {
+
+TEST(RegionGeneratorTest, GeneratesRequestedCount) {
+  for (Region r : AllRegions()) {
+    const Dataset d = GenerateRegion(r, 12345, 1);
+    EXPECT_EQ(d.size(), 12345u) << RegionName(r);
+    EXPECT_EQ(d.bounds, Rect::Of(0, 0, 1, 1));
+  }
+}
+
+TEST(RegionGeneratorTest, DeterministicPerSeed) {
+  const Dataset a = GenerateRegion(Region::kJapan, 5000, 9);
+  const Dataset b = GenerateRegion(Region::kJapan, 5000, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a.points[i].x, b.points[i].x);
+    ASSERT_EQ(a.points[i].y, b.points[i].y);
+    ASSERT_EQ(a.points[i].id, b.points[i].id);
+  }
+  const Dataset c = GenerateRegion(Region::kJapan, 5000, 10);
+  int same = 0;
+  for (size_t i = 0; i < a.size(); ++i) same += (a.points[i].x == c.points[i].x);
+  EXPECT_LT(same, 100);
+}
+
+TEST(RegionGeneratorTest, PointsInsideUnitSquare) {
+  for (Region r : AllRegions()) {
+    const Dataset d = GenerateRegion(r, 20000, 2);
+    for (const Point& p : d.points) {
+      ASSERT_GE(p.x, 0.0);
+      ASSERT_LE(p.x, 1.0);
+      ASSERT_GE(p.y, 0.0);
+      ASSERT_LE(p.y, 1.0);
+    }
+  }
+}
+
+// Skew check: a region dataset must be much more concentrated than
+// uniform. We measure occupancy of a 32x32 grid: uniform data fills ~all
+// cells; clustered regional data leaves many cells (near-)empty.
+TEST(RegionGeneratorTest, RegionsAreSkewed) {
+  constexpr int kGrid = 32;
+  for (Region r : AllRegions()) {
+    const Dataset d = GenerateRegion(r, 50000, 3);
+    std::vector<int> counts(kGrid * kGrid, 0);
+    for (const Point& p : d.points) {
+      const int cx = std::min(kGrid - 1, static_cast<int>(p.x * kGrid));
+      const int cy = std::min(kGrid - 1, static_cast<int>(p.y * kGrid));
+      ++counts[cy * kGrid + cx];
+    }
+    const double uniform_per_cell =
+        50000.0 / static_cast<double>(kGrid * kGrid);
+    int sparse_cells = 0;
+    int dense_cells = 0;
+    for (int c : counts) {
+      if (c < uniform_per_cell / 4) ++sparse_cells;
+      if (c > uniform_per_cell * 4) ++dense_cells;
+    }
+    EXPECT_GT(sparse_cells, kGrid * kGrid / 3) << RegionName(r);
+    EXPECT_GT(dense_cells, 5) << RegionName(r);
+  }
+}
+
+TEST(RegionGeneratorTest, RegionsDifferFromEachOther) {
+  // Grid histograms of different regions should be far apart (L1).
+  constexpr int kGrid = 16;
+  std::vector<std::vector<double>> histos;
+  for (Region r : AllRegions()) {
+    const Dataset d = GenerateRegion(r, 30000, 4);
+    std::vector<double> h(kGrid * kGrid, 0.0);
+    for (const Point& p : d.points) {
+      const int cx = std::min(kGrid - 1, static_cast<int>(p.x * kGrid));
+      const int cy = std::min(kGrid - 1, static_cast<int>(p.y * kGrid));
+      h[cy * kGrid + cx] += 1.0 / 30000.0;
+    }
+    histos.push_back(std::move(h));
+  }
+  for (size_t i = 0; i < histos.size(); ++i) {
+    for (size_t j = i + 1; j < histos.size(); ++j) {
+      double l1 = 0.0;
+      for (size_t c = 0; c < histos[i].size(); ++c) {
+        l1 += std::abs(histos[i][c] - histos[j][c]);
+      }
+      EXPECT_GT(l1, 0.5) << "regions " << i << " and " << j
+                         << " look identical";
+    }
+  }
+}
+
+TEST(RegionGeneratorTest, ParseRegionRoundTrip) {
+  for (Region r : AllRegions()) {
+    Region parsed;
+    ASSERT_TRUE(ParseRegion(RegionName(r), &parsed));
+    EXPECT_EQ(parsed, r);
+  }
+  Region out;
+  EXPECT_TRUE(ParseRegion("calinev", &out));
+  EXPECT_FALSE(ParseRegion("atlantis", &out));
+}
+
+TEST(RegionGeneratorTest, HotspotsWithinDomain) {
+  for (Region r : AllRegions()) {
+    const std::vector<Point> hotspots = RegionHotspots(r);
+    EXPECT_GE(hotspots.size(), 3u);
+    for (const Point& h : hotspots) {
+      EXPECT_GE(h.x, 0.0);
+      EXPECT_LE(h.x, 1.0);
+      EXPECT_GE(h.y, 0.0);
+      EXPECT_LE(h.y, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wazi

@@ -1,0 +1,36 @@
+#include <gtest/gtest.h>
+
+#include "index/spatial_index.h"
+
+namespace wazi {
+namespace {
+
+TEST(RegistryTest, AllNamesConstructible) {
+  for (const std::string& name : AllIndexNames()) {
+    auto index = MakeIndex(name);
+    ASSERT_NE(index, nullptr) << name;
+    EXPECT_EQ(index->name(), name);
+  }
+}
+
+TEST(RegistryTest, MainNamesAreSubsetOfAll) {
+  const std::vector<std::string> all = AllIndexNames();
+  for (const std::string& name : MainIndexNames()) {
+    EXPECT_NE(std::find(all.begin(), all.end(), name), all.end()) << name;
+  }
+  EXPECT_EQ(MainIndexNames().size(), 6u);  // the paper's detailed set
+}
+
+TEST(RegistryTest, AblationVariantsConstructible) {
+  for (const char* name : {"base+sk", "wazi-sk", "brute"}) {
+    EXPECT_NE(MakeIndex(name), nullptr) << name;
+  }
+}
+
+TEST(RegistryTest, UnknownNameReturnsNull) {
+  EXPECT_EQ(MakeIndex("made-up-index"), nullptr);
+  EXPECT_EQ(MakeIndex(""), nullptr);
+}
+
+}  // namespace
+}  // namespace wazi

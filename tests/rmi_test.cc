@@ -1,0 +1,95 @@
+#include "learned/rmi.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace wazi {
+namespace {
+
+std::vector<uint64_t> RandomSortedKeys(size_t n, uint64_t seed,
+                                       uint64_t max_key) {
+  Rng rng(seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (size_t i = 0; i < n; ++i) keys.push_back(rng.NextBelow(max_key));
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+TEST(RmiTest, LowerBoundMatchesStd) {
+  const std::vector<uint64_t> keys = RandomSortedKeys(50000, 71, 1ull << 32);
+  Rmi rmi;
+  rmi.Build(keys, 256);
+  Rng rng(72);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t probe = rng.NextBelow(1ull << 33);
+    const size_t expected = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
+    ASSERT_EQ(rmi.LowerBound(probe), expected);
+  }
+}
+
+TEST(RmiTest, PresentKeysExact) {
+  const std::vector<uint64_t> keys = RandomSortedKeys(30000, 73, 1ull << 30);
+  Rmi rmi;
+  rmi.Build(keys, 128);
+  for (size_t i = 0; i < keys.size(); i += 11) {
+    const size_t expected = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), keys[i]) - keys.begin());
+    ASSERT_EQ(rmi.LowerBound(keys[i]), expected);
+  }
+}
+
+TEST(RmiTest, SkewedKeyDistribution) {
+  // Heavy duplicates and a dense cluster at the low end.
+  Rng rng(74);
+  std::vector<uint64_t> keys;
+  for (int i = 0; i < 30000; ++i) {
+    keys.push_back(rng.NextDouble() < 0.8 ? rng.NextBelow(1000)
+                                          : rng.NextBelow(1ull << 40));
+  }
+  std::sort(keys.begin(), keys.end());
+  Rmi rmi;
+  rmi.Build(keys, 64);
+  for (int i = 0; i < 10000; ++i) {
+    const uint64_t probe = rng.NextDouble() < 0.5
+                               ? rng.NextBelow(2000)
+                               : rng.NextBelow(1ull << 41);
+    const size_t expected = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), probe) - keys.begin());
+    ASSERT_EQ(rmi.LowerBound(probe), expected);
+  }
+}
+
+TEST(RmiTest, SearchWindowBracketsAnswer) {
+  const std::vector<uint64_t> keys = RandomSortedKeys(20000, 75, 1ull << 28);
+  Rmi rmi;
+  rmi.Build(keys, 64);
+  for (size_t i = 0; i < keys.size(); i += 23) {
+    const Rmi::Approx a = rmi.Search(keys[i]);
+    const size_t expected = static_cast<size_t>(
+        std::lower_bound(keys.begin(), keys.end(), keys[i]) - keys.begin());
+    ASSERT_LE(a.lo, expected);
+    ASSERT_GE(a.hi, expected + 1);
+  }
+}
+
+TEST(RmiTest, EdgeCases) {
+  Rmi empty;
+  empty.Build({}, 8);
+  EXPECT_EQ(empty.LowerBound(5), 0u);
+
+  std::vector<uint64_t> constant(1000, 9);
+  Rmi rmi;
+  rmi.Build(constant, 8);
+  EXPECT_EQ(rmi.LowerBound(8), 0u);
+  EXPECT_EQ(rmi.LowerBound(9), 0u);
+  EXPECT_EQ(rmi.LowerBound(10), 1000u);
+}
+
+}  // namespace
+}  // namespace wazi

@@ -1,0 +1,84 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace wazi {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const double v = rng.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsCentered) {
+  Rng rng(4);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform(2.0, 4.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.01);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(5);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    const uint64_t v = rng.NextBelow(7);
+    ASSERT_LT(v, 7u);
+    ++counts[v];
+  }
+  for (int c : counts) EXPECT_GT(c, 8500);  // roughly uniform
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(6);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sq += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, WeightedIndexMatchesWeights) {
+  Rng rng(7);
+  const std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.WeightedIndex(w)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.015);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(10);
+  Rng b = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 1000; ++i) same += (a.NextU64() == b.NextU64());
+  EXPECT_EQ(same, 0);
+}
+
+}  // namespace
+}  // namespace wazi

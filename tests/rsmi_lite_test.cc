@@ -1,0 +1,55 @@
+#include "baselines/rsmi_lite.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+TEST(RsmiLiteTest, CorrectAcrossRegions) {
+  for (Region region : {Region::kIberia, Region::kJapan}) {
+    const TestScenario s = MakeScenario(region, 6000, 300, 2e-3, 221);
+    RsmiLite index;
+    BuildOptions opts;
+    opts.leaf_capacity = 64;
+    index.Build(s.data, s.workload, opts);
+    for (size_t qi = 0; qi < 120; ++qi) {
+      const Rect& q = s.workload.queries[qi];
+      std::vector<Point> got;
+      index.RangeQuery(q, &got);
+      ASSERT_EQ(SortedIds(got), TruthIds(s.data, q)) << RegionName(region);
+    }
+  }
+}
+
+TEST(RsmiLiteTest, PointQueriesViaLearnedModel) {
+  const TestScenario s = MakeScenario(Region::kCaliNev, 5000, 200, 1e-3, 222);
+  RsmiLite index;
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index.Build(s.data, s.workload, opts);
+  Rng rng(223);
+  for (int i = 0; i < 1000; ++i) {
+    const Point& p = s.data.points[rng.NextBelow(s.data.points.size())];
+    ASSERT_TRUE(index.PointQuery(p));
+  }
+  EXPECT_FALSE(index.PointQuery(Point{-1.0, -1.0, 0}));
+}
+
+TEST(RsmiLiteTest, TinyDatasets) {
+  Dataset data;
+  data.bounds = Rect::Of(0, 0, 1, 1);
+  data.points = {Point{0.1, 0.1, 0}, Point{0.9, 0.9, 1}};
+  Workload w;
+  RsmiLite index;
+  BuildOptions opts;
+  index.Build(data, w, opts);
+  std::vector<Point> got;
+  index.RangeQuery(Rect::Of(0, 0, 0.5, 0.5), &got);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 0);
+}
+
+}  // namespace
+}  // namespace wazi

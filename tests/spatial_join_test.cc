@@ -1,0 +1,84 @@
+#include "index/spatial_join.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+std::vector<std::pair<int64_t, int64_t>> SortedPairs(
+    const std::vector<JoinPair>& pairs) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  out.reserve(pairs.size());
+  for (const JoinPair& jp : pairs) out.emplace_back(jp.probe_id, jp.match.id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<int64_t, int64_t>> BruteBoxJoin(
+    const Dataset& data, const std::vector<Point>& probes, double eps) {
+  std::vector<std::pair<int64_t, int64_t>> out;
+  for (const Point& p : probes) {
+    const Rect box = Rect::Of(p.x - eps, p.y - eps, p.x + eps, p.y + eps);
+    for (const Point& m : data.points) {
+      if (box.Contains(m)) out.emplace_back(p.id, m.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(SpatialJoinTest, BoxJoinMatchesBruteForce) {
+  const TestScenario s = MakeScenario(Region::kCaliNev, 4000, 200, 1e-3, 801);
+  const std::vector<Point> probes = SamplePointQueries(s.data, 150, 802);
+  for (const char* name : {"wazi", "base", "flood"}) {
+    auto index = MakeIndex(name);
+    BuildOptions opts;
+    opts.leaf_capacity = 64;
+    index->Build(s.data, s.workload, opts);
+    const auto got = SortedPairs(BoxJoin(*index, probes, 0.01));
+    EXPECT_EQ(got, BruteBoxJoin(s.data, probes, 0.01)) << name;
+  }
+}
+
+TEST(SpatialJoinTest, DistanceJoinFiltersToDisc) {
+  const TestScenario s = MakeScenario(Region::kJapan, 3000, 150, 1e-3, 803);
+  auto index = MakeIndex("wazi");
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index->Build(s.data, s.workload, opts);
+  const std::vector<Point> probes = SamplePointQueries(s.data, 100, 804);
+  const double eps = 0.015;
+  const auto disc = DistanceJoin(*index, probes, eps);
+  const auto box = BoxJoin(*index, probes, eps);
+  EXPECT_LE(disc.size(), box.size());
+  // Every disc pair must be within Euclidean eps of its probe.
+  for (const JoinPair& jp : disc) {
+    bool found = false;
+    for (const Point& p : probes) {
+      if (p.id == jp.probe_id) {
+        const double d = std::hypot(p.x - jp.match.x, p.y - jp.match.y);
+        ASSERT_LE(d, eps + 1e-12);
+        found = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(found);
+  }
+}
+
+TEST(SpatialJoinTest, EmptyProbesAndNoMatches) {
+  const TestScenario s = MakeScenario(Region::kIberia, 1000, 100, 1e-3, 805);
+  auto index = MakeIndex("base");
+  index->Build(s.data, s.workload, BuildOptions{});
+  EXPECT_TRUE(BoxJoin(*index, {}, 0.01).empty());
+  const std::vector<Point> far = {Point{5.0, 5.0, 0}};
+  EXPECT_TRUE(BoxJoin(*index, far, 0.01).empty());
+}
+
+}  // namespace
+}  // namespace wazi

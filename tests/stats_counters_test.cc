@@ -1,0 +1,67 @@
+// Bookkeeping of the QueryStats work counters that power Fig. 13: results
+// must equal reported hits, scanned >= results, and Reset must zero.
+
+#include <gtest/gtest.h>
+
+#include "index/spatial_index.h"
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+class StatsCountersTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(StatsCountersTest, CountersAreConsistent) {
+  const TestScenario s = MakeScenario(Region::kNewYork, 5000, 300, 2e-3, 911);
+  auto index = MakeIndex(GetParam());
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index->Build(s.data, s.workload, opts);
+
+  index->stats().Reset();
+  EXPECT_EQ(index->stats().points_scanned, 0);
+  EXPECT_EQ(index->stats().results, 0);
+
+  int64_t total_hits = 0;
+  std::vector<Point> got;
+  for (size_t qi = 0; qi < 100; ++qi) {
+    got.clear();
+    index->RangeQuery(s.workload.queries[qi], &got);
+    total_hits += static_cast<int64_t>(got.size());
+  }
+  const QueryStats& st = index->stats();
+  EXPECT_EQ(st.results, total_hits) << GetParam();
+  EXPECT_GE(st.points_scanned, st.results) << GetParam();
+  EXPECT_EQ(st.excess_points(), st.points_scanned - st.results);
+  EXPECT_GT(st.pages_scanned, 0) << GetParam();
+
+  index->stats().Reset();
+  EXPECT_EQ(index->stats().points_scanned, 0);
+}
+
+TEST_P(StatsCountersTest, ScanProjectionCountsToo) {
+  const TestScenario s = MakeScenario(Region::kCaliNev, 3000, 100, 1e-3, 912);
+  auto index = MakeIndex(GetParam());
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index->Build(s.data, s.workload, opts);
+  index->stats().Reset();
+  Projection proj;
+  index->Project(s.workload.queries[0], &proj);
+  std::vector<Point> got;
+  index->ScanProjection(proj, s.workload.queries[0], &got);
+  EXPECT_EQ(index->stats().results, static_cast<int64_t>(got.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllIndexes, StatsCountersTest, ::testing::ValuesIn(AllIndexNames()),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string clean = info.param;
+      for (char& c : clean) {
+        if (c == '-' || c == '+') c = '_';
+      }
+      return clean;
+    });
+
+}  // namespace
+}  // namespace wazi

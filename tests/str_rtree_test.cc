@@ -1,0 +1,107 @@
+#include "baselines/str_rtree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+TEST(StrTileTest, ProducesBalancedLeaves) {
+  std::vector<Point> pts = MakeUniformDataset(10000, 141).points;
+  const std::vector<uint32_t> offsets = StrTile(&pts, 100);
+  ASSERT_GE(offsets.size(), 2u);
+  EXPECT_EQ(offsets.front(), 0u);
+  EXPECT_EQ(offsets.back(), 10000u);
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    ASSERT_LT(offsets[i], offsets[i + 1]);
+    ASSERT_LE(offsets[i + 1] - offsets[i], 100u);
+  }
+  // Leaf count close to n/L.
+  EXPECT_NEAR(static_cast<double>(offsets.size() - 1), 100.0, 20.0);
+}
+
+TEST(StrTileTest, SlabsOrderedByX) {
+  std::vector<Point> pts = MakeUniformDataset(5000, 142).points;
+  const std::vector<uint32_t> offsets = StrTile(&pts, 64);
+  (void)offsets;
+  // Points must be sorted by x across slab boundaries: the max x of slab
+  // k is <= min x of slab k+1. Reconstruct slabs from the sort.
+  // Weaker but robust check: x is non-decreasing every `slab` points.
+  const size_t leaves = (5000 + 63) / 64;
+  const size_t slabs =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(leaves))));
+  const size_t slab_pts = (5000 + slabs - 1) / slabs;
+  for (size_t s = 0; s + 1 < slabs; ++s) {
+    const size_t this_end = std::min<size_t>(5000, (s + 1) * slab_pts);
+    if (this_end >= 5000) break;
+    double max_x = 0.0;
+    for (size_t i = s * slab_pts; i < this_end; ++i) {
+      max_x = std::max(max_x, pts[i].x);
+    }
+    double min_next = 1.0;
+    for (size_t i = this_end;
+         i < std::min<size_t>(5000, (s + 2) * slab_pts); ++i) {
+      min_next = std::min(min_next, pts[i].x);
+    }
+    EXPECT_LE(max_x, min_next + 1e-12);
+  }
+}
+
+TEST(StrRTreeTest, RangeMatchesBruteForceOnClusteredData) {
+  const TestScenario s = MakeScenario(Region::kNewYork, 8000, 300, 2e-3, 143);
+  StrRTree index;
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  index.Build(s.data, s.workload, opts);
+  for (size_t qi = 0; qi < 150; ++qi) {
+    const Rect& q = s.workload.queries[qi];
+    std::vector<Point> got;
+    index.RangeQuery(q, &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(s.data, q));
+  }
+}
+
+TEST(StrRTreeTest, EmptyAndSinglePoint) {
+  Dataset data;
+  data.bounds = Rect::Of(0, 0, 1, 1);
+  Workload w;
+  StrRTree index;
+  index.Build(data, w, BuildOptions{});
+  std::vector<Point> got;
+  index.RangeQuery(Rect::Of(0, 0, 1, 1), &got);
+  EXPECT_TRUE(got.empty());
+
+  data.points = {Point{0.5, 0.5, 7}};
+  index.Build(data, w, BuildOptions{});
+  got.clear();
+  index.RangeQuery(Rect::Of(0, 0, 1, 1), &got);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id, 7);
+}
+
+TEST(StrRTreeTest, InsertSplitsOverflowingLeaves) {
+  const Dataset data = MakeUniformDataset(2000, 144);
+  Workload w;
+  StrRTree index;
+  BuildOptions opts;
+  opts.leaf_capacity = 32;
+  index.Build(data, w, opts);
+  Dataset augmented = data;
+  Rng rng(145);
+  for (int i = 0; i < 2000; ++i) {
+    // All inserts into one hot corner to force splits.
+    const Point p{0.1 * rng.NextDouble(), 0.1 * rng.NextDouble(), 50000 + i};
+    ASSERT_TRUE(index.Insert(p));
+    augmented.points.push_back(p);
+  }
+  const Rect q = Rect::Of(0.0, 0.0, 0.12, 0.12);
+  std::vector<Point> got;
+  index.RangeQuery(q, &got);
+  ASSERT_EQ(SortedIds(got), TruthIds(augmented, q));
+}
+
+}  // namespace
+}  // namespace wazi

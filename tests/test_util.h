@@ -1,0 +1,94 @@
+// Shared helpers for the test suite: small deterministic datasets and
+// workloads, and result comparison against the linear-scan ground truth.
+
+#ifndef WAZI_TESTS_TEST_UTIL_H_
+#define WAZI_TESTS_TEST_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "common/rng.h"
+#include "workload/dataset.h"
+#include "workload/query_generator.h"
+#include "workload/region_generator.h"
+
+namespace wazi {
+
+// Sorted ids of points inside `query` per linear scan.
+inline std::vector<int64_t> TruthIds(const Dataset& data, const Rect& query) {
+  std::vector<int64_t> ids;
+  for (const Point& p : data.points) {
+    if (query.Contains(p)) ids.push_back(p.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+inline std::vector<int64_t> SortedIds(const std::vector<Point>& pts) {
+  std::vector<int64_t> ids;
+  ids.reserve(pts.size());
+  for (const Point& p : pts) ids.push_back(p.id);
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+// A small region dataset plus a matching skewed workload.
+struct TestScenario {
+  Dataset data;
+  Workload workload;
+};
+
+inline TestScenario MakeScenario(Region region, size_t n, size_t n_queries,
+                                 double selectivity, uint64_t seed) {
+  TestScenario s;
+  s.data = GenerateRegion(region, n, seed);
+  QueryGenOptions qopts;
+  qopts.num_queries = n_queries;
+  qopts.selectivity = selectivity;
+  qopts.seed = seed + 1;
+  s.workload = GenerateCheckinWorkload(region, s.data.bounds, qopts);
+  return s;
+}
+
+// Uniform random points in the unit square (degenerate-free fallback).
+inline Dataset MakeUniformDataset(size_t n, uint64_t seed) {
+  Dataset data;
+  data.name = "uniform";
+  Rng rng(seed);
+  data.points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    data.points.push_back(Point{rng.NextDouble(), rng.NextDouble(), 0});
+  }
+  AssignIds(&data.points);
+  data.bounds = Rect::Of(0, 0, 1, 1);
+  return data;
+}
+
+// A pathological dataset full of duplicates and collinear runs.
+inline Dataset MakeDegenerateDataset(size_t n, uint64_t seed) {
+  Dataset data;
+  data.name = "degenerate";
+  Rng rng(seed);
+  data.points.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const double u = rng.NextDouble();
+    if (u < 0.4) {
+      data.points.push_back(Point{0.5, 0.5, 0});  // heavy duplicate
+    } else if (u < 0.7) {
+      data.points.push_back(Point{0.25, rng.NextDouble(), 0});  // vertical
+    } else {
+      data.points.push_back(Point{rng.NextDouble(), 0.75, 0});  // horizontal
+    }
+  }
+  AssignIds(&data.points);
+  data.bounds = Rect::Of(0, 0, 1, 1);
+  return data;
+}
+
+}  // namespace wazi
+
+#endif  // WAZI_TESTS_TEST_UTIL_H_

@@ -1,0 +1,60 @@
+#include "sfc/zcurve.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace wazi {
+namespace {
+
+TEST(ZCurveTest, EncodeDecodeRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextU64());
+    const uint32_t y = static_cast<uint32_t>(rng.NextU64());
+    const uint64_t z = ZEncode(x, y);
+    EXPECT_EQ(ZDecodeX(z), x);
+    EXPECT_EQ(ZDecodeY(z), y);
+  }
+}
+
+TEST(ZCurveTest, KnownSmallValues) {
+  // First cells of the Z curve over a 2x2 grid: (0,0),(1,0),(0,1),(1,1).
+  EXPECT_EQ(ZEncode(0, 0), 0u);
+  EXPECT_EQ(ZEncode(1, 0), 1u);
+  EXPECT_EQ(ZEncode(0, 1), 2u);
+  EXPECT_EQ(ZEncode(1, 1), 3u);
+}
+
+TEST(ZCurveTest, MonotonePerDimension) {
+  Rng rng(2);
+  for (int i = 0; i < 5000; ++i) {
+    const uint32_t x = static_cast<uint32_t>(rng.NextBelow(1u << 16));
+    const uint32_t y = static_cast<uint32_t>(rng.NextBelow(1u << 16));
+    EXPECT_LT(ZEncode(x, y), ZEncode(x + 1, y));
+    EXPECT_LT(ZEncode(x, y), ZEncode(x, y + 1));
+  }
+}
+
+TEST(ZCurveTest, DominanceImpliesOrder) {
+  // If (x1,y1) dominates (x0,y0) component-wise, its code is larger.
+  Rng rng(3);
+  for (int i = 0; i < 5000; ++i) {
+    const uint32_t x0 = static_cast<uint32_t>(rng.NextBelow(1000));
+    const uint32_t y0 = static_cast<uint32_t>(rng.NextBelow(1000));
+    const uint32_t x1 = x0 + static_cast<uint32_t>(rng.NextBelow(1000));
+    const uint32_t y1 = y0 + static_cast<uint32_t>(rng.NextBelow(1000));
+    EXPECT_LE(ZEncode(x0, y0), ZEncode(x1, y1));
+  }
+}
+
+TEST(ZCurveTest, InterleaveCompactInverse) {
+  Rng rng(4);
+  for (int i = 0; i < 10000; ++i) {
+    const uint32_t v = static_cast<uint32_t>(rng.NextU64());
+    EXPECT_EQ(CompactBits(InterleaveBits(v)), v);
+  }
+}
+
+}  // namespace
+}  // namespace wazi

@@ -1,0 +1,261 @@
+// Structural and query correctness of the generalized Z-index: Base and
+// WaZI variants, monotonicity of the leaf ordering, clustering, and
+// agreement with linear-scan ground truth.
+
+#include "core/zindex.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/builder.h"
+#include "core/wazi.h"
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+BuildOptions SmallOpts() {
+  BuildOptions opts;
+  opts.leaf_capacity = 32;
+  opts.kappa = 12;
+  return opts;
+}
+
+TEST(ZIndexStructure, AllPointsStoredExactlyOnce) {
+  const TestScenario s = MakeScenario(Region::kCaliNev, 4000, 200, 1e-3, 11);
+  BaseZ index;
+  index.Build(s.data, s.workload, SmallOpts());
+  const ZIndex& z = index.zindex();
+  EXPECT_EQ(z.num_points(), s.data.points.size());
+
+  std::set<int64_t> seen;
+  for (int32_t leaf_id : z.leaf_dir().InOrder()) {
+    const Span span = z.page_store().PageSpan(z.leaf_dir().leaf(leaf_id).page);
+    for (const Point* p = span.begin; p != span.end; ++p) {
+      EXPECT_TRUE(seen.insert(p->id).second) << "duplicate id " << p->id;
+    }
+  }
+  EXPECT_EQ(seen.size(), s.data.points.size());
+}
+
+TEST(ZIndexStructure, LeafCellsContainTheirPoints) {
+  const TestScenario s = MakeScenario(Region::kJapan, 4000, 200, 1e-3, 12);
+  Wazi index;
+  index.Build(s.data, s.workload, SmallOpts());
+  const ZIndex& z = index.zindex();
+  for (int32_t leaf_id : z.leaf_dir().InOrder()) {
+    const LeafRec& leaf = z.leaf_dir().leaf(leaf_id);
+    const Span span = z.page_store().PageSpan(leaf.page);
+    for (const Point* p = span.begin; p != span.end; ++p) {
+      EXPECT_TRUE(leaf.cell.Contains(*p))
+          << "point outside its leaf cell " << leaf.cell.DebugString();
+      EXPECT_TRUE(leaf.mbr.Contains(*p));
+    }
+    EXPECT_TRUE(leaf.cell.Contains(leaf.mbr) || leaf.mbr.empty());
+  }
+}
+
+TEST(ZIndexStructure, OrdsStrictlyIncreaseAlongLeafList) {
+  const TestScenario s = MakeScenario(Region::kIberia, 3000, 150, 1e-3, 13);
+  Wazi index;
+  index.Build(s.data, s.workload, SmallOpts());
+  const LeafDir& dir = index.zindex().leaf_dir();
+  int64_t prev = INT64_MIN;
+  for (int32_t id : dir.InOrder()) {
+    EXPECT_GT(dir.leaf(id).ord, prev);
+    prev = dir.leaf(id).ord;
+  }
+}
+
+TEST(ZIndexStructure, PagesRespectCapacity) {
+  const TestScenario s = MakeScenario(Region::kNewYork, 5000, 200, 1e-3, 14);
+  BuildOptions opts = SmallOpts();
+  BaseZ index;
+  index.Build(s.data, s.workload, opts);
+  const ZIndex& z = index.zindex();
+  for (int32_t leaf_id : z.leaf_dir().InOrder()) {
+    EXPECT_LE(z.page_store().PageSize(z.leaf_dir().leaf(leaf_id).page),
+              static_cast<size_t>(opts.leaf_capacity));
+  }
+}
+
+TEST(ZIndexStructure, FindLeafRoutesEveryPointToItsPage) {
+  const TestScenario s = MakeScenario(Region::kCaliNev, 3000, 100, 1e-3, 15);
+  Wazi index;
+  index.Build(s.data, s.workload, SmallOpts());
+  const ZIndex& z = index.zindex();
+  for (const Point& p : s.data.points) {
+    const int32_t node = z.FindLeafNode(p.x, p.y);
+    const LeafRec& leaf = z.leaf_dir().leaf(z.node(node).leaf_id);
+    const Span span = z.page_store().PageSpan(leaf.page);
+    bool found = false;
+    for (const Point* q = span.begin; q != span.end; ++q) {
+      if (q->id == p.id) found = true;
+    }
+    ASSERT_TRUE(found) << "point " << p.id << " not in its routed page";
+  }
+}
+
+// The paper's monotonicity property (§3): if a dominates b and they live
+// in different leaves, a's leaf precedes b's in the LeafList.
+TEST(ZIndexProperty, DominanceMonotonicityBase) {
+  const TestScenario s = MakeScenario(Region::kJapan, 3000, 100, 1e-3, 16);
+  BaseZ index;
+  index.Build(s.data, s.workload, SmallOpts());
+  const ZIndex& z = index.zindex();
+  Rng rng(99);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const Point& a = s.data.points[rng.NextBelow(s.data.points.size())];
+    const Point& b = s.data.points[rng.NextBelow(s.data.points.size())];
+    if (!Dominates(b, a)) continue;  // a dominated by b
+    const int32_t la = z.node(z.FindLeafNode(a.x, a.y)).leaf_id;
+    const int32_t lb = z.node(z.FindLeafNode(b.x, b.y)).leaf_id;
+    if (la == lb) continue;
+    ASSERT_LT(z.leaf_dir().leaf(la).ord, z.leaf_dir().leaf(lb).ord)
+        << "dominated point ordered after dominating point";
+  }
+}
+
+TEST(ZIndexProperty, DominanceMonotonicityWaziBothOrderings) {
+  const TestScenario s = MakeScenario(Region::kNewYork, 3000, 300, 1e-3, 17);
+  Wazi index;
+  index.Build(s.data, s.workload, SmallOpts());
+  const ZIndex& z = index.zindex();
+  Rng rng(100);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const Point& a = s.data.points[rng.NextBelow(s.data.points.size())];
+    const Point& b = s.data.points[rng.NextBelow(s.data.points.size())];
+    if (!Dominates(b, a)) continue;
+    const int32_t la = z.node(z.FindLeafNode(a.x, a.y)).leaf_id;
+    const int32_t lb = z.node(z.FindLeafNode(b.x, b.y)).leaf_id;
+    if (la == lb) continue;
+    ASSERT_LT(z.leaf_dir().leaf(la).ord, z.leaf_dir().leaf(lb).ord);
+  }
+}
+
+TEST(ZIndexQuery, RangeMatchesBruteForceAllVariants) {
+  const TestScenario s = MakeScenario(Region::kIberia, 5000, 300, 2e-3, 18);
+  for (const char* name : {"base", "base+sk", "wazi-sk", "wazi"}) {
+    auto index = MakeIndex(name);
+    index->Build(s.data, s.workload, SmallOpts());
+    for (size_t qi = 0; qi < 150; ++qi) {
+      const Rect& q = s.workload.queries[qi];
+      std::vector<Point> got;
+      index->RangeQuery(q, &got);
+      ASSERT_EQ(SortedIds(got), TruthIds(s.data, q))
+          << name << " query " << qi;
+    }
+  }
+}
+
+TEST(ZIndexQuery, PointQueriesFindAllStoredPoints) {
+  const TestScenario s = MakeScenario(Region::kCaliNev, 2000, 100, 1e-3, 19);
+  Wazi index;
+  index.Build(s.data, s.workload, SmallOpts());
+  for (const Point& p : s.data.points) {
+    ASSERT_TRUE(index.PointQuery(p));
+  }
+  EXPECT_FALSE(index.PointQuery(Point{-0.5, -0.5, 0}));
+  EXPECT_FALSE(index.PointQuery(Point{2.0, 2.0, 0}));
+}
+
+TEST(ZIndexQuery, QueriesOutsideDomainReturnEmpty) {
+  const TestScenario s = MakeScenario(Region::kJapan, 2000, 100, 1e-3, 20);
+  Wazi index;
+  index.Build(s.data, s.workload, SmallOpts());
+  std::vector<Point> got;
+  index.RangeQuery(Rect::Of(1.5, 1.5, 2.0, 2.0), &got);
+  EXPECT_TRUE(got.empty());
+  got.clear();
+  index.RangeQuery(Rect::Of(-2.0, -2.0, -1.5, -1.5), &got);
+  EXPECT_TRUE(got.empty());
+}
+
+TEST(ZIndexQuery, DegenerateDataHandled) {
+  Dataset data = MakeDegenerateDataset(3000, 21);
+  Workload w;
+  QueryGenOptions qopts;
+  qopts.num_queries = 100;
+  qopts.selectivity = 1e-3;
+  w = GenerateUniformWorkload(data.bounds, qopts);
+  for (const char* name : {"base", "wazi"}) {
+    auto index = MakeIndex(name);
+    index->Build(data, w, SmallOpts());
+    for (const Rect& q : w.queries) {
+      std::vector<Point> got;
+      index->RangeQuery(q, &got);
+      ASSERT_EQ(SortedIds(got), TruthIds(data, q)) << name;
+    }
+    // The duplicate pile must be findable.
+    EXPECT_TRUE(index->PointQuery(Point{0.5, 0.5, 0}));
+  }
+}
+
+TEST(ZIndexQuery, EmptyAndTinyDatasets) {
+  Dataset data;
+  data.name = "empty";
+  data.bounds = Rect::Of(0, 0, 1, 1);
+  Workload w;
+  w.queries = {Rect::Of(0.1, 0.1, 0.9, 0.9)};
+  for (const char* name : {"base", "wazi", "base+sk", "wazi-sk"}) {
+    auto index = MakeIndex(name);
+    index->Build(data, w, SmallOpts());
+    std::vector<Point> got;
+    index->RangeQuery(w.queries[0], &got);
+    EXPECT_TRUE(got.empty()) << name;
+    EXPECT_FALSE(index->PointQuery(Point{0.5, 0.5, 0}));
+  }
+  // Single point.
+  data.points = {Point{0.5, 0.5, 0}};
+  for (const char* name : {"base", "wazi"}) {
+    auto index = MakeIndex(name);
+    index->Build(data, w, SmallOpts());
+    std::vector<Point> got;
+    index->RangeQuery(w.queries[0], &got);
+    EXPECT_EQ(got.size(), 1u) << name;
+    EXPECT_TRUE(index->PointQuery(Point{0.5, 0.5, 0}));
+  }
+}
+
+TEST(ZIndexQuery, ExactCountProviderBuildAgrees) {
+  // The non-learned (exact counting) greedy build must also be correct.
+  const TestScenario s = MakeScenario(Region::kCaliNev, 2000, 150, 2e-3, 22);
+  BuildOptions opts = SmallOpts();
+  opts.use_estimators = false;
+  Wazi index;
+  index.Build(s.data, s.workload, opts);
+  for (size_t qi = 0; qi < 100; ++qi) {
+    const Rect& q = s.workload.queries[qi];
+    std::vector<Point> got;
+    index.RangeQuery(q, &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(s.data, q));
+  }
+}
+
+TEST(ZIndexStats, SkippingReducesBbsChecks) {
+  const TestScenario s = MakeScenario(Region::kNewYork, 20000, 400, 5e-4, 23);
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  BaseZ base;
+  BaseZSk base_sk;
+  base.Build(s.data, s.workload, opts);
+  base_sk.Build(s.data, s.workload, opts);
+  base.stats().Reset();
+  base_sk.stats().Reset();
+  std::vector<Point> sink;
+  for (const Rect& q : s.workload.queries) {
+    sink.clear();
+    base.RangeQuery(q, &sink);
+    sink.clear();
+    base_sk.RangeQuery(q, &sink);
+  }
+  // Identical layout, so the same pages get scanned, but look-ahead
+  // pointers must cut bounding-box comparisons substantially.
+  EXPECT_EQ(base.stats().pages_scanned, base_sk.stats().pages_scanned);
+  EXPECT_EQ(base.stats().results, base_sk.stats().results);
+  EXPECT_LT(base_sk.stats().bbs_checked, base.stats().bbs_checked / 2);
+}
+
+}  // namespace
+}  // namespace wazi

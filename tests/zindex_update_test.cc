@@ -1,0 +1,166 @@
+// Insert/delete behaviour of the Z-index variants: leaf splits, ord-gap
+// maintenance, look-ahead repair, and correctness after heavy updates.
+
+#include <gtest/gtest.h>
+
+#include "core/lookahead.h"
+#include "core/wazi.h"
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+BuildOptions SmallOpts() {
+  BuildOptions opts;
+  opts.leaf_capacity = 32;
+  opts.kappa = 8;
+  return opts;
+}
+
+TEST(ZIndexUpdateTest, InsertThenFindAndRangeQuery) {
+  const TestScenario s = MakeScenario(Region::kCaliNev, 4000, 200, 1e-3, 111);
+  Wazi index;
+  index.Build(s.data, s.workload, SmallOpts());
+
+  Dataset augmented = s.data;
+  const std::vector<Point> stream =
+      GenerateInsertStream(s.data.bounds, 3000, 1000000, 112);
+  for (const Point& p : stream) {
+    ASSERT_TRUE(index.Insert(p));
+    augmented.points.push_back(p);
+  }
+  EXPECT_EQ(index.zindex().num_points(), augmented.points.size());
+  for (const Point& p : stream) ASSERT_TRUE(index.PointQuery(p));
+  for (size_t qi = 0; qi < 100; ++qi) {
+    const Rect& q = s.workload.queries[qi];
+    std::vector<Point> got;
+    index.RangeQuery(q, &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(augmented, q)) << "query " << qi;
+  }
+}
+
+TEST(ZIndexUpdateTest, LookaheadStaysSafeAfterSplits) {
+  const TestScenario s = MakeScenario(Region::kJapan, 3000, 200, 1e-3, 113);
+  Wazi index;
+  index.Build(s.data, s.workload, SmallOpts());
+  const size_t leaves_before = index.zindex().num_leaves();
+  const std::vector<Point> stream =
+      GenerateInsertStream(s.data.bounds, 4000, 2000000, 114);
+  for (const Point& p : stream) index.Insert(p);
+  EXPECT_GT(index.zindex().num_leaves(), leaves_before);
+  // Non-strict validation: correctness invariants (1) and (2) only.
+  EXPECT_EQ(ValidateLookahead(index.zindex(), /*strict=*/false), "");
+}
+
+TEST(ZIndexUpdateTest, InsertsOutsideOriginalBounds) {
+  const TestScenario s = MakeScenario(Region::kIberia, 2000, 100, 1e-3, 115);
+  Wazi index;
+  index.Build(s.data, s.workload, SmallOpts());
+  Dataset augmented = s.data;
+  Rng rng(116);
+  for (int i = 0; i < 500; ++i) {
+    const Point p{rng.Uniform(-1.0, 2.0), rng.Uniform(-1.0, 2.0),
+                  3000000 + i};
+    index.Insert(p);
+    augmented.points.push_back(p);
+  }
+  // Queries spanning the enlarged domain must still be exact.
+  for (int i = 0; i < 50; ++i) {
+    const double x0 = rng.Uniform(-1.0, 1.5);
+    const double y0 = rng.Uniform(-1.0, 1.5);
+    const Rect q = Rect::Of(x0, y0, x0 + 0.5, y0 + 0.5);
+    std::vector<Point> got;
+    index.RangeQuery(q, &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(augmented, q));
+  }
+  EXPECT_EQ(ValidateLookahead(index.zindex(), /*strict=*/false), "");
+}
+
+TEST(ZIndexUpdateTest, DuplicateFloodKeepsOversizePage) {
+  // Inserting many identical points cannot split (medians cannot
+  // separate); the page must grow past capacity without recursing.
+  const TestScenario s = MakeScenario(Region::kCaliNev, 1000, 100, 1e-3, 117);
+  Wazi index;
+  index.Build(s.data, s.workload, SmallOpts());
+  Dataset augmented = s.data;
+  for (int i = 0; i < 300; ++i) {
+    const Point p{0.31415, 0.27182, 4000000 + i};
+    index.Insert(p);
+    augmented.points.push_back(p);
+  }
+  const Rect q = Rect::Of(0.31, 0.27, 0.32, 0.28);
+  std::vector<Point> got;
+  index.RangeQuery(q, &got);
+  EXPECT_EQ(SortedIds(got), TruthIds(augmented, q));
+}
+
+TEST(ZIndexUpdateTest, RemoveThenQueriesExcludePoint) {
+  const TestScenario s = MakeScenario(Region::kNewYork, 3000, 150, 1e-3, 118);
+  Wazi index;
+  index.Build(s.data, s.workload, SmallOpts());
+  Dataset remaining = s.data;
+  Rng rng(119);
+  // Remove 500 random points.
+  for (int i = 0; i < 500; ++i) {
+    const size_t victim = rng.NextBelow(remaining.points.size());
+    const Point p = remaining.points[victim];
+    ASSERT_TRUE(index.Remove(p));
+    remaining.points[victim] = remaining.points.back();
+    remaining.points.pop_back();
+  }
+  for (size_t qi = 0; qi < 80; ++qi) {
+    const Rect& q = s.workload.queries[qi];
+    std::vector<Point> got;
+    index.RangeQuery(q, &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(remaining, q));
+  }
+  EXPECT_FALSE(index.Remove(Point{55.0, 55.0, 0}));
+}
+
+TEST(ZIndexUpdateTest, BaseVariantInsertsWithoutLookahead) {
+  const TestScenario s = MakeScenario(Region::kJapan, 2000, 100, 1e-3, 120);
+  BaseZ index;
+  index.Build(s.data, s.workload, SmallOpts());
+  Dataset augmented = s.data;
+  const std::vector<Point> stream =
+      GenerateInsertStream(s.data.bounds, 2000, 5000000, 121);
+  for (const Point& p : stream) {
+    index.Insert(p);
+    augmented.points.push_back(p);
+  }
+  for (size_t qi = 0; qi < 60; ++qi) {
+    const Rect& q = s.workload.queries[qi];
+    std::vector<Point> got;
+    index.RangeQuery(q, &got);
+    ASSERT_EQ(SortedIds(got), TruthIds(augmented, q));
+  }
+}
+
+TEST(ZIndexUpdateTest, ManySplitsTriggerOrdMaintenance) {
+  // Hammer one small region so the same leaves split repeatedly; ord gaps
+  // must hold (or renumber transparently) and order stays strict.
+  const TestScenario s = MakeScenario(Region::kCaliNev, 1000, 100, 1e-3, 122);
+  Wazi index;
+  index.Build(s.data, s.workload, SmallOpts());
+  Rng rng(123);
+  Dataset augmented = s.data;
+  for (int i = 0; i < 6000; ++i) {
+    const Point p{0.4 + 0.01 * rng.NextDouble(), 0.4 + 0.01 * rng.NextDouble(),
+                  6000000 + i};
+    index.Insert(p);
+    augmented.points.push_back(p);
+  }
+  const LeafDir& dir = index.zindex().leaf_dir();
+  int64_t prev = INT64_MIN;
+  for (int32_t id : dir.InOrder()) {
+    ASSERT_GT(dir.leaf(id).ord, prev);
+    prev = dir.leaf(id).ord;
+  }
+  const Rect q = Rect::Of(0.395, 0.395, 0.415, 0.415);
+  std::vector<Point> got;
+  index.RangeQuery(q, &got);
+  ASSERT_EQ(SortedIds(got), TruthIds(augmented, q));
+}
+
+}  // namespace
+}  // namespace wazi

@@ -1,0 +1,79 @@
+#include "baselines/zpgm.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace wazi {
+namespace {
+
+TEST(ZpgmTest, CorrectAcrossRegions) {
+  for (Region region : {Region::kCaliNev, Region::kNewYork}) {
+    const TestScenario s = MakeScenario(region, 6000, 300, 2e-3, 211);
+    Zpgm index;
+    BuildOptions opts;
+    opts.leaf_capacity = 64;
+    index.Build(s.data, s.workload, opts);
+    for (size_t qi = 0; qi < 120; ++qi) {
+      const Rect& q = s.workload.queries[qi];
+      std::vector<Point> got;
+      index.RangeQuery(q, &got);
+      ASSERT_EQ(SortedIds(got), TruthIds(s.data, q)) << RegionName(region);
+    }
+  }
+}
+
+TEST(ZpgmTest, BigMinSkipsBeatFullIntervalScan) {
+  // For thin queries, BIGMIN jumps must keep examined entries well below
+  // the full [zlo, zhi] interval population.
+  const Dataset data = MakeUniformDataset(50000, 212);
+  QueryGenOptions qopts;
+  qopts.num_queries = 100;
+  qopts.selectivity = 1e-4;
+  const Workload w = GenerateUniformWorkload(data.bounds, qopts);
+  Zpgm index;
+  BuildOptions opts;
+  index.Build(data, w, opts);
+  index.stats().Reset();
+  std::vector<Point> sink;
+  int64_t results = 0;
+  for (const Rect& q : w.queries) {
+    sink.clear();
+    index.RangeQuery(q, &sink);
+    results += static_cast<int64_t>(sink.size());
+  }
+  // Points actually filtered should be within a small factor of results
+  // (BIGMIN trims the false-positive tail of the Z interval).
+  EXPECT_LT(index.stats().points_scanned, 60 * (results + 1));
+}
+
+TEST(ZpgmTest, WideAndFullDomainQueries) {
+  const Dataset data = GenerateRegion(Region::kJapan, 8000, 213);
+  Workload w;
+  Zpgm index;
+  BuildOptions opts;
+  index.Build(data, w, opts);
+  std::vector<Point> got;
+  index.RangeQuery(Rect::Of(0, 0, 1, 1), &got);
+  EXPECT_EQ(got.size(), data.size());
+  got.clear();
+  index.RangeQuery(Rect::Of(0.25, 0.0, 0.75, 1.0), &got);
+  EXPECT_EQ(SortedIds(got),
+            TruthIds(data, Rect::Of(0.25, 0.0, 0.75, 1.0)));
+}
+
+TEST(ZpgmTest, DuplicateCoordinates) {
+  Dataset data = MakeDegenerateDataset(4000, 214);
+  Workload w;
+  Zpgm index;
+  BuildOptions opts;
+  index.Build(data, w, opts);
+  const Rect q = Rect::Of(0.45, 0.45, 0.55, 0.55);
+  std::vector<Point> got;
+  index.RangeQuery(q, &got);
+  EXPECT_EQ(SortedIds(got), TruthIds(data, q));
+  EXPECT_TRUE(index.PointQuery(Point{0.5, 0.5, 0}));
+}
+
+}  // namespace
+}  // namespace wazi

@@ -1,0 +1,262 @@
+// Command-line front end for the library: generate synthetic data and
+// workloads, build/persist a WaZI (or Base) index, and run queries.
+//
+//   wazi_cli generate   --region CaliNev --n 100000 --out points.csv
+//   wazi_cli genqueries --region CaliNev --n 2000 --selectivity 0.0256%
+//                       --out queries.csv
+//   wazi_cli build      --points points.csv --queries queries.csv
+//                       --index wazi --out index.bin
+//   wazi_cli query      --index-file index.bin --rect 0.4,0.2,0.48,0.28
+//   wazi_cli point      --index-file index.bin --at 0.44,0.24
+//   wazi_cli stats      --index-file index.bin
+//
+// The persisted format only covers the Z-index family (wazi/base); the
+// other baselines are in-memory research comparators.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/serialize.h"
+#include "core/wazi.h"
+#include "workload/io.h"
+#include "workload/query_generator.h"
+#include "workload/region_generator.h"
+
+namespace {
+
+using namespace wazi;
+
+// --flag value parser; flags may appear in any order.
+std::map<std::string, std::string> ParseFlags(int argc, char** argv,
+                                              int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
+      std::fprintf(stderr, "expected --flag, got '%s'\n", argv[i]);
+      std::exit(2);
+    }
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& name, const std::string& fallback) {
+  auto it = flags.find(name);
+  return it == flags.end() ? fallback : it->second;
+}
+
+std::string RequireFlag(const std::map<std::string, std::string>& flags,
+                        const std::string& name) {
+  auto it = flags.find(name);
+  if (it == flags.end()) {
+    std::fprintf(stderr, "missing required flag --%s\n", name.c_str());
+    std::exit(2);
+  }
+  return it->second;
+}
+
+// "0.0256%" -> 0.000256; "0.000256" -> 0.000256.
+double ParseSelectivity(const std::string& s) {
+  if (!s.empty() && s.back() == '%') {
+    return std::strtod(s.substr(0, s.size() - 1).c_str(), nullptr) / 100.0;
+  }
+  return std::strtod(s.c_str(), nullptr);
+}
+
+bool ParseCoords(const std::string& s, std::vector<double>* out, size_t n) {
+  out->clear();
+  const char* p = s.c_str();
+  char* end = nullptr;
+  while (*p != '\0') {
+    out->push_back(std::strtod(p, &end));
+    if (end == p) return false;
+    p = (*end == ',') ? end + 1 : end;
+  }
+  return out->size() == n;
+}
+
+Region RequireRegion(const std::map<std::string, std::string>& flags) {
+  const std::string name = FlagOr(flags, "region", "CaliNev");
+  Region region;
+  if (!ParseRegion(name, &region)) {
+    std::fprintf(stderr, "unknown region '%s'\n", name.c_str());
+    std::exit(2);
+  }
+  return region;
+}
+
+int CmdGenerate(const std::map<std::string, std::string>& flags) {
+  const Region region = RequireRegion(flags);
+  const size_t n = std::strtoull(FlagOr(flags, "n", "100000").c_str(),
+                                 nullptr, 10);
+  const uint64_t seed =
+      std::strtoull(FlagOr(flags, "seed", "42").c_str(), nullptr, 10);
+  const Dataset data = GenerateRegion(region, n, seed);
+  const std::string out = RequireFlag(flags, "out");
+  if (!SavePointsCsvFile(data, out)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu %s points to %s\n", data.size(), data.name.c_str(),
+              out.c_str());
+  return 0;
+}
+
+int CmdGenQueries(const std::map<std::string, std::string>& flags) {
+  const Region region = RequireRegion(flags);
+  QueryGenOptions opts;
+  opts.num_queries =
+      std::strtoull(FlagOr(flags, "n", "2000").c_str(), nullptr, 10);
+  opts.selectivity = ParseSelectivity(FlagOr(flags, "selectivity", "0.0256%"));
+  opts.seed = std::strtoull(FlagOr(flags, "seed", "7").c_str(), nullptr, 10);
+  const Workload w =
+      GenerateCheckinWorkload(region, Rect::Of(0, 0, 1, 1), opts);
+  const std::string out = RequireFlag(flags, "out");
+  if (!SaveQueriesCsvFile(w, out)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu queries (selectivity %g) to %s\n", w.size(),
+              opts.selectivity, out.c_str());
+  return 0;
+}
+
+int CmdBuild(const std::map<std::string, std::string>& flags) {
+  Dataset data;
+  std::string error;
+  if (!LoadPointsCsvFile(RequireFlag(flags, "points"), &data, &error)) {
+    std::fprintf(stderr, "points: %s\n", error.c_str());
+    return 1;
+  }
+  Workload workload;
+  if (flags.count("queries") > 0 &&
+      !LoadQueriesCsvFile(flags.at("queries"), &workload, &error)) {
+    std::fprintf(stderr, "queries: %s\n", error.c_str());
+    return 1;
+  }
+  const std::string kind = FlagOr(flags, "index", "wazi");
+  std::unique_ptr<ZIndexVariant> index;
+  if (kind == "wazi") {
+    index = std::make_unique<Wazi>();
+  } else if (kind == "base") {
+    index = std::make_unique<BaseZ>();
+  } else {
+    std::fprintf(stderr, "--index must be wazi or base (got '%s')\n",
+                 kind.c_str());
+    return 2;
+  }
+  if (kind == "wazi" && workload.queries.empty()) {
+    std::fprintf(stderr,
+                 "warning: building wazi without --queries; the layout "
+                 "cannot adapt (equivalent to kappa random splits)\n");
+  }
+  BuildOptions opts;
+  opts.leaf_capacity = static_cast<int>(
+      std::strtol(FlagOr(flags, "leaf-capacity", "256").c_str(), nullptr, 10));
+  Timer timer;
+  index->Build(data, workload, opts);
+  const std::string out = RequireFlag(flags, "out");
+  if (!index->SaveToFile(out)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("built %s over %zu points in %.2fs (%zu leaves); saved to %s\n",
+              kind.c_str(), data.size(), timer.ElapsedSeconds(),
+              index->zindex().num_leaves(), out.c_str());
+  return 0;
+}
+
+std::unique_ptr<Wazi> LoadIndexOrDie(
+    const std::map<std::string, std::string>& flags) {
+  auto index = std::make_unique<Wazi>();
+  const std::string path = RequireFlag(flags, "index-file");
+  if (!index->LoadFromFile(path)) {
+    std::fprintf(stderr, "failed to load index from %s\n", path.c_str());
+    std::exit(1);
+  }
+  return index;
+}
+
+int CmdQuery(const std::map<std::string, std::string>& flags) {
+  auto index = LoadIndexOrDie(flags);
+  std::vector<double> v;
+  if (!ParseCoords(RequireFlag(flags, "rect"), &v, 4)) {
+    std::fprintf(stderr, "--rect wants min_x,min_y,max_x,max_y\n");
+    return 2;
+  }
+  const Rect q = Rect::Of(v[0], v[1], v[2], v[3]);
+  std::vector<Point> hits;
+  Timer timer;
+  index->RangeQuery(q, &hits);
+  const int64_t ns = timer.ElapsedNs();
+  std::printf("# %zu hits in %lldus\n", hits.size(),
+              static_cast<long long>(ns / 1000));
+  const bool ids_only = FlagOr(flags, "ids-only", "false") == "true";
+  for (const Point& p : hits) {
+    if (ids_only) {
+      std::printf("%lld\n", static_cast<long long>(p.id));
+    } else {
+      std::printf("%.17g,%.17g,%lld\n", p.x, p.y,
+                  static_cast<long long>(p.id));
+    }
+  }
+  return 0;
+}
+
+int CmdPoint(const std::map<std::string, std::string>& flags) {
+  auto index = LoadIndexOrDie(flags);
+  std::vector<double> v;
+  if (!ParseCoords(RequireFlag(flags, "at"), &v, 2)) {
+    std::fprintf(stderr, "--at wants x,y\n");
+    return 2;
+  }
+  const bool found = index->PointQuery(Point{v[0], v[1], 0});
+  std::printf("%s\n", found ? "found" : "missing");
+  return found ? 0 : 3;
+}
+
+int CmdStats(const std::map<std::string, std::string>& flags) {
+  auto index = LoadIndexOrDie(flags);
+  const ZIndex& z = index->zindex();
+  std::printf("points:        %zu\n", z.num_points());
+  std::printf("leaves:        %zu\n", z.num_leaves());
+  std::printf("tree nodes:    %zu\n", z.num_nodes());
+  std::printf("leaf capacity: %d\n", z.leaf_capacity());
+  std::printf("look-ahead:    %s\n", z.has_lookahead() ? "yes" : "no");
+  std::printf("size:          %.2f MB\n",
+              static_cast<double>(z.SizeBytes()) / (1024.0 * 1024.0));
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: wazi_cli <generate|genqueries|build|query|point|stats> "
+      "[--flag value ...]\n"
+      "see the header of tools/wazi_cli.cc for per-command flags\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const auto flags = ParseFlags(argc, argv, 2);
+  if (cmd == "generate") return CmdGenerate(flags);
+  if (cmd == "genqueries") return CmdGenQueries(flags);
+  if (cmd == "build") return CmdBuild(flags);
+  if (cmd == "query") return CmdQuery(flags);
+  if (cmd == "point") return CmdPoint(flags);
+  if (cmd == "stats") return CmdStats(flags);
+  Usage();
+  return 2;
+}
