@@ -51,17 +51,17 @@ int main() {
     double build_s = 0.0;
     auto index = BuildIndex(config.index, data, workload, &build_s, &opts);
     const double ns = MeasureRangeNs(*index, workload);
-    index->stats().Reset();
+    QueryStats qs;
     std::vector<Point> sink;
     const size_t nq = std::min(workload.queries.size(), scale.measure_queries);
     for (size_t i = 0; i < nq; ++i) {
       sink.clear();
-      index->RangeQuery(workload.queries[i], &sink);
+      index->RangeQuery(workload.queries[i], &sink, &qs);
     }
     char build_buf[32], pts_buf[32];
     std::snprintf(build_buf, sizeof(build_buf), "%.2fs", build_s);
     std::snprintf(pts_buf, sizeof(pts_buf), "%.0f",
-                  static_cast<double>(index->stats().points_scanned) /
+                  static_cast<double>(qs.points_scanned) /
                       static_cast<double>(nq));
     rows.push_back({config.label, build_buf, FormatNs(ns), pts_buf});
     std::fprintf(stderr, "[abl] %s done\n", config.label.c_str());

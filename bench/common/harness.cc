@@ -103,12 +103,13 @@ double MeasureRangeNs(const SpatialIndex& index, const Workload& workload) {
   if (nq == 0) return 0.0;
   std::vector<double> runs;
   std::vector<Point> sink;
+  QueryStats qs;  // explicit counters: measurement touches no shared state
   sink.reserve(1 << 16);
   for (int rep = 0; rep < scale.repetitions; ++rep) {
     Timer timer;
     for (size_t i = 0; i < nq; ++i) {
       sink.clear();
-      index.RangeQuery(workload.queries[i], &sink);
+      index.RangeQuery(workload.queries[i], &sink, &qs);
     }
     runs.push_back(static_cast<double>(timer.ElapsedNs()) /
                    static_cast<double>(nq));
@@ -123,9 +124,10 @@ double MeasurePointNs(const SpatialIndex& index,
   if (queries.empty()) return 0.0;
   std::vector<double> runs;
   int64_t sink = 0;
+  QueryStats qs;
   for (int rep = 0; rep < scale.repetitions; ++rep) {
     Timer timer;
-    for (const Point& p : queries) sink += index.PointQuery(p) ? 1 : 0;
+    for (const Point& p : queries) sink += index.PointQuery(p, &qs) ? 1 : 0;
     runs.push_back(static_cast<double>(timer.ElapsedNs()) /
                    static_cast<double>(queries.size()));
   }
@@ -143,24 +145,25 @@ PhaseNs MeasurePhasesNs(const SpatialIndex& index, const Workload& workload) {
   std::vector<double> proj_runs, scan_runs;
   std::vector<Point> sink;
   Projection proj;
+  QueryStats qs;
   for (int rep = 0; rep < scale.repetitions; ++rep) {
     // Projection phase.
     Timer proj_timer;
     for (size_t i = 0; i < nq; ++i) {
       proj.clear();
-      index.Project(workload.queries[i], &proj);
+      index.Project(workload.queries[i], &proj, &qs);
     }
     proj_runs.push_back(static_cast<double>(proj_timer.ElapsedNs()) /
                         static_cast<double>(nq));
     // Scan phase (projections recomputed outside the timed region).
     std::vector<Projection> projections(nq);
     for (size_t i = 0; i < nq; ++i) {
-      index.Project(workload.queries[i], &projections[i]);
+      index.Project(workload.queries[i], &projections[i], &qs);
     }
     Timer scan_timer;
     for (size_t i = 0; i < nq; ++i) {
       sink.clear();
-      index.ScanProjection(projections[i], workload.queries[i], &sink);
+      index.ScanProjection(projections[i], workload.queries[i], &sink, &qs);
     }
     scan_runs.push_back(static_cast<double>(scan_timer.ElapsedNs()) /
                         static_cast<double>(nq));

@@ -29,15 +29,14 @@ int main() {
       auto index = BuildIndex(name, data, workload);
       const double ns = MeasureRangeNs(*index, workload);
       // Work counters over one clean pass of the measured queries.
-      index->stats().Reset();
+      QueryStats st;
       std::vector<Point> sink;
       const size_t nq =
           std::min(workload.queries.size(), scale.measure_queries);
       for (size_t i = 0; i < nq; ++i) {
         sink.clear();
-        index->RangeQuery(workload.queries[i], &sink);
+        index->RangeQuery(workload.queries[i], &sink, &st);
       }
-      const QueryStats& st = index->stats();
       trow.push_back(FormatNs(ns));
       erow.push_back(FormatCount(static_cast<double>(st.excess_points())));
       brow.push_back(FormatCount(static_cast<double>(st.bbs_checked)));

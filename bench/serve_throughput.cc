@@ -1,0 +1,140 @@
+// Serving-engine throughput: QPS and latency percentiles versus client
+// thread count, read-only and mixed 95% read / 5% write, over the
+// snapshot-swapped index (src/serve/).
+//
+// Client threads drive ServeLoop::Range directly (the serving model:
+// every client thread executes on the live snapshot, wait-free); writes
+// are enqueued to the background writer, which applies them in batches
+// ending in snapshot swaps. Read-only QPS should scale with threads up
+// to the hardware's core count — the printed hw_threads column tells you
+// how far that is on the current machine.
+//
+//   WAZI_SCALE=smoke|default|paper   (50k / 1M / 8M points)
+//   WAZI_SERVE_INDEX=wazi|base|flood|...   (default wazi)
+//   WAZI_SERVE_SECONDS=<per-cell duration, default 1.5 (smoke 0.3)>
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/harness.h"
+#include "common/timer.h"
+#include "serve/client_driver.h"
+#include "serve/serve_loop.h"
+
+namespace wazi::bench {
+namespace {
+
+using serve::ClientLoadOptions;
+using serve::ClientLoadResult;
+using serve::RunClientLoad;
+using serve::ServeLoop;
+using serve::ServeOptions;
+
+struct CellResult {
+  double qps = 0.0;
+  double writes_per_s = 0.0;
+  int64_t p50_ns = 0;
+  int64_t p90_ns = 0;
+  int64_t p99_ns = 0;
+};
+
+CellResult RunCell(ServeLoop& loop, const Workload& workload, int threads,
+                   int write_pct, double seconds) {
+  ClientLoadOptions copts;
+  copts.threads = threads;
+  copts.write_pct = write_pct;
+  copts.seconds = seconds;
+  const ClientLoadResult load = RunClientLoad(loop, workload, copts);
+  CellResult cell;
+  cell.qps = static_cast<double>(load.queries) / load.elapsed_seconds;
+  cell.writes_per_s =
+      static_cast<double>(load.writes) / load.elapsed_seconds;
+  cell.p50_ns = load.latencies.PercentileNs(50);
+  cell.p90_ns = load.latencies.PercentileNs(90);
+  cell.p99_ns = load.latencies.PercentileNs(99);
+  return cell;
+}
+
+std::string FormatQps(double qps) {
+  char buf[32];
+  if (qps >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fM", qps / 1e6);
+  } else if (qps >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.1fk", qps / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.0f", qps);
+  }
+  return buf;
+}
+
+int Main() {
+  const Scale& scale = CurrentScale();
+  const size_t n = scale.name == "smoke"    ? 50000
+                   : scale.name == "paper" ? 8000000
+                                           : 1000000;
+  const char* index_env = std::getenv("WAZI_SERVE_INDEX");
+  const std::string index_name = index_env != nullptr ? index_env : "wazi";
+  const char* sec_env = std::getenv("WAZI_SERVE_SECONDS");
+  const double seconds = sec_env != nullptr  ? std::strtod(sec_env, nullptr)
+                         : scale.name == "smoke" ? 0.3
+                                                 : 1.5;
+
+  const Dataset& data = GetDataset(Region::kCaliNev, n);
+  const Workload& workload =
+      GetWorkload(Region::kCaliNev, scale.num_queries, 0.000256);
+
+  std::fprintf(stderr, "[serve] building 2x %s over %zu points...\n",
+               index_name.c_str(), data.size());
+  Timer build_timer;
+  ServeOptions opts;
+  opts.num_threads = 1;      // client threads execute queries themselves
+  opts.auto_rebuild = false; // keep cells comparable
+  ServeLoop loop([&index_name] { return MakeIndex(index_name); }, data,
+                 workload, BuildOptions{}, opts);
+  std::fprintf(stderr, "[serve] built in %.1fs; hw_threads=%u\n",
+               build_timer.ElapsedSeconds(),
+               std::thread::hardware_concurrency());
+
+  const std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::vector<std::vector<std::string>> rows;
+  double read_qps_1 = 0.0, read_qps_8 = 0.0;
+  for (const int write_pct : {0, 5}) {
+    const std::string mode = write_pct == 0 ? "read-only" : "95r/5w";
+    for (const int threads : thread_counts) {
+      const CellResult cell =
+          RunCell(loop, workload, threads, write_pct, seconds);
+      if (write_pct == 0 && threads == 1) read_qps_1 = cell.qps;
+      if (write_pct == 0 && threads == 8) read_qps_8 = cell.qps;
+      rows.push_back({mode, std::to_string(threads), FormatQps(cell.qps),
+                      FormatNs(static_cast<double>(cell.p50_ns)),
+                      FormatNs(static_cast<double>(cell.p90_ns)),
+                      FormatNs(static_cast<double>(cell.p99_ns)),
+                      FormatQps(cell.writes_per_s)});
+      std::fprintf(stderr, "[serve] %s threads=%d done (%.0f q/s)\n",
+                   mode.c_str(), threads, cell.qps);
+    }
+  }
+
+  char title[160];
+  std::snprintf(title, sizeof(title),
+                "Serving throughput (%s, %zu pts, sel 0.0256%%, %.1fs/cell, "
+                "%u hw threads)",
+                index_name.c_str(), data.size(), seconds,
+                std::thread::hardware_concurrency());
+  PrintTable(title, {"mode", "threads", "QPS", "p50", "p90", "p99", "w/s"},
+             rows);
+  if (read_qps_1 > 0.0) {
+    std::printf("\nread-only scaling 1 -> 8 threads: %.2fx\n",
+                read_qps_8 / read_qps_1);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace wazi::bench
+
+int main() { return wazi::bench::Main(); }

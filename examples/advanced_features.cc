@@ -68,12 +68,10 @@ int main() {
   auto serve = [&](const Workload& w) {
     std::vector<Point> sink;
     for (const Rect& q : w.queries) {
-      const int64_t scanned0 = index.stats().points_scanned;
-      const int64_t results0 = index.stats().results;
+      QueryStats qs;
       sink.clear();
-      index.RangeQuery(q, &sink);
-      monitor.Observe(index.stats().points_scanned - scanned0,
-                      index.stats().results - results0);
+      index.RangeQuery(q, &sink, &qs);
+      monitor.Observe(qs.points_scanned, qs.results);
     }
   };
   serve(workload);

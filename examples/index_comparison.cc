@@ -43,17 +43,17 @@ int main(int argc, char** argv) {
     index->Build(data, workload, opts);
     const double build_s = build_timer.ElapsedSeconds();
 
-    index->stats().Reset();
+    QueryStats qs;
     std::vector<Point> sink;
     Timer range_timer;
     for (const Rect& q : workload.queries) {
       sink.clear();
-      index->RangeQuery(q, &sink);
+      index->RangeQuery(q, &sink, &qs);
     }
     const double range_ns =
         static_cast<double>(range_timer.ElapsedNs()) / workload.size();
     const double pts_per_q =
-        static_cast<double>(index->stats().points_scanned) / workload.size();
+        static_cast<double>(qs.points_scanned) / workload.size();
 
     Timer point_timer;
     int found = 0;

@@ -44,21 +44,20 @@ int main(int argc, char** argv) {
     index.Build(data, log, opts);
     const double build_s = build_timer.ElapsedSeconds();
 
-    index.stats().Reset();
+    QueryStats qs;
     std::vector<Point> viewport;
     Timer query_timer;
     for (const Rect& q : log.queries) {
       viewport.clear();
-      index.RangeQuery(q, &viewport);
+      index.RangeQuery(q, &viewport, &qs);
     }
     const double ns_per_q =
         static_cast<double>(query_timer.ElapsedNs()) / log.size();
     std::printf("%-6s build %.2fs | %7.0f ns/viewport | %5.1f pages and "
                 "%6.0f points touched per viewport\n",
                 label, build_s, ns_per_q,
-                static_cast<double>(index.stats().pages_scanned) / log.size(),
-                static_cast<double>(index.stats().points_scanned) /
-                    log.size());
+                static_cast<double>(qs.pages_scanned) / log.size(),
+                static_cast<double>(qs.points_scanned) / log.size());
     return ns_per_q;
   };
 

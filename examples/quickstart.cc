@@ -38,16 +38,17 @@ int main() {
   // 4. Range query.
   const Rect viewport = Rect::Of(0.40, 0.20, 0.48, 0.28);  // LA-ish window
   std::vector<Point> hits;
+  QueryStats qs;  // per-call work counters (thread-safe out-param form)
   Timer query_timer;
-  index.RangeQuery(viewport, &hits);
+  index.RangeQuery(viewport, &hits, &qs);
   std::printf("range query %s -> %zu points in %ldus\n",
               viewport.DebugString().c_str(), hits.size(),
               query_timer.ElapsedNs() / 1000);
   std::printf("  work: %lld bounding boxes checked, %lld pages scanned, "
               "%lld points filtered\n",
-              static_cast<long long>(index.stats().bbs_checked),
-              static_cast<long long>(index.stats().pages_scanned),
-              static_cast<long long>(index.stats().points_scanned));
+              static_cast<long long>(qs.bbs_checked),
+              static_cast<long long>(qs.pages_scanned),
+              static_cast<long long>(qs.points_scanned));
 
   // 5. Point query.
   const Point probe = data.points[12345];

@@ -118,16 +118,18 @@ void CurTree::Build(const Dataset& data, const Workload& workload,
   stats_.Reset();
 }
 
-void CurTree::RangeQuery(const Rect& query, std::vector<Point>* out) const {
-  tree_.RangeQuery(query, out, &stats_);
+void CurTree::DoRangeQuery(const Rect& query, std::vector<Point>* out,
+                  QueryStats* stats) const {
+  tree_.RangeQuery(query, out, stats);
 }
 
-void CurTree::Project(const Rect& query, Projection* proj) const {
-  tree_.Project(query, proj, &stats_);
+void CurTree::DoProject(const Rect& query, Projection* proj,
+               QueryStats* stats) const {
+  tree_.Project(query, proj, stats);
 }
 
-bool CurTree::PointQuery(const Point& p) const {
-  return tree_.PointQuery(p.x, p.y, &stats_);
+bool CurTree::DoPointQuery(const Point& p, QueryStats* stats) const {
+  return tree_.PointQuery(p.x, p.y, stats);
 }
 
 bool CurTree::Insert(const Point& p) {

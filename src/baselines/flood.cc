@@ -122,7 +122,8 @@ void Flood::Build(const Dataset& data, const Workload& workload,
   stats_.Reset();
 }
 
-void Flood::RangeQuery(const Rect& query, std::vector<Point>* out) const {
+void Flood::DoRangeQuery(const Rect& query, std::vector<Point>* out,
+                  QueryStats* stats) const {
   const double part_lo = partition_x_ ? query.min_x : query.min_y;
   const double part_hi = partition_x_ ? query.max_x : query.max_y;
   const double sort_lo = partition_x_ ? query.min_y : query.min_x;
@@ -135,19 +136,20 @@ void Flood::RangeQuery(const Rect& query, std::vector<Point>* out) const {
         col.begin(), col.end(), sort_lo, [&](const Point& p, double v) {
           return SortKey(p, partition_x_) < v;
         });
-    ++stats_.pages_scanned;
+    ++stats->pages_scanned;
     for (auto it = lo_it; it != col.end(); ++it) {
       if (SortKey(*it, partition_x_) > sort_hi) break;
-      ++stats_.points_scanned;
+      ++stats->points_scanned;
       if (query.Contains(*it)) {
         out->push_back(*it);
-        ++stats_.results;
+        ++stats->results;
       }
     }
   }
 }
 
-void Flood::Project(const Rect& query, Projection* proj) const {
+void Flood::DoProject(const Rect& query, Projection* proj,
+               QueryStats* /*stats*/) const {
   const double part_lo = partition_x_ ? query.min_x : query.min_y;
   const double part_hi = partition_x_ ? query.max_x : query.max_y;
   const double sort_lo = partition_x_ ? query.min_y : query.min_x;
@@ -170,7 +172,7 @@ void Flood::Project(const Rect& query, Projection* proj) const {
   }
 }
 
-bool Flood::PointQuery(const Point& p) const {
+bool Flood::DoPointQuery(const Point& p, QueryStats* stats) const {
   if (cols_.empty()) return false;
   const std::vector<Point>& col = cols_[ColumnOf(PartKey(p, partition_x_))];
   const double key = SortKey(p, partition_x_);
@@ -178,9 +180,9 @@ bool Flood::PointQuery(const Point& p) const {
                              [&](const Point& q, double v) {
                                return SortKey(q, partition_x_) < v;
                              });
-  ++stats_.pages_scanned;
+  ++stats->pages_scanned;
   for (; it != col.end() && SortKey(*it, partition_x_) == key; ++it) {
-    ++stats_.points_scanned;
+    ++stats->points_scanned;
     if (it->x == p.x && it->y == p.y) return true;
   }
   return false;

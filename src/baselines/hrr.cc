@@ -37,17 +37,18 @@ void HilbertRTree::Build(const Dataset& data, const Workload&,
   stats_.Reset();
 }
 
-void HilbertRTree::RangeQuery(const Rect& query,
-                              std::vector<Point>* out) const {
-  tree_.RangeQuery(query, out, &stats_);
+void HilbertRTree::DoRangeQuery(const Rect& query, std::vector<Point>* out,
+                  QueryStats* stats) const {
+  tree_.RangeQuery(query, out, stats);
 }
 
-void HilbertRTree::Project(const Rect& query, Projection* proj) const {
-  tree_.Project(query, proj, &stats_);
+void HilbertRTree::DoProject(const Rect& query, Projection* proj,
+               QueryStats* stats) const {
+  tree_.Project(query, proj, stats);
 }
 
-bool HilbertRTree::PointQuery(const Point& p) const {
-  return tree_.PointQuery(p.x, p.y, &stats_);
+bool HilbertRTree::DoPointQuery(const Point& p, QueryStats* stats) const {
+  return tree_.PointQuery(p.x, p.y, stats);
 }
 
 bool HilbertRTree::Insert(const Point& p) {

@@ -136,24 +136,25 @@ void QdGreedy::Build(const Dataset& data, const Workload& workload,
   stats_.Reset();
 }
 
-void QdGreedy::RangeQuery(const Rect& query, std::vector<Point>* out) const {
+void QdGreedy::DoRangeQuery(const Rect& query, std::vector<Point>* out,
+                  QueryStats* stats) const {
   if (root_ < 0) return;
   std::vector<int32_t> stack = {root_};
   while (!stack.empty()) {
     const Node& node = nodes_[stack.back()];
     stack.pop_back();
     if (node.is_leaf()) {
-      ++stats_.pages_scanned;
+      ++stats->pages_scanned;
       for (uint32_t i = node.begin; i < node.end; ++i) {
-        ++stats_.points_scanned;
+        ++stats->points_scanned;
         if (query.Contains(data_[i])) {
           out->push_back(data_[i]);
-          ++stats_.results;
+          ++stats->results;
         }
       }
       continue;
     }
-    ++stats_.bbs_checked;
+    ++stats->bbs_checked;
     const double q_lo = node.cut_x ? query.min_x : query.min_y;
     const double q_hi = node.cut_x ? query.max_x : query.max_y;
     if (q_lo <= node.cut_val) stack.push_back(node.left);
@@ -161,7 +162,8 @@ void QdGreedy::RangeQuery(const Rect& query, std::vector<Point>* out) const {
   }
 }
 
-void QdGreedy::Project(const Rect& query, Projection* proj) const {
+void QdGreedy::DoProject(const Rect& query, Projection* proj,
+               QueryStats* /*stats*/) const {
   if (root_ < 0) return;
   std::vector<int32_t> stack = {root_};
   while (!stack.empty()) {
@@ -181,7 +183,7 @@ void QdGreedy::Project(const Rect& query, Projection* proj) const {
   }
 }
 
-bool QdGreedy::PointQuery(const Point& p) const {
+bool QdGreedy::DoPointQuery(const Point& p, QueryStats* stats) const {
   if (root_ < 0) return false;
   int32_t id = root_;
   while (!nodes_[id].is_leaf()) {
@@ -190,9 +192,9 @@ bool QdGreedy::PointQuery(const Point& p) const {
     id = (v <= node.cut_val) ? node.left : node.right;
   }
   const Node& leaf = nodes_[id];
-  ++stats_.pages_scanned;
+  ++stats->pages_scanned;
   for (uint32_t i = leaf.begin; i < leaf.end; ++i) {
-    ++stats_.points_scanned;
+    ++stats->points_scanned;
     if (data_[i].x == p.x && data_[i].y == p.y) return true;
   }
   return false;

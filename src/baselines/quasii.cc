@@ -169,11 +169,12 @@ void Quasii::Build(const Dataset& data, const Workload& workload,
   stats_.Reset();
 }
 
-void Quasii::RangeQuery(const Rect& query, std::vector<Point>* out) const {
+void Quasii::DoRangeQuery(const Rect& query, std::vector<Point>* out,
+                  QueryStats* stats) const {
   for (size_t i = slices_.empty() ? 0 : SliceContaining(query.min_x);
        i < slices_.size() && slices_[i].x_lo <= query.max_x; ++i) {
     const Slice& s = slices_[i];
-    ++stats_.bbs_checked;
+    ++stats->bbs_checked;
     // Subs overlapping [min_y, max_y].
     size_t lo = 0, hi = s.subs.size();
     while (hi - lo > 1) {
@@ -187,20 +188,21 @@ void Quasii::RangeQuery(const Rect& query, std::vector<Point>* out) const {
     for (size_t j = lo; j < s.subs.size() && s.subs[j].y_lo <= query.max_y;
          ++j) {
       const Sub& sub = s.subs[j];
-      ++stats_.bbs_checked;
-      ++stats_.pages_scanned;
+      ++stats->bbs_checked;
+      ++stats->pages_scanned;
       for (uint32_t k = sub.begin; k < sub.end; ++k) {
-        ++stats_.points_scanned;
+        ++stats->points_scanned;
         if (query.Contains(data_[k])) {
           out->push_back(data_[k]);
-          ++stats_.results;
+          ++stats->results;
         }
       }
     }
   }
 }
 
-void Quasii::Project(const Rect& query, Projection* proj) const {
+void Quasii::DoProject(const Rect& query, Projection* proj,
+               QueryStats* /*stats*/) const {
   for (size_t i = slices_.empty() ? 0 : SliceContaining(query.min_x);
        i < slices_.size() && slices_[i].x_lo <= query.max_x; ++i) {
     const Slice& s = slices_[i];
@@ -224,7 +226,7 @@ void Quasii::Project(const Rect& query, Projection* proj) const {
   }
 }
 
-bool Quasii::PointQuery(const Point& p) const {
+bool Quasii::DoPointQuery(const Point& p, QueryStats* stats) const {
   if (slices_.empty()) return false;
   const Slice& s = slices_[SliceContaining(p.x)];
   size_t lo = 0, hi = s.subs.size();
@@ -237,9 +239,9 @@ bool Quasii::PointQuery(const Point& p) const {
     }
   }
   const Sub& sub = s.subs[lo];
-  ++stats_.pages_scanned;
+  ++stats->pages_scanned;
   for (uint32_t k = sub.begin; k < sub.end; ++k) {
-    ++stats_.points_scanned;
+    ++stats->points_scanned;
     if (data_[k].x == p.x && data_[k].y == p.y) return true;
   }
   return false;

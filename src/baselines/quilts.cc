@@ -165,7 +165,8 @@ void Quilts::Build(const Dataset& data, const Workload& workload,
 }
 
 template <typename LeafFn>
-void Quilts::WalkLeaves(const Rect& query, LeafFn&& fn) const {
+void Quilts::WalkLeaves(const Rect& query, QueryStats* stats,
+                        LeafFn&& fn) const {
   if (pts_.empty()) return;
   const uint64_t klo = KeyOf(query.min_x, query.min_y);
   const uint64_t khi = KeyOf(query.max_x, query.max_y);
@@ -179,39 +180,41 @@ void Quilts::WalkLeaves(const Rect& query, LeafFn&& fn) const {
   const size_t leaf_hi = (phi - 1) / (leaf_off_[1] - leaf_off_[0]);
   for (size_t leaf = leaf_lo; leaf <= leaf_hi && leaf + 1 < leaf_off_.size();
        ++leaf) {
-    ++stats_.bbs_checked;
+    ++stats->bbs_checked;
     if (leaf_mbr_[leaf].Overlaps(query)) fn(leaf);
   }
 }
 
-void Quilts::RangeQuery(const Rect& query, std::vector<Point>* out) const {
-  WalkLeaves(query, [&](size_t leaf) {
-    ++stats_.pages_scanned;
+void Quilts::DoRangeQuery(const Rect& query, std::vector<Point>* out,
+                  QueryStats* stats) const {
+  WalkLeaves(query, stats, [&](size_t leaf) {
+    ++stats->pages_scanned;
     for (uint32_t i = leaf_off_[leaf]; i < leaf_off_[leaf + 1]; ++i) {
-      ++stats_.points_scanned;
+      ++stats->points_scanned;
       if (query.Contains(pts_[i])) {
         out->push_back(pts_[i]);
-        ++stats_.results;
+        ++stats->results;
       }
     }
   });
 }
 
-void Quilts::Project(const Rect& query, Projection* proj) const {
-  WalkLeaves(query, [&](size_t leaf) {
+void Quilts::DoProject(const Rect& query, Projection* proj,
+               QueryStats* stats) const {
+  WalkLeaves(query, stats, [&](size_t leaf) {
     proj->push_back(Span{pts_.data() + leaf_off_[leaf],
                          pts_.data() + leaf_off_[leaf + 1]});
   });
 }
 
-bool Quilts::PointQuery(const Point& p) const {
+bool Quilts::DoPointQuery(const Point& p, QueryStats* stats) const {
   if (pts_.empty()) return false;
   const uint64_t key = KeyOf(p.x, p.y);
   auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
-  ++stats_.pages_scanned;
+  ++stats->pages_scanned;
   for (size_t i = static_cast<size_t>(it - keys_.begin());
        i < keys_.size() && keys_[i] == key; ++i) {
-    ++stats_.points_scanned;
+    ++stats->points_scanned;
     if (pts_[i].x == p.x && pts_[i].y == p.y) return true;
   }
   return false;

@@ -35,9 +35,11 @@ class Quilts : public SpatialIndex {
 
   void Build(const Dataset& data, const Workload& workload,
              const BuildOptions& opts) override;
-  void RangeQuery(const Rect& query, std::vector<Point>* out) const override;
-  void Project(const Rect& query, Projection* proj) const override;
-  bool PointQuery(const Point& p) const override;
+  void DoRangeQuery(const Rect& query, std::vector<Point>* out,
+                  QueryStats* stats) const override;
+  void DoProject(const Rect& query, Projection* proj,
+               QueryStats* stats) const override;
+  bool DoPointQuery(const Point& p, QueryStats* stats) const override;
   size_t SizeBytes() const override;
 
   const BitPattern& chosen_pattern() const { return pattern_; }
@@ -46,7 +48,7 @@ class Quilts : public SpatialIndex {
   uint64_t KeyOf(double x, double y) const;
 
   template <typename LeafFn>
-  void WalkLeaves(const Rect& query, LeafFn&& fn) const;
+  void WalkLeaves(const Rect& query, QueryStats* stats, LeafFn&& fn) const;
 
   RankSpace ranks_;
   BitPattern pattern_;

@@ -48,7 +48,8 @@ void RsmiLite::Build(const Dataset& data, const Workload&,
 }
 
 template <typename LeafFn>
-void RsmiLite::WalkLeaves(const Rect& query, LeafFn&& fn) const {
+void RsmiLite::WalkLeaves(const Rect& query, QueryStats* stats,
+                          LeafFn&& fn) const {
   if (pts_.empty()) return;
   const uint64_t zlo = ZOf(query.min_x, query.min_y);
   const uint64_t zhi = ZOf(query.max_x, query.max_y);
@@ -61,37 +62,39 @@ void RsmiLite::WalkLeaves(const Rect& query, LeafFn&& fn) const {
   const size_t leaf_hi = (phi - 1) / cap;
   for (size_t leaf = leaf_lo; leaf <= leaf_hi && leaf + 1 < leaf_off_.size();
        ++leaf) {
-    ++stats_.bbs_checked;
+    ++stats->bbs_checked;
     if (leaf_mbr_[leaf].Overlaps(query)) fn(leaf);
   }
 }
 
-void RsmiLite::RangeQuery(const Rect& query, std::vector<Point>* out) const {
-  WalkLeaves(query, [&](size_t leaf) {
-    ++stats_.pages_scanned;
+void RsmiLite::DoRangeQuery(const Rect& query, std::vector<Point>* out,
+                  QueryStats* stats) const {
+  WalkLeaves(query, stats, [&](size_t leaf) {
+    ++stats->pages_scanned;
     for (uint32_t i = leaf_off_[leaf]; i < leaf_off_[leaf + 1]; ++i) {
-      ++stats_.points_scanned;
+      ++stats->points_scanned;
       if (query.Contains(pts_[i])) {
         out->push_back(pts_[i]);
-        ++stats_.results;
+        ++stats->results;
       }
     }
   });
 }
 
-void RsmiLite::Project(const Rect& query, Projection* proj) const {
-  WalkLeaves(query, [&](size_t leaf) {
+void RsmiLite::DoProject(const Rect& query, Projection* proj,
+               QueryStats* stats) const {
+  WalkLeaves(query, stats, [&](size_t leaf) {
     proj->push_back(Span{pts_.data() + leaf_off_[leaf],
                          pts_.data() + leaf_off_[leaf + 1]});
   });
 }
 
-bool RsmiLite::PointQuery(const Point& p) const {
+bool RsmiLite::DoPointQuery(const Point& p, QueryStats* stats) const {
   if (pts_.empty()) return false;
   const uint64_t z = ZOf(p.x, p.y);
-  ++stats_.pages_scanned;
+  ++stats->pages_scanned;
   for (size_t i = rmi_.LowerBound(z); i < keys_.size() && keys_[i] == z; ++i) {
-    ++stats_.points_scanned;
+    ++stats->points_scanned;
     if (pts_[i].x == p.x && pts_[i].y == p.y) return true;
   }
   return false;

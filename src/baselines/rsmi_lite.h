@@ -24,16 +24,18 @@ class RsmiLite : public SpatialIndex {
 
   void Build(const Dataset& data, const Workload& workload,
              const BuildOptions& opts) override;
-  void RangeQuery(const Rect& query, std::vector<Point>* out) const override;
-  void Project(const Rect& query, Projection* proj) const override;
-  bool PointQuery(const Point& p) const override;
+  void DoRangeQuery(const Rect& query, std::vector<Point>* out,
+                  QueryStats* stats) const override;
+  void DoProject(const Rect& query, Projection* proj,
+               QueryStats* stats) const override;
+  bool DoPointQuery(const Point& p, QueryStats* stats) const override;
   size_t SizeBytes() const override;
 
  private:
   uint64_t ZOf(double x, double y) const;
 
   template <typename LeafFn>
-  void WalkLeaves(const Rect& query, LeafFn&& fn) const;
+  void WalkLeaves(const Rect& query, QueryStats* stats, LeafFn&& fn) const;
 
   RankSpace ranks_;
   std::vector<Point> pts_;

@@ -41,16 +41,18 @@ void StrRTree::Build(const Dataset& data, const Workload&,
   stats_.Reset();
 }
 
-void StrRTree::RangeQuery(const Rect& query, std::vector<Point>* out) const {
-  tree_.RangeQuery(query, out, &stats_);
+void StrRTree::DoRangeQuery(const Rect& query, std::vector<Point>* out,
+                  QueryStats* stats) const {
+  tree_.RangeQuery(query, out, stats);
 }
 
-void StrRTree::Project(const Rect& query, Projection* proj) const {
-  tree_.Project(query, proj, &stats_);
+void StrRTree::DoProject(const Rect& query, Projection* proj,
+               QueryStats* stats) const {
+  tree_.Project(query, proj, stats);
 }
 
-bool StrRTree::PointQuery(const Point& p) const {
-  return tree_.PointQuery(p.x, p.y, &stats_);
+bool StrRTree::DoPointQuery(const Point& p, QueryStats* stats) const {
+  return tree_.PointQuery(p.x, p.y, stats);
 }
 
 bool StrRTree::Insert(const Point& p) {

@@ -33,14 +33,15 @@ void Zpgm::Build(const Dataset& data, const Workload&,
 }
 
 template <typename HitFn>
-void Zpgm::WalkCodes(const Rect& query, HitFn&& fn) const {
+void Zpgm::WalkCodes(const Rect& query, QueryStats* stats,
+                     HitFn&& fn) const {
   if (pts_.empty()) return;
   const uint64_t zlo = ZOf(query.min_x, query.min_y);
   const uint64_t zhi = ZOf(query.max_x, query.max_y);
   size_t i = pgm_.LowerBound(zlo);
   while (i < keys_.size() && keys_[i] <= zhi) {
     const uint64_t z = keys_[i];
-    ++stats_.bbs_checked;  // cell-in-box test plays the bbs role here
+    ++stats->bbs_checked;  // cell-in-box test plays the bbs role here
     if (ZCellInBox(z, zlo, zhi)) {
       // Consume the whole run of equal codes.
       size_t j = i;
@@ -55,31 +56,33 @@ void Zpgm::WalkCodes(const Rect& query, HitFn&& fn) const {
   }
 }
 
-void Zpgm::RangeQuery(const Rect& query, std::vector<Point>* out) const {
-  WalkCodes(query, [&](size_t begin, size_t end) {
-    ++stats_.pages_scanned;
+void Zpgm::DoRangeQuery(const Rect& query, std::vector<Point>* out,
+                  QueryStats* stats) const {
+  WalkCodes(query, stats, [&](size_t begin, size_t end) {
+    ++stats->pages_scanned;
     for (size_t i = begin; i < end; ++i) {
-      ++stats_.points_scanned;
+      ++stats->points_scanned;
       if (query.Contains(pts_[i])) {
         out->push_back(pts_[i]);
-        ++stats_.results;
+        ++stats->results;
       }
     }
   });
 }
 
-void Zpgm::Project(const Rect& query, Projection* proj) const {
-  WalkCodes(query, [&](size_t begin, size_t end) {
+void Zpgm::DoProject(const Rect& query, Projection* proj,
+               QueryStats* stats) const {
+  WalkCodes(query, stats, [&](size_t begin, size_t end) {
     proj->push_back(Span{pts_.data() + begin, pts_.data() + end});
   });
 }
 
-bool Zpgm::PointQuery(const Point& p) const {
+bool Zpgm::DoPointQuery(const Point& p, QueryStats* stats) const {
   if (pts_.empty()) return false;
   const uint64_t z = ZOf(p.x, p.y);
-  ++stats_.pages_scanned;
+  ++stats->pages_scanned;
   for (size_t i = pgm_.LowerBound(z); i < keys_.size() && keys_[i] == z; ++i) {
-    ++stats_.points_scanned;
+    ++stats->points_scanned;
     if (pts_[i].x == p.x && pts_[i].y == p.y) return true;
   }
   return false;

@@ -46,21 +46,22 @@ void ZIndexVariant::Build(const Dataset& data, const Workload& workload,
   stats_.Reset();
 }
 
-void ZIndexVariant::RangeQuery(const Rect& query,
-                               std::vector<Point>* out) const {
+void ZIndexVariant::DoRangeQuery(const Rect& query, std::vector<Point>* out,
+                  QueryStats* stats) const {
   if (skipping_) {
-    zindex_.RangeQuerySkipping(query, out, &stats_);
+    zindex_.RangeQuerySkipping(query, out, stats);
   } else {
-    zindex_.RangeQueryNaive(query, out, &stats_);
+    zindex_.RangeQueryNaive(query, out, stats);
   }
 }
 
-void ZIndexVariant::Project(const Rect& query, Projection* proj) const {
-  zindex_.Project(query, skipping_, proj, &stats_);
+void ZIndexVariant::DoProject(const Rect& query, Projection* proj,
+               QueryStats* stats) const {
+  zindex_.Project(query, skipping_, proj, stats);
 }
 
-bool ZIndexVariant::PointQuery(const Point& p) const {
-  return zindex_.PointQuery(p.x, p.y, &stats_);
+bool ZIndexVariant::DoPointQuery(const Point& p, QueryStats* stats) const {
+  return zindex_.PointQuery(p.x, p.y, stats);
 }
 
 bool ZIndexVariant::Insert(const Point& p) {

@@ -37,11 +37,14 @@ class ZIndexVariant : public SpatialIndex {
   void Build(const Dataset& data, const Workload& workload,
              const BuildOptions& opts) override;
 
-  void RangeQuery(const Rect& query, std::vector<Point>* out) const override;
-  void Project(const Rect& query, Projection* proj) const override;
-  bool PointQuery(const Point& p) const override;
+  void DoRangeQuery(const Rect& query, std::vector<Point>* out,
+                  QueryStats* stats) const override;
+  void DoProject(const Rect& query, Projection* proj,
+               QueryStats* stats) const override;
+  bool DoPointQuery(const Point& p, QueryStats* stats) const override;
   bool Insert(const Point& p) override;
   bool Remove(const Point& p) override;
+  bool SupportsUpdates() const override { return true; }
   size_t SizeBytes() const override;
 
   // Direct access for tests and diagnostics.

@@ -7,23 +7,24 @@ void BruteForceIndex::Build(const Dataset& data, const Workload&,
   points_ = data.points;
 }
 
-void BruteForceIndex::RangeQuery(const Rect& query,
-                                 std::vector<Point>* out) const {
+void BruteForceIndex::DoRangeQuery(const Rect& query, std::vector<Point>* out,
+                  QueryStats* stats) const {
   for (const Point& p : points_) {
-    ++stats_.points_scanned;
+    ++stats->points_scanned;
     if (query.Contains(p)) {
       out->push_back(p);
-      ++stats_.results;
+      ++stats->results;
     }
   }
-  ++stats_.pages_scanned;
+  ++stats->pages_scanned;
 }
 
-void BruteForceIndex::Project(const Rect&, Projection* proj) const {
+void BruteForceIndex::DoProject(const Rect&, Projection* proj,
+                                QueryStats*) const {
   proj->push_back(Span{points_.data(), points_.data() + points_.size()});
 }
 
-bool BruteForceIndex::PointQuery(const Point& p) const {
+bool BruteForceIndex::DoPointQuery(const Point& p, QueryStats* /*stats*/) const {
   for (const Point& q : points_) {
     if (q.x == p.x && q.y == p.y) return true;
   }

@@ -15,7 +15,8 @@ double Dist2(const Point& a, const Point& b) {
 }  // namespace
 
 KnnResult KnnByRangeExpansion(const SpatialIndex& index, const Point& center,
-                              size_t k, const Rect& domain) {
+                              size_t k, const Rect& domain,
+                              QueryStats* stats) {
   KnnResult result;
   if (k == 0 || domain.empty()) return result;
 
@@ -31,7 +32,7 @@ KnnResult KnnByRangeExpansion(const SpatialIndex& index, const Point& center,
     const Rect q = Rect::Of(center.x - radius, center.y - radius,
                             center.x + radius, center.y + radius);
     window.clear();
-    index.RangeQuery(q, &window);
+    index.RangeQuery(q, &window, stats);
     ++result.range_queries_issued;
 
     const bool covers_domain = q.Contains(domain);

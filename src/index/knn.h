@@ -24,9 +24,12 @@ struct KnnResult {
 };
 
 // `domain` bounds the expansion (pass the dataset bounds). If the dataset
-// holds fewer than k points, all of them are returned.
+// holds fewer than k points, all of them are returned. `stats` receives the
+// work counters of the underlying range queries (nullptr routes them to the
+// index's built-in accumulator; concurrent callers must pass their own).
 KnnResult KnnByRangeExpansion(const SpatialIndex& index, const Point& center,
-                              size_t k, const Rect& domain);
+                              size_t k, const Rect& domain,
+                              QueryStats* stats = nullptr);
 
 }  // namespace wazi
 

@@ -2,15 +2,16 @@
 
 namespace wazi {
 
-void SpatialIndex::ScanProjection(const Projection& proj, const Rect& query,
-                                  std::vector<Point>* out) const {
+void SpatialIndex::DoScanProjection(const Projection& proj, const Rect& query,
+                                    std::vector<Point>* out,
+                                    QueryStats* stats) const {
   for (const Span& span : proj) {
-    ++stats_.pages_scanned;
+    ++stats->pages_scanned;
     for (const Point* p = span.begin; p != span.end; ++p) {
-      ++stats_.points_scanned;
+      ++stats->points_scanned;
       if (query.Contains(*p)) {
         out->push_back(*p);
-        ++stats_.results;
+        ++stats->results;
       }
     }
   }

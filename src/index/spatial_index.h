@@ -76,6 +76,14 @@ struct QueryStats {
   int64_t excess_points() const { return points_scanned - results; }
 
   void Reset() { *this = QueryStats{}; }
+
+  // Folds another counter block in (per-thread aggregation in src/serve/).
+  void Add(const QueryStats& o) {
+    bbs_checked += o.bbs_checked;
+    pages_scanned += o.pages_scanned;
+    points_scanned += o.points_scanned;
+    results += o.results;
+  }
 };
 
 // A projection: the spans of stored points that a query must filter.
@@ -92,29 +100,71 @@ class SpatialIndex {
   virtual void Build(const Dataset& data, const Workload& workload,
                      const BuildOptions& opts) = 0;
 
-  // Appends all points inside `query` to `out`.
-  virtual void RangeQuery(const Rect& query, std::vector<Point>* out) const = 0;
+  // Query entry points. Each call's work counters are accumulated into
+  // `*stats`; passing nullptr routes them to the built-in accumulator
+  // (`stats()`), which is a single-threaded convenience only. Concurrent
+  // readers MUST pass their own QueryStats — with an explicit out-param the
+  // const query path touches no shared mutable state, so any number of
+  // threads may query one index concurrently (src/serve/ relies on this).
 
-  // Phase-split execution (Fig. 9). Default ScanProjection filters spans;
-  // Project must be overridden by every index (the default routes through
-  // RangeQuery and yields no spans, which would break Fig. 9 — hence pure
-  // virtual).
-  virtual void Project(const Rect& query, Projection* proj) const = 0;
-  virtual void ScanProjection(const Projection& proj, const Rect& query,
-                              std::vector<Point>* out) const;
+  // Appends all points inside `query` to `out`.
+  void RangeQuery(const Rect& query, std::vector<Point>* out,
+                  QueryStats* stats = nullptr) const {
+    DoRangeQuery(query, out, ResolveStats(stats));
+  }
+
+  // Phase-split execution (Fig. 9).
+  void Project(const Rect& query, Projection* proj,
+               QueryStats* stats = nullptr) const {
+    DoProject(query, proj, ResolveStats(stats));
+  }
+  void ScanProjection(const Projection& proj, const Rect& query,
+                      std::vector<Point>* out,
+                      QueryStats* stats = nullptr) const {
+    DoScanProjection(proj, query, out, ResolveStats(stats));
+  }
 
   // True iff a point with identical coordinates is stored.
-  virtual bool PointQuery(const Point& p) const = 0;
+  bool PointQuery(const Point& p, QueryStats* stats = nullptr) const {
+    return DoPointQuery(p, ResolveStats(stats));
+  }
 
-  // Returns false when the index does not support updates.
+  // Returns false when the index does not support updates. Updates are
+  // NOT thread-safe with respect to queries; src/serve/ serializes them
+  // through snapshot swaps.
   virtual bool Insert(const Point& p);
   virtual bool Remove(const Point& p);
+  // True iff Insert/Remove mutate the index. Lets callers (the serve
+  // writer) distinguish "unsupported" from "remove found nothing" and fall
+  // back to a full rebuild for static indexes.
+  virtual bool SupportsUpdates() const { return false; }
 
   virtual size_t SizeBytes() const = 0;
 
+  // The built-in accumulator fed by stats-less calls above.
   QueryStats& stats() const { return stats_; }
 
  protected:
+  // Per-index implementations. `stats` is never null; implementations must
+  // route every counter update through it and must not touch `stats_`, so
+  // that readers supplying private counters are data-race free.
+  //
+  // Default DoScanProjection filters spans; DoProject must be overridden by
+  // every index (the default would have to route through RangeQuery and
+  // yield no spans, which would break Fig. 9 — hence pure virtual).
+  virtual void DoRangeQuery(const Rect& query, std::vector<Point>* out,
+                            QueryStats* stats) const = 0;
+  virtual void DoProject(const Rect& query, Projection* proj,
+                         QueryStats* stats) const = 0;
+  virtual void DoScanProjection(const Projection& proj, const Rect& query,
+                                std::vector<Point>* out,
+                                QueryStats* stats) const;
+  virtual bool DoPointQuery(const Point& p, QueryStats* stats) const = 0;
+
+  QueryStats* ResolveStats(QueryStats* stats) const {
+    return stats != nullptr ? stats : &stats_;
+  }
+
   mutable QueryStats stats_;
 };
 

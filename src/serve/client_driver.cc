@@ -1,0 +1,86 @@
+#include "serve/client_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/timer.h"
+
+namespace wazi::serve {
+namespace {
+
+// Insert ids must never collide with dataset ids (generators assign
+// 0..n-1) or with a previous run against the same ServeLoop.
+std::atomic<int64_t> g_next_insert_id{int64_t{1} << 40};
+
+}  // namespace
+
+ClientLoadResult RunClientLoad(ServeLoop& loop, const Workload& workload,
+                               const ClientLoadOptions& opts) {
+  const int threads = std::max(1, opts.threads);
+  std::atomic<int64_t> total_queries{0};
+  std::atomic<int64_t> total_writes{0};
+  std::atomic<bool> stop{false};
+  std::vector<LatencyRecorder> recorders(
+      static_cast<size_t>(threads), LatencyRecorder(opts.latency_window));
+
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    clients.emplace_back([&, t] {
+      LatencyRecorder& rec = recorders[static_cast<size_t>(t)];
+      Rng rng(static_cast<uint64_t>(1000 + t));
+      QueryStats qs;
+      size_t qi = static_cast<size_t>(t) * 1337;
+      std::vector<Point> inserted;
+      int64_t queries = 0, writes = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const bool write = opts.write_pct > 0 &&
+                           static_cast<int>(rng.NextBelow(100)) <
+                               opts.write_pct;
+        if (write) {
+          if (inserted.size() > 64) {
+            loop.SubmitRemove(inserted.back());
+            inserted.pop_back();
+          } else {
+            Point p{rng.NextDouble(), rng.NextDouble(),
+                    g_next_insert_id.fetch_add(1, std::memory_order_relaxed)};
+            loop.SubmitInsert(p);
+            inserted.push_back(p);
+          }
+          ++writes;
+        } else {
+          const Rect& q = workload.queries[qi++ % workload.queries.size()];
+          Timer timer;
+          loop.Range(q, &qs);
+          rec.Record(timer.ElapsedNs());
+          ++queries;
+        }
+      }
+      total_queries.fetch_add(queries, std::memory_order_relaxed);
+      total_writes.fetch_add(writes, std::memory_order_relaxed);
+    });
+  }
+
+  Timer wall;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(opts.seconds * 1e6)));
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : clients) t.join();
+
+  ClientLoadResult result;
+  result.elapsed_seconds = wall.ElapsedSeconds();
+  loop.Flush();
+  result.queries = total_queries.load();
+  result.writes = total_writes.load();
+  // Sized to hold every thread's retained window, so merging loses nothing.
+  result.latencies =
+      LatencyRecorder(opts.latency_window * static_cast<size_t>(threads));
+  for (const LatencyRecorder& r : recorders) result.latencies.Merge(r);
+  return result;
+}
+
+}  // namespace wazi::serve

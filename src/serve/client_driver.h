@@ -1,0 +1,47 @@
+// Shared client-load driver for the serving benchmarks and the
+// `wazi_cli throughput` command: N client threads issue range queries
+// (and optionally a write mix) against a ServeLoop for a fixed duration,
+// recording per-thread latencies that are merged losslessly at the end.
+
+#ifndef WAZI_SERVE_CLIENT_DRIVER_H_
+#define WAZI_SERVE_CLIENT_DRIVER_H_
+
+#include <cstdint>
+
+#include "serve/latency_recorder.h"
+#include "serve/serve_loop.h"
+
+namespace wazi::serve {
+
+struct ClientLoadOptions {
+  int threads = 1;
+  // Percentage of ops that are writes (alternating inserts and removes of
+  // this run's own inserts); 0 = read-only.
+  int write_pct = 0;
+  double seconds = 1.0;
+  // Latency samples retained per client thread (steady-state window).
+  size_t latency_window = 1 << 16;
+};
+
+struct ClientLoadResult {
+  int64_t queries = 0;
+  int64_t writes = 0;
+  double elapsed_seconds = 0.0;
+  // All threads' retained samples (the merged recorder is sized to hold
+  // every per-thread window).
+  LatencyRecorder latencies{0};
+};
+
+// Drives `loop` with opts.threads client threads for opts.seconds. Reads
+// walk `workload` round-robin with per-thread offsets and execute on the
+// calling thread (the wait-free snapshot path); writes are enqueued to the
+// background writer. Inserted points draw globally unique ids from a
+// process-wide counter, so repeated runs against one ServeLoop never
+// collide. Blocks until the duration elapses, clients join, and pending
+// writes are flushed.
+ClientLoadResult RunClientLoad(ServeLoop& loop, const Workload& workload,
+                               const ClientLoadOptions& opts);
+
+}  // namespace wazi::serve
+
+#endif  // WAZI_SERVE_CLIENT_DRIVER_H_

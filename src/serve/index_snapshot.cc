@@ -1,0 +1,192 @@
+#include "serve/index_snapshot.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace wazi::serve {
+
+VersionedIndex::VersionedIndex(IndexFactory factory, const Dataset& data,
+                               const Workload& workload,
+                               const BuildOptions& build_opts,
+                               VersionedIndexOptions opts)
+    : factory_(std::move(factory)),
+      build_opts_(build_opts),
+      opts_(opts),
+      domain_(data.bounds),
+      data_(data),
+      last_workload_(workload) {
+  pos_by_id_.reserve(data_.points.size());
+  for (size_t i = 0; i < data_.points.size(); ++i) {
+    pos_by_id_[data_.points[i].id] = i;
+  }
+  for (int s = 0; s < 2; ++s) {
+    inst_[s] = factory_();
+    inst_[s]->Build(data_, last_workload_, build_opts_);
+    drained_[s].store(true, std::memory_order_relaxed);
+  }
+  supports_updates_ = inst_[0]->SupportsUpdates();
+  live_slot_ = 1;   // so the first publish flips to slot 0
+  PublishShadow();  // version 1 goes live on inst_[0]
+  // Both instances were built from the same data, so the unpublished one
+  // is just as current as the published one.
+  applied_through_[1] = version_.load(std::memory_order_relaxed);
+}
+
+VersionedIndex::~VersionedIndex() {
+  // Drop the live reference; once every reader lets go, the snapshot's
+  // destructor marks its instance drained. A hang here means a reader
+  // outlived the VersionedIndex, which the thread-safety contract forbids.
+  live_.Store(nullptr);
+  for (int s = 0; s < 2; ++s) {
+    while (!drained_[s].load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void VersionedIndex::ApplyBatch(const std::vector<UpdateOp>& ops) {
+  if (ops.empty()) return;
+  const std::vector<UpdateOp> effective = SanitizeOps(ops);
+  if (effective.empty()) return;
+  SpatialIndex* shadow = AcquireShadow();  // current through version()
+  ApplyToData(effective);
+  if (supports_updates_) {
+    ApplyToInstance(shadow, effective);
+    recent_batches_.emplace_back(version_.load(std::memory_order_relaxed) + 1,
+                                 effective);
+  } else {
+    // Static index: re-level the shadow from the authoritative point set.
+    shadow->Build(data_, last_workload_, build_opts_);
+  }
+  PublishShadow();
+}
+
+std::vector<UpdateOp> VersionedIndex::SanitizeOps(
+    const std::vector<UpdateOp>& ops) {
+  // The authoritative set removes by id while index instances remove by
+  // coordinates, so ops that would make those two paths diverge — inserts
+  // of an id that is already live, removes of an absent id, removes whose
+  // coordinates do not match the stored point — are dropped up front.
+  // `pending` tracks ids inserted/removed earlier in this same batch.
+  std::vector<UpdateOp> effective;
+  effective.reserve(ops.size());
+  std::unordered_map<int64_t, const Point*> pending;
+  for (const UpdateOp& op : ops) {
+    const int64_t id = op.point.id;
+    const Point* stored = nullptr;
+    auto pending_it = pending.find(id);
+    if (pending_it != pending.end()) {
+      stored = pending_it->second;  // nullptr = removed earlier in batch
+    } else {
+      auto it = pos_by_id_.find(id);
+      if (it != pos_by_id_.end()) stored = &data_.points[it->second];
+    }
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      if (stored != nullptr) continue;  // duplicate id
+      pending[id] = &op.point;
+    } else {
+      if (stored == nullptr || stored->x != op.point.x ||
+          stored->y != op.point.y) {
+        continue;  // absent id or stale coordinates
+      }
+      pending[id] = nullptr;
+    }
+    effective.push_back(op);
+  }
+  return effective;
+}
+
+void VersionedIndex::Rebuild(const Workload& workload) {
+  last_workload_ = workload;
+  SpatialIndex* shadow = AcquireShadow(/*catch_up=*/false);
+  shadow->Build(data_, last_workload_, build_opts_);
+  // A rebuild supersedes every batch: the other instance re-levels from
+  // data_ on its next acquisition instead of replaying.
+  last_rebuild_version_ = version_.load(std::memory_order_relaxed) + 1;
+  recent_batches_.clear();
+  PublishShadow();
+}
+
+SpatialIndex* VersionedIndex::AcquireShadow(bool catch_up) {
+  const int shadow_slot = 1 - live_slot_;
+  // Wait until the last snapshot wrapping this instance has drained. The
+  // snapshot destructor's release-store pairs with this acquire-load, so
+  // every reader access happens-before the mutations that follow. Bounded
+  // by the longest in-flight query.
+  while (!drained_[shadow_slot].load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+  SpatialIndex* index = inst_[shadow_slot].get();
+  if (!catch_up || !supports_updates_) return index;
+
+  const uint64_t cur = version_.load(std::memory_order_relaxed);
+  if (applied_through_[shadow_slot] < last_rebuild_version_) {
+    // Missed a rebuild; replaying ops would restore content but not the
+    // re-optimized layout, so re-level from the authoritative set.
+    index->Build(data_, last_workload_, build_opts_);
+  } else {
+    for (const auto& [version, ops] : recent_batches_) {
+      if (version > applied_through_[shadow_slot]) {
+        ApplyToInstance(index, ops);
+      }
+    }
+  }
+  applied_through_[shadow_slot] = cur;
+  const uint64_t min_applied =
+      std::min(applied_through_[0], applied_through_[1]);
+  while (!recent_batches_.empty() &&
+         recent_batches_.front().first <= min_applied) {
+    recent_batches_.pop_front();
+  }
+  return index;
+}
+
+void VersionedIndex::PublishShadow() {
+  const int shadow_slot = 1 - live_slot_;
+  const uint64_t v = version_.load(std::memory_order_relaxed) + 1;
+  std::shared_ptr<const std::vector<Point>> pts;
+  if (opts_.track_points) {
+    pts = std::make_shared<const std::vector<Point>>(data_.points);
+  }
+  drained_[shadow_slot].store(false, std::memory_order_relaxed);
+  auto snap = std::make_shared<const IndexSnapshot>(
+      inst_[shadow_slot].get(), v, std::move(pts), &drained_[shadow_slot]);
+  applied_through_[shadow_slot] = v;
+  version_.store(v, std::memory_order_release);
+  // The swap: readers Acquire() the new snapshot from here on. The old
+  // snapshot's refcount drains as in-flight readers finish.
+  live_.Store(std::move(snap));
+  live_slot_ = shadow_slot;
+}
+
+void VersionedIndex::ApplyToData(const std::vector<UpdateOp>& ops) {
+  for (const UpdateOp& op : ops) {
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      pos_by_id_[op.point.id] = data_.points.size();
+      data_.points.push_back(op.point);
+    } else {
+      auto it = pos_by_id_.find(op.point.id);
+      if (it == pos_by_id_.end()) continue;
+      const size_t pos = it->second;
+      pos_by_id_.erase(it);
+      if (pos + 1 != data_.points.size()) {
+        data_.points[pos] = data_.points.back();
+        pos_by_id_[data_.points[pos].id] = pos;
+      }
+      data_.points.pop_back();
+    }
+  }
+}
+
+void VersionedIndex::ApplyToInstance(SpatialIndex* index,
+                                     const std::vector<UpdateOp>& ops) {
+  for (const UpdateOp& op : ops) {
+    if (op.kind == UpdateOp::Kind::kInsert) {
+      index->Insert(op.point);
+    } else {
+      index->Remove(op.point);
+    }
+  }
+}
+
+}  // namespace wazi::serve

@@ -1,0 +1,229 @@
+// Snapshot-swapped index versioning: the concurrency backbone of the
+// serving engine.
+//
+// A VersionedIndex owns two instances of one index type built over the
+// same data (a left-right pair). Exactly one instance is published at a
+// time, wrapped in an immutable IndexSnapshot behind an atomic
+// std::shared_ptr. Readers call Acquire() and run any number of queries on
+// the snapshot without further synchronization — the query path of
+// SpatialIndex is const and takes explicit QueryStats, so concurrent reads
+// are data-race free, and the shared_ptr refcount keeps the snapshot's
+// instance alive (epoch-style reclamation).
+//
+// A single writer applies batched Insert/Remove ops to the *unpublished*
+// instance, publishes it with a new version, and lets the previous
+// snapshot drain. Reclamation is signalled by the retired snapshot's
+// destructor (release-store on a drain flag observed with an acquire-load
+// by the writer), so the writer never mutates an instance a reader could
+// still be scanning — and the synchronization is explicit enough for
+// ThreadSanitizer to verify. Indexes that do not support updates
+// (SupportsUpdates() == false) fall back to a full rebuild of the shadow
+// instance from the authoritative point set.
+
+#ifndef WAZI_SERVE_INDEX_SNAPSHOT_H_
+#define WAZI_SERVE_INDEX_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "index/spatial_index.h"
+#include "workload/dataset.h"
+
+// ThreadSanitizer cannot see through the lock-bit protocol inside
+// libstdc++'s std::atomic<std::shared_ptr> (plain pointer accesses guarded
+// by an embedded spin bit), so sanitizer builds swap the publication slot's
+// primitive for a mutex with identical semantics.
+#if defined(__SANITIZE_THREAD__)
+#define WAZI_SERVE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define WAZI_SERVE_TSAN 1
+#endif
+#endif
+#ifndef WAZI_SERVE_TSAN
+#define WAZI_SERVE_TSAN 0
+#endif
+
+#if WAZI_SERVE_TSAN
+#include <mutex>
+#endif
+
+namespace wazi::serve {
+
+// Creates an (unbuilt) instance of the index type being served.
+using IndexFactory = std::function<std::unique_ptr<SpatialIndex>()>;
+
+struct UpdateOp {
+  enum class Kind { kInsert, kRemove };
+  Kind kind = Kind::kInsert;
+  Point point;
+
+  static UpdateOp Insert(const Point& p) { return {Kind::kInsert, p}; }
+  static UpdateOp Remove(const Point& p) { return {Kind::kRemove, p}; }
+};
+
+// One published index version. Immutable; any thread holding a
+// shared_ptr to it may query `index()` concurrently with all others.
+class IndexSnapshot {
+ public:
+  IndexSnapshot(const SpatialIndex* index, uint64_t version,
+                std::shared_ptr<const std::vector<Point>> points,
+                std::atomic<bool>* drained)
+      : index_(index),
+        version_(version),
+        points_(std::move(points)),
+        drained_(drained) {}
+
+  ~IndexSnapshot() {
+    // Runs after the last reader released its reference; tells the writer
+    // the wrapped instance is safe to mutate again.
+    if (drained_ != nullptr) drained_->store(true, std::memory_order_release);
+  }
+
+  IndexSnapshot(const IndexSnapshot&) = delete;
+  IndexSnapshot& operator=(const IndexSnapshot&) = delete;
+
+  const SpatialIndex& index() const { return *index_; }
+  uint64_t version() const { return version_; }
+
+  // The exact point membership this snapshot serves. Null unless the
+  // owning VersionedIndex was configured with track_points (used by the
+  // concurrent stress test to verify results against brute force).
+  const std::shared_ptr<const std::vector<Point>>& points() const {
+    return points_;
+  }
+
+ private:
+  const SpatialIndex* index_;
+  uint64_t version_;
+  std::shared_ptr<const std::vector<Point>> points_;
+  std::atomic<bool>* drained_;
+};
+
+// The publication slot: one writer stores, many readers load. Lock-free
+// atomic<shared_ptr> in production builds; a mutex under TSan (see above).
+class SnapshotCell {
+ public:
+  std::shared_ptr<const IndexSnapshot> Load() const {
+#if WAZI_SERVE_TSAN
+    std::lock_guard<std::mutex> lock(mu_);
+    return ptr_;
+#else
+    return ptr_.load(std::memory_order_acquire);
+#endif
+  }
+
+  void Store(std::shared_ptr<const IndexSnapshot> snap) {
+#if WAZI_SERVE_TSAN
+    std::shared_ptr<const IndexSnapshot> old;  // destroy outside the lock
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      old.swap(ptr_);
+      ptr_ = std::move(snap);
+    }
+#else
+    ptr_.store(std::move(snap), std::memory_order_release);
+#endif
+  }
+
+ private:
+#if WAZI_SERVE_TSAN
+  mutable std::mutex mu_;
+  std::shared_ptr<const IndexSnapshot> ptr_;
+#else
+  std::atomic<std::shared_ptr<const IndexSnapshot>> ptr_;
+#endif
+};
+
+struct VersionedIndexOptions {
+  // When true, every snapshot carries an immutable copy of the point set
+  // it serves (O(n) copy per publish — testing/verification only).
+  bool track_points = false;
+};
+
+// Thread-safety contract: Acquire()/version() from any thread; everything
+// else (ApplyBatch, Rebuild, data accessors) from ONE writer thread. All
+// snapshots must be released before the VersionedIndex is destroyed.
+class VersionedIndex {
+ public:
+  VersionedIndex(IndexFactory factory, const Dataset& data,
+                 const Workload& workload, const BuildOptions& build_opts,
+                 VersionedIndexOptions opts = {});
+  ~VersionedIndex();
+
+  VersionedIndex(const VersionedIndex&) = delete;
+  VersionedIndex& operator=(const VersionedIndex&) = delete;
+
+  // Wait-free on the reader's side of the swap: one atomic shared_ptr load.
+  std::shared_ptr<const IndexSnapshot> Acquire() const { return live_.Load(); }
+
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  // Query-domain rectangle (immutable after construction; safe anywhere).
+  const Rect& domain() const { return domain_; }
+
+  // --- single-writer API ---
+
+  // Applies `ops` to the authoritative point set and the shadow instance,
+  // then publishes the shadow as the new live snapshot. Blocks until the
+  // snapshot that previously wrapped the shadow instance has drained —
+  // writer backpressure bounded by the longest reader-held snapshot, so
+  // readers must hold snapshots per query (or query block), not park them.
+  void ApplyBatch(const std::vector<UpdateOp>& ops);
+
+  // Rebuilds the shadow instance from the authoritative point set against
+  // `workload` (the drift-triggered re-optimization path) and publishes it.
+  void Rebuild(const Workload& workload);
+
+  // Authoritative state, writer thread only.
+  size_t num_points() const { return data_.points.size(); }
+  const Dataset& data() const { return data_; }
+
+ private:
+  // Blocks until the shadow instance's last snapshot has drained, then
+  // brings the instance up to date with every batch it missed (or rebuilds
+  // it outright if a rebuild superseded those batches). Pass catch_up =
+  // false when the caller rebuilds the instance from data_ anyway.
+  SpatialIndex* AcquireShadow(bool catch_up = true);
+  // Wraps the shadow in a new snapshot and swaps it live.
+  void PublishShadow();
+  // Drops ops that would desynchronize the id-keyed authoritative set from
+  // the coordinate-keyed index instances: duplicate-id inserts, removes of
+  // absent ids, removes with stale coordinates.
+  std::vector<UpdateOp> SanitizeOps(const std::vector<UpdateOp>& ops);
+  // Applies ops to the authoritative point set (id-keyed removal).
+  void ApplyToData(const std::vector<UpdateOp>& ops);
+  static void ApplyToInstance(SpatialIndex* index,
+                              const std::vector<UpdateOp>& ops);
+
+  IndexFactory factory_;
+  BuildOptions build_opts_;
+  VersionedIndexOptions opts_;
+  Rect domain_;
+
+  Dataset data_;             // authoritative point set
+  Workload last_workload_;   // workload of the most recent (re)build
+  std::unordered_map<int64_t, size_t> pos_by_id_;  // id -> index in data_
+
+  std::unique_ptr<SpatialIndex> inst_[2];
+  std::atomic<bool> drained_[2];  // instance safe to mutate again
+  uint64_t applied_through_[2] = {0, 0};  // last version each instance has
+  uint64_t last_rebuild_version_ = 0;
+  // Batches newer than min(applied_through_), so the shadow can catch up.
+  std::deque<std::pair<uint64_t, std::vector<UpdateOp>>> recent_batches_;
+  int live_slot_ = 0;
+  bool supports_updates_ = false;
+
+  std::atomic<uint64_t> version_{0};
+  SnapshotCell live_;
+};
+
+}  // namespace wazi::serve
+
+#endif  // WAZI_SERVE_INDEX_SNAPSHOT_H_

@@ -1,0 +1,61 @@
+// Per-thread latency capture with percentile extraction for the serving
+// benchmarks. A bounded ring keeps the most recent `capacity` samples (the
+// steady-state window of a serving run); Record() is single-threaded, one
+// recorder per client thread, merged after the threads join.
+
+#ifndef WAZI_SERVE_LATENCY_RECORDER_H_
+#define WAZI_SERVE_LATENCY_RECORDER_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wazi::serve {
+
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(size_t capacity = 1 << 16) : capacity_(capacity) {
+    samples_.reserve(std::min<size_t>(capacity_, 1 << 12));
+  }
+
+  void Record(int64_t ns) {
+    if (capacity_ == 0) {  // counting-only recorder
+      ++count_;
+      return;
+    }
+    if (samples_.size() < capacity_) {
+      samples_.push_back(ns);
+    } else {
+      samples_[count_ % capacity_] = ns;
+    }
+    ++count_;
+  }
+
+  // Folds another recorder's *retained* samples in. Size this recorder's
+  // capacity to the sum of the sources' windows to merge losslessly.
+  void Merge(const LatencyRecorder& other) {
+    for (int64_t ns : other.samples_) Record(ns);
+  }
+
+  // pct in [0, 100]; 0 with no samples.
+  int64_t PercentileNs(double pct) const {
+    if (samples_.empty()) return 0;
+    std::vector<int64_t> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const double rank = pct / 100.0 * static_cast<double>(sorted.size() - 1);
+    return sorted[static_cast<size_t>(rank + 0.5)];
+  }
+
+  // Total operations recorded (can exceed the retained sample count).
+  size_t count() const { return count_; }
+
+ private:
+  size_t capacity_;
+  size_t count_ = 0;
+  std::vector<int64_t> samples_;
+};
+
+}  // namespace wazi::serve
+
+#endif  // WAZI_SERVE_LATENCY_RECORDER_H_

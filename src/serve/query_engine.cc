@@ -1,0 +1,89 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+
+#include "index/knn.h"
+
+namespace wazi::serve {
+
+namespace {
+
+struct alignas(64) PaddedStats {
+  QueryStats stats;
+};
+
+}  // namespace
+
+QueryEngine::QueryEngine(const VersionedIndex* index, int num_threads)
+    : index_(index), pool_(num_threads) {}
+
+void QueryEngine::ExecuteBatch(const std::vector<QueryRequest>& requests,
+                               std::vector<QueryResult>* results) {
+  const size_t n = requests.size();
+  results->clear();
+  results->resize(n);
+  if (n == 0) return;
+  const size_t workers =
+      std::min(n, static_cast<size_t>(pool_.num_threads()));
+  const size_t block = (n + workers - 1) / workers;
+  // Per-block counters local to this batch: concurrent ExecuteBatch calls
+  // from different client threads never share a counter slot.
+  std::vector<PaddedStats> block_stats(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    const size_t begin = w * block;
+    const size_t end = std::min(n, begin + block);
+    if (begin >= end) break;
+    pool_.Submit([this, &requests, results, &block_stats, begin, end, w] {
+      QueryStats* stats = &block_stats[w].stats;
+      // One snapshot per block: wait-free for the block's duration.
+      const auto snap = index_->Acquire();
+      for (size_t i = begin; i < end; ++i) {
+        (*results)[i] = ExecuteOn(*snap, requests[i], stats);
+      }
+    });
+  }
+  pool_.Wait();
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  for (const PaddedStats& ps : block_stats) batch_stats_.Add(ps.stats);
+}
+
+QueryResult QueryEngine::Execute(const QueryRequest& request,
+                                 QueryStats* stats) const {
+  QueryStats discard;
+  const auto snap = index_->Acquire();
+  return ExecuteOn(*snap, request, stats != nullptr ? stats : &discard);
+}
+
+QueryResult QueryEngine::ExecuteOn(const IndexSnapshot& snap,
+                                   const QueryRequest& request,
+                                   QueryStats* stats) const {
+  QueryResult result;
+  result.snapshot_version = snap.version();
+  switch (request.type) {
+    case QueryRequest::Type::kRange:
+      snap.index().RangeQuery(request.rect, &result.hits, stats);
+      break;
+    case QueryRequest::Type::kPoint:
+      result.found = snap.index().PointQuery(request.point, stats);
+      break;
+    case QueryRequest::Type::kKnn:
+      result.hits = KnnByRangeExpansion(snap.index(), request.point,
+                                        static_cast<size_t>(request.k),
+                                        index_->domain(), stats)
+                        .neighbors;
+      break;
+  }
+  return result;
+}
+
+QueryStats QueryEngine::aggregated_stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return batch_stats_;
+}
+
+void QueryEngine::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  batch_stats_.Reset();
+}
+
+}  // namespace wazi::serve

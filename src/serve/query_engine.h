@@ -1,0 +1,93 @@
+// Multi-threaded query execution over a VersionedIndex: batches of range /
+// point / kNN requests fan out across a ThreadPool, each worker querying
+// the snapshot that was live when its block started, with work counters
+// accumulated into per-thread (cache-line padded) QueryStats.
+
+#ifndef WAZI_SERVE_QUERY_ENGINE_H_
+#define WAZI_SERVE_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "index/spatial_index.h"
+#include "serve/index_snapshot.h"
+#include "serve/thread_pool.h"
+
+namespace wazi::serve {
+
+struct QueryRequest {
+  enum class Type { kRange, kPoint, kKnn };
+  Type type = Type::kRange;
+  Rect rect;    // kRange
+  Point point;  // kPoint target / kKnn center
+  int k = 0;    // kKnn
+
+  static QueryRequest Range(const Rect& r) {
+    QueryRequest q;
+    q.type = Type::kRange;
+    q.rect = r;
+    return q;
+  }
+  static QueryRequest PointLookup(const Point& p) {
+    QueryRequest q;
+    q.type = Type::kPoint;
+    q.point = p;
+    return q;
+  }
+  static QueryRequest Knn(const Point& center, int k) {
+    QueryRequest q;
+    q.type = Type::kKnn;
+    q.point = center;
+    q.k = k;
+    return q;
+  }
+};
+
+struct QueryResult {
+  std::vector<Point> hits;       // range hits / kNN neighbors (sorted)
+  bool found = false;            // point lookup outcome
+  uint64_t snapshot_version = 0; // the snapshot this query ran on
+};
+
+class QueryEngine {
+ public:
+  // `index` must outlive the engine. `num_threads` workers execute batches.
+  QueryEngine(const VersionedIndex* index, int num_threads);
+
+  // Executes requests[i] into (*results)[i] across the worker pool; blocks
+  // until the whole batch is done. Workers acquire the live snapshot once
+  // per block, so one batch may straddle a snapshot swap (each result
+  // records the version it ran on). Safe to call from multiple threads;
+  // concurrent batches share the pool, so each also waits out the other's
+  // in-flight tasks.
+  void ExecuteBatch(const std::vector<QueryRequest>& requests,
+                    std::vector<QueryResult>* results);
+
+  // Executes one request on the calling thread (external client threads
+  // drive the engine through this). `stats` must be a caller-owned counter
+  // block when called concurrently; it may be null to discard the counters.
+  QueryResult Execute(const QueryRequest& request, QueryStats* stats) const;
+
+  // Sum of the counters accumulated by every completed ExecuteBatch call.
+  QueryStats aggregated_stats() const;
+  void ResetStats();
+
+  int num_threads() const { return pool_.num_threads(); }
+
+ private:
+  QueryResult ExecuteOn(const IndexSnapshot& snap, const QueryRequest& request,
+                        QueryStats* stats) const;
+
+  const VersionedIndex* index_;
+  ThreadPool pool_;
+  // Batch counters are accumulated in per-block (cache-line padded) locals
+  // during execution and folded in here once the batch completes, so
+  // concurrent ExecuteBatch calls never share a counter block.
+  mutable std::mutex stats_mu_;
+  QueryStats batch_stats_;
+};
+
+}  // namespace wazi::serve
+
+#endif  // WAZI_SERVE_QUERY_ENGINE_H_

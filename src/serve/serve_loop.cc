@@ -1,0 +1,174 @@
+#include "serve/serve_loop.h"
+
+#include <chrono>
+#include <utility>
+
+namespace wazi::serve {
+
+ServeLoop::ServeLoop(IndexFactory factory, const Dataset& data,
+                     const Workload& workload, const BuildOptions& build_opts,
+                     ServeOptions opts)
+    : opts_(opts),
+      initial_workload_(workload),
+      index_(std::move(factory), data, workload, build_opts,
+             VersionedIndexOptions{opts.track_points}),
+      engine_(&index_, opts.num_threads),
+      monitor_(opts.drift) {
+  recent_.resize(opts_.recent_window);
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+ServeLoop::~ServeLoop() { Stop(); }
+
+QueryResult ServeLoop::Range(const Rect& query, QueryStats* stats) {
+  QueryStats qs;
+  QueryResult result = engine_.Execute(QueryRequest::Range(query), &qs);
+  Observe(&query, qs);
+  if (stats != nullptr) stats->Add(qs);
+  return result;
+}
+
+bool ServeLoop::PointLookup(const Point& p, QueryStats* stats) {
+  QueryStats qs;
+  QueryResult result = engine_.Execute(QueryRequest::PointLookup(p), &qs);
+  // Point lookups carry no rectangle and touch O(1) work; they do not feed
+  // the drift monitor.
+  if (stats != nullptr) stats->Add(qs);
+  return result.found;
+}
+
+QueryResult ServeLoop::Knn(const Point& center, int k, QueryStats* stats) {
+  QueryStats qs;
+  QueryResult result = engine_.Execute(QueryRequest::Knn(center, k), &qs);
+  Observe(nullptr, qs);
+  if (stats != nullptr) stats->Add(qs);
+  return result;
+}
+
+void ServeLoop::ExecuteBatch(const std::vector<QueryRequest>& requests,
+                             std::vector<QueryResult>* results) {
+  engine_.ExecuteBatch(requests, results);
+}
+
+void ServeLoop::SubmitInsert(const Point& p) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(UpdateOp::Insert(p));
+    ++submitted_;
+  }
+  queue_cv_.notify_one();
+}
+
+void ServeLoop::SubmitRemove(const Point& p) {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    queue_.push_back(UpdateOp::Remove(p));
+    ++submitted_;
+  }
+  queue_cv_.notify_one();
+}
+
+void ServeLoop::TriggerRebuild() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    rebuild_requested_ = true;
+  }
+  queue_cv_.notify_one();
+}
+
+void ServeLoop::Flush() {
+  std::unique_lock<std::mutex> lock(queue_mu_);
+  flush_cv_.wait(lock, [this] { return applied_ == submitted_; });
+}
+
+void ServeLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  queue_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+double ServeLoop::drift_ratio() {
+  std::lock_guard<std::mutex> lock(monitor_mu_);
+  return monitor_.drift_ratio();
+}
+
+void ServeLoop::WriterLoop() {
+  const auto poll = std::chrono::milliseconds(opts_.drift_poll_ms);
+  for (;;) {
+    std::vector<UpdateOp> batch;
+    bool rebuild = false;
+    bool stopping = false;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait_for(lock, poll, [this] {
+        return stop_ || rebuild_requested_ || !queue_.empty();
+      });
+      stopping = stop_;
+      if (stopping && queue_.empty() && !rebuild_requested_) break;
+      const size_t take = std::min(queue_.size(), opts_.writer_batch_limit);
+      batch.assign(queue_.begin(), queue_.begin() + take);
+      queue_.erase(queue_.begin(), queue_.begin() + take);
+      rebuild = rebuild_requested_;
+      rebuild_requested_ = false;
+    }
+
+    if (!batch.empty()) index_.ApplyBatch(batch);
+
+    if (!rebuild && opts_.auto_rebuild && !stopping) {
+      std::lock_guard<std::mutex> lock(monitor_mu_);
+      rebuild = monitor_.rebuild_recommended();
+    }
+    if (rebuild) {
+      Workload recent;
+      {
+        std::lock_guard<std::mutex> lock(monitor_mu_);
+        recent = RecentWorkloadLocked();
+      }
+      index_.Rebuild(recent);
+      {
+        std::lock_guard<std::mutex> lock(monitor_mu_);
+        monitor_.ResetAfterRebuild();
+      }
+      rebuilds_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    if (!batch.empty()) {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      applied_ += batch.size();
+      if (applied_ == submitted_) flush_cv_.notify_all();
+    }
+  }
+}
+
+void ServeLoop::Observe(const Rect* query, const QueryStats& stats) {
+  // try_lock == sampling: under heavy reader contention most observations
+  // are dropped instead of serializing the hot path on this mutex.
+  std::unique_lock<std::mutex> lock(monitor_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  monitor_.Observe(stats.points_scanned, stats.results);
+  if (query != nullptr && !recent_.empty()) {
+    recent_[recent_next_] = *query;
+    recent_next_ = (recent_next_ + 1) % recent_.size();
+    if (recent_count_ < recent_.size()) ++recent_count_;
+  }
+}
+
+Workload ServeLoop::RecentWorkloadLocked() {
+  // Too few live observations to characterize the workload — fall back to
+  // the build-time one.
+  if (recent_count_ < 32) return initial_workload_;
+  Workload w;
+  w.name = "recent";
+  w.selectivity = initial_workload_.selectivity;
+  w.queries.reserve(recent_count_);
+  for (size_t i = 0; i < recent_count_; ++i) {
+    w.queries.push_back(recent_[i]);
+  }
+  return w;
+}
+
+}  // namespace wazi::serve

@@ -1,0 +1,125 @@
+// The serving front end: glues the snapshot-swapped index, the query
+// engine, and the drift monitor into one online system.
+//
+//   * Any number of client threads issue range / point / kNN queries; each
+//     runs wait-free on the current snapshot.
+//   * Updates are enqueued from any thread and applied by ONE background
+//     writer thread in batches, each batch ending in a snapshot swap.
+//   * Every served query feeds the DriftMonitor (sampled under contention
+//     via try_lock) and a ring of recent query rectangles. When the
+//     monitor reports drift — the layout no longer fits the workload —
+//     the writer rebuilds the index against the recent workload in the
+//     background and swaps it in. Workload-awareness becomes an online
+//     property instead of a build-time one.
+
+#ifndef WAZI_SERVE_SERVE_LOOP_H_
+#define WAZI_SERVE_SERVE_LOOP_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/drift_monitor.h"
+#include "serve/index_snapshot.h"
+#include "serve/query_engine.h"
+
+namespace wazi::serve {
+
+struct ServeOptions {
+  // Worker threads of the batch query engine.
+  int num_threads = 4;
+  // Max update ops applied per snapshot publish.
+  size_t writer_batch_limit = 256;
+  // Writer wake-up period for drift checks when no updates arrive.
+  int drift_poll_ms = 20;
+  DriftMonitorOptions drift;
+  // Rebuild in the background when the drift monitor recommends it.
+  bool auto_rebuild = true;
+  // Snapshots carry their exact point membership (testing only; O(n) copy
+  // per publish).
+  bool track_points = false;
+  // Capacity of the recent-query ring that seeds drift-triggered rebuilds.
+  size_t recent_window = 2048;
+};
+
+// Thread-safety: queries and SubmitInsert/SubmitRemove/TriggerRebuild may
+// be called from any thread. Client threads must be joined before the
+// ServeLoop is destroyed.
+class ServeLoop {
+ public:
+  ServeLoop(IndexFactory factory, const Dataset& data,
+            const Workload& workload, const BuildOptions& build_opts,
+            ServeOptions opts = {});
+  ~ServeLoop();
+
+  ServeLoop(const ServeLoop&) = delete;
+  ServeLoop& operator=(const ServeLoop&) = delete;
+
+  // --- queries (any thread; executed on the calling thread) ---
+  // Pass a caller-owned `stats` to keep the counters; they feed the drift
+  // monitor either way.
+  QueryResult Range(const Rect& query, QueryStats* stats = nullptr);
+  bool PointLookup(const Point& p, QueryStats* stats = nullptr);
+  QueryResult Knn(const Point& center, int k, QueryStats* stats = nullptr);
+  // Fan a batch out across the engine's worker pool.
+  void ExecuteBatch(const std::vector<QueryRequest>& requests,
+                    std::vector<QueryResult>* results);
+
+  // --- updates (any thread; applied by the writer in batches) ---
+  void SubmitInsert(const Point& p);
+  void SubmitRemove(const Point& p);
+  // Ask the writer for an immediate background rebuild + swap.
+  void TriggerRebuild();
+  // Blocks until every update submitted so far has been applied.
+  void Flush();
+
+  // Stops the writer thread after draining pending updates (idempotent;
+  // the destructor calls it).
+  void Stop();
+
+  // --- introspection ---
+  uint64_t version() const { return index_.version(); }
+  int64_t rebuilds() const {
+    return rebuilds_.load(std::memory_order_relaxed);
+  }
+  double drift_ratio();
+  VersionedIndex& versioned_index() { return index_; }
+  QueryEngine& engine() { return engine_; }
+
+ private:
+  void WriterLoop();
+  void Observe(const Rect* query, const QueryStats& stats);
+  Workload RecentWorkloadLocked();  // caller holds monitor_mu_
+
+  ServeOptions opts_;
+  Workload initial_workload_;
+  VersionedIndex index_;
+  QueryEngine engine_;
+
+  // Drift state, shared by all client threads (try_lock sampling).
+  std::mutex monitor_mu_;
+  DriftMonitor monitor_;
+  std::vector<Rect> recent_;  // ring buffer of served query rects
+  size_t recent_next_ = 0;
+  size_t recent_count_ = 0;
+
+  // Update queue, client threads -> writer.
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;  // writer: ops pending / stop
+  std::condition_variable flush_cv_;  // Flush(): all ops applied
+  std::vector<UpdateOp> queue_;
+  uint64_t submitted_ = 0;
+  uint64_t applied_ = 0;
+  bool rebuild_requested_ = false;
+  bool stop_ = false;
+
+  std::atomic<int64_t> rebuilds_{0};
+  std::thread writer_;
+};
+
+}  // namespace wazi::serve
+
+#endif  // WAZI_SERVE_SERVE_LOOP_H_

@@ -1,0 +1,49 @@
+// Fixed-size worker pool used by the query engine. Deliberately minimal:
+// a mutex-protected FIFO plus a drain barrier (`Wait`), which is all batch
+// query execution needs. Tasks must not throw.
+
+#ifndef WAZI_SERVE_THREAD_POOL_H_
+#define WAZI_SERVE_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace wazi::serve {
+
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+  // Finishes every queued task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  // Blocks until every task submitted so far has finished running.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_cv_;  // workers: new task or shutdown
+  std::condition_variable idle_cv_;  // Wait(): all tasks finished
+  int64_t unfinished_ = 0;           // queued + running tasks
+  bool stop_ = false;
+};
+
+}  // namespace wazi::serve
+
+#endif  // WAZI_SERVE_THREAD_POOL_H_

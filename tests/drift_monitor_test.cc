@@ -90,12 +90,10 @@ TEST(DriftMonitorTest, DetectsRealWorkloadDrift) {
   auto run = [&](const Workload& w) {
     std::vector<Point> sink;
     for (const Rect& q : w.queries) {
-      const int64_t scanned_before = index.stats().points_scanned;
-      const int64_t results_before = index.stats().results;
+      QueryStats qs;
       sink.clear();
-      index.RangeQuery(q, &sink);
-      monitor.Observe(index.stats().points_scanned - scanned_before,
-                      index.stats().results - results_before);
+      index.RangeQuery(q, &sink, &qs);
+      monitor.Observe(qs.points_scanned, qs.results);
     }
   };
   run(s.workload);  // calibrate + stable phase

@@ -9,20 +9,35 @@
 //   wazi_cli query      --index-file index.bin --rect 0.4,0.2,0.48,0.28
 //   wazi_cli point      --index-file index.bin --at 0.44,0.24
 //   wazi_cli stats      --index-file index.bin
+//   wazi_cli throughput --threads 4 --mix 95r/5w --n 200000 --seconds 3
+//                       [--region CaliNev --index wazi --queries 2000
+//                        --selectivity 0.0256%]
+//
+// `throughput` (alias: `serve`) drives the concurrent serving engine
+// (src/serve/): N client threads issue range queries against the live
+// snapshot while writes stream through the background writer, and the
+// command reports QPS plus latency percentiles.
 //
 // The persisted format only covers the Z-index family (wazi/base); the
 // other baselines are in-memory research comparators.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "common/rng.h"
 #include "common/timer.h"
 #include "core/serialize.h"
 #include "core/wazi.h"
+#include "serve/client_driver.h"
+#include "serve/serve_loop.h"
 #include "workload/io.h"
 #include "workload/query_generator.h"
 #include "workload/region_generator.h"
@@ -234,10 +249,98 @@ int CmdStats(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// "95r/5w" -> 5 (write percentage); "100r" -> 0. Returns -1 on bad input.
+int ParseWritePct(const std::string& mix) {
+  char* end = nullptr;
+  const long reads = std::strtol(mix.c_str(), &end, 10);
+  if (end == mix.c_str() || *end != 'r' || reads < 0 || reads > 100) {
+    return -1;
+  }
+  return static_cast<int>(100 - reads);
+}
+
+int CmdThroughput(const std::map<std::string, std::string>& flags) {
+  const Region region = RequireRegion(flags);
+  const size_t n =
+      std::strtoull(FlagOr(flags, "n", "200000").c_str(), nullptr, 10);
+  const int threads = static_cast<int>(
+      std::strtol(FlagOr(flags, "threads", "4").c_str(), nullptr, 10));
+  const int write_pct = ParseWritePct(FlagOr(flags, "mix", "95r/5w"));
+  const double seconds =
+      std::strtod(FlagOr(flags, "seconds", "3").c_str(), nullptr);
+  const std::string index_name = FlagOr(flags, "index", "wazi");
+  if (threads < 1 || write_pct < 0 || seconds <= 0.0) {
+    std::fprintf(stderr,
+                 "--threads wants >= 1, --mix wants e.g. 95r/5w, "
+                 "--seconds wants > 0\n");
+    return 2;
+  }
+  if (MakeIndex(index_name) == nullptr) {
+    std::fprintf(stderr, "unknown index '%s'; known:", index_name.c_str());
+    for (const std::string& known : AllIndexNames()) {
+      std::fprintf(stderr, " %s", known.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 2;
+  }
+
+  QueryGenOptions qopts;
+  qopts.num_queries =
+      std::strtoull(FlagOr(flags, "queries", "2000").c_str(), nullptr, 10);
+  qopts.selectivity = ParseSelectivity(FlagOr(flags, "selectivity", "0.0256%"));
+  qopts.seed = 7;
+  if (qopts.num_queries == 0) {
+    std::fprintf(stderr, "--queries wants >= 1\n");
+    return 2;
+  }
+  const Dataset data = GenerateRegion(region, n, /*seed=*/42);
+  const Workload workload =
+      GenerateCheckinWorkload(region, Rect::Of(0, 0, 1, 1), qopts);
+
+  std::fprintf(stderr, "building 2x %s over %zu points...\n",
+               index_name.c_str(), data.size());
+  Timer build_timer;
+  serve::ServeOptions sopts;
+  sopts.num_threads = 1;  // client threads below execute queries themselves
+  serve::ServeLoop loop([&index_name] { return MakeIndex(index_name); }, data,
+                        workload, BuildOptions{}, sopts);
+  std::fprintf(stderr, "built in %.1fs; serving %.1fs on %d threads "
+               "(%d%% writes, %u hw threads)\n",
+               build_timer.ElapsedSeconds(), seconds, threads, write_pct,
+               std::thread::hardware_concurrency());
+
+  serve::ClientLoadOptions copts;
+  copts.threads = threads;
+  copts.write_pct = write_pct;
+  copts.seconds = seconds;
+  const serve::ClientLoadResult load =
+      serve::RunClientLoad(loop, workload, copts);
+
+  std::printf("threads:        %d\n", threads);
+  std::printf("mix:            %dr/%dw\n", 100 - write_pct, write_pct);
+  std::printf("queries:        %lld (%.0f QPS)\n",
+              static_cast<long long>(load.queries),
+              static_cast<double>(load.queries) / load.elapsed_seconds);
+  std::printf("writes:         %lld (%.0f/s)\n",
+              static_cast<long long>(load.writes),
+              static_cast<double>(load.writes) / load.elapsed_seconds);
+  std::printf("latency p50:    %lldns\n",
+              static_cast<long long>(load.latencies.PercentileNs(50)));
+  std::printf("latency p90:    %lldns\n",
+              static_cast<long long>(load.latencies.PercentileNs(90)));
+  std::printf("latency p99:    %lldns\n",
+              static_cast<long long>(load.latencies.PercentileNs(99)));
+  std::printf("snapshots:      %llu versions published, %lld drift rebuilds\n",
+              static_cast<unsigned long long>(loop.version()),
+              static_cast<long long>(loop.rebuilds()));
+  return 0;
+}
+
 void Usage() {
   std::fprintf(
       stderr,
-      "usage: wazi_cli <generate|genqueries|build|query|point|stats> "
+      "usage: wazi_cli "
+      "<generate|genqueries|build|query|point|stats|throughput> "
       "[--flag value ...]\n"
       "see the header of tools/wazi_cli.cc for per-command flags\n");
 }
@@ -257,6 +360,7 @@ int main(int argc, char** argv) {
   if (cmd == "query") return CmdQuery(flags);
   if (cmd == "point") return CmdPoint(flags);
   if (cmd == "stats") return CmdStats(flags);
+  if (cmd == "throughput" || cmd == "serve") return CmdThroughput(flags);
   Usage();
   return 2;
 }
