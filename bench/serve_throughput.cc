@@ -1,20 +1,26 @@
 // Serving-engine throughput: QPS and latency percentiles versus client
-// thread count, read-only and mixed 95% read / 5% write, over the
-// snapshot-swapped index (src/serve/).
+// thread count AND shard count, read-only and mixed 95% read / 5% write,
+// over the sharded snapshot-swapped index (src/serve/).
 //
 // Client threads drive ServeLoop::Range directly (the serving model:
-// every client thread executes on the live snapshot, wait-free); writes
-// are enqueued to the background writer, which applies them in batches
-// ending in snapshot swaps. Read-only QPS should scale with threads up
-// to the hardware's core count — the printed hw_threads column tells you
-// how far that is on the current machine.
+// every client thread executes on the live per-shard snapshots,
+// wait-free); writes are routed to the owning shard's background writer,
+// which applies them in batches ending in per-shard snapshot swaps.
+// Read-only QPS should scale with threads up to the hardware's core count,
+// and the mixed-workload QPS should scale with shards: each shard has its
+// own writer, so update application no longer serializes behind one
+// thread, and each sub-query runs on an index 1/shards the size.
+//
+//   bench_serve_throughput [--shards 1,4] [--threads 1,2,4,8]
 //
 //   WAZI_SCALE=smoke|default|paper   (50k / 1M / 8M points)
 //   WAZI_SERVE_INDEX=wazi|base|flood|...   (default wazi)
 //   WAZI_SERVE_SECONDS=<per-cell duration, default 1.5 (smoke 0.3)>
+//   WAZI_SERVE_SHARDS=<default for --shards>
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <thread>
@@ -71,7 +77,29 @@ std::string FormatQps(double qps) {
   return buf;
 }
 
-int Main() {
+// "1,4" -> {1, 4}. Exits on malformed input.
+std::vector<int> ParseIntList(const char* arg, const char* flag) {
+  std::vector<int> values;
+  const char* p = arg;
+  char* end = nullptr;
+  while (*p != '\0') {
+    const long v = std::strtol(p, &end, 10);
+    if (end == p || v < 1) {
+      std::fprintf(stderr, "%s wants a comma-separated list of ints >= 1\n",
+                   flag);
+      std::exit(2);
+    }
+    values.push_back(static_cast<int>(v));
+    p = (*end == ',') ? end + 1 : end;
+  }
+  if (values.empty()) {
+    std::fprintf(stderr, "%s wants at least one value\n", flag);
+    std::exit(2);
+  }
+  return values;
+}
+
+int Main(int argc, char** argv) {
   const Scale& scale = CurrentScale();
   const size_t n = scale.name == "smoke"    ? 50000
                    : scale.name == "paper" ? 8000000
@@ -83,39 +111,75 @@ int Main() {
                          : scale.name == "smoke" ? 0.3
                                                  : 1.5;
 
+  const char* shards_env = std::getenv("WAZI_SERVE_SHARDS");
+  std::vector<int> shard_counts =
+      ParseIntList(shards_env != nullptr ? shards_env : "1,4", "--shards");
+  std::vector<int> thread_counts = {1, 2, 4, 8};
+  int argi = 1;
+  for (; argi + 1 < argc; argi += 2) {
+    if (std::strcmp(argv[argi], "--shards") == 0) {
+      shard_counts = ParseIntList(argv[argi + 1], "--shards");
+    } else if (std::strcmp(argv[argi], "--threads") == 0) {
+      thread_counts = ParseIntList(argv[argi + 1], "--threads");
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (known: --shards --threads)\n",
+                   argv[argi]);
+      return 2;
+    }
+  }
+  if (argi < argc) {
+    std::fprintf(stderr, "flag '%s' is missing its value\n", argv[argi]);
+    return 2;
+  }
+
   const Dataset& data = GetDataset(Region::kCaliNev, n);
   const Workload& workload =
       GetWorkload(Region::kCaliNev, scale.num_queries, 0.000256);
 
-  std::fprintf(stderr, "[serve] building 2x %s over %zu points...\n",
-               index_name.c_str(), data.size());
-  Timer build_timer;
-  ServeOptions opts;
-  opts.num_threads = 1;      // client threads execute queries themselves
-  opts.auto_rebuild = false; // keep cells comparable
-  ServeLoop loop([&index_name] { return MakeIndex(index_name); }, data,
-                 workload, BuildOptions{}, opts);
-  std::fprintf(stderr, "[serve] built in %.1fs; hw_threads=%u\n",
-               build_timer.ElapsedSeconds(),
-               std::thread::hardware_concurrency());
-
-  const std::vector<int> thread_counts = {1, 2, 4, 8};
   std::vector<std::vector<std::string>> rows;
+  double mixed_qps_by_shards_lo = 0.0, mixed_qps_by_shards_hi = 0.0;
   double read_qps_1 = 0.0, read_qps_8 = 0.0;
-  for (const int write_pct : {0, 5}) {
-    const std::string mode = write_pct == 0 ? "read-only" : "95r/5w";
-    for (const int threads : thread_counts) {
-      const CellResult cell =
-          RunCell(loop, workload, threads, write_pct, seconds);
-      if (write_pct == 0 && threads == 1) read_qps_1 = cell.qps;
-      if (write_pct == 0 && threads == 8) read_qps_8 = cell.qps;
-      rows.push_back({mode, std::to_string(threads), FormatQps(cell.qps),
-                      FormatNs(static_cast<double>(cell.p50_ns)),
-                      FormatNs(static_cast<double>(cell.p90_ns)),
-                      FormatNs(static_cast<double>(cell.p99_ns)),
-                      FormatQps(cell.writes_per_s)});
-      std::fprintf(stderr, "[serve] %s threads=%d done (%.0f q/s)\n",
-                   mode.c_str(), threads, cell.qps);
+  const int mixed_ref_threads = thread_counts.back();
+  for (const int shards : shard_counts) {
+    std::fprintf(stderr,
+                 "[serve] building %d shard(s) of %s over %zu points...\n",
+                 shards, index_name.c_str(), data.size());
+    Timer build_timer;
+    ServeOptions opts;
+    opts.num_shards = shards;
+    opts.num_threads = 1;      // client threads execute queries themselves
+    opts.auto_rebuild = false; // keep cells comparable
+    opts.writer_coalesce_ms = 8;
+    ServeLoop loop([&index_name] { return MakeIndex(index_name); }, data,
+                   workload, BuildOptions{}, opts);
+    std::fprintf(stderr, "[serve] built in %.1fs; hw_threads=%u\n",
+                 build_timer.ElapsedSeconds(),
+                 std::thread::hardware_concurrency());
+
+    for (const int write_pct : {0, 5}) {
+      const std::string mode = write_pct == 0 ? "read-only" : "95r/5w";
+      for (const int threads : thread_counts) {
+        const CellResult cell =
+            RunCell(loop, workload, threads, write_pct, seconds);
+        if (write_pct == 0 && threads == 1 && shards == shard_counts.front()) {
+          read_qps_1 = cell.qps;
+        }
+        if (write_pct == 0 && threads == 8 && shards == shard_counts.front()) {
+          read_qps_8 = cell.qps;
+        }
+        if (write_pct == 5 && threads == mixed_ref_threads) {
+          if (shards == shard_counts.front()) mixed_qps_by_shards_lo = cell.qps;
+          if (shards == shard_counts.back()) mixed_qps_by_shards_hi = cell.qps;
+        }
+        rows.push_back({std::to_string(shards), mode, std::to_string(threads),
+                        FormatQps(cell.qps),
+                        FormatNs(static_cast<double>(cell.p50_ns)),
+                        FormatNs(static_cast<double>(cell.p90_ns)),
+                        FormatNs(static_cast<double>(cell.p99_ns)),
+                        FormatQps(cell.writes_per_s)});
+        std::fprintf(stderr, "[serve] shards=%d %s threads=%d done (%.0f q/s)\n",
+                     shards, mode.c_str(), threads, cell.qps);
+      }
     }
   }
 
@@ -125,11 +189,17 @@ int Main() {
                 "%u hw threads)",
                 index_name.c_str(), data.size(), seconds,
                 std::thread::hardware_concurrency());
-  PrintTable(title, {"mode", "threads", "QPS", "p50", "p90", "p99", "w/s"},
+  PrintTable(title,
+             {"shards", "mode", "threads", "QPS", "p50", "p90", "p99", "w/s"},
              rows);
-  if (read_qps_1 > 0.0) {
-    std::printf("\nread-only scaling 1 -> 8 threads: %.2fx\n",
-                read_qps_8 / read_qps_1);
+  if (read_qps_1 > 0.0 && read_qps_8 > 0.0) {
+    std::printf("\nread-only scaling 1 -> 8 threads (shards=%d): %.2fx\n",
+                shard_counts.front(), read_qps_8 / read_qps_1);
+  }
+  if (shard_counts.size() > 1 && mixed_qps_by_shards_lo > 0.0) {
+    std::printf("95r/5w QPS at %d threads, shards %d -> %d: %.2fx\n",
+                mixed_ref_threads, shard_counts.front(), shard_counts.back(),
+                mixed_qps_by_shards_hi / mixed_qps_by_shards_lo);
   }
   return 0;
 }
@@ -137,4 +207,4 @@ int Main() {
 }  // namespace
 }  // namespace wazi::bench
 
-int main() { return wazi::bench::Main(); }
+int main(int argc, char** argv) { return wazi::bench::Main(argc, argv); }

@@ -30,6 +30,14 @@ struct Point {
 // strict). Used by the Z-order monotonicity property tests.
 bool Dominates(const Point& b, const Point& a);
 
+// Squared Euclidean distance (the kNN ordering metric; comparisons never
+// need the square root).
+inline double DistanceSquared(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
 // Closed axis-aligned rectangle [min_x,max_x] x [min_y,max_y].
 //
 // A default-constructed Rect is *empty* (min > max); Expand() grows it to

@@ -2,17 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace wazi {
-namespace {
-
-double Dist2(const Point& a, const Point& b) {
-  const double dx = a.x - b.x;
-  const double dy = a.y - b.y;
-  return dx * dx + dy * dy;
-}
-
-}  // namespace
 
 KnnResult KnnByRangeExpansion(const SpatialIndex& index, const Point& center,
                               size_t k, const Rect& domain,
@@ -26,6 +18,16 @@ KnnResult KnnByRangeExpansion(const SpatialIndex& index, const Point& center,
   const double domain_span =
       std::max(domain.max_x - domain.min_x, domain.max_y - domain.min_y);
   double radius = domain_span / 64.0;
+  if (radius <= 0.0) {
+    // Zero-span domain — a single representable point (one-point dataset,
+    // or a shard cell collapsed by duplicate coordinates). `radius *= 2.0`
+    // could never grow a zero radius; start from the distance to the point
+    // so the first window already covers the domain and the loop
+    // terminates.
+    radius = std::max({std::abs(center.x - domain.min_x),
+                       std::abs(center.y - domain.min_y),
+                       std::numeric_limits<double>::min()});
+  }
 
   std::vector<Point> window;
   while (true) {
@@ -39,9 +41,10 @@ KnnResult KnnByRangeExpansion(const SpatialIndex& index, const Point& center,
     if (window.size() >= k) {
       std::nth_element(window.begin(), window.begin() + (k - 1), window.end(),
                        [&](const Point& a, const Point& b) {
-                         return Dist2(a, center) < Dist2(b, center);
+                         return DistanceSquared(a, center) <
+                                DistanceSquared(b, center);
                        });
-      const double kth = std::sqrt(Dist2(window[k - 1], center));
+      const double kth = std::sqrt(DistanceSquared(window[k - 1], center));
       // Correct iff the k-th neighbour's circle fits inside the window.
       if (kth <= radius || covers_domain) {
         window.resize(k);
@@ -56,7 +59,7 @@ KnnResult KnnByRangeExpansion(const SpatialIndex& index, const Point& center,
   }
 
   std::sort(window.begin(), window.end(), [&](const Point& a, const Point& b) {
-    return Dist2(a, center) < Dist2(b, center);
+    return DistanceSquared(a, center) < DistanceSquared(b, center);
   });
   result.neighbors = std::move(window);
   return result;

@@ -2,8 +2,6 @@
 
 #include <algorithm>
 
-#include "index/knn.h"
-
 namespace wazi::serve {
 
 namespace {
@@ -14,7 +12,7 @@ struct alignas(64) PaddedStats {
 
 }  // namespace
 
-QueryEngine::QueryEngine(const VersionedIndex* index, int num_threads)
+QueryEngine::QueryEngine(const ShardedVersionedIndex* index, int num_threads)
     : index_(index), pool_(num_threads) {}
 
 void QueryEngine::ExecuteBatch(const std::vector<QueryRequest>& requests,
@@ -35,10 +33,13 @@ void QueryEngine::ExecuteBatch(const std::vector<QueryRequest>& requests,
     if (begin >= end) break;
     pool_.Submit([this, &requests, results, &block_stats, begin, end, w] {
       QueryStats* stats = &block_stats[w].stats;
-      // One snapshot per block: wait-free for the block's duration.
-      const auto snap = index_->Acquire();
+      // One acquire per shard per block (not per query): the block runs on
+      // a consistent per-shard snapshot set, and the atomic refcount
+      // traffic on the publication cells stays off the per-query path.
+      ShardedVersionedIndex::SnapshotSet snaps;
+      index_->AcquireAll(&snaps);
       for (size_t i = begin; i < end; ++i) {
-        (*results)[i] = ExecuteOn(*snap, requests[i], stats);
+        (*results)[i] = ExecuteOn(requests[i], stats, &snaps);
       }
     });
   }
@@ -49,28 +50,26 @@ void QueryEngine::ExecuteBatch(const std::vector<QueryRequest>& requests,
 
 QueryResult QueryEngine::Execute(const QueryRequest& request,
                                  QueryStats* stats) const {
-  QueryStats discard;
-  const auto snap = index_->Acquire();
-  return ExecuteOn(*snap, request, stats != nullptr ? stats : &discard);
+  return ExecuteOn(request, stats, /*snaps=*/nullptr);
 }
 
-QueryResult QueryEngine::ExecuteOn(const IndexSnapshot& snap,
-                                   const QueryRequest& request,
-                                   QueryStats* stats) const {
+QueryResult QueryEngine::ExecuteOn(
+    const QueryRequest& request, QueryStats* stats,
+    const ShardedVersionedIndex::SnapshotSet* snaps) const {
   QueryResult result;
-  result.snapshot_version = snap.version();
   switch (request.type) {
     case QueryRequest::Type::kRange:
-      snap.index().RangeQuery(request.rect, &result.hits, stats);
+      index_->RangeQuery(request.rect, &result.hits, stats,
+                         /*parts=*/nullptr, &result.snapshot_version, snaps);
       break;
     case QueryRequest::Type::kPoint:
-      result.found = snap.index().PointQuery(request.point, stats);
+      result.found = index_->PointQuery(request.point, stats,
+                                        &result.snapshot_version,
+                                        /*home_shard=*/nullptr, snaps);
       break;
     case QueryRequest::Type::kKnn:
-      result.hits = KnnByRangeExpansion(snap.index(), request.point,
-                                        static_cast<size_t>(request.k),
-                                        index_->domain(), stats)
-                        .neighbors;
+      result.hits = index_->Knn(request.point, request.k, stats,
+                                &result.snapshot_version, snaps);
       break;
   }
   return result;

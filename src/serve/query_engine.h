@@ -1,7 +1,8 @@
-// Multi-threaded query execution over a VersionedIndex: batches of range /
-// point / kNN requests fan out across a ThreadPool, each worker querying
-// the snapshot that was live when its block started, with work counters
-// accumulated into per-thread (cache-line padded) QueryStats.
+// Multi-threaded query execution over a ShardedVersionedIndex: batches of
+// range / point / kNN requests fan out across a ThreadPool, each worker
+// resolving its queries through the shard router (single-shard point
+// lookups, per-shard sub-rectangle ranges, cross-shard kNN merges), with
+// work counters accumulated into per-thread (cache-line padded) QueryStats.
 
 #ifndef WAZI_SERVE_QUERY_ENGINE_H_
 #define WAZI_SERVE_QUERY_ENGINE_H_
@@ -11,7 +12,7 @@
 #include <vector>
 
 #include "index/spatial_index.h"
-#include "serve/index_snapshot.h"
+#include "serve/sharded_index.h"
 #include "serve/thread_pool.h"
 
 namespace wazi::serve {
@@ -45,20 +46,26 @@ struct QueryRequest {
 };
 
 struct QueryResult {
-  std::vector<Point> hits;       // range hits / kNN neighbors (sorted)
-  bool found = false;            // point lookup outcome
-  uint64_t snapshot_version = 0; // the snapshot this query ran on
+  std::vector<Point> hits;  // range hits / kNN neighbors (sorted)
+  bool found = false;       // point lookup outcome
+  // Sum of the versions of the per-shard snapshots this query ran on. With
+  // one shard this is exactly the snapshot version; with more it is a
+  // version mass, comparable only between queries touching the same shard
+  // set (cross-shard queries have no single global version — shards swap
+  // snapshots independently).
+  uint64_t snapshot_version = 0;
 };
 
 class QueryEngine {
  public:
   // `index` must outlive the engine. `num_threads` workers execute batches.
-  QueryEngine(const VersionedIndex* index, int num_threads);
+  QueryEngine(const ShardedVersionedIndex* index, int num_threads);
 
   // Executes requests[i] into (*results)[i] across the worker pool; blocks
-  // until the whole batch is done. Workers acquire the live snapshot once
-  // per block, so one batch may straddle a snapshot swap (each result
-  // records the version it ran on). Safe to call from multiple threads;
+  // until the whole batch is done. Each worker acquires every shard's
+  // snapshot once per block (AcquireAll), so one batch may straddle
+  // snapshot swaps across blocks (each result records the version mass it
+  // ran on) but never within a block. Safe to call from multiple threads;
   // concurrent batches share the pool, so each also waits out the other's
   // in-flight tasks.
   void ExecuteBatch(const std::vector<QueryRequest>& requests,
@@ -67,6 +74,7 @@ class QueryEngine {
   // Executes one request on the calling thread (external client threads
   // drive the engine through this). `stats` must be a caller-owned counter
   // block when called concurrently; it may be null to discard the counters.
+  // Counters from every shard a query touches are summed in.
   QueryResult Execute(const QueryRequest& request, QueryStats* stats) const;
 
   // Sum of the counters accumulated by every completed ExecuteBatch call.
@@ -76,10 +84,10 @@ class QueryEngine {
   int num_threads() const { return pool_.num_threads(); }
 
  private:
-  QueryResult ExecuteOn(const IndexSnapshot& snap, const QueryRequest& request,
-                        QueryStats* stats) const;
+  QueryResult ExecuteOn(const QueryRequest& request, QueryStats* stats,
+                        const ShardedVersionedIndex::SnapshotSet* snaps) const;
 
-  const VersionedIndex* index_;
+  const ShardedVersionedIndex* index_;
   ThreadPool pool_;
   // Batch counters are accumulated in per-block (cache-line padded) locals
   // during execution and folded in here once the batch completes, so

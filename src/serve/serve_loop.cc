@@ -1,6 +1,8 @@
 #include "serve/serve_loop.h"
 
+#include <algorithm>
 #include <chrono>
+#include <string>
 #include <utility>
 
 namespace wazi::serve {
@@ -9,38 +11,53 @@ ServeLoop::ServeLoop(IndexFactory factory, const Dataset& data,
                      const Workload& workload, const BuildOptions& build_opts,
                      ServeOptions opts)
     : opts_(opts),
-      initial_workload_(workload),
       index_(std::move(factory), data, workload, build_opts,
-             VersionedIndexOptions{opts.track_points}),
-      engine_(&index_, opts.num_threads),
-      monitor_(opts.drift) {
-  recent_.resize(opts_.recent_window);
-  writer_ = std::thread([this] { WriterLoop(); });
+             ShardedIndexOptions{opts.num_shards,
+                                 VersionedIndexOptions{opts.track_points}}),
+      engine_(&index_, opts.num_threads) {
+  writers_.reserve(static_cast<size_t>(index_.num_shards()));
+  for (int s = 0; s < index_.num_shards(); ++s) {
+    writers_.push_back(std::make_unique<ShardWriter>(opts_.drift));
+    writers_.back()->recent.resize(opts_.recent_window);
+  }
+  // Threads last: WriterLoop touches writers_[s] and index_.shard(s).
+  for (int s = 0; s < index_.num_shards(); ++s) {
+    writers_[static_cast<size_t>(s)]->thread =
+        std::thread([this, s] { WriterLoop(s); });
+  }
 }
 
 ServeLoop::~ServeLoop() { Stop(); }
 
 QueryResult ServeLoop::Range(const Rect& query, QueryStats* stats) {
-  QueryStats qs;
-  QueryResult result = engine_.Execute(QueryRequest::Range(query), &qs);
-  Observe(&query, qs);
-  if (stats != nullptr) stats->Add(qs);
+  QueryResult result;
+  // Reused per thread: client threads call Range at full rate and the
+  // parts are consumed before returning.
+  static thread_local std::vector<ShardQueryPart> parts;
+  index_.RangeQuery(query, &result.hits, nullptr, &parts,
+                    &result.snapshot_version);
+  for (const ShardQueryPart& part : parts) {
+    // Each shard observes the work IT did on the sub-rectangle IT served,
+    // so a drifting region only retrains the shards that cover it.
+    ObserveShard(part.shard, &part.rect, part.stats);
+    if (stats != nullptr) stats->Add(part.stats);
+  }
   return result;
 }
 
 bool ServeLoop::PointLookup(const Point& p, QueryStats* stats) {
-  QueryStats qs;
-  QueryResult result = engine_.Execute(QueryRequest::PointLookup(p), &qs);
   // Point lookups carry no rectangle and touch O(1) work; they do not feed
-  // the drift monitor.
-  if (stats != nullptr) stats->Add(qs);
-  return result.found;
+  // the drift monitors.
+  return index_.PointQuery(p, stats);
 }
 
 QueryResult ServeLoop::Knn(const Point& center, int k, QueryStats* stats) {
   QueryStats qs;
-  QueryResult result = engine_.Execute(QueryRequest::Knn(center, k), &qs);
-  Observe(nullptr, qs);
+  QueryResult result;
+  result.hits = index_.Knn(center, k, &qs, &result.snapshot_version);
+  // kNN work is attributed to the center's home shard (the expansion
+  // usually stays inside it); no rectangle feeds the recent ring.
+  ObserveShard(index_.ShardOf(center), nullptr, qs);
   if (stats != nullptr) stats->Add(qs);
   return result;
 }
@@ -50,125 +67,164 @@ void ServeLoop::ExecuteBatch(const std::vector<QueryRequest>& requests,
   engine_.ExecuteBatch(requests, results);
 }
 
-void ServeLoop::SubmitInsert(const Point& p) {
+void ServeLoop::Submit(const Point& p, bool insert) {
+  ShardWriter& w = *writers_[static_cast<size_t>(index_.ShardOf(p))];
+  bool notify;
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_.push_back(UpdateOp::Insert(p));
-    ++submitted_;
+    std::lock_guard<std::mutex> lock(w.queue_mu);
+    w.queue.push_back(insert ? UpdateOp::Insert(p) : UpdateOp::Remove(p));
+    ++w.submitted;
+    // Wake the writer when there is NEW work (empty -> non-empty) or a full
+    // batch is ready; ops in between land in the coalescing window without
+    // a futex wake per op.
+    notify = w.queue.size() == 1 || w.queue.size() >= opts_.writer_batch_limit;
   }
-  queue_cv_.notify_one();
+  if (notify) w.queue_cv.notify_one();
 }
 
-void ServeLoop::SubmitRemove(const Point& p) {
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    queue_.push_back(UpdateOp::Remove(p));
-    ++submitted_;
-  }
-  queue_cv_.notify_one();
-}
+void ServeLoop::SubmitInsert(const Point& p) { Submit(p, /*insert=*/true); }
+
+void ServeLoop::SubmitRemove(const Point& p) { Submit(p, /*insert=*/false); }
 
 void ServeLoop::TriggerRebuild() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    rebuild_requested_ = true;
+  for (const auto& w : writers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->queue_mu);
+      w->rebuild_requested = true;
+    }
+    w->queue_cv.notify_one();
   }
-  queue_cv_.notify_one();
 }
 
 void ServeLoop::Flush() {
-  std::unique_lock<std::mutex> lock(queue_mu_);
-  flush_cv_.wait(lock, [this] { return applied_ == submitted_; });
+  for (const auto& w : writers_) {
+    std::unique_lock<std::mutex> lock(w->queue_mu);
+    w->flush_cv.wait(lock, [&w] { return w->applied == w->submitted; });
+  }
 }
 
 void ServeLoop::Stop() {
-  {
-    std::lock_guard<std::mutex> lock(queue_mu_);
-    if (stop_) return;
-    stop_ = true;
+  for (const auto& w : writers_) {
+    {
+      std::lock_guard<std::mutex> lock(w->queue_mu);
+      if (w->stop) continue;
+      w->stop = true;
+    }
+    w->queue_cv.notify_all();
   }
-  queue_cv_.notify_all();
-  if (writer_.joinable()) writer_.join();
+  for (const auto& w : writers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+}
+
+int64_t ServeLoop::rebuilds() const {
+  int64_t total = 0;
+  for (const auto& w : writers_) {
+    total += w->rebuilds.load(std::memory_order_relaxed);
+  }
+  return total;
 }
 
 double ServeLoop::drift_ratio() {
-  std::lock_guard<std::mutex> lock(monitor_mu_);
-  return monitor_.drift_ratio();
+  double worst = 0.0;
+  for (const auto& w : writers_) {
+    std::lock_guard<std::mutex> lock(w->monitor_mu);
+    worst = std::max(worst, w->monitor.drift_ratio());
+  }
+  return worst;
 }
 
-void ServeLoop::WriterLoop() {
+void ServeLoop::WriterLoop(int s) {
+  ShardWriter& w = *writers_[static_cast<size_t>(s)];
+  VersionedIndex& shard = index_.shard(s);
   const auto poll = std::chrono::milliseconds(opts_.drift_poll_ms);
   for (;;) {
     std::vector<UpdateOp> batch;
     bool rebuild = false;
     bool stopping = false;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait_for(lock, poll, [this] {
-        return stop_ || rebuild_requested_ || !queue_.empty();
+      std::unique_lock<std::mutex> lock(w.queue_mu);
+      w.queue_cv.wait_for(lock, poll, [&w] {
+        return w.stop || w.rebuild_requested || !w.queue.empty();
       });
-      stopping = stop_;
-      if (stopping && queue_.empty() && !rebuild_requested_) break;
-      const size_t take = std::min(queue_.size(), opts_.writer_batch_limit);
-      batch.assign(queue_.begin(), queue_.begin() + take);
-      queue_.erase(queue_.begin(), queue_.begin() + take);
-      rebuild = rebuild_requested_;
-      rebuild_requested_ = false;
+      if (!w.queue.empty() && w.queue.size() < opts_.writer_batch_limit &&
+          !w.stop && !w.rebuild_requested && opts_.writer_coalesce_ms > 0) {
+        // Group commit: linger briefly so a fast submit stream lands in one
+        // batch (one snapshot publish) instead of one publish per op.
+        w.queue_cv.wait_for(
+            lock, std::chrono::milliseconds(opts_.writer_coalesce_ms),
+            [this, &w] {
+              return w.stop || w.rebuild_requested ||
+                     w.queue.size() >= opts_.writer_batch_limit;
+            });
+      }
+      stopping = w.stop;
+      if (stopping && w.queue.empty() && !w.rebuild_requested) break;
+      const size_t take = std::min(w.queue.size(), opts_.writer_batch_limit);
+      batch.assign(w.queue.begin(), w.queue.begin() + take);
+      w.queue.erase(w.queue.begin(), w.queue.begin() + take);
+      rebuild = w.rebuild_requested;
+      w.rebuild_requested = false;
     }
 
-    if (!batch.empty()) index_.ApplyBatch(batch);
+    if (!batch.empty()) shard.ApplyBatch(batch);
 
     if (!rebuild && opts_.auto_rebuild && !stopping) {
-      std::lock_guard<std::mutex> lock(monitor_mu_);
-      rebuild = monitor_.rebuild_recommended();
+      std::lock_guard<std::mutex> lock(w.monitor_mu);
+      rebuild = w.monitor.rebuild_recommended();
     }
     if (rebuild) {
       Workload recent;
       {
-        std::lock_guard<std::mutex> lock(monitor_mu_);
-        recent = RecentWorkloadLocked();
+        std::lock_guard<std::mutex> lock(w.monitor_mu);
+        recent = RecentWorkloadLocked(s);
       }
-      index_.Rebuild(recent);
+      // Per-shard rebuild: only this shard's left-right pair re-levels;
+      // every other shard keeps serving its current snapshots.
+      shard.Rebuild(recent);
       {
-        std::lock_guard<std::mutex> lock(monitor_mu_);
-        monitor_.ResetAfterRebuild();
+        std::lock_guard<std::mutex> lock(w.monitor_mu);
+        w.monitor.ResetAfterRebuild();
       }
-      rebuilds_.fetch_add(1, std::memory_order_relaxed);
+      w.rebuilds.fetch_add(1, std::memory_order_relaxed);
     }
 
     if (!batch.empty()) {
-      std::lock_guard<std::mutex> lock(queue_mu_);
-      applied_ += batch.size();
-      if (applied_ == submitted_) flush_cv_.notify_all();
+      std::lock_guard<std::mutex> lock(w.queue_mu);
+      w.applied += batch.size();
+      if (w.applied == w.submitted) w.flush_cv.notify_all();
     }
   }
 }
 
-void ServeLoop::Observe(const Rect* query, const QueryStats& stats) {
+void ServeLoop::ObserveShard(int s, const Rect* rect,
+                             const QueryStats& stats) {
+  ShardWriter& w = *writers_[static_cast<size_t>(s)];
   // try_lock == sampling: under heavy reader contention most observations
   // are dropped instead of serializing the hot path on this mutex.
-  std::unique_lock<std::mutex> lock(monitor_mu_, std::try_to_lock);
+  std::unique_lock<std::mutex> lock(w.monitor_mu, std::try_to_lock);
   if (!lock.owns_lock()) return;
-  monitor_.Observe(stats.points_scanned, stats.results);
-  if (query != nullptr && !recent_.empty()) {
-    recent_[recent_next_] = *query;
-    recent_next_ = (recent_next_ + 1) % recent_.size();
-    if (recent_count_ < recent_.size()) ++recent_count_;
+  w.monitor.Observe(stats.points_scanned, stats.results);
+  if (rect != nullptr && !w.recent.empty()) {
+    w.recent[w.recent_next] = *rect;
+    w.recent_next = (w.recent_next + 1) % w.recent.size();
+    if (w.recent_count < w.recent.size()) ++w.recent_count;
   }
 }
 
-Workload ServeLoop::RecentWorkloadLocked() {
-  // Too few live observations to characterize the workload — fall back to
-  // the build-time one.
-  if (recent_count_ < 32) return initial_workload_;
-  Workload w;
-  w.name = "recent";
-  w.selectivity = initial_workload_.selectivity;
-  w.queries.reserve(recent_count_);
-  for (size_t i = 0; i < recent_count_; ++i) {
-    w.queries.push_back(recent_[i]);
+Workload ServeLoop::RecentWorkloadLocked(int s) {
+  ShardWriter& w = *writers_[static_cast<size_t>(s)];
+  // Too few live observations to characterize the shard's workload — fall
+  // back to the slice of the build-time workload that overlaps its cell.
+  if (w.recent_count < 32) return index_.shard_workload(s);
+  Workload recent;
+  recent.name = "recent/shard" + std::to_string(s);
+  recent.selectivity = index_.shard_workload(s).selectivity;
+  recent.queries.reserve(w.recent_count);
+  for (size_t i = 0; i < w.recent_count; ++i) {
+    recent.queries.push_back(w.recent[i]);
   }
-  return w;
+  return recent;
 }
 
 }  // namespace wazi::serve

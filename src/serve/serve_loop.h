@@ -1,47 +1,62 @@
-// The serving front end: glues the snapshot-swapped index, the query
-// engine, and the drift monitor into one online system.
+// The serving front end: glues the sharded snapshot-swapped index, the
+// query engine, and per-shard drift monitors into one online system.
 //
 //   * Any number of client threads issue range / point / kNN queries; each
-//     runs wait-free on the current snapshot.
-//   * Updates are enqueued from any thread and applied by ONE background
-//     writer thread in batches, each batch ending in a snapshot swap.
-//   * Every served query feeds the DriftMonitor (sampled under contention
-//     via try_lock) and a ring of recent query rectangles. When the
-//     monitor reports drift — the layout no longer fits the workload —
-//     the writer rebuilds the index against the recent workload in the
-//     background and swaps it in. Workload-awareness becomes an online
-//     property instead of a build-time one.
+//     runs wait-free on the current per-shard snapshots (point lookups
+//     touch one shard, ranges their overlapping shards, kNN a best-first
+//     shard sweep).
+//   * Updates are enqueued from any thread, ROUTED to the owning shard,
+//     and applied by that shard's OWN background writer thread in batches,
+//     each batch ending in a snapshot swap of just that shard — so update
+//     throughput scales with cores instead of being capped at one writer.
+//   * Every served range query feeds the drift monitor of each shard that
+//     did work (sampled under contention via try_lock) and that shard's
+//     ring of recent sub-rectangles. When a shard's monitor reports drift,
+//     ITS writer rebuilds ITS index against the shard-local recent
+//     workload and swaps it in — per-shard rebuilds instead of
+//     stop-the-world, so the other shards keep serving untouched.
 
 #ifndef WAZI_SERVE_SERVE_LOOP_H_
 #define WAZI_SERVE_SERVE_LOOP_H_
 
 #include <atomic>
+#include <cassert>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/drift_monitor.h"
-#include "serve/index_snapshot.h"
 #include "serve/query_engine.h"
+#include "serve/sharded_index.h"
 
 namespace wazi::serve {
 
 struct ServeOptions {
+  // Number of index shards, each with its own background writer. 1 keeps
+  // the PR-1 single-writer topology.
+  int num_shards = 1;
   // Worker threads of the batch query engine.
   int num_threads = 4;
-  // Max update ops applied per snapshot publish.
+  // Max update ops applied per per-shard snapshot publish.
   size_t writer_batch_limit = 256;
+  // Group commit: once a writer wakes with a non-full queue it lingers
+  // this long collecting more ops before applying, so a fast submit
+  // stream amortizes snapshot publishes instead of swapping per op.
+  // Bounds update visibility staleness; 0 restores apply-immediately.
+  int writer_coalesce_ms = 2;
   // Writer wake-up period for drift checks when no updates arrive.
   int drift_poll_ms = 20;
   DriftMonitorOptions drift;
-  // Rebuild in the background when the drift monitor recommends it.
+  // Rebuild a shard in the background when its drift monitor recommends it.
   bool auto_rebuild = true;
-  // Snapshots carry their exact point membership (testing only; O(n) copy
-  // per publish).
+  // Snapshots carry their exact point membership (testing only; O(shard)
+  // copy per publish).
   bool track_points = false;
-  // Capacity of the recent-query ring that seeds drift-triggered rebuilds.
+  // Capacity of each shard's recent-query ring that seeds drift-triggered
+  // rebuilds.
   size_t recent_window = 2048;
 };
 
@@ -60,7 +75,8 @@ class ServeLoop {
 
   // --- queries (any thread; executed on the calling thread) ---
   // Pass a caller-owned `stats` to keep the counters; they feed the drift
-  // monitor either way.
+  // monitors either way. Counters of every shard a query touches are
+  // summed.
   QueryResult Range(const Rect& query, QueryStats* stats = nullptr);
   bool PointLookup(const Point& p, QueryStats* stats = nullptr);
   QueryResult Knn(const Point& center, int k, QueryStats* stats = nullptr);
@@ -68,56 +84,74 @@ class ServeLoop {
   void ExecuteBatch(const std::vector<QueryRequest>& requests,
                     std::vector<QueryResult>* results);
 
-  // --- updates (any thread; applied by the writer in batches) ---
+  // --- updates (any thread; routed to the owning shard's writer) ---
   void SubmitInsert(const Point& p);
   void SubmitRemove(const Point& p);
-  // Ask the writer for an immediate background rebuild + swap.
+  // Ask every shard's writer for an immediate background rebuild + swap.
   void TriggerRebuild();
-  // Blocks until every update submitted so far has been applied.
+  // Blocks until every update submitted so far has been applied (all
+  // shards).
   void Flush();
 
-  // Stops the writer thread after draining pending updates (idempotent;
+  // Stops all writer threads after draining pending updates (idempotent;
   // the destructor calls it).
   void Stop();
 
   // --- introspection ---
+  // Sum of per-shard versions (monotone; see ShardedVersionedIndex).
   uint64_t version() const { return index_.version(); }
-  int64_t rebuilds() const {
-    return rebuilds_.load(std::memory_order_relaxed);
-  }
+  int num_shards() const { return index_.num_shards(); }
+  // Total drift rebuilds across all shards.
+  int64_t rebuilds() const;
+  // Worst (max) per-shard drift ratio.
   double drift_ratio();
-  VersionedIndex& versioned_index() { return index_; }
+  ShardedVersionedIndex& sharded_index() { return index_; }
+  // Single-shard convenience used by tests written against the PR-1
+  // topology. Loud on misuse: with more shards this would silently expose
+  // only shard 0 (and mutating through it would race that shard's
+  // writer) — go through sharded_index().shard(s) instead.
+  VersionedIndex& versioned_index() {
+    assert(index_.num_shards() == 1 &&
+           "versioned_index() is single-shard only; use sharded_index()");
+    return index_.shard(0);
+  }
   QueryEngine& engine() { return engine_; }
 
  private:
-  void WriterLoop();
-  void Observe(const Rect* query, const QueryStats& stats);
-  Workload RecentWorkloadLocked();  // caller holds monitor_mu_
+  // Everything one shard's writer owns: its update queue, its drift state,
+  // and the thread itself. unique_ptr keeps addresses stable in the vector.
+  struct ShardWriter {
+    explicit ShardWriter(const DriftMonitorOptions& opts) : monitor(opts) {}
+
+    std::mutex queue_mu;
+    std::condition_variable queue_cv;  // writer: ops pending / stop
+    std::condition_variable flush_cv;  // Flush(): all ops applied
+    std::vector<UpdateOp> queue;
+    uint64_t submitted = 0;
+    uint64_t applied = 0;
+    bool rebuild_requested = false;
+    bool stop = false;
+
+    // Drift state, shared by all client threads (try_lock sampling).
+    std::mutex monitor_mu;
+    DriftMonitor monitor;
+    std::vector<Rect> recent;  // ring of served per-shard sub-rectangles
+    size_t recent_next = 0;
+    size_t recent_count = 0;
+
+    std::atomic<int64_t> rebuilds{0};
+    std::thread thread;
+  };
+
+  void WriterLoop(int s);
+  void Submit(const Point& p, bool insert);
+  void ObserveShard(int s, const Rect* rect, const QueryStats& stats);
+  Workload RecentWorkloadLocked(int s);  // caller holds writers_[s]->monitor_mu
 
   ServeOptions opts_;
-  Workload initial_workload_;
-  VersionedIndex index_;
+  ShardedVersionedIndex index_;
   QueryEngine engine_;
-
-  // Drift state, shared by all client threads (try_lock sampling).
-  std::mutex monitor_mu_;
-  DriftMonitor monitor_;
-  std::vector<Rect> recent_;  // ring buffer of served query rects
-  size_t recent_next_ = 0;
-  size_t recent_count_ = 0;
-
-  // Update queue, client threads -> writer.
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;  // writer: ops pending / stop
-  std::condition_variable flush_cv_;  // Flush(): all ops applied
-  std::vector<UpdateOp> queue_;
-  uint64_t submitted_ = 0;
-  uint64_t applied_ = 0;
-  bool rebuild_requested_ = false;
-  bool stop_ = false;
-
-  std::atomic<int64_t> rebuilds_{0};
-  std::thread writer_;
+  std::vector<std::unique_ptr<ShardWriter>> writers_;
 };
 
 }  // namespace wazi::serve

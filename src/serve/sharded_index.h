@@ -1,0 +1,261 @@
+// Sharded serving engine: spatial partitioning of one logical index across
+// N VersionedIndex shards so update throughput scales with cores.
+//
+// Partitioning is a rank-space tiling built once from the initial dataset:
+// the domain is cut into `rows` horizontal bands at equi-depth y-quantiles,
+// and every band is cut independently into `cols` cells at equi-depth
+// x-quantiles *of that band's points* (conditional quantiles). This yields
+//   * exact load balance (each cell holds n/N points up to rounding) for
+//     ANY data distribution, unlike a marginal-quantile grid;
+//   * axis-aligned rectangular cells, so range and projection queries
+//     decompose into per-shard sub-rectangles by pure interval clipping;
+//   * Z-order-compatible cell enumeration (cells are visited band-major,
+//     matching the coarse Z-curve sweep through rank space). Prime shard
+//     counts degenerate to 1xN rank-space stripes.
+//
+// Each shard is an independent VersionedIndex: its own left-right instance
+// pair, its own snapshot cell, its own single-writer contract. A point
+// lives in exactly one shard (routing is a pure function of coordinates),
+// so cross-shard queries union per-shard results with no deduplication:
+//   * point lookups route to the single owning shard;
+//   * range/projection queries run the clipped sub-rectangle on every
+//     overlapping shard and sum the per-shard QueryStats;
+//   * kNN runs a bounded best-first expansion: shards are visited in
+//     increasing distance from the query point to their cell, each
+//     contributing its local k nearest into a merged bounded max-heap, and
+//     the sweep stops as soon as the next cell is farther than the current
+//     k-th neighbour.
+//
+// Consistency model: per-shard snapshot consistency. A cross-shard query
+// acquires each shard's live snapshot independently, so two shards may be
+// observed at different versions (there is no global consistent cut —
+// the same guarantee regimes as a distributed store with per-partition
+// linearizability). The sharded stress test verifies every sub-query
+// against the exact membership of the per-shard snapshot it ran on.
+
+#ifndef WAZI_SERVE_SHARDED_INDEX_H_
+#define WAZI_SERVE_SHARDED_INDEX_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "serve/index_snapshot.h"
+
+namespace wazi::serve {
+
+// One shard's share of a decomposed range query: the query rectangle
+// clipped to the shard's cell (closed on both boundary sides; the slack on
+// the shared edge is harmless because each point lives in exactly one
+// shard).
+struct ShardSubquery {
+  int shard = 0;
+  Rect rect;
+};
+
+// Maps points and query rectangles to shards. Immutable after Build; safe
+// to share across any number of threads.
+class ShardRouter {
+ public:
+  // Single-shard router covering everything (the num_shards == 1 case).
+  ShardRouter() = default;
+
+  // Builds the equi-depth tiling described above from `points`.
+  // `num_shards` is factored into rows x cols with rows <= cols as close
+  // to square as divisors allow (primes become 1xN stripes). `domain` is
+  // the dataset's domain rectangle; cells at the tiling's outer edge
+  // extend beyond it to cover later out-of-domain inserts. When `workload`
+  // is given, each cut slides within a small balance-slack window to the
+  // position stabbed by the fewest workload queries (a straddled cut
+  // doubles that query's traversals), keeping hot regions inside one
+  // shard.
+  void Build(const std::vector<Point>& points, int num_shards,
+             const Rect& domain, const Workload* workload = nullptr);
+
+  int num_shards() const { return rows_ * cols_; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  // The owning shard of `p` (a pure function of p.x/p.y, so inserts and
+  // removes of the same coordinates always route identically).
+  int ShardOf(const Point& p) const;
+
+  // The cell's closed cover rectangle. Outer cells extend to +-infinity so
+  // that every representable point routes into some cell; Decompose and
+  // MinDistanceSquared handle the infinite extents, but do NOT feed this
+  // rect into code that assumes finite spans (use ClampedCellRect for
+  // that).
+  Rect CellRect(int shard) const;
+
+  // CellRect clipped to the build-time domain (finite; used as the shard's
+  // build dataset bounds and kNN expansion domain).
+  Rect ClampedCellRect(int shard) const;
+
+  // Appends the sub-rectangle of `query` for every overlapping shard, in
+  // shard-id order. Clears `out` first. Every point of every shard that
+  // lies inside `query` is inside exactly one emitted sub-rectangle.
+  void Decompose(const Rect& query, std::vector<ShardSubquery>* out) const;
+
+  // Squared distance from `p` to shard's cell (0 when inside); the
+  // best-first kNN visit order.
+  double MinDistanceSquared(const Point& p, int shard) const;
+
+ private:
+  int RowOf(double y) const;
+  int ColOf(int row, double x) const;
+
+  int rows_ = 1;
+  int cols_ = 1;
+  Rect domain_ = Rect::Of(-std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::infinity(),
+                          std::numeric_limits<double>::infinity());
+  std::vector<double> y_bounds_;               // rows-1 internal boundaries
+  std::vector<std::vector<double>> x_bounds_;  // per row: cols-1 boundaries
+};
+
+struct ShardedIndexOptions {
+  int num_shards = 1;
+  VersionedIndexOptions versioned;  // applied to every shard
+};
+
+// One shard's contribution to a cross-shard range query (returned so the
+// serve layer can attribute drift observations to the shard that did the
+// work).
+struct ShardQueryPart {
+  int shard = 0;
+  Rect rect;                     // the clipped sub-rectangle
+  uint64_t snapshot_version = 0; // per-shard snapshot the sub-query ran on
+  QueryStats stats;              // that sub-query's work counters
+};
+
+// One shard's projection (phase-split execution across shards). Holds the
+// snapshot it was computed on so ScanParts is guaranteed to scan the same
+// instance the spans refer to.
+struct ShardProjection {
+  int shard = 0;
+  Rect rect;
+  Projection proj;
+  std::shared_ptr<const IndexSnapshot> snap;
+};
+
+// N VersionedIndex shards behind one query facade.
+//
+// Thread-safety contract: every query method may be called from any number
+// of threads concurrently. Mutations go through shard(s)'s single-writer
+// API — one writer thread PER SHARD (that is the scaling point: per-shard
+// writers make update throughput scale with cores).
+class ShardedVersionedIndex {
+ public:
+  ShardedVersionedIndex(IndexFactory factory, const Dataset& data,
+                        const Workload& workload,
+                        const BuildOptions& build_opts,
+                        ShardedIndexOptions opts = {});
+
+  ShardedVersionedIndex(const ShardedVersionedIndex&) = delete;
+  ShardedVersionedIndex& operator=(const ShardedVersionedIndex&) = delete;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  const ShardRouter& router() const { return router_; }
+  const Rect& domain() const { return domain_; }
+
+  // The per-shard VersionedIndex. Queries through it see only that shard's
+  // points; its mutation API is subject to the one-writer-per-shard rule.
+  VersionedIndex& shard(int s) { return *shards_[static_cast<size_t>(s)]; }
+  const VersionedIndex& shard(int s) const {
+    return *shards_[static_cast<size_t>(s)];
+  }
+
+  int ShardOf(const Point& p) const { return router_.ShardOf(p); }
+
+  // The workload slice (queries clipped to the shard's cell) the shard was
+  // built against; the serve layer's per-shard rebuild fallback.
+  const Workload& shard_workload(int s) const {
+    return shard_workloads_[static_cast<size_t>(s)];
+  }
+
+  // Sum of all shard versions: monotone under any interleaving of
+  // per-shard writers (each term is monotone). Introspection only — there
+  // is no global snapshot this number identifies.
+  uint64_t version() const;
+
+  // Sum of shard point counts. Writer threads must be quiesced.
+  size_t num_points() const;
+
+  // One pre-acquired snapshot per shard (index == shard id). Lets a batch
+  // executor pay the atomic acquire once per shard per block instead of
+  // once per query — see AcquireAll.
+  using SnapshotSet =
+      std::vector<std::shared_ptr<const IndexSnapshot>>;
+
+  // Fills `out` with every shard's live snapshot (cleared first). The set
+  // is a per-shard-consistent view: each entry stays valid (and its shard
+  // unchanged) for as long as the caller holds it, but holding it also
+  // stalls that shard's writer like any other parked snapshot — hold per
+  // batch block, not indefinitely.
+  void AcquireAll(SnapshotSet* out) const;
+
+  // --- cross-shard queries (any thread) ---
+  //
+  // All methods sum per-shard work counters into `*stats` (never only the
+  // last shard's); `stats` may be null to discard them. `version_mass`,
+  // when non-null, receives the sum of the versions of every per-shard
+  // snapshot the query ran on (with one shard this is exactly the snapshot
+  // version). `snaps`, when non-null, must come from AcquireAll on this
+  // index; the query then runs on those snapshots without touching the
+  // publication cells.
+
+  // Appends all points inside `query` to `out`, decomposed into per-shard
+  // sub-rectangles. `parts`, when non-null, is cleared and filled with one
+  // entry per touched shard (sub-rectangle, snapshot version, counters).
+  void RangeQuery(const Rect& query, std::vector<Point>* out,
+                  QueryStats* stats = nullptr,
+                  std::vector<ShardQueryPart>* parts = nullptr,
+                  uint64_t* version_mass = nullptr,
+                  const SnapshotSet* snaps = nullptr) const;
+
+  // True iff a point with identical coordinates is stored; runs on the
+  // single owning shard. `home_shard`, when non-null, receives it.
+  bool PointQuery(const Point& p, QueryStats* stats = nullptr,
+                  uint64_t* version_mass = nullptr,
+                  int* home_shard = nullptr,
+                  const SnapshotSet* snaps = nullptr) const;
+
+  // The k nearest neighbours of `center` by Euclidean distance, sorted by
+  // increasing distance, merged across shards via bounded best-first
+  // expansion (see file header). Like the PR-1 engine, neighbours are
+  // searched within the build-time domain: a point inserted OUTSIDE
+  // `domain()` is served by range/point queries but may be missed here
+  // when fewer than k points exist near the center (the per-shard
+  // expansion certifies completion against the clamped cell).
+  std::vector<Point> Knn(const Point& center, int k,
+                         QueryStats* stats = nullptr,
+                         uint64_t* version_mass = nullptr,
+                         const SnapshotSet* snaps = nullptr) const;
+
+  // Phase-split execution across shards: per-shard projections over the
+  // clipped sub-rectangles (Project), then a filter of those spans against
+  // the same per-shard snapshots (ScanParts).
+  void Project(const Rect& query, std::vector<ShardProjection>* parts,
+               QueryStats* stats = nullptr) const;
+  void ScanParts(const std::vector<ShardProjection>& parts,
+                 std::vector<Point>* out, QueryStats* stats = nullptr) const;
+
+ private:
+  // The snapshot to query shard `s` on: the caller's pre-acquired set when
+  // given, else a fresh Acquire() whose ownership lands in `*owned`.
+  const IndexSnapshot* SnapFor(
+      int s, const SnapshotSet* snaps,
+      std::shared_ptr<const IndexSnapshot>* owned) const;
+
+  ShardRouter router_;
+  Rect domain_;
+  std::vector<std::unique_ptr<VersionedIndex>> shards_;
+  std::vector<Workload> shard_workloads_;
+};
+
+}  // namespace wazi::serve
+
+#endif  // WAZI_SERVE_SHARDED_INDEX_H_

@@ -100,5 +100,33 @@ TEST(KnnTest, KZeroIsEmpty) {
   EXPECT_TRUE(got.neighbors.empty());
 }
 
+// Regression: a zero-span domain (every point at one coordinate, so the
+// tight MBR — or a duplicate-collapsed shard cell — is a single point)
+// must terminate instead of doubling a zero radius forever.
+TEST(KnnTest, ZeroSpanDomainTerminates) {
+  Dataset data;
+  data.name = "all-duplicates";
+  for (int i = 0; i < 20; ++i) data.points.push_back(Point{0.5, 0.5, i});
+  data.bounds = ComputeBounds(data.points);  // the point [0.5,0.5]x[0.5,0.5]
+  ASSERT_EQ(data.bounds.Area(), 0.0);
+  auto index = MakeIndex("brute");
+  index->Build(data, Workload{}, BuildOptions{});
+
+  // Center away from the cluster, center on it, and k > n.
+  for (const Point& center :
+       {Point{0.2, 0.9, 0}, Point{0.5, 0.5, 0}, Point{0.0, 0.0, 0}}) {
+    const KnnResult got =
+        KnnByRangeExpansion(*index, center, 3, data.bounds);
+    EXPECT_EQ(got.neighbors.size(), 3u);
+    for (const Point& p : got.neighbors) {
+      EXPECT_EQ(p.x, 0.5);
+      EXPECT_EQ(p.y, 0.5);
+    }
+  }
+  EXPECT_EQ(KnnByRangeExpansion(*index, Point{0.9, 0.1, 0}, 50, data.bounds)
+                .neighbors.size(),
+            20u);
+}
+
 }  // namespace
 }  // namespace wazi

@@ -1,6 +1,8 @@
-// QueryEngine + VersionedIndex: batch execution across worker threads
-// matches the linear-scan ground truth, per-thread stats aggregate
-// correctly, and snapshot swaps isolate readers from updates.
+// QueryEngine + ShardedVersionedIndex: batch execution across worker
+// threads matches the linear-scan ground truth, per-thread stats aggregate
+// correctly, and snapshot swaps isolate readers from updates. Single-shard
+// cases exercise the PR-1 topology; the multi-shard case drives the same
+// batch paths through the shard router.
 
 #include "serve/query_engine.h"
 
@@ -13,6 +15,7 @@
 #include "core/wazi.h"
 #include "index/knn.h"
 #include "serve/index_snapshot.h"
+#include "serve/sharded_index.h"
 #include "tests/test_util.h"
 
 namespace wazi::serve {
@@ -28,9 +31,16 @@ BuildOptions FastOpts() {
   return opts;
 }
 
+ShardedIndexOptions Shards(int n, bool track_points = false) {
+  ShardedIndexOptions opts;
+  opts.num_shards = n;
+  opts.versioned.track_points = track_points;
+  return opts;
+}
+
 TEST(QueryEngineTest, BatchRangeQueriesMatchGroundTruth) {
   const TestScenario s = MakeScenario(Region::kCaliNev, 6000, 200, 2e-3, 31);
-  VersionedIndex index(WaziFactory(), s.data, s.workload, FastOpts());
+  ShardedVersionedIndex index(WaziFactory(), s.data, s.workload, FastOpts());
   QueryEngine engine(&index, 4);
 
   std::vector<QueryRequest> requests;
@@ -55,9 +65,40 @@ TEST(QueryEngineTest, BatchRangeQueriesMatchGroundTruth) {
   EXPECT_EQ(engine.aggregated_stats().results, 0);
 }
 
+TEST(QueryEngineTest, BatchAcrossShardsMatchesGroundTruth) {
+  const TestScenario s = MakeScenario(Region::kCaliNev, 6000, 150, 2e-3, 37);
+  ShardedVersionedIndex index(WaziFactory(), s.data, s.workload, FastOpts(),
+                              Shards(4));
+  ASSERT_EQ(index.num_shards(), 4);
+  QueryEngine engine(&index, 4);
+
+  std::vector<QueryRequest> requests;
+  for (const Rect& q : s.workload.queries) {
+    requests.push_back(QueryRequest::Range(q));
+  }
+  requests.push_back(QueryRequest::PointLookup(s.data.points[3]));
+  requests.push_back(QueryRequest::Knn(s.data.points[19], 7));
+  std::vector<QueryResult> results;
+  engine.ExecuteBatch(requests, &results);
+
+  ASSERT_EQ(results.size(), requests.size());
+  int64_t total_hits = 0;
+  for (size_t i = 0; i < s.workload.queries.size(); ++i) {
+    EXPECT_EQ(SortedIds(results[i].hits),
+              TruthIds(s.data, s.workload.queries[i]))
+        << "query " << i;
+    total_hits += static_cast<int64_t>(results[i].hits.size());
+  }
+  EXPECT_TRUE(results[results.size() - 2].found);
+  EXPECT_EQ(results.back().hits.size(), 7u);
+  total_hits += 7;
+  // Work counters sum across shards AND threads into the batch totals.
+  EXPECT_GE(engine.aggregated_stats().results, total_hits);
+}
+
 TEST(QueryEngineTest, MixedRequestTypes) {
   const TestScenario s = MakeScenario(Region::kNewYork, 4000, 100, 2e-3, 32);
-  VersionedIndex index(WaziFactory(), s.data, s.workload, FastOpts());
+  ShardedVersionedIndex index(WaziFactory(), s.data, s.workload, FastOpts());
   QueryEngine engine(&index, 3);
 
   std::vector<QueryRequest> requests;
@@ -74,7 +115,7 @@ TEST(QueryEngineTest, MixedRequestTypes) {
   EXPECT_FALSE(results[2].found);
   ASSERT_EQ(results[3].hits.size(), 5u);
   // kNN through the engine matches the library routine on the same index.
-  const auto snap = index.Acquire();
+  const auto snap = index.shard(0).Acquire();
   const KnnResult direct =
       KnnByRangeExpansion(snap->index(), s.data.points[11], 5, index.domain());
   EXPECT_EQ(SortedIds(results[3].hits), SortedIds(direct.neighbors));
@@ -82,10 +123,10 @@ TEST(QueryEngineTest, MixedRequestTypes) {
 
 TEST(QueryEngineTest, ApplyBatchPublishesNewVersionAndPreservesOldSnapshot) {
   const TestScenario s = MakeScenario(Region::kJapan, 3000, 80, 2e-3, 33);
-  VersionedIndexOptions vopts;
-  vopts.track_points = true;
-  VersionedIndex index(WaziFactory(), s.data, s.workload, FastOpts(), vopts);
-  QueryEngine engine(&index, 2);
+  ShardedVersionedIndex sharded(WaziFactory(), s.data, s.workload, FastOpts(),
+                                Shards(1, /*track_points=*/true));
+  VersionedIndex& index = sharded.shard(0);
+  QueryEngine engine(&sharded, 2);
 
   auto before = index.Acquire();
   EXPECT_EQ(before->version(), 1u);
@@ -127,8 +168,9 @@ TEST(QueryEngineTest, ApplyBatchPublishesNewVersionAndPreservesOldSnapshot) {
 
 TEST(QueryEngineTest, RebuildKeepsContentAndBumpsVersion) {
   const TestScenario s = MakeScenario(Region::kIberia, 3000, 80, 2e-3, 34);
-  VersionedIndex index(WaziFactory(), s.data, s.workload, FastOpts());
-  QueryEngine engine(&index, 2);
+  ShardedVersionedIndex sharded(WaziFactory(), s.data, s.workload, FastOpts());
+  VersionedIndex& index = sharded.shard(0);
+  QueryEngine engine(&sharded, 2);
 
   index.ApplyBatch({UpdateOp::Insert(Point{0.5051, 0.5052, 9000003})});
   index.Rebuild(s.workload);
@@ -161,7 +203,8 @@ TEST(QueryEngineTest, RebuildKeepsContentAndBumpsVersion) {
 // absent ids, removes with stale coordinates.
 TEST(QueryEngineTest, SanitizesDivergentUpdateOps) {
   const TestScenario s = MakeScenario(Region::kCaliNev, 2000, 60, 2e-3, 36);
-  VersionedIndex index(WaziFactory(), s.data, s.workload, FastOpts());
+  ShardedVersionedIndex sharded(WaziFactory(), s.data, s.workload, FastOpts());
+  VersionedIndex& index = sharded.shard(0);
   const size_t n0 = index.num_points();
 
   const Point fresh{0.123456, 0.654321, 9100001};
@@ -197,7 +240,8 @@ TEST(QueryEngineTest, StaticIndexFallsBackToRebuild) {
   IndexFactory factory = [] {
     return MakeIndex("str");  // STR R-tree: SupportsUpdates() == false
   };
-  VersionedIndex index(factory, s.data, s.workload, FastOpts());
+  ShardedVersionedIndex sharded(factory, s.data, s.workload, FastOpts());
+  VersionedIndex& index = sharded.shard(0);
   ASSERT_FALSE(index.Acquire()->index().SupportsUpdates());
 
   const Point fresh{0.31415, 0.92653, 9000004};

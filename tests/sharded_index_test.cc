@@ -1,0 +1,295 @@
+// ShardedVersionedIndex correctness on deterministic seeds: shard routing
+// is a consistent partition, range decomposition covers exactly the
+// unsharded result, cross-shard kNN merges match brute force, projection
+// parts scan to the same hits, and QueryStats aggregate as the SUM of the
+// per-shard counters (not just the last shard's).
+
+#include "serve/sharded_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "core/wazi.h"
+#include "tests/test_util.h"
+
+namespace wazi::serve {
+namespace {
+
+IndexFactory WaziFactory() {
+  return [] { return std::unique_ptr<SpatialIndex>(new Wazi()); };
+}
+
+BuildOptions FastOpts() {
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  return opts;
+}
+
+ShardedIndexOptions Shards(int n) {
+  ShardedIndexOptions opts;
+  opts.num_shards = n;
+  return opts;
+}
+
+// Brute-force k nearest distances (squared), sorted ascending. Distances
+// rather than ids so ties at the k-th neighbour compare equal regardless
+// of which tied point an index reports.
+std::vector<double> BruteKnnDistanceSquared(const Dataset& data,
+                                            const Point& center, size_t k) {
+  std::vector<double> d2;
+  d2.reserve(data.points.size());
+  for (const Point& p : data.points) d2.push_back(DistanceSquared(p, center));
+  std::sort(d2.begin(), d2.end());
+  if (d2.size() > k) d2.resize(k);
+  return d2;
+}
+
+TEST(ShardRouterTest, FactorsShardCountsIntoTiles) {
+  const Dataset data = MakeUniformDataset(4000, 11);
+  for (const auto& [n, rows, cols] : std::vector<std::tuple<int, int, int>>{
+           {1, 1, 1}, {2, 1, 2}, {3, 1, 3}, {4, 2, 2}, {6, 2, 3},
+           {7, 1, 7}, {8, 2, 4}, {12, 3, 4}}) {
+    ShardRouter router;
+    router.Build(data.points, n, data.bounds);
+    EXPECT_EQ(router.num_shards(), n);
+    EXPECT_EQ(router.rows(), rows) << "n=" << n;
+    EXPECT_EQ(router.cols(), cols) << "n=" << n;
+  }
+}
+
+TEST(ShardRouterTest, RoutingIsAPartitionAndBalanced) {
+  const TestScenario s = MakeScenario(Region::kNewYork, 20000, 200, 2e-3, 91);
+  for (const int n : {2, 3, 4, 8}) {
+    ShardRouter router;
+    router.Build(s.data.points, n, s.data.bounds, &s.workload);
+    std::vector<int64_t> counts(static_cast<size_t>(n), 0);
+    for (const Point& p : s.data.points) {
+      const int shard = router.ShardOf(p);
+      ASSERT_GE(shard, 0);
+      ASSERT_LT(shard, n);
+      ++counts[static_cast<size_t>(shard)];
+      // Routing agrees with cell geometry: the point's cell contains it.
+      EXPECT_TRUE(router.CellRect(shard).Contains(p));
+    }
+    // Equi-depth with the workload-aware +-25% slack per cut (row and
+    // column slacks compound): every shard holds between (3/4)^2 and
+    // (5/4)^2 of the ideal share.
+    const int64_t ideal =
+        static_cast<int64_t>(s.data.points.size()) / static_cast<int64_t>(n);
+    for (int shard = 0; shard < n; ++shard) {
+      EXPECT_GE(counts[static_cast<size_t>(shard)], ideal * 9 / 16)
+          << "n=" << n << " shard=" << shard;
+      EXPECT_LE(counts[static_cast<size_t>(shard)], ideal * 25 / 16)
+          << "n=" << n << " shard=" << shard;
+    }
+  }
+}
+
+TEST(ShardRouterTest, DecomposeCoversEveryPointExactlyOnce) {
+  const TestScenario s = MakeScenario(Region::kCaliNev, 8000, 150, 2e-3, 92);
+  for (const int n : {3, 4, 6}) {
+    ShardRouter router;
+    router.Build(s.data.points, n, s.data.bounds, &s.workload);
+    std::vector<ShardSubquery> subs;
+    for (const Rect& q : s.workload.queries) {
+      router.Decompose(q, &subs);
+      ASSERT_FALSE(subs.empty());
+      std::set<int> seen_shards;
+      for (const ShardSubquery& sub : subs) {
+        EXPECT_TRUE(seen_shards.insert(sub.shard).second)
+            << "shard emitted twice";
+        EXPECT_TRUE(q.Contains(sub.rect));
+      }
+      // Every point inside the query is inside the sub-rectangle of
+      // exactly its own shard (clip slack never leaks a point into a
+      // neighbour's sub-rectangle in a way that double-counts: the shard
+      // holding it is unique).
+      for (const Point& p : s.data.points) {
+        if (!q.Contains(p)) continue;
+        const int home = router.ShardOf(p);
+        bool covered = false;
+        for (const ShardSubquery& sub : subs) {
+          if (sub.shard == home && sub.rect.Contains(p)) covered = true;
+        }
+        EXPECT_TRUE(covered) << "point " << p.id << " lost by decompose";
+      }
+    }
+  }
+}
+
+TEST(ShardRouterTest, MinDistIsZeroInsideAndPositiveOutside) {
+  const Dataset data = MakeUniformDataset(5000, 13);
+  ShardRouter router;
+  router.Build(data.points, 4, data.bounds);
+  for (const Point& p : {Point{0.1, 0.1, 0}, Point{0.9, 0.9, 0},
+                         Point{0.5, 0.5, 0}}) {
+    const int home = router.ShardOf(p);
+    EXPECT_EQ(router.MinDistanceSquared(p, home), 0.0);
+    for (int s = 0; s < 4; ++s) {
+      if (s == home) continue;
+      EXPECT_GE(router.MinDistanceSquared(p, s), 0.0);
+      // Distance lower-bounds the true distance to any point in the cell.
+      for (const Point& q : data.points) {
+        if (router.ShardOf(q) != s) continue;
+          EXPECT_LE(router.MinDistanceSquared(p, s),
+                  DistanceSquared(p, q) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(ShardedIndexTest, RangeQueriesMatchBruteForcePerSeed) {
+  for (const uint64_t seed : {101u, 102u, 103u}) {
+    const TestScenario s =
+        MakeScenario(Region::kJapan, 6000, 120, 2e-3, seed);
+    ShardedVersionedIndex index(WaziFactory(), s.data, s.workload, FastOpts(),
+                                Shards(4));
+    EXPECT_EQ(index.num_points(), s.data.size());
+    for (const Rect& q : s.workload.queries) {
+      std::vector<Point> hits;
+      index.RangeQuery(q, &hits);
+      EXPECT_EQ(SortedIds(hits), TruthIds(s.data, q));
+    }
+  }
+}
+
+TEST(ShardedIndexTest, PointQueriesRouteToOwningShard) {
+  const TestScenario s = MakeScenario(Region::kIberia, 4000, 80, 2e-3, 104);
+  ShardedVersionedIndex index(WaziFactory(), s.data, s.workload, FastOpts(),
+                              Shards(6));
+  for (size_t i = 0; i < s.data.points.size(); i += 37) {
+    const Point& p = s.data.points[i];
+    int home = -1;
+    EXPECT_TRUE(index.PointQuery(p, nullptr, nullptr, &home));
+    EXPECT_EQ(home, index.ShardOf(p));
+    // The owning shard really holds it; all others do not.
+    QueryStats qs;
+    for (int shard = 0; shard < index.num_shards(); ++shard) {
+      EXPECT_EQ(index.shard(shard).Acquire()->index().PointQuery(p, &qs),
+                shard == home);
+    }
+  }
+  EXPECT_FALSE(index.PointQuery(Point{-3.0, 7.0, 0}));
+}
+
+TEST(ShardedIndexTest, CrossShardKnnMergeMatchesBruteForce) {
+  const TestScenario s = MakeScenario(Region::kCaliNev, 5000, 100, 2e-3, 105);
+  ShardedVersionedIndex index(WaziFactory(), s.data, s.workload, FastOpts(),
+                              Shards(4));
+  Rng rng(9001);
+  for (int i = 0; i < 60; ++i) {
+    // Mix of data points (often interior) and uniform centers (often near
+    // cell boundaries, forcing multi-shard expansion).
+    const Point center =
+        i % 2 == 0 ? s.data.points[rng.NextBelow(s.data.size())]
+                   : Point{rng.NextDouble(), rng.NextDouble(), 0};
+    const int k = 1 + static_cast<int>(rng.NextBelow(20));
+    const std::vector<Point> got = index.Knn(center, k);
+    ASSERT_EQ(got.size(),
+              std::min(static_cast<size_t>(k), s.data.points.size()));
+    // Sorted by increasing distance and equal to brute force as a distance
+    // multiset (ids may differ on ties).
+    const std::vector<double> want =
+        BruteKnnDistanceSquared(s.data, center, static_cast<size_t>(k));
+    for (size_t j = 0; j < got.size(); ++j) {
+      EXPECT_DOUBLE_EQ(DistanceSquared(got[j], center), want[j])
+          << "center " << i << " neighbour " << j;
+    }
+  }
+  // k exceeding the dataset returns everything.
+  EXPECT_EQ(index.Knn(Point{0.5, 0.5, 0}, 6000).size(), s.data.size());
+  EXPECT_TRUE(index.Knn(Point{0.5, 0.5, 0}, 0).empty());
+}
+
+TEST(ShardedIndexTest, ProjectionPartsScanToSameHits) {
+  const TestScenario s = MakeScenario(Region::kNewYork, 5000, 100, 2e-3, 106);
+  ShardedVersionedIndex index(WaziFactory(), s.data, s.workload, FastOpts(),
+                              Shards(4));
+  for (size_t i = 0; i < 50; ++i) {
+    const Rect& q = s.workload.queries[i];
+    std::vector<ShardProjection> parts;
+    QueryStats project_stats;
+    index.Project(q, &parts, &project_stats);
+    std::vector<Point> hits;
+    index.ScanParts(parts, &hits);
+    EXPECT_EQ(SortedIds(hits), TruthIds(s.data, q)) << "query " << i;
+    EXPECT_GT(project_stats.bbs_checked, 0);
+  }
+}
+
+// Regression: cross-shard QueryStats must SUM the per-shard counters. A
+// bug that reported only the last shard's stats would under-report
+// whenever a query spans more than one shard.
+TEST(ShardedIndexTest, StatsSumAcrossShards) {
+  const TestScenario s = MakeScenario(Region::kCaliNev, 6000, 150, 2e-3, 107);
+  ShardedVersionedIndex index(WaziFactory(), s.data, s.workload, FastOpts(),
+                              Shards(4));
+  // The full domain overlaps every shard, so per-shard results must sum to
+  // the dataset size.
+  const Rect everything = s.data.bounds;
+  std::vector<ShardQueryPart> parts;
+  QueryStats total;
+  std::vector<Point> hits;
+  index.RangeQuery(everything, &hits, &total, &parts);
+  ASSERT_EQ(parts.size(), static_cast<size_t>(index.num_shards()));
+  EXPECT_EQ(hits.size(), s.data.size());
+  EXPECT_EQ(total.results, static_cast<int64_t>(s.data.size()));
+
+  QueryStats summed;
+  for (const ShardQueryPart& part : parts) {
+    // Every shard did real work on this query...
+    EXPECT_GT(part.stats.results, 0) << "shard " << part.shard;
+    summed.Add(part.stats);
+  }
+  // ...and the reported totals are exactly the sum, not the last part.
+  EXPECT_EQ(total.results, summed.results);
+  EXPECT_EQ(total.points_scanned, summed.points_scanned);
+  EXPECT_EQ(total.pages_scanned, summed.pages_scanned);
+  EXPECT_EQ(total.bbs_checked, summed.bbs_checked);
+  EXPECT_GT(total.results, parts.back().stats.results)
+      << "totals must not collapse to the last shard's counters";
+
+  // Narrow queries agree too: summed parts == reported stats on every
+  // workload query (single- or multi-shard).
+  for (size_t i = 0; i < 40; ++i) {
+    QueryStats qs;
+    hits.clear();
+    index.RangeQuery(s.workload.queries[i], &hits, &qs, &parts);
+    QueryStats acc;
+    for (const ShardQueryPart& part : parts) acc.Add(part.stats);
+    EXPECT_EQ(qs.points_scanned, acc.points_scanned) << "query " << i;
+    EXPECT_EQ(qs.results, acc.results) << "query " << i;
+  }
+}
+
+// Per-shard versions advance independently; the facade's version is their
+// monotone sum, and per-query version masses report the snapshots used.
+TEST(ShardedIndexTest, VersionsTrackPerShardPublishes) {
+  const TestScenario s = MakeScenario(Region::kJapan, 3000, 60, 2e-3, 108);
+  ShardedVersionedIndex index(WaziFactory(), s.data, s.workload, FastOpts(),
+                              Shards(4));
+  EXPECT_EQ(index.version(), 4u);  // each shard publishes version 1
+
+  // Update exactly one shard: only its version moves.
+  const Point p = s.data.points[0];
+  const int home = index.ShardOf(p);
+  index.shard(home).ApplyBatch({UpdateOp::Remove(p)});
+  EXPECT_EQ(index.version(), 5u);
+  EXPECT_EQ(index.shard(home).version(), 2u);
+  EXPECT_FALSE(index.PointQuery(p));
+
+  uint64_t mass = 0;
+  EXPECT_FALSE(index.PointQuery(p, nullptr, &mass, nullptr));
+  EXPECT_EQ(mass, 2u);  // the home shard's snapshot
+  std::vector<Point> hits;
+  index.RangeQuery(s.data.bounds, &hits, nullptr, nullptr, &mass);
+  EXPECT_EQ(mass, 5u);  // all four shards
+}
+
+}  // namespace
+}  // namespace wazi::serve

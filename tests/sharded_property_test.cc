@@ -1,0 +1,159 @@
+// Property: sharding is invisible to query results. For ANY split of a
+// dataset into shards, the merged per-shard results must equal the
+// unsharded (1-shard) result — ranges (id sets), point lookups, and kNN
+// (distance multisets, so ties at the k-th neighbour compare equal no
+// matter which tied point a topology reports). Exercised across shard
+// counts (primes force stripe tilings), regions, seeds, and a degenerate
+// duplicate-heavy dataset that leaves some shards nearly empty.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/wazi.h"
+#include "serve/sharded_index.h"
+#include "tests/test_util.h"
+
+namespace wazi::serve {
+namespace {
+
+IndexFactory WaziFactory() {
+  return [] { return std::unique_ptr<SpatialIndex>(new Wazi()); };
+}
+
+BuildOptions FastOpts() {
+  BuildOptions opts;
+  opts.leaf_capacity = 32;
+  return opts;
+}
+
+ShardedIndexOptions Shards(int n) {
+  ShardedIndexOptions opts;
+  opts.num_shards = n;
+  return opts;
+}
+
+std::vector<double> SortedDistanceSquared(const std::vector<Point>& pts,
+                                          const Point& center) {
+  std::vector<double> d2;
+  d2.reserve(pts.size());
+  for (const Point& p : pts) d2.push_back(DistanceSquared(p, center));
+  std::sort(d2.begin(), d2.end());
+  return d2;
+}
+
+void ExpectTopologiesAgree(const Dataset& data, const Workload& workload,
+                           const std::vector<int>& shard_counts,
+                           uint64_t seed) {
+  ShardedVersionedIndex reference(WaziFactory(), data, workload, FastOpts(),
+                                  Shards(1));
+  Rng rng(seed);
+  // Query mix: workload rectangles, thin slivers, and the full domain.
+  std::vector<Rect> rects(workload.queries.begin(), workload.queries.end());
+  for (int i = 0; i < 10; ++i) {
+    const double x = rng.NextDouble(), y = rng.NextDouble();
+    rects.push_back(Rect::Of(x, 0.0, x + 1e-3, 1.0));   // vertical sliver
+    rects.push_back(Rect::Of(0.0, y, 1.0, y + 1e-3));   // horizontal sliver
+  }
+  rects.push_back(data.bounds);
+  rects.push_back(Rect::Of(0.25, 0.25, 0.75, 0.75));
+
+  std::vector<Point> knn_centers;
+  for (int i = 0; i < 12; ++i) {
+    knn_centers.push_back(Point{rng.NextDouble(), rng.NextDouble(), 0});
+  }
+  if (!data.points.empty()) {
+    knn_centers.push_back(data.points[data.points.size() / 2]);
+  }
+
+  for (const int n : shard_counts) {
+    ShardedVersionedIndex sharded(WaziFactory(), data, workload, FastOpts(),
+                                  Shards(n));
+    ASSERT_EQ(sharded.num_shards(), n);
+    EXPECT_EQ(sharded.num_points(), reference.num_points());
+
+    for (size_t i = 0; i < rects.size(); ++i) {
+      std::vector<Point> want, got;
+      reference.RangeQuery(rects[i], &want);
+      sharded.RangeQuery(rects[i], &got);
+      EXPECT_EQ(SortedIds(got), SortedIds(want))
+          << "shards=" << n << " rect " << i;
+    }
+
+    for (size_t i = 0; i < data.points.size();
+         i += std::max<size_t>(1, data.points.size() / 50)) {
+      const Point& p = data.points[i];
+      EXPECT_TRUE(sharded.PointQuery(p)) << "shards=" << n;
+      Point miss = p;
+      miss.x += 0.5312345;  // almost surely absent
+      EXPECT_EQ(sharded.PointQuery(miss), reference.PointQuery(miss));
+    }
+
+    for (const Point& center : knn_centers) {
+      for (const int k : {1, 3, 17}) {
+        const std::vector<Point> want = reference.Knn(center, k);
+        const std::vector<Point> got = sharded.Knn(center, k);
+        ASSERT_EQ(got.size(), want.size()) << "shards=" << n << " k=" << k;
+        // Distance multisets equal; per-position distances sorted.
+        const std::vector<double> want_d2 =
+            SortedDistanceSquared(want, center);
+        const std::vector<double> got_d2 = SortedDistanceSquared(got, center);
+        for (size_t j = 0; j < got_d2.size(); ++j) {
+          EXPECT_DOUBLE_EQ(got_d2[j], want_d2[j])
+              << "shards=" << n << " k=" << k << " j=" << j;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedPropertyTest, RegionScenariosAgreeAcrossShardCounts) {
+  for (const auto& [region, seed] :
+       std::vector<std::pair<Region, uint64_t>>{{Region::kCaliNev, 201},
+                                                {Region::kNewYork, 202}}) {
+    const TestScenario s = MakeScenario(region, 3000, 60, 2e-3, seed);
+    ExpectTopologiesAgree(s.data, s.workload, {2, 3, 4, 7, 8}, seed * 31);
+  }
+}
+
+TEST(ShardedPropertyTest, UniformDataAgreesAcrossShardCounts) {
+  const Dataset data = MakeUniformDataset(2500, 301);
+  QueryGenOptions qopts;
+  qopts.num_queries = 40;
+  qopts.selectivity = 2e-3;
+  qopts.seed = 302;
+  const Workload w =
+      GenerateCheckinWorkload(Region::kIberia, data.bounds, qopts);
+  ExpectTopologiesAgree(data, w, {2, 4, 6, 9}, 303);
+}
+
+// Duplicate-heavy, collinear data: boundary cuts land on repeated values,
+// some shards end up (nearly) empty, and the topologies must still agree.
+TEST(ShardedPropertyTest, DegenerateDataAgreesAcrossShardCounts) {
+  const Dataset data = MakeDegenerateDataset(1200, 401);
+  Workload w;  // empty workload: pure equi-depth cuts, unguided builds
+  w.selectivity = 2e-3;
+  ExpectTopologiesAgree(data, w, {2, 4, 5, 8}, 402);
+}
+
+// A workload whose hotspots sit exactly on the data medians still yields a
+// consistent partition (the workload-aware cut placement shifts cuts, and
+// results stay identical).
+TEST(ShardedPropertyTest, HotspotOnMedianStaysConsistent) {
+  const Dataset data = MakeUniformDataset(2000, 501);
+  Workload w;
+  w.selectivity = 1e-3;
+  Rng rng(502);
+  for (int i = 0; i < 60; ++i) {
+    const double cx = 0.5 + rng.NextGaussian() * 0.02;
+    const double cy = 0.5 + rng.NextGaussian() * 0.02;
+    w.queries.push_back(Rect::Of(cx - 0.02, cy - 0.02, cx + 0.02, cy + 0.02));
+  }
+  ExpectTopologiesAgree(data, w, {2, 4, 8}, 503);
+}
+
+}  // namespace
+}  // namespace wazi::serve

@@ -9,14 +9,14 @@
 //   wazi_cli query      --index-file index.bin --rect 0.4,0.2,0.48,0.28
 //   wazi_cli point      --index-file index.bin --at 0.44,0.24
 //   wazi_cli stats      --index-file index.bin
-//   wazi_cli throughput --threads 4 --mix 95r/5w --n 200000 --seconds 3
-//                       [--region CaliNev --index wazi --queries 2000
-//                        --selectivity 0.0256%]
+//   wazi_cli throughput --threads 4 --shards 4 --mix 95r/5w --n 200000
+//                       --seconds 3 [--region CaliNev --index wazi
+//                        --queries 2000 --selectivity 0.0256%]
 //
 // `throughput` (alias: `serve`) drives the concurrent serving engine
 // (src/serve/): N client threads issue range queries against the live
-// snapshot while writes stream through the background writer, and the
-// command reports QPS plus latency percentiles.
+// per-shard snapshots while writes stream through each shard's own
+// background writer, and the command reports QPS plus latency percentiles.
 //
 // The persisted format only covers the Z-index family (wazi/base); the
 // other baselines are in-memory research comparators.
@@ -265,14 +265,16 @@ int CmdThroughput(const std::map<std::string, std::string>& flags) {
       std::strtoull(FlagOr(flags, "n", "200000").c_str(), nullptr, 10);
   const int threads = static_cast<int>(
       std::strtol(FlagOr(flags, "threads", "4").c_str(), nullptr, 10));
+  const int shards = static_cast<int>(
+      std::strtol(FlagOr(flags, "shards", "1").c_str(), nullptr, 10));
   const int write_pct = ParseWritePct(FlagOr(flags, "mix", "95r/5w"));
   const double seconds =
       std::strtod(FlagOr(flags, "seconds", "3").c_str(), nullptr);
   const std::string index_name = FlagOr(flags, "index", "wazi");
-  if (threads < 1 || write_pct < 0 || seconds <= 0.0) {
+  if (threads < 1 || shards < 1 || write_pct < 0 || seconds <= 0.0) {
     std::fprintf(stderr,
-                 "--threads wants >= 1, --mix wants e.g. 95r/5w, "
-                 "--seconds wants > 0\n");
+                 "--threads and --shards want >= 1, --mix wants e.g. "
+                 "95r/5w, --seconds wants > 0\n");
     return 2;
   }
   if (MakeIndex(index_name) == nullptr) {
@@ -297,17 +299,18 @@ int CmdThroughput(const std::map<std::string, std::string>& flags) {
   const Workload workload =
       GenerateCheckinWorkload(region, Rect::Of(0, 0, 1, 1), qopts);
 
-  std::fprintf(stderr, "building 2x %s over %zu points...\n",
-               index_name.c_str(), data.size());
+  std::fprintf(stderr, "building %d shard(s) of %s over %zu points...\n",
+               shards, index_name.c_str(), data.size());
   Timer build_timer;
   serve::ServeOptions sopts;
+  sopts.num_shards = shards;
   sopts.num_threads = 1;  // client threads below execute queries themselves
   serve::ServeLoop loop([&index_name] { return MakeIndex(index_name); }, data,
                         workload, BuildOptions{}, sopts);
   std::fprintf(stderr, "built in %.1fs; serving %.1fs on %d threads "
-               "(%d%% writes, %u hw threads)\n",
+               "(%d%% writes, %d shards, %u hw threads)\n",
                build_timer.ElapsedSeconds(), seconds, threads, write_pct,
-               std::thread::hardware_concurrency());
+               loop.num_shards(), std::thread::hardware_concurrency());
 
   serve::ClientLoadOptions copts;
   copts.threads = threads;
@@ -317,6 +320,7 @@ int CmdThroughput(const std::map<std::string, std::string>& flags) {
       serve::RunClientLoad(loop, workload, copts);
 
   std::printf("threads:        %d\n", threads);
+  std::printf("shards:         %d\n", loop.num_shards());
   std::printf("mix:            %dr/%dw\n", 100 - write_pct, write_pct);
   std::printf("queries:        %lld (%.0f QPS)\n",
               static_cast<long long>(load.queries),
