@@ -12,12 +12,23 @@
 // thread, and each sub-query runs on an index 1/shards the size.
 //
 //   bench_serve_throughput [--shards 1,4] [--threads 1,2,4,8]
+//   bench_serve_throughput --repartition 4 [--threads ...]
+//
+// --repartition N replaces the sweep with a skew-shift experiment on N
+// shards: a mixed-load phase on the build-time workload, then a phase
+// whose queries AND inserts collapse into one corner of the domain,
+// run once with the topology frozen and once with the repartition
+// monitor enabled (live router swap + data migration mid-phase). A
+// validator thread checks sentinel points through both phases; the
+// run must complete with zero query errors.
 //
 //   WAZI_SCALE=smoke|default|paper   (50k / 1M / 8M points)
 //   WAZI_SERVE_INDEX=wazi|base|flood|...   (default wazi)
 //   WAZI_SERVE_SECONDS=<per-cell duration, default 1.5 (smoke 0.3)>
 //   WAZI_SERVE_SHARDS=<default for --shards>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -77,6 +88,195 @@ std::string FormatQps(double qps) {
   return buf;
 }
 
+// Affinely maps `r` from `from` into `to` (the skew-shift transform that
+// collapses the base workload into a corner of the domain).
+Rect MapRect(const Rect& r, const Rect& from, const Rect& to) {
+  const double sx = (to.max_x - to.min_x) / (from.max_x - from.min_x);
+  const double sy = (to.max_y - to.min_y) / (from.max_y - from.min_y);
+  return Rect::Of(to.min_x + (r.min_x - from.min_x) * sx,
+                  to.min_y + (r.min_y - from.min_y) * sy,
+                  to.min_x + (r.max_x - from.min_x) * sx,
+                  to.min_y + (r.max_y - from.min_y) * sy);
+}
+
+// Skew-shift phase experiment: pre-shift mixed load on the build-time
+// workload, then queries + inserts collapsed into `corner`, with the
+// repartition monitor on or off. A validator thread continuously checks
+// that a grid of sentinel points stays visible to point lookups AND to
+// range queries centred on them — a lost or double-routed point during a
+// live migration would show up as an error.
+struct RepartitionArmResult {
+  double qps_pre = 0.0;
+  double qps_post = 0.0;
+  int64_t p99_post_ns = 0;
+  int64_t repartitions = 0;
+  uint64_t epoch = 0;
+  int64_t errors = 0;
+};
+
+RepartitionArmResult RunRepartitionArm(const std::string& index_name,
+                                       const Dataset& data,
+                                       const Workload& workload,
+                                       int shards, double seconds,
+                                       bool adaptive) {
+  ServeOptions opts;
+  opts.num_shards = shards;
+  opts.num_threads = 1;
+  opts.auto_rebuild = false;  // isolate the topology effect
+  opts.writer_coalesce_ms = 8;
+  opts.repartition.enabled = adaptive;
+  opts.repartition.poll_ms = 100;
+  opts.repartition.max_imbalance = 1.4;
+  opts.repartition.patience = 2;
+  opts.repartition.min_queries = 256;
+  opts.repartition.min_interval_ms = 1000;
+  std::fprintf(stderr, "[serve] building %d shard(s) of %s (%s)...\n",
+               shards, index_name.c_str(),
+               adaptive ? "repartition on" : "repartition off");
+  ServeLoop loop([&index_name] { return MakeIndex(index_name); }, data,
+                 workload, BuildOptions{}, opts);
+
+  // Sentinels: a grid across the domain, inserted up front. They are
+  // never removed, so every lookup and every centred range query must
+  // find them for the rest of the run, across any number of migrations.
+  std::vector<Point> sentinels;
+  const Rect& b = data.bounds;
+  for (int gx = 0; gx < 8; ++gx) {
+    for (int gy = 0; gy < 8; ++gy) {
+      Point p;
+      p.x = b.min_x + (b.max_x - b.min_x) * (0.5 + gx) / 8.0;
+      p.y = b.min_y + (b.max_y - b.min_y) * (0.5 + gy) / 8.0;
+      p.id = 900000000 + gx * 8 + gy;
+      sentinels.push_back(p);
+      loop.SubmitInsert(p);
+    }
+  }
+  loop.Flush();
+
+  std::atomic<int64_t> errors{0};
+  std::atomic<bool> stop_validator{false};
+  std::thread validator([&] {
+    const double rx = (b.max_x - b.min_x) * 0.01;
+    const double ry = (b.max_y - b.min_y) * 0.01;
+    size_t i = 0;
+    while (!stop_validator.load(std::memory_order_relaxed)) {
+      const Point& p = sentinels[i++ % sentinels.size()];
+      if (!loop.PointLookup(p)) {
+        errors.fetch_add(1, std::memory_order_relaxed);
+      }
+      const serve::QueryResult res =
+          loop.Range(Rect::Of(p.x - rx, p.y - ry, p.x + rx, p.y + ry));
+      bool seen = false;
+      for (const Point& hit : res.hits) {
+        if (hit.id == p.id) seen = true;
+      }
+      if (!seen) errors.fetch_add(1, std::memory_order_relaxed);
+      // Throttled: the validator is a correctness probe, not load — at
+      // full tilt its domain-uniform queries would both perturb the
+      // measured QPS and dilute the skew signal the monitor watches.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  RepartitionArmResult arm;
+  {
+    ClientLoadOptions copts;
+    copts.threads = 2;
+    copts.write_pct = 5;
+    copts.seconds = seconds;
+    const ClientLoadResult pre = RunClientLoad(loop, workload, copts);
+    arm.qps_pre = static_cast<double>(pre.queries) / pre.elapsed_seconds;
+  }
+
+  // The shift: everything lands in the lower-left ~4% of the domain.
+  const Rect corner =
+      Rect::Of(b.min_x, b.min_y, b.min_x + (b.max_x - b.min_x) * 0.2,
+               b.min_y + (b.max_y - b.min_y) * 0.2);
+  Workload skewed;
+  skewed.name = workload.name + "/skewed";
+  skewed.selectivity = workload.selectivity;
+  skewed.queries.reserve(workload.queries.size());
+  for (const Rect& q : workload.queries) {
+    skewed.queries.push_back(MapRect(q, b, corner));
+  }
+  {
+    ClientLoadOptions copts;
+    copts.threads = 2;
+    copts.write_pct = 20;  // heavy corner inserts skew the item counts too
+    copts.seconds = seconds * 2;
+    copts.insert_region = corner;
+    const ClientLoadResult post = RunClientLoad(loop, skewed, copts);
+    arm.qps_post = static_cast<double>(post.queries) / post.elapsed_seconds;
+    arm.p99_post_ns = post.latencies.PercentileNs(99);
+  }
+
+  // Grace window for the adaptive arm: on a loaded box the monitor's
+  // trigger may land at the tail of the phase and the (synchronous)
+  // migration complete just after it — keep validating sentinels while a
+  // pending swap finishes instead of misreporting it as never happening.
+  if (adaptive) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (loop.repartitions() == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+  }
+  stop_validator.store(true);
+  validator.join();
+  std::fprintf(stderr,
+               "[serve] %s arm done: imbalance %.2f, epoch %llu\n",
+               adaptive ? "adaptive" : "frozen", loop.imbalance(),
+               static_cast<unsigned long long>(loop.epoch()));
+  arm.repartitions = loop.repartitions();
+  arm.epoch = loop.epoch();
+  arm.errors = errors.load();
+  return arm;
+}
+
+int RunRepartitionExperiment(const std::string& index_name,
+                             const Dataset& data, const Workload& workload,
+                             int shards, double seconds) {
+  std::vector<std::vector<std::string>> rows;
+  RepartitionArmResult arms[2];
+  for (const bool adaptive : {false, true}) {
+    const RepartitionArmResult arm = RunRepartitionArm(
+        index_name, data, workload, shards, seconds, adaptive);
+    arms[adaptive ? 1 : 0] = arm;
+    rows.push_back({adaptive ? "on" : "off", FormatQps(arm.qps_pre),
+                    FormatQps(arm.qps_post),
+                    FormatNs(static_cast<double>(arm.p99_post_ns)),
+                    std::to_string(arm.repartitions),
+                    std::to_string(arm.epoch),
+                    std::to_string(arm.errors)});
+  }
+  char title[160];
+  std::snprintf(title, sizeof(title),
+                "Skew-shift with live repartitioning (%s, %zu pts, %d "
+                "shards, %.1fs pre / %.1fs post)",
+                index_name.c_str(), data.size(), shards, seconds,
+                seconds * 2);
+  PrintTable(title,
+             {"repart", "QPS pre", "QPS post", "p99 post", "migrations",
+              "epoch", "errors"},
+             rows);
+  if (arms[0].qps_post > 0.0) {
+    std::printf("\npost-shift QPS, repartition off -> on: %.2fx "
+                "(%lld live migration(s), %lld query errors)\n",
+                arms[1].qps_post / arms[0].qps_post,
+                static_cast<long long>(arms[1].repartitions),
+                static_cast<long long>(arms[1].errors + arms[0].errors));
+  }
+  const bool ok = arms[0].errors == 0 && arms[1].errors == 0 &&
+                  arms[1].repartitions >= 1;
+  if (!ok) {
+    std::fprintf(stderr, "[serve] FAILED: %s\n",
+                 arms[1].repartitions < 1 ? "no migration triggered"
+                                          : "sentinel query errors");
+  }
+  return ok ? 0 : 1;
+}
+
 // "1,4" -> {1, 4}. Exits on malformed input.
 std::vector<int> ParseIntList(const char* arg, const char* flag) {
   std::vector<int> values;
@@ -115,14 +315,19 @@ int Main(int argc, char** argv) {
   std::vector<int> shard_counts =
       ParseIntList(shards_env != nullptr ? shards_env : "1,4", "--shards");
   std::vector<int> thread_counts = {1, 2, 4, 8};
+  int repartition_shards = 0;
   int argi = 1;
   for (; argi + 1 < argc; argi += 2) {
     if (std::strcmp(argv[argi], "--shards") == 0) {
       shard_counts = ParseIntList(argv[argi + 1], "--shards");
     } else if (std::strcmp(argv[argi], "--threads") == 0) {
       thread_counts = ParseIntList(argv[argi + 1], "--threads");
+    } else if (std::strcmp(argv[argi], "--repartition") == 0) {
+      repartition_shards = ParseIntList(argv[argi + 1], "--repartition")[0];
     } else {
-      std::fprintf(stderr, "unknown flag '%s' (known: --shards --threads)\n",
+      std::fprintf(stderr,
+                   "unknown flag '%s' (known: --shards --threads "
+                   "--repartition)\n",
                    argv[argi]);
       return 2;
     }
@@ -135,6 +340,11 @@ int Main(int argc, char** argv) {
   const Dataset& data = GetDataset(Region::kCaliNev, n);
   const Workload& workload =
       GetWorkload(Region::kCaliNev, scale.num_queries, 0.000256);
+
+  if (repartition_shards > 0) {
+    return RunRepartitionExperiment(index_name, data, workload,
+                                    repartition_shards, seconds);
+  }
 
   std::vector<std::vector<std::string>> rows;
   double mixed_qps_by_shards_lo = 0.0, mixed_qps_by_shards_hi = 0.0;

@@ -46,7 +46,9 @@ ClientLoadResult RunClientLoad(ServeLoop& loop, const Workload& workload,
             loop.SubmitRemove(inserted.back());
             inserted.pop_back();
           } else {
-            Point p{rng.NextDouble(), rng.NextDouble(),
+            const Rect& reg = opts.insert_region;
+            Point p{reg.min_x + rng.NextDouble() * (reg.max_x - reg.min_x),
+                    reg.min_y + rng.NextDouble() * (reg.max_y - reg.min_y),
                     g_next_insert_id.fetch_add(1, std::memory_order_relaxed)};
             loop.SubmitInsert(p);
             inserted.push_back(p);

@@ -21,6 +21,10 @@ struct ClientLoadOptions {
   double seconds = 1.0;
   // Latency samples retained per client thread (steady-state window).
   size_t latency_window = 1 << 16;
+  // Region inserted points are drawn from (uniformly). The default covers
+  // the generators' unit square; the repartition benchmark narrows it to a
+  // corner to skew the per-shard item counts.
+  Rect insert_region = Rect::Of(0.0, 0.0, 1.0, 1.0);
 };
 
 struct ClientLoadResult {

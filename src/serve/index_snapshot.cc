@@ -19,6 +19,7 @@ VersionedIndex::VersionedIndex(IndexFactory factory, const Dataset& data,
   for (size_t i = 0; i < data_.points.size(); ++i) {
     pos_by_id_[data_.points[i].id] = i;
   }
+  num_points_.store(data_.points.size(), std::memory_order_relaxed);
   for (int s = 0; s < 2; ++s) {
     inst_[s] = factory_();
     inst_[s]->Build(data_, last_workload_, build_opts_);
@@ -176,6 +177,7 @@ void VersionedIndex::ApplyToData(const std::vector<UpdateOp>& ops) {
       data_.points.pop_back();
     }
   }
+  num_points_.store(data_.points.size(), std::memory_order_relaxed);
 }
 
 void VersionedIndex::ApplyToInstance(SpatialIndex* index,

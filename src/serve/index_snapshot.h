@@ -106,11 +106,15 @@ class IndexSnapshot {
   std::atomic<bool>* drained_;
 };
 
-// The publication slot: one writer stores, many readers load. Lock-free
+// A publication slot: one writer stores, many readers load. Lock-free
 // atomic<shared_ptr> in production builds; a mutex under TSan (see above).
-class SnapshotCell {
+// Used at both snapshot levels of the serving engine: per-shard
+// IndexSnapshots (SnapshotCell) and the shard topology itself
+// (ShardedVersionedIndex publishes a ShardTopology through one).
+template <typename T>
+class AtomicCell {
  public:
-  std::shared_ptr<const IndexSnapshot> Load() const {
+  std::shared_ptr<T> Load() const {
 #if WAZI_SERVE_TSAN
     std::lock_guard<std::mutex> lock(mu_);
     return ptr_;
@@ -119,27 +123,29 @@ class SnapshotCell {
 #endif
   }
 
-  void Store(std::shared_ptr<const IndexSnapshot> snap) {
+  void Store(std::shared_ptr<T> value) {
 #if WAZI_SERVE_TSAN
-    std::shared_ptr<const IndexSnapshot> old;  // destroy outside the lock
+    std::shared_ptr<T> old;  // destroy outside the lock
     {
       std::lock_guard<std::mutex> lock(mu_);
       old.swap(ptr_);
-      ptr_ = std::move(snap);
+      ptr_ = std::move(value);
     }
 #else
-    ptr_.store(std::move(snap), std::memory_order_release);
+    ptr_.store(std::move(value), std::memory_order_release);
 #endif
   }
 
  private:
 #if WAZI_SERVE_TSAN
   mutable std::mutex mu_;
-  std::shared_ptr<const IndexSnapshot> ptr_;
+  std::shared_ptr<T> ptr_;
 #else
-  std::atomic<std::shared_ptr<const IndexSnapshot>> ptr_;
+  std::atomic<std::shared_ptr<T>> ptr_;
 #endif
 };
+
+using SnapshotCell = AtomicCell<const IndexSnapshot>;
 
 struct VersionedIndexOptions {
   // When true, every snapshot carries an immutable copy of the point set
@@ -181,8 +187,14 @@ class VersionedIndex {
   // `workload` (the drift-triggered re-optimization path) and publishes it.
   void Rebuild(const Workload& workload);
 
+  // Point count of the authoritative set, readable from ANY thread (an
+  // atomic mirror updated by the writer after each batch): exact once the
+  // writer is quiesced, at most one batch stale while it streams. The
+  // repartition monitor samples this for per-shard item counts.
+  size_t num_points() const {
+    return num_points_.load(std::memory_order_relaxed);
+  }
   // Authoritative state, writer thread only.
-  size_t num_points() const { return data_.points.size(); }
   const Dataset& data() const { return data_; }
 
  private:
@@ -220,6 +232,7 @@ class VersionedIndex {
   int live_slot_ = 0;
   bool supports_updates_ = false;
 
+  std::atomic<size_t> num_points_{0};  // mirror of data_.points.size()
   std::atomic<uint64_t> version_{0};
   SnapshotCell live_;
 };

@@ -60,16 +60,19 @@ QueryResult QueryEngine::ExecuteOn(
   switch (request.type) {
     case QueryRequest::Type::kRange:
       index_->RangeQuery(request.rect, &result.hits, stats,
-                         /*parts=*/nullptr, &result.snapshot_version, snaps);
+                         /*parts=*/nullptr, &result.snapshot_version, snaps,
+                         &result.epoch);
       break;
     case QueryRequest::Type::kPoint:
       result.found = index_->PointQuery(request.point, stats,
                                         &result.snapshot_version,
-                                        /*home_shard=*/nullptr, snaps);
+                                        /*home_shard=*/nullptr, snaps,
+                                        &result.epoch);
       break;
     case QueryRequest::Type::kKnn:
       result.hits = index_->Knn(request.point, request.k, stats,
-                                &result.snapshot_version, snaps);
+                                &result.snapshot_version, snaps,
+                                &result.epoch);
       break;
   }
   return result;

@@ -51,9 +51,13 @@ struct QueryResult {
   // Sum of the versions of the per-shard snapshots this query ran on. With
   // one shard this is exactly the snapshot version; with more it is a
   // version mass, comparable only between queries touching the same shard
-  // set (cross-shard queries have no single global version — shards swap
-  // snapshots independently).
+  // set at the same epoch (cross-shard queries have no single global
+  // version — shards swap snapshots independently).
   uint64_t snapshot_version = 0;
+  // Epoch of the topology the query was pinned to. A batch pins one
+  // topology per executor block, so results within a block share it;
+  // a live repartition bumps it between blocks/queries.
+  uint64_t epoch = 0;
 };
 
 class QueryEngine {
@@ -62,10 +66,11 @@ class QueryEngine {
   QueryEngine(const ShardedVersionedIndex* index, int num_threads);
 
   // Executes requests[i] into (*results)[i] across the worker pool; blocks
-  // until the whole batch is done. Each worker acquires every shard's
-  // snapshot once per block (AcquireAll), so one batch may straddle
-  // snapshot swaps across blocks (each result records the version mass it
-  // ran on) but never within a block. Safe to call from multiple threads;
+  // until the whole batch is done. Each worker pins the topology and
+  // acquires every shard's snapshot once per block (AcquireAll), so one
+  // batch may straddle snapshot swaps — or a whole live repartition —
+  // across blocks (each result records the epoch and version mass it ran
+  // on) but never within a block. Safe to call from multiple threads;
   // concurrent batches share the pool, so each also waits out the other's
   // in-flight tasks.
   void ExecuteBatch(const std::vector<QueryRequest>& requests,

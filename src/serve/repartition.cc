@@ -1,0 +1,85 @@
+#include "serve/repartition.h"
+
+#include <algorithm>
+
+namespace wazi::serve {
+
+double CombinedImbalance(const std::vector<ShardLoad>& loads,
+                         const RepartitionOptions& opts,
+                         int64_t* total_stabs) {
+  const size_t n = loads.size();
+  int64_t stabs = 0;
+  for (const ShardLoad& l : loads) stabs += l.query_stabs;
+  if (total_stabs != nullptr) *total_stabs = stabs;
+  if (n < 2) return 1.0;
+
+  double items_total = 0.0, queue_total = 0.0;
+  for (const ShardLoad& l : loads) {
+    items_total += static_cast<double>(l.items);
+    queue_total += static_cast<double>(l.queue_depth);
+  }
+  // Workload components are only trusted once enough traffic has been
+  // seen; a handful of stabs right after an epoch swap is pure noise.
+  const bool use_stabs =
+      stabs > 0 && stabs >= opts.min_queries && opts.weight_stabs > 0;
+  const bool use_items = items_total > 0 && opts.weight_items > 0;
+  const bool use_queue = queue_total > 0 && opts.weight_queue > 0;
+
+  double weight_sum = 0.0;
+  if (use_items) weight_sum += opts.weight_items;
+  if (use_stabs) weight_sum += opts.weight_stabs;
+  if (use_queue) weight_sum += opts.weight_queue;
+  if (weight_sum == 0.0) return 1.0;
+
+  double max_load = 0.0;
+  for (const ShardLoad& l : loads) {
+    double load = 0.0;
+    // share * n: a shard's multiple of the fair (mean) component value.
+    if (use_items) {
+      load += opts.weight_items * static_cast<double>(l.items) /
+              items_total * static_cast<double>(n);
+    }
+    if (use_stabs) {
+      load += opts.weight_stabs * static_cast<double>(l.query_stabs) /
+              static_cast<double>(stabs) * static_cast<double>(n);
+    }
+    if (use_queue) {
+      load += opts.weight_queue * static_cast<double>(l.queue_depth) /
+              queue_total * static_cast<double>(n);
+    }
+    max_load = std::max(max_load, load);
+  }
+  // The mean combined load is exactly the weight sum (each normalized
+  // component averages to 1 across shards).
+  return max_load / weight_sum;
+}
+
+bool RepartitionMonitor::Observe(const std::vector<ShardLoad>& loads,
+                                 TimePoint now) {
+  int64_t stabs = 0;
+  imbalance_ = CombinedImbalance(loads, opts_, &stabs);
+  if (imbalance_ <= opts_.max_imbalance) {
+    over_count_ = 0;
+    return false;
+  }
+  ++over_count_;
+  if (over_count_ < opts_.patience) return false;
+  if (have_last_ &&
+      now - last_repartition_ <
+          std::chrono::milliseconds(opts_.min_interval_ms)) {
+    return false;
+  }
+  // The recommendation is consumed: a caller that skips the migration
+  // anyway gets a fresh patience run instead of a true every sample.
+  over_count_ = 0;
+  return true;
+}
+
+void RepartitionMonitor::ResetAfterRepartition(TimePoint now) {
+  over_count_ = 0;
+  imbalance_ = 1.0;
+  have_last_ = true;
+  last_repartition_ = now;
+}
+
+}  // namespace wazi::serve

@@ -1,0 +1,100 @@
+// Repartition decision logic: when should the serve layer re-cut the
+// shard topology?
+//
+// The monitor consumes periodic per-shard load samples — item counts
+// (authoritative point-count mirrors), query stabs (sub-queries served
+// since the previous sample) and update-queue depths — and reduces
+// them to one imbalance ratio: each component is normalized to its own
+// mean across shards, the components are combined per shard with
+// configurable weights, and the ratio is max(load) / mean(load). 1.0 means
+// a perfectly balanced topology; 2.0 means the hottest shard carries twice
+// its fair share. A repartition is recommended when the ratio stays above
+// `max_imbalance` for `patience` consecutive samples (a single skewed
+// burst should not trigger a full data migration), enough query traffic
+// has been observed to judge the workload, and the cooldown since the last
+// repartition has expired.
+//
+// Pure decision logic, no threads and no clocks of its own (callers pass
+// timestamps), so it is unit-testable in isolation; ServeLoop owns the
+// sampling thread and executes the migration.
+
+#ifndef WAZI_SERVE_REPARTITION_H_
+#define WAZI_SERVE_REPARTITION_H_
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace wazi::serve {
+
+struct RepartitionOptions {
+  // Run the monitor thread and migrate automatically when it recommends.
+  // Off by default: repartitions move every point of the index between
+  // generations, so opting in should be deliberate (benchmarks and tests
+  // also drive migrations explicitly via ServeLoop::TriggerRepartition).
+  bool enabled = false;
+  // Monitor sampling period.
+  int poll_ms = 200;
+  // Trigger when max/mean combined shard load exceeds this ratio...
+  double max_imbalance = 1.8;
+  // ...for this many consecutive samples.
+  int patience = 3;
+  // Minimum query stabs in one sample's window before the workload
+  // component is trusted (item imbalance alone may still trigger). The
+  // ServeLoop monitor samples stab DELTAS per poll interval, so this is
+  // effectively a rate floor of min_queries / poll_ms — below it a
+  // query-only skew is treated as noise.
+  int64_t min_queries = 256;
+  // Cooldown between migrations.
+  int min_interval_ms = 2000;
+  // Component weights of the combined load (a component whose total is
+  // zero across all shards is skipped).
+  double weight_items = 1.0;
+  double weight_stabs = 1.0;
+  double weight_queue = 0.5;
+};
+
+// One shard's load sample.
+struct ShardLoad {
+  size_t items = 0;          // authoritative point count (atomic mirror)
+  int64_t query_stabs = 0;   // sub-queries served in this sample's window
+  size_t queue_depth = 0;    // pending ops in the shard's writer queue
+};
+
+class RepartitionMonitor {
+ public:
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  explicit RepartitionMonitor(RepartitionOptions opts = {}) : opts_(opts) {}
+
+  // Feeds one sampling round. Returns true when a repartition is
+  // recommended now (imbalance over threshold for `patience` rounds,
+  // cooldown expired). Single-threaded: ServeLoop's monitor thread.
+  bool Observe(const std::vector<ShardLoad>& loads, TimePoint now);
+
+  // Call after a migration completes (restarts patience and cooldown).
+  void ResetAfterRepartition(TimePoint now);
+
+  // max/mean combined load of the last Observe round (1.0 = balanced).
+  double imbalance() const { return imbalance_; }
+
+ private:
+  RepartitionOptions opts_;
+  double imbalance_ = 1.0;
+  int over_count_ = 0;
+  bool have_last_ = false;
+  TimePoint last_repartition_{};
+};
+
+// The imbalance reduction by itself (exposed for tests and introspection):
+// max over shards of the weighted sum of mean-normalized components,
+// divided by the mean of the same quantity. Returns 1.0 for fewer than two
+// shards or all-zero loads.
+double CombinedImbalance(const std::vector<ShardLoad>& loads,
+                         const RepartitionOptions& opts,
+                         int64_t* total_stabs = nullptr);
+
+}  // namespace wazi::serve
+
+#endif  // WAZI_SERVE_REPARTITION_H_

@@ -14,20 +14,35 @@ ServeLoop::ServeLoop(IndexFactory factory, const Dataset& data,
       index_(std::move(factory), data, workload, build_opts,
              ShardedIndexOptions{opts.num_shards,
                                  VersionedIndexOptions{opts.track_points}}),
-      engine_(&index_, opts.num_threads) {
-  writers_.reserve(static_cast<size_t>(index_.num_shards()));
-  for (int s = 0; s < index_.num_shards(); ++s) {
-    writers_.push_back(std::make_unique<ShardWriter>(opts_.drift));
-    writers_.back()->recent.resize(opts_.recent_window);
-  }
-  // Threads last: WriterLoop touches writers_[s] and index_.shard(s).
-  for (int s = 0; s < index_.num_shards(); ++s) {
-    writers_[static_cast<size_t>(s)]->thread =
-        std::thread([this, s] { WriterLoop(s); });
+      engine_(&index_, opts.num_threads),
+      repartition_monitor_(opts.repartition) {
+  writer_gen_.Store(StartWriters(index_.AcquireTopology()));
+  if (opts_.repartition.enabled) {
+    monitor_thread_ = std::thread([this] { MonitorLoop(); });
   }
 }
 
 ServeLoop::~ServeLoop() { Stop(); }
+
+std::shared_ptr<ServeLoop::WriterGen> ServeLoop::StartWriters(
+    std::shared_ptr<ShardTopology> topo) {
+  auto gen = std::make_shared<WriterGen>();
+  gen->epoch = topo->epoch;
+  gen->topo = std::move(topo);
+  const int n = gen->topo->num_shards();
+  gen->writers.reserve(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    gen->writers.push_back(std::make_unique<ShardWriter>(opts_.drift));
+    gen->writers.back()->recent.resize(opts_.recent_window);
+  }
+  // Threads last: WriterLoop touches gen->writers[s] and gen->topo. Each
+  // thread keeps its generation alive; the cycle breaks at join time.
+  for (int s = 0; s < n; ++s) {
+    gen->writers[static_cast<size_t>(s)]->thread =
+        std::thread([this, gen, s] { WriterLoop(gen, s); });
+  }
+  return gen;
+}
 
 QueryResult ServeLoop::Range(const Rect& query, QueryStats* stats) {
   QueryResult result;
@@ -35,11 +50,14 @@ QueryResult ServeLoop::Range(const Rect& query, QueryStats* stats) {
   // parts are consumed before returning.
   static thread_local std::vector<ShardQueryPart> parts;
   index_.RangeQuery(query, &result.hits, nullptr, &parts,
-                    &result.snapshot_version);
+                    &result.snapshot_version, nullptr, &result.epoch);
+  const std::shared_ptr<WriterGen> gen = writer_gen_.Load();
   for (const ShardQueryPart& part : parts) {
     // Each shard observes the work IT did on the sub-rectangle IT served,
-    // so a drifting region only retrains the shards that cover it.
-    ObserveShard(part.shard, &part.rect, part.stats);
+    // so a drifting region only retrains the shards that cover it. Shard
+    // ids are relative to the pinned epoch; ObserveShard drops the sample
+    // if a repartition retired that generation meanwhile.
+    ObserveShard(*gen, result.epoch, part.shard, &part.rect, part.stats);
     if (stats != nullptr) stats->Add(part.stats);
   }
   return result;
@@ -54,10 +72,15 @@ bool ServeLoop::PointLookup(const Point& p, QueryStats* stats) {
 QueryResult ServeLoop::Knn(const Point& center, int k, QueryStats* stats) {
   QueryStats qs;
   QueryResult result;
-  result.hits = index_.Knn(center, k, &qs, &result.snapshot_version);
+  result.hits = index_.Knn(center, k, &qs, &result.snapshot_version, nullptr,
+                           &result.epoch);
   // kNN work is attributed to the center's home shard (the expansion
   // usually stays inside it); no rectangle feeds the recent ring.
-  ObserveShard(index_.ShardOf(center), nullptr, qs);
+  const std::shared_ptr<WriterGen> gen = writer_gen_.Load();
+  if (gen->epoch == result.epoch) {
+    ObserveShard(*gen, result.epoch, gen->topo->router.ShardOf(center),
+                 nullptr, qs);
+  }
   if (stats != nullptr) stats->Add(qs);
   return result;
 }
@@ -68,26 +91,46 @@ void ServeLoop::ExecuteBatch(const std::vector<QueryRequest>& requests,
 }
 
 void ServeLoop::Submit(const Point& p, bool insert) {
-  ShardWriter& w = *writers_[static_cast<size_t>(index_.ShardOf(p))];
-  bool notify;
-  {
-    std::lock_guard<std::mutex> lock(w.queue_mu);
-    w.queue.push_back(insert ? UpdateOp::Insert(p) : UpdateOp::Remove(p));
-    ++w.submitted;
-    // Wake the writer when there is NEW work (empty -> non-empty) or a full
-    // batch is ready; ops in between land in the coalescing window without
-    // a futex wake per op.
-    notify = w.queue.size() == 1 || w.queue.size() >= opts_.writer_batch_limit;
+  const UpdateOp op = insert ? UpdateOp::Insert(p) : UpdateOp::Remove(p);
+  for (;;) {
+    const std::shared_ptr<WriterGen> gen = writer_gen_.Load();
+    if (EnqueueTo(*gen, op, opts_.writer_batch_limit)) return;
+    // Cutover raced us: this shard is closed and its final delta already
+    // replayed. Wait for the successor generation to be installed (a short
+    // window — the coordinator is replaying the final chunk).
+    std::this_thread::yield();
   }
-  if (notify) w.queue_cv.notify_one();
 }
 
 void ServeLoop::SubmitInsert(const Point& p) { Submit(p, /*insert=*/true); }
 
 void ServeLoop::SubmitRemove(const Point& p) { Submit(p, /*insert=*/false); }
 
+bool ServeLoop::EnqueueTo(WriterGen& gen, const UpdateOp& op,
+                          size_t batch_limit) {
+  ShardWriter& w =
+      *gen.writers[static_cast<size_t>(gen.topo->router.ShardOf(op.point))];
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(w.queue_mu);
+    if (w.closed) return false;
+    w.queue.push_back(op);
+    ++w.submitted;
+    // Dual-write window of a live migration: the op ALSO lands in the
+    // delta log that replays into the next generation.
+    if (w.dual_write) w.delta.push_back(op);
+    // Wake the writer when there is NEW work (empty -> non-empty) or a
+    // full batch is ready; ops in between land in the coalescing window
+    // without a futex wake per op.
+    notify = w.queue.size() == 1 || w.queue.size() >= batch_limit;
+  }
+  if (notify) w.queue_cv.notify_one();
+  return true;
+}
+
 void ServeLoop::TriggerRebuild() {
-  for (const auto& w : writers_) {
+  const std::shared_ptr<WriterGen> gen = writer_gen_.Load();
+  for (const auto& w : gen->writers) {
     {
       std::lock_guard<std::mutex> lock(w->queue_mu);
       w->rebuild_requested = true;
@@ -97,14 +140,247 @@ void ServeLoop::TriggerRebuild() {
 }
 
 void ServeLoop::Flush() {
-  for (const auto& w : writers_) {
+  // Re-check across topology swaps: a migration moves pending ops into the
+  // successor generation's queues, so "everything submitted so far" is
+  // only drained once a full pass completes on a stable generation whose
+  // topology is also the PUBLISHED one — mid-cutover the writer generation
+  // is installed before the topology, and returning in that window would
+  // leave flushed updates invisible to fresh queries (they would still pin
+  // the old, closed generation).
+  for (;;) {
+    const std::shared_ptr<WriterGen> gen = writer_gen_.Load();
+    for (const auto& w : gen->writers) {
+      std::unique_lock<std::mutex> lock(w->queue_mu);
+      w->flush_cv.wait(lock, [&w] { return w->applied == w->submitted; });
+    }
+    if (writer_gen_.Load() == gen && index_.epoch() == gen->epoch) return;
+    std::this_thread::yield();
+  }
+}
+
+bool ServeLoop::TriggerRepartition(int new_num_shards) {
+  std::lock_guard<std::mutex> lock(repartition_mu_);
+  if (stopping_.load(std::memory_order_acquire)) return false;
+  RepartitionLocked(new_num_shards);
+  repartition_monitor_.ResetAfterRepartition(std::chrono::steady_clock::now());
+  return true;
+}
+
+void ServeLoop::RepartitionLocked(int new_num_shards) {
+  const std::shared_ptr<WriterGen> old_gen = writer_gen_.Load();
+  const ShardTopology& old_topo = *old_gen->topo;
+  const int n_new =
+      new_num_shards > 0 ? new_num_shards : old_topo.num_shards();
+
+  // --- DUAL-WRITE + CAPTURE request -------------------------------------
+  // From each shard's next submit on, ops are logged to its delta as well
+  // as applied to the old generation. The capture target pins everything
+  // submitted BEFORE dual-write began: those ops are only visible through
+  // the captured point set, everything later is (also) in a delta.
+  for (const auto& w : old_gen->writers) {
+    {
+      std::lock_guard<std::mutex> lock(w->queue_mu);
+      w->dual_write = true;
+      w->capture_target = w->submitted;
+      w->capture_requested = true;
+      w->capture_done = false;
+      w->captured.clear();
+    }
+    w->queue_cv.notify_one();
+  }
+
+  // --- CAPTURE wait ------------------------------------------------------
+  // Each old writer copies its authoritative point set once it has applied
+  // through its capture target. Bounded by writer progress, which is
+  // bounded by the longest reader-parked snapshot (same backpressure as
+  // any batch).
+  std::vector<Point> points;
+  for (const auto& w : old_gen->writers) {
+    std::unique_lock<std::mutex> lock(w->queue_mu);
+    w->capture_cv.wait(lock, [&w] { return w->capture_done; });
+    points.insert(points.end(), w->captured.begin(), w->captured.end());
+    w->captured.clear();
+    w->captured.shrink_to_fit();
+    w->capture_done = false;
+  }
+
+  // --- BUILD -------------------------------------------------------------
+  // Router inputs: the captured points and the recently served per-shard
+  // rectangles (the live workload), falling back to the old generation's
+  // training slices when traffic has been thin. The old generation keeps
+  // serving reads and writes throughout.
+  Workload recent;
+  recent.name = "repartition/e" + std::to_string(old_topo.epoch + 1);
+  for (int s = 0; s < old_topo.num_shards(); ++s) {
+    ShardWriter& w = *old_gen->writers[static_cast<size_t>(s)];
+    recent.selectivity = old_topo.shard_workloads[static_cast<size_t>(s)]
+                             .selectivity;
+    std::lock_guard<std::mutex> lock(w.monitor_mu);
+    for (size_t i = 0; i < w.recent_count; ++i) {
+      recent.queries.push_back(w.recent[i]);
+    }
+  }
+  if (recent.queries.size() < 32) {
+    for (const Workload& sw : old_topo.shard_workloads) {
+      recent.queries.insert(recent.queries.end(), sw.queries.begin(),
+                            sw.queries.end());
+    }
+  }
+  Rect domain = old_topo.domain;
+  for (const Point& p : points) domain.Expand(p);
+
+  std::shared_ptr<ShardTopology> new_topo = index_.BuildNextTopology(
+      points, recent, n_new, domain, old_topo.epoch + 1,
+      /*version_base=*/0);
+  points.clear();
+  points.shrink_to_fit();
+  const std::shared_ptr<WriterGen> new_gen = StartWriters(new_topo);
+
+  // --- CATCH-UP ----------------------------------------------------------
+  // Drain delta chunks into the new generation (routed through the NEW
+  // router) while the old generation still accepts submits, so the final
+  // stop-accepting window below only has a small chunk left to replay.
+  // Per-coordinate order is preserved: identical coordinates always route
+  // to the same old shard, whose delta is FIFO.
+  std::vector<UpdateOp> chunk;
+  for (int round = 0; round < 8; ++round) {
+    size_t moved = 0;
+    for (const auto& w : old_gen->writers) {
+      chunk.clear();
+      {
+        std::lock_guard<std::mutex> lock(w->queue_mu);
+        chunk.swap(w->delta);
+      }
+      for (const UpdateOp& op : chunk) {
+        EnqueueTo(*new_gen, op, opts_.writer_batch_limit);
+      }
+      moved += chunk.size();
+    }
+    if (moved <= opts_.writer_batch_limit) break;
+  }
+
+  // --- CUTOVER -----------------------------------------------------------
+  // Close every old shard (submitters retry until the new generation is
+  // installed) and take the final delta chunks.
+  std::vector<UpdateOp> final_ops;
+  for (const auto& w : old_gen->writers) {
+    {
+      std::lock_guard<std::mutex> lock(w->queue_mu);
+      w->closed = true;
+      w->dual_write = false;
+      final_ops.insert(final_ops.end(), w->delta.begin(), w->delta.end());
+      w->delta.clear();
+    }
+    w->queue_cv.notify_all();
+  }
+  // Replay the final chunks BEFORE opening the new generation to direct
+  // submits, so per-coordinate op order spans the generations correctly.
+  for (const UpdateOp& op : final_ops) {
+    EnqueueTo(*new_gen, op, opts_.writer_batch_limit);
+  }
+  std::vector<uint64_t> replay_targets(new_gen->writers.size());
+  for (size_t s = 0; s < new_gen->writers.size(); ++s) {
+    std::lock_guard<std::mutex> lock(new_gen->writers[s]->queue_mu);
+    replay_targets[s] = new_gen->writers[s]->submitted;
+  }
+  // Open the flood gates: submits route to the new generation from here.
+  writer_gen_.Store(new_gen);
+
+  // Old writers drain (closed shards accept nothing new, so this
+  // terminates), making the old generation's final state fixed...
+  for (const auto& w : old_gen->writers) {
     std::unique_lock<std::mutex> lock(w->queue_mu);
     w->flush_cv.wait(lock, [&w] { return w->applied == w->submitted; });
+  }
+  // ...which pins the version base that keeps the facade version monotone
+  // across the swap.
+  new_topo->version_base = old_topo.version();
+  // New writers catch up through the replay before readers see the new
+  // topology: a query re-issued right after the swap observes at least
+  // everything the old generation's final state served.
+  for (size_t s = 0; s < new_gen->writers.size(); ++s) {
+    ShardWriter& w = *new_gen->writers[s];
+    std::unique_lock<std::mutex> lock(w.queue_mu);
+    w.flush_cv.wait(lock,
+                    [&] { return w.applied >= replay_targets[s]; });
+  }
+  index_.PublishTopology(new_topo);
+
+  // --- RETIRE ------------------------------------------------------------
+  for (const auto& w : old_gen->writers) {
+    {
+      std::lock_guard<std::mutex> lock(w->queue_mu);
+      w->stop = true;
+    }
+    w->queue_cv.notify_all();
+  }
+  for (const auto& w : old_gen->writers) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  // The old topology itself is reclaimed once the last reader that pinned
+  // it lets go (its shards' VersionedIndex destructors wait out their
+  // snapshot drains).
+  repartitions_.fetch_add(1, std::memory_order_release);
+}
+
+void ServeLoop::MonitorLoop() {
+  const auto poll = std::chrono::milliseconds(opts_.repartition.poll_ms);
+  // Stab counters are cumulative per generation; the monitor judges the
+  // per-interval DELTA so a workload shift shows up immediately instead of
+  // being diluted by a long balanced history.
+  uint64_t last_epoch = 0;
+  std::vector<int64_t> last_stabs;
+  std::unique_lock<std::mutex> lk(monitor_mu_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    monitor_cv_.wait_for(lk, poll, [this] {
+      return stopping_.load(std::memory_order_acquire);
+    });
+    if (stopping_.load(std::memory_order_acquire)) break;
+    lk.unlock();
+
+    const std::shared_ptr<WriterGen> gen = writer_gen_.Load();
+    if (gen->epoch != last_epoch) {
+      last_epoch = gen->epoch;
+      last_stabs.assign(gen->writers.size(), 0);
+    }
+    std::vector<ShardLoad> loads(gen->writers.size());
+    for (size_t s = 0; s < gen->writers.size(); ++s) {
+      ShardLoad& load = loads[s];
+      load.items = gen->topo->shards[s]->num_points();
+      const int64_t stabs =
+          gen->writers[s]->query_stabs.load(std::memory_order_relaxed);
+      load.query_stabs = stabs - last_stabs[s];
+      last_stabs[s] = stabs;
+      std::lock_guard<std::mutex> lock(gen->writers[s]->queue_mu);
+      load.queue_depth = gen->writers[s]->queue.size();
+    }
+    {
+      std::lock_guard<std::mutex> lock(repartition_mu_);
+      if (!stopping_.load(std::memory_order_acquire)) {
+        const auto now = std::chrono::steady_clock::now();
+        const bool go = repartition_monitor_.Observe(loads, now);
+        last_imbalance_.store(repartition_monitor_.imbalance(),
+                              std::memory_order_relaxed);
+        if (go) {
+          RepartitionLocked(0);
+          repartition_monitor_.ResetAfterRepartition(
+              std::chrono::steady_clock::now());
+        }
+      }
+    }
+    lk.lock();
   }
 }
 
 void ServeLoop::Stop() {
-  for (const auto& w : writers_) {
+  stopping_.store(true, std::memory_order_release);
+  monitor_cv_.notify_all();
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+  // Barrier: any in-flight TriggerRepartition finishes before the writers
+  // are torn down; later calls observe stopping_ and bail.
+  { std::lock_guard<std::mutex> lock(repartition_mu_); }
+  const std::shared_ptr<WriterGen> gen = writer_gen_.Load();
+  for (const auto& w : gen->writers) {
     {
       std::lock_guard<std::mutex> lock(w->queue_mu);
       if (w->stop) continue;
@@ -112,72 +388,100 @@ void ServeLoop::Stop() {
     }
     w->queue_cv.notify_all();
   }
-  for (const auto& w : writers_) {
+  for (const auto& w : gen->writers) {
     if (w->thread.joinable()) w->thread.join();
   }
 }
 
-int64_t ServeLoop::rebuilds() const {
-  int64_t total = 0;
-  for (const auto& w : writers_) {
-    total += w->rebuilds.load(std::memory_order_relaxed);
-  }
-  return total;
-}
-
 double ServeLoop::drift_ratio() {
   double worst = 0.0;
-  for (const auto& w : writers_) {
+  const std::shared_ptr<WriterGen> gen = writer_gen_.Load();
+  for (const auto& w : gen->writers) {
     std::lock_guard<std::mutex> lock(w->monitor_mu);
     worst = std::max(worst, w->monitor.drift_ratio());
   }
   return worst;
 }
 
-void ServeLoop::WriterLoop(int s) {
-  ShardWriter& w = *writers_[static_cast<size_t>(s)];
-  VersionedIndex& shard = index_.shard(s);
+void ServeLoop::WriterLoop(std::shared_ptr<WriterGen> gen, int s) {
+  ShardWriter& w = *gen->writers[static_cast<size_t>(s)];
+  VersionedIndex& shard = *gen->topo->shards[static_cast<size_t>(s)];
   const auto poll = std::chrono::milliseconds(opts_.drift_poll_ms);
   for (;;) {
     std::vector<UpdateOp> batch;
     bool rebuild = false;
     bool stopping = false;
+    bool migrating = false;
     {
       std::unique_lock<std::mutex> lock(w.queue_mu);
       w.queue_cv.wait_for(lock, poll, [&w] {
-        return w.stop || w.rebuild_requested || !w.queue.empty();
+        return w.stop || w.rebuild_requested || w.capture_requested ||
+               !w.queue.empty();
       });
       if (!w.queue.empty() && w.queue.size() < opts_.writer_batch_limit &&
-          !w.stop && !w.rebuild_requested && opts_.writer_coalesce_ms > 0) {
+          !w.stop && !w.rebuild_requested && !w.capture_requested &&
+          opts_.writer_coalesce_ms > 0) {
         // Group commit: linger briefly so a fast submit stream lands in one
         // batch (one snapshot publish) instead of one publish per op.
         w.queue_cv.wait_for(
             lock, std::chrono::milliseconds(opts_.writer_coalesce_ms),
             [this, &w] {
-              return w.stop || w.rebuild_requested ||
+              return w.stop || w.rebuild_requested || w.capture_requested ||
                      w.queue.size() >= opts_.writer_batch_limit;
             });
       }
       stopping = w.stop;
-      if (stopping && w.queue.empty() && !w.rebuild_requested) break;
+      if (stopping && w.queue.empty() && !w.rebuild_requested &&
+          !w.capture_requested) {
+        break;
+      }
       const size_t take = std::min(w.queue.size(), opts_.writer_batch_limit);
       batch.assign(w.queue.begin(), w.queue.begin() + take);
       w.queue.erase(w.queue.begin(), w.queue.begin() + take);
       rebuild = w.rebuild_requested;
       w.rebuild_requested = false;
+      migrating = w.dual_write || w.closed;
     }
 
-    if (!batch.empty()) shard.ApplyBatch(batch);
+    if (!batch.empty()) {
+      shard.ApplyBatch(batch);
+      std::lock_guard<std::mutex> lock(w.queue_mu);
+      w.applied += batch.size();
+      w.flush_cv.notify_all();
+    }
 
-    if (!rebuild && opts_.auto_rebuild && !stopping) {
+    // Migration capture: once everything submitted before dual-write began
+    // has been applied, hand the coordinator a copy of the authoritative
+    // point set (this thread is the shard's writer, so reading data() here
+    // honors the single-writer contract). Later ops may already be folded
+    // in — harmless, they are also in the delta and replay idempotently.
+    bool do_capture = false;
+    {
+      std::lock_guard<std::mutex> lock(w.queue_mu);
+      do_capture = w.capture_requested && w.applied >= w.capture_target;
+    }
+    if (do_capture) {
+      std::vector<Point> snapshot = shard.data().points;
+      {
+        std::lock_guard<std::mutex> lock(w.queue_mu);
+        w.captured = std::move(snapshot);
+        w.capture_requested = false;
+        w.capture_done = true;
+      }
+      w.capture_cv.notify_all();
+    }
+
+    // Drift rebuilds pause during a migration: the generation is about to
+    // be replaced, so re-levelling it is wasted work.
+    if (!rebuild && opts_.auto_rebuild && !stopping && !migrating) {
       std::lock_guard<std::mutex> lock(w.monitor_mu);
       rebuild = w.monitor.rebuild_recommended();
     }
-    if (rebuild) {
+    if (rebuild && !migrating) {
       Workload recent;
       {
         std::lock_guard<std::mutex> lock(w.monitor_mu);
-        recent = RecentWorkloadLocked(s);
+        recent = RecentWorkloadLocked(*gen, s);
       }
       // Per-shard rebuild: only this shard's left-right pair re-levels;
       // every other shard keeps serving its current snapshots.
@@ -186,20 +490,22 @@ void ServeLoop::WriterLoop(int s) {
         std::lock_guard<std::mutex> lock(w.monitor_mu);
         w.monitor.ResetAfterRebuild();
       }
-      w.rebuilds.fetch_add(1, std::memory_order_relaxed);
-    }
-
-    if (!batch.empty()) {
-      std::lock_guard<std::mutex> lock(w.queue_mu);
-      w.applied += batch.size();
-      if (w.applied == w.submitted) w.flush_cv.notify_all();
+      rebuilds_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }
 
-void ServeLoop::ObserveShard(int s, const Rect* rect,
-                             const QueryStats& stats) {
-  ShardWriter& w = *writers_[static_cast<size_t>(s)];
+void ServeLoop::ObserveShard(WriterGen& gen, uint64_t epoch, int s,
+                             const Rect* rect, const QueryStats& stats) {
+  // A repartition may have retired the generation this query pinned (or
+  // installed a successor the query has not seen): shard ids only mean
+  // something within their own epoch, so drop cross-epoch samples.
+  if (gen.epoch != epoch || s < 0 ||
+      s >= static_cast<int>(gen.writers.size())) {
+    return;
+  }
+  ShardWriter& w = *gen.writers[static_cast<size_t>(s)];
+  w.query_stabs.fetch_add(1, std::memory_order_relaxed);
   // try_lock == sampling: under heavy reader contention most observations
   // are dropped instead of serializing the hot path on this mutex.
   std::unique_lock<std::mutex> lock(w.monitor_mu, std::try_to_lock);
@@ -212,14 +518,17 @@ void ServeLoop::ObserveShard(int s, const Rect* rect,
   }
 }
 
-Workload ServeLoop::RecentWorkloadLocked(int s) {
-  ShardWriter& w = *writers_[static_cast<size_t>(s)];
+Workload ServeLoop::RecentWorkloadLocked(const WriterGen& gen, int s) {
+  const ShardWriter& w = *gen.writers[static_cast<size_t>(s)];
+  const Workload& built =
+      gen.topo->shard_workloads[static_cast<size_t>(s)];
   // Too few live observations to characterize the shard's workload — fall
   // back to the slice of the build-time workload that overlaps its cell.
-  if (w.recent_count < 32) return index_.shard_workload(s);
+  if (w.recent_count < 32) return built;
   Workload recent;
-  recent.name = "recent/shard" + std::to_string(s);
-  recent.selectivity = index_.shard_workload(s).selectivity;
+  recent.name = "recent/e" + std::to_string(gen.epoch) + "/shard" +
+                std::to_string(s);
+  recent.selectivity = built.selectivity;
   recent.queries.reserve(w.recent_count);
   for (size_t i = 0; i < w.recent_count; ++i) {
     recent.queries.push_back(w.recent[i]);

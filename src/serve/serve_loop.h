@@ -1,10 +1,11 @@
 // The serving front end: glues the sharded snapshot-swapped index, the
-// query engine, and per-shard drift monitors into one online system.
+// query engine, per-shard drift monitors and the repartition coordinator
+// into one online system.
 //
 //   * Any number of client threads issue range / point / kNN queries; each
-//     runs wait-free on the current per-shard snapshots (point lookups
-//     touch one shard, ranges their overlapping shards, kNN a best-first
-//     shard sweep).
+//     runs wait-free on the current per-shard snapshots of the current
+//     topology (point lookups touch one shard, ranges their overlapping
+//     shards, kNN a best-first shard sweep).
 //   * Updates are enqueued from any thread, ROUTED to the owning shard,
 //     and applied by that shard's OWN background writer thread in batches,
 //     each batch ending in a snapshot swap of just that shard — so update
@@ -15,6 +16,39 @@
 //     ITS writer rebuilds ITS index against the shard-local recent
 //     workload and swaps it in — per-shard rebuilds instead of
 //     stop-the-world, so the other shards keep serving untouched.
+//   * The shard TOPOLOGY itself is workload-adaptive: a RepartitionMonitor
+//     watches per-shard load (item counts, query stabs, update-queue
+//     depths) and, when the imbalance crosses a threshold, the loop re-cuts
+//     the router from the CURRENT data and recent workload and executes a
+//     live migration to a new shard generation — readers never block,
+//     writers stall only for the final hand-off. See the cutover state
+//     machine below and docs/ARCHITECTURE.md.
+//
+// Repartition cutover state machine (coordinator = the monitor thread or
+// a TriggerRepartition caller; one migration at a time):
+//
+//   STEADY ──► DUAL-WRITE: every shard's writer queue starts logging
+//              submitted ops to a per-shard delta log (ops keep applying
+//              to the old generation as usual).
+//   CAPTURE:   each old shard's writer, once it has applied everything
+//              submitted before dual-write began, hands the coordinator a
+//              copy of its authoritative point set. captured ∪ delta now
+//              covers every op ever submitted (overlap is fine — replay
+//              is idempotent per SanitizeOps).
+//   BUILD:     the coordinator cuts a new router from the captured points
+//              and the recent per-shard query rectangles, and builds the
+//              new generation's VersionedIndex shards in the background.
+//              The old generation keeps serving reads AND writes.
+//   CATCH-UP:  delta chunks drain into the new generation's writer queues
+//              (routed through the NEW router) until the backlog is small.
+//   CUTOVER:   old shards close (submitters retry), the final delta chunk
+//              replays, the writer generation swaps (submitters proceed
+//              into new queues), old writers drain, new writers flush the
+//              replay, and the epoch-versioned topology publishes — from
+//              here readers acquire the new generation; queries that
+//              pinned the old epoch finish on the old shards.
+//   RETIRE:    old writer threads stop and join; the old topology is
+//              reclaimed when its last pinned reader releases it.
 
 #ifndef WAZI_SERVE_SERVE_LOOP_H_
 #define WAZI_SERVE_SERVE_LOOP_H_
@@ -30,13 +64,15 @@
 
 #include "core/drift_monitor.h"
 #include "serve/query_engine.h"
+#include "serve/repartition.h"
 #include "serve/sharded_index.h"
 
 namespace wazi::serve {
 
 struct ServeOptions {
   // Number of index shards, each with its own background writer. 1 keeps
-  // the PR-1 single-writer topology.
+  // the PR-1 single-writer topology. A repartition may later change the
+  // count (TriggerRepartition's new_num_shards).
   int num_shards = 1;
   // Worker threads of the batch query engine.
   int num_threads = 4;
@@ -56,13 +92,15 @@ struct ServeOptions {
   // copy per publish).
   bool track_points = false;
   // Capacity of each shard's recent-query ring that seeds drift-triggered
-  // rebuilds.
+  // rebuilds and repartition router cuts.
   size_t recent_window = 2048;
+  // Topology-level adaptation (monitor thread + automatic migrations).
+  RepartitionOptions repartition;
 };
 
-// Thread-safety: queries and SubmitInsert/SubmitRemove/TriggerRebuild may
-// be called from any thread. Client threads must be joined before the
-// ServeLoop is destroyed.
+// Thread-safety: queries, SubmitInsert/SubmitRemove, TriggerRebuild and
+// TriggerRepartition may be called from any thread. Client threads must be
+// joined before the ServeLoop is destroyed.
 class ServeLoop {
  public:
   ServeLoop(IndexFactory factory, const Dataset& data,
@@ -87,50 +125,97 @@ class ServeLoop {
   // --- updates (any thread; routed to the owning shard's writer) ---
   void SubmitInsert(const Point& p);
   void SubmitRemove(const Point& p);
-  // Ask every shard's writer for an immediate background rebuild + swap.
+  // Ask every current shard's writer for an immediate background rebuild +
+  // swap (per-shard layout re-levelling; the topology stays put).
   void TriggerRebuild();
-  // Blocks until every update submitted so far has been applied (all
-  // shards).
+  // Blocks until every update submitted so far has been applied and is
+  // visible to fresh queries (all shards; re-checked across any concurrent
+  // topology swap).
   void Flush();
 
-  // Stops all writer threads after draining pending updates (idempotent;
-  // the destructor calls it).
+  // --- topology adaptation ---
+  // Executes one full live migration to a freshly cut topology, on the
+  // calling thread: capture, background build, delta catch-up, cutover,
+  // retire (see the state machine above). `new_num_shards` == 0 keeps the
+  // current shard count. Returns false without migrating when the loop is
+  // stopping. Serialized: concurrent calls run one migration after
+  // another. Subject to the same reader backpressure as writers — a
+  // parked snapshot can delay (not deadlock) the capture phase.
+  bool TriggerRepartition(int new_num_shards = 0);
+
+  // Stops the repartition monitor and all writer threads after draining
+  // pending updates (idempotent; the destructor calls it).
   void Stop();
 
   // --- introspection ---
-  // Sum of per-shard versions (monotone; see ShardedVersionedIndex).
+  // Facade version (monotone, incl. across repartitions; see
+  // ShardedVersionedIndex).
   uint64_t version() const { return index_.version(); }
   int num_shards() const { return index_.num_shards(); }
-  // Total drift rebuilds across all shards.
-  int64_t rebuilds() const;
-  // Worst (max) per-shard drift ratio.
+  // Current topology epoch (starts at 1; +1 per completed repartition).
+  uint64_t epoch() const { return index_.epoch(); }
+  // Completed live migrations.
+  int64_t repartitions() const {
+    return repartitions_.load(std::memory_order_acquire);
+  }
+  // max/mean combined shard load of the monitor's last sample (1.0 =
+  // balanced; only meaningful when the monitor is enabled).
+  double imbalance() const {
+    return last_imbalance_.load(std::memory_order_relaxed);
+  }
+  // Total drift rebuilds across all shards, including retired generations
+  // (monotone: writers increment one shared counter directly).
+  int64_t rebuilds() const {
+    return rebuilds_.load(std::memory_order_relaxed);
+  }
+  // Worst (max) per-shard drift ratio of the current generation.
   double drift_ratio();
   ShardedVersionedIndex& sharded_index() { return index_; }
   // Single-shard convenience used by tests written against the PR-1
   // topology. Loud on misuse: with more shards this would silently expose
   // only shard 0 (and mutating through it would race that shard's
-  // writer) — go through sharded_index().shard(s) instead.
+  // writer) — go through sharded_index().shard(s) instead. One pinned
+  // topology for the check AND the access, so the pair cannot straddle a
+  // concurrent repartition.
   VersionedIndex& versioned_index() {
-    assert(index_.num_shards() == 1 &&
+    const std::shared_ptr<ShardTopology> topo = index_.AcquireTopology();
+    assert(topo->num_shards() == 1 &&
            "versioned_index() is single-shard only; use sharded_index()");
-    return index_.shard(0);
+    return *topo->shards[0];
   }
   QueryEngine& engine() { return engine_; }
 
  private:
   // Everything one shard's writer owns: its update queue, its drift state,
-  // and the thread itself. unique_ptr keeps addresses stable in the vector.
+  // its migration hand-off state, and the thread itself. unique_ptr keeps
+  // addresses stable in the vector.
   struct ShardWriter {
     explicit ShardWriter(const DriftMonitorOptions& opts) : monitor(opts) {}
 
     std::mutex queue_mu;
     std::condition_variable queue_cv;  // writer: ops pending / stop
-    std::condition_variable flush_cv;  // Flush(): all ops applied
+    std::condition_variable flush_cv;  // waiters: applied advanced
     std::vector<UpdateOp> queue;
     uint64_t submitted = 0;
     uint64_t applied = 0;
     bool rebuild_requested = false;
     bool stop = false;
+
+    // --- migration state (all under queue_mu) ---
+    // Dual-write: ops also append to `delta` for replay into the next
+    // generation.
+    bool dual_write = false;
+    std::vector<UpdateOp> delta;
+    // Cutover passed this shard: it accepts no more ops; submitters retry
+    // against the (about-to-be-installed) next writer generation.
+    bool closed = false;
+    // Capture hand-off: once `applied >= capture_target`, the writer
+    // copies its shard's authoritative point set into `captured`.
+    bool capture_requested = false;
+    uint64_t capture_target = 0;
+    bool capture_done = false;
+    std::vector<Point> captured;
+    std::condition_variable capture_cv;
 
     // Drift state, shared by all client threads (try_lock sampling).
     std::mutex monitor_mu;
@@ -139,19 +224,59 @@ class ServeLoop {
     size_t recent_next = 0;
     size_t recent_count = 0;
 
-    std::atomic<int64_t> rebuilds{0};
+    // Sub-queries served by this shard this epoch (repartition monitor
+    // input; incremented lock-free on the query path).
+    std::atomic<int64_t> query_stabs{0};
     std::thread thread;
   };
 
-  void WriterLoop(int s);
+  // One generation of writers, bound to one topology epoch. The submit
+  // path loads the current generation from an atomic cell; a migration
+  // installs a successor and retires this one.
+  struct WriterGen {
+    uint64_t epoch = 1;
+    std::shared_ptr<ShardTopology> topo;
+    std::vector<std::unique_ptr<ShardWriter>> writers;
+  };
+
+  // Creates writers (threads running) for `topo`.
+  std::shared_ptr<WriterGen> StartWriters(std::shared_ptr<ShardTopology> topo);
+  void WriterLoop(std::shared_ptr<WriterGen> gen, int s);
   void Submit(const Point& p, bool insert);
-  void ObserveShard(int s, const Rect* rect, const QueryStats& stats);
-  Workload RecentWorkloadLocked(int s);  // caller holds writers_[s]->monitor_mu
+  // Enqueues `op` to its owning shard of `gen`. Returns false (op not
+  // enqueued) when that shard is closed by a cutover: Submit retries on
+  // the successor generation; the migration replay path targets the new
+  // generation, which is never closed while the coordinator runs.
+  static bool EnqueueTo(WriterGen& gen, const UpdateOp& op,
+                        size_t batch_limit);
+  // Feeds one served sub-query into `gen`'s shard-s drift/stab state.
+  // `epoch` is the epoch the query pinned; samples from other generations
+  // are dropped (shard ids only mean something within their own epoch).
+  // The caller loads the generation once per query, not once per part.
+  static void ObserveShard(WriterGen& gen, uint64_t epoch, int s,
+                           const Rect* rect, const QueryStats& stats);
+  // Recent per-shard rectangles as a workload; falls back to the shard's
+  // build-time slice. Caller holds writers[s]->monitor_mu.
+  static Workload RecentWorkloadLocked(const WriterGen& gen, int s);
+  // The full migration (caller holds repartition_mu_).
+  void RepartitionLocked(int new_num_shards);
+  void MonitorLoop();
 
   ServeOptions opts_;
   ShardedVersionedIndex index_;
   QueryEngine engine_;
-  std::vector<std::unique_ptr<ShardWriter>> writers_;
+  AtomicCell<WriterGen> writer_gen_;
+
+  // Serializes migrations and Stop's writer teardown.
+  std::mutex repartition_mu_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int64_t> repartitions_{0};
+  std::atomic<int64_t> rebuilds_{0};
+  std::atomic<double> last_imbalance_{1.0};
+  RepartitionMonitor repartition_monitor_;
+  std::mutex monitor_mu_;  // monitor thread wake/stop
+  std::condition_variable monitor_cv_;
+  std::thread monitor_thread_;
 };
 
 }  // namespace wazi::serve

@@ -226,73 +226,121 @@ double ShardRouter::MinDistanceSquared(const Point& p, int shard) const {
   return dx * dx + dy * dy;
 }
 
+uint64_t ShardTopology::version() const {
+  uint64_t sum = version_base;
+  for (const auto& shard : shards) sum += shard->version();
+  return sum;
+}
+
+size_t ShardTopology::num_points() const {
+  size_t sum = 0;
+  for (const auto& shard : shards) sum += shard->num_points();
+  return sum;
+}
+
 ShardedVersionedIndex::ShardedVersionedIndex(IndexFactory factory,
                                              const Dataset& data,
                                              const Workload& workload,
                                              const BuildOptions& build_opts,
                                              ShardedIndexOptions opts)
-    : domain_(data.bounds) {
-  const int n_shards = std::max(1, opts.num_shards);
-  router_.Build(data.points, n_shards, data.bounds, &workload);
+    : factory_(std::move(factory)),
+      build_opts_(build_opts),
+      opts_(opts),
+      data_name_(data.name) {
+  topology_.Store(MakeTopology(factory_, build_opts_, opts_.versioned,
+                               data_name_, data.points, workload,
+                               std::max(1, opts_.num_shards), data.bounds,
+                               /*epoch=*/1, /*version_base=*/0));
+}
+
+ShardedVersionedIndex::~ShardedVersionedIndex() = default;
+
+std::shared_ptr<ShardTopology> ShardedVersionedIndex::MakeTopology(
+    const IndexFactory& factory, const BuildOptions& build_opts,
+    const VersionedIndexOptions& vopts, const std::string& data_name,
+    const std::vector<Point>& points, const Workload& workload,
+    int num_shards, const Rect& domain, uint64_t epoch,
+    uint64_t version_base) {
+  auto topo = std::make_shared<ShardTopology>();
+  topo->epoch = epoch;
+  topo->version_base = version_base;
+  topo->domain = domain;
+  const int n_shards = std::max(1, num_shards);
+  topo->router.Build(points, n_shards, domain, &workload);
+  const ShardRouter& router = topo->router;
 
   std::vector<Dataset> shard_data(static_cast<size_t>(n_shards));
   for (int s = 0; s < n_shards; ++s) {
     Dataset& d = shard_data[static_cast<size_t>(s)];
-    d.name = data.name + "/shard" + std::to_string(s);
-    d.bounds = router_.ClampedCellRect(s);
-    d.points.reserve(data.points.size() / static_cast<size_t>(n_shards) + 1);
+    d.name = data_name + "/e" + std::to_string(epoch) + "/shard" +
+             std::to_string(s);
+    d.bounds = router.ClampedCellRect(s);
+    d.points.reserve(points.size() / static_cast<size_t>(n_shards) + 1);
   }
-  for (const Point& p : data.points) {
-    shard_data[static_cast<size_t>(router_.ShardOf(p))].points.push_back(p);
+  for (const Point& p : points) {
+    shard_data[static_cast<size_t>(router.ShardOf(p))].points.push_back(p);
   }
 
   // Each shard trains on the workload it will actually see: the queries
   // that overlap its cell, clipped to their per-shard sub-rectangles.
-  shard_workloads_.resize(static_cast<size_t>(n_shards));
+  topo->shard_workloads.resize(static_cast<size_t>(n_shards));
   for (int s = 0; s < n_shards; ++s) {
-    Workload& w = shard_workloads_[static_cast<size_t>(s)];
-    w.name = workload.name + "/shard" + std::to_string(s);
+    Workload& w = topo->shard_workloads[static_cast<size_t>(s)];
+    w.name = workload.name + "/e" + std::to_string(epoch) + "/shard" +
+             std::to_string(s);
     w.selectivity = workload.selectivity;
-    const Rect cell = router_.CellRect(s);
+    const Rect cell = router.CellRect(s);
     for (const Rect& q : workload.queries) {
       const Rect sub = q.Intersect(cell);
       if (!sub.empty()) w.queries.push_back(sub);
     }
   }
 
-  shards_.reserve(static_cast<size_t>(n_shards));
+  topo->shards.reserve(static_cast<size_t>(n_shards));
   for (int s = 0; s < n_shards; ++s) {
-    shards_.push_back(std::make_unique<VersionedIndex>(
+    topo->shards.push_back(std::make_unique<VersionedIndex>(
         factory, shard_data[static_cast<size_t>(s)],
-        shard_workloads_[static_cast<size_t>(s)], build_opts,
-        opts.versioned));
+        topo->shard_workloads[static_cast<size_t>(s)], build_opts, vopts));
   }
+  return topo;
+}
+
+std::shared_ptr<ShardTopology> ShardedVersionedIndex::BuildNextTopology(
+    const std::vector<Point>& points, const Workload& workload,
+    int num_shards, const Rect& domain, uint64_t epoch,
+    uint64_t version_base) const {
+  return MakeTopology(factory_, build_opts_, opts_.versioned, data_name_,
+                      points, workload, num_shards, domain, epoch,
+                      version_base);
+}
+
+void ShardedVersionedIndex::PublishTopology(
+    std::shared_ptr<ShardTopology> topo) {
+  topology_.Store(std::move(topo));
+}
+
+const ShardTopology* ShardedVersionedIndex::TopoFor(
+    const SnapshotSet* snaps, std::shared_ptr<ShardTopology>* owned) const {
+  if (snaps != nullptr) return snaps->topology.get();
+  *owned = topology_.Load();
+  return owned->get();
 }
 
 const IndexSnapshot* ShardedVersionedIndex::SnapFor(
-    int s, const SnapshotSet* snaps,
-    std::shared_ptr<const IndexSnapshot>* owned) const {
-  if (snaps != nullptr) return (*snaps)[static_cast<size_t>(s)].get();
-  *owned = shards_[static_cast<size_t>(s)]->Acquire();
+    const ShardTopology& topo, int s, const SnapshotSet* snaps,
+    std::shared_ptr<const IndexSnapshot>* owned) {
+  if (snaps != nullptr) return snaps->snaps[static_cast<size_t>(s)].get();
+  *owned = topo.shards[static_cast<size_t>(s)]->Acquire();
   return owned->get();
 }
 
 void ShardedVersionedIndex::AcquireAll(SnapshotSet* out) const {
-  out->clear();
-  out->reserve(shards_.size());
-  for (const auto& shard : shards_) out->push_back(shard->Acquire());
-}
-
-uint64_t ShardedVersionedIndex::version() const {
-  uint64_t sum = 0;
-  for (const auto& shard : shards_) sum += shard->version();
-  return sum;
-}
-
-size_t ShardedVersionedIndex::num_points() const {
-  size_t sum = 0;
-  for (const auto& shard : shards_) sum += shard->num_points();
-  return sum;
+  out->topology = topology_.Load();
+  out->snaps.clear();
+  out->snaps.reserve(out->topology->shards.size());
+  for (const auto& shard : out->topology->shards) {
+    out->snaps.push_back(shard->Acquire());
+  }
 }
 
 void ShardedVersionedIndex::RangeQuery(const Rect& query,
@@ -300,13 +348,20 @@ void ShardedVersionedIndex::RangeQuery(const Rect& query,
                                        QueryStats* stats,
                                        std::vector<ShardQueryPart>* parts,
                                        uint64_t* version_mass,
-                                       const SnapshotSet* snaps) const {
+                                       const SnapshotSet* snaps,
+                                       uint64_t* epoch_out) const {
+  // One topology pinned for the whole query: the decomposition and every
+  // per-shard sub-query run against the SAME router/shard set even if a
+  // repartition publishes a successor mid-query.
+  std::shared_ptr<ShardTopology> owned_topo;
+  const ShardTopology& topo = *TopoFor(snaps, &owned_topo);
+  if (epoch_out != nullptr) *epoch_out = topo.epoch;
   // Scratch reused across calls: range queries are the serving hot path,
   // and a per-query allocation here is measurable against microsecond
   // queries (the vector is consumed within this call, so sharing one per
   // thread across instances is safe).
   static thread_local std::vector<ShardSubquery> subs;
-  router_.Decompose(query, &subs);
+  topo.router.Decompose(query, &subs);
   if (parts != nullptr) {
     parts->clear();
     parts->reserve(subs.size());
@@ -315,7 +370,7 @@ void ShardedVersionedIndex::RangeQuery(const Rect& query,
   for (const ShardSubquery& sq : subs) {
     QueryStats local;
     std::shared_ptr<const IndexSnapshot> owned;
-    const IndexSnapshot* snap = SnapFor(sq.shard, snaps, &owned);
+    const IndexSnapshot* snap = SnapFor(topo, sq.shard, snaps, &owned);
     snap->index().RangeQuery(sq.rect, out, &local);
     vmass += snap->version();
     // The cross-shard totals are the SUM of the per-shard counters.
@@ -331,12 +386,16 @@ void ShardedVersionedIndex::RangeQuery(const Rect& query,
 bool ShardedVersionedIndex::PointQuery(const Point& p, QueryStats* stats,
                                        uint64_t* version_mass,
                                        int* home_shard,
-                                       const SnapshotSet* snaps) const {
-  const int s = router_.ShardOf(p);
+                                       const SnapshotSet* snaps,
+                                       uint64_t* epoch_out) const {
+  std::shared_ptr<ShardTopology> owned_topo;
+  const ShardTopology& topo = *TopoFor(snaps, &owned_topo);
+  if (epoch_out != nullptr) *epoch_out = topo.epoch;
+  const int s = topo.router.ShardOf(p);
   if (home_shard != nullptr) *home_shard = s;
   QueryStats local;
   std::shared_ptr<const IndexSnapshot> owned;
-  const IndexSnapshot* snap = SnapFor(s, snaps, &owned);
+  const IndexSnapshot* snap = SnapFor(topo, s, snaps, &owned);
   const bool found = snap->index().PointQuery(p, &local);
   if (stats != nullptr) stats->Add(local);
   if (version_mass != nullptr) *version_mass = snap->version();
@@ -346,7 +405,11 @@ bool ShardedVersionedIndex::PointQuery(const Point& p, QueryStats* stats,
 std::vector<Point> ShardedVersionedIndex::Knn(const Point& center, int k,
                                               QueryStats* stats,
                                               uint64_t* version_mass,
-                                              const SnapshotSet* snaps) const {
+                                              const SnapshotSet* snaps,
+                                              uint64_t* epoch_out) const {
+  std::shared_ptr<ShardTopology> owned_topo;
+  const ShardTopology& topo = *TopoFor(snaps, &owned_topo);
+  if (epoch_out != nullptr) *epoch_out = topo.epoch;
   std::vector<Point> result;
   uint64_t vmass = 0;
   if (k > 0) {
@@ -354,9 +417,9 @@ std::vector<Point> ShardedVersionedIndex::Knn(const Point& center, int k,
     // Visit shards in increasing distance from the query point to their
     // cell; a shard can only contribute neighbours at least that far away.
     std::vector<std::pair<double, int>> order;
-    order.reserve(shards_.size());
-    for (int s = 0; s < num_shards(); ++s) {
-      order.emplace_back(router_.MinDistanceSquared(center, s), s);
+    order.reserve(topo.shards.size());
+    for (int s = 0; s < topo.num_shards(); ++s) {
+      order.emplace_back(topo.router.MinDistanceSquared(center, s), s);
     }
     std::sort(order.begin(), order.end());
 
@@ -372,12 +435,12 @@ std::vector<Point> ShardedVersionedIndex::Knn(const Point& center, int k,
       // no unvisited shard can improve the result (ties still visited).
       if (heap.size() == want && min_d2 > heap.front().first) break;
       std::shared_ptr<const IndexSnapshot> owned;
-      const IndexSnapshot* snap = SnapFor(s, snaps, &owned);
+      const IndexSnapshot* snap = SnapFor(topo, s, snaps, &owned);
       vmass += snap->version();
       QueryStats local;
       const KnnResult local_knn =
           KnnByRangeExpansion(snap->index(), center, want,
-                              router_.ClampedCellRect(s), &local);
+                              topo.router.ClampedCellRect(s), &local);
       if (stats != nullptr) stats->Add(local);
       for (const Point& p : local_knn.neighbors) {
         const double d2 = DistanceSquared(p, center);
@@ -403,14 +466,16 @@ void ShardedVersionedIndex::Project(const Rect& query,
                                     std::vector<ShardProjection>* parts,
                                     QueryStats* stats) const {
   parts->clear();
+  std::shared_ptr<ShardTopology> topo = topology_.Load();
   std::vector<ShardSubquery> subs;
-  router_.Decompose(query, &subs);
+  topo->router.Decompose(query, &subs);
   parts->reserve(subs.size());
   for (const ShardSubquery& sq : subs) {
     ShardProjection part;
     part.shard = sq.shard;
     part.rect = sq.rect;
-    part.snap = shards_[static_cast<size_t>(sq.shard)]->Acquire();
+    part.topology = topo;
+    part.snap = topo->shards[static_cast<size_t>(sq.shard)]->Acquire();
     QueryStats local;
     part.snap->index().Project(sq.rect, &part.proj, &local);
     if (stats != nullptr) stats->Add(local);

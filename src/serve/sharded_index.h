@@ -1,8 +1,8 @@
 // Sharded serving engine: spatial partitioning of one logical index across
 // N VersionedIndex shards so update throughput scales with cores.
 //
-// Partitioning is a rank-space tiling built once from the initial dataset:
-// the domain is cut into `rows` horizontal bands at equi-depth y-quantiles,
+// Partitioning is a rank-space tiling built from a point sample: the
+// domain is cut into `rows` horizontal bands at equi-depth y-quantiles,
 // and every band is cut independently into `cols` cells at equi-depth
 // x-quantiles *of that band's points* (conditional quantiles). This yields
 //   * exact load balance (each cell holds n/N points up to rounding) for
@@ -13,10 +13,23 @@
 //     matching the coarse Z-curve sweep through rank space). Prime shard
 //     counts degenerate to 1xN rank-space stripes.
 //
+// The tiling is no longer frozen at construction. The engine is
+// snapshot-swapped at TWO levels:
+//   1. per shard: each VersionedIndex publishes immutable IndexSnapshots
+//      (left-right instance pair, drain-signalled reclamation);
+//   2. per topology: the router TOGETHER WITH its shard set is one
+//      immutable, epoch-versioned ShardTopology published behind an atomic
+//      cell. A live repartition (see ServeLoop) builds a new topology from
+//      current data/workload quantiles in the background and swaps it in;
+//      queries that pinned the old epoch finish on the old generation's
+//      shards (the topology shared_ptr keeps them alive), so readers never
+//      block and never see a half-migrated router.
+//
 // Each shard is an independent VersionedIndex: its own left-right instance
-// pair, its own snapshot cell, its own single-writer contract. A point
-// lives in exactly one shard (routing is a pure function of coordinates),
-// so cross-shard queries union per-shard results with no deduplication:
+// pair, its own snapshot cell, its own single-writer contract. Within one
+// topology a point lives in exactly one shard (routing is a pure function
+// of coordinates), so cross-shard queries union per-shard results with no
+// deduplication:
 //   * point lookups route to the single owning shard;
 //   * range/projection queries run the clipped sub-rectangle on every
 //     overlapping shard and sum the per-shard QueryStats;
@@ -26,12 +39,16 @@
 //     the sweep stops as soon as the next cell is farther than the current
 //     k-th neighbour.
 //
-// Consistency model: per-shard snapshot consistency. A cross-shard query
-// acquires each shard's live snapshot independently, so two shards may be
-// observed at different versions (there is no global consistent cut —
-// the same guarantee regimes as a distributed store with per-partition
-// linearizability). The sharded stress test verifies every sub-query
-// against the exact membership of the per-shard snapshot it ran on.
+// Consistency model: per-shard snapshot consistency within a pinned
+// topology. A cross-shard query acquires one topology (one atomic load),
+// then each touched shard's live snapshot independently, so two shards may
+// be observed at different versions (there is no global consistent cut —
+// the same guarantee regime as a distributed store with per-partition
+// linearizability). Clients must use globally unique ids across live
+// points; per-shard id bookkeeping (and cross-generation migration replay)
+// relies on it. The stress tests verify every sub-query against the exact
+// membership of the per-shard snapshot it ran on, including across forced
+// repartitions.
 
 #ifndef WAZI_SERVE_SHARDED_INDEX_H_
 #define WAZI_SERVE_SHARDED_INDEX_H_
@@ -39,6 +56,7 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -56,7 +74,8 @@ struct ShardSubquery {
 };
 
 // Maps points and query rectangles to shards. Immutable after Build; safe
-// to share across any number of threads.
+// to share across any number of threads. Topology changes swap in a whole
+// new router (inside a new ShardTopology) rather than mutating one.
 class ShardRouter {
  public:
   // Single-shard router covering everything (the num_shards == 1 case).
@@ -121,9 +140,33 @@ struct ShardedIndexOptions {
   VersionedIndexOptions versioned;  // applied to every shard
 };
 
+// One immutable generation of the shard map: the router plus the shard
+// set it routes into, plus each shard's training workload slice. The
+// topology object itself never changes after construction (`epoch`,
+// `router` and the shard VECTOR are frozen); the VersionedIndex shards
+// inside keep swapping their own per-shard snapshots as usual. Readers
+// pin a topology with one atomic shared_ptr load; a repartition publishes
+// a successor with epoch + 1 and lets the old generation drain.
+struct ShardTopology {
+  uint64_t epoch = 1;
+  // Facade-version offset so ShardedVersionedIndex::version() stays
+  // monotone across repartitions (new shards restart at version 1 each).
+  uint64_t version_base = 0;
+  ShardRouter router;
+  Rect domain;
+  std::vector<std::unique_ptr<VersionedIndex>> shards;
+  std::vector<Workload> shard_workloads;
+
+  int num_shards() const { return static_cast<int>(shards.size()); }
+  // Sum of shard versions plus the cross-generation base.
+  uint64_t version() const;
+  // Sum of shard point-count mirrors (approximate while writers stream).
+  size_t num_points() const;
+};
+
 // One shard's contribution to a cross-shard range query (returned so the
 // serve layer can attribute drift observations to the shard that did the
-// work).
+// work). Shard ids are relative to the topology epoch the query ran on.
 struct ShardQueryPart {
   int shard = 0;
   Rect rect;                     // the clipped sub-rectangle
@@ -133,79 +176,139 @@ struct ShardQueryPart {
 
 // One shard's projection (phase-split execution across shards). Holds the
 // snapshot it was computed on so ScanParts is guaranteed to scan the same
-// instance the spans refer to.
+// instance the spans refer to, and the topology so the shard outlives the
+// projection even across a repartition.
 struct ShardProjection {
   int shard = 0;
   Rect rect;
   Projection proj;
+  std::shared_ptr<ShardTopology> topology;
   std::shared_ptr<const IndexSnapshot> snap;
 };
 
-// N VersionedIndex shards behind one query facade.
+// N VersionedIndex shards behind one query facade, with a swappable
+// topology.
 //
 // Thread-safety contract: every query method may be called from any number
 // of threads concurrently. Mutations go through shard(s)'s single-writer
-// API — one writer thread PER SHARD (that is the scaling point: per-shard
-// writers make update throughput scale with cores).
+// API — one writer thread PER SHARD of the CURRENT topology (that is the
+// scaling point: per-shard writers make update throughput scale with
+// cores). BuildNextTopology may run on any thread; PublishTopology must be
+// serialized by the caller (ServeLoop's repartition coordinator).
 class ShardedVersionedIndex {
  public:
   ShardedVersionedIndex(IndexFactory factory, const Dataset& data,
                         const Workload& workload,
                         const BuildOptions& build_opts,
                         ShardedIndexOptions opts = {});
+  ~ShardedVersionedIndex();
 
   ShardedVersionedIndex(const ShardedVersionedIndex&) = delete;
   ShardedVersionedIndex& operator=(const ShardedVersionedIndex&) = delete;
 
-  int num_shards() const { return static_cast<int>(shards_.size()); }
-  const ShardRouter& router() const { return router_; }
-  const Rect& domain() const { return domain_; }
+  // --- topology (the second snapshot level) ---
+
+  // Pins the current topology: the returned shared_ptr keeps its router
+  // AND its shards alive across any concurrent repartition. One atomic
+  // load; wait-free.
+  std::shared_ptr<ShardTopology> AcquireTopology() const {
+    return topology_.Load();
+  }
+
+  // Builds (but does not publish) the successor topology from `points` and
+  // `workload` with this facade's factory/build options: routes the points
+  // through a freshly cut router, builds every shard's VersionedIndex, and
+  // stamps `epoch`. Expensive — run it in the background while the current
+  // topology keeps serving. `domain` is the new generation's query domain.
+  std::shared_ptr<ShardTopology> BuildNextTopology(
+      const std::vector<Point>& points, const Workload& workload,
+      int num_shards, const Rect& domain, uint64_t epoch,
+      uint64_t version_base) const;
+
+  // Atomically swaps the published topology. Readers acquire the new one
+  // from here on; in-flight queries finish on whichever they pinned. The
+  // caller owns the cutover protocol (dual writes, replay, retiring the
+  // old generation's writers) — see ServeLoop.
+  void PublishTopology(std::shared_ptr<ShardTopology> topo);
+
+  uint64_t epoch() const { return AcquireTopology()->epoch; }
+
+  // --- current-topology conveniences ---
+  //
+  // Each accessor loads the topology cell INDEPENDENTLY; returned
+  // references stay valid until the NEXT PublishTopology (the cell itself
+  // holds a reference). Do NOT compose them across a possible concurrent
+  // repartition — e.g. `for (s = 0; s < num_shards(); ++s) shard(s)` may
+  // index a smaller successor topology if a migration publishes between
+  // the calls. Any multi-call inspection while the repartition monitor is
+  // enabled (or TriggerRepartition may run) must pin one generation with
+  // AcquireTopology and use the topology object directly.
+
+  int num_shards() const { return AcquireTopology()->num_shards(); }
+  const ShardRouter& router() const { return AcquireTopology()->router; }
+  const Rect& domain() const { return AcquireTopology()->domain; }
 
   // The per-shard VersionedIndex. Queries through it see only that shard's
   // points; its mutation API is subject to the one-writer-per-shard rule.
-  VersionedIndex& shard(int s) { return *shards_[static_cast<size_t>(s)]; }
+  VersionedIndex& shard(int s) {
+    return *AcquireTopology()->shards[static_cast<size_t>(s)];
+  }
   const VersionedIndex& shard(int s) const {
-    return *shards_[static_cast<size_t>(s)];
+    return *AcquireTopology()->shards[static_cast<size_t>(s)];
   }
 
-  int ShardOf(const Point& p) const { return router_.ShardOf(p); }
+  int ShardOf(const Point& p) const {
+    return AcquireTopology()->router.ShardOf(p);
+  }
 
   // The workload slice (queries clipped to the shard's cell) the shard was
   // built against; the serve layer's per-shard rebuild fallback.
   const Workload& shard_workload(int s) const {
-    return shard_workloads_[static_cast<size_t>(s)];
+    return AcquireTopology()->shard_workloads[static_cast<size_t>(s)];
   }
 
-  // Sum of all shard versions: monotone under any interleaving of
-  // per-shard writers (each term is monotone). Introspection only — there
+  // Facade version: the current topology's version_base plus the sum of
+  // its shard versions. Monotone under any interleaving of per-shard
+  // writers AND across repartitions (each publish stamps a base at least
+  // the retiring generation's final version). Introspection only — there
   // is no global snapshot this number identifies.
-  uint64_t version() const;
+  uint64_t version() const { return AcquireTopology()->version(); }
 
-  // Sum of shard point counts. Writer threads must be quiesced.
-  size_t num_points() const;
+  // Sum of shard point counts (atomic mirrors): exact once writers are
+  // quiesced, approximate while they stream.
+  size_t num_points() const { return AcquireTopology()->num_points(); }
 
-  // One pre-acquired snapshot per shard (index == shard id). Lets a batch
-  // executor pay the atomic acquire once per shard per block instead of
-  // once per query — see AcquireAll.
-  using SnapshotSet =
-      std::vector<std::shared_ptr<const IndexSnapshot>>;
+  // A pinned topology plus one pre-acquired snapshot per shard of THAT
+  // topology (index == shard id within it). Lets a batch executor pay the
+  // topology load and the per-shard atomic acquires once per block instead
+  // of once per query, and pins the epoch: every query run against the set
+  // executes on this topology even if a repartition swaps the published
+  // one mid-batch. Members are declared topology-first so the snapshots
+  // release before the topology on destruction.
+  struct SnapshotSet {
+    std::shared_ptr<ShardTopology> topology;
+    std::vector<std::shared_ptr<const IndexSnapshot>> snaps;
+  };
 
-  // Fills `out` with every shard's live snapshot (cleared first). The set
-  // is a per-shard-consistent view: each entry stays valid (and its shard
-  // unchanged) for as long as the caller holds it, but holding it also
-  // stalls that shard's writer like any other parked snapshot — hold per
-  // batch block, not indefinitely.
+  // Fills `out` with the current topology and every shard's live snapshot
+  // (cleared first). Each entry stays valid (and its shard unchanged) for
+  // as long as the caller holds it, but holding it also stalls that
+  // shard's writer like any other parked snapshot — hold per batch block,
+  // not indefinitely.
   void AcquireAll(SnapshotSet* out) const;
 
   // --- cross-shard queries (any thread) ---
   //
-  // All methods sum per-shard work counters into `*stats` (never only the
-  // last shard's); `stats` may be null to discard them. `version_mass`,
-  // when non-null, receives the sum of the versions of every per-shard
-  // snapshot the query ran on (with one shard this is exactly the snapshot
-  // version). `snaps`, when non-null, must come from AcquireAll on this
-  // index; the query then runs on those snapshots without touching the
-  // publication cells.
+  // All methods pin ONE topology for their whole execution (the given
+  // set's, else a fresh acquire) and sum per-shard work counters into
+  // `*stats` (never only the last shard's); `stats` may be null to discard
+  // them. `version_mass`, when non-null, receives the sum of the versions
+  // of every per-shard snapshot the query ran on (with one shard this is
+  // exactly the snapshot version; comparable only between queries pinned
+  // to the same epoch and shard set). `epoch_out`, when non-null, receives
+  // the pinned topology's epoch. `snaps`, when non-null, must come from
+  // AcquireAll on this index; the query then runs on those snapshots
+  // without touching the publication cells.
 
   // Appends all points inside `query` to `out`, decomposed into per-shard
   // sub-rectangles. `parts`, when non-null, is cleared and filled with one
@@ -214,46 +317,67 @@ class ShardedVersionedIndex {
                   QueryStats* stats = nullptr,
                   std::vector<ShardQueryPart>* parts = nullptr,
                   uint64_t* version_mass = nullptr,
-                  const SnapshotSet* snaps = nullptr) const;
+                  const SnapshotSet* snaps = nullptr,
+                  uint64_t* epoch_out = nullptr) const;
 
   // True iff a point with identical coordinates is stored; runs on the
-  // single owning shard. `home_shard`, when non-null, receives it.
+  // single owning shard. `home_shard`, when non-null, receives it
+  // (relative to the pinned epoch).
   bool PointQuery(const Point& p, QueryStats* stats = nullptr,
                   uint64_t* version_mass = nullptr,
                   int* home_shard = nullptr,
-                  const SnapshotSet* snaps = nullptr) const;
+                  const SnapshotSet* snaps = nullptr,
+                  uint64_t* epoch_out = nullptr) const;
 
   // The k nearest neighbours of `center` by Euclidean distance, sorted by
   // increasing distance, merged across shards via bounded best-first
   // expansion (see file header). Like the PR-1 engine, neighbours are
-  // searched within the build-time domain: a point inserted OUTSIDE
-  // `domain()` is served by range/point queries but may be missed here
-  // when fewer than k points exist near the center (the per-shard
-  // expansion certifies completion against the clamped cell).
+  // searched within the pinned topology's domain: a point inserted OUTSIDE
+  // it is served by range/point queries but may be missed here when fewer
+  // than k points exist near the center (the per-shard expansion certifies
+  // completion against the clamped cell). A repartition recomputes the
+  // domain from the migrated points, so such strays are folded in at the
+  // next topology swap.
   std::vector<Point> Knn(const Point& center, int k,
                          QueryStats* stats = nullptr,
                          uint64_t* version_mass = nullptr,
-                         const SnapshotSet* snaps = nullptr) const;
+                         const SnapshotSet* snaps = nullptr,
+                         uint64_t* epoch_out = nullptr) const;
 
   // Phase-split execution across shards: per-shard projections over the
   // clipped sub-rectangles (Project), then a filter of those spans against
-  // the same per-shard snapshots (ScanParts).
+  // the same per-shard snapshots (ScanParts). Parts pin their topology, so
+  // ScanParts is safe even across a repartition between the phases.
   void Project(const Rect& query, std::vector<ShardProjection>* parts,
                QueryStats* stats = nullptr) const;
   void ScanParts(const std::vector<ShardProjection>& parts,
                  std::vector<Point>* out, QueryStats* stats = nullptr) const;
 
  private:
-  // The snapshot to query shard `s` on: the caller's pre-acquired set when
-  // given, else a fresh Acquire() whose ownership lands in `*owned`.
-  const IndexSnapshot* SnapFor(
-      int s, const SnapshotSet* snaps,
-      std::shared_ptr<const IndexSnapshot>* owned) const;
+  // The topology to run a query on: the caller's pinned set when given,
+  // else a fresh acquire whose ownership lands in `*owned`.
+  const ShardTopology* TopoFor(const SnapshotSet* snaps,
+                               std::shared_ptr<ShardTopology>* owned) const;
+  // The snapshot to query shard `s` (of `topo`) on: the caller's
+  // pre-acquired set when given, else a fresh Acquire() whose ownership
+  // lands in `*owned`.
+  static const IndexSnapshot* SnapFor(
+      const ShardTopology& topo, int s, const SnapshotSet* snaps,
+      std::shared_ptr<const IndexSnapshot>* owned);
 
-  ShardRouter router_;
-  Rect domain_;
-  std::vector<std::unique_ptr<VersionedIndex>> shards_;
-  std::vector<Workload> shard_workloads_;
+  // Shared by the constructor and BuildNextTopology.
+  static std::shared_ptr<ShardTopology> MakeTopology(
+      const IndexFactory& factory, const BuildOptions& build_opts,
+      const VersionedIndexOptions& vopts, const std::string& data_name,
+      const std::vector<Point>& points, const Workload& workload,
+      int num_shards, const Rect& domain, uint64_t epoch,
+      uint64_t version_base);
+
+  IndexFactory factory_;
+  BuildOptions build_opts_;
+  ShardedIndexOptions opts_;
+  std::string data_name_;
+  AtomicCell<ShardTopology> topology_;
 };
 
 }  // namespace wazi::serve

@@ -1,0 +1,459 @@
+// Dynamic shard re-partitioning: live router swap + cross-generation data
+// migration.
+//
+//   * RepartitionMonitor decision logic in isolation (imbalance reduction,
+//     patience, cooldown).
+//   * Forced migrations preserve the exact point membership — including
+//     updates submitted before, during and after the cutover — and
+//     actually rebalance a skewed topology.
+//   * Epoch pinning: a SnapshotSet acquired before the swap keeps serving
+//     the old generation's frozen state; fresh queries see the new epoch.
+//   * The acceptance bar: sharded results equal unsharded results across a
+//     forced repartition under concurrent writers (run under TSan in CI).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/wazi.h"
+#include "serve/repartition.h"
+#include "serve/serve_loop.h"
+#include "tests/test_util.h"
+
+namespace wazi::serve {
+namespace {
+
+IndexFactory WaziFactory() {
+  return [] { return std::unique_ptr<SpatialIndex>(new Wazi()); };
+}
+
+BuildOptions FastOpts() {
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  return opts;
+}
+
+// Updates remove points by coordinates inside the index, by id in the
+// authoritative set; duplicate coordinates would make those two paths
+// diverge, so the harness guarantees coordinate uniqueness up front.
+Dataset DedupeCoords(const Dataset& in) {
+  Dataset out;
+  out.name = in.name;
+  out.bounds = in.bounds;
+  std::set<std::pair<double, double>> seen;
+  for (const Point& p : in.points) {
+    if (seen.insert({p.x, p.y}).second) out.points.push_back(p);
+  }
+  return out;
+}
+
+std::vector<int64_t> BruteIds(const std::vector<Point>& pts, const Rect& q) {
+  std::vector<int64_t> ids;
+  for (const Point& p : pts) {
+    if (q.Contains(p)) ids.push_back(p.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+TEST(RepartitionMonitorTest, ImbalanceIsMaxOverMeanOfNormalizedLoads) {
+  RepartitionOptions opts;
+  opts.min_queries = 0;
+  // Balanced on every component: ratio 1.
+  EXPECT_DOUBLE_EQ(
+      CombinedImbalance({{100, 50, 4}, {100, 50, 4}}, opts), 1.0);
+  // One shard holds everything: ratio = shard count.
+  EXPECT_DOUBLE_EQ(
+      CombinedImbalance({{400, 0, 0}, {0, 0, 0}, {0, 0, 0}, {0, 0, 0}},
+                        opts),
+      4.0);
+  // Fewer than two shards can never be imbalanced.
+  EXPECT_DOUBLE_EQ(CombinedImbalance({{1000, 9000, 50}}, opts), 1.0);
+  EXPECT_DOUBLE_EQ(CombinedImbalance({}, opts), 1.0);
+  // Items balanced but all query traffic stabs one shard: the combined
+  // ratio sits between balanced (1.0) and fully skewed (N), weighted.
+  const double mixed =
+      CombinedImbalance({{100, 300, 0}, {100, 0, 0}, {100, 0, 0}}, opts);
+  EXPECT_GT(mixed, 1.0);
+  EXPECT_LT(mixed, 3.0);
+  // Below min_queries the stab component is ignored as noise.
+  opts.min_queries = 1000;
+  EXPECT_DOUBLE_EQ(
+      CombinedImbalance({{100, 300, 0}, {100, 0, 0}, {100, 0, 0}}, opts),
+      1.0);
+}
+
+TEST(RepartitionMonitorTest, PatienceAndCooldownGateTheTrigger) {
+  RepartitionOptions opts;
+  opts.max_imbalance = 1.5;
+  opts.patience = 3;
+  opts.min_queries = 0;
+  opts.min_interval_ms = 1000;
+  RepartitionMonitor monitor(opts);
+  const std::vector<ShardLoad> skewed = {{900, 0, 0}, {100, 0, 0}};
+  const std::vector<ShardLoad> balanced = {{500, 0, 0}, {500, 0, 0}};
+  auto t = std::chrono::steady_clock::now();
+
+  // Needs `patience` consecutive over-threshold samples.
+  EXPECT_FALSE(monitor.Observe(skewed, t));
+  EXPECT_FALSE(monitor.Observe(skewed, t));
+  EXPECT_TRUE(monitor.Observe(skewed, t));
+  EXPECT_GT(monitor.imbalance(), 1.5);
+
+  // A balanced sample resets the streak.
+  EXPECT_FALSE(monitor.Observe(skewed, t));
+  EXPECT_FALSE(monitor.Observe(balanced, t));
+  EXPECT_FALSE(monitor.Observe(skewed, t));
+  EXPECT_FALSE(monitor.Observe(skewed, t));
+  EXPECT_TRUE(monitor.Observe(skewed, t));
+
+  // Cooldown: right after a repartition the trigger is suppressed even at
+  // full patience, until min_interval elapses.
+  monitor.ResetAfterRepartition(t);
+  EXPECT_FALSE(monitor.Observe(skewed, t));
+  EXPECT_FALSE(monitor.Observe(skewed, t));
+  EXPECT_FALSE(monitor.Observe(skewed, t));
+  EXPECT_FALSE(monitor.Observe(skewed, t + std::chrono::milliseconds(500)));
+  EXPECT_TRUE(monitor.Observe(skewed, t + std::chrono::milliseconds(1500)));
+}
+
+TEST(RepartitionTest, ForcedRepartitionPreservesMembershipAndRebalances) {
+  TestScenario s = MakeScenario(Region::kCaliNev, 6000, 150, 2e-3, 301);
+  s.data = DedupeCoords(s.data);
+
+  ServeOptions opts;
+  opts.num_shards = 4;
+  opts.num_threads = 1;
+  opts.auto_rebuild = false;
+  opts.writer_coalesce_ms = 0;
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(), opts);
+  EXPECT_EQ(loop.epoch(), 1u);
+  EXPECT_EQ(loop.repartitions(), 0);
+
+  // Skew the data: a dense blob of fresh inserts inside one corner cell,
+  // plus removals spread over the original points.
+  std::vector<Point> expected = s.data.points;
+  const Rect corner = Rect::Of(0.0, 0.0, 0.12, 0.12);
+  Rng rng(8888);
+  for (int i = 0; i < 3000; ++i) {
+    Point p;
+    p.x = corner.min_x + rng.NextDouble() * (corner.max_x - corner.min_x);
+    p.y = corner.min_y + rng.NextDouble() * (corner.max_y - corner.min_y);
+    p.id = 30000000 + i;
+    loop.SubmitInsert(p);
+    expected.push_back(p);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const Point& victim = s.data.points[static_cast<size_t>(i) * 7 %
+                                        s.data.points.size()];
+    loop.SubmitRemove(victim);
+    expected.erase(std::remove_if(expected.begin(), expected.end(),
+                                  [&](const Point& p) {
+                                    return p.id == victim.id;
+                                  }),
+                   expected.end());
+  }
+  loop.Flush();
+  const uint64_t version_before = loop.version();
+
+  ASSERT_TRUE(loop.TriggerRepartition());
+  EXPECT_EQ(loop.epoch(), 2u);
+  EXPECT_EQ(loop.repartitions(), 1);
+  EXPECT_EQ(loop.num_shards(), 4);
+  // The facade version stays monotone across the generation swap.
+  EXPECT_GT(loop.version(), version_before);
+
+  // Exact membership across the migration: the full domain and every
+  // workload query agree with the tracked expectation.
+  loop.Flush();
+  EXPECT_EQ(loop.sharded_index().num_points(), expected.size());
+  const QueryResult all = loop.Range(s.data.bounds);
+  EXPECT_EQ(SortedIds(all.hits), BruteIds(expected, s.data.bounds));
+  EXPECT_EQ(all.epoch, 2u);
+  for (size_t i = 0; i < s.workload.queries.size(); i += 5) {
+    const Rect& q = s.workload.queries[i];
+    EXPECT_EQ(SortedIds(loop.Range(q).hits), BruteIds(expected, q))
+        << "query " << i;
+  }
+  // Point routing agrees with the new router.
+  for (size_t i = 0; i < expected.size(); i += 97) {
+    EXPECT_TRUE(loop.PointLookup(expected[i]));
+  }
+
+  // The new tiling re-levelled the skewed blob: every shard holds at most
+  // ~(5/4)^2 of the ideal share again (the old topology had over half the
+  // points in one corner shard).
+  const size_t ideal = expected.size() / 4;
+  for (int shard = 0; shard < loop.num_shards(); ++shard) {
+    EXPECT_LE(loop.sharded_index().shard(shard).num_points(),
+              ideal * 25 / 16)
+        << "shard " << shard << " still overloaded after repartition";
+  }
+}
+
+TEST(RepartitionTest, RepartitionCanChangeTheShardCount) {
+  TestScenario s = MakeScenario(Region::kJapan, 4000, 80, 2e-3, 302);
+  s.data = DedupeCoords(s.data);
+
+  ServeOptions opts;
+  opts.num_shards = 2;
+  opts.num_threads = 1;
+  opts.auto_rebuild = false;
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(), opts);
+  ASSERT_EQ(loop.num_shards(), 2);
+
+  ASSERT_TRUE(loop.TriggerRepartition(6));
+  EXPECT_EQ(loop.num_shards(), 6);
+  EXPECT_EQ(loop.epoch(), 2u);
+  for (size_t i = 0; i < s.workload.queries.size(); i += 3) {
+    const Rect& q = s.workload.queries[i];
+    EXPECT_EQ(SortedIds(loop.Range(q).hits), TruthIds(s.data, q));
+  }
+
+  // And back down to a single shard.
+  ASSERT_TRUE(loop.TriggerRepartition(1));
+  EXPECT_EQ(loop.num_shards(), 1);
+  EXPECT_EQ(loop.epoch(), 3u);
+  const QueryResult all = loop.Range(s.data.bounds);
+  EXPECT_EQ(SortedIds(all.hits), TruthIds(s.data, s.data.bounds));
+}
+
+TEST(RepartitionTest, SnapshotSetPinsTheOldEpochAcrossTheSwap) {
+  TestScenario s = MakeScenario(Region::kNewYork, 3000, 60, 2e-3, 303);
+  s.data = DedupeCoords(s.data);
+
+  ServeOptions opts;
+  opts.num_shards = 4;
+  opts.num_threads = 1;
+  opts.auto_rebuild = false;
+  opts.writer_coalesce_ms = 0;
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(), opts);
+
+  // Pin the pre-migration generation.
+  ShardedVersionedIndex::SnapshotSet pinned;
+  loop.sharded_index().AcquireAll(&pinned);
+  ASSERT_EQ(pinned.topology->epoch, 1u);
+
+  // Mutate and migrate.
+  const Point fresh{0.31, 0.62, 40000000};
+  loop.SubmitInsert(fresh);
+  loop.Flush();
+  ASSERT_TRUE(loop.TriggerRepartition());
+  ASSERT_EQ(loop.epoch(), 2u);
+
+  // The pinned set still serves the OLD generation's frozen pre-insert
+  // state (per-generation snapshot acquisition: queries that straddle the
+  // swap stay internally consistent)...
+  uint64_t epoch = 0;
+  std::vector<Point> hits;
+  loop.sharded_index().RangeQuery(s.data.bounds, &hits, nullptr, nullptr,
+                                  nullptr, &pinned, &epoch);
+  EXPECT_EQ(epoch, 1u);
+  EXPECT_EQ(SortedIds(hits), TruthIds(s.data, s.data.bounds));
+  EXPECT_FALSE(loop.sharded_index().PointQuery(fresh, nullptr, nullptr,
+                                               nullptr, &pinned));
+
+  // ...while fresh acquisitions see the new epoch and the insert.
+  const QueryResult now = loop.Range(s.data.bounds);
+  EXPECT_EQ(now.epoch, 2u);
+  EXPECT_EQ(now.hits.size(), s.data.points.size() + 1);
+  EXPECT_TRUE(loop.PointLookup(fresh));
+}
+
+TEST(RepartitionTest, MonitorTriggersOnSkewShift) {
+  TestScenario s = MakeScenario(Region::kIberia, 5000, 120, 2e-3, 304);
+  s.data = DedupeCoords(s.data);
+
+  ServeOptions opts;
+  opts.num_shards = 4;
+  opts.num_threads = 1;
+  opts.auto_rebuild = false;
+  opts.writer_coalesce_ms = 0;
+  opts.repartition.enabled = true;
+  opts.repartition.poll_ms = 5;
+  opts.repartition.max_imbalance = 1.3;
+  opts.repartition.patience = 2;
+  opts.repartition.min_queries = 32;
+  opts.repartition.min_interval_ms = 50;
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(), opts);
+
+  // Skew-shift: all new data and all queries pile into one corner.
+  const Rect corner = Rect::Of(0.0, 0.0, 0.15, 0.15);
+  std::vector<Point> expected = s.data.points;
+  Rng rng(9999);
+  int64_t next_id = 50000000;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (loop.repartitions() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 64; ++i) {
+      Point p;
+      p.x = corner.min_x + rng.NextDouble() * (corner.max_x - corner.min_x);
+      p.y = corner.min_y + rng.NextDouble() * (corner.max_y - corner.min_y);
+      p.id = next_id++;
+      loop.SubmitInsert(p);
+      expected.push_back(p);
+    }
+    for (int i = 0; i < 16; ++i) {
+      const double x = corner.min_x +
+                       rng.NextDouble() * (corner.max_x - corner.min_x) * 0.8;
+      const double y = corner.min_y +
+                       rng.NextDouble() * (corner.max_y - corner.min_y) * 0.8;
+      loop.Range(Rect::Of(x, y, x + 0.02, y + 0.02));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_GE(loop.repartitions(), 1) << "monitor never reacted to the skew";
+  EXPECT_GE(loop.epoch(), 2u);
+
+  // Serving stayed correct across the automatic migration.
+  loop.Flush();
+  const QueryResult all = loop.Range(s.data.bounds);
+  EXPECT_EQ(SortedIds(all.hits), BruteIds(expected, s.data.bounds));
+}
+
+// The acceptance bar: concurrent writers stream routed updates into a
+// sharded loop and an unsharded (1-shard) reference loop while forced
+// repartitions (including a shard-count change) execute mid-stream;
+// concurrent readers hammer queries across the cutovers. After quiescing,
+// the sharded results must equal the unsharded results exactly. TSan-clean.
+TEST(RepartitionStressTest, ShardedEqualsUnshardedAcrossCutover) {
+  TestScenario s = MakeScenario(Region::kCaliNev, 8000, 150, 2e-3, 305);
+  s.data = DedupeCoords(s.data);
+
+  ServeOptions sharded_opts;
+  sharded_opts.num_shards = 4;
+  sharded_opts.num_threads = 2;
+  sharded_opts.writer_batch_limit = 32;  // frequent per-shard swaps
+  sharded_opts.writer_coalesce_ms = 0;
+  sharded_opts.auto_rebuild = false;
+  ServeLoop sharded(WaziFactory(), s.data, s.workload, FastOpts(),
+                    sharded_opts);
+  ServeOptions ref_opts = sharded_opts;
+  ref_opts.num_shards = 1;
+  ref_opts.num_threads = 1;
+  ServeLoop unsharded(WaziFactory(), s.data, s.workload, FastOpts(),
+                      ref_opts);
+
+  constexpr int kWriters = 3;
+  constexpr int kOpsPerWriter = 800;
+  std::atomic<int64_t> bad_results{0};
+  std::atomic<bool> stop_readers{false};
+
+  // Writers: identical op streams into both loops; disjoint id ranges per
+  // thread; each thread removes only points it owns (its own inserts and
+  // the originals with id % kWriters == t), so the final membership is
+  // deterministic without cross-thread coordination.
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kWriters; ++t) {
+    writers.emplace_back([&, t] {
+      Rng rng(static_cast<uint64_t>(600 + t));
+      std::vector<Point> mine;
+      size_t next_remove = 0, next_orig = static_cast<size_t>(t);
+      for (int i = 0; i < kOpsPerWriter; ++i) {
+        const int kind = static_cast<int>(rng.NextBelow(4));
+        if (kind < 2 || mine.size() < 8) {
+          Point p;
+          p.x = rng.NextDouble();
+          p.y = rng.NextDouble();
+          p.id = 60000000 + static_cast<int64_t>(t) * 1000000 + i;
+          mine.push_back(p);
+          sharded.SubmitInsert(p);
+          unsharded.SubmitInsert(p);
+        } else if (kind == 2 && next_remove < mine.size()) {
+          sharded.SubmitRemove(mine[next_remove]);
+          unsharded.SubmitRemove(mine[next_remove]);
+          ++next_remove;
+        } else if (next_orig < s.data.points.size()) {
+          sharded.SubmitRemove(s.data.points[next_orig]);
+          unsharded.SubmitRemove(s.data.points[next_orig]);
+          next_orig += kWriters;
+        }
+      }
+    });
+  }
+
+  // Readers: every range result must be duplicate-free (a migration bug
+  // that double-routes a point across generations would violate this) and
+  // every kNN result must be the right size and sorted by distance.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      size_t qi = static_cast<size_t>(r) * 41;
+      while (!stop_readers.load(std::memory_order_relaxed)) {
+        const Rect& q = s.workload.queries[qi++ % s.workload.queries.size()];
+        const QueryResult res = sharded.Range(q);
+        std::vector<int64_t> ids = SortedIds(res.hits);
+        if (std::adjacent_find(ids.begin(), ids.end()) != ids.end()) {
+          bad_results.fetch_add(1, std::memory_order_relaxed);
+        }
+        const Point center = s.data.points[qi % s.data.points.size()];
+        const QueryResult knn = sharded.Knn(center, 5);
+        if (knn.hits.size() != 5) {
+          bad_results.fetch_add(1, std::memory_order_relaxed);
+        }
+        for (size_t j = 1; j < knn.hits.size(); ++j) {
+          if (DistanceSquared(knn.hits[j - 1], center) >
+              DistanceSquared(knn.hits[j], center)) {
+            bad_results.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  // Forced live migrations while writers and readers run: re-tile at the
+  // same count, then change the shard count twice.
+  ASSERT_TRUE(sharded.TriggerRepartition());
+  ASSERT_TRUE(sharded.TriggerRepartition(3));
+  ASSERT_TRUE(sharded.TriggerRepartition(4));
+  EXPECT_EQ(sharded.repartitions(), 3);
+  EXPECT_EQ(sharded.epoch(), 4u);
+
+  for (std::thread& t : writers) t.join();
+  // One more migration after the writers quiesce but with readers live.
+  sharded.Flush();
+  ASSERT_TRUE(sharded.TriggerRepartition(5));
+  stop_readers.store(true);
+  for (std::thread& t : readers) t.join();
+  sharded.Flush();
+  unsharded.Flush();
+
+  EXPECT_EQ(bad_results.load(), 0);
+  EXPECT_EQ(sharded.num_shards(), 5);
+  EXPECT_EQ(sharded.sharded_index().num_points(),
+            unsharded.sharded_index().num_points());
+  // Sharded == unsharded on every workload query, the full domain, point
+  // lookups and kNN (distance multisets; ids may differ on ties).
+  for (size_t i = 0; i < s.workload.queries.size(); i += 2) {
+    const Rect& q = s.workload.queries[i];
+    EXPECT_EQ(SortedIds(sharded.Range(q).hits),
+              SortedIds(unsharded.Range(q).hits))
+        << "query " << i;
+  }
+  EXPECT_EQ(SortedIds(sharded.Range(s.data.bounds).hits),
+            SortedIds(unsharded.Range(s.data.bounds).hits));
+  for (size_t i = 0; i < s.data.points.size(); i += 113) {
+    const Point& p = s.data.points[i];
+    EXPECT_EQ(sharded.PointLookup(p), unsharded.PointLookup(p));
+  }
+  for (size_t i = 0; i < 20; ++i) {
+    const Point center = s.data.points[i * 331 % s.data.points.size()];
+    const QueryResult a = sharded.Knn(center, 7);
+    const QueryResult b = unsharded.Knn(center, 7);
+    ASSERT_EQ(a.hits.size(), b.hits.size());
+    for (size_t j = 0; j < a.hits.size(); ++j) {
+      EXPECT_DOUBLE_EQ(DistanceSquared(a.hits[j], center),
+                       DistanceSquared(b.hits[j], center));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wazi::serve

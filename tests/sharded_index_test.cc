@@ -122,6 +122,106 @@ TEST(ShardRouterTest, DecomposeCoversEveryPointExactlyOnce) {
   }
 }
 
+TEST(ShardRouterTest, SingleShardRoutesEverythingToShardZero) {
+  const Dataset data = MakeUniformDataset(500, 17);
+  ShardRouter router;
+  router.Build(data.points, 1, data.bounds);
+  EXPECT_EQ(router.num_shards(), 1);
+  for (const Point& p : {Point{0.5, 0.5, 0}, Point{-1e9, 1e9, 0},
+                         Point{1e300, -1e300, 0}}) {
+    EXPECT_EQ(router.ShardOf(p), 0);
+    EXPECT_EQ(router.MinDistanceSquared(p, 0), 0.0);
+  }
+  // Decompose is the identity: one sub-query equal to the input.
+  std::vector<ShardSubquery> subs;
+  const Rect q = Rect::Of(0.2, 0.3, 0.6, 0.7);
+  router.Decompose(q, &subs);
+  ASSERT_EQ(subs.size(), 1u);
+  EXPECT_EQ(subs[0].shard, 0);
+  EXPECT_EQ(subs[0].rect, q);
+}
+
+TEST(ShardRouterTest, MoreShardsThanDistinctPointsLeavesEmptyCells) {
+  // Three distinct coordinates, eight shards: the equi-depth cuts collapse
+  // onto the few values and most cells end up empty. The router must still
+  // be a valid partition and the facade must still answer exactly.
+  Dataset data;
+  data.name = "tiny";
+  data.bounds = Rect::Of(0, 0, 1, 1);
+  data.points = {Point{0.2, 0.2, 0}, Point{0.5, 0.8, 1},
+                 Point{0.9, 0.4, 2}};
+  ShardRouter router;
+  router.Build(data.points, 8, data.bounds);
+  EXPECT_EQ(router.num_shards(), 8);
+  std::vector<int64_t> counts(8, 0);
+  for (const Point& p : data.points) {
+    const int shard = router.ShardOf(p);
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, 8);
+    EXPECT_TRUE(router.CellRect(shard).Contains(p));
+    ++counts[static_cast<size_t>(shard)];
+  }
+  // Decompose still covers every point exactly once over the full domain.
+  std::vector<ShardSubquery> subs;
+  router.Decompose(data.bounds, &subs);
+  for (const Point& p : data.points) {
+    int covering = 0;
+    for (const ShardSubquery& sub : subs) {
+      if (sub.shard == router.ShardOf(p) && sub.rect.Contains(p)) ++covering;
+    }
+    EXPECT_EQ(covering, 1) << "point " << p.id;
+  }
+
+  Workload workload;
+  workload.queries = {data.bounds, Rect::Of(0.4, 0.4, 1.0, 1.0)};
+  ShardedVersionedIndex index(WaziFactory(), data, workload, FastOpts(),
+                              Shards(8));
+  EXPECT_EQ(index.num_points(), 3u);
+  for (const Rect& q : workload.queries) {
+    std::vector<Point> hits;
+    index.RangeQuery(q, &hits);
+    EXPECT_EQ(SortedIds(hits), TruthIds(data, q));
+  }
+  for (const Point& p : data.points) EXPECT_TRUE(index.PointQuery(p));
+  EXPECT_EQ(index.Knn(Point{0.5, 0.5, 0}, 5).size(), 3u);
+}
+
+TEST(ShardRouterTest, AllDuplicateCoordinatesCollapseToOneShard) {
+  // Every point shares one coordinate pair: all equi-depth boundaries are
+  // the same value, so routing is constant and every other cell is empty.
+  Dataset data;
+  data.name = "dupes";
+  data.bounds = Rect::Of(0, 0, 1, 1);
+  for (int i = 0; i < 400; ++i) {
+    data.points.push_back(Point{0.5, 0.5, i});
+  }
+  ShardRouter router;
+  router.Build(data.points, 4, data.bounds);
+  const int home = router.ShardOf(Point{0.5, 0.5, 0});
+  for (const Point& p : data.points) {
+    EXPECT_EQ(router.ShardOf(p), home);
+  }
+
+  Workload workload;
+  workload.queries = {Rect::Of(0.4, 0.4, 0.6, 0.6)};
+  ShardedVersionedIndex index(WaziFactory(), data, workload, FastOpts(),
+                              Shards(4));
+  std::vector<Point> hits;
+  index.RangeQuery(data.bounds, &hits);
+  EXPECT_EQ(hits.size(), 400u);
+  // A query missing the duplicate coordinate finds nothing, everywhere.
+  hits.clear();
+  index.RangeQuery(Rect::Of(0.6, 0.6, 1.0, 1.0), &hits);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_TRUE(index.PointQuery(Point{0.5, 0.5, 123}));
+  // kNN returns k of the duplicates, all at distance zero.
+  const std::vector<Point> knn = index.Knn(Point{0.5, 0.5, 0}, 7);
+  ASSERT_EQ(knn.size(), 7u);
+  for (const Point& p : knn) {
+    EXPECT_DOUBLE_EQ(DistanceSquared(p, Point{0.5, 0.5, 0}), 0.0);
+  }
+}
+
 TEST(ShardRouterTest, MinDistIsZeroInsideAndPositiveOutside) {
   const Dataset data = MakeUniformDataset(5000, 13);
   ShardRouter router;

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Fails on broken intra-repo markdown links.
+
+Scans every tracked *.md file (build trees excluded) for inline links and
+images `[text](target)`, resolves relative targets against the containing
+file, and reports:
+  * targets that do not exist in the repo;
+  * `#anchor` fragments that match no heading in the target file
+    (GitHub-style slugs: lowercase, punctuation stripped, spaces->dashes).
+
+External links (http/https/mailto) are not fetched. Exit code 0 when all
+links resolve, 1 otherwise.
+
+Usage: tools/check_markdown_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "build-tsan", ".claude"}
+# [text](target) — target up to the first unescaped ')'; images share the
+# syntax. Code spans/fences are stripped first so `[a](b)` in code is not
+# a link.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
+CODESPAN_RE = re.compile(r"`[^`]*`")
+
+
+def slugify(heading: str) -> str:
+    """GitHub heading -> anchor slug (close enough for ASCII docs)."""
+    text = CODESPAN_RE.sub(lambda m: m.group(0).strip("`"), heading)
+    text = re.sub(r"[^\w\- ]", "", text.strip().lower())
+    return text.replace(" ", "-")
+
+
+def md_files(root: str):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def anchors_of(path: str) -> set:
+    with open(path, encoding="utf-8") as f:
+        text = FENCE_RE.sub("", f.read())
+    return {slugify(h) for h in HEADING_RE.findall(text)}
+
+
+def main() -> int:
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    errors = []
+    checked = 0
+    for md in sorted(md_files(root)):
+        with open(md, encoding="utf-8") as f:
+            text = FENCE_RE.sub("", f.read())
+        text = CODESPAN_RE.sub("", text)
+        rel_md = os.path.relpath(md, root)
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            checked += 1
+            path_part, _, fragment = target.partition("#")
+            if path_part:
+                dest = os.path.normpath(
+                    os.path.join(os.path.dirname(md), path_part))
+            else:  # same-file anchor
+                dest = md
+            if not os.path.exists(dest):
+                errors.append(f"{rel_md}: broken link '{target}' "
+                              f"(no such file {os.path.relpath(dest, root)})")
+                continue
+            if fragment and dest.endswith(".md"):
+                if slugify(fragment) not in anchors_of(dest):
+                    errors.append(f"{rel_md}: broken anchor '{target}' "
+                                  f"(no heading '#{fragment}')")
+    for err in errors:
+        print(f"ERROR: {err}")
+    print(f"checked {checked} intra-repo link(s): "
+          f"{'FAIL' if errors else 'ok'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

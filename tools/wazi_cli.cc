@@ -11,12 +11,15 @@
 //   wazi_cli stats      --index-file index.bin
 //   wazi_cli throughput --threads 4 --shards 4 --mix 95r/5w --n 200000
 //                       --seconds 3 [--region CaliNev --index wazi
-//                        --queries 2000 --selectivity 0.0256%]
+//                        --queries 2000 --selectivity 0.0256%
+//                        --repartition 0|1]
 //
 // `throughput` (alias: `serve`) drives the concurrent serving engine
 // (src/serve/): N client threads issue range queries against the live
 // per-shard snapshots while writes stream through each shard's own
 // background writer, and the command reports QPS plus latency percentiles.
+// `--repartition 1` additionally enables the topology monitor, which
+// re-cuts the shard map via a live migration when the load skews.
 //
 // The persisted format only covers the Z-index family (wazi/base); the
 // other baselines are in-memory research comparators.
@@ -305,6 +308,7 @@ int CmdThroughput(const std::map<std::string, std::string>& flags) {
   serve::ServeOptions sopts;
   sopts.num_shards = shards;
   sopts.num_threads = 1;  // client threads below execute queries themselves
+  sopts.repartition.enabled = FlagOr(flags, "repartition", "0") == "1";
   serve::ServeLoop loop([&index_name] { return MakeIndex(index_name); }, data,
                         workload, BuildOptions{}, sopts);
   std::fprintf(stderr, "built in %.1fs; serving %.1fs on %d threads "
@@ -337,6 +341,9 @@ int CmdThroughput(const std::map<std::string, std::string>& flags) {
   std::printf("snapshots:      %llu versions published, %lld drift rebuilds\n",
               static_cast<unsigned long long>(loop.version()),
               static_cast<long long>(loop.rebuilds()));
+  std::printf("topology:       epoch %llu, %lld live repartition(s)\n",
+              static_cast<unsigned long long>(loop.epoch()),
+              static_cast<long long>(loop.repartitions()));
   return 0;
 }
 
