@@ -12,7 +12,18 @@
 // thread, and each sub-query runs on an index 1/shards the size.
 //
 //   bench_serve_throughput [--shards 1,4] [--threads 1,2,4,8]
+//                          [--cache-mb 0,64] [--admission-window 0,200]
 //   bench_serve_throughput --repartition 4 [--threads ...]
+//
+// --cache-mb N[,M] adds the snapshot-stamped result cache as a sweep
+// axis (capacity per arm, 0 = off) and a `hit%` column; whenever any arm
+// has a cache, reads are drawn SKEWED (90% of queries from the hottest
+// 10% of rectangles, both arms alike) so the cache sees a hot set, and a
+// 0-capacity arm is prepended if missing so the summary can print the
+// cache-off -> cache-on QPS ratio. --admission-window US[,US2] sweeps
+// the batched-admission axis: arms with a window > 0 drive reads through
+// ServeLoop::SubmitQuery futures (8 in flight per client) so concurrent
+// queries coalesce into snapshot-shared batches; 0 is the direct path.
 //
 // --repartition N replaces the sweep with a skew-shift experiment on N
 // shards: a mixed-load phase on the build-time workload, then a phase
@@ -27,6 +38,7 @@
 //   WAZI_SERVE_SECONDS=<per-cell duration, default 1.5 (smoke 0.3)>
 //   WAZI_SERVE_SHARDS=<default for --shards>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -57,15 +69,24 @@ struct CellResult {
   int64_t p50_ns = 0;
   int64_t p90_ns = 0;
   int64_t p99_ns = 0;
+  double hit_rate = 0.0;  // result-cache hit rate within this cell
 };
 
 CellResult RunCell(ServeLoop& loop, const Workload& workload, int threads,
-                   int write_pct, double seconds) {
+                   int write_pct, double seconds, bool skewed_reads,
+                   bool via_admission) {
   ClientLoadOptions copts;
   copts.threads = threads;
   copts.write_pct = write_pct;
   copts.seconds = seconds;
+  if (skewed_reads) {
+    copts.hot_fraction = 0.1;
+    copts.hot_pct = 90;
+  }
+  if (via_admission) copts.admission_depth = 8;
+  const serve::ResultCacheStats before = loop.cache_stats();
   const ClientLoadResult load = RunClientLoad(loop, workload, copts);
+  const serve::ResultCacheStats after = loop.cache_stats();
   CellResult cell;
   cell.qps = static_cast<double>(load.queries) / load.elapsed_seconds;
   cell.writes_per_s =
@@ -73,6 +94,10 @@ CellResult RunCell(ServeLoop& loop, const Workload& workload, int threads,
   cell.p50_ns = load.latencies.PercentileNs(50);
   cell.p90_ns = load.latencies.PercentileNs(90);
   cell.p99_ns = load.latencies.PercentileNs(99);
+  const int64_t lookups = after.lookups() - before.lookups();
+  cell.hit_rate = lookups == 0 ? 0.0
+                               : static_cast<double>(after.hits - before.hits) /
+                                     static_cast<double>(lookups);
   return cell;
 }
 
@@ -277,16 +302,17 @@ int RunRepartitionExperiment(const std::string& index_name,
   return ok ? 0 : 1;
 }
 
-// "1,4" -> {1, 4}. Exits on malformed input.
-std::vector<int> ParseIntList(const char* arg, const char* flag) {
+// "1,4" -> {1, 4}. Exits on malformed input or a value below `min_v`.
+std::vector<int> ParseIntList(const char* arg, const char* flag,
+                              int min_v = 1) {
   std::vector<int> values;
   const char* p = arg;
   char* end = nullptr;
   while (*p != '\0') {
     const long v = std::strtol(p, &end, 10);
-    if (end == p || v < 1) {
-      std::fprintf(stderr, "%s wants a comma-separated list of ints >= 1\n",
-                   flag);
+    if (end == p || v < min_v) {
+      std::fprintf(stderr, "%s wants a comma-separated list of ints >= %d\n",
+                   flag, min_v);
       std::exit(2);
     }
     values.push_back(static_cast<int>(v));
@@ -315,6 +341,8 @@ int Main(int argc, char** argv) {
   std::vector<int> shard_counts =
       ParseIntList(shards_env != nullptr ? shards_env : "1,4", "--shards");
   std::vector<int> thread_counts = {1, 2, 4, 8};
+  std::vector<int> cache_mbs = {0};
+  std::vector<int> adm_windows = {0};
   int repartition_shards = 0;
   int argi = 1;
   for (; argi + 1 < argc; argi += 2) {
@@ -322,12 +350,17 @@ int Main(int argc, char** argv) {
       shard_counts = ParseIntList(argv[argi + 1], "--shards");
     } else if (std::strcmp(argv[argi], "--threads") == 0) {
       thread_counts = ParseIntList(argv[argi + 1], "--threads");
+    } else if (std::strcmp(argv[argi], "--cache-mb") == 0) {
+      cache_mbs = ParseIntList(argv[argi + 1], "--cache-mb", /*min_v=*/0);
+    } else if (std::strcmp(argv[argi], "--admission-window") == 0) {
+      adm_windows =
+          ParseIntList(argv[argi + 1], "--admission-window", /*min_v=*/0);
     } else if (std::strcmp(argv[argi], "--repartition") == 0) {
       repartition_shards = ParseIntList(argv[argi + 1], "--repartition")[0];
     } else {
       std::fprintf(stderr,
-                   "unknown flag '%s' (known: --shards --threads "
-                   "--repartition)\n",
+                   "unknown flag '%s' (known: --shards --threads --cache-mb "
+                   "--admission-window --repartition)\n",
                    argv[argi]);
       return 2;
     }
@@ -336,6 +369,21 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "flag '%s' is missing its value\n", argv[argi]);
     return 2;
   }
+  // The cache/admission arms only mean something against an off baseline
+  // under the SAME (skewed) read stream, and the summaries read the
+  // baseline from front() and the strongest arm from back(): normalize
+  // each axis to sorted-unique with the 0 arm always present whenever any
+  // arm is on, regardless of the order the flag listed them in.
+  const auto normalize_axis = [](std::vector<int>* values) {
+    std::sort(values->begin(), values->end());
+    values->erase(std::unique(values->begin(), values->end()),
+                  values->end());
+    const bool active = values->back() > 0;
+    if (active && values->front() != 0) values->insert(values->begin(), 0);
+    return active;
+  };
+  const bool cache_axis = normalize_axis(&cache_mbs);
+  const bool admission_axis = normalize_axis(&adm_windows);
 
   const Dataset& data = GetDataset(Region::kCaliNev, n);
   const Workload& workload =
@@ -349,59 +397,122 @@ int Main(int argc, char** argv) {
   std::vector<std::vector<std::string>> rows;
   double mixed_qps_by_shards_lo = 0.0, mixed_qps_by_shards_hi = 0.0;
   double read_qps_1 = 0.0, read_qps_8 = 0.0;
+  double read_qps_cache_off = 0.0, read_qps_cache_on = 0.0;
+  double read_hit_rate_on = 0.0;
+  double read_qps_adm_off = 0.0, read_qps_adm_on = 0.0;
   const int mixed_ref_threads = thread_counts.back();
   for (const int shards : shard_counts) {
-    std::fprintf(stderr,
-                 "[serve] building %d shard(s) of %s over %zu points...\n",
-                 shards, index_name.c_str(), data.size());
-    Timer build_timer;
-    ServeOptions opts;
-    opts.num_shards = shards;
-    opts.num_threads = 1;      // client threads execute queries themselves
-    opts.auto_rebuild = false; // keep cells comparable
-    opts.writer_coalesce_ms = 8;
-    ServeLoop loop([&index_name] { return MakeIndex(index_name); }, data,
-                   workload, BuildOptions{}, opts);
-    std::fprintf(stderr, "[serve] built in %.1fs; hw_threads=%u\n",
-                 build_timer.ElapsedSeconds(),
-                 std::thread::hardware_concurrency());
+    for (const int cache_mb : cache_mbs) {
+      for (const int adm_window : adm_windows) {
+        std::fprintf(
+            stderr,
+            "[serve] building %d shard(s) of %s over %zu points "
+            "(cache %d MB, admission window %d us)...\n",
+            shards, index_name.c_str(), data.size(), cache_mb, adm_window);
+        Timer build_timer;
+        ServeOptions opts;
+        opts.num_shards = shards;
+        // Client threads execute queries themselves on the direct path;
+        // when the admission axis is active EVERY arm gets the same
+        // 4-worker pool (idle on direct arms), so the off -> on ratio
+        // measures coalescing, not a pool-size change.
+        opts.num_threads = admission_axis ? 4 : 1;
+        opts.auto_rebuild = false; // keep cells comparable
+        opts.writer_coalesce_ms = 8;
+        opts.cache.capacity_bytes =
+            static_cast<size_t>(cache_mb) * 1024 * 1024;
+        opts.admission.window_us = adm_window;
+        ServeLoop loop([&index_name] { return MakeIndex(index_name); }, data,
+                       workload, BuildOptions{}, opts);
+        std::fprintf(stderr, "[serve] built in %.1fs; hw_threads=%u\n",
+                     build_timer.ElapsedSeconds(),
+                     std::thread::hardware_concurrency());
 
-    for (const int write_pct : {0, 5}) {
-      const std::string mode = write_pct == 0 ? "read-only" : "95r/5w";
-      for (const int threads : thread_counts) {
-        const CellResult cell =
-            RunCell(loop, workload, threads, write_pct, seconds);
-        if (write_pct == 0 && threads == 1 && shards == shard_counts.front()) {
-          read_qps_1 = cell.qps;
-        }
-        if (write_pct == 0 && threads == 8 && shards == shard_counts.front()) {
-          read_qps_8 = cell.qps;
-        }
-        if (write_pct == 5 && threads == mixed_ref_threads) {
-          if (shards == shard_counts.front()) mixed_qps_by_shards_lo = cell.qps;
-          if (shards == shard_counts.back()) mixed_qps_by_shards_hi = cell.qps;
-        }
-        rows.push_back({std::to_string(shards), mode, std::to_string(threads),
-                        FormatQps(cell.qps),
+        const bool reference_arm =
+            cache_mb == cache_mbs.front() && adm_window == adm_windows.front();
+        for (const int write_pct : {0, 5}) {
+          const std::string mode = write_pct == 0 ? "read-only" : "95r/5w";
+          for (const int threads : thread_counts) {
+            const CellResult cell =
+                RunCell(loop, workload, threads, write_pct, seconds,
+                        /*skewed_reads=*/cache_axis,
+                        /*via_admission=*/adm_window > 0);
+            if (reference_arm && shards == shard_counts.front() &&
+                write_pct == 0) {
+              if (threads == 1) read_qps_1 = cell.qps;
+              if (threads == 8) read_qps_8 = cell.qps;
+            }
+            if (reference_arm && write_pct == 5 &&
+                threads == mixed_ref_threads) {
+              if (shards == shard_counts.front()) {
+                mixed_qps_by_shards_lo = cell.qps;
+              }
+              if (shards == shard_counts.back()) {
+                mixed_qps_by_shards_hi = cell.qps;
+              }
+            }
+            // Cache summary: read-only cells of the first shard count at
+            // the reference thread count, cache-off vs largest cache.
+            if (shards == shard_counts.front() && write_pct == 0 &&
+                threads == mixed_ref_threads &&
+                adm_window == adm_windows.front()) {
+              if (cache_mb == 0) read_qps_cache_off = cell.qps;
+              if (cache_mb == cache_mbs.back()) {
+                read_qps_cache_on = cell.qps;
+                read_hit_rate_on = cell.hit_rate;
+              }
+            }
+            // Admission summary: direct vs largest window, same slice.
+            if (shards == shard_counts.front() && write_pct == 0 &&
+                threads == mixed_ref_threads &&
+                cache_mb == cache_mbs.front()) {
+              if (adm_window == 0) read_qps_adm_off = cell.qps;
+              if (adm_window == adm_windows.back()) {
+                read_qps_adm_on = cell.qps;
+              }
+            }
+            std::vector<std::string> row = {std::to_string(shards)};
+            if (cache_axis) row.push_back(std::to_string(cache_mb) + "M");
+            if (admission_axis) row.push_back(std::to_string(adm_window));
+            row.insert(row.end(),
+                       {mode, std::to_string(threads), FormatQps(cell.qps),
                         FormatNs(static_cast<double>(cell.p50_ns)),
                         FormatNs(static_cast<double>(cell.p90_ns)),
                         FormatNs(static_cast<double>(cell.p99_ns)),
                         FormatQps(cell.writes_per_s)});
-        std::fprintf(stderr, "[serve] shards=%d %s threads=%d done (%.0f q/s)\n",
-                     shards, mode.c_str(), threads, cell.qps);
+            if (cache_axis) {
+              char hit[16];
+              std::snprintf(hit, sizeof(hit), "%.0f%%",
+                            cell.hit_rate * 100.0);
+              row.push_back(cache_mb == 0 ? "-" : hit);
+            }
+            rows.push_back(std::move(row));
+            std::fprintf(
+                stderr,
+                "[serve] shards=%d cache=%dM admw=%d %s threads=%d done "
+                "(%.0f q/s, hit %.0f%%)\n",
+                shards, cache_mb, adm_window, mode.c_str(), threads, cell.qps,
+                cell.hit_rate * 100.0);
+          }
+        }
       }
     }
   }
 
-  char title[160];
+  char title[200];
   std::snprintf(title, sizeof(title),
                 "Serving throughput (%s, %zu pts, sel 0.0256%%, %.1fs/cell, "
-                "%u hw threads)",
+                "%u hw threads%s)",
                 index_name.c_str(), data.size(), seconds,
-                std::thread::hardware_concurrency());
-  PrintTable(title,
-             {"shards", "mode", "threads", "QPS", "p50", "p90", "p99", "w/s"},
-             rows);
+                std::thread::hardware_concurrency(),
+                cache_axis ? ", skewed reads: 90% in hottest 10%" : "");
+  std::vector<std::string> header = {"shards"};
+  if (cache_axis) header.push_back("cache");
+  if (admission_axis) header.push_back("admw");
+  header.insert(header.end(),
+                {"mode", "threads", "QPS", "p50", "p90", "p99", "w/s"});
+  if (cache_axis) header.push_back("hit%");
+  PrintTable(title, header, rows);
   if (read_qps_1 > 0.0 && read_qps_8 > 0.0) {
     std::printf("\nread-only scaling 1 -> 8 threads (shards=%d): %.2fx\n",
                 shard_counts.front(), read_qps_8 / read_qps_1);
@@ -410,6 +521,20 @@ int Main(int argc, char** argv) {
     std::printf("95r/5w QPS at %d threads, shards %d -> %d: %.2fx\n",
                 mixed_ref_threads, shard_counts.front(), shard_counts.back(),
                 mixed_qps_by_shards_hi / mixed_qps_by_shards_lo);
+  }
+  if (cache_axis && read_qps_cache_off > 0.0) {
+    std::printf(
+        "skewed read-only QPS at %d threads (shards=%d), cache 0 -> %dMB: "
+        "%.2fx (hit rate %.0f%%)\n",
+        mixed_ref_threads, shard_counts.front(), cache_mbs.back(),
+        read_qps_cache_on / read_qps_cache_off, read_hit_rate_on * 100.0);
+  }
+  if (admission_axis && read_qps_adm_off > 0.0) {
+    std::printf(
+        "read-only QPS at %d threads (shards=%d), admission window 0 -> "
+        "%dus: %.2fx\n",
+        mixed_ref_threads, shard_counts.front(), adm_windows.back(),
+        read_qps_adm_on / read_qps_adm_off);
   }
   return 0;
 }

@@ -73,6 +73,10 @@ struct QueryStats {
   int64_t pages_scanned = 0;  // pages whose points were filtered
   int64_t points_scanned = 0; // points compared against the query
   int64_t results = 0;        // points reported
+  // Result-cache outcomes (src/serve/result_cache.h); always zero on the
+  // research path, where no cache sits in front of the index.
+  int64_t cache_hits = 0;     // queries answered from a validated entry
+  int64_t cache_misses = 0;   // cacheable queries that had to execute
   int64_t excess_points() const { return points_scanned - results; }
 
   void Reset() { *this = QueryStats{}; }
@@ -83,6 +87,8 @@ struct QueryStats {
     pages_scanned += o.pages_scanned;
     points_scanned += o.points_scanned;
     results += o.results;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
   }
 };
 

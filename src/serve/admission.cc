@@ -1,0 +1,171 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace wazi::serve {
+
+AdmissionQueue::AdmissionQueue(QueryEngine* engine,
+                               const ShardedVersionedIndex* index,
+                               AdmissionOptions opts)
+    : engine_(engine), index_(index), opts_(opts) {
+  opts_.batch_limit = std::max<size_t>(1, opts_.batch_limit);
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+AdmissionQueue::~AdmissionQueue() { Stop(); }
+
+std::future<QueryResult> AdmissionQueue::Submit(const QueryRequest& request) {
+  Pending p;
+  p.request = request;
+  std::future<QueryResult> future = p.promise.get_future();
+  bool notify = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) {
+      // Late submit: keep the contract (a resolved future) without the
+      // dispatcher. Inline execution is the degenerate batch of one.
+      lock.unlock();
+      QueryStats stats;
+      p.promise.set_value(engine_->Execute(request, &stats));
+      return future;
+    }
+    pending_.push_back(std::move(p));
+    // Counted before the lock drops so stats() never observes a query as
+    // dispatched but not yet admitted.
+    admitted_.fetch_add(1, std::memory_order_relaxed);
+    // Wake the dispatcher on new work (empty -> non-empty) or a full
+    // batch; arrivals in between land in its linger window without a
+    // futex wake each.
+    notify = pending_.size() == 1 || pending_.size() >= opts_.batch_limit;
+  }
+  if (notify) cv_.notify_one();
+  return future;
+}
+
+std::vector<std::future<QueryResult>> AdmissionQueue::SubmitBatch(
+    const std::vector<QueryRequest>& requests) {
+  std::vector<std::future<QueryResult>> futures;
+  futures.reserve(requests.size());
+  bool notify = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stop_) {
+      lock.unlock();
+      for (const QueryRequest& request : requests) {
+        std::promise<QueryResult> promise;
+        futures.push_back(promise.get_future());
+        QueryStats stats;
+        promise.set_value(engine_->Execute(request, &stats));
+      }
+      return futures;
+    }
+    const bool was_empty = pending_.empty();
+    for (const QueryRequest& request : requests) {
+      Pending p;
+      p.request = request;
+      futures.push_back(p.promise.get_future());
+      pending_.push_back(std::move(p));
+    }
+    admitted_.fetch_add(static_cast<int64_t>(requests.size()),
+                        std::memory_order_relaxed);
+    notify = !requests.empty() &&
+             (was_empty || pending_.size() >= opts_.batch_limit);
+  }
+  if (notify) cv_.notify_one();
+  return futures;
+}
+
+void AdmissionQueue::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  // Synchronous drain: the dispatcher exits only once pending_ is empty,
+  // so after the join every future ever handed out has resolved.
+  std::lock_guard<std::mutex> join_lock(join_mu_);
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+AdmissionStats AdmissionQueue::stats() const {
+  AdmissionStats s;
+  s.admitted = admitted_.load(std::memory_order_relaxed);
+  s.dispatched = dispatched_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.max_batch = max_batch_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void AdmissionQueue::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    if (pending_.empty()) {
+      if (stop_) return;  // drained
+      continue;
+    }
+    // Linger for the batch to fill — bounded by window_us from the moment
+    // the first query was picked up, so co-batching can never add more
+    // than ~window_us of latency. Skipped when stopping (drain fast) or
+    // already full.
+    if (opts_.window_us > 0 && !stop_ &&
+        pending_.size() < opts_.batch_limit) {
+      cv_.wait_for(lock, std::chrono::microseconds(opts_.window_us),
+                   [this] {
+                     return stop_ || pending_.size() >= opts_.batch_limit;
+                   });
+    }
+    std::vector<Pending> batch;
+    const size_t take = std::min(pending_.size(), opts_.batch_limit);
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    lock.unlock();
+    DispatchBatch(&batch);
+    lock.lock();
+  }
+}
+
+void AdmissionQueue::DispatchBatch(std::vector<Pending>* batch) {
+  const size_t n = batch->size();
+  // Group by query type: each engine worker block then executes a
+  // homogeneous run (ranges together, then points, then kNN) instead of
+  // interleaving code paths. Stable, so same-type queries keep their
+  // submission order; `order` maps execution slots back to submitters.
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return static_cast<int>((*batch)[a].request.type) <
+           static_cast<int>((*batch)[b].request.type);
+  });
+  std::vector<QueryRequest> requests;
+  requests.reserve(n);
+  for (const size_t i : order) requests.push_back((*batch)[i].request);
+
+  // THE admission win: one topology pin + one snapshot acquire per shard
+  // for the whole batch. Held only for the batch's execution, so it
+  // stalls writers no longer than any other per-block reader.
+  ShardedVersionedIndex::SnapshotSet snaps;
+  index_->AcquireAll(&snaps);
+  std::vector<QueryResult> results;
+  engine_->ExecuteBatchOn(requests, &results, snaps);
+
+  // Counters before the futures resolve: a client that observes its
+  // result (future.get()) must also observe it in stats().
+  dispatched_.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  int64_t prev = max_batch_.load(std::memory_order_relaxed);
+  while (prev < static_cast<int64_t>(n) &&
+         !max_batch_.compare_exchange_weak(prev, static_cast<int64_t>(n),
+                                           std::memory_order_relaxed)) {
+  }
+  for (size_t slot = 0; slot < n; ++slot) {
+    (*batch)[order[slot]].promise.set_value(std::move(results[slot]));
+  }
+}
+
+}  // namespace wazi::serve

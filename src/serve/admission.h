@@ -1,0 +1,142 @@
+// Batched query admission: the pipelining layer between clients and the
+// query engine.
+//
+// The direct entry points (ServeLoop::Range et al.) execute each query on
+// the calling thread, paying one topology load plus one snapshot acquire
+// per touched shard PER QUERY. Under many concurrent clients that atomic
+// refcount traffic on the publication cells — and the per-query fan-out
+// bookkeeping — is pure overhead: queries arriving within microseconds of
+// each other could all run on the same pinned snapshot set.
+//
+// The AdmissionQueue coalesces concurrent submissions into bounded
+// batches:
+//
+//   client ──Submit()──► pending queue ──► dispatcher thread
+//                                            │  waits until the batch
+//                                            │  fills (batch_limit) or the
+//                                            │  oldest query has waited
+//                                            │  window_us
+//                                            ▼
+//                                          group by query type
+//                                            ▼
+//                                          AcquireAll() ONCE
+//                                            ▼
+//                                          QueryEngine::ExecuteBatchOn()
+//                                            ▼
+//                                          fulfil the clients' futures
+//
+// Each dispatched batch runs under a single epoch-pinned SnapshotSet
+// acquisition: one topology load and one snapshot acquire per shard for
+// the whole batch, shared by every engine worker (the direct batch path
+// acquires per worker block; a repartition can therefore never straddle
+// an admitted batch). Requests are grouped by query type before execution
+// so each worker block runs a homogeneous instruction stream; results are
+// scattered back to the submission order through the clients' futures.
+//
+// `window_us` bounds the extra latency a query can pay for co-batching:
+// a query never waits longer than ~window_us beyond its own execution,
+// and a batch that fills to `batch_limit` dispatches immediately. 0 keeps
+// admission but disables the linger (dispatch whatever has queued).
+//
+// Thread-safety: Submit/SubmitBatch from any number of threads. Stop (or
+// destruction) drains every pending query before returning — no future is
+// ever abandoned.
+
+#ifndef WAZI_SERVE_ADMISSION_H_
+#define WAZI_SERVE_ADMISSION_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/query_engine.h"
+
+namespace wazi::serve {
+
+struct AdmissionOptions {
+  // Max queries per dispatched batch; a full batch dispatches without
+  // waiting out the window.
+  size_t batch_limit = 64;
+  // Max time the dispatcher lingers for a batch to fill, measured from
+  // when it picks up the first pending query — the co-batching latency
+  // bound. 0 dispatches whatever has accumulated, immediately.
+  int64_t window_us = 200;
+};
+
+// Monotone counters; read from any thread.
+struct AdmissionStats {
+  int64_t admitted = 0;    // queries accepted by Submit/SubmitBatch
+  int64_t dispatched = 0;  // queries handed to the engine
+  int64_t batches = 0;     // dispatched batches
+  int64_t max_batch = 0;   // largest single batch
+  double mean_batch() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(dispatched) /
+                              static_cast<double>(batches);
+  }
+};
+
+class AdmissionQueue {
+ public:
+  // `engine` and `index` must outlive the queue (ServeLoop owns all
+  // three). The dispatcher thread starts immediately.
+  AdmissionQueue(QueryEngine* engine, const ShardedVersionedIndex* index,
+                 AdmissionOptions opts);
+  ~AdmissionQueue();
+
+  AdmissionQueue(const AdmissionQueue&) = delete;
+  AdmissionQueue& operator=(const AdmissionQueue&) = delete;
+
+  // Enqueues one query; the future resolves once its batch executes.
+  // After Stop, falls back to inline execution on the calling thread (the
+  // future is already resolved when returned).
+  std::future<QueryResult> Submit(const QueryRequest& request);
+
+  // Enqueues a block of queries as one unit (they may still be split
+  // across dispatch batches by batch_limit, or merged with concurrent
+  // submitters' queries). futures[i] corresponds to requests[i].
+  std::vector<std::future<QueryResult>> SubmitBatch(
+      const std::vector<QueryRequest>& requests);
+
+  // Drains every pending query and joins the dispatcher: when Stop
+  // returns, every future ever handed out has resolved. Idempotent; the
+  // destructor calls it. Later submits execute inline.
+  void Stop();
+
+  AdmissionStats stats() const;
+
+ private:
+  struct Pending {
+    QueryRequest request;
+    std::promise<QueryResult> promise;
+  };
+
+  void DispatcherLoop();
+  // Groups, executes (one AcquireAll for the whole batch), and fulfils.
+  void DispatchBatch(std::vector<Pending>* batch);
+
+  QueryEngine* engine_;
+  const ShardedVersionedIndex* index_;
+  AdmissionOptions opts_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;  // dispatcher: pending work / stop
+  std::deque<Pending> pending_;
+  bool stop_ = false;
+  std::mutex join_mu_;  // serializes concurrent Stop() callers' join
+
+  std::atomic<int64_t> admitted_{0};
+  std::atomic<int64_t> dispatched_{0};
+  std::atomic<int64_t> batches_{0};
+  std::atomic<int64_t> max_batch_{0};
+  std::thread dispatcher_;
+};
+
+}  // namespace wazi::serve
+
+#endif  // WAZI_SERVE_ADMISSION_H_

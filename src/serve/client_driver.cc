@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <deque>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -35,6 +37,27 @@ ClientLoadResult RunClientLoad(ServeLoop& loop, const Workload& workload,
       Rng rng(static_cast<uint64_t>(1000 + t));
       QueryStats qs;
       size_t qi = static_cast<size_t>(t) * 1337;
+      size_t hot_i = static_cast<size_t>(t) * 13;
+      const size_t hot_n =
+          opts.hot_fraction > 0.0
+              ? std::max<size_t>(
+                    1, static_cast<size_t>(
+                           static_cast<double>(workload.queries.size()) *
+                           opts.hot_fraction))
+              : 0;
+      // Pipelined admission: submitted-but-unresolved queries, oldest
+      // first, each paired with its submit-time clock.
+      struct InFlight {
+        Timer timer;
+        std::future<QueryResult> future;
+      };
+      std::deque<InFlight> in_flight;
+      const auto drain_one = [&](int64_t* queries) {
+        in_flight.front().future.wait();
+        rec.Record(in_flight.front().timer.ElapsedNs());
+        in_flight.pop_front();
+        ++*queries;
+      };
       std::vector<Point> inserted;
       int64_t queries = 0, writes = 0;
       while (!stop.load(std::memory_order_relaxed)) {
@@ -55,13 +78,41 @@ ClientLoadResult RunClientLoad(ServeLoop& loop, const Workload& workload,
           }
           ++writes;
         } else {
-          const Rect& q = workload.queries[qi++ % workload.queries.size()];
-          Timer timer;
-          loop.Range(q, &qs);
-          rec.Record(timer.ElapsedNs());
-          ++queries;
+          const bool hot =
+              hot_n > 0 &&
+              static_cast<int>(rng.NextBelow(100)) < opts.hot_pct;
+          const Rect& q =
+              hot ? workload.queries[hot_i++ % hot_n]
+                  : workload.queries[qi++ % workload.queries.size()];
+          if (opts.admission_depth > 0) {
+            in_flight.push_back(
+                InFlight{Timer(), loop.SubmitQuery(QueryRequest::Range(q))});
+            // Collect already-resolved futures promptly (FIFO), so the
+            // recorded latency tracks submit -> ready instead of
+            // charging queue-sitting time while this client was busy
+            // submitting; then block on the oldest only once
+            // `admission_depth` are in flight, keeping the pipeline
+            // primed so the admission window can fill batches from this
+            // thread alone.
+            while (!in_flight.empty() &&
+                   in_flight.front().future.wait_for(
+                       std::chrono::seconds(0)) ==
+                       std::future_status::ready) {
+              drain_one(&queries);
+            }
+            while (in_flight.size() >=
+                   static_cast<size_t>(opts.admission_depth)) {
+              drain_one(&queries);
+            }
+          } else {
+            Timer timer;
+            loop.Range(q, &qs);
+            rec.Record(timer.ElapsedNs());
+            ++queries;
+          }
         }
       }
+      while (!in_flight.empty()) drain_one(&queries);
       total_queries.fetch_add(queries, std::memory_order_relaxed);
       total_writes.fetch_add(writes, std::memory_order_relaxed);
     });

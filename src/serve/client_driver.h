@@ -25,6 +25,20 @@ struct ClientLoadOptions {
   // the generators' unit square; the repartition benchmark narrows it to a
   // corner to skew the per-shard item counts.
   Rect insert_region = Rect::Of(0.0, 0.0, 1.0, 1.0);
+  // Skewed query selection: with probability `hot_pct`% a read re-asks one
+  // of the first `hot_fraction` of the workload's queries (round-robin
+  // within that hot set) instead of round-robinning the whole workload.
+  // 0 keeps the uniform round-robin. The cache benchmark uses 0.1/90 —
+  // 90% of reads hit the hottest 10% of rectangles.
+  double hot_fraction = 0.0;
+  int hot_pct = 90;
+  // Pipelined admission: when > 0, reads go through ServeLoop::SubmitQuery
+  // with this many queries in flight per client thread. Latency = submit
+  // to FIFO collection: resolved futures are collected eagerly each
+  // iteration, so it tracks submit -> future-ready (coalescing window
+  // included) up to the client's own time between iterations. 0 keeps
+  // the direct execute-on-calling-thread path.
+  int admission_depth = 0;
 };
 
 struct ClientLoadResult {

@@ -1,6 +1,10 @@
 #include "serve/query_engine.h"
 
 #include <algorithm>
+#include <latch>
+#include <memory>
+
+#include "serve/result_cache.h"
 
 namespace wazi::serve {
 
@@ -12,11 +16,26 @@ struct alignas(64) PaddedStats {
 
 }  // namespace
 
-QueryEngine::QueryEngine(const ShardedVersionedIndex* index, int num_threads)
-    : index_(index), pool_(num_threads) {}
+QueryEngine::QueryEngine(const ShardedVersionedIndex* index, int num_threads,
+                         ResultCache* cache)
+    : index_(index), cache_(cache), pool_(num_threads) {}
 
 void QueryEngine::ExecuteBatch(const std::vector<QueryRequest>& requests,
                                std::vector<QueryResult>* results) {
+  RunBatch(requests, results, /*shared_snaps=*/nullptr);
+}
+
+void QueryEngine::ExecuteBatchOn(
+    const std::vector<QueryRequest>& requests,
+    std::vector<QueryResult>* results,
+    const ShardedVersionedIndex::SnapshotSet& snaps) {
+  RunBatch(requests, results, &snaps);
+}
+
+void QueryEngine::RunBatch(
+    const std::vector<QueryRequest>& requests,
+    std::vector<QueryResult>* results,
+    const ShardedVersionedIndex::SnapshotSet* shared_snaps) {
   const size_t n = requests.size();
   results->clear();
   results->resize(n);
@@ -24,26 +43,41 @@ void QueryEngine::ExecuteBatch(const std::vector<QueryRequest>& requests,
   const size_t workers =
       std::min(n, static_cast<size_t>(pool_.num_threads()));
   const size_t block = (n + workers - 1) / workers;
+  const size_t blocks = (n + block - 1) / block;
   // Per-block counters local to this batch: concurrent ExecuteBatch calls
   // from different client threads never share a counter slot.
   std::vector<PaddedStats> block_stats(workers);
+  // Per-batch completion latch, NOT ThreadPool::Wait: Wait is a
+  // pool-global idle barrier, and the pool is shared between direct
+  // ExecuteBatch callers and the admission dispatcher — waiting for
+  // global idle would extend every batch's latency by every OTHER
+  // in-flight batch under sustained traffic.
+  std::latch done(static_cast<ptrdiff_t>(blocks));
   for (size_t w = 0; w < workers; ++w) {
     const size_t begin = w * block;
     const size_t end = std::min(n, begin + block);
     if (begin >= end) break;
-    pool_.Submit([this, &requests, results, &block_stats, begin, end, w] {
+    pool_.Submit([this, &requests, results, &block_stats, shared_snaps,
+                  &done, begin, end, w] {
       QueryStats* stats = &block_stats[w].stats;
-      // One acquire per shard per block (not per query): the block runs on
-      // a consistent per-shard snapshot set, and the atomic refcount
-      // traffic on the publication cells stays off the per-query path.
-      ShardedVersionedIndex::SnapshotSet snaps;
-      index_->AcquireAll(&snaps);
-      for (size_t i = begin; i < end; ++i) {
-        (*results)[i] = ExecuteOn(requests[i], stats, &snaps);
+      // One acquire per shard per block (not per query) — or zero when
+      // the caller pinned a set for the whole batch (the admission path):
+      // the block runs on a consistent per-shard snapshot set, and the
+      // atomic refcount traffic on the publication cells stays off the
+      // per-query path.
+      ShardedVersionedIndex::SnapshotSet local_snaps;
+      const ShardedVersionedIndex::SnapshotSet* snaps = shared_snaps;
+      if (snaps == nullptr) {
+        index_->AcquireAll(&local_snaps);
+        snaps = &local_snaps;
       }
+      for (size_t i = begin; i < end; ++i) {
+        (*results)[i] = ExecuteOn(requests[i], stats, snaps);
+      }
+      done.count_down();
     });
   }
-  pool_.Wait();
+  done.wait();
   std::lock_guard<std::mutex> lock(stats_mu_);
   for (const PaddedStats& ps : block_stats) batch_stats_.Add(ps.stats);
 }
@@ -59,9 +93,7 @@ QueryResult QueryEngine::ExecuteOn(
   QueryResult result;
   switch (request.type) {
     case QueryRequest::Type::kRange:
-      index_->RangeQuery(request.rect, &result.hits, stats,
-                         /*parts=*/nullptr, &result.snapshot_version, snaps,
-                         &result.epoch);
+      result = ExecuteRange(request.rect, stats, snaps, /*parts=*/nullptr);
       break;
     case QueryRequest::Type::kPoint:
       result.found = index_->PointQuery(request.point, stats,
@@ -74,6 +106,48 @@ QueryResult QueryEngine::ExecuteOn(
                                 &result.snapshot_version, snaps,
                                 &result.epoch);
       break;
+  }
+  return result;
+}
+
+QueryResult QueryEngine::ExecuteRange(
+    const Rect& rect, QueryStats* stats,
+    const ShardedVersionedIndex::SnapshotSet* snaps,
+    std::vector<ShardQueryPart>* parts) const {
+  QueryResult result;
+  const bool cached = cache_ != nullptr && cache_->enabled();
+  if (cached) {
+    // Pin the topology the probe validates against. With a caller
+    // SnapshotSet the validation runs against its pre-acquired snapshots
+    // (a hit is exactly the result an execution on the set would
+    // produce); without one it runs against the live shard versions,
+    // equivalent to executing at probe time.
+    std::shared_ptr<ShardTopology> owned_topo;
+    const ShardTopology* topo =
+        snaps != nullptr ? snaps->topology.get()
+                         : (owned_topo = index_->AcquireTopology()).get();
+    if (cache_->Lookup(rect, *topo, snaps, &result.hits,
+                       &result.snapshot_version)) {
+      result.epoch = topo->epoch;
+      if (parts != nullptr) parts->clear();  // no shard did work
+      if (stats != nullptr) {
+        ++stats->cache_hits;
+        stats->results += static_cast<int64_t>(result.hits.size());
+      }
+      return result;
+    }
+  }
+  // The insert needs the per-shard attribution even when the caller does
+  // not; scratch is consumed before returning (serving hot path — no
+  // per-query allocation).
+  static thread_local std::vector<ShardQueryPart> scratch;
+  std::vector<ShardQueryPart>* use_parts =
+      parts != nullptr ? parts : (cached ? &scratch : nullptr);
+  index_->RangeQuery(rect, &result.hits, stats, use_parts,
+                     &result.snapshot_version, snaps, &result.epoch);
+  if (cached) {
+    cache_->Insert(rect, result.hits, result.epoch, *use_parts);
+    if (stats != nullptr) ++stats->cache_misses;
   }
   return result;
 }

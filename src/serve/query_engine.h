@@ -17,6 +17,8 @@
 
 namespace wazi::serve {
 
+class ResultCache;
+
 struct QueryRequest {
   enum class Type { kRange, kPoint, kKnn };
   Type type = Type::kRange;
@@ -62,8 +64,12 @@ struct QueryResult {
 
 class QueryEngine {
  public:
-  // `index` must outlive the engine. `num_threads` workers execute batches.
-  QueryEngine(const ShardedVersionedIndex* index, int num_threads);
+  // `index` must outlive the engine. `num_threads` workers execute
+  // batches. `cache`, when non-null, memoizes range results (probed and
+  // refreshed on every path through the engine; see
+  // serve/result_cache.h for the stamp-validation protocol).
+  QueryEngine(const ShardedVersionedIndex* index, int num_threads,
+              ResultCache* cache = nullptr);
 
   // Executes requests[i] into (*results)[i] across the worker pool; blocks
   // until the whole batch is done. Each worker pins the topology and
@@ -71,10 +77,20 @@ class QueryEngine {
   // batch may straddle snapshot swaps — or a whole live repartition —
   // across blocks (each result records the epoch and version mass it ran
   // on) but never within a block. Safe to call from multiple threads;
-  // concurrent batches share the pool, so each also waits out the other's
-  // in-flight tasks.
+  // concurrent batches share the pool's workers but each returns as soon
+  // as ITS OWN blocks finish (per-batch latch, not pool-wide idle).
   void ExecuteBatch(const std::vector<QueryRequest>& requests,
                     std::vector<QueryResult>* results);
+
+  // The admission path: executes the whole batch against ONE pre-acquired
+  // snapshot set (`snaps` must come from AcquireAll on this engine's
+  // index). Every worker block shares `snaps` instead of acquiring its
+  // own, so the batch is epoch-pinned end to end — one topology load and
+  // one snapshot acquire per shard for the entire admitted batch, even
+  // if a repartition publishes or shards swap snapshots mid-flight.
+  void ExecuteBatchOn(const std::vector<QueryRequest>& requests,
+                      std::vector<QueryResult>* results,
+                      const ShardedVersionedIndex::SnapshotSet& snaps);
 
   // Executes one request on the calling thread (external client threads
   // drive the engine through this). `stats` must be a caller-owned counter
@@ -82,7 +98,19 @@ class QueryEngine {
   // Counters from every shard a query touches are summed in.
   QueryResult Execute(const QueryRequest& request, QueryStats* stats) const;
 
-  // Sum of the counters accumulated by every completed ExecuteBatch call.
+  // THE range path: probes the result cache (when wired), executes on a
+  // miss, and refreshes the entry — the single implementation behind both
+  // ServeLoop::Range and the engine's batch execution, so the stamp
+  // protocol and hit/miss accounting cannot drift between them. `parts`,
+  // when non-null, receives the per-shard attribution of an executed
+  // query and is CLEARED on a cache hit (a hit does no shard work, so
+  // there is nothing to attribute). `snaps` as in the facade's queries.
+  QueryResult ExecuteRange(const Rect& rect, QueryStats* stats,
+                           const ShardedVersionedIndex::SnapshotSet* snaps,
+                           std::vector<ShardQueryPart>* parts) const;
+
+  // Sum of the counters accumulated by every completed ExecuteBatch /
+  // ExecuteBatchOn call.
   QueryStats aggregated_stats() const;
   void ResetStats();
 
@@ -91,8 +119,15 @@ class QueryEngine {
  private:
   QueryResult ExecuteOn(const QueryRequest& request, QueryStats* stats,
                         const ShardedVersionedIndex::SnapshotSet* snaps) const;
+  // Shared batch driver: fans the requests out across the pool; workers
+  // run on `shared_snaps` when given, else each acquires its own set per
+  // block.
+  void RunBatch(const std::vector<QueryRequest>& requests,
+                std::vector<QueryResult>* results,
+                const ShardedVersionedIndex::SnapshotSet* shared_snaps);
 
   const ShardedVersionedIndex* index_;
+  ResultCache* cache_;  // may be null / disabled
   ThreadPool pool_;
   // Batch counters are accumulated in per-block (cache-line padded) locals
   // during execution and folded in here once the batch completes, so

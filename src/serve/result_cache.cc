@@ -1,0 +1,180 @@
+#include "serve/result_cache.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+namespace wazi::serve {
+namespace {
+
+// Per-entry bookkeeping overhead charged against the byte budget on top of
+// the point payload (list node, map slot, stamp). Keeps a cache full of
+// tiny results from exceeding the budget by an unbounded factor.
+constexpr size_t kEntryOverhead = 128;
+
+inline uint64_t BitsOf(double d) {
+  uint64_t u;
+  std::memcpy(&u, &d, sizeof(u));
+  return u;
+}
+
+// splitmix64: cheap, well-distributed 64-bit mix.
+inline uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ResultCache::Key ResultCache::KeyOf(const Rect& r) {
+  return Key{BitsOf(r.min_x), BitsOf(r.min_y), BitsOf(r.max_x),
+             BitsOf(r.max_y)};
+}
+
+size_t ResultCache::KeyHash::operator()(const Key& k) const {
+  uint64_t h = Mix(k.min_x);
+  h = Mix(h ^ k.min_y);
+  h = Mix(h ^ k.max_x);
+  h = Mix(h ^ k.max_y);
+  return static_cast<size_t>(h);
+}
+
+ResultCache::ResultCache(ResultCacheOptions opts) : opts_(opts) {
+  const int segments = std::max(1, opts_.segments);
+  segment_capacity_ = opts_.capacity_bytes / static_cast<size_t>(segments);
+  if (enabled() && segment_capacity_ == 0) segment_capacity_ = 1;
+  segments_.reserve(static_cast<size_t>(segments));
+  for (int i = 0; i < segments; ++i) {
+    segments_.push_back(std::make_unique<Segment>());
+  }
+}
+
+ResultCache::Segment& ResultCache::SegmentFor(const Key& key) {
+  return *segments_[KeyHash{}(key) % segments_.size()];
+}
+
+bool ResultCache::StampValid(
+    const Entry& e, const ShardTopology& topo,
+    const ShardedVersionedIndex::SnapshotSet* snaps) {
+  // A different epoch means a different router: cells moved, so the
+  // touched-shard argument (header) no longer covers the query.
+  if (e.epoch != topo.epoch) return false;
+  for (const auto& [shard, version] : e.shard_versions) {
+    if (shard < 0 || shard >= topo.num_shards()) {
+      return false;  // defensive; an epoch pins its shard count
+    }
+    // Versions are bumped on every publish, so version equality means the
+    // shard still serves the exact snapshot the entry was computed on.
+    const uint64_t now = snaps != nullptr ? snaps->shard_version(shard)
+                                          : topo.shard_version(shard);
+    if (now != version) return false;
+  }
+  return true;
+}
+
+bool ResultCache::Lookup(const Rect& query, const ShardTopology& topo,
+                         const ShardedVersionedIndex::SnapshotSet* snaps,
+                         std::vector<Point>* out, uint64_t* version_mass) {
+  if (!enabled()) return false;
+  const Key key = KeyOf(query);
+  Segment& seg = SegmentFor(key);
+  std::shared_ptr<const std::vector<Point>> payload;
+  uint64_t mass = 0;
+  {
+    std::lock_guard<std::mutex> lock(seg.mu);
+    const auto it = seg.map.find(key);
+    if (it == seg.map.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    Entry& entry = *it->second;
+    if (!StampValid(entry, topo, snaps)) {
+      // Stale: the world moved under it. Erase so the slot is not probed
+      // (and re-invalidated) forever, and let the caller re-execute.
+      seg.bytes -= entry.bytes;
+      seg.lru.erase(it->second);
+      seg.map.erase(it);
+      invalidations_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    // Touch: move to the front of the LRU list (splice keeps iterators in
+    // seg.map valid), grab the payload, and get OFF the segment mutex —
+    // every probe of a hot rect lands on this one segment, so the
+    // O(result) copy below must not serialize them.
+    seg.lru.splice(seg.lru.begin(), seg.lru, it->second);
+    payload = entry.hits;
+    for (const auto& [shard, version] : entry.shard_versions) mass += version;
+  }
+  // The shared_ptr keeps the payload alive even if the entry is evicted
+  // or refreshed concurrently; the vector it points to is immutable.
+  out->insert(out->end(), payload->begin(), payload->end());
+  if (version_mass != nullptr) *version_mass = mass;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ResultCache::Insert(const Rect& query, const std::vector<Point>& hits,
+                         uint64_t epoch,
+                         const std::vector<ShardQueryPart>& parts) {
+  if (!enabled()) return;
+  const size_t bytes = kEntryOverhead + hits.size() * sizeof(Point) +
+                       parts.size() * sizeof(std::pair<int, uint64_t>);
+  if (bytes > segment_capacity_) return;  // would evict a whole segment
+
+  Entry entry;
+  entry.key = KeyOf(query);
+  entry.hits = std::make_shared<const std::vector<Point>>(hits);
+  entry.epoch = epoch;
+  entry.shard_versions.reserve(parts.size());
+  for (const ShardQueryPart& part : parts) {
+    entry.shard_versions.emplace_back(part.shard, part.snapshot_version);
+  }
+  entry.bytes = bytes;
+
+  Segment& seg = SegmentFor(entry.key);
+  std::lock_guard<std::mutex> lock(seg.mu);
+  const auto it = seg.map.find(entry.key);
+  if (it != seg.map.end()) {
+    // Last-writer-wins refresh of an existing slot.
+    seg.bytes -= it->second->bytes;
+    seg.lru.erase(it->second);
+    seg.map.erase(it);
+  }
+  while (seg.bytes + bytes > segment_capacity_ && !seg.lru.empty()) {
+    seg.bytes -= seg.lru.back().bytes;
+    seg.map.erase(seg.lru.back().key);
+    seg.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+  seg.bytes += bytes;
+  seg.lru.push_front(std::move(entry));
+  seg.map.emplace(seg.lru.front().key, seg.lru.begin());
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void ResultCache::Clear() {
+  for (const auto& seg : segments_) {
+    std::lock_guard<std::mutex> lock(seg->mu);
+    seg->lru.clear();
+    seg->map.clear();
+    seg->bytes = 0;
+  }
+}
+
+ResultCacheStats ResultCache::stats() const {
+  ResultCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.invalidations = invalidations_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const auto& seg : segments_) {
+    std::lock_guard<std::mutex> lock(seg->mu);
+    s.size_bytes += seg->bytes;
+  }
+  return s;
+}
+
+}  // namespace wazi::serve

@@ -14,7 +14,10 @@ ServeLoop::ServeLoop(IndexFactory factory, const Dataset& data,
       index_(std::move(factory), data, workload, build_opts,
              ShardedIndexOptions{opts.num_shards,
                                  VersionedIndexOptions{opts.track_points}}),
-      engine_(&index_, opts.num_threads),
+      cache_(opts.cache),
+      engine_(&index_, opts.num_threads, &cache_),
+      admission_(std::make_unique<AdmissionQueue>(&engine_, &index_,
+                                                  opts.admission)),
       repartition_monitor_(opts.repartition) {
   writer_gen_.Store(StartWriters(index_.AcquireTopology()));
   if (opts_.repartition.enabled) {
@@ -45,20 +48,27 @@ std::shared_ptr<ServeLoop::WriterGen> ServeLoop::StartWriters(
 }
 
 QueryResult ServeLoop::Range(const Rect& query, QueryStats* stats) {
-  QueryResult result;
   // Reused per thread: client threads call Range at full rate and the
   // parts are consumed before returning.
   static thread_local std::vector<ShardQueryPart> parts;
-  index_.RangeQuery(query, &result.hits, nullptr, &parts,
-                    &result.snapshot_version, nullptr, &result.epoch);
-  const std::shared_ptr<WriterGen> gen = writer_gen_.Load();
-  for (const ShardQueryPart& part : parts) {
-    // Each shard observes the work IT did on the sub-rectangle IT served,
-    // so a drifting region only retrains the shards that cover it. Shard
-    // ids are relative to the pinned epoch; ObserveShard drops the sample
-    // if a repartition retired that generation meanwhile.
-    ObserveShard(*gen, result.epoch, part.shard, &part.rect, part.stats);
-    if (stats != nullptr) stats->Add(part.stats);
+  // One shared range path with the batch engine (cache probe, execute on
+  // miss, refresh the entry); `stats` is filled there, so the loop below
+  // only attributes drift — adding part.stats again would double count.
+  const QueryResult result = engine_.ExecuteRange(query, stats,
+                                                  /*snaps=*/nullptr, &parts);
+  // parts is empty on a cache hit: no drift/stab feed — the cache
+  // absorbed the work, so the load signals keep measuring what shards
+  // actually do (and the hit path skips the generation load entirely).
+  if (!parts.empty()) {
+    const std::shared_ptr<WriterGen> gen = writer_gen_.Load();
+    for (const ShardQueryPart& part : parts) {
+      // Each shard observes the work IT did on the sub-rectangle IT
+      // served, so a drifting region only retrains the shards that cover
+      // it. Shard ids are relative to the pinned epoch; ObserveShard
+      // drops the sample if a repartition retired that generation
+      // meanwhile.
+      ObserveShard(*gen, result.epoch, part.shard, &part.rect, part.stats);
+    }
   }
   return result;
 }
@@ -88,6 +98,15 @@ QueryResult ServeLoop::Knn(const Point& center, int k, QueryStats* stats) {
 void ServeLoop::ExecuteBatch(const std::vector<QueryRequest>& requests,
                              std::vector<QueryResult>* results) {
   engine_.ExecuteBatch(requests, results);
+}
+
+std::future<QueryResult> ServeLoop::SubmitQuery(const QueryRequest& request) {
+  return admission_->Submit(request);
+}
+
+std::vector<std::future<QueryResult>> ServeLoop::SubmitBatch(
+    const std::vector<QueryRequest>& requests) {
+  return admission_->SubmitBatch(requests);
 }
 
 void ServeLoop::Submit(const Point& p, bool insert) {
@@ -374,6 +393,10 @@ void ServeLoop::MonitorLoop() {
 
 void ServeLoop::Stop() {
   stopping_.store(true, std::memory_order_release);
+  // Drain the admission pipeline first: its dispatcher only reads
+  // snapshots, but every pending future must resolve before the engine
+  // and writers are torn down.
+  admission_->Stop();
   monitor_cv_.notify_all();
   if (monitor_thread_.joinable()) monitor_thread_.join();
   // Barrier: any in-flight TriggerRepartition finishes before the writers

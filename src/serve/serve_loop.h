@@ -5,7 +5,15 @@
 //   * Any number of client threads issue range / point / kNN queries; each
 //     runs wait-free on the current per-shard snapshots of the current
 //     topology (point lookups touch one shard, ranges their overlapping
-//     shards, kNN a best-first shard sweep).
+//     shards, kNN a best-first shard sweep). Clients that can tolerate a
+//     small coalescing window instead SubmitQuery/SubmitBatch: an
+//     AdmissionQueue groups concurrent submissions by type and executes
+//     each batch under ONE epoch-pinned snapshot-set acquisition.
+//   * Hot range results are served from a snapshot-stamped ResultCache
+//     when enabled: entries carry {topology epoch, per-shard snapshot
+//     versions} and self-invalidate the moment any stamped shard swaps a
+//     snapshot or a repartition bumps the epoch — no invalidation hooks
+//     in the write path (see serve/result_cache.h).
 //   * Updates are enqueued from any thread, ROUTED to the owning shard,
 //     and applied by that shard's OWN background writer thread in batches,
 //     each batch ending in a snapshot swap of just that shard — so update
@@ -57,14 +65,17 @@
 #include <cassert>
 #include <condition_variable>
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
 #include "core/drift_monitor.h"
+#include "serve/admission.h"
 #include "serve/query_engine.h"
 #include "serve/repartition.h"
+#include "serve/result_cache.h"
 #include "serve/sharded_index.h"
 
 namespace wazi::serve {
@@ -96,6 +107,14 @@ struct ServeOptions {
   size_t recent_window = 2048;
   // Topology-level adaptation (monitor thread + automatic migrations).
   RepartitionOptions repartition;
+  // Batched query admission (SubmitQuery/SubmitBatch): coalescing window
+  // and batch bound for the pipelined entry points. The direct entry
+  // points (Range/PointLookup/Knn) never pay these.
+  AdmissionOptions admission;
+  // Snapshot-stamped hot-result cache, probed by Range, SubmitQuery/
+  // SubmitBatch and ExecuteBatch. capacity_bytes == 0 (default) disables
+  // it.
+  ResultCacheOptions cache;
 };
 
 // Thread-safety: queries, SubmitInsert/SubmitRemove, TriggerRebuild and
@@ -121,6 +140,17 @@ class ServeLoop {
   // Fan a batch out across the engine's worker pool.
   void ExecuteBatch(const std::vector<QueryRequest>& requests,
                     std::vector<QueryResult>* results);
+
+  // --- pipelined admission (any thread) ---
+  // Enqueues the query for coalesced execution: concurrent submissions
+  // are grouped by type and executed as one batch under a single
+  // epoch-pinned snapshot-set acquisition (see serve/admission.h). The
+  // future resolves when the batch completes — at most ~admission.window_us
+  // later than the query's own execution. Prefer these over Range() when
+  // clients can tolerate the window and submit concurrently or in bulk.
+  std::future<QueryResult> SubmitQuery(const QueryRequest& request);
+  std::vector<std::future<QueryResult>> SubmitBatch(
+      const std::vector<QueryRequest>& requests);
 
   // --- updates (any thread; routed to the owning shard's writer) ---
   void SubmitInsert(const Point& p);
@@ -184,6 +214,11 @@ class ServeLoop {
     return *topo->shards[0];
   }
   QueryEngine& engine() { return engine_; }
+  // The hot-result cache (disabled unless opts.cache.capacity_bytes > 0;
+  // stats() readable either way) and the admission pipeline's counters.
+  ResultCache& result_cache() { return cache_; }
+  ResultCacheStats cache_stats() const { return cache_.stats(); }
+  AdmissionStats admission_stats() const { return admission_->stats(); }
 
  private:
   // Everything one shard's writer owns: its update queue, its drift state,
@@ -264,7 +299,11 @@ class ServeLoop {
 
   ServeOptions opts_;
   ShardedVersionedIndex index_;
+  ResultCache cache_;    // before engine_: the engine probes it
   QueryEngine engine_;
+  // After engine_/index_ (it holds pointers to both) and destroyed before
+  // them; Stop() drains it before tearing the writers down.
+  std::unique_ptr<AdmissionQueue> admission_;
   AtomicCell<WriterGen> writer_gen_;
 
   // Serializes migrations and Stop's writer teardown.

@@ -160,6 +160,12 @@ struct ShardTopology {
   int num_shards() const { return static_cast<int>(shards.size()); }
   // Sum of shard versions plus the cross-generation base.
   uint64_t version() const;
+  // One shard's current published snapshot version: a single atomic load,
+  // no snapshot acquisition. This is the cheap validity probe the result
+  // cache stamps entries against (ResultCache::StampValid).
+  uint64_t shard_version(int s) const {
+    return shards[static_cast<size_t>(s)]->version();
+  }
   // Sum of shard point-count mirrors (approximate while writers stream).
   size_t num_points() const;
 };
@@ -288,6 +294,13 @@ class ShardedVersionedIndex {
   struct SnapshotSet {
     std::shared_ptr<ShardTopology> topology;
     std::vector<std::shared_ptr<const IndexSnapshot>> snaps;
+
+    // Version of the pinned (pre-acquired) snapshot of shard `s` — the
+    // instance queries against this set actually run on. No atomics: the
+    // set already owns the snapshot.
+    uint64_t shard_version(int s) const {
+      return snaps[static_cast<size_t>(s)]->version();
+    }
   };
 
   // Fills `out` with the current topology and every shard's live snapshot

@@ -1,0 +1,193 @@
+// Batched query admission: SubmitQuery/SubmitBatch futures must return
+// exactly what direct execution returns, batches must actually coalesce
+// under one snapshot acquisition, and no future may ever be abandoned —
+// including across Stop and concurrent live repartitions.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/wazi.h"
+#include "serve/serve_loop.h"
+#include "tests/test_util.h"
+
+namespace wazi::serve {
+namespace {
+
+IndexFactory WaziFactory() {
+  return [] { return std::unique_ptr<SpatialIndex>(new Wazi()); };
+}
+
+BuildOptions FastOpts() {
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  return opts;
+}
+
+TEST(AdmissionTest, SubmittedQueriesMatchDirectExecution) {
+  TestScenario s = MakeScenario(Region::kCaliNev, 4000, 80, 2e-3, 801);
+  ServeOptions opts;
+  opts.num_shards = 3;
+  opts.num_threads = 2;
+  opts.auto_rebuild = false;
+  opts.admission.window_us = 100;
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(), opts);
+
+  // One of each type, interleaved, so the dispatcher's type grouping has
+  // to scatter results back to the right futures.
+  std::vector<QueryRequest> requests;
+  for (size_t i = 0; i < 30; ++i) {
+    switch (i % 3) {
+      case 0:
+        requests.push_back(QueryRequest::Range(s.workload.queries[i]));
+        break;
+      case 1:
+        requests.push_back(QueryRequest::PointLookup(s.data.points[i * 7]));
+        break;
+      default:
+        requests.push_back(QueryRequest::Knn(s.data.points[i * 11], 5));
+        break;
+    }
+  }
+  std::vector<std::future<QueryResult>> futures;
+  for (const QueryRequest& r : requests) futures.push_back(loop.SubmitQuery(r));
+
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const QueryResult got = futures[i].get();
+    switch (requests[i].type) {
+      case QueryRequest::Type::kRange:
+        EXPECT_EQ(SortedIds(got.hits), TruthIds(s.data, requests[i].rect))
+            << "range " << i;
+        break;
+      case QueryRequest::Type::kPoint:
+        EXPECT_TRUE(got.found) << "point " << i;
+        break;
+      case QueryRequest::Type::kKnn: {
+        const QueryResult direct = loop.Knn(requests[i].point, requests[i].k);
+        EXPECT_EQ(SortedIds(got.hits), SortedIds(direct.hits)) << "knn " << i;
+        break;
+      }
+    }
+  }
+}
+
+TEST(AdmissionTest, SubmitBatchCoalescesUnderOneAcquisition) {
+  TestScenario s = MakeScenario(Region::kCaliNev, 3000, 80, 2e-3, 802);
+  ServeOptions opts;
+  opts.num_shards = 2;
+  opts.num_threads = 2;
+  opts.auto_rebuild = false;
+  opts.admission.batch_limit = 32;
+  opts.admission.window_us = 2000;
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(), opts);
+
+  // 64 requests enqueued atomically: the dispatcher must see them as two
+  // full batches of batch_limit (it cannot observe a partial prefix —
+  // SubmitBatch holds the queue lock while enqueueing).
+  std::vector<QueryRequest> requests;
+  for (size_t i = 0; i < 64; ++i) {
+    requests.push_back(QueryRequest::Range(s.workload.queries[i % 80]));
+  }
+  std::vector<std::future<QueryResult>> futures = loop.SubmitBatch(requests);
+  ASSERT_EQ(futures.size(), requests.size());
+  for (size_t i = 0; i < futures.size(); ++i) {
+    EXPECT_EQ(SortedIds(futures[i].get().hits),
+              TruthIds(s.data, requests[i].rect))
+        << "request " << i;
+  }
+  const AdmissionStats as = loop.admission_stats();
+  EXPECT_EQ(as.admitted, 64);
+  EXPECT_EQ(as.dispatched, 64);
+  EXPECT_EQ(as.max_batch, 32);
+  EXPECT_EQ(as.batches, 2);
+}
+
+TEST(AdmissionTest, BatchIsEpochPinnedAcrossALiveRepartition) {
+  TestScenario s = MakeScenario(Region::kCaliNev, 4000, 60, 2e-3, 803);
+  s.data = DedupeCoords(s.data);
+  ServeOptions opts;
+  opts.num_shards = 3;
+  opts.num_threads = 2;
+  opts.auto_rebuild = false;
+  opts.admission.batch_limit = 64;
+  opts.admission.window_us = 500;
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(), opts);
+
+  std::atomic<bool> stop{false};
+  std::thread repartitioner([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      loop.TriggerRepartition(0);
+    }
+  });
+
+  // Every SubmitBatch fits one dispatch batch (<= batch_limit), so all
+  // its results must report the SAME pinned epoch, no matter how many
+  // topology swaps the repartitioner lands mid-flight — and membership
+  // stays exact (no writes in flight).
+  for (int round = 0; round < 20; ++round) {
+    std::vector<QueryRequest> requests;
+    for (size_t i = 0; i < 16; ++i) {
+      requests.push_back(QueryRequest::Range(s.workload.queries[i]));
+    }
+    std::vector<std::future<QueryResult>> futures = loop.SubmitBatch(requests);
+    std::vector<QueryResult> results;
+    for (auto& f : futures) results.push_back(f.get());
+    for (size_t i = 1; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].epoch, results[0].epoch) << "round " << round;
+    }
+    for (size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(SortedIds(results[i].hits),
+                TruthIds(s.data, requests[i].rect))
+          << "round " << round << " request " << i;
+    }
+  }
+  stop.store(true);
+  repartitioner.join();
+  EXPECT_GT(loop.repartitions(), 0);
+}
+
+TEST(AdmissionTest, ConcurrentSubmittersAllResolveAndStopDrains) {
+  TestScenario s = MakeScenario(Region::kCaliNev, 3000, 60, 2e-3, 804);
+  ServeOptions opts;
+  opts.num_shards = 2;
+  opts.num_threads = 2;
+  opts.auto_rebuild = false;
+  opts.admission.window_us = 300;
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(), opts);
+
+  std::atomic<int64_t> resolved{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < 200; ++i) {
+        const Rect& q = s.workload.queries[(t * 200 + i) % 60];
+        std::future<QueryResult> f =
+            loop.SubmitQuery(QueryRequest::Range(q));
+        if (SortedIds(f.get().hits) == TruthIds(s.data, q)) {
+          resolved.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(resolved.load(), 800);
+  const AdmissionStats as = loop.admission_stats();
+  EXPECT_EQ(as.dispatched, as.admitted);
+
+  // Stop drains; a submit AFTER stop still resolves (inline fallback).
+  loop.Stop();
+  std::future<QueryResult> late =
+      loop.SubmitQuery(QueryRequest::Range(s.workload.queries[0]));
+  EXPECT_EQ(SortedIds(late.get().hits),
+            TruthIds(s.data, s.workload.queries[0]));
+}
+
+}  // namespace
+}  // namespace wazi::serve

@@ -1,0 +1,324 @@
+// Snapshot-stamped result cache: a cached entry must NEVER outlive the
+// data it was computed from.
+//
+//   * Roundtrip + LRU mechanics (hits, eviction, capacity, oversized
+//     results skipped).
+//   * Stamp precision: a write into a shard the query touched invalidates
+//     the entry; a write into an untouched shard does not (and the hit is
+//     still correct, because routing confines that write's effect to its
+//     own cell).
+//   * A snapshot swap, a topology swap (live repartition), and a
+//     mid-migration cutover each make every affected entry unservable.
+//   * SnapshotSet semantics: probes validate against the EXECUTION
+//     context — a batch pinned to an old snapshot set may legitimately
+//     hit an entry that is stale for live queries.
+//   * The acceptance stress: cache-on results differentially checked
+//     against brute force over the exact pinned snapshot membership,
+//     under concurrent writers and live repartitions (runs under TSan in
+//     CI). Zero mismatches required.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/wazi.h"
+#include "serve/serve_loop.h"
+#include "tests/test_util.h"
+
+namespace wazi::serve {
+namespace {
+
+IndexFactory WaziFactory() {
+  return [] { return std::unique_ptr<SpatialIndex>(new Wazi()); };
+}
+
+BuildOptions FastOpts() {
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  return opts;
+}
+
+ServeOptions CachedOpts(int shards, size_t cache_bytes) {
+  ServeOptions opts;
+  opts.num_shards = shards;
+  opts.num_threads = 2;
+  opts.auto_rebuild = false;
+  opts.writer_coalesce_ms = 0;
+  opts.cache.capacity_bytes = cache_bytes;
+  return opts;
+}
+
+TEST(ResultCacheTest, RepeatedQueryHitsAndMatchesFirstExecution) {
+  TestScenario s = MakeScenario(Region::kCaliNev, 4000, 100, 2e-3, 901);
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(),
+                 CachedOpts(2, 4 << 20));
+
+  const Rect q = s.workload.queries[0];
+  QueryStats stats;
+  const std::vector<int64_t> first = SortedIds(loop.Range(q, &stats).hits);
+  EXPECT_EQ(first, TruthIds(s.data, q));
+  EXPECT_EQ(stats.cache_hits, 0);
+  EXPECT_EQ(stats.cache_misses, 1);
+
+  stats.Reset();
+  const QueryResult again = loop.Range(q, &stats);
+  EXPECT_EQ(SortedIds(again.hits), first);
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(stats.cache_misses, 0);
+  // A hit reports its result count without scanning anything.
+  EXPECT_EQ(stats.results, static_cast<int64_t>(again.hits.size()));
+  EXPECT_EQ(stats.points_scanned, 0);
+
+  const ResultCacheStats cs = loop.cache_stats();
+  EXPECT_EQ(cs.hits, 1);
+  EXPECT_GE(cs.insertions, 1);
+  EXPECT_GT(cs.size_bytes, 0u);
+}
+
+TEST(ResultCacheTest, WriteToTouchedShardInvalidatesUntouchedDoesNot) {
+  // Uniform data, 4 shards: a 2x2 equi-depth tiling cuts near (0.5, 0.5),
+  // so a small rect in the bottom-left corner touches exactly one shard
+  // and a point at (0.9, 0.9) routes far away from it.
+  Dataset data = MakeUniformDataset(4000, 77);
+  TestScenario s;
+  s.data = data;
+  QueryGenOptions qopts;
+  qopts.num_queries = 16;
+  qopts.selectivity = 1e-3;
+  s.workload = GenerateCheckinWorkload(Region::kCaliNev, data.bounds, qopts);
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(),
+                 CachedOpts(4, 4 << 20));
+
+  const Rect q = Rect::Of(0.05, 0.05, 0.15, 0.15);
+  const std::vector<int64_t> before = SortedIds(loop.Range(q).hits);
+
+  // Untouched shard: the entry must survive (hit) and stay correct.
+  loop.SubmitInsert(Point{0.9, 0.9, 1000001});
+  loop.Flush();
+  QueryStats stats;
+  EXPECT_EQ(SortedIds(loop.Range(q, &stats).hits), before);
+  EXPECT_EQ(stats.cache_hits, 1);
+  EXPECT_EQ(loop.cache_stats().invalidations, 0);
+
+  // Touched shard: the very next probe must see the swap and re-execute.
+  const Point inside{0.1, 0.1, 1000002};
+  loop.SubmitInsert(inside);
+  loop.Flush();
+  stats.Reset();
+  const std::vector<int64_t> after = SortedIds(loop.Range(q, &stats).hits);
+  EXPECT_EQ(stats.cache_hits, 0);
+  EXPECT_EQ(stats.cache_misses, 1);
+  EXPECT_GE(loop.cache_stats().invalidations, 1);
+  std::vector<int64_t> expected = before;
+  expected.push_back(inside.id);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(after, expected);
+}
+
+TEST(ResultCacheTest, TopologySwapInvalidatesEveryEntry) {
+  TestScenario s = MakeScenario(Region::kCaliNev, 4000, 100, 2e-3, 903);
+  s.data = DedupeCoords(s.data);
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(),
+                 CachedOpts(3, 4 << 20));
+
+  std::vector<std::vector<int64_t>> cached;
+  for (size_t i = 0; i < 8; ++i) {
+    cached.push_back(SortedIds(loop.Range(s.workload.queries[i]).hits));
+  }
+  const int64_t hits_before = loop.cache_stats().hits;
+
+  ASSERT_TRUE(loop.TriggerRepartition(/*new_num_shards=*/5));
+  EXPECT_EQ(loop.epoch(), 2u);
+
+  // Same queries, same membership — but every answer re-executes against
+  // the new epoch (the stamped epoch no longer matches).
+  for (size_t i = 0; i < 8; ++i) {
+    const Rect& q = s.workload.queries[i];
+    EXPECT_EQ(SortedIds(loop.Range(q).hits), cached[i]) << "query " << i;
+    EXPECT_EQ(SortedIds(loop.Range(q).hits), TruthIds(s.data, q));
+  }
+  EXPECT_EQ(loop.cache_stats().hits - hits_before, 8)
+      << "second pass after the re-execution should hit again";
+  EXPECT_GE(loop.cache_stats().invalidations, 8);
+}
+
+TEST(ResultCacheTest, PinnedSnapshotSetMayHitWhatLiveQueriesMayNot) {
+  TestScenario s = MakeScenario(Region::kCaliNev, 3000, 60, 2e-3, 904);
+  s.data = DedupeCoords(s.data);
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(),
+                 CachedOpts(1, 4 << 20));
+
+  const Rect q = s.workload.queries[0];
+  const std::vector<int64_t> old_ids = SortedIds(loop.Range(q).hits);
+
+  // Pin the pre-write snapshot set, then write into the touched shard.
+  ShardedVersionedIndex::SnapshotSet snaps;
+  loop.sharded_index().AcquireAll(&snaps);
+  Point inside{(q.min_x + q.max_x) / 2, (q.min_y + q.max_y) / 2, 2000001};
+  loop.SubmitInsert(inside);
+  loop.Flush();
+
+  // A batch pinned to the old set hits the entry: its stamp matches the
+  // pinned versions exactly, and serving it is precisely what executing
+  // on the pinned set would return.
+  std::vector<QueryResult> results;
+  loop.engine().ExecuteBatchOn({QueryRequest::Range(q)}, &results, snaps);
+  EXPECT_EQ(SortedIds(results[0].hits), old_ids);
+
+  // A live query must not: the touched shard's version moved.
+  std::vector<int64_t> expected = old_ids;
+  expected.push_back(inside.id);
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(SortedIds(loop.Range(q).hits), expected);
+}
+
+TEST(ResultCacheTest, EvictionKeepsCapacityAndOversizedResultsSkipCache) {
+  TestScenario s = MakeScenario(Region::kCaliNev, 6000, 200, 2e-3, 905);
+  // Tiny cache: 16 KB across 4 segments.
+  ServeOptions opts = CachedOpts(1, 16 << 10);
+  opts.cache.segments = 4;
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(), opts);
+
+  for (const Rect& q : s.workload.queries) {
+    EXPECT_EQ(SortedIds(loop.Range(q).hits), TruthIds(s.data, q));
+  }
+  ResultCacheStats cs = loop.cache_stats();
+  EXPECT_LE(cs.size_bytes, 16u << 10);
+  EXPECT_GT(cs.evictions, 0);
+
+  // A whole-domain scan is far bigger than one segment: correct, but
+  // never admitted into the cache.
+  const int64_t insertions_before = loop.cache_stats().insertions;
+  EXPECT_EQ(SortedIds(loop.Range(s.data.bounds).hits),
+            TruthIds(s.data, s.data.bounds));
+  EXPECT_EQ(loop.cache_stats().insertions, insertions_before);
+}
+
+TEST(ResultCacheTest, DisabledCacheCountsNothing) {
+  TestScenario s = MakeScenario(Region::kCaliNev, 2000, 40, 2e-3, 906);
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(),
+                 CachedOpts(2, 0));
+  QueryStats stats;
+  loop.Range(s.workload.queries[0], &stats);
+  loop.Range(s.workload.queries[0], &stats);
+  EXPECT_EQ(stats.cache_hits, 0);
+  EXPECT_EQ(stats.cache_misses, 0);
+  const ResultCacheStats cs = loop.cache_stats();
+  EXPECT_EQ(cs.lookups(), 0);
+  EXPECT_EQ(cs.insertions, 0);
+}
+
+// The acceptance bar: with the cache enabled, every result returned by a
+// pinned batch equals brute force over the exact membership of the
+// snapshots it was pinned to — while writers stream routed updates and a
+// coordinator executes live repartitions (including shard-count changes).
+// A cached entry served across ANY swap or mid-migration cutover would
+// show up as a mismatch.
+TEST(ResultCacheStressTest, DifferentialVsBruteForceAcrossLiveSwaps) {
+  TestScenario s = MakeScenario(Region::kCaliNev, 6000, 150, 2e-3, 907);
+  s.data = DedupeCoords(s.data);
+  ServeOptions opts = CachedOpts(3, 8 << 20);
+  opts.track_points = true;  // snapshots carry exact membership
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(), opts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> mismatches{0};
+  std::atomic<int64_t> checked{0};
+
+  // Writers: routed inserts/removes keep every shard's versions moving.
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      Rng rng(static_cast<uint64_t>(500 + w));
+      std::vector<Point> mine;
+      int64_t next_id = 40000000 + w * 1000000;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (mine.size() > 128 && rng.NextBelow(2) == 0) {
+          loop.SubmitRemove(mine.back());
+          mine.pop_back();
+        } else {
+          Point p{rng.NextDouble(), rng.NextDouble(), next_id++};
+          loop.SubmitInsert(p);
+          mine.push_back(p);
+        }
+        if (rng.NextBelow(64) == 0) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      }
+    });
+  }
+
+  // Coordinator: live migrations, including shard-count changes.
+  std::thread repartitioner([&] {
+    const int counts[] = {4, 2, 5, 3};
+    int i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      loop.TriggerRepartition(counts[i++ % 4]);
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    }
+  });
+
+  // Readers: pin a snapshot set, derive ground truth from its tracked
+  // membership, execute a cached batch pinned to the SAME set, compare.
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r] {
+      Rng rng(static_cast<uint64_t>(700 + r));
+      while (!stop.load(std::memory_order_relaxed)) {
+        ShardedVersionedIndex::SnapshotSet snaps;
+        loop.sharded_index().AcquireAll(&snaps);
+        std::vector<Point> membership;
+        for (const auto& snap : snaps.snaps) {
+          ASSERT_NE(snap->points(), nullptr);
+          membership.insert(membership.end(), snap->points()->begin(),
+                            snap->points()->end());
+        }
+        std::vector<QueryRequest> requests;
+        for (int i = 0; i < 8; ++i) {
+          // Mostly repeats from a small hot set (cache exercise), some
+          // uniform (churn + evictions).
+          const size_t qi = rng.NextBelow(4) == 0
+                                ? rng.NextBelow(s.workload.queries.size())
+                                : rng.NextBelow(12);
+          requests.push_back(QueryRequest::Range(s.workload.queries[qi]));
+        }
+        std::vector<QueryResult> results;
+        loop.engine().ExecuteBatchOn(requests, &results, snaps);
+        for (size_t i = 0; i < requests.size(); ++i) {
+          if (SortedIds(results[i].hits) !=
+              BruteIds(membership, requests[i].rect)) {
+            mismatches.fetch_add(1, std::memory_order_relaxed);
+          }
+          checked.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::seconds(3));
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  repartitioner.join();
+  for (auto& t : writers) t.join();
+  loop.Stop();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_GT(checked.load(), 0);
+  const ResultCacheStats cs = loop.cache_stats();
+  // The stress is only meaningful if the cache was actually exercised and
+  // actually invalidated under the churn.
+  EXPECT_GT(cs.hits, 0) << "cache never hit — stress did not test it";
+  EXPECT_GT(cs.invalidations, 0)
+      << "no stamp invalidations — writers/migrations were not observed";
+  EXPECT_GT(loop.repartitions(), 0);
+}
+
+}  // namespace
+}  // namespace wazi::serve

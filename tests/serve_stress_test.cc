@@ -34,29 +34,6 @@ BuildOptions FastOpts() {
   return opts;
 }
 
-// Updates remove points by coordinates inside the index, by id in the
-// authoritative set; duplicate coordinates would make those two paths
-// diverge, so the harness guarantees coordinate uniqueness up front.
-Dataset DedupeCoords(const Dataset& in) {
-  Dataset out;
-  out.name = in.name;
-  out.bounds = in.bounds;
-  std::set<std::pair<double, double>> seen;
-  for (const Point& p : in.points) {
-    if (seen.insert({p.x, p.y}).second) out.points.push_back(p);
-  }
-  return out;
-}
-
-std::vector<int64_t> BruteIds(const std::vector<Point>& pts, const Rect& q) {
-  std::vector<int64_t> ids;
-  for (const Point& p : pts) {
-    if (q.Contains(p)) ids.push_back(p.id);
-  }
-  std::sort(ids.begin(), ids.end());
-  return ids;
-}
-
 TEST(ServeStressTest, ConcurrentReadersAndWriterZeroMismatches) {
   TestScenario s = MakeScenario(Region::kNewYork, 12000, 300, 2e-3, 77);
   s.data = DedupeCoords(s.data);

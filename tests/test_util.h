@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/geometry.h"
@@ -18,14 +20,36 @@
 
 namespace wazi {
 
-// Sorted ids of points inside `query` per linear scan.
-inline std::vector<int64_t> TruthIds(const Dataset& data, const Rect& query) {
+// Sorted ids of points inside `query` per linear scan (the brute-force
+// ground truth the serve stress suites diff against).
+inline std::vector<int64_t> BruteIds(const std::vector<Point>& pts,
+                                     const Rect& q) {
   std::vector<int64_t> ids;
-  for (const Point& p : data.points) {
-    if (query.Contains(p)) ids.push_back(p.id);
+  for (const Point& p : pts) {
+    if (q.Contains(p)) ids.push_back(p.id);
   }
   std::sort(ids.begin(), ids.end());
   return ids;
+}
+
+// Sorted ids of points inside `query` per linear scan.
+inline std::vector<int64_t> TruthIds(const Dataset& data, const Rect& query) {
+  return BruteIds(data.points, query);
+}
+
+// Updates remove points by coordinates inside the index, by id in the
+// authoritative set; duplicate coordinates would make those two paths
+// diverge, so the serve-layer suites guarantee coordinate uniqueness up
+// front.
+inline Dataset DedupeCoords(const Dataset& in) {
+  Dataset out;
+  out.name = in.name;
+  out.bounds = in.bounds;
+  std::set<std::pair<double, double>> seen;
+  for (const Point& p : in.points) {
+    if (seen.insert({p.x, p.y}).second) out.points.push_back(p);
+  }
+  return out;
 }
 
 inline std::vector<int64_t> SortedIds(const std::vector<Point>& pts) {

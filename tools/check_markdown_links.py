@@ -1,9 +1,13 @@
 #!/usr/bin/env python3
 """Fails on broken intra-repo markdown links.
 
-Scans every tracked *.md file (build trees excluded) for inline links and
-images `[text](target)`, resolves relative targets against the containing
-file, and reports:
+Scans every tracked *.md file (build trees excluded) for:
+  * inline links and images `[text](target)`;
+  * reference-style links `[text][label]` / `[label][]` together with
+    their definitions `[label]: target` (labels are case-insensitive;
+    undefined labels are reported, and definition targets are checked
+    even when unused — they rot too);
+resolves relative targets against the containing file, and reports:
   * targets that do not exist in the repo;
   * `#anchor` fragments that match no heading in the target file
     (GitHub-style slugs: lowercase, punctuation stripped, spaces->dashes).
@@ -23,6 +27,12 @@ SKIP_DIRS = {".git", "build", "build-tsan", ".claude"}
 # syntax. Code spans/fences are stripped first so `[a](b)` in code is not
 # a link.
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+# [text][label] and collapsed [label][]; `(?!\()` keeps inline links out.
+REF_USE_RE = re.compile(r"\[([^\]]+)\]\[([^\]]*)\](?!\()")
+# [label]: target  (definition lines; title suffixes are ignored).
+# Labels starting with '^' are GitHub footnotes, not links.
+REF_DEF_RE = re.compile(r"^\s{0,3}\[([^\^\]][^\]]*)\]:\s*(\S+)",
+                        re.MULTILINE)
 HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
 FENCE_RE = re.compile(r"```.*?```", re.DOTALL)
 CODESPAN_RE = re.compile(r"`[^`]*`")
@@ -49,6 +59,26 @@ def anchors_of(path: str) -> set:
     return {slugify(h) for h in HEADING_RE.findall(text)}
 
 
+def check_target(target: str, md: str, rel_md: str, root: str, errors: list):
+    """Validates one link target found in `md`. Returns True if checked."""
+    if target.startswith(("http://", "https://", "mailto:")):
+        return False
+    path_part, _, fragment = target.partition("#")
+    if path_part:
+        dest = os.path.normpath(os.path.join(os.path.dirname(md), path_part))
+    else:  # same-file anchor
+        dest = md
+    if not os.path.exists(dest):
+        errors.append(f"{rel_md}: broken link '{target}' "
+                      f"(no such file {os.path.relpath(dest, root)})")
+        return True
+    if fragment and dest.endswith(".md"):
+        if slugify(fragment) not in anchors_of(dest):
+            errors.append(f"{rel_md}: broken anchor '{target}' "
+                          f"(no heading '#{fragment}')")
+    return True
+
+
 def main() -> int:
     root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
     errors = []
@@ -59,24 +89,29 @@ def main() -> int:
         text = CODESPAN_RE.sub("", text)
         rel_md = os.path.relpath(md, root)
         for match in LINK_RE.finditer(text):
-            target = match.group(1)
-            if target.startswith(("http://", "https://", "mailto:")):
+            if check_target(match.group(1), md, rel_md, root, errors):
+                checked += 1
+        # Reference-style: every definition target must resolve (used or
+        # not), and every use must have a definition.
+        defs = {label.lower(): target.strip("<>")  # <url> form is legal
+                for label, target in REF_DEF_RE.findall(text)}
+        for target in defs.values():
+            if check_target(target, md, rel_md, root, errors):
+                checked += 1
+        # Undefined-label detection only applies in files that use
+        # reference links at all: without a single definition, adjacent
+        # bracket pairs in prose (un-backticked index notation like
+        # grid[i][j]) would all be false positives.
+        if not defs:
+            continue
+        for match in REF_USE_RE.finditer(text):
+            # Purely numeric text is array-index notation, never a link.
+            if match.group(1).isdigit():
                 continue
-            checked += 1
-            path_part, _, fragment = target.partition("#")
-            if path_part:
-                dest = os.path.normpath(
-                    os.path.join(os.path.dirname(md), path_part))
-            else:  # same-file anchor
-                dest = md
-            if not os.path.exists(dest):
-                errors.append(f"{rel_md}: broken link '{target}' "
-                              f"(no such file {os.path.relpath(dest, root)})")
-                continue
-            if fragment and dest.endswith(".md"):
-                if slugify(fragment) not in anchors_of(dest):
-                    errors.append(f"{rel_md}: broken anchor '{target}' "
-                                  f"(no heading '#{fragment}')")
+            label = (match.group(2) or match.group(1)).lower()
+            if label not in defs:
+                errors.append(f"{rel_md}: undefined link label '[{label}]' "
+                              f"(no '[{label}]: target' definition)")
     for err in errors:
         print(f"ERROR: {err}")
     print(f"checked {checked} intra-repo link(s): "

@@ -12,7 +12,8 @@
 //   wazi_cli throughput --threads 4 --shards 4 --mix 95r/5w --n 200000
 //                       --seconds 3 [--region CaliNev --index wazi
 //                        --queries 2000 --selectivity 0.0256%
-//                        --repartition 0|1]
+//                        --repartition 0|1 --cache-mb 64
+//                        --admission-window 200]
 //
 // `throughput` (alias: `serve`) drives the concurrent serving engine
 // (src/serve/): N client threads issue range queries against the live
@@ -20,6 +21,11 @@
 // background writer, and the command reports QPS plus latency percentiles.
 // `--repartition 1` additionally enables the topology monitor, which
 // re-cuts the shard map via a live migration when the load skews.
+// `--cache-mb N` turns on the snapshot-stamped result cache (reads are
+// then drawn skewed, 90% from the hottest 10% of queries, so the cache
+// has a hot set to hold); `--admission-window US` routes reads through
+// the batched admission pipeline (SubmitQuery futures, 8 in flight per
+// client) with the given coalescing window in microseconds.
 //
 // The persisted format only covers the Z-index family (wazi/base); the
 // other baselines are in-memory research comparators.
@@ -274,10 +280,16 @@ int CmdThroughput(const std::map<std::string, std::string>& flags) {
   const double seconds =
       std::strtod(FlagOr(flags, "seconds", "3").c_str(), nullptr);
   const std::string index_name = FlagOr(flags, "index", "wazi");
-  if (threads < 1 || shards < 1 || write_pct < 0 || seconds <= 0.0) {
+  const int cache_mb = static_cast<int>(
+      std::strtol(FlagOr(flags, "cache-mb", "0").c_str(), nullptr, 10));
+  const int adm_window = static_cast<int>(std::strtol(
+      FlagOr(flags, "admission-window", "0").c_str(), nullptr, 10));
+  if (threads < 1 || shards < 1 || write_pct < 0 || seconds <= 0.0 ||
+      cache_mb < 0 || adm_window < 0) {
     std::fprintf(stderr,
                  "--threads and --shards want >= 1, --mix wants e.g. "
-                 "95r/5w, --seconds wants > 0\n");
+                 "95r/5w, --seconds wants > 0, --cache-mb and "
+                 "--admission-window want >= 0\n");
     return 2;
   }
   if (MakeIndex(index_name) == nullptr) {
@@ -309,6 +321,10 @@ int CmdThroughput(const std::map<std::string, std::string>& flags) {
   sopts.num_shards = shards;
   sopts.num_threads = 1;  // client threads below execute queries themselves
   sopts.repartition.enabled = FlagOr(flags, "repartition", "0") == "1";
+  sopts.cache.capacity_bytes = static_cast<size_t>(cache_mb) * 1024 * 1024;
+  sopts.admission.window_us = adm_window;
+  // Admission arms execute batches on the engine pool, not the clients.
+  if (adm_window > 0) sopts.num_threads = 4;
   serve::ServeLoop loop([&index_name] { return MakeIndex(index_name); }, data,
                         workload, BuildOptions{}, sopts);
   std::fprintf(stderr, "built in %.1fs; serving %.1fs on %d threads "
@@ -320,6 +336,11 @@ int CmdThroughput(const std::map<std::string, std::string>& flags) {
   copts.threads = threads;
   copts.write_pct = write_pct;
   copts.seconds = seconds;
+  if (cache_mb > 0) {
+    copts.hot_fraction = 0.1;  // give the cache a hot set to hold
+    copts.hot_pct = 90;
+  }
+  if (adm_window > 0) copts.admission_depth = 8;
   const serve::ClientLoadResult load =
       serve::RunClientLoad(loop, workload, copts);
 
@@ -344,6 +365,24 @@ int CmdThroughput(const std::map<std::string, std::string>& flags) {
   std::printf("topology:       epoch %llu, %lld live repartition(s)\n",
               static_cast<unsigned long long>(loop.epoch()),
               static_cast<long long>(loop.repartitions()));
+  if (cache_mb > 0) {
+    const serve::ResultCacheStats cs = loop.cache_stats();
+    std::printf(
+        "result cache:   %.0f%% hit rate (%lld hits, %lld misses, %lld "
+        "stamp invalidations, %zu bytes held)\n",
+        cs.hit_rate() * 100.0, static_cast<long long>(cs.hits),
+        static_cast<long long>(cs.misses),
+        static_cast<long long>(cs.invalidations), cs.size_bytes);
+  }
+  if (adm_window > 0) {
+    const serve::AdmissionStats as = loop.admission_stats();
+    std::printf(
+        "admission:      %lld queries in %lld batches (mean %.1f, max "
+        "%lld per snapshot acquisition)\n",
+        static_cast<long long>(as.dispatched),
+        static_cast<long long>(as.batches), as.mean_batch(),
+        static_cast<long long>(as.max_batch));
+  }
   return 0;
 }
 
