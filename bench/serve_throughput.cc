@@ -13,7 +13,7 @@
 //
 //   bench_serve_throughput [--shards 1,4] [--threads 1,2,4,8]
 //                          [--cache-mb 0,64] [--admission-window 0,200]
-//   bench_serve_throughput --repartition 4 [--threads ...]
+//   bench_serve_throughput --repartition 4 [--incremental 0|1]
 //
 // --cache-mb N[,M] adds the snapshot-stamped result cache as a sweep
 // axis (capacity per arm, 0 = off) and a `hit%` column; whenever any arm
@@ -32,6 +32,16 @@
 // monitor enabled (live router swap + data migration mid-phase). A
 // validator thread checks sentinel points through both phases; the
 // run must complete with zero query errors.
+//
+// --incremental 1 (with --repartition N) adds a THIRD arm that allows
+// per-cell migrations: only shards whose cut boundaries move are
+// captured and rebuilt, the rest are carried live. The table reports
+// migrations, incremental migrations, last moved/carried shards and
+// total moved points per arm; the run fails unless the incremental arm
+// migrated strictly fewer points per migration than the full-rebuild
+// arm (and, as always, zero query errors). Prime shard counts (rank
+// stripes, e.g. --repartition 5) show carrying best: a corner skew
+// in a rows x cols grid can force a row re-cut that touches every cell.
 //
 //   WAZI_SCALE=smoke|default|paper   (50k / 1M / 8M points)
 //   WAZI_SERVE_INDEX=wazi|base|flood|...   (default wazi)
@@ -135,6 +145,10 @@ struct RepartitionArmResult {
   double qps_post = 0.0;
   int64_t p99_post_ns = 0;
   int64_t repartitions = 0;
+  int64_t incremental = 0;       // migrations that took the per-cell path
+  int64_t moved_shards = 0;      // last migration's rebuilt shards
+  int64_t carried_shards = 0;    // last migration's carried shards
+  int64_t moved_points = 0;      // total points captured+rebuilt
   uint64_t epoch = 0;
   int64_t errors = 0;
 };
@@ -143,7 +157,7 @@ RepartitionArmResult RunRepartitionArm(const std::string& index_name,
                                        const Dataset& data,
                                        const Workload& workload,
                                        int shards, double seconds,
-                                       bool adaptive) {
+                                       bool adaptive, bool incremental) {
   ServeOptions opts;
   opts.num_shards = shards;
   opts.num_threads = 1;
@@ -155,9 +169,12 @@ RepartitionArmResult RunRepartitionArm(const std::string& index_name,
   opts.repartition.patience = 2;
   opts.repartition.min_queries = 256;
   opts.repartition.min_interval_ms = 1000;
+  opts.repartition.incremental = incremental;
   std::fprintf(stderr, "[serve] building %d shard(s) of %s (%s)...\n",
                shards, index_name.c_str(),
-               adaptive ? "repartition on" : "repartition off");
+               !adaptive      ? "repartition off"
+               : incremental ? "repartition on, incremental"
+                             : "repartition on, full rebuilds");
   ServeLoop loop([&index_name] { return MakeIndex(index_name); }, data,
                  workload, BuildOptions{}, opts);
 
@@ -249,56 +266,114 @@ RepartitionArmResult RunRepartitionArm(const std::string& index_name,
   }
   stop_validator.store(true);
   validator.join();
+  const serve::MigrationStats mig = loop.migration_stats();
   std::fprintf(stderr,
-               "[serve] %s arm done: imbalance %.2f, epoch %llu\n",
+               "[serve] %s arm done: imbalance %.2f, epoch %llu, "
+               "%lld/%lld incremental, %lld pts moved\n",
                adaptive ? "adaptive" : "frozen", loop.imbalance(),
-               static_cast<unsigned long long>(loop.epoch()));
+               static_cast<unsigned long long>(loop.epoch()),
+               static_cast<long long>(mig.incremental),
+               static_cast<long long>(mig.migrations),
+               static_cast<long long>(mig.total_moved_points));
   arm.repartitions = loop.repartitions();
+  arm.incremental = mig.incremental;
+  arm.moved_shards = mig.last_moved_shards;
+  arm.carried_shards = mig.last_carried_shards;
+  arm.moved_points = mig.total_moved_points;
   arm.epoch = loop.epoch();
   arm.errors = errors.load();
   return arm;
 }
 
+// Mean points migrated per completed migration (0 with none).
+double MovedPointsPerMigration(const RepartitionArmResult& arm) {
+  return arm.repartitions == 0 ? 0.0
+                               : static_cast<double>(arm.moved_points) /
+                                     static_cast<double>(arm.repartitions);
+}
+
 int RunRepartitionExperiment(const std::string& index_name,
                              const Dataset& data, const Workload& workload,
-                             int shards, double seconds) {
+                             int shards, double seconds,
+                             bool with_incremental) {
   std::vector<std::vector<std::string>> rows;
-  RepartitionArmResult arms[2];
-  for (const bool adaptive : {false, true}) {
-    const RepartitionArmResult arm = RunRepartitionArm(
-        index_name, data, workload, shards, seconds, adaptive);
-    arms[adaptive ? 1 : 0] = arm;
-    rows.push_back({adaptive ? "on" : "off", FormatQps(arm.qps_pre),
+  // Arms: frozen topology, adaptive with full rebuilds, and (with
+  // --incremental 1) adaptive with per-cell migrations.
+  struct ArmSpec {
+    const char* label;
+    bool adaptive;
+    bool incremental;
+  };
+  std::vector<ArmSpec> specs = {{"off", false, false},
+                                {"full", true, false}};
+  if (with_incremental) specs.push_back({"incr", true, true});
+  std::vector<RepartitionArmResult> arms;
+  for (const ArmSpec& spec : specs) {
+    const RepartitionArmResult arm =
+        RunRepartitionArm(index_name, data, workload, shards, seconds,
+                          spec.adaptive, spec.incremental);
+    arms.push_back(arm);
+    char moved[48];
+    std::snprintf(moved, sizeof(moved), "%lld/%lld",
+                  static_cast<long long>(arm.moved_shards),
+                  static_cast<long long>(arm.carried_shards));
+    rows.push_back({spec.label, FormatQps(arm.qps_pre),
                     FormatQps(arm.qps_post),
                     FormatNs(static_cast<double>(arm.p99_post_ns)),
                     std::to_string(arm.repartitions),
-                    std::to_string(arm.epoch),
+                    std::to_string(arm.incremental), moved,
+                    std::to_string(arm.moved_points),
                     std::to_string(arm.errors)});
   }
-  char title[160];
+  char title[200];
   std::snprintf(title, sizeof(title),
                 "Skew-shift with live repartitioning (%s, %zu pts, %d "
                 "shards, %.1fs pre / %.1fs post)",
                 index_name.c_str(), data.size(), shards, seconds,
                 seconds * 2);
   PrintTable(title,
-             {"repart", "QPS pre", "QPS post", "p99 post", "migrations",
-              "epoch", "errors"},
+             {"repart", "QPS pre", "QPS post", "p99 post", "migr", "incr",
+              "mvd/carr", "moved pts", "errors"},
              rows);
-  if (arms[0].qps_post > 0.0) {
+  const RepartitionArmResult& frozen = arms[0];
+  const RepartitionArmResult& full = arms[1];
+  if (frozen.qps_post > 0.0) {
     std::printf("\npost-shift QPS, repartition off -> on: %.2fx "
                 "(%lld live migration(s), %lld query errors)\n",
-                arms[1].qps_post / arms[0].qps_post,
-                static_cast<long long>(arms[1].repartitions),
-                static_cast<long long>(arms[1].errors + arms[0].errors));
+                full.qps_post / frozen.qps_post,
+                static_cast<long long>(full.repartitions),
+                static_cast<long long>(full.errors + frozen.errors));
   }
-  const bool ok = arms[0].errors == 0 && arms[1].errors == 0 &&
-                  arms[1].repartitions >= 1;
-  if (!ok) {
-    std::fprintf(stderr, "[serve] FAILED: %s\n",
-                 arms[1].repartitions < 1 ? "no migration triggered"
-                                          : "sentinel query errors");
+  int64_t total_errors = 0;
+  for (const RepartitionArmResult& arm : arms) total_errors += arm.errors;
+  bool ok = total_errors == 0 && full.repartitions >= 1;
+  const char* failure = !ok ? (full.repartitions < 1
+                                   ? "no migration triggered"
+                                   : "sentinel query errors")
+                            : nullptr;
+  if (with_incremental) {
+    const RepartitionArmResult& incr = arms[2];
+    const double full_ppm = MovedPointsPerMigration(full);
+    const double incr_ppm = MovedPointsPerMigration(incr);
+    std::printf(
+        "moved points per migration, full -> incremental: %.0f -> %.0f "
+        "(%.2fx fewer; %lld of %lld migrations took the per-cell path)\n",
+        full_ppm, incr_ppm,
+        incr_ppm > 0.0 ? full_ppm / incr_ppm : 0.0,
+        static_cast<long long>(incr.incremental),
+        static_cast<long long>(incr.repartitions));
+    if (ok && incr.repartitions < 1) {
+      ok = false;
+      failure = "incremental arm never migrated";
+    } else if (ok && incr.incremental < 1) {
+      ok = false;
+      failure = "incremental arm fell back to full rebuilds only";
+    } else if (ok && incr_ppm >= full_ppm) {
+      ok = false;
+      failure = "incremental arm did not move fewer points per migration";
+    }
   }
+  if (!ok) std::fprintf(stderr, "[serve] FAILED: %s\n", failure);
   return ok ? 0 : 1;
 }
 
@@ -344,6 +419,7 @@ int Main(int argc, char** argv) {
   std::vector<int> cache_mbs = {0};
   std::vector<int> adm_windows = {0};
   int repartition_shards = 0;
+  bool incremental_arm = false;
   int argi = 1;
   for (; argi + 1 < argc; argi += 2) {
     if (std::strcmp(argv[argi], "--shards") == 0) {
@@ -357,10 +433,13 @@ int Main(int argc, char** argv) {
           ParseIntList(argv[argi + 1], "--admission-window", /*min_v=*/0);
     } else if (std::strcmp(argv[argi], "--repartition") == 0) {
       repartition_shards = ParseIntList(argv[argi + 1], "--repartition")[0];
+    } else if (std::strcmp(argv[argi], "--incremental") == 0) {
+      incremental_arm =
+          ParseIntList(argv[argi + 1], "--incremental", /*min_v=*/0)[0] != 0;
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s' (known: --shards --threads --cache-mb "
-                   "--admission-window --repartition)\n",
+                   "--admission-window --repartition --incremental)\n",
                    argv[argi]);
       return 2;
     }
@@ -391,7 +470,13 @@ int Main(int argc, char** argv) {
 
   if (repartition_shards > 0) {
     return RunRepartitionExperiment(index_name, data, workload,
-                                    repartition_shards, seconds);
+                                    repartition_shards, seconds,
+                                    incremental_arm);
+  }
+  if (incremental_arm) {
+    std::fprintf(stderr,
+                 "--incremental only applies with --repartition N\n");
+    return 2;
   }
 
   std::vector<std::vector<std::string>> rows;

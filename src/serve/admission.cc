@@ -25,16 +25,26 @@ std::future<QueryResult> AdmissionQueue::Submit(const QueryRequest& request) {
     std::unique_lock<std::mutex> lock(mu_);
     if (stop_) {
       // Late submit: keep the contract (a resolved future) without the
-      // dispatcher. Inline execution is the degenerate batch of one.
+      // dispatcher. Inline execution is the degenerate batch of one,
+      // counted as such so the stats invariants keep holding after Stop.
       lock.unlock();
+      {
+        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        ++stats_.admitted;
+      }
       QueryStats stats;
       p.promise.set_value(engine_->Execute(request, &stats));
+      CountDispatched(1);
       return future;
     }
     pending_.push_back(std::move(p));
-    // Counted before the lock drops so stats() never observes a query as
-    // dispatched but not yet admitted.
-    admitted_.fetch_add(1, std::memory_order_relaxed);
+    // Counted before mu_ drops so stats() never observes a query as
+    // dispatched but not yet admitted (the dispatcher cannot even see it
+    // until mu_ releases).
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      ++stats_.admitted;
+    }
     // Wake the dispatcher on new work (empty -> non-empty) or a full
     // batch; arrivals in between land in its linger window without a
     // futex wake each.
@@ -54,10 +64,15 @@ std::vector<std::future<QueryResult>> AdmissionQueue::SubmitBatch(
     if (stop_) {
       lock.unlock();
       for (const QueryRequest& request : requests) {
+        {
+          std::lock_guard<std::mutex> stats_lock(stats_mu_);
+          ++stats_.admitted;
+        }
         std::promise<QueryResult> promise;
         futures.push_back(promise.get_future());
         QueryStats stats;
         promise.set_value(engine_->Execute(request, &stats));
+        CountDispatched(1);
       }
       return futures;
     }
@@ -68,8 +83,10 @@ std::vector<std::future<QueryResult>> AdmissionQueue::SubmitBatch(
       futures.push_back(p.promise.get_future());
       pending_.push_back(std::move(p));
     }
-    admitted_.fetch_add(static_cast<int64_t>(requests.size()),
-                        std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      stats_.admitted += static_cast<int64_t>(requests.size());
+    }
     notify = !requests.empty() &&
              (was_empty || pending_.size() >= opts_.batch_limit);
   }
@@ -90,12 +107,17 @@ void AdmissionQueue::Stop() {
 }
 
 AdmissionStats AdmissionQueue::stats() const {
-  AdmissionStats s;
-  s.admitted = admitted_.load(std::memory_order_relaxed);
-  s.dispatched = dispatched_.load(std::memory_order_relaxed);
-  s.batches = batches_.load(std::memory_order_relaxed);
-  s.max_batch = max_batch_.load(std::memory_order_relaxed);
-  return s;
+  // One sequence point: every field of the returned snapshot comes from
+  // the same instant, so the struct's documented invariants hold.
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void AdmissionQueue::CountDispatched(size_t n) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.dispatched += static_cast<int64_t>(n);
+  ++stats_.batches;
+  stats_.max_batch = std::max(stats_.max_batch, static_cast<int64_t>(n));
 }
 
 void AdmissionQueue::DispatcherLoop() {
@@ -156,13 +178,7 @@ void AdmissionQueue::DispatchBatch(std::vector<Pending>* batch) {
 
   // Counters before the futures resolve: a client that observes its
   // result (future.get()) must also observe it in stats().
-  dispatched_.fetch_add(static_cast<int64_t>(n), std::memory_order_relaxed);
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  int64_t prev = max_batch_.load(std::memory_order_relaxed);
-  while (prev < static_cast<int64_t>(n) &&
-         !max_batch_.compare_exchange_weak(prev, static_cast<int64_t>(n),
-                                           std::memory_order_relaxed)) {
-  }
+  CountDispatched(n);
   for (size_t slot = 0; slot < n; ++slot) {
     (*batch)[order[slot]].promise.set_value(std::move(results[slot]));
   }

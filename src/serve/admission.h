@@ -45,7 +45,6 @@
 #ifndef WAZI_SERVE_ADMISSION_H_
 #define WAZI_SERVE_ADMISSION_H_
 
-#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -68,11 +67,17 @@ struct AdmissionOptions {
   int64_t window_us = 200;
 };
 
-// Monotone counters; read from any thread.
+// Monotone counters. stats() returns a mutually CONSISTENT snapshot:
+// all fields are published under one mutex (a single sequence point), so
+// an observer can rely on the invariants admitted >= dispatched,
+// batches <= dispatched, max_batch <= dispatched, and batches > 0
+// whenever dispatched > 0 — independently-read atomics used to allow
+// e.g. `dispatched > admitted` between the reads.
 struct AdmissionStats {
   int64_t admitted = 0;    // queries accepted by Submit/SubmitBatch
   int64_t dispatched = 0;  // queries handed to the engine
-  int64_t batches = 0;     // dispatched batches
+  int64_t batches = 0;     // dispatched batches (inline post-Stop
+                           // executions count as batches of one)
   int64_t max_batch = 0;   // largest single batch
   double mean_batch() const {
     return batches == 0 ? 0.0
@@ -119,6 +124,8 @@ class AdmissionQueue {
   void DispatcherLoop();
   // Groups, executes (one AcquireAll for the whole batch), and fulfils.
   void DispatchBatch(std::vector<Pending>* batch);
+  // Folds one executed batch of `n` queries into stats_ (one seq point).
+  void CountDispatched(size_t n);
 
   QueryEngine* engine_;
   const ShardedVersionedIndex* index_;
@@ -130,10 +137,13 @@ class AdmissionQueue {
   bool stop_ = false;
   std::mutex join_mu_;  // serializes concurrent Stop() callers' join
 
-  std::atomic<int64_t> admitted_{0};
-  std::atomic<int64_t> dispatched_{0};
-  std::atomic<int64_t> batches_{0};
-  std::atomic<int64_t> max_batch_{0};
+  // All four counters move together under stats_mu_ — stats() is one
+  // sequence point, never a torn mix of before/after a dispatch. Lock
+  // order where both are held: mu_ then stats_mu_ (Submit counts the
+  // admission while still holding mu_, so the dispatcher cannot dispatch
+  // a query before it is counted as admitted).
+  mutable std::mutex stats_mu_;
+  AdmissionStats stats_;
   std::thread dispatcher_;
 };
 

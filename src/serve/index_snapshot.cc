@@ -1,6 +1,7 @@
 #include "serve/index_snapshot.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 namespace wazi::serve {
@@ -23,7 +24,7 @@ VersionedIndex::VersionedIndex(IndexFactory factory, const Dataset& data,
   for (int s = 0; s < 2; ++s) {
     inst_[s] = factory_();
     inst_[s]->Build(data_, last_workload_, build_opts_);
-    drained_[s].store(true, std::memory_order_relaxed);
+    drained_[s] = std::make_shared<std::atomic<bool>>(true);
   }
   supports_updates_ = inst_[0]->SupportsUpdates();
   live_slot_ = 1;   // so the first publish flips to slot 0
@@ -39,7 +40,13 @@ VersionedIndex::~VersionedIndex() {
   // outlived the VersionedIndex, which the thread-safety contract forbids.
   live_.Store(nullptr);
   for (int s = 0; s < 2; ++s) {
-    while (!drained_[s].load(std::memory_order_acquire)) {
+    while (!drained_[s]->load(std::memory_order_acquire)) {
+      std::this_thread::yield();
+    }
+  }
+  // Zombies from copy-on-stall fallbacks drain under the same contract.
+  for (const ZombieInstance& z : zombies_) {
+    while (!z.drained->load(std::memory_order_acquire)) {
       std::this_thread::yield();
     }
   }
@@ -109,13 +116,54 @@ void VersionedIndex::Rebuild(const Workload& workload) {
 }
 
 SpatialIndex* VersionedIndex::AcquireShadow(bool catch_up) {
+  ReapZombies();
   const int shadow_slot = 1 - live_slot_;
   // Wait until the last snapshot wrapping this instance has drained. The
   // snapshot destructor's release-store pairs with this acquire-load, so
   // every reader access happens-before the mutations that follow. Bounded
-  // by the longest in-flight query.
-  while (!drained_[shadow_slot].load(std::memory_order_acquire)) {
+  // by the longest in-flight query — or, when writer_stall_ms is set, by
+  // that deadline: a reader parking a snapshot past it triggers the
+  // copy-on-stall fallback below instead of stalling the writer (and any
+  // migration capture waiting on it) indefinitely.
+  const bool bounded = opts_.writer_stall_ms > 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(bounded ? opts_.writer_stall_ms : 0);
+  bool stalled = false;
+  while (!drained_[shadow_slot]->load(std::memory_order_acquire)) {
+    if (bounded && std::chrono::steady_clock::now() >= deadline) {
+      stalled = true;
+      break;
+    }
     std::this_thread::yield();
+  }
+  if (stalled) {
+    // The parked instance stays readable for whoever still holds its
+    // snapshot; it is destroyed once that snapshot drains. A fresh
+    // instance takes the slot, current through data_ (so no catch-up
+    // replay is needed) — unless the caller is about to rebuild it
+    // anyway.
+    zombies_.push_back(ZombieInstance{std::move(inst_[shadow_slot]),
+                                      std::move(drained_[shadow_slot])});
+    inst_[shadow_slot] = factory_();
+    drained_[shadow_slot] = std::make_shared<std::atomic<bool>>(true);
+    // Static index types and catch_up == false callers rebuild from data_
+    // next anyway; skip the interim build for those.
+    if (catch_up && supports_updates_) {
+      inst_[shadow_slot]->Build(data_, last_workload_, build_opts_);
+    }
+    applied_through_[shadow_slot] = version_.load(std::memory_order_relaxed);
+    const uint64_t stalled_min =
+        std::min(applied_through_[0], applied_through_[1]);
+    while (!recent_batches_.empty() &&
+           recent_batches_.front().first <= stalled_min) {
+      recent_batches_.pop_front();
+    }
+    stall_copies_.fetch_add(1, std::memory_order_relaxed);
+    if (opts_.stall_counter != nullptr) {
+      opts_.stall_counter->fetch_add(1, std::memory_order_relaxed);
+    }
+    return inst_[shadow_slot].get();
   }
   SpatialIndex* index = inst_[shadow_slot].get();
   if (!catch_up || !supports_updates_) return index;
@@ -142,6 +190,15 @@ SpatialIndex* VersionedIndex::AcquireShadow(bool catch_up) {
   return index;
 }
 
+void VersionedIndex::ReapZombies() {
+  zombies_.erase(
+      std::remove_if(zombies_.begin(), zombies_.end(),
+                     [](const ZombieInstance& z) {
+                       return z.drained->load(std::memory_order_acquire);
+                     }),
+      zombies_.end());
+}
+
 void VersionedIndex::PublishShadow() {
   const int shadow_slot = 1 - live_slot_;
   const uint64_t v = version_.load(std::memory_order_relaxed) + 1;
@@ -149,9 +206,9 @@ void VersionedIndex::PublishShadow() {
   if (opts_.track_points) {
     pts = std::make_shared<const std::vector<Point>>(data_.points);
   }
-  drained_[shadow_slot].store(false, std::memory_order_relaxed);
+  drained_[shadow_slot]->store(false, std::memory_order_relaxed);
   auto snap = std::make_shared<const IndexSnapshot>(
-      inst_[shadow_slot].get(), v, std::move(pts), &drained_[shadow_slot]);
+      inst_[shadow_slot].get(), v, std::move(pts), drained_[shadow_slot]);
   applied_through_[shadow_slot] = v;
   version_.store(v, std::memory_order_release);
   // The swap: readers Acquire() the new snapshot from here on. The old

@@ -19,6 +19,15 @@
 // ThreadSanitizer to verify. Indexes that do not support updates
 // (SupportsUpdates() == false) fall back to a full rebuild of the shadow
 // instance from the authoritative point set.
+//
+// Writer backpressure is bounded: a reader that PARKS a snapshot (holds
+// it across many queries, or indefinitely) blocks the writer's next
+// publish only up to `writer_stall_ms`. Past that deadline the writer
+// stops waiting, retires the parked instance to a zombie list (readers
+// keep scanning it untouched; it is destroyed once its snapshot finally
+// drains) and builds a fresh replacement instance from the authoritative
+// point set — copy-on-stall. The stall therefore costs one O(shard)
+// build instead of unbounded writer (and migration-capture) delay.
 
 #ifndef WAZI_SERVE_INDEX_SNAPSHOT_H_
 #define WAZI_SERVE_INDEX_SNAPSHOT_H_
@@ -68,17 +77,24 @@ struct UpdateOp {
   static UpdateOp Remove(const Point& p) { return {Kind::kRemove, p}; }
 };
 
+// Drain token shared between a snapshot and the instance it wraps: the
+// snapshot's destructor release-stores true; the writer acquire-loads it
+// before mutating (or destroying) the instance. shared_ptr-owned so a
+// copy-on-stall retirement can hand the token to the zombie instance
+// without the flag's storage moving under the parked snapshot.
+using DrainFlag = std::shared_ptr<std::atomic<bool>>;
+
 // One published index version. Immutable; any thread holding a
 // shared_ptr to it may query `index()` concurrently with all others.
 class IndexSnapshot {
  public:
   IndexSnapshot(const SpatialIndex* index, uint64_t version,
                 std::shared_ptr<const std::vector<Point>> points,
-                std::atomic<bool>* drained)
+                DrainFlag drained)
       : index_(index),
         version_(version),
         points_(std::move(points)),
-        drained_(drained) {}
+        drained_(std::move(drained)) {}
 
   ~IndexSnapshot() {
     // Runs after the last reader released its reference; tells the writer
@@ -103,7 +119,7 @@ class IndexSnapshot {
   const SpatialIndex* index_;
   uint64_t version_;
   std::shared_ptr<const std::vector<Point>> points_;
-  std::atomic<bool>* drained_;
+  DrainFlag drained_;
 };
 
 // A publication slot: one writer stores, many readers load. Lock-free
@@ -151,6 +167,17 @@ struct VersionedIndexOptions {
   // When true, every snapshot carries an immutable copy of the point set
   // it serves (O(n) copy per publish — testing/verification only).
   bool track_points = false;
+  // Copy-on-stall deadline: how long the writer waits for a retired
+  // snapshot to drain before it stops waiting, retires the parked
+  // instance (readers keep it until their snapshot releases) and builds a
+  // fresh replacement from the authoritative point set. Bounds the writer
+  // stall a parked reader can cause — including a migration's capture
+  // phase — at the price of an O(shard) build per fallback. <= 0 waits
+  // forever (the pre-fallback behaviour).
+  int writer_stall_ms = 250;
+  // When set, every copy-on-stall fallback also increments this counter
+  // (ServeLoop aggregates one across all shards and generations).
+  std::atomic<int64_t>* stall_counter = nullptr;
 };
 
 // Thread-safety contract: Acquire()/version() from any thread; everything
@@ -194,15 +221,36 @@ class VersionedIndex {
   size_t num_points() const {
     return num_points_.load(std::memory_order_relaxed);
   }
+  // Copy-on-stall fallbacks taken by this shard's writer (any thread).
+  int64_t stall_copies() const {
+    return stall_copies_.load(std::memory_order_relaxed);
+  }
+  // Frees instances retired by copy-on-stall whose parked snapshot has
+  // since drained. Runs automatically before every batch/rebuild; call
+  // it from the writer's idle wake-ups too, or a fallback taken on a
+  // shard that then goes idle would hold its O(shard) duplicate until
+  // destruction. Writer thread only. Cheap when there is nothing to do.
+  void ReapRetired() { ReapZombies(); }
   // Authoritative state, writer thread only.
   const Dataset& data() const { return data_; }
 
  private:
-  // Blocks until the shadow instance's last snapshot has drained, then
-  // brings the instance up to date with every batch it missed (or rebuilds
-  // it outright if a rebuild superseded those batches). Pass catch_up =
-  // false when the caller rebuilds the instance from data_ anyway.
+  // An instance retired by copy-on-stall: destroyed (writer thread) once
+  // its snapshot's drain flag flips.
+  struct ZombieInstance {
+    std::unique_ptr<SpatialIndex> index;
+    DrainFlag drained;
+  };
+  // Waits (up to opts_.writer_stall_ms) for the shadow instance's last
+  // snapshot to drain, then brings the instance up to date with every
+  // batch it missed (or rebuilds it outright if a rebuild superseded
+  // those batches). On a stall timeout the parked instance moves to
+  // zombies_ and a fresh instance takes the slot (built from data_ unless
+  // catch_up is false — then the caller builds it). Pass catch_up = false
+  // when the caller rebuilds the instance from data_ anyway.
   SpatialIndex* AcquireShadow(bool catch_up = true);
+  // Destroys every retired instance whose snapshot has drained.
+  void ReapZombies();
   // Wraps the shadow in a new snapshot and swaps it live.
   void PublishShadow();
   // Drops ops that would desynchronize the id-keyed authoritative set from
@@ -224,8 +272,11 @@ class VersionedIndex {
   std::unordered_map<int64_t, size_t> pos_by_id_;  // id -> index in data_
 
   std::unique_ptr<SpatialIndex> inst_[2];
-  std::atomic<bool> drained_[2];  // instance safe to mutate again
+  DrainFlag drained_[2];  // instance safe to mutate again
   uint64_t applied_through_[2] = {0, 0};  // last version each instance has
+  // Instances parked past the stall deadline, awaiting their drain.
+  std::vector<ZombieInstance> zombies_;
+  std::atomic<int64_t> stall_copies_{0};
   uint64_t last_rebuild_version_ = 0;
   // Batches newer than min(applied_through_), so the shadow can catch up.
   std::deque<std::pair<uint64_t, std::vector<UpdateOp>>> recent_batches_;

@@ -1,6 +1,8 @@
 #include "serve/repartition.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace wazi::serve {
 
@@ -56,19 +58,65 @@ double CombinedImbalance(const std::vector<ShardLoad>& loads,
 
 bool RepartitionMonitor::Observe(const std::vector<ShardLoad>& loads,
                                  TimePoint now) {
+  recommended_shards_ = 0;
   int64_t stabs = 0;
   imbalance_ = CombinedImbalance(loads, opts_, &stabs);
+  const bool cooled =
+      !have_last_ || now - last_repartition_ >=
+                         std::chrono::milliseconds(opts_.min_interval_ms);
+
+  // --- shard-count streaks (hysteresis: disjoint signals, own patience,
+  // shared cooldown) ---------------------------------------------------
+  const int n = static_cast<int>(loads.size());
+  if (opts_.auto_shard_count && n > 0) {
+    size_t min_queue = loads[0].queue_depth;
+    size_t max_queue = loads[0].queue_depth;
+    double total_items = 0.0;
+    for (const ShardLoad& l : loads) {
+      min_queue = std::min(min_queue, l.queue_depth);
+      max_queue = std::max(max_queue, l.queue_depth);
+      total_items += static_cast<double>(l.items);
+    }
+    const double mean_items = total_items / static_cast<double>(n);
+    const double mean_stabs =
+        static_cast<double>(stabs) / static_cast<double>(n);
+    const bool grow_sig =
+        n < opts_.max_shards && min_queue >= opts_.grow_queue_depth;
+    // A hot queue anywhere vetoes a shrink: the signals never overlap.
+    const bool shrink_sig =
+        n > opts_.min_shards &&
+        max_queue < opts_.grow_queue_depth &&
+        mean_items < static_cast<double>(opts_.shrink_items_per_shard) &&
+        mean_stabs < static_cast<double>(opts_.shrink_stabs_per_shard);
+    grow_streak_ = grow_sig ? grow_streak_ + 1 : 0;
+    shrink_streak_ = shrink_sig ? shrink_streak_ + 1 : 0;
+    if (cooled && grow_streak_ >= opts_.resize_patience) {
+      recommended_shards_ = std::min(opts_.max_shards, n * 2);
+      grow_streak_ = 0;
+      shrink_streak_ = 0;
+      over_count_ = 0;
+      return true;
+    }
+    if (cooled && shrink_streak_ >= opts_.resize_patience) {
+      recommended_shards_ = std::max(opts_.min_shards, n / 2);
+      grow_streak_ = 0;
+      shrink_streak_ = 0;
+      over_count_ = 0;
+      return true;
+    }
+  } else {
+    grow_streak_ = 0;
+    shrink_streak_ = 0;
+  }
+
+  // --- imbalance trigger (re-cut at the current count) ----------------
   if (imbalance_ <= opts_.max_imbalance) {
     over_count_ = 0;
     return false;
   }
   ++over_count_;
   if (over_count_ < opts_.patience) return false;
-  if (have_last_ &&
-      now - last_repartition_ <
-          std::chrono::milliseconds(opts_.min_interval_ms)) {
-    return false;
-  }
+  if (!cooled) return false;
   // The recommendation is consumed: a caller that skips the migration
   // anyway gets a fresh patience run instead of a true every sample.
   over_count_ = 0;
@@ -77,9 +125,140 @@ bool RepartitionMonitor::Observe(const std::vector<ShardLoad>& loads,
 
 void RepartitionMonitor::ResetAfterRepartition(TimePoint now) {
   over_count_ = 0;
+  grow_streak_ = 0;
+  shrink_streak_ = 0;
+  recommended_shards_ = 0;
   imbalance_ = 1.0;
   have_last_ = true;
   last_repartition_ = now;
+}
+
+namespace {
+
+// How far v sits ABOVE its fair share, as a fraction of fair (<= 0 when
+// at or under it). Only overload moves cuts: an under-loaded cell is
+// relieved implicitly when its hot neighbour's run re-cuts — flagging
+// cold cells too would mark the whole tiling dirty under a concentrated
+// skew (every cold cell deviates) and forfeit carrying entirely.
+double Overload(double v, double fair) {
+  if (fair <= 0.0) {
+    return v > 0.0 ? std::numeric_limits<double>::infinity() : 0.0;
+  }
+  return (v - fair) / fair;
+}
+
+}  // namespace
+
+IncrementalPlan PlanIncrementalRecut(int rows, int cols,
+                                     const std::vector<ShardLoad>& loads,
+                                     const RepartitionOptions& opts) {
+  IncrementalPlan plan;
+  if (rows <= 0 || cols <= 0) return plan;
+  const size_t n = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+  if (loads.size() != n || n < 2) return plan;
+  plan.rows = rows;
+  plan.cols = cols;
+  plan.changed.assign(n, false);
+  plan.y_cut_moves.assign(static_cast<size_t>(rows - 1), false);
+  plan.x_cut_moves.assign(static_cast<size_t>(rows),
+                          std::vector<bool>(static_cast<size_t>(cols - 1),
+                                            false));
+
+  double total_items = 0.0;
+  int64_t total_stabs = 0;
+  for (const ShardLoad& l : loads) {
+    total_items += static_cast<double>(l.items);
+    total_stabs += l.query_stabs;
+  }
+  const bool use_stabs = total_stabs >= opts.min_queries && total_stabs > 0;
+  const double fair_cell_items = total_items / static_cast<double>(n);
+  const double fair_cell_stabs =
+      static_cast<double>(total_stabs) / static_cast<double>(n);
+
+  const auto cell = [&](int r, int c) -> const ShardLoad& {
+    return loads[static_cast<size_t>(r) * static_cast<size_t>(cols) +
+                 static_cast<size_t>(c)];
+  };
+
+  // Row boundaries move on item imbalance only (the re-cut is equi-depth
+  // in items; a moved y-cut rebuilds two whole rows, so the bar is high).
+  std::vector<bool> row_changed(static_cast<size_t>(rows), false);
+  if (rows > 1) {
+    const double fair_row_items = total_items / static_cast<double>(rows);
+    std::vector<double> row_items(static_cast<size_t>(rows), 0.0);
+    for (int r = 0; r < rows; ++r) {
+      for (int c = 0; c < cols; ++c) {
+        row_items[static_cast<size_t>(r)] +=
+            static_cast<double>(cell(r, c).items);
+      }
+    }
+    for (int j = 0; j + 1 < rows; ++j) {
+      const bool moves =
+          Overload(row_items[static_cast<size_t>(j)], fair_row_items) >
+              opts.incremental_row_tolerance ||
+          Overload(row_items[static_cast<size_t>(j + 1)], fair_row_items) >
+              opts.incremental_row_tolerance;
+      if (moves) {
+        plan.y_cut_moves[static_cast<size_t>(j)] = true;
+        row_changed[static_cast<size_t>(j)] = true;
+        row_changed[static_cast<size_t>(j + 1)] = true;
+      }
+    }
+  }
+
+  // Within rows whose band stays put, move the x-cuts adjacent to dirty
+  // cells (item deviation, or stab-share deviation once traffic is
+  // trusted). Rows whose band moves recut every x-cut.
+  for (int r = 0; r < rows; ++r) {
+    if (row_changed[static_cast<size_t>(r)]) {
+      for (int c = 0; c + 1 < cols; ++c) {
+        plan.x_cut_moves[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+            true;
+      }
+      continue;
+    }
+    const auto dirty = [&](int c) {
+      const ShardLoad& l = cell(r, c);
+      if (Overload(static_cast<double>(l.items), fair_cell_items) >
+          opts.incremental_cell_tolerance) {
+        return true;
+      }
+      return use_stabs &&
+             Overload(static_cast<double>(l.query_stabs),
+                      fair_cell_stabs) > opts.incremental_cell_tolerance;
+    };
+    for (int c = 0; c + 1 < cols; ++c) {
+      if (dirty(c) || dirty(c + 1)) {
+        plan.x_cut_moves[static_cast<size_t>(r)][static_cast<size_t>(c)] =
+            true;
+      }
+    }
+  }
+
+  // Closure: a cell changes iff one of its boundaries moves.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      bool ch = row_changed[static_cast<size_t>(r)];
+      if (!ch && c > 0) {
+        ch = plan.x_cut_moves[static_cast<size_t>(r)]
+                             [static_cast<size_t>(c - 1)];
+      }
+      if (!ch && c + 1 < cols) {
+        ch = plan.x_cut_moves[static_cast<size_t>(r)][static_cast<size_t>(c)];
+      }
+      plan.changed[static_cast<size_t>(r) * static_cast<size_t>(cols) +
+                   static_cast<size_t>(c)] = ch;
+    }
+  }
+
+  const int changed = plan.num_changed();
+  if (changed == 0 || changed == static_cast<int>(n)) return plan;
+  if (static_cast<double>(changed) >
+      opts.incremental_max_changed_fraction * static_cast<double>(n)) {
+    return plan;
+  }
+  plan.feasible = true;
+  return plan;
 }
 
 }  // namespace wazi::serve

@@ -12,8 +12,11 @@ ServeLoop::ServeLoop(IndexFactory factory, const Dataset& data,
                      ServeOptions opts)
     : opts_(opts),
       index_(std::move(factory), data, workload, build_opts,
-             ShardedIndexOptions{opts.num_shards,
-                                 VersionedIndexOptions{opts.track_points}}),
+             ShardedIndexOptions{
+                 opts.num_shards,
+                 VersionedIndexOptions{opts.track_points,
+                                       opts.writer_stall_ms,
+                                       &stall_copies_}}),
       cache_(opts.cache),
       engine_(&index_, opts.num_threads, &cache_),
       admission_(std::make_unique<AdmissionQueue>(&engine_, &index_,
@@ -28,7 +31,7 @@ ServeLoop::ServeLoop(IndexFactory factory, const Dataset& data,
 ServeLoop::~ServeLoop() { Stop(); }
 
 std::shared_ptr<ServeLoop::WriterGen> ServeLoop::StartWriters(
-    std::shared_ptr<ShardTopology> topo) {
+    std::shared_ptr<ShardTopology> topo, const std::vector<bool>* gated) {
   auto gen = std::make_shared<WriterGen>();
   gen->epoch = topo->epoch;
   gen->topo = std::move(topo);
@@ -37,6 +40,9 @@ std::shared_ptr<ServeLoop::WriterGen> ServeLoop::StartWriters(
   for (int s = 0; s < n; ++s) {
     gen->writers.push_back(std::make_unique<ShardWriter>(opts_.drift));
     gen->writers.back()->recent.resize(opts_.recent_window);
+    if (gated != nullptr && (*gated)[static_cast<size_t>(s)]) {
+      gen->writers.back()->gate = true;  // pre-thread: no lock needed
+    }
   }
   // Threads last: WriterLoop touches gen->writers[s] and gen->topo. Each
   // thread keeps its generation alive; the cycle breaks at join time.
@@ -185,69 +191,132 @@ bool ServeLoop::TriggerRepartition(int new_num_shards) {
   return true;
 }
 
-void ServeLoop::RepartitionLocked(int new_num_shards) {
+void ServeLoop::RepartitionLocked(int new_num_shards,
+                                  const std::vector<ShardLoad>* window_loads,
+                                  uint64_t window_epoch) {
   const std::shared_ptr<WriterGen> old_gen = writer_gen_.Load();
-  const ShardTopology& old_topo = *old_gen->topo;
-  const int n_new =
-      new_num_shards > 0 ? new_num_shards : old_topo.num_shards();
-
-  // --- DUAL-WRITE + CAPTURE request -------------------------------------
-  // From each shard's next submit on, ops are logged to its delta as well
-  // as applied to the old generation. The capture target pins everything
-  // submitted BEFORE dual-write began: those ops are only visible through
-  // the captured point set, everything later is (also) in a delta.
-  for (const auto& w : old_gen->writers) {
-    {
-      std::lock_guard<std::mutex> lock(w->queue_mu);
-      w->dual_write = true;
-      w->capture_target = w->submitted;
-      w->capture_requested = true;
-      w->capture_done = false;
-      w->captured.clear();
-    }
-    w->queue_cv.notify_one();
+  const int n_old = old_gen->topo->num_shards();
+  const int n_new = new_num_shards > 0 ? new_num_shards : n_old;
+  // The per-cell path applies only when the grid shape survives: same
+  // shard count (a resize re-cuts everything) and more than one shard.
+  if (opts_.repartition.incremental && n_new == n_old && n_old > 1 &&
+      TryIncrementalRepartitionLocked(old_gen, window_loads, window_epoch)) {
+    return;
   }
+  FullRepartitionLocked(old_gen, n_new);
+}
 
-  // --- CAPTURE wait ------------------------------------------------------
-  // Each old writer copies its authoritative point set once it has applied
-  // through its capture target. Bounded by writer progress, which is
-  // bounded by the longest reader-parked snapshot (same backpressure as
-  // any batch).
-  std::vector<Point> points;
-  for (const auto& w : old_gen->writers) {
-    std::unique_lock<std::mutex> lock(w->queue_mu);
-    w->capture_cv.wait(lock, [&w] { return w->capture_done; });
-    points.insert(points.end(), w->captured.begin(), w->captured.end());
-    w->captured.clear();
-    w->captured.shrink_to_fit();
-    w->capture_done = false;
-  }
-
-  // --- BUILD -------------------------------------------------------------
-  // Router inputs: the captured points and the recently served per-shard
-  // rectangles (the live workload), falling back to the old generation's
-  // training slices when traffic has been thin. The old generation keeps
-  // serving reads and writes throughout.
+Workload ServeLoop::MigrationWorkload(const WriterGen& gen) {
+  // Router inputs: the recently served per-shard rectangles (the live
+  // workload), falling back to the old generation's training slices when
+  // traffic has been thin.
+  const ShardTopology& topo = *gen.topo;
   Workload recent;
-  recent.name = "repartition/e" + std::to_string(old_topo.epoch + 1);
-  for (int s = 0; s < old_topo.num_shards(); ++s) {
-    ShardWriter& w = *old_gen->writers[static_cast<size_t>(s)];
-    recent.selectivity = old_topo.shard_workloads[static_cast<size_t>(s)]
-                             .selectivity;
+  recent.name = "repartition/e" + std::to_string(topo.epoch + 1);
+  for (int s = 0; s < topo.num_shards(); ++s) {
+    ShardWriter& w = *gen.writers[static_cast<size_t>(s)];
+    recent.selectivity =
+        topo.shard_workloads[static_cast<size_t>(s)].selectivity;
     std::lock_guard<std::mutex> lock(w.monitor_mu);
     for (size_t i = 0; i < w.recent_count; ++i) {
       recent.queries.push_back(w.recent[i]);
     }
   }
   if (recent.queries.size() < 32) {
-    for (const Workload& sw : old_topo.shard_workloads) {
+    for (const Workload& sw : topo.shard_workloads) {
       recent.queries.insert(recent.queries.end(), sw.queries.begin(),
                             sw.queries.end());
     }
   }
+  return recent;
+}
+
+void ServeLoop::BeginDualWriteAndCapture(WriterGen& gen,
+                                         const std::vector<bool>* changed) {
+  // From each participating shard's next submit on, ops are logged to its
+  // delta as well as applied to the old generation. The capture target
+  // pins everything submitted BEFORE dual-write began: those ops are only
+  // visible through the captured point set, everything later is (also) in
+  // a delta.
+  for (size_t s = 0; s < gen.writers.size(); ++s) {
+    if (changed != nullptr && !(*changed)[s]) continue;
+    ShardWriter& w = *gen.writers[s];
+    {
+      std::lock_guard<std::mutex> lock(w.queue_mu);
+      w.dual_write = true;
+      w.capture_target = w.submitted;
+      w.capture_requested = true;
+      w.capture_done = false;
+      w.captured.clear();
+    }
+    w.queue_cv.notify_one();
+  }
+}
+
+std::vector<Point> ServeLoop::AwaitCaptures(WriterGen& gen,
+                                            const std::vector<bool>* changed) {
+  // Each participating old writer copies its authoritative point set once
+  // it has applied through its capture target. Bounded by writer
+  // progress, which is bounded by writer_stall_ms even under a parked
+  // reader snapshot (copy-on-stall).
+  std::vector<Point> points;
+  for (size_t s = 0; s < gen.writers.size(); ++s) {
+    if (changed != nullptr && !(*changed)[s]) continue;
+    ShardWriter& w = *gen.writers[s];
+    std::unique_lock<std::mutex> lock(w.queue_mu);
+    w.capture_cv.wait(lock, [&w] { return w.capture_done; });
+    points.insert(points.end(), w.captured.begin(), w.captured.end());
+    w.captured.clear();
+    w.captured.shrink_to_fit();
+    w.capture_done = false;
+  }
+  return points;
+}
+
+void ServeLoop::DrainDeltas(WriterGen& old_gen, WriterGen& new_gen,
+                            const std::vector<bool>* changed,
+                            size_t batch_limit) {
+  // Drain delta chunks into the new generation (routed through the NEW
+  // router) while the old generation still accepts submits, so the final
+  // stop-accepting window of the cutover only has a small chunk left to
+  // replay. Per-coordinate order is preserved: identical coordinates
+  // always route to the same old shard, whose delta is FIFO.
+  std::vector<UpdateOp> chunk;
+  for (int round = 0; round < 8; ++round) {
+    size_t moved_ops = 0;
+    for (size_t s = 0; s < old_gen.writers.size(); ++s) {
+      if (changed != nullptr && !(*changed)[s]) continue;
+      ShardWriter& w = *old_gen.writers[s];
+      chunk.clear();
+      {
+        std::lock_guard<std::mutex> lock(w.queue_mu);
+        chunk.swap(w.delta);
+      }
+      for (const UpdateOp& op : chunk) {
+        EnqueueTo(new_gen, op, batch_limit);
+      }
+      moved_ops += chunk.size();
+    }
+    if (moved_ops <= batch_limit) break;
+  }
+}
+
+void ServeLoop::FullRepartitionLocked(
+    const std::shared_ptr<WriterGen>& old_gen, int n_new) {
+  const ShardTopology& old_topo = *old_gen->topo;
+
+  // --- DUAL-WRITE + CAPTURE (every shard) --------------------------------
+  BeginDualWriteAndCapture(*old_gen, /*changed=*/nullptr);
+  std::vector<Point> points = AwaitCaptures(*old_gen, /*changed=*/nullptr);
+
+  // --- BUILD -------------------------------------------------------------
+  // Router inputs: the captured points and the recent live workload. The
+  // old generation keeps serving reads and writes throughout.
+  const Workload recent = MigrationWorkload(*old_gen);
   Rect domain = old_topo.domain;
   for (const Point& p : points) domain.Expand(p);
 
+  const int64_t moved_points = static_cast<int64_t>(points.size());
   std::shared_ptr<ShardTopology> new_topo = index_.BuildNextTopology(
       points, recent, n_new, domain, old_topo.epoch + 1,
       /*version_base=*/0);
@@ -256,27 +325,8 @@ void ServeLoop::RepartitionLocked(int new_num_shards) {
   const std::shared_ptr<WriterGen> new_gen = StartWriters(new_topo);
 
   // --- CATCH-UP ----------------------------------------------------------
-  // Drain delta chunks into the new generation (routed through the NEW
-  // router) while the old generation still accepts submits, so the final
-  // stop-accepting window below only has a small chunk left to replay.
-  // Per-coordinate order is preserved: identical coordinates always route
-  // to the same old shard, whose delta is FIFO.
-  std::vector<UpdateOp> chunk;
-  for (int round = 0; round < 8; ++round) {
-    size_t moved = 0;
-    for (const auto& w : old_gen->writers) {
-      chunk.clear();
-      {
-        std::lock_guard<std::mutex> lock(w->queue_mu);
-        chunk.swap(w->delta);
-      }
-      for (const UpdateOp& op : chunk) {
-        EnqueueTo(*new_gen, op, opts_.writer_batch_limit);
-      }
-      moved += chunk.size();
-    }
-    if (moved <= opts_.writer_batch_limit) break;
-  }
+  DrainDeltas(*old_gen, *new_gen, /*changed=*/nullptr,
+              opts_.writer_batch_limit);
 
   // --- CUTOVER -----------------------------------------------------------
   // Close every old shard (submitters retry until the new generation is
@@ -339,7 +389,184 @@ void ServeLoop::RepartitionLocked(int new_num_shards) {
   // The old topology itself is reclaimed once the last reader that pinned
   // it lets go (its shards' VersionedIndex destructors wait out their
   // snapshot drains).
+  last_moved_shards_.store(n_new, std::memory_order_relaxed);
+  last_carried_shards_.store(0, std::memory_order_relaxed);
+  last_moved_points_.store(moved_points, std::memory_order_relaxed);
+  total_moved_points_.fetch_add(moved_points, std::memory_order_relaxed);
   repartitions_.fetch_add(1, std::memory_order_release);
+}
+
+bool ServeLoop::TryIncrementalRepartitionLocked(
+    const std::shared_ptr<WriterGen>& old_gen,
+    const std::vector<ShardLoad>* window_loads, uint64_t window_epoch) {
+  const ShardTopology& old_topo = *old_gen->topo;
+  const ShardRouter& router = old_topo.router;
+  const int n = old_topo.num_shards();
+
+  // --- PLAN --------------------------------------------------------------
+  // Stab inputs must match what armed the trigger: the monitor judges
+  // per-interval DELTAS, so when its window samples are available (and
+  // still describe THIS generation — a concurrent TriggerRepartition may
+  // have swapped it since they were taken) the planner uses those, not
+  // the generation's lifetime totals, which would dilute a late-breaking
+  // query skew under a long balanced history (plan finds nothing →
+  // silent full rebuild) or keep a formerly-hot cell dirty forever.
+  // Manual triggers have no window and fall back to the per-generation
+  // totals. Item counts are always read fresh from the mirrors.
+  const bool use_window = window_loads != nullptr &&
+                          window_epoch == old_gen->epoch &&
+                          window_loads->size() == static_cast<size_t>(n);
+  std::vector<ShardLoad> loads(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    ShardLoad& load = loads[static_cast<size_t>(s)];
+    load.items = old_topo.shards[static_cast<size_t>(s)]->num_points();
+    load.query_stabs =
+        use_window
+            ? (*window_loads)[static_cast<size_t>(s)].query_stabs
+            : old_gen->writers[static_cast<size_t>(s)]
+                  ->query_stabs.load(std::memory_order_relaxed);
+  }
+  const IncrementalPlan plan =
+      PlanIncrementalRecut(router.rows(), router.cols(), loads,
+                           opts_.repartition);
+  if (!plan.feasible) return false;
+
+  // --- DUAL-WRITE + CAPTURE (changed shards only) -------------------------
+  // Carried shards never dual-write: their live VersionedIndex moves to
+  // the new generation as-is, so every op applied to them is carried too.
+  BeginDualWriteAndCapture(*old_gen, &plan.changed);
+  std::vector<Point> moved = AwaitCaptures(*old_gen, &plan.changed);
+
+  // --- BUILD (moved boundaries + changed shards only) ---------------------
+  const Workload recent = MigrationWorkload(*old_gen);
+  Rect domain = old_topo.domain;
+  for (const Point& p : moved) domain.Expand(p);
+  ShardRouter new_router;
+  new_router.BuildMovedCuts(router, plan.y_cut_moves, plan.x_cut_moves,
+                            moved, domain, &recent);
+  std::shared_ptr<ShardTopology> new_topo = index_.BuildIncrementalTopology(
+      old_topo, new_router, plan.changed, moved, recent, domain,
+      old_topo.epoch + 1);
+  const int64_t moved_points = static_cast<int64_t>(moved.size());
+  moved.clear();
+  moved.shrink_to_fit();
+  // Carried shards' new writers start GATED: they share their
+  // VersionedIndex with the old generation's writers, which own it until
+  // the old drain below.
+  std::vector<bool> gated(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    gated[static_cast<size_t>(s)] = !plan.changed[static_cast<size_t>(s)];
+  }
+  const std::shared_ptr<WriterGen> new_gen = StartWriters(new_topo, &gated);
+
+  // --- CATCH-UP (changed shards' deltas) ----------------------------------
+  DrainDeltas(*old_gen, *new_gen, &plan.changed, opts_.writer_batch_limit);
+
+  // --- CUTOVER -------------------------------------------------------------
+  // ALL old shards close — carried ones too, so a submitter that loaded
+  // the old generation before the swap can never reach an old queue after
+  // its drain (it retries into the successor instead).
+  std::vector<UpdateOp> final_ops;
+  for (const auto& w : old_gen->writers) {
+    {
+      std::lock_guard<std::mutex> lock(w->queue_mu);
+      w->closed = true;
+      if (w->dual_write) {
+        w->dual_write = false;
+        final_ops.insert(final_ops.end(), w->delta.begin(), w->delta.end());
+        w->delta.clear();
+      }
+    }
+    w->queue_cv.notify_all();
+  }
+  // Replay the final chunks BEFORE opening the new generation to direct
+  // submits, so per-coordinate op order spans the generations correctly.
+  for (const UpdateOp& op : final_ops) {
+    EnqueueTo(*new_gen, op, opts_.writer_batch_limit);
+  }
+  std::vector<uint64_t> replay_targets(new_gen->writers.size(), 0);
+  for (size_t s = 0; s < new_gen->writers.size(); ++s) {
+    if (!plan.changed[s]) continue;
+    std::lock_guard<std::mutex> lock(new_gen->writers[s]->queue_mu);
+    replay_targets[s] = new_gen->writers[s]->submitted;
+  }
+  // Open the flood gates: submits route to the new generation from here.
+  // Carried shards' ops queue behind their (still closed) gate.
+  writer_gen_.Store(new_gen);
+
+  // Old writers drain — including the carried shards' writers, whose
+  // queued tail applies to the SHARED VersionedIndex here, before the
+  // gate opens (per-coordinate order across the hand-off)...
+  for (const auto& w : old_gen->writers) {
+    std::unique_lock<std::mutex> lock(w->queue_mu);
+    w->flush_cv.wait(lock, [&w] { return w->applied == w->submitted; });
+  }
+  // ...which freezes the old generation's final state. Version base:
+  // carried shards keep their (still advancing) version counters, so the
+  // base absorbs only the retiring REBUILT shards' versions — the facade
+  // version stays monotone and tight across the swap.
+  uint64_t version_base = old_topo.version_base;
+  for (int s = 0; s < n; ++s) {
+    if (plan.changed[static_cast<size_t>(s)]) {
+      version_base += old_topo.shards[static_cast<size_t>(s)]->version();
+    }
+  }
+  new_topo->version_base = version_base;
+  // Single-writer hand-off complete: open the carried shards' gates.
+  for (size_t s = 0; s < new_gen->writers.size(); ++s) {
+    if (plan.changed[s]) continue;
+    {
+      std::lock_guard<std::mutex> lock(new_gen->writers[s]->queue_mu);
+      new_gen->writers[s]->gate = false;
+    }
+    new_gen->writers[s]->queue_cv.notify_all();
+  }
+  // Rebuilt shards catch up through the replay before readers see the new
+  // topology.
+  for (size_t s = 0; s < new_gen->writers.size(); ++s) {
+    if (!plan.changed[s]) continue;
+    ShardWriter& w = *new_gen->writers[s];
+    std::unique_lock<std::mutex> lock(w.queue_mu);
+    w.flush_cv.wait(lock, [&] { return w.applied >= replay_targets[s]; });
+  }
+  index_.PublishTopology(new_topo);
+
+  // --- RETIRE --------------------------------------------------------------
+  for (const auto& w : old_gen->writers) {
+    {
+      std::lock_guard<std::mutex> lock(w->queue_mu);
+      w->stop = true;
+    }
+    w->queue_cv.notify_all();
+  }
+  for (const auto& w : old_gen->writers) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  const int changed = plan.num_changed();
+  last_moved_shards_.store(changed, std::memory_order_relaxed);
+  last_carried_shards_.store(n - changed, std::memory_order_relaxed);
+  last_moved_points_.store(moved_points, std::memory_order_relaxed);
+  total_moved_points_.fetch_add(moved_points, std::memory_order_relaxed);
+  incremental_repartitions_.fetch_add(1, std::memory_order_relaxed);
+  repartitions_.fetch_add(1, std::memory_order_release);
+  return true;
+}
+
+MigrationStats ServeLoop::migration_stats() const {
+  MigrationStats stats;
+  stats.migrations = repartitions_.load(std::memory_order_acquire);
+  stats.incremental =
+      incremental_repartitions_.load(std::memory_order_relaxed);
+  stats.last_moved_shards =
+      last_moved_shards_.load(std::memory_order_relaxed);
+  stats.last_carried_shards =
+      last_carried_shards_.load(std::memory_order_relaxed);
+  stats.last_moved_points =
+      last_moved_points_.load(std::memory_order_relaxed);
+  stats.total_moved_points =
+      total_moved_points_.load(std::memory_order_relaxed);
+  stats.stall_copies = stall_copies_.load(std::memory_order_relaxed);
+  return stats;
 }
 
 void ServeLoop::MonitorLoop() {
@@ -381,7 +608,12 @@ void ServeLoop::MonitorLoop() {
         last_imbalance_.store(repartition_monitor_.imbalance(),
                               std::memory_order_relaxed);
         if (go) {
-          RepartitionLocked(0);
+          // 0 = re-cut at the current count; a matured auto-tune streak
+          // recommends the new count, executed as a full migration. The
+          // window samples ride along so the incremental planner judges
+          // the same per-interval stab deltas that armed the trigger.
+          RepartitionLocked(repartition_monitor_.recommended_shards(),
+                            &loads, gen->epoch);
           repartition_monitor_.ResetAfterRepartition(
               std::chrono::steady_clock::now());
         }
@@ -438,9 +670,17 @@ void ServeLoop::WriterLoop(std::shared_ptr<WriterGen> gen, int s) {
     {
       std::unique_lock<std::mutex> lock(w.queue_mu);
       w.queue_cv.wait_for(lock, poll, [&w] {
-        return w.stop || w.rebuild_requested || w.capture_requested ||
-               !w.queue.empty();
+        return w.stop || (!w.gate && (w.rebuild_requested ||
+                                      w.capture_requested ||
+                                      !w.queue.empty()));
       });
+      // Carried-shard hand-off: while gated, nothing applies — the OLD
+      // generation's writer still owns the shared VersionedIndex; ops
+      // queue up until the coordinator opens the gate after the old
+      // drain. (stop while gated cannot happen in a correct shutdown —
+      // Stop barriers on the migration — but fall through rather than
+      // risk a hang.)
+      if (w.gate && !w.stop) continue;
       if (!w.queue.empty() && w.queue.size() < opts_.writer_batch_limit &&
           !w.stop && !w.rebuild_requested && !w.capture_requested &&
           opts_.writer_coalesce_ms > 0) {
@@ -471,6 +711,14 @@ void ServeLoop::WriterLoop(std::shared_ptr<WriterGen> gen, int s) {
       std::lock_guard<std::mutex> lock(w.queue_mu);
       w.applied += batch.size();
       w.flush_cv.notify_all();
+    } else if (!migrating) {
+      // Idle wake-up: free any copy-on-stall zombie whose parked reader
+      // has let go (ApplyBatch reaps on its own, but an idle shard would
+      // otherwise hold the duplicate instance until destruction). Never
+      // during a migration: a CLOSED carried-shard writer co-exists with
+      // its successor until retire, and only one of them may touch the
+      // VersionedIndex (the successor, once its gate opens).
+      shard.ReapRetired();
     }
 
     // Migration capture: once everything submitted before dual-write began

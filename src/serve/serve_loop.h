@@ -26,37 +26,58 @@
 //     stop-the-world, so the other shards keep serving untouched.
 //   * The shard TOPOLOGY itself is workload-adaptive: a RepartitionMonitor
 //     watches per-shard load (item counts, query stabs, update-queue
-//     depths) and, when the imbalance crosses a threshold, the loop re-cuts
-//     the router from the CURRENT data and recent workload and executes a
-//     live migration to a new shard generation — readers never block,
-//     writers stall only for the final hand-off. See the cutover state
+//     depths) and, when the imbalance crosses a threshold, the loop
+//     executes a live migration — readers never block, writers stall only
+//     for the final hand-off. Migrations are INCREMENTAL whenever the
+//     plan allows: only the cells whose cut boundaries move are captured
+//     and rebuilt, every other shard is CARRIED into the new generation
+//     live (same VersionedIndex, new owner), turning migration cost from
+//     O(total points) into O(points in changed cells). The monitor can
+//     also recommend a new shard COUNT (auto_shard_count: grow on
+//     uniformly hot writer queues, shrink on idle slivers) — a count
+//     change always takes the full pipeline. See the cutover state
 //     machine below and docs/ARCHITECTURE.md.
 //
 // Repartition cutover state machine (coordinator = the monitor thread or
-// a TriggerRepartition caller; one migration at a time):
+// a TriggerRepartition caller; one migration at a time). The full path
+// treats every shard as CHANGED; the incremental path first plans which
+// cells move (PlanIncrementalRecut) and applies the bracketed steps only
+// to those, while CARRIED shards skip dual-write/capture/build entirely:
 //
-//   STEADY ──► DUAL-WRITE: every shard's writer queue starts logging
-//              submitted ops to a per-shard delta log (ops keep applying
-//              to the old generation as usual).
-//   CAPTURE:   each old shard's writer, once it has applied everything
-//              submitted before dual-write began, hands the coordinator a
-//              copy of its authoritative point set. captured ∪ delta now
-//              covers every op ever submitted (overlap is fine — replay
-//              is idempotent per SanitizeOps).
-//   BUILD:     the coordinator cuts a new router from the captured points
-//              and the recent per-shard query rectangles, and builds the
-//              new generation's VersionedIndex shards in the background.
-//              The old generation keeps serving reads AND writes.
-//   CATCH-UP:  delta chunks drain into the new generation's writer queues
-//              (routed through the NEW router) until the backlog is small.
-//   CUTOVER:   old shards close (submitters retry), the final delta chunk
-//              replays, the writer generation swaps (submitters proceed
-//              into new queues), old writers drain, new writers flush the
-//              replay, and the epoch-versioned topology publishes — from
-//              here readers acquire the new generation; queries that
-//              pinned the old epoch finish on the old shards.
+//   STEADY ──► DUAL-WRITE: every CHANGED shard's writer queue starts
+//              logging submitted ops to a per-shard delta log (ops keep
+//              applying to the old generation as usual).
+//   CAPTURE:   each CHANGED old shard's writer, once it has applied
+//              everything submitted before dual-write began, hands the
+//              coordinator a copy of its authoritative point set.
+//              captured ∪ delta now covers every op ever submitted to a
+//              changed cell (overlap is fine — replay is idempotent per
+//              SanitizeOps). Carried cells' ops keep applying to their
+//              live shard, which moves to the new generation as-is.
+//   BUILD:     the coordinator cuts the new router (full: fresh quantiles
+//              of all captured points; incremental: only the flagged
+//              boundaries re-place, between their kept neighbours) and
+//              builds the CHANGED cells' VersionedIndex shards in the
+//              background. The old generation keeps serving reads AND
+//              writes.
+//   CATCH-UP:  changed shards' delta chunks drain into the new
+//              generation's writer queues (routed through the NEW router)
+//              until the backlog is small.
+//   CUTOVER:   ALL old shards close (submitters retry), the final delta
+//              chunks replay, the writer generation swaps (submitters
+//              proceed into new queues; carried shards' NEW writers are
+//              GATED — they queue but do not apply), old writers drain
+//              (carried shards' final ops land through their old writer),
+//              the gates open (single-writer hand-off complete), new
+//              writers flush the replay, and the epoch-versioned topology
+//              publishes — from here readers acquire the new generation;
+//              queries that pinned the old epoch finish on the old
+//              topology (carried shards serve both pins; they are the
+//              same object).
 //   RETIRE:    old writer threads stop and join; the old topology is
-//              reclaimed when its last pinned reader releases it.
+//              reclaimed when its last pinned reader releases it —
+//              carried shards survive through the new topology's
+//              reference.
 
 #ifndef WAZI_SERVE_SERVE_LOOP_H_
 #define WAZI_SERVE_SERVE_LOOP_H_
@@ -102,6 +123,12 @@ struct ServeOptions {
   // Snapshots carry their exact point membership (testing only; O(shard)
   // copy per publish).
   bool track_points = false;
+  // Copy-on-stall deadline per shard writer: a reader parking a snapshot
+  // past this many ms no longer stalls that shard's writer (or a
+  // migration's capture phase) — the writer retires the parked instance
+  // and builds a fresh one from the authoritative set instead. <= 0
+  // restores wait-forever. See VersionedIndexOptions::writer_stall_ms.
+  int writer_stall_ms = 250;
   // Capacity of each shard's recent-query ring that seeds drift-triggered
   // rebuilds and repartition router cuts.
   size_t recent_window = 2048;
@@ -115,6 +142,20 @@ struct ServeOptions {
   // SubmitBatch and ExecuteBatch. capacity_bytes == 0 (default) disables
   // it.
   ResultCacheOptions cache;
+};
+
+// Counters of the live-migration coordinator; all monotone except the
+// last_* fields, which describe the most recent completed migration.
+// Readable from any thread (relaxed atomic mirrors underneath).
+struct MigrationStats {
+  int64_t migrations = 0;        // completed migrations (== repartitions())
+  int64_t incremental = 0;       // of those, per-cell (carried) migrations
+  int64_t last_moved_shards = 0;   // shards rebuilt by the last migration
+  int64_t last_carried_shards = 0; // shards carried by the last migration
+  int64_t last_moved_points = 0;   // points captured+rebuilt last time
+  int64_t total_moved_points = 0;  // across all migrations
+  int64_t stall_copies = 0;        // writer copy-on-stall fallbacks (all
+                                   // shards, incl. retired generations)
 };
 
 // Thread-safety: queries, SubmitInsert/SubmitRemove, TriggerRebuild and
@@ -164,13 +205,16 @@ class ServeLoop {
   void Flush();
 
   // --- topology adaptation ---
-  // Executes one full live migration to a freshly cut topology, on the
-  // calling thread: capture, background build, delta catch-up, cutover,
-  // retire (see the state machine above). `new_num_shards` == 0 keeps the
-  // current shard count. Returns false without migrating when the loop is
-  // stopping. Serialized: concurrent calls run one migration after
-  // another. Subject to the same reader backpressure as writers — a
-  // parked snapshot can delay (not deadlock) the capture phase.
+  // Executes one live migration to a freshly cut topology, on the calling
+  // thread. With `new_num_shards` == 0 (keep the count) and
+  // repartition.incremental on, the coordinator first tries the PER-CELL
+  // path: only shards whose cut boundaries the plan moves are captured
+  // and rebuilt, the rest are carried into the new topology live (see the
+  // state machine above). Infeasible plans — count change, balanced
+  // tiling, or nearly everything moving — fall back to the full pipeline.
+  // Returns false without migrating when the loop is stopping.
+  // Serialized: concurrent calls run one migration after another. Reader
+  // backpressure on the capture phase is bounded by writer_stall_ms.
   bool TriggerRepartition(int new_num_shards = 0);
 
   // Stops the repartition monitor and all writer threads after draining
@@ -188,6 +232,10 @@ class ServeLoop {
   int64_t repartitions() const {
     return repartitions_.load(std::memory_order_acquire);
   }
+  // Migration-coordinator counters: incremental vs full migrations,
+  // moved/carried shards and moved points of the last migration, and the
+  // writer copy-on-stall fallback count.
+  MigrationStats migration_stats() const;
   // max/mean combined shard load of the monitor's last sample (1.0 =
   // balanced; only meaningful when the monitor is enabled).
   double imbalance() const {
@@ -244,6 +292,13 @@ class ServeLoop {
     // Cutover passed this shard: it accepts no more ops; submitters retry
     // against the (about-to-be-installed) next writer generation.
     bool closed = false;
+    // Carried-shard hand-off gate: this writer (of the NEW generation)
+    // shares its VersionedIndex with its old-generation counterpart and
+    // must not touch it until the old writer has drained — ops queue up
+    // but nothing applies while gated. The coordinator clears the gate
+    // right after the old generation quiesces (single-writer hand-off;
+    // also preserves per-coordinate op order across the generations).
+    bool gate = false;
     // Capture hand-off: once `applied >= capture_target`, the writer
     // copies its shard's authoritative point set into `captured`.
     bool capture_requested = false;
@@ -274,8 +329,12 @@ class ServeLoop {
     std::vector<std::unique_ptr<ShardWriter>> writers;
   };
 
-  // Creates writers (threads running) for `topo`.
-  std::shared_ptr<WriterGen> StartWriters(std::shared_ptr<ShardTopology> topo);
+  // Creates writers (threads running) for `topo`. `gated`, when non-null,
+  // marks per-shard writers that start with their hand-off gate closed
+  // (carried shards of an incremental migration).
+  std::shared_ptr<WriterGen> StartWriters(std::shared_ptr<ShardTopology> topo,
+                                          const std::vector<bool>* gated =
+                                              nullptr);
   void WriterLoop(std::shared_ptr<WriterGen> gen, int s);
   void Submit(const Point& p, bool insert);
   // Enqueues `op` to its owning shard of `gen`. Returns false (op not
@@ -293,11 +352,49 @@ class ServeLoop {
   // Recent per-shard rectangles as a workload; falls back to the shard's
   // build-time slice. Caller holds writers[s]->monitor_mu.
   static Workload RecentWorkloadLocked(const WriterGen& gen, int s);
-  // The full migration (caller holds repartition_mu_).
-  void RepartitionLocked(int new_num_shards);
+  // The recent recorded rectangles of EVERY shard, merged (router-cut
+  // input of a migration); falls back to the old generation's training
+  // slices when live traffic has been thin.
+  static Workload MigrationWorkload(const WriterGen& gen);
+  // Migration phase steps shared by the full and incremental paths;
+  // `changed` == nullptr means every shard (the full path), else only
+  // shards with changed[s] participate. One protocol, one
+  // implementation — the paths differ only in which shards they touch.
+  static void BeginDualWriteAndCapture(WriterGen& gen,
+                                       const std::vector<bool>* changed);
+  static std::vector<Point> AwaitCaptures(WriterGen& gen,
+                                          const std::vector<bool>* changed);
+  static void DrainDeltas(WriterGen& old_gen, WriterGen& new_gen,
+                          const std::vector<bool>* changed,
+                          size_t batch_limit);
+  // One migration (caller holds repartition_mu_): tries the incremental
+  // per-cell path when eligible, else runs the full rebuild pipeline.
+  // `window_loads`, when given, are the monitor's per-interval load
+  // samples (stab DELTAS, not lifetime totals) for the generation with
+  // epoch `window_epoch` — the planner prefers them so a late-breaking
+  // query skew is not diluted by the generation's balanced history.
+  void RepartitionLocked(int new_num_shards,
+                         const std::vector<ShardLoad>* window_loads = nullptr,
+                         uint64_t window_epoch = 0);
+  // The per-cell path: plan → capture changed cells only → recut moved
+  // boundaries → carry/rebuild → gated cutover. Returns false (without
+  // migrating) when the plan is infeasible. Stab inputs come from
+  // `window_loads` when they match old_gen's epoch; a manual
+  // TriggerRepartition has no sampling window and falls back to the
+  // generation's cumulative stab totals (items are always read fresh
+  // from the authoritative mirrors).
+  bool TryIncrementalRepartitionLocked(
+      const std::shared_ptr<WriterGen>& old_gen,
+      const std::vector<ShardLoad>* window_loads, uint64_t window_epoch);
+  // The original whole-topology pipeline.
+  void FullRepartitionLocked(const std::shared_ptr<WriterGen>& old_gen,
+                             int n_new);
   void MonitorLoop();
 
   ServeOptions opts_;
+  // Before index_: every shard's VersionedIndex holds a pointer to it
+  // (VersionedIndexOptions::stall_counter).
+  std::atomic<int64_t> stall_copies_{0};
   ShardedVersionedIndex index_;
   ResultCache cache_;    // before engine_: the engine probes it
   QueryEngine engine_;
@@ -310,6 +407,11 @@ class ServeLoop {
   std::mutex repartition_mu_;
   std::atomic<bool> stopping_{false};
   std::atomic<int64_t> repartitions_{0};
+  std::atomic<int64_t> incremental_repartitions_{0};
+  std::atomic<int64_t> last_moved_shards_{0};
+  std::atomic<int64_t> last_carried_shards_{0};
+  std::atomic<int64_t> last_moved_points_{0};
+  std::atomic<int64_t> total_moved_points_{0};
   std::atomic<int64_t> rebuilds_{0};
   std::atomic<double> last_imbalance_{1.0};
   RepartitionMonitor repartition_monitor_;

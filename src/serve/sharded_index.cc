@@ -1,6 +1,7 @@
 #include "serve/sharded_index.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 #include <string>
@@ -209,6 +210,135 @@ void ShardRouter::Decompose(const Rect& query,
   }
 }
 
+void ShardRouter::BuildMovedCuts(
+    const ShardRouter& base, const std::vector<bool>& y_cut_moves,
+    const std::vector<std::vector<bool>>& x_cut_moves,
+    const std::vector<Point>& points, const Rect& domain,
+    const Workload* workload) {
+  rows_ = base.rows_;
+  cols_ = base.cols_;
+  domain_ = domain;
+  y_bounds_ = base.y_bounds_;
+  x_bounds_ = base.x_bounds_;
+
+  // Rows whose band moves (adjacent to a moving y-cut): their x-cuts are
+  // recut wholesale from the merged band below.
+  std::vector<bool> row_changed(static_cast<size_t>(rows_), false);
+
+  // --- y-cuts: maximal runs of moving boundaries --------------------
+  // A run j0..j1 re-splits the band spanning rows j0..j1+1. The band's
+  // outer boundaries are KEPT cuts (or the infinite edges), so every
+  // replacement stays inside the band: the union of the affected rows'
+  // regions is preserved.
+  for (size_t j0 = 0; j0 < y_cut_moves.size();) {
+    if (!y_cut_moves[j0]) {
+      ++j0;
+      continue;
+    }
+    size_t j1 = j0;
+    while (j1 + 1 < y_cut_moves.size() && y_cut_moves[j1 + 1]) ++j1;
+    for (size_t r = j0; r <= j1 + 1; ++r) row_changed[r] = true;
+
+    // Band membership per BucketOf semantics: row r covers
+    // [y_bounds[r-1], y_bounds[r]).
+    const bool open_lo = j0 == 0;
+    const bool open_hi = j1 + 1 >= y_bounds_.size();
+    const double lo = open_lo ? 0.0 : base.y_bounds_[j0 - 1];
+    const double hi = open_hi ? 0.0 : base.y_bounds_[j1 + 1];
+    std::vector<double> ys;
+    for (const Point& p : points) {
+      if ((open_lo || p.y >= lo) && (open_hi || p.y < hi)) ys.push_back(p.y);
+    }
+    if (!ys.empty()) {
+      std::vector<std::pair<double, double>> intervals;
+      if (workload != nullptr) {
+        intervals.reserve(workload->queries.size());
+        for (const Rect& q : workload->queries) {
+          intervals.emplace_back(q.min_y, q.max_y);
+        }
+      }
+      const std::vector<double> cuts = EquiDepthBounds(
+          &ys, static_cast<int>(j1 - j0) + 2, intervals);
+      for (size_t j = j0; j <= j1; ++j) y_bounds_[j] = cuts[j - j0];
+    }  // no points in the band: keep the old cuts (degenerate but sound)
+    j0 = j1 + 1;
+  }
+
+  // --- x-cuts -------------------------------------------------------
+  for (int r = 0; r < rows_; ++r) {
+    const bool full_row = row_changed[static_cast<size_t>(r)];
+    // Band bounds of row r under the NEW y-cuts (identical to the old
+    // ones for rows outside every y-run).
+    const bool row_open_lo = r == 0;
+    const bool row_open_hi = r == rows_ - 1;
+    const double band_lo = row_open_lo ? 0.0
+                                       : y_bounds_[static_cast<size_t>(r - 1)];
+    const double band_hi = row_open_hi ? 0.0
+                                       : y_bounds_[static_cast<size_t>(r)];
+    const auto in_row = [&](const Point& p) {
+      return (row_open_lo || p.y >= band_lo) && (row_open_hi || p.y < band_hi);
+    };
+    const auto intervals_for_row = [&]() {
+      std::vector<std::pair<double, double>> intervals;
+      if (workload != nullptr) {
+        for (const Rect& q : workload->queries) {
+          const double qlo = row_open_lo ? -kInf : band_lo;
+          const double qhi = row_open_hi ? kInf : band_hi;
+          if (q.max_y >= qlo && q.min_y <= qhi) {
+            intervals.emplace_back(q.min_x, q.max_x);
+          }
+        }
+      }
+      return intervals;
+    };
+    if (cols_ <= 1) continue;
+    std::vector<double>& xb = x_bounds_[static_cast<size_t>(r)];
+    if (full_row) {
+      std::vector<double> xs;
+      for (const Point& p : points) {
+        if (in_row(p)) xs.push_back(p.x);
+      }
+      if (!xs.empty()) {
+        const std::vector<std::pair<double, double>> intervals =
+            intervals_for_row();
+        xb = EquiDepthBounds(&xs, cols_, intervals);
+      }
+      continue;
+    }
+    // Unchanged band: re-place only the flagged runs, between their kept
+    // neighbours.
+    const std::vector<bool>& moves = x_cut_moves[static_cast<size_t>(r)];
+    for (size_t c0 = 0; c0 < moves.size();) {
+      if (!moves[c0]) {
+        ++c0;
+        continue;
+      }
+      size_t c1 = c0;
+      while (c1 + 1 < moves.size() && moves[c1 + 1]) ++c1;
+      const bool open_lo = c0 == 0;
+      const bool open_hi = c1 + 1 >= xb.size();
+      const double lo = open_lo ? 0.0 : base.x_bounds_[static_cast<size_t>(r)]
+                                                      [c0 - 1];
+      const double hi = open_hi ? 0.0 : base.x_bounds_[static_cast<size_t>(r)]
+                                                      [c1 + 1];
+      std::vector<double> xs;
+      for (const Point& p : points) {
+        if (in_row(p) && (open_lo || p.x >= lo) && (open_hi || p.x < hi)) {
+          xs.push_back(p.x);
+        }
+      }
+      if (!xs.empty()) {
+        const std::vector<std::pair<double, double>> intervals =
+            intervals_for_row();
+        const std::vector<double> cuts = EquiDepthBounds(
+            &xs, static_cast<int>(c1 - c0) + 2, intervals);
+        for (size_t c = c0; c <= c1; ++c) xb[c] = cuts[c - c0];
+      }
+      c0 = c1 + 1;
+    }
+  }
+}
+
 double ShardRouter::MinDistanceSquared(const Point& p, int shard) const {
   const Rect cell = CellRect(shard);
   double dx = 0.0;
@@ -298,9 +428,69 @@ std::shared_ptr<ShardTopology> ShardedVersionedIndex::MakeTopology(
 
   topo->shards.reserve(static_cast<size_t>(n_shards));
   for (int s = 0; s < n_shards; ++s) {
-    topo->shards.push_back(std::make_unique<VersionedIndex>(
+    topo->shards.push_back(std::make_shared<VersionedIndex>(
         factory, shard_data[static_cast<size_t>(s)],
         topo->shard_workloads[static_cast<size_t>(s)], build_opts, vopts));
+  }
+  return topo;
+}
+
+std::shared_ptr<ShardTopology> ShardedVersionedIndex::BuildIncrementalTopology(
+    const ShardTopology& old_topo, const ShardRouter& new_router,
+    const std::vector<bool>& changed, const std::vector<Point>& moved_points,
+    const Workload& workload, const Rect& domain, uint64_t epoch) const {
+  const int n = old_topo.num_shards();
+  auto topo = std::make_shared<ShardTopology>();
+  topo->epoch = epoch;
+  topo->version_base = 0;  // stamped by the coordinator after cutover
+  topo->domain = domain;
+  topo->router = new_router;
+
+  // Route the captured points of the changed cells through the NEW cuts.
+  // The carrying invariant (BuildMovedCuts) guarantees they land in
+  // changed cells again — a carried cell's region did not move.
+  std::vector<Dataset> shard_data(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    if (!changed[static_cast<size_t>(s)]) continue;
+    Dataset& d = shard_data[static_cast<size_t>(s)];
+    d.name = data_name_ + "/e" + std::to_string(epoch) + "/shard" +
+             std::to_string(s);
+    d.bounds = new_router.ClampedCellRect(s);
+  }
+  for (const Point& p : moved_points) {
+    const int s = new_router.ShardOf(p);
+    assert(changed[static_cast<size_t>(s)] &&
+           "moved point routed into a carried cell");
+    shard_data[static_cast<size_t>(s)].points.push_back(p);
+  }
+
+  // Fresh workload slices for every cell (carried shards keep their index
+  // layout but their rebuild-fallback slice tracks the recent workload).
+  topo->shard_workloads.resize(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    Workload& w = topo->shard_workloads[static_cast<size_t>(s)];
+    w.name = workload.name + "/e" + std::to_string(epoch) + "/shard" +
+             std::to_string(s);
+    w.selectivity = workload.selectivity;
+    const Rect cell = new_router.CellRect(s);
+    for (const Rect& q : workload.queries) {
+      const Rect sub = q.Intersect(cell);
+      if (!sub.empty()) w.queries.push_back(sub);
+    }
+  }
+
+  topo->shards.reserve(static_cast<size_t>(n));
+  for (int s = 0; s < n; ++s) {
+    if (changed[static_cast<size_t>(s)]) {
+      topo->shards.push_back(std::make_shared<VersionedIndex>(
+          factory_, shard_data[static_cast<size_t>(s)],
+          topo->shard_workloads[static_cast<size_t>(s)], build_opts_,
+          opts_.versioned));
+    } else {
+      // Carried: the live shard changes owners, untouched — no capture,
+      // no rebuild, no dual-write replay.
+      topo->shards.push_back(old_topo.shards[static_cast<size_t>(s)]);
+    }
   }
   return topo;
 }

@@ -121,6 +121,23 @@ class ShardRouter {
   // best-first kNN visit order.
   double MinDistanceSquared(const Point& p, int shard) const;
 
+  // Builds this router as an INCREMENTAL modification of `base` (same
+  // rows x cols grid): only the boundaries flagged in `y_cut_moves` /
+  // `x_cut_moves` are re-placed — at equi-depth (workload-aware)
+  // positions of `points`, which must be the points of the cells those
+  // boundaries touch — every other boundary is copied verbatim. Rows
+  // adjacent to a moving y-cut recut all their x-cuts from the merged
+  // band. A moved boundary stays strictly between its nearest kept
+  // neighbours, so the region covered by the changed cells is identical
+  // before and after (the carrying invariant); cells none of whose
+  // boundaries moved get bit-identical rects. Flag vectors sized
+  // rows-1 and rows x (cols-1); empty point filters keep the old cuts.
+  void BuildMovedCuts(const ShardRouter& base,
+                      const std::vector<bool>& y_cut_moves,
+                      const std::vector<std::vector<bool>>& x_cut_moves,
+                      const std::vector<Point>& points, const Rect& domain,
+                      const Workload* workload = nullptr);
+
  private:
   int RowOf(double y) const;
   int ColOf(int row, double x) const;
@@ -147,14 +164,24 @@ struct ShardedIndexOptions {
 // inside keep swapping their own per-shard snapshots as usual. Readers
 // pin a topology with one atomic shared_ptr load; a repartition publishes
 // a successor with epoch + 1 and lets the old generation drain.
+//
+// Shards are shared_ptr-owned because an INCREMENTAL migration CARRIES
+// shards whose cell did not move: the successor topology references the
+// same live VersionedIndex while the retiring topology (still pinned by
+// in-flight readers) keeps its own reference. A carried shard's
+// VersionedIndex is therefore never rebuilt, captured or dual-written —
+// it just changes owners; a shard owned by exactly one topology dies
+// with it (retire-by-last-reader, as before).
 struct ShardTopology {
   uint64_t epoch = 1;
   // Facade-version offset so ShardedVersionedIndex::version() stays
-  // monotone across repartitions (new shards restart at version 1 each).
+  // monotone across repartitions (rebuilt shards restart at version 1;
+  // carried shards keep counting, so the base only absorbs the retired
+  // REBUILT shards' versions).
   uint64_t version_base = 0;
   ShardRouter router;
   Rect domain;
-  std::vector<std::unique_ptr<VersionedIndex>> shards;
+  std::vector<std::shared_ptr<VersionedIndex>> shards;
   std::vector<Workload> shard_workloads;
 
   int num_shards() const { return static_cast<int>(shards.size()); }
@@ -230,6 +257,21 @@ class ShardedVersionedIndex {
       const std::vector<Point>& points, const Workload& workload,
       int num_shards, const Rect& domain, uint64_t epoch,
       uint64_t version_base) const;
+
+  // The incremental sibling of BuildNextTopology: builds (but does not
+  // publish) a successor of `old_topo` with `new_router` (a BuildMovedCuts
+  // product over the same grid), CARRYING every shard with
+  // changed[s] == false (the successor references the same VersionedIndex)
+  // and rebuilding only the changed shards from `moved_points` (the union
+  // of the changed cells' captured point sets, routed through the new
+  // router). version_base starts at 0 — the migration coordinator stamps
+  // it after the old generation quiesces. Workload slices are recomputed
+  // for every cell from `workload`.
+  std::shared_ptr<ShardTopology> BuildIncrementalTopology(
+      const ShardTopology& old_topo, const ShardRouter& new_router,
+      const std::vector<bool>& changed,
+      const std::vector<Point>& moved_points, const Workload& workload,
+      const Rect& domain, uint64_t epoch) const;
 
   // Atomically swaps the published topology. Readers acquire the new one
   // from here on; in-flight queries finish on whichever they pinned. The

@@ -153,6 +153,63 @@ TEST(AdmissionTest, BatchIsEpochPinnedAcrossALiveRepartition) {
   EXPECT_GT(loop.repartitions(), 0);
 }
 
+TEST(AdmissionTest, StatsSnapshotsAreMutuallyConsistent) {
+  TestScenario s = MakeScenario(Region::kCaliNev, 2000, 40, 2e-3, 805);
+  ServeOptions opts;
+  opts.num_shards = 2;
+  opts.num_threads = 2;
+  opts.auto_rebuild = false;
+  opts.admission.batch_limit = 8;
+  opts.admission.window_us = 100;
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(), opts);
+
+  // A poller hammers stats() while submitters race the dispatcher: every
+  // snapshot must satisfy the struct's invariants — independently-read
+  // counters used to allow e.g. dispatched > admitted between the reads.
+  std::atomic<bool> stop_poller{false};
+  std::atomic<int64_t> violations{0};
+  std::thread poller([&] {
+    while (!stop_poller.load(std::memory_order_relaxed)) {
+      const AdmissionStats st = loop.admission_stats();
+      if (st.dispatched > st.admitted || st.batches > st.dispatched ||
+          st.max_batch > st.dispatched ||
+          (st.dispatched > 0 && st.batches == 0) ||
+          st.mean_batch() > static_cast<double>(st.max_batch) ||
+          st.admitted < 0) {
+        violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < 300; ++i) {
+        const Rect& q = s.workload.queries[(t * 300 + i) % 40];
+        loop.SubmitQuery(QueryRequest::Range(q)).get();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  stop_poller.store(true);
+  poller.join();
+  EXPECT_EQ(violations.load(), 0);
+
+  const AdmissionStats st = loop.admission_stats();
+  EXPECT_EQ(st.admitted, 1200);
+  EXPECT_EQ(st.dispatched, 1200);
+  EXPECT_GE(st.batches, 1200 / 8);  // batch_limit caps every dispatch
+  EXPECT_LE(st.max_batch, 8);
+
+  // Post-stop inline submits keep the invariants (counted as batches of
+  // one).
+  loop.Stop();
+  loop.SubmitQuery(QueryRequest::Range(s.workload.queries[0])).get();
+  const AdmissionStats after = loop.admission_stats();
+  EXPECT_EQ(after.admitted, 1201);
+  EXPECT_EQ(after.dispatched, 1201);
+  EXPECT_EQ(after.batches, st.batches + 1);
+}
+
 TEST(AdmissionTest, ConcurrentSubmittersAllResolveAndStopDrains) {
   TestScenario s = MakeScenario(Region::kCaliNev, 3000, 60, 2e-3, 804);
   ServeOptions opts;

@@ -100,6 +100,159 @@ TEST(RepartitionMonitorTest, PatienceAndCooldownGateTheTrigger) {
   EXPECT_TRUE(monitor.Observe(skewed, t + std::chrono::milliseconds(1500)));
 }
 
+TEST(RepartitionMonitorTest, AutoGrowNeedsEveryWriterHotForResizePatience) {
+  RepartitionOptions opts;
+  opts.auto_shard_count = true;
+  opts.grow_queue_depth = 10;
+  opts.resize_patience = 3;
+  opts.min_interval_ms = 0;
+  opts.max_imbalance = 100.0;  // isolate the resize trigger
+  opts.max_shards = 8;
+  RepartitionMonitor monitor(opts);
+  const std::vector<ShardLoad> all_hot = {{100, 0, 20}, {100, 0, 30}};
+  const std::vector<ShardLoad> one_hot = {{100, 0, 20}, {100, 0, 0}};
+  auto t = std::chrono::steady_clock::now();
+
+  // One cold writer is not a grow signal — per-shard imbalance is the
+  // re-cut trigger's job, not a resize.
+  for (int i = 0; i < 6; ++i) EXPECT_FALSE(monitor.Observe(one_hot, t));
+  EXPECT_EQ(monitor.recommended_shards(), 0);
+
+  // All writers hot must PERSIST for resize_patience rounds...
+  EXPECT_FALSE(monitor.Observe(all_hot, t));
+  EXPECT_FALSE(monitor.Observe(all_hot, t));
+  // ...and a cold round in between resets the streak (hysteresis).
+  EXPECT_FALSE(monitor.Observe(one_hot, t));
+  EXPECT_FALSE(monitor.Observe(all_hot, t));
+  EXPECT_FALSE(monitor.Observe(all_hot, t));
+  EXPECT_TRUE(monitor.Observe(all_hot, t));
+  EXPECT_EQ(monitor.recommended_shards(), 4);  // doubled
+
+  // Consumed: the next round starts a fresh streak.
+  EXPECT_FALSE(monitor.Observe(all_hot, t));
+  EXPECT_EQ(monitor.recommended_shards(), 0);
+}
+
+TEST(RepartitionMonitorTest, AutoGrowClampsToMaxShards) {
+  RepartitionOptions opts;
+  opts.auto_shard_count = true;
+  opts.grow_queue_depth = 10;
+  opts.resize_patience = 1;
+  opts.min_interval_ms = 0;
+  opts.max_imbalance = 100.0;
+  opts.max_shards = 3;
+  RepartitionMonitor monitor(opts);
+  auto t = std::chrono::steady_clock::now();
+  const std::vector<ShardLoad> hot2 = {{100, 0, 50}, {100, 0, 50}};
+  EXPECT_TRUE(monitor.Observe(hot2, t));
+  EXPECT_EQ(monitor.recommended_shards(), 3);  // 2 * 2 clamped to 3
+  // At the cap, all-hot queues can no longer recommend growth.
+  const std::vector<ShardLoad> hot3 = {{100, 0, 50},
+                                       {100, 0, 50},
+                                       {100, 0, 50}};
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(monitor.Observe(hot3, t));
+}
+
+TEST(RepartitionMonitorTest, AutoShrinkOnIdleShardsRespectsFloorsAndCooldown) {
+  RepartitionOptions opts;
+  opts.auto_shard_count = true;
+  opts.resize_patience = 2;
+  opts.min_interval_ms = 1000;
+  opts.max_imbalance = 100.0;
+  opts.shrink_items_per_shard = 1000;
+  opts.shrink_stabs_per_shard = 10;
+  opts.min_shards = 2;
+  RepartitionMonitor monitor(opts);
+  auto t = std::chrono::steady_clock::now();
+  const std::vector<ShardLoad> idle4 = {
+      {50, 0, 0}, {50, 1, 0}, {50, 0, 0}, {50, 0, 0}};
+  const std::vector<ShardLoad> busy4 = {
+      {5000, 0, 0}, {5000, 0, 0}, {5000, 0, 0}, {5000, 0, 0}};
+
+  // Mean items above the floor never shrinks, no matter how sustained.
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(monitor.Observe(busy4, t));
+
+  EXPECT_FALSE(monitor.Observe(idle4, t));
+  EXPECT_TRUE(monitor.Observe(idle4, t));
+  EXPECT_EQ(monitor.recommended_shards(), 2);  // halved
+
+  // Cooldown after a migration suppresses the next matured streak.
+  monitor.ResetAfterRepartition(t);
+  EXPECT_FALSE(monitor.Observe(idle4, t));
+  EXPECT_FALSE(monitor.Observe(idle4, t));
+  EXPECT_FALSE(monitor.Observe(idle4, t + std::chrono::milliseconds(500)));
+  EXPECT_TRUE(monitor.Observe(idle4, t + std::chrono::milliseconds(1500)));
+  EXPECT_EQ(monitor.recommended_shards(), 2);
+
+  // min_shards floors the shrink: a 2-shard idle topology stays put.
+  monitor.ResetAfterRepartition(t);
+  const std::vector<ShardLoad> idle2 = {{50, 0, 0}, {50, 0, 0}};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(
+        monitor.Observe(idle2, t + std::chrono::milliseconds(5000)));
+  }
+}
+
+TEST(RepartitionPlanTest, PlanMarksOnlyCellsAdjacentToMovedCuts) {
+  RepartitionOptions opts;
+  opts.incremental_cell_tolerance = 0.3;
+  opts.incremental_row_tolerance = 0.5;
+  opts.incremental_max_changed_fraction = 0.65;
+  opts.min_queries = 0;
+
+  // 1x5 stripes, one overloaded stripe: only the cut left of stripe 0
+  // moves, so stripes {0, 1} change and {2, 3, 4} are carried.
+  {
+    const std::vector<ShardLoad> loads = {
+        {2000, 0, 0}, {1000, 0, 0}, {1000, 0, 0}, {1000, 0, 0},
+        {1000, 0, 0}};
+    const IncrementalPlan plan = PlanIncrementalRecut(1, 5, loads, opts);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.changed,
+              (std::vector<bool>{true, true, false, false, false}));
+    EXPECT_EQ(plan.x_cut_moves[0],
+              (std::vector<bool>{true, false, false, false}));
+    EXPECT_EQ(plan.num_changed(), 2);
+  }
+  // A balanced tiling plans nothing (the caller falls back / skips).
+  {
+    const std::vector<ShardLoad> loads(5, ShardLoad{1000, 0, 0});
+    EXPECT_FALSE(PlanIncrementalRecut(1, 5, loads, opts).feasible);
+  }
+  // A hot middle stripe moves both its cuts: three cells change.
+  {
+    const std::vector<ShardLoad> loads = {
+        {1000, 0, 0}, {1000, 0, 0}, {2500, 0, 0}, {1000, 0, 0},
+        {1000, 0, 0}};
+    const IncrementalPlan plan = PlanIncrementalRecut(1, 5, loads, opts);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_EQ(plan.changed,
+              (std::vector<bool>{false, true, true, true, false}));
+  }
+  // A 2x2 grid with a row-level imbalance moves the y-cut: both rows
+  // change wholesale — nothing to carry, so the plan is infeasible.
+  {
+    const std::vector<ShardLoad> loads = {
+        {4000, 0, 0}, {4000, 0, 0}, {500, 0, 0}, {500, 0, 0}};
+    EXPECT_FALSE(PlanIncrementalRecut(2, 2, loads, opts).feasible);
+  }
+  // Stab-only skew (items balanced) also dirties cells once trusted.
+  {
+    const std::vector<ShardLoad> loads = {
+        {1000, 400, 0}, {1000, 150, 0}, {1000, 150, 0}, {1000, 150, 0},
+        {1000, 150, 0}};
+    const IncrementalPlan plan = PlanIncrementalRecut(1, 5, loads, opts);
+    ASSERT_TRUE(plan.feasible);
+    EXPECT_TRUE(plan.changed[0]);
+    EXPECT_FALSE(plan.changed[4]);
+  }
+  // Grid mismatch is never feasible.
+  {
+    const std::vector<ShardLoad> loads(4, ShardLoad{1000, 0, 0});
+    EXPECT_FALSE(PlanIncrementalRecut(1, 5, loads, opts).feasible);
+  }
+}
+
 TEST(RepartitionTest, ForcedRepartitionPreservesMembershipAndRebalances) {
   TestScenario s = MakeScenario(Region::kCaliNev, 6000, 150, 2e-3, 301);
   s.data = DedupeCoords(s.data);
@@ -293,6 +446,207 @@ TEST(RepartitionTest, MonitorTriggersOnSkewShift) {
   loop.Flush();
   const QueryResult all = loop.Range(s.data.bounds);
   EXPECT_EQ(SortedIds(all.hits), BruteIds(expected, s.data.bounds));
+}
+
+// The incremental acceptance bar: a skew that moves only a minority of
+// cuts must migrate ONLY the shards those cuts touch — carried shards
+// keep the very same VersionedIndex objects, the moved-point count is
+// exactly the changed cells' population, and sharded results still equal
+// an unsharded reference across the migration.
+TEST(RepartitionTest, IncrementalMigrationCarriesUnchangedShards) {
+  TestScenario s = MakeScenario(Region::kCaliNev, 5000, 120, 2e-3, 306);
+  s.data = DedupeCoords(s.data);
+
+  ServeOptions opts;
+  opts.num_shards = 5;  // prime: 1x5 rank-space stripes, no y-cuts
+  opts.num_threads = 1;
+  opts.auto_rebuild = false;
+  opts.writer_coalesce_ms = 0;
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(), opts);
+  ServeOptions ref_opts = opts;
+  ref_opts.num_shards = 1;
+  ServeLoop reference(WaziFactory(), s.data, s.workload, FastOpts(),
+                      ref_opts);
+  ASSERT_EQ(loop.num_shards(), 5);
+
+  // Overload stripe 0 with ~20% extra points (inside its own cell, so no
+  // other stripe's count moves): only cuts near stripe 0 should move,
+  // carrying the rest. The exact changed set depends on the build-time
+  // workload-aware cut slack, so derive the expectation from the SAME
+  // planner the coordinator runs (pure function of the per-cell loads).
+  const std::shared_ptr<ShardTopology> topo1 =
+      loop.sharded_index().AcquireTopology();
+  const Rect cell0 = topo1->router.ClampedCellRect(0);
+  std::vector<Point> expected = s.data.points;
+  Rng rng(7777);
+  for (int i = 0; i < 1000; ++i) {
+    Point p;
+    p.x = cell0.min_x + rng.NextDouble() * (cell0.max_x - cell0.min_x);
+    p.y = cell0.min_y + rng.NextDouble() * (cell0.max_y - cell0.min_y);
+    p.id = 70000000 + i;
+    loop.SubmitInsert(p);
+    reference.SubmitInsert(p);
+    expected.push_back(p);
+  }
+  loop.Flush();
+  reference.Flush();
+
+  std::vector<ShardLoad> loads(5);
+  std::vector<const VersionedIndex*> before(5);
+  for (int sh = 0; sh < 5; ++sh) {
+    loads[static_cast<size_t>(sh)].items =
+        topo1->shards[static_cast<size_t>(sh)]->num_points();
+    before[static_cast<size_t>(sh)] = topo1->shards[static_cast<size_t>(sh)]
+                                          .get();
+  }
+  const IncrementalPlan plan =
+      PlanIncrementalRecut(1, 5, loads, opts.repartition);
+  ASSERT_TRUE(plan.feasible) << "the skew must produce a per-cell plan";
+  ASSERT_TRUE(plan.changed[0]) << "the overloaded stripe must change";
+  const int changed_n = plan.num_changed();
+  ASSERT_LT(changed_n, 5) << "something must be carried";
+  size_t expected_moved = 0;
+  for (int sh = 0; sh < 5; ++sh) {
+    if (plan.changed[static_cast<size_t>(sh)]) {
+      expected_moved += loads[static_cast<size_t>(sh)].items;
+    }
+  }
+  const uint64_t version_before = loop.version();
+
+  ASSERT_TRUE(loop.TriggerRepartition());
+  EXPECT_EQ(loop.epoch(), 2u);
+
+  const MigrationStats stats = loop.migration_stats();
+  ASSERT_EQ(stats.migrations, 1);
+  ASSERT_EQ(stats.incremental, 1) << "skew should take the per-cell path";
+  EXPECT_EQ(stats.last_moved_shards, changed_n);
+  EXPECT_EQ(stats.last_carried_shards, 5 - changed_n);
+  // Moved points == exactly the changed cells' population at capture.
+  EXPECT_EQ(stats.last_moved_points,
+            static_cast<int64_t>(expected_moved));
+  EXPECT_LT(stats.last_moved_points,
+            static_cast<int64_t>(expected.size()))
+      << "an incremental migration must move fewer points than a rebuild";
+
+  // Carried shards are the SAME VersionedIndex objects; changed ones are
+  // fresh. Cell rects of carried shards are bit-identical.
+  const std::shared_ptr<ShardTopology> topo2 =
+      loop.sharded_index().AcquireTopology();
+  for (int sh = 0; sh < 5; ++sh) {
+    const VersionedIndex* now =
+        topo2->shards[static_cast<size_t>(sh)].get();
+    if (!plan.changed[static_cast<size_t>(sh)]) {
+      EXPECT_EQ(now, before[static_cast<size_t>(sh)]) << "shard " << sh;
+      const Rect a = topo1->router.CellRect(sh);
+      const Rect b = topo2->router.CellRect(sh);
+      EXPECT_EQ(a.min_x, b.min_x);
+      EXPECT_EQ(a.max_x, b.max_x);
+    } else {
+      EXPECT_NE(now, before[static_cast<size_t>(sh)]) << "shard " << sh;
+    }
+  }
+  // The re-cut actually relieved the hot stripe.
+  EXPECT_LT(topo2->shards[0]->num_points(), expected_moved);
+
+  // Monotone facade version across the mixed carried/rebuilt swap.
+  EXPECT_GT(loop.version(), version_before);
+
+  // Differential: sharded == unsharded reference on the full domain,
+  // every workload query, point lookups and kNN — across the migration.
+  loop.Flush();
+  EXPECT_EQ(loop.sharded_index().num_points(), expected.size());
+  EXPECT_EQ(SortedIds(loop.Range(s.data.bounds).hits),
+            SortedIds(reference.Range(s.data.bounds).hits));
+  EXPECT_EQ(SortedIds(loop.Range(s.data.bounds).hits),
+            BruteIds(expected, s.data.bounds));
+  for (size_t i = 0; i < s.workload.queries.size(); i += 3) {
+    const Rect& q = s.workload.queries[i];
+    EXPECT_EQ(SortedIds(loop.Range(q).hits),
+              SortedIds(reference.Range(q).hits))
+        << "query " << i;
+  }
+  for (size_t i = 0; i < expected.size(); i += 131) {
+    EXPECT_TRUE(loop.PointLookup(expected[i]));
+  }
+  for (size_t i = 0; i < 10; ++i) {
+    const Point center = expected[i * 401 % expected.size()];
+    const QueryResult a = loop.Knn(center, 5);
+    const QueryResult b = reference.Knn(center, 5);
+    ASSERT_EQ(a.hits.size(), b.hits.size());
+    for (size_t j = 0; j < a.hits.size(); ++j) {
+      EXPECT_DOUBLE_EQ(DistanceSquared(a.hits[j], center),
+                       DistanceSquared(b.hits[j], center));
+    }
+  }
+
+  // A shard-count change can never be incremental: the full pipeline
+  // runs (nothing carried), and membership stays exact.
+  const int64_t incremental_before = loop.migration_stats().incremental;
+  ASSERT_TRUE(loop.TriggerRepartition(3));
+  EXPECT_EQ(loop.migration_stats().incremental, incremental_before);
+  EXPECT_EQ(loop.migration_stats().last_carried_shards, 0);
+  EXPECT_EQ(loop.migration_stats().last_moved_points,
+            static_cast<int64_t>(expected.size()));
+  EXPECT_EQ(loop.num_shards(), 3);
+  EXPECT_EQ(SortedIds(loop.Range(s.data.bounds).hits),
+            BruteIds(expected, s.data.bounds));
+}
+
+// ROADMAP-named defect regression: a reader that PARKS a snapshot used to
+// stall that shard's writer — and a migration's capture phase — forever.
+// With writer_stall_ms the writer clones past the parked instance; the
+// parked snapshot keeps serving its frozen state untouched.
+TEST(RepartitionTest, ParkedReaderSnapshotDoesNotStallMigration) {
+  TestScenario s = MakeScenario(Region::kNewYork, 3000, 60, 2e-3, 307);
+  s.data = DedupeCoords(s.data);
+
+  ServeOptions opts;
+  opts.num_shards = 2;
+  opts.num_threads = 1;
+  opts.auto_rebuild = false;
+  opts.writer_coalesce_ms = 0;
+  opts.writer_batch_limit = 32;  // several publishes per shard below
+  opts.writer_stall_ms = 50;
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(), opts);
+
+  // Park a snapshot of every shard "analytically".
+  ShardedVersionedIndex::SnapshotSet pinned;
+  loop.sharded_index().AcquireAll(&pinned);
+  ASSERT_EQ(pinned.topology->epoch, 1u);
+
+  // Stream enough updates that each writer must publish repeatedly: its
+  // second publish lands on the parked instance and, without the
+  // copy-on-stall fallback, would wait for the drain forever.
+  std::vector<Point> expected = s.data.points;
+  Rng rng(6543);
+  for (int i = 0; i < 400; ++i) {
+    Point p;
+    p.x = rng.NextDouble();
+    p.y = rng.NextDouble();
+    p.id = 80000000 + i;
+    loop.SubmitInsert(p);
+    expected.push_back(p);
+  }
+  loop.Flush();  // hangs without the fallback
+  EXPECT_GE(loop.migration_stats().stall_copies, 1);
+
+  // The capture phase behind TriggerRepartition is likewise unblocked.
+  ASSERT_TRUE(loop.TriggerRepartition());
+  EXPECT_EQ(loop.epoch(), 2u);
+
+  // The parked set still serves the frozen pre-insert state — the
+  // fallback cloned around it, never mutated it.
+  uint64_t epoch = 0;
+  std::vector<Point> hits;
+  loop.sharded_index().RangeQuery(s.data.bounds, &hits, nullptr, nullptr,
+                                  nullptr, &pinned, &epoch);
+  EXPECT_EQ(epoch, 1u);
+  EXPECT_EQ(SortedIds(hits), TruthIds(s.data, s.data.bounds));
+
+  // Fresh queries see everything, exactly.
+  loop.Flush();
+  EXPECT_EQ(SortedIds(loop.Range(s.data.bounds).hits),
+            BruteIds(expected, s.data.bounds));
 }
 
 // The acceptance bar: concurrent writers stream routed updates into a

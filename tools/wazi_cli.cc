@@ -12,7 +12,8 @@
 //   wazi_cli throughput --threads 4 --shards 4 --mix 95r/5w --n 200000
 //                       --seconds 3 [--region CaliNev --index wazi
 //                        --queries 2000 --selectivity 0.0256%
-//                        --repartition 0|1 --cache-mb 64
+//                        --repartition 0|1 --incremental 0|1
+//                        --auto-shards 0|1 --cache-mb 64
 //                        --admission-window 200]
 //
 // `throughput` (alias: `serve`) drives the concurrent serving engine
@@ -20,7 +21,10 @@
 // per-shard snapshots while writes stream through each shard's own
 // background writer, and the command reports QPS plus latency percentiles.
 // `--repartition 1` additionally enables the topology monitor, which
-// re-cuts the shard map via a live migration when the load skews.
+// re-cuts the shard map via a live migration when the load skews;
+// `--incremental 1` (default) lets those migrations move only the cells
+// whose cuts changed, carrying the rest, and `--auto-shards 1` lets the
+// monitor grow/shrink the shard count (hot queues / idle slivers).
 // `--cache-mb N` turns on the snapshot-stamped result cache (reads are
 // then drawn skewed, 90% from the hottest 10% of queries, so the cache
 // has a hot set to hold); `--admission-window US` routes reads through
@@ -321,6 +325,11 @@ int CmdThroughput(const std::map<std::string, std::string>& flags) {
   sopts.num_shards = shards;
   sopts.num_threads = 1;  // client threads below execute queries themselves
   sopts.repartition.enabled = FlagOr(flags, "repartition", "0") == "1";
+  // Per-cell migrations (carry unchanged shards) and monitor-driven
+  // shard-count auto-tuning; both only matter with --repartition 1.
+  sopts.repartition.incremental = FlagOr(flags, "incremental", "1") == "1";
+  sopts.repartition.auto_shard_count =
+      FlagOr(flags, "auto-shards", "0") == "1";
   sopts.cache.capacity_bytes = static_cast<size_t>(cache_mb) * 1024 * 1024;
   sopts.admission.window_us = adm_window;
   // Admission arms execute batches on the engine pool, not the clients.
@@ -362,9 +371,21 @@ int CmdThroughput(const std::map<std::string, std::string>& flags) {
   std::printf("snapshots:      %llu versions published, %lld drift rebuilds\n",
               static_cast<unsigned long long>(loop.version()),
               static_cast<long long>(loop.rebuilds()));
-  std::printf("topology:       epoch %llu, %lld live repartition(s)\n",
+  const serve::MigrationStats mig = loop.migration_stats();
+  std::printf("topology:       epoch %llu, %lld live repartition(s) "
+              "(%lld incremental, %lld pts moved, last %lld moved / %lld "
+              "carried shards)\n",
               static_cast<unsigned long long>(loop.epoch()),
-              static_cast<long long>(loop.repartitions()));
+              static_cast<long long>(loop.repartitions()),
+              static_cast<long long>(mig.incremental),
+              static_cast<long long>(mig.total_moved_points),
+              static_cast<long long>(mig.last_moved_shards),
+              static_cast<long long>(mig.last_carried_shards));
+  if (mig.stall_copies > 0) {
+    std::printf("writer stalls:  %lld copy-on-stall fallback(s) "
+                "(parked readers; see writer_stall_ms)\n",
+                static_cast<long long>(mig.stall_copies));
+  }
   if (cache_mb > 0) {
     const serve::ResultCacheStats cs = loop.cache_stats();
     std::printf(
