@@ -13,7 +13,16 @@
 //
 //   bench_serve_throughput [--shards 1,4] [--threads 1,2,4,8]
 //                          [--cache-mb 0,64] [--admission-window 0,200]
+//                          [--json <path>]
 //   bench_serve_throughput --repartition 4 [--incremental 0|1]
+//                          [--json <path>]
+//
+// --json <path> additionally writes a machine-readable snapshot of the
+// run (schema "wazi.bench.serve/1": per-cell QPS + latency percentiles +
+// cache hit rate, per-arm migration counters in --repartition mode, and
+// the final serve metrics registry) — the file CI publishes as
+// BENCH_serve_<scenario>.json and validates with
+// tools/check_bench_json.py.
 //
 // --cache-mb N[,M] adds the snapshot-stamped result cache as a sweep
 // axis (capacity per arm, 0 = off) and a `hit%` column; whenever any arm
@@ -61,6 +70,8 @@
 
 #include "common/harness.h"
 #include "common/timer.h"
+#include "obs/exporters.h"
+#include "obs/metrics.h"
 #include "serve/client_driver.h"
 #include "serve/serve_loop.h"
 
@@ -157,7 +168,8 @@ RepartitionArmResult RunRepartitionArm(const std::string& index_name,
                                        const Dataset& data,
                                        const Workload& workload,
                                        int shards, double seconds,
-                                       bool adaptive, bool incremental) {
+                                       bool adaptive, bool incremental,
+                                       obs::MetricsSnapshot* metrics_out) {
   ServeOptions opts;
   opts.num_shards = shards;
   opts.num_threads = 1;
@@ -282,6 +294,7 @@ RepartitionArmResult RunRepartitionArm(const std::string& index_name,
   arm.moved_points = mig.total_moved_points;
   arm.epoch = loop.epoch();
   arm.errors = errors.load();
+  if (metrics_out != nullptr) *metrics_out = loop.metrics().Snapshot();
   return arm;
 }
 
@@ -292,10 +305,91 @@ double MovedPointsPerMigration(const RepartitionArmResult& arm) {
                                      static_cast<double>(arm.repartitions);
 }
 
+// One sweep cell plus the coordinates it ran at (the JSON row).
+struct JsonCell {
+  int shards = 0;
+  int cache_mb = 0;
+  int adm_window = 0;
+  int write_pct = 0;
+  int threads = 0;
+  CellResult cell;
+};
+
+void WriteCellJson(obs::JsonWriter& w, const JsonCell& jc) {
+  w.BeginObject();
+  w.Key("shards").Int(jc.shards);
+  w.Key("cache_mb").Int(jc.cache_mb);
+  w.Key("admission_window_us").Int(jc.adm_window);
+  w.Key("write_pct").Int(jc.write_pct);
+  w.Key("threads").Int(jc.threads);
+  w.Key("qps").Double(jc.cell.qps);
+  w.Key("writes_per_s").Double(jc.cell.writes_per_s);
+  w.Key("p50_ns").Int(jc.cell.p50_ns);
+  w.Key("p90_ns").Int(jc.cell.p90_ns);
+  w.Key("p99_ns").Int(jc.cell.p99_ns);
+  w.Key("cache_hit_rate").Double(jc.cell.hit_rate);
+  w.EndObject();
+}
+
+// The machine-readable run snapshot CI publishes and validates
+// (tools/check_bench_json.py): header, per-cell results and/or per-arm
+// migration outcomes, and the final serve metrics registry.
+int WriteBenchJson(const char* path, const std::string& index_name,
+                   size_t points, double seconds,
+                   const std::vector<JsonCell>& cells,
+                   const std::vector<RepartitionArmResult>* arms,
+                   const obs::MetricsSnapshot* metrics) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("wazi.bench.serve/1");
+  w.Key("bench").String("serve_throughput");
+  w.Key("scenario").String(CurrentScale().name);
+  w.Key("index").String(index_name);
+  w.Key("points").UInt(points);
+  w.Key("seconds_per_cell").Double(seconds);
+  w.Key("cells").BeginArray();
+  for (const JsonCell& jc : cells) WriteCellJson(w, jc);
+  w.EndArray();
+  if (arms != nullptr) {
+    w.Key("repartition_arms").BeginArray();
+    static const char* kArmLabels[] = {"off", "full", "incr"};
+    for (size_t i = 0; i < arms->size(); ++i) {
+      const RepartitionArmResult& arm = (*arms)[i];
+      w.BeginObject();
+      w.Key("arm").String(i < 3 ? kArmLabels[i] : "extra");
+      w.Key("qps_pre").Double(arm.qps_pre);
+      w.Key("qps_post").Double(arm.qps_post);
+      w.Key("p99_post_ns").Int(arm.p99_post_ns);
+      w.Key("migrations").Int(arm.repartitions);
+      w.Key("incremental").Int(arm.incremental);
+      w.Key("last_moved_shards").Int(arm.moved_shards);
+      w.Key("last_carried_shards").Int(arm.carried_shards);
+      w.Key("moved_points").Int(arm.moved_points);
+      w.Key("epoch").UInt(arm.epoch);
+      w.Key("errors").Int(arm.errors);
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  if (metrics != nullptr) {
+    // The full registry of the last serve loop: migrations, stall
+    // copies, cache counters, latency histogram — everything the serve
+    // stack publishes, in the exporter's standard layout.
+    w.Key("metrics").Raw(obs::ToJson(*metrics));
+  }
+  w.EndObject();
+  if (!obs::WriteFile(path, w.str() + "\n")) {
+    std::fprintf(stderr, "[serve] cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(stderr, "[serve] wrote %s\n", path);
+  return 0;
+}
+
 int RunRepartitionExperiment(const std::string& index_name,
                              const Dataset& data, const Workload& workload,
                              int shards, double seconds,
-                             bool with_incremental) {
+                             bool with_incremental, const char* json_path) {
   std::vector<std::vector<std::string>> rows;
   // Arms: frozen topology, adaptive with full rebuilds, and (with
   // --incremental 1) adaptive with per-cell migrations.
@@ -308,10 +402,11 @@ int RunRepartitionExperiment(const std::string& index_name,
                                 {"full", true, false}};
   if (with_incremental) specs.push_back({"incr", true, true});
   std::vector<RepartitionArmResult> arms;
+  obs::MetricsSnapshot last_metrics;
   for (const ArmSpec& spec : specs) {
     const RepartitionArmResult arm =
         RunRepartitionArm(index_name, data, workload, shards, seconds,
-                          spec.adaptive, spec.incremental);
+                          spec.adaptive, spec.incremental, &last_metrics);
     arms.push_back(arm);
     char moved[48];
     std::snprintf(moved, sizeof(moved), "%lld/%lld",
@@ -374,6 +469,11 @@ int RunRepartitionExperiment(const std::string& index_name,
     }
   }
   if (!ok) std::fprintf(stderr, "[serve] FAILED: %s\n", failure);
+  if (json_path != nullptr &&
+      WriteBenchJson(json_path, index_name, data.size(), seconds,
+                     /*cells=*/{}, &arms, &last_metrics) != 0) {
+    return 1;
+  }
   return ok ? 0 : 1;
 }
 
@@ -420,6 +520,7 @@ int Main(int argc, char** argv) {
   std::vector<int> adm_windows = {0};
   int repartition_shards = 0;
   bool incremental_arm = false;
+  const char* json_path = nullptr;
   int argi = 1;
   for (; argi + 1 < argc; argi += 2) {
     if (std::strcmp(argv[argi], "--shards") == 0) {
@@ -436,10 +537,13 @@ int Main(int argc, char** argv) {
     } else if (std::strcmp(argv[argi], "--incremental") == 0) {
       incremental_arm =
           ParseIntList(argv[argi + 1], "--incremental", /*min_v=*/0)[0] != 0;
+    } else if (std::strcmp(argv[argi], "--json") == 0) {
+      json_path = argv[argi + 1];
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s' (known: --shards --threads --cache-mb "
-                   "--admission-window --repartition --incremental)\n",
+                   "--admission-window --repartition --incremental "
+                   "--json)\n",
                    argv[argi]);
       return 2;
     }
@@ -471,7 +575,7 @@ int Main(int argc, char** argv) {
   if (repartition_shards > 0) {
     return RunRepartitionExperiment(index_name, data, workload,
                                     repartition_shards, seconds,
-                                    incremental_arm);
+                                    incremental_arm, json_path);
   }
   if (incremental_arm) {
     std::fprintf(stderr,
@@ -480,6 +584,8 @@ int Main(int argc, char** argv) {
   }
 
   std::vector<std::vector<std::string>> rows;
+  std::vector<JsonCell> json_cells;
+  obs::MetricsSnapshot last_metrics;
   double mixed_qps_by_shards_lo = 0.0, mixed_qps_by_shards_hi = 0.0;
   double read_qps_1 = 0.0, read_qps_8 = 0.0;
   double read_qps_cache_off = 0.0, read_qps_cache_on = 0.0;
@@ -522,6 +628,10 @@ int Main(int argc, char** argv) {
                 RunCell(loop, workload, threads, write_pct, seconds,
                         /*skewed_reads=*/cache_axis,
                         /*via_admission=*/adm_window > 0);
+            if (json_path != nullptr) {
+              json_cells.push_back(JsonCell{shards, cache_mb, adm_window,
+                                            write_pct, threads, cell});
+            }
             if (reference_arm && shards == shard_counts.front() &&
                 write_pct == 0) {
               if (threads == 1) read_qps_1 = cell.qps;
@@ -580,6 +690,7 @@ int Main(int argc, char** argv) {
                 cell.hit_rate * 100.0);
           }
         }
+        if (json_path != nullptr) last_metrics = loop.metrics().Snapshot();
       }
     }
   }
@@ -620,6 +731,10 @@ int Main(int argc, char** argv) {
         "%dus: %.2fx\n",
         mixed_ref_threads, shard_counts.front(), adm_windows.back(),
         read_qps_adm_on / read_qps_adm_off);
+  }
+  if (json_path != nullptr) {
+    return WriteBenchJson(json_path, index_name, data.size(), seconds,
+                          json_cells, /*arms=*/nullptr, &last_metrics);
   }
   return 0;
 }

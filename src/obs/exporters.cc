@@ -1,0 +1,228 @@
+#include "obs/exporters.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace wazi::obs {
+
+namespace {
+
+std::string FormatDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  // %.17g round-trips any double but litters dashboards with digits;
+  // %.6g is plenty for rates/latencies and keeps golden tests readable.
+  const int n = std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return std::string(buf, n > 0 ? static_cast<size_t>(n) : 0);
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snap,
+                             const std::string& prefix) {
+  std::string out;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string full = prefix + name;
+    out += "# TYPE " + full + " counter\n";
+    out += full + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string full = prefix + name;
+    out += "# TYPE " + full + " gauge\n";
+    out += full + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string full = prefix + name;
+    out += "# TYPE " + full + " histogram\n";
+    // Prometheus buckets are CUMULATIVE counts up to each `le` bound.
+    int64_t cum = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += h.buckets[i];
+      out += full + "_bucket{le=\"" + std::to_string(h.bounds[i]) + "\"} " +
+             std::to_string(cum) + "\n";
+    }
+    cum += h.buckets.back();
+    out += full + "_bucket{le=\"+Inf\"} " + std::to_string(cum) + "\n";
+    out += full + "_sum " + std::to_string(h.sum) + "\n";
+    out += full + "_count " + std::to_string(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snap) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters").BeginObject();
+  for (const auto& [name, value] : snap.counters) w.Key(name).Int(value);
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, value] : snap.gauges) w.Key(name).Int(value);
+  w.EndObject();
+  w.Key("histograms").BeginObject();
+  for (const auto& [name, h] : snap.histograms) {
+    w.Key(name).BeginObject();
+    w.Key("count").Int(h.count);
+    w.Key("sum").Int(h.sum);
+    w.Key("p50").Double(h.Percentile(50));
+    w.Key("p90").Double(h.Percentile(90));
+    w.Key("p99").Double(h.Percentile(99));
+    w.Key("buckets").BeginArray();
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;  // sparse: most buckets are empty
+      w.BeginArray();
+      if (i < h.bounds.size()) {
+        w.Int(h.bounds[i]);
+      } else {
+        w.Null();  // the +Inf overflow bucket
+      }
+      w.Int(h.buckets[i]);
+      w.EndArray();
+    }
+    w.EndArray();
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::string TraceTailJson(const TraceJournal& journal, size_t n) {
+  const std::vector<TraceEvent> events = journal.Tail(n);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("capacity").UInt(journal.capacity());
+  w.Key("recorded").Int(journal.recorded());
+  w.Key("dropped").Int(journal.dropped());
+  w.Key("events").BeginArray();
+  for (const TraceEvent& e : events) {
+    w.BeginObject();
+    w.Key("t_ns").Int(e.t_ns);
+    w.Key("kind").String(KindName(e.kind));
+    w.Key("epoch").UInt(e.epoch);
+    w.Key("shard").Int(e.shard);
+    w.Key("a").Int(e.a);
+    w.Key("b").Int(e.b);
+    w.Key("c").Int(e.c);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Comma() {
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Comma();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  needs_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Comma();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  needs_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& k) {
+  Comma();
+  out_ += '"' + Escape(k) + "\":";
+  // The value that follows must not emit another comma.
+  if (!needs_comma_.empty()) needs_comma_.back() = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(const std::string& v) {
+  Comma();
+  out_ += '"' + Escape(v) + '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Int(int64_t v) {
+  Comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::UInt(uint64_t v) {
+  Comma();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Double(double v) {
+  Comma();
+  out_ += FormatDouble(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool v) {
+  Comma();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Null() {
+  Comma();
+  out_ += "null";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Raw(const std::string& json) {
+  Comma();
+  out_ += json;
+  return *this;
+}
+
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return static_cast<bool>(out.flush());
+}
+
+}  // namespace wazi::obs

@@ -1,0 +1,29 @@
+// Umbrella header + knobs for the serve stack's observability plumbing.
+
+#ifndef WAZI_OBS_OBS_H_
+#define WAZI_OBS_OBS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "obs/metrics.h"
+#include "obs/trace_journal.h"
+
+namespace wazi::obs {
+
+struct ObsOptions {
+  // Ring capacity of the serve-event TraceJournal; 0 disables event
+  // recording (counters/gauges/histograms are always on — they are cheap).
+  size_t journal_capacity = 4096;
+  // Per-query trace sampling: every Nth query through each entry point
+  // records a kQueryTrace span (submit→admit→execute→resolve) and feeds
+  // the latency histogram. 0 (default) disables sampling COMPLETELY — the
+  // query path then does one integer compare and no clock reads, which is
+  // what keeps the tracing overhead under the 2%-at-rate-0 gate. 1 traces
+  // every query (tests); production wants 100–10000.
+  uint32_t trace_sample_every = 0;
+};
+
+}  // namespace wazi::obs
+
+#endif  // WAZI_OBS_OBS_H_

@@ -8,10 +8,35 @@ namespace wazi::serve {
 
 AdmissionQueue::AdmissionQueue(QueryEngine* engine,
                                const ShardedVersionedIndex* index,
-                               AdmissionOptions opts)
-    : engine_(engine), index_(index), opts_(opts) {
+                               AdmissionOptions opts,
+                               obs::MetricsRegistry* registry,
+                               obs::TraceJournal* journal,
+                               uint32_t trace_sample_every)
+    : engine_(engine),
+      index_(index),
+      opts_(opts),
+      journal_(journal),
+      trace_sample_every_(trace_sample_every) {
   opts_.batch_limit = std::max<size_t>(1, opts_.batch_limit);
+  if (registry == nullptr) {
+    own_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = own_registry_.get();
+  }
+  admitted_ctr_ = registry->GetCounter("serve_admission_admitted_total");
+  dispatched_ctr_ = registry->GetCounter("serve_admission_dispatched_total");
+  batches_ctr_ = registry->GetCounter("serve_admission_batches_total");
+  max_batch_gauge_ = registry->GetGauge("serve_admission_max_batch");
+  latency_hist_ = registry->GetHistogram("serve_query_latency_ns");
   dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+bool AdmissionQueue::SampleThisQuery() {
+  // Rate 0 is the production default and must cost nothing: one compare,
+  // no atomics, no clock.
+  if (trace_sample_every_ == 0) return false;
+  return sample_tick_.fetch_add(1, std::memory_order_relaxed) %
+             trace_sample_every_ ==
+         0;
 }
 
 AdmissionQueue::~AdmissionQueue() { Stop(); }
@@ -19,6 +44,7 @@ AdmissionQueue::~AdmissionQueue() { Stop(); }
 std::future<QueryResult> AdmissionQueue::Submit(const QueryRequest& request) {
   Pending p;
   p.request = request;
+  if (SampleThisQuery()) p.submit_ns = obs::TraceJournal::NowNs();
   std::future<QueryResult> future = p.promise.get_future();
   bool notify = false;
   {
@@ -31,6 +57,7 @@ std::future<QueryResult> AdmissionQueue::Submit(const QueryRequest& request) {
       {
         std::lock_guard<std::mutex> stats_lock(stats_mu_);
         ++stats_.admitted;
+        admitted_ctr_->Add(1);
       }
       QueryStats stats;
       p.promise.set_value(engine_->Execute(request, &stats));
@@ -44,6 +71,7 @@ std::future<QueryResult> AdmissionQueue::Submit(const QueryRequest& request) {
     {
       std::lock_guard<std::mutex> stats_lock(stats_mu_);
       ++stats_.admitted;
+      admitted_ctr_->Add(1);
     }
     // Wake the dispatcher on new work (empty -> non-empty) or a full
     // batch; arrivals in between land in its linger window without a
@@ -67,6 +95,7 @@ std::vector<std::future<QueryResult>> AdmissionQueue::SubmitBatch(
         {
           std::lock_guard<std::mutex> stats_lock(stats_mu_);
           ++stats_.admitted;
+          admitted_ctr_->Add(1);
         }
         std::promise<QueryResult> promise;
         futures.push_back(promise.get_future());
@@ -80,12 +109,14 @@ std::vector<std::future<QueryResult>> AdmissionQueue::SubmitBatch(
     for (const QueryRequest& request : requests) {
       Pending p;
       p.request = request;
+      if (SampleThisQuery()) p.submit_ns = obs::TraceJournal::NowNs();
       futures.push_back(p.promise.get_future());
       pending_.push_back(std::move(p));
     }
     {
       std::lock_guard<std::mutex> stats_lock(stats_mu_);
       stats_.admitted += static_cast<int64_t>(requests.size());
+      admitted_ctr_->Add(static_cast<int64_t>(requests.size()));
     }
     notify = !requests.empty() &&
              (was_empty || pending_.size() >= opts_.batch_limit);
@@ -118,6 +149,11 @@ void AdmissionQueue::CountDispatched(size_t n) {
   stats_.dispatched += static_cast<int64_t>(n);
   ++stats_.batches;
   stats_.max_batch = std::max(stats_.max_batch, static_cast<int64_t>(n));
+  // Registry mirrors move under the same sequence point, so exported
+  // values obey the same invariants as the stats() snapshot.
+  dispatched_ctr_->Add(static_cast<int64_t>(n));
+  batches_ctr_->Add(1);
+  max_batch_gauge_->Set(stats_.max_batch);
 }
 
 void AdmissionQueue::DispatcherLoop() {
@@ -168,6 +204,17 @@ void AdmissionQueue::DispatchBatch(std::vector<Pending>* batch) {
   requests.reserve(n);
   for (const size_t i : order) requests.push_back((*batch)[i].request);
 
+  // Clock reads only when a sampled query is aboard: the common batch at
+  // sample rate 0 never touches the clock.
+  bool any_sampled = false;
+  for (const Pending& p : *batch) {
+    if (p.submit_ns != 0) {
+      any_sampled = true;
+      break;
+    }
+  }
+  const int64_t admit_ns = any_sampled ? obs::TraceJournal::NowNs() : 0;
+
   // THE admission win: one topology pin + one snapshot acquire per shard
   // for the whole batch. Held only for the batch's execution, so it
   // stalls writers no longer than any other per-block reader.
@@ -179,8 +226,28 @@ void AdmissionQueue::DispatchBatch(std::vector<Pending>* batch) {
   // Counters before the futures resolve: a client that observes its
   // result (future.get()) must also observe it in stats().
   CountDispatched(n);
+  if (journal_ != nullptr) {
+    journal_->Record(obs::TraceEventKind::kAdmissionDispatch, /*epoch=*/0,
+                     /*shard=*/-1, static_cast<int64_t>(n),
+                     max_batch_gauge_->value());
+  }
   for (size_t slot = 0; slot < n; ++slot) {
     (*batch)[order[slot]].promise.set_value(std::move(results[slot]));
+  }
+  if (any_sampled) {
+    // resolve stamp taken once the whole batch's futures are fulfilled:
+    // the span a client actually experiences on future.get().
+    const int64_t resolve_ns = obs::TraceJournal::NowNs();
+    for (const Pending& p : *batch) {
+      if (p.submit_ns == 0) continue;
+      const int64_t wait = admit_ns - p.submit_ns;
+      const int64_t exec = resolve_ns - admit_ns;
+      latency_hist_->Record(resolve_ns - p.submit_ns);
+      if (journal_ != nullptr) {
+        journal_->Record(obs::TraceEventKind::kQueryTrace, /*epoch=*/0,
+                         /*shard=*/-1, wait, exec, /*admitted=*/1);
+      }
+    }
   }
 }
 

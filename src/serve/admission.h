@@ -45,14 +45,18 @@
 #ifndef WAZI_SERVE_ADMISSION_H_
 #define WAZI_SERVE_ADMISSION_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace_journal.h"
 #include "serve/query_engine.h"
 
 namespace wazi::serve {
@@ -89,9 +93,19 @@ struct AdmissionStats {
 class AdmissionQueue {
  public:
   // `engine` and `index` must outlive the queue (ServeLoop owns all
-  // three). The dispatcher thread starts immediately.
+  // three). The dispatcher thread starts immediately. `registry` hosts
+  // the admission counters (serve_admission_*; a private registry backs
+  // them when null), `journal` (optional) receives one
+  // kAdmissionDispatch event per batch, and `trace_sample_every` samples
+  // every Nth submitted query into a full submit→admit→execute→resolve
+  // span (latency histogram serve_query_latency_ns + kQueryTrace event).
+  // 0 disables sampling: the submit path then does one integer compare
+  // and never reads a clock.
   AdmissionQueue(QueryEngine* engine, const ShardedVersionedIndex* index,
-                 AdmissionOptions opts);
+                 AdmissionOptions opts,
+                 obs::MetricsRegistry* registry = nullptr,
+                 obs::TraceJournal* journal = nullptr,
+                 uint32_t trace_sample_every = 0);
   ~AdmissionQueue();
 
   AdmissionQueue(const AdmissionQueue&) = delete;
@@ -119,6 +133,9 @@ class AdmissionQueue {
   struct Pending {
     QueryRequest request;
     std::promise<QueryResult> promise;
+    // Non-zero iff this query was sampled for tracing: the steady-clock
+    // submit stamp the dispatcher computes its spans against.
+    int64_t submit_ns = 0;
   };
 
   void DispatcherLoop();
@@ -126,6 +143,8 @@ class AdmissionQueue {
   void DispatchBatch(std::vector<Pending>* batch);
   // Folds one executed batch of `n` queries into stats_ (one seq point).
   void CountDispatched(size_t n);
+  // True every trace_sample_every-th call (false forever at rate 0).
+  bool SampleThisQuery();
 
   QueryEngine* engine_;
   const ShardedVersionedIndex* index_;
@@ -144,6 +163,18 @@ class AdmissionQueue {
   // a query before it is counted as admitted).
   mutable std::mutex stats_mu_;
   AdmissionStats stats_;
+
+  // Registry mirrors of stats_, updated under stats_mu_ so the exported
+  // values keep the same invariants as the snapshot accessor.
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  obs::Counter* admitted_ctr_ = nullptr;
+  obs::Counter* dispatched_ctr_ = nullptr;
+  obs::Counter* batches_ctr_ = nullptr;
+  obs::Gauge* max_batch_gauge_ = nullptr;
+  obs::Histogram* latency_hist_ = nullptr;  // sampled end-to-end spans
+  obs::TraceJournal* journal_ = nullptr;
+  const uint32_t trace_sample_every_;
+  std::atomic<uint32_t> sample_tick_{0};
   std::thread dispatcher_;
 };
 

@@ -50,6 +50,9 @@ VersionedIndex::~VersionedIndex() {
       std::this_thread::yield();
     }
   }
+  if (opts_.zombie_gauge != nullptr && !zombies_.empty()) {
+    opts_.zombie_gauge->Add(-static_cast<int64_t>(zombies_.size()));
+  }
 }
 
 void VersionedIndex::ApplyBatch(const std::vector<UpdateOp>& ops) {
@@ -160,8 +163,12 @@ SpatialIndex* VersionedIndex::AcquireShadow(bool catch_up) {
       recent_batches_.pop_front();
     }
     stall_copies_.fetch_add(1, std::memory_order_relaxed);
-    if (opts_.stall_counter != nullptr) {
-      opts_.stall_counter->fetch_add(1, std::memory_order_relaxed);
+    if (opts_.stall_counter != nullptr) opts_.stall_counter->Add(1);
+    if (opts_.zombie_gauge != nullptr) opts_.zombie_gauge->Add(1);
+    if (opts_.journal != nullptr) {
+      opts_.journal->Record(obs::TraceEventKind::kStallCopy, opts_.epoch,
+                            opts_.shard_id,
+                            static_cast<int64_t>(zombies_.size()));
     }
     return inst_[shadow_slot].get();
   }
@@ -191,12 +198,17 @@ SpatialIndex* VersionedIndex::AcquireShadow(bool catch_up) {
 }
 
 void VersionedIndex::ReapZombies() {
+  const size_t before = zombies_.size();
   zombies_.erase(
       std::remove_if(zombies_.begin(), zombies_.end(),
                      [](const ZombieInstance& z) {
                        return z.drained->load(std::memory_order_acquire);
                      }),
       zombies_.end());
+  const size_t reaped = before - zombies_.size();
+  if (reaped > 0 && opts_.zombie_gauge != nullptr) {
+    opts_.zombie_gauge->Add(-static_cast<int64_t>(reaped));
+  }
 }
 
 void VersionedIndex::PublishShadow() {
@@ -215,6 +227,11 @@ void VersionedIndex::PublishShadow() {
   // snapshot's refcount drains as in-flight readers finish.
   live_.Store(std::move(snap));
   live_slot_ = shadow_slot;
+  if (opts_.publish_counter != nullptr) opts_.publish_counter->Add(1);
+  if (opts_.journal != nullptr) {
+    opts_.journal->Record(obs::TraceEventKind::kSnapshotSwap, opts_.epoch,
+                          opts_.shard_id, static_cast<int64_t>(v));
+  }
 }
 
 void VersionedIndex::ApplyToData(const std::vector<UpdateOp>& ops) {

@@ -42,6 +42,8 @@
 #include <vector>
 
 #include "index/spatial_index.h"
+#include "obs/metrics.h"
+#include "obs/trace_journal.h"
 #include "workload/dataset.h"
 
 // ThreadSanitizer cannot see through the lock-bit protocol inside
@@ -175,9 +177,20 @@ struct VersionedIndexOptions {
   // phase — at the price of an O(shard) build per fallback. <= 0 waits
   // forever (the pre-fallback behaviour).
   int writer_stall_ms = 250;
-  // When set, every copy-on-stall fallback also increments this counter
-  // (ServeLoop aggregates one across all shards and generations).
-  std::atomic<int64_t>* stall_counter = nullptr;
+  // Registry-backed observability handles (obs/metrics.h), all optional:
+  // nullptr simply skips the publication (standalone / test construction
+  // stays dependency-free). ServeLoop wires every shard of every
+  // generation to ITS registry handles, so the counters aggregate across
+  // shards and survive migrations.
+  obs::Counter* stall_counter = nullptr;     // copy-on-stall fallbacks
+  obs::Counter* publish_counter = nullptr;   // snapshot publishes (swaps)
+  obs::Gauge* zombie_gauge = nullptr;        // instances parked as zombies
+  // When set, snapshot swaps / stall retirements are journaled with this
+  // shard attribution (the shard id and topology epoch the VersionedIndex
+  // was born into — carried shards keep their birth attribution).
+  obs::TraceJournal* journal = nullptr;
+  int shard_id = -1;
+  uint64_t epoch = 0;
 };
 
 // Thread-safety contract: Acquire()/version() from any thread; everything

@@ -17,8 +17,16 @@ struct alignas(64) PaddedStats {
 }  // namespace
 
 QueryEngine::QueryEngine(const ShardedVersionedIndex* index, int num_threads,
-                         ResultCache* cache)
-    : index_(index), cache_(cache), pool_(num_threads) {}
+                         ResultCache* cache, obs::MetricsRegistry* registry)
+    : index_(index), cache_(cache), pool_(num_threads) {
+  if (registry == nullptr) {
+    own_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = own_registry_.get();
+  }
+  range_queries_ = registry->GetCounter("serve_range_queries_total");
+  point_queries_ = registry->GetCounter("serve_point_queries_total");
+  knn_queries_ = registry->GetCounter("serve_knn_queries_total");
+}
 
 void QueryEngine::ExecuteBatch(const std::vector<QueryRequest>& requests,
                                std::vector<QueryResult>* results) {
@@ -96,12 +104,14 @@ QueryResult QueryEngine::ExecuteOn(
       result = ExecuteRange(request.rect, stats, snaps, /*parts=*/nullptr);
       break;
     case QueryRequest::Type::kPoint:
+      point_queries_->Add(1);
       result.found = index_->PointQuery(request.point, stats,
                                         &result.snapshot_version,
                                         /*home_shard=*/nullptr, snaps,
                                         &result.epoch);
       break;
     case QueryRequest::Type::kKnn:
+      knn_queries_->Add(1);
       result.hits = index_->Knn(request.point, request.k, stats,
                                 &result.snapshot_version, snaps,
                                 &result.epoch);
@@ -115,6 +125,7 @@ QueryResult QueryEngine::ExecuteRange(
     const ShardedVersionedIndex::SnapshotSet* snaps,
     std::vector<ShardQueryPart>* parts) const {
   QueryResult result;
+  range_queries_->Add(1);
   const bool cached = cache_ != nullptr && cache_->enabled();
   if (cached) {
     // Pin the topology the probe validates against. With a caller

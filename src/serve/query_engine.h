@@ -8,10 +8,12 @@
 #define WAZI_SERVE_QUERY_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
 #include "index/spatial_index.h"
+#include "obs/metrics.h"
 #include "serve/sharded_index.h"
 #include "serve/thread_pool.h"
 
@@ -67,9 +69,13 @@ class QueryEngine {
   // `index` must outlive the engine. `num_threads` workers execute
   // batches. `cache`, when non-null, memoizes range results (probed and
   // refreshed on every path through the engine; see
-  // serve/result_cache.h for the stamp-validation protocol).
+  // serve/result_cache.h for the stamp-validation protocol). `registry`,
+  // when given, hosts the per-type query counters
+  // (serve_{range,point,knn}_queries_total); a standalone engine owns a
+  // private registry so the counting code stays branch-free.
   QueryEngine(const ShardedVersionedIndex* index, int num_threads,
-              ResultCache* cache = nullptr);
+              ResultCache* cache = nullptr,
+              obs::MetricsRegistry* registry = nullptr);
 
   // Executes requests[i] into (*results)[i] across the worker pool; blocks
   // until the whole batch is done. Each worker pins the topology and
@@ -128,6 +134,10 @@ class QueryEngine {
 
   const ShardedVersionedIndex* index_;
   ResultCache* cache_;  // may be null / disabled
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  obs::Counter* range_queries_ = nullptr;
+  obs::Counter* point_queries_ = nullptr;
+  obs::Counter* knn_queries_ = nullptr;
   ThreadPool pool_;
   // Batch counters are accumulated in per-block (cache-line padded) locals
   // during execution and folded in here once the batch completes, so

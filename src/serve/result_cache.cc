@@ -41,7 +41,20 @@ size_t ResultCache::KeyHash::operator()(const Key& k) const {
   return static_cast<size_t>(h);
 }
 
-ResultCache::ResultCache(ResultCacheOptions opts) : opts_(opts) {
+ResultCache::ResultCache(ResultCacheOptions opts,
+                         obs::MetricsRegistry* registry,
+                         obs::TraceJournal* journal)
+    : opts_(opts), journal_(journal) {
+  if (registry == nullptr) {
+    own_registry_ = std::make_unique<obs::MetricsRegistry>();
+    registry = own_registry_.get();
+  }
+  hits_ = registry->GetCounter("serve_cache_hits_total");
+  misses_ = registry->GetCounter("serve_cache_misses_total");
+  invalidations_ = registry->GetCounter("serve_cache_invalidations_total");
+  insertions_ = registry->GetCounter("serve_cache_insertions_total");
+  evictions_ = registry->GetCounter("serve_cache_evictions_total");
+  bytes_gauge_ = registry->GetGauge("serve_cache_bytes");
   const int segments = std::max(1, opts_.segments);
   segment_capacity_ = opts_.capacity_bytes / static_cast<size_t>(segments);
   if (enabled() && segment_capacity_ == 0) segment_capacity_ = 1;
@@ -86,7 +99,7 @@ bool ResultCache::Lookup(const Rect& query, const ShardTopology& topo,
     std::lock_guard<std::mutex> lock(seg.mu);
     const auto it = seg.map.find(key);
     if (it == seg.map.end()) {
-      misses_.fetch_add(1, std::memory_order_relaxed);
+      misses_->Add(1);
       return false;
     }
     Entry& entry = *it->second;
@@ -94,9 +107,10 @@ bool ResultCache::Lookup(const Rect& query, const ShardTopology& topo,
       // Stale: the world moved under it. Erase so the slot is not probed
       // (and re-invalidated) forever, and let the caller re-execute.
       seg.bytes -= entry.bytes;
+      bytes_gauge_->Add(-static_cast<int64_t>(entry.bytes));
       seg.lru.erase(it->second);
       seg.map.erase(it);
-      invalidations_.fetch_add(1, std::memory_order_relaxed);
+      invalidations_->Add(1);
       return false;
     }
     // Touch: move to the front of the LRU list (splice keeps iterators in
@@ -111,7 +125,7 @@ bool ResultCache::Lookup(const Rect& query, const ShardTopology& topo,
   // or refreshed concurrently; the vector it points to is immutable.
   out->insert(out->end(), payload->begin(), payload->end());
   if (version_mass != nullptr) *version_mass = mass;
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_->Add(1);
   return true;
 }
 
@@ -134,24 +148,40 @@ void ResultCache::Insert(const Rect& query, const std::vector<Point>& hits,
   entry.bytes = bytes;
 
   Segment& seg = SegmentFor(entry.key);
-  std::lock_guard<std::mutex> lock(seg.mu);
-  const auto it = seg.map.find(entry.key);
-  if (it != seg.map.end()) {
-    // Last-writer-wins refresh of an existing slot.
-    seg.bytes -= it->second->bytes;
-    seg.lru.erase(it->second);
-    seg.map.erase(it);
+  int64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(seg.mu);
+    const auto it = seg.map.find(entry.key);
+    if (it != seg.map.end()) {
+      // Last-writer-wins refresh of an existing slot.
+      seg.bytes -= it->second->bytes;
+      bytes_gauge_->Add(-static_cast<int64_t>(it->second->bytes));
+      seg.lru.erase(it->second);
+      seg.map.erase(it);
+    }
+    while (seg.bytes + bytes > segment_capacity_ && !seg.lru.empty()) {
+      seg.bytes -= seg.lru.back().bytes;
+      bytes_gauge_->Add(-static_cast<int64_t>(seg.lru.back().bytes));
+      seg.map.erase(seg.lru.back().key);
+      seg.lru.pop_back();
+      ++evicted;
+    }
+    seg.bytes += bytes;
+    bytes_gauge_->Add(static_cast<int64_t>(bytes));
+    seg.lru.push_front(std::move(entry));
+    seg.map.emplace(seg.lru.front().key, seg.lru.begin());
   }
-  while (seg.bytes + bytes > segment_capacity_ && !seg.lru.empty()) {
-    seg.bytes -= seg.lru.back().bytes;
-    seg.map.erase(seg.lru.back().key);
-    seg.lru.pop_back();
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+  insertions_->Add(1);
+  if (evicted > 0) {
+    evictions_->Add(evicted);
+    // One event per evicting insert (not per entry): the signal operators
+    // need is "inserts are displacing entries", not an event flood.
+    if (journal_ != nullptr) {
+      journal_->Record(obs::TraceEventKind::kCacheEvict, /*epoch=*/0,
+                       /*shard=*/-1, evicted,
+                       static_cast<int64_t>(bytes));
+    }
   }
-  seg.bytes += bytes;
-  seg.lru.push_front(std::move(entry));
-  seg.map.emplace(seg.lru.front().key, seg.lru.begin());
-  insertions_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ResultCache::Clear() {
@@ -159,17 +189,20 @@ void ResultCache::Clear() {
     std::lock_guard<std::mutex> lock(seg->mu);
     seg->lru.clear();
     seg->map.clear();
+    bytes_gauge_->Add(-static_cast<int64_t>(seg->bytes));
     seg->bytes = 0;
   }
 }
 
 ResultCacheStats ResultCache::stats() const {
+  // Thin view over the registry handles; size_bytes stays the exact
+  // under-lock sum (the gauge is the cheap exported mirror).
   ResultCacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.invalidations = invalidations_.load(std::memory_order_relaxed);
-  s.insertions = insertions_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.hits = hits_->value();
+  s.misses = misses_->value();
+  s.invalidations = invalidations_->value();
+  s.insertions = insertions_->value();
+  s.evictions = evictions_->value();
   for (const auto& seg : segments_) {
     std::lock_guard<std::mutex> lock(seg->mu);
     s.size_bytes += seg->bytes;

@@ -48,6 +48,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace_journal.h"
 #include "serve/sharded_index.h"
 
 namespace wazi::serve {
@@ -78,7 +80,14 @@ struct ResultCacheStats {
 
 class ResultCache {
  public:
-  explicit ResultCache(ResultCacheOptions opts);
+  // `registry`, when given, hosts the cache's counters/gauge
+  // (serve_cache_hits_total, ..., serve_cache_bytes) — ServeLoop passes
+  // its own so every surface exports through one snapshot; a standalone
+  // cache owns a private registry so stats() works identically. `journal`,
+  // when given, receives one kCacheEvict event per insert that evicted.
+  explicit ResultCache(ResultCacheOptions opts,
+                       obs::MetricsRegistry* registry = nullptr,
+                       obs::TraceJournal* journal = nullptr);
 
   ResultCache(const ResultCache&) = delete;
   ResultCache& operator=(const ResultCache&) = delete;
@@ -152,11 +161,17 @@ class ResultCache {
   ResultCacheOptions opts_;
   size_t segment_capacity_ = 0;
   std::vector<std::unique_ptr<Segment>> segments_;
-  std::atomic<int64_t> hits_{0};
-  std::atomic<int64_t> misses_{0};
-  std::atomic<int64_t> invalidations_{0};
-  std::atomic<int64_t> insertions_{0};
-  std::atomic<int64_t> evictions_{0};
+  // Counters live in the registry (the *_stats() accessor is a thin view
+  // over these handles); own_registry_ backs them when the caller did not
+  // supply one. Hot paths touch only the padded handles, never a map.
+  std::unique_ptr<obs::MetricsRegistry> own_registry_;
+  obs::Counter* hits_ = nullptr;
+  obs::Counter* misses_ = nullptr;
+  obs::Counter* invalidations_ = nullptr;
+  obs::Counter* insertions_ = nullptr;
+  obs::Counter* evictions_ = nullptr;
+  obs::Gauge* bytes_gauge_ = nullptr;  // mirror of sum(seg.bytes)
+  obs::TraceJournal* journal_ = nullptr;
 };
 
 }  // namespace wazi::serve

@@ -11,17 +11,28 @@ ServeLoop::ServeLoop(IndexFactory factory, const Dataset& data,
                      const Workload& workload, const BuildOptions& build_opts,
                      ServeOptions opts)
     : opts_(opts),
+      journal_(opts.obs.journal_capacity),
       index_(std::move(factory), data, workload, build_opts,
-             ShardedIndexOptions{
-                 opts.num_shards,
-                 VersionedIndexOptions{opts.track_points,
-                                       opts.writer_stall_ms,
-                                       &stall_copies_}}),
-      cache_(opts.cache),
-      engine_(&index_, opts.num_threads, &cache_),
-      admission_(std::make_unique<AdmissionQueue>(&engine_, &index_,
-                                                  opts.admission)),
+             MakeIndexOptions()),
+      cache_(opts.cache, &metrics_, &journal_),
+      engine_(&index_, opts.num_threads, &cache_, &metrics_),
+      admission_(std::make_unique<AdmissionQueue>(
+          &engine_, &index_, opts.admission, &metrics_, &journal_,
+          opts.obs.trace_sample_every)),
       repartition_monitor_(opts.repartition) {
+  rebuilds_ctr_ = metrics_.GetCounter("serve_drift_rebuilds_total");
+  stall_ctr_ = metrics_.GetCounter("serve_stall_copies_total");
+  migrations_ctr_ = metrics_.GetCounter("serve_migrations_total");
+  migrations_incr_ctr_ =
+      metrics_.GetCounter("serve_migrations_incremental_total");
+  moved_points_ctr_ = metrics_.GetCounter("serve_moved_points_total");
+  last_moved_gauge_ = metrics_.GetGauge("serve_last_moved_shards");
+  last_carried_gauge_ = metrics_.GetGauge("serve_last_carried_shards");
+  // Same handles the engine registers: the direct Knn/PointLookup paths
+  // bypass the engine, so the loop counts those itself.
+  point_queries_ctr_ = metrics_.GetCounter("serve_point_queries_total");
+  knn_queries_ctr_ = metrics_.GetCounter("serve_knn_queries_total");
+  latency_hist_ = metrics_.GetHistogram("serve_query_latency_ns");
   writer_gen_.Store(StartWriters(index_.AcquireTopology()));
   if (opts_.repartition.enabled) {
     monitor_thread_ = std::thread([this] { MonitorLoop(); });
@@ -29,6 +40,59 @@ ServeLoop::ServeLoop(IndexFactory factory, const Dataset& data,
 }
 
 ServeLoop::~ServeLoop() { Stop(); }
+
+ShardedIndexOptions ServeLoop::MakeIndexOptions() {
+  // Shared per-shard options; the topology builders stamp the per-shard
+  // (shard_id, epoch) attribution on top.
+  VersionedIndexOptions vopts;
+  vopts.track_points = opts_.track_points;
+  vopts.writer_stall_ms = opts_.writer_stall_ms;
+  vopts.stall_counter = metrics_.GetCounter("serve_stall_copies_total");
+  vopts.publish_counter =
+      metrics_.GetCounter("serve_snapshot_publishes_total");
+  vopts.zombie_gauge = metrics_.GetGauge("serve_zombie_instances");
+  vopts.journal = &journal_;
+  ShardedIndexOptions sopts;
+  sopts.num_shards = opts_.num_shards;
+  sopts.versioned = vopts;
+  sopts.registry = &metrics_;
+  return sopts;
+}
+
+bool ServeLoop::SampleThisQuery() {
+  // Rate 0 is the production default and must cost nothing: one integer
+  // compare, no atomics, no clock.
+  if (opts_.obs.trace_sample_every == 0) return false;
+  return sample_tick_.fetch_add(1, std::memory_order_relaxed) %
+             opts_.obs.trace_sample_every ==
+         0;
+}
+
+void ServeLoop::FinishMigration(uint64_t old_epoch, uint64_t new_epoch,
+                                int64_t moved_shards, int64_t carried_shards,
+                                int64_t moved_points, bool incremental) {
+  (void)old_epoch;
+  {
+    std::lock_guard<std::mutex> lock(mig_mu_);
+    ++mig_.migrations;
+    if (incremental) ++mig_.incremental;
+    mig_.last_moved_shards = moved_shards;
+    mig_.last_carried_shards = carried_shards;
+    mig_.last_moved_points = moved_points;
+    mig_.total_moved_points += moved_points;
+    // Registry mirrors and the repartitions() atomic move under the same
+    // sequence point, so no observer ever sees e.g. the exported
+    // migrations counter ahead of migration_stats().
+    migrations_ctr_->Add(1);
+    if (incremental) migrations_incr_ctr_->Add(1);
+    moved_points_ctr_->Add(moved_points);
+    last_moved_gauge_->Set(moved_shards);
+    last_carried_gauge_->Set(carried_shards);
+    repartitions_.fetch_add(1, std::memory_order_release);
+  }
+  journal_.Record(obs::TraceEventKind::kMigrationRetire, new_epoch,
+                  /*shard=*/-1, moved_shards, carried_shards, moved_points);
+}
 
 std::shared_ptr<ServeLoop::WriterGen> ServeLoop::StartWriters(
     std::shared_ptr<ShardTopology> topo, const std::vector<bool>* gated) {
@@ -54,6 +118,8 @@ std::shared_ptr<ServeLoop::WriterGen> ServeLoop::StartWriters(
 }
 
 QueryResult ServeLoop::Range(const Rect& query, QueryStats* stats) {
+  const int64_t trace_start_ns =
+      SampleThisQuery() ? obs::TraceJournal::NowNs() : 0;
   // Reused per thread: client threads call Range at full rate and the
   // parts are consumed before returning.
   static thread_local std::vector<ShardQueryPart> parts;
@@ -76,16 +142,24 @@ QueryResult ServeLoop::Range(const Rect& query, QueryStats* stats) {
       ObserveShard(*gen, result.epoch, part.shard, &part.rect, part.stats);
     }
   }
+  if (trace_start_ns != 0) {
+    const int64_t span_ns = obs::TraceJournal::NowNs() - trace_start_ns;
+    latency_hist_->Record(span_ns);
+    journal_.Record(obs::TraceEventKind::kQueryTrace, result.epoch,
+                    /*shard=*/-1, /*wait_ns=*/0, span_ns, /*admitted=*/0);
+  }
   return result;
 }
 
 bool ServeLoop::PointLookup(const Point& p, QueryStats* stats) {
   // Point lookups carry no rectangle and touch O(1) work; they do not feed
   // the drift monitors.
+  point_queries_ctr_->Add(1);
   return index_.PointQuery(p, stats);
 }
 
 QueryResult ServeLoop::Knn(const Point& center, int k, QueryStats* stats) {
+  knn_queries_ctr_->Add(1);
   QueryStats qs;
   QueryResult result;
   result.hits = index_.Knn(center, k, &qs, &result.snapshot_version, nullptr,
@@ -273,15 +347,16 @@ std::vector<Point> ServeLoop::AwaitCaptures(WriterGen& gen,
   return points;
 }
 
-void ServeLoop::DrainDeltas(WriterGen& old_gen, WriterGen& new_gen,
-                            const std::vector<bool>* changed,
-                            size_t batch_limit) {
+size_t ServeLoop::DrainDeltas(WriterGen& old_gen, WriterGen& new_gen,
+                              const std::vector<bool>* changed,
+                              size_t batch_limit) {
   // Drain delta chunks into the new generation (routed through the NEW
   // router) while the old generation still accepts submits, so the final
   // stop-accepting window of the cutover only has a small chunk left to
   // replay. Per-coordinate order is preserved: identical coordinates
   // always route to the same old shard, whose delta is FIFO.
   std::vector<UpdateOp> chunk;
+  size_t total_ops = 0;
   for (int round = 0; round < 8; ++round) {
     size_t moved_ops = 0;
     for (size_t s = 0; s < old_gen.writers.size(); ++s) {
@@ -297,17 +372,25 @@ void ServeLoop::DrainDeltas(WriterGen& old_gen, WriterGen& new_gen,
       }
       moved_ops += chunk.size();
     }
+    total_ops += moved_ops;
     if (moved_ops <= batch_limit) break;
   }
+  return total_ops;
 }
 
 void ServeLoop::FullRepartitionLocked(
     const std::shared_ptr<WriterGen>& old_gen, int n_new) {
   const ShardTopology& old_topo = *old_gen->topo;
+  const uint64_t target_epoch = old_topo.epoch + 1;
+  journal_.Record(obs::TraceEventKind::kMigrationPlan, target_epoch,
+                  /*shard=*/-1, /*moved=*/n_new, /*carried=*/0,
+                  /*incremental=*/0);
 
   // --- DUAL-WRITE + CAPTURE (every shard) --------------------------------
   BeginDualWriteAndCapture(*old_gen, /*changed=*/nullptr);
   std::vector<Point> points = AwaitCaptures(*old_gen, /*changed=*/nullptr);
+  journal_.Record(obs::TraceEventKind::kMigrationCapture, target_epoch,
+                  /*shard=*/-1, static_cast<int64_t>(points.size()));
 
   // --- BUILD -------------------------------------------------------------
   // Router inputs: the captured points and the recent live workload. The
@@ -325,8 +408,10 @@ void ServeLoop::FullRepartitionLocked(
   const std::shared_ptr<WriterGen> new_gen = StartWriters(new_topo);
 
   // --- CATCH-UP ----------------------------------------------------------
-  DrainDeltas(*old_gen, *new_gen, /*changed=*/nullptr,
-              opts_.writer_batch_limit);
+  const size_t drained = DrainDeltas(*old_gen, *new_gen, /*changed=*/nullptr,
+                                     opts_.writer_batch_limit);
+  journal_.Record(obs::TraceEventKind::kMigrationCatchUp, target_epoch,
+                  /*shard=*/-1, static_cast<int64_t>(drained));
 
   // --- CUTOVER -----------------------------------------------------------
   // Close every old shard (submitters retry until the new generation is
@@ -374,6 +459,8 @@ void ServeLoop::FullRepartitionLocked(
                     [&] { return w.applied >= replay_targets[s]; });
   }
   index_.PublishTopology(new_topo);
+  journal_.Record(obs::TraceEventKind::kMigrationCutover, target_epoch,
+                  /*shard=*/-1, static_cast<int64_t>(final_ops.size()));
 
   // --- RETIRE ------------------------------------------------------------
   for (const auto& w : old_gen->writers) {
@@ -389,11 +476,8 @@ void ServeLoop::FullRepartitionLocked(
   // The old topology itself is reclaimed once the last reader that pinned
   // it lets go (its shards' VersionedIndex destructors wait out their
   // snapshot drains).
-  last_moved_shards_.store(n_new, std::memory_order_relaxed);
-  last_carried_shards_.store(0, std::memory_order_relaxed);
-  last_moved_points_.store(moved_points, std::memory_order_relaxed);
-  total_moved_points_.fetch_add(moved_points, std::memory_order_relaxed);
-  repartitions_.fetch_add(1, std::memory_order_release);
+  FinishMigration(old_topo.epoch, target_epoch, /*moved_shards=*/n_new,
+                  /*carried_shards=*/0, moved_points, /*incremental=*/false);
 }
 
 bool ServeLoop::TryIncrementalRepartitionLocked(
@@ -430,12 +514,18 @@ bool ServeLoop::TryIncrementalRepartitionLocked(
       PlanIncrementalRecut(router.rows(), router.cols(), loads,
                            opts_.repartition);
   if (!plan.feasible) return false;
+  const uint64_t target_epoch = old_topo.epoch + 1;
+  journal_.Record(obs::TraceEventKind::kMigrationPlan, target_epoch,
+                  /*shard=*/-1, /*moved=*/plan.num_changed(),
+                  /*carried=*/n - plan.num_changed(), /*incremental=*/1);
 
   // --- DUAL-WRITE + CAPTURE (changed shards only) -------------------------
   // Carried shards never dual-write: their live VersionedIndex moves to
   // the new generation as-is, so every op applied to them is carried too.
   BeginDualWriteAndCapture(*old_gen, &plan.changed);
   std::vector<Point> moved = AwaitCaptures(*old_gen, &plan.changed);
+  journal_.Record(obs::TraceEventKind::kMigrationCapture, target_epoch,
+                  /*shard=*/-1, static_cast<int64_t>(moved.size()));
 
   // --- BUILD (moved boundaries + changed shards only) ---------------------
   const Workload recent = MigrationWorkload(*old_gen);
@@ -460,7 +550,10 @@ bool ServeLoop::TryIncrementalRepartitionLocked(
   const std::shared_ptr<WriterGen> new_gen = StartWriters(new_topo, &gated);
 
   // --- CATCH-UP (changed shards' deltas) ----------------------------------
-  DrainDeltas(*old_gen, *new_gen, &plan.changed, opts_.writer_batch_limit);
+  const size_t drained =
+      DrainDeltas(*old_gen, *new_gen, &plan.changed, opts_.writer_batch_limit);
+  journal_.Record(obs::TraceEventKind::kMigrationCatchUp, target_epoch,
+                  /*shard=*/-1, static_cast<int64_t>(drained));
 
   // --- CUTOVER -------------------------------------------------------------
   // ALL old shards close — carried ones too, so a submitter that loaded
@@ -530,6 +623,8 @@ bool ServeLoop::TryIncrementalRepartitionLocked(
     w.flush_cv.wait(lock, [&] { return w.applied >= replay_targets[s]; });
   }
   index_.PublishTopology(new_topo);
+  journal_.Record(obs::TraceEventKind::kMigrationCutover, target_epoch,
+                  /*shard=*/-1, static_cast<int64_t>(final_ops.size()));
 
   // --- RETIRE --------------------------------------------------------------
   for (const auto& w : old_gen->writers) {
@@ -543,29 +638,24 @@ bool ServeLoop::TryIncrementalRepartitionLocked(
     if (w->thread.joinable()) w->thread.join();
   }
   const int changed = plan.num_changed();
-  last_moved_shards_.store(changed, std::memory_order_relaxed);
-  last_carried_shards_.store(n - changed, std::memory_order_relaxed);
-  last_moved_points_.store(moved_points, std::memory_order_relaxed);
-  total_moved_points_.fetch_add(moved_points, std::memory_order_relaxed);
-  incremental_repartitions_.fetch_add(1, std::memory_order_relaxed);
-  repartitions_.fetch_add(1, std::memory_order_release);
+  FinishMigration(old_topo.epoch, target_epoch, /*moved_shards=*/changed,
+                  /*carried_shards=*/n - changed, moved_points,
+                  /*incremental=*/true);
   return true;
 }
 
 MigrationStats ServeLoop::migration_stats() const {
+  // One sequence point: every coordinator field is copied under the same
+  // mutex FinishMigration publishes under, so the snapshot can never be a
+  // torn mix of before/after a migration. stall_copies is a live counter
+  // owned by the shard writers, not the coordinator; it rides along as a
+  // point-in-time read.
   MigrationStats stats;
-  stats.migrations = repartitions_.load(std::memory_order_acquire);
-  stats.incremental =
-      incremental_repartitions_.load(std::memory_order_relaxed);
-  stats.last_moved_shards =
-      last_moved_shards_.load(std::memory_order_relaxed);
-  stats.last_carried_shards =
-      last_carried_shards_.load(std::memory_order_relaxed);
-  stats.last_moved_points =
-      last_moved_points_.load(std::memory_order_relaxed);
-  stats.total_moved_points =
-      total_moved_points_.load(std::memory_order_relaxed);
-  stats.stall_copies = stall_copies_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mig_mu_);
+    stats = mig_;
+  }
+  stats.stall_copies = stall_ctr_->value();
   return stats;
 }
 
@@ -761,7 +851,9 @@ void ServeLoop::WriterLoop(std::shared_ptr<WriterGen> gen, int s) {
         std::lock_guard<std::mutex> lock(w.monitor_mu);
         w.monitor.ResetAfterRebuild();
       }
-      rebuilds_.fetch_add(1, std::memory_order_relaxed);
+      rebuilds_ctr_->Add(1);
+      journal_.Record(obs::TraceEventKind::kDriftRebuild, gen->epoch, s,
+                      rebuilds_ctr_->value());
     }
   }
 }

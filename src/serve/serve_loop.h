@@ -93,6 +93,9 @@
 #include <vector>
 
 #include "core/drift_monitor.h"
+#include "obs/metrics.h"
+#include "obs/obs.h"
+#include "obs/trace_journal.h"
 #include "serve/admission.h"
 #include "serve/query_engine.h"
 #include "serve/repartition.h"
@@ -142,11 +145,18 @@ struct ServeOptions {
   // SubmitBatch and ExecuteBatch. capacity_bytes == 0 (default) disables
   // it.
   ResultCacheOptions cache;
+  // Observability: trace-journal capacity and per-query trace sampling
+  // rate (see obs/obs.h). The metrics registry itself has no knobs.
+  obs::ObsOptions obs;
 };
 
 // Counters of the live-migration coordinator; all monotone except the
 // last_* fields, which describe the most recent completed migration.
-// Readable from any thread (relaxed atomic mirrors underneath).
+// migration_stats() returns a mutually CONSISTENT snapshot: every field
+// except stall_copies is published under one mutex at the end of each
+// migration (a single sequence point), so an observer can rely on e.g.
+// incremental <= migrations and last_moved_points <= total_moved_points —
+// independently-read atomics used to allow torn mixes mid-publication.
 struct MigrationStats {
   int64_t migrations = 0;        // completed migrations (== repartitions())
   int64_t incremental = 0;       // of those, per-cell (carried) migrations
@@ -234,7 +244,8 @@ class ServeLoop {
   }
   // Migration-coordinator counters: incremental vs full migrations,
   // moved/carried shards and moved points of the last migration, and the
-  // writer copy-on-stall fallback count.
+  // writer copy-on-stall fallback count. One sequence point (see
+  // MigrationStats above).
   MigrationStats migration_stats() const;
   // max/mean combined shard load of the monitor's last sample (1.0 =
   // balanced; only meaningful when the monitor is enabled).
@@ -242,10 +253,16 @@ class ServeLoop {
     return last_imbalance_.load(std::memory_order_relaxed);
   }
   // Total drift rebuilds across all shards, including retired generations
-  // (monotone: writers increment one shared counter directly).
-  int64_t rebuilds() const {
-    return rebuilds_.load(std::memory_order_relaxed);
-  }
+  // (monotone; view over serve_drift_rebuilds_total).
+  int64_t rebuilds() const { return rebuilds_ctr_->value(); }
+  // The unified metrics registry every serve-layer counter publishes
+  // through (see docs/OBSERVABILITY.md for the catalog) and the
+  // serve-event trace journal. Snapshot with metrics().Snapshot() /
+  // journal().Tail(n); export with obs/exporters.h.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::TraceJournal& journal() { return journal_; }
+  const obs::TraceJournal& journal() const { return journal_; }
   // Worst (max) per-shard drift ratio of the current generation.
   double drift_ratio();
   ShardedVersionedIndex& sharded_index() { return index_; }
@@ -364,9 +381,11 @@ class ServeLoop {
                                        const std::vector<bool>* changed);
   static std::vector<Point> AwaitCaptures(WriterGen& gen,
                                           const std::vector<bool>* changed);
-  static void DrainDeltas(WriterGen& old_gen, WriterGen& new_gen,
-                          const std::vector<bool>* changed,
-                          size_t batch_limit);
+  // Returns the total number of delta ops replayed into `new_gen` (the
+  // kMigrationCatchUp attribution).
+  static size_t DrainDeltas(WriterGen& old_gen, WriterGen& new_gen,
+                            const std::vector<bool>* changed,
+                            size_t batch_limit);
   // One migration (caller holds repartition_mu_): tries the incremental
   // per-cell path when eligible, else runs the full rebuild pipeline.
   // `window_loads`, when given, are the monitor's per-interval load
@@ -390,11 +409,26 @@ class ServeLoop {
   void FullRepartitionLocked(const std::shared_ptr<WriterGen>& old_gen,
                              int n_new);
   void MonitorLoop();
+  // Builds the sharded-index options with the obs handles wired in
+  // (called from the ctor init list — metrics_/journal_ are initialized
+  // by then; see the member order below).
+  ShardedIndexOptions MakeIndexOptions();
+  // Folds one completed migration into mig_ + the registry mirrors, all
+  // under mig_mu_ (the single sequence point migration_stats() relies
+  // on), and emits the kMigrationRetire journal event.
+  void FinishMigration(uint64_t old_epoch, uint64_t new_epoch,
+                       int64_t moved_shards, int64_t carried_shards,
+                       int64_t moved_points, bool incremental);
+  // True every obs.trace_sample_every-th direct query (false at rate 0).
+  bool SampleThisQuery();
 
   ServeOptions opts_;
-  // Before index_: every shard's VersionedIndex holds a pointer to it
-  // (VersionedIndexOptions::stall_counter).
-  std::atomic<int64_t> stall_copies_{0};
+  // Before index_: every shard's VersionedIndex holds handles into the
+  // registry (stall counter, publish counter, zombie gauge) and a pointer
+  // to the journal, and cache_/engine_/admission_ register through them
+  // too. Destroyed LAST of the serve members, so no handle ever dangles.
+  obs::MetricsRegistry metrics_;
+  obs::TraceJournal journal_;
   ShardedVersionedIndex index_;
   ResultCache cache_;    // before engine_: the engine probes it
   QueryEngine engine_;
@@ -406,14 +440,29 @@ class ServeLoop {
   // Serializes migrations and Stop's writer teardown.
   std::mutex repartition_mu_;
   std::atomic<bool> stopping_{false};
+  // repartitions_ stays a bare atomic for the cheap repartitions()
+  // accessor; it is bumped inside FinishMigration's mig_mu_ block, so it
+  // never runs ahead of mig_.migrations.
   std::atomic<int64_t> repartitions_{0};
-  std::atomic<int64_t> incremental_repartitions_{0};
-  std::atomic<int64_t> last_moved_shards_{0};
-  std::atomic<int64_t> last_carried_shards_{0};
-  std::atomic<int64_t> last_moved_points_{0};
-  std::atomic<int64_t> total_moved_points_{0};
-  std::atomic<int64_t> rebuilds_{0};
+  // Every MigrationStats field except stall_copies, published as one
+  // block at the end of each migration — the single sequence point
+  // migration_stats() snapshots under.
+  mutable std::mutex mig_mu_;
+  MigrationStats mig_;
   std::atomic<double> last_imbalance_{1.0};
+  // Registry handles the loop updates directly (the shard/cache/engine/
+  // admission handles live in those components).
+  obs::Counter* rebuilds_ctr_ = nullptr;
+  obs::Counter* stall_ctr_ = nullptr;  // migration_stats().stall_copies
+  obs::Counter* migrations_ctr_ = nullptr;
+  obs::Counter* migrations_incr_ctr_ = nullptr;
+  obs::Counter* moved_points_ctr_ = nullptr;
+  obs::Gauge* last_moved_gauge_ = nullptr;
+  obs::Gauge* last_carried_gauge_ = nullptr;
+  obs::Counter* point_queries_ctr_ = nullptr;  // direct-path lookups
+  obs::Counter* knn_queries_ctr_ = nullptr;    // direct-path kNN
+  obs::Histogram* latency_hist_ = nullptr;     // sampled direct spans
+  std::atomic<uint32_t> sample_tick_{0};
   RepartitionMonitor repartition_monitor_;
   std::mutex monitor_mu_;  // monitor thread wake/stop
   std::condition_variable monitor_cv_;

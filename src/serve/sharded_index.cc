@@ -377,7 +377,11 @@ ShardedVersionedIndex::ShardedVersionedIndex(IndexFactory factory,
       build_opts_(build_opts),
       opts_(opts),
       data_name_(data.name) {
-  topology_.Store(MakeTopology(factory_, build_opts_, opts_.versioned,
+  if (opts_.registry != nullptr) {
+    epoch_gauge_ = opts_.registry->GetGauge("serve_topology_epoch");
+    shards_gauge_ = opts_.registry->GetGauge("serve_shards");
+  }
+  PublishTopology(MakeTopology(factory_, build_opts_, opts_.versioned,
                                data_name_, data.points, workload,
                                std::max(1, opts_.num_shards), data.bounds,
                                /*epoch=*/1, /*version_base=*/0));
@@ -428,9 +432,16 @@ std::shared_ptr<ShardTopology> ShardedVersionedIndex::MakeTopology(
 
   topo->shards.reserve(static_cast<size_t>(n_shards));
   for (int s = 0; s < n_shards; ++s) {
+    // Per-shard journal/metric attribution: the shard keeps this identity
+    // for its whole life, even if a later incremental migration carries it
+    // into a higher epoch.
+    VersionedIndexOptions shard_opts = vopts;
+    shard_opts.shard_id = s;
+    shard_opts.epoch = epoch;
     topo->shards.push_back(std::make_shared<VersionedIndex>(
         factory, shard_data[static_cast<size_t>(s)],
-        topo->shard_workloads[static_cast<size_t>(s)], build_opts, vopts));
+        topo->shard_workloads[static_cast<size_t>(s)], build_opts,
+        shard_opts));
   }
   return topo;
 }
@@ -482,10 +493,13 @@ std::shared_ptr<ShardTopology> ShardedVersionedIndex::BuildIncrementalTopology(
   topo->shards.reserve(static_cast<size_t>(n));
   for (int s = 0; s < n; ++s) {
     if (changed[static_cast<size_t>(s)]) {
+      VersionedIndexOptions shard_opts = opts_.versioned;
+      shard_opts.shard_id = s;
+      shard_opts.epoch = epoch;
       topo->shards.push_back(std::make_shared<VersionedIndex>(
           factory_, shard_data[static_cast<size_t>(s)],
           topo->shard_workloads[static_cast<size_t>(s)], build_opts_,
-          opts_.versioned));
+          shard_opts));
     } else {
       // Carried: the live shard changes owners, untouched — no capture,
       // no rebuild, no dual-write replay.
@@ -506,6 +520,10 @@ std::shared_ptr<ShardTopology> ShardedVersionedIndex::BuildNextTopology(
 
 void ShardedVersionedIndex::PublishTopology(
     std::shared_ptr<ShardTopology> topo) {
+  if (epoch_gauge_ != nullptr) {
+    epoch_gauge_->Set(static_cast<int64_t>(topo->epoch));
+  }
+  if (shards_gauge_ != nullptr) shards_gauge_->Set(topo->num_shards());
   topology_.Store(std::move(topo));
 }
 

@@ -154,7 +154,14 @@ class ShardRouter {
 
 struct ShardedIndexOptions {
   int num_shards = 1;
-  VersionedIndexOptions versioned;  // applied to every shard
+  // Applied to every shard; the per-shard observability attribution
+  // (shard_id, epoch) is stamped by the topology builders, so callers set
+  // only the shared fields (handles, stall deadline, track_points).
+  VersionedIndexOptions versioned;
+  // Optional metrics registry: when set, the facade publishes the current
+  // topology's epoch and shard count as gauges (serve_topology_epoch,
+  // serve_shards) on construction and every PublishTopology.
+  obs::MetricsRegistry* registry = nullptr;
 };
 
 // One immutable generation of the shard map: the router plus the shard
@@ -432,6 +439,9 @@ class ShardedVersionedIndex {
   BuildOptions build_opts_;
   ShardedIndexOptions opts_;
   std::string data_name_;
+  // Registry handles (null without opts_.registry).
+  obs::Gauge* epoch_gauge_ = nullptr;
+  obs::Gauge* shards_gauge_ = nullptr;
   AtomicCell<ShardTopology> topology_;
 };
 

@@ -1,0 +1,142 @@
+// Exporter golden-format tests: Prometheus exposition text, the JSON
+// snapshot layout, TraceTailJson, the JsonWriter building blocks, and
+// WriteFile. These formats are consumed by dashboards and by
+// tools/check_bench_json.py, so shape changes must be deliberate.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "obs/exporters.h"
+#include "obs/metrics.h"
+#include "obs/trace_journal.h"
+
+namespace wazi::obs {
+namespace {
+
+TEST(PrometheusExportTest, CountersAndGaugesGolden) {
+  MetricsRegistry reg;
+  reg.GetCounter("serve_cache_hits_total")->Add(1234);
+  reg.GetGauge("serve_cache_bytes")->Set(4096);
+  const std::string text = ToPrometheusText(reg.Snapshot());
+  EXPECT_EQ(text,
+            "# TYPE wazi_serve_cache_hits_total counter\n"
+            "wazi_serve_cache_hits_total 1234\n"
+            "# TYPE wazi_serve_cache_bytes gauge\n"
+            "wazi_serve_cache_bytes 4096\n");
+}
+
+TEST(PrometheusExportTest, HistogramBucketsAreCumulative) {
+  MetricsRegistry reg;
+  Histogram* h = reg.GetHistogram("lat_ns", {10, 100});
+  h->Record(5);    // le=10
+  h->Record(50);   // le=100
+  h->Record(60);   // le=100
+  h->Record(999);  // +Inf overflow
+  const std::string text = ToPrometheusText(reg.Snapshot(), "x_");
+  EXPECT_EQ(text,
+            "# TYPE x_lat_ns histogram\n"
+            "x_lat_ns_bucket{le=\"10\"} 1\n"
+            "x_lat_ns_bucket{le=\"100\"} 3\n"
+            "x_lat_ns_bucket{le=\"+Inf\"} 4\n"
+            "x_lat_ns_sum 1114\n"
+            "x_lat_ns_count 4\n");
+}
+
+TEST(JsonExportTest, SnapshotLayout) {
+  MetricsRegistry reg;
+  reg.GetCounter("ops_total")->Add(7);
+  reg.GetGauge("depth")->Set(-2);
+  Histogram* h = reg.GetHistogram("lat", {10});
+  h->Record(4);
+  const std::string json = ToJson(reg.Snapshot());
+  EXPECT_NE(json.find("\"counters\":{\"ops_total\":7}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"gauges\":{\"depth\":-2}"), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"lat\":{\"count\":1,\"sum\":4"), std::string::npos)
+      << json;
+  // Sparse bucket encoding: only the populated [bound, count] pairs.
+  EXPECT_NE(json.find("\"buckets\":[[10,1]]"), std::string::npos) << json;
+  // Balanced braces — must parse as a single object.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(JsonExportTest, OverflowBucketBoundIsNull) {
+  MetricsRegistry reg;
+  reg.GetHistogram("lat", {10})->Record(99999);
+  const std::string json = ToJson(reg.Snapshot());
+  EXPECT_NE(json.find("\"buckets\":[[null,1]]"), std::string::npos) << json;
+}
+
+TEST(JsonExportTest, TraceTailJsonShape) {
+  TraceJournal j(8);
+  j.Record(TraceEventKind::kMigrationPlan, /*epoch=*/3, /*shard=*/-1,
+           /*a=*/2, /*b=*/6, /*c=*/1);
+  const std::string json = TraceTailJson(j, 8);
+  EXPECT_NE(json.find("\"capacity\":8"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"recorded\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dropped\":0"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"kind\":\"migration_plan\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"epoch\":3"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"a\":2,\"b\":6,\"c\":1"), std::string::npos) << json;
+}
+
+TEST(JsonWriterTest, NestingAndCommaPlacement) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a").Int(1);
+  w.Key("b").BeginArray().Int(2).Int(3).EndArray();
+  w.Key("c").BeginObject().Key("d").String("x").EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[2,3],\"c\":{\"d\":\"x\"}}");
+}
+
+TEST(JsonWriterTest, EscapesControlCharactersAndQuotes) {
+  JsonWriter w;
+  w.BeginArray().String("he said \"hi\"\n\ttab\\done").EndArray();
+  EXPECT_EQ(w.str(), "[\"he said \\\"hi\\\"\\n\\ttab\\\\done\"]");
+  EXPECT_EQ(JsonWriter::Escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonWriterTest, NonFiniteDoublesRenderAsNull) {
+  JsonWriter w;
+  w.BeginArray()
+      .Double(std::numeric_limits<double>::quiet_NaN())
+      .Double(std::numeric_limits<double>::infinity())
+      .Double(1.5)
+      .EndArray();
+  EXPECT_EQ(w.str(), "[null,null,1.5]");
+}
+
+TEST(JsonWriterTest, RawSplicesPreRenderedValues) {
+  JsonWriter inner;
+  inner.BeginObject().Key("x").Int(1).EndObject();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("metrics").Raw(inner.str());
+  w.Key("after").Bool(true);
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"metrics\":{\"x\":1},\"after\":true}");
+}
+
+TEST(WriteFileTest, RoundTripsAndReportsFailure) {
+  const std::string path = ::testing::TempDir() + "/obs_export_test.json";
+  ASSERT_TRUE(WriteFile(path, "{\"ok\":true}\n"));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), "{\"ok\":true}\n");
+  std::remove(path.c_str());
+  // A path whose directory does not exist must fail, not crash.
+  EXPECT_FALSE(WriteFile("/nonexistent-dir-wazi/x.json", "data"));
+}
+
+}  // namespace
+}  // namespace wazi::obs

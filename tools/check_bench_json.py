@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Validates a BENCH_serve_*.json emitted by bench_serve_throughput --json.
+
+Stdlib-only schema check for the "wazi.bench.serve/1" layout, run by the
+CI bench-smoke job so a drive-by change to the bench's JSON writer cannot
+silently break downstream perf-trajectory tooling.
+
+Usage: check_bench_json.py BENCH_serve_smoke.json [more.json ...]
+Exits non-zero with one line per violation.
+"""
+
+import json
+import sys
+
+SCHEMA = "wazi.bench.serve/1"
+
+CELL_REQUIRED = {
+    "shards": int,
+    "cache_mb": int,
+    "admission_window_us": int,
+    "write_pct": int,
+    "threads": int,
+    "qps": (int, float),
+    "writes_per_s": (int, float),
+    "p50_ns": (int, float),
+    "p90_ns": (int, float),
+    "p99_ns": (int, float),
+    "cache_hit_rate": (int, float),
+}
+
+ARM_REQUIRED = {
+    "arm": str,
+    "qps_pre": (int, float),
+    "qps_post": (int, float),
+    "p99_post_ns": (int, float),
+    "migrations": int,
+    "incremental": int,
+    "moved_points": int,
+}
+
+# Counters the serve stack always registers; their presence proves the
+# metrics snapshot actually came from a wired-up ServeLoop.
+METRIC_COUNTERS_REQUIRED = [
+    "serve_migrations_total",
+    "serve_snapshot_publishes_total",
+    "serve_cache_hits_total",
+    "serve_cache_misses_total",
+]
+
+
+def _check_fields(obj, required, where, errors):
+    for key, types in required.items():
+        if key not in obj:
+            errors.append(f"{where}: missing key '{key}'")
+        elif not isinstance(obj[key], types) or isinstance(obj[key], bool):
+            errors.append(
+                f"{where}: '{key}' has type {type(obj[key]).__name__}, "
+                f"expected {types}")
+
+
+def validate(path):
+    errors = []
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable or invalid JSON: {exc}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+    if doc.get("schema") != SCHEMA:
+        errors.append(
+            f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    for key in ("bench", "scenario", "index"):
+        if not isinstance(doc.get(key), str):
+            errors.append(f"{path}: missing or non-string '{key}'")
+    for key in ("points", "seconds_per_cell"):
+        if key not in doc:
+            errors.append(f"{path}: missing '{key}'")
+
+    cells = doc.get("cells")
+    if not isinstance(cells, list):
+        errors.append(f"{path}: 'cells' missing or not a list")
+    elif not cells and not doc.get("repartition_arms"):
+        # The sweep is empty only in --repartition mode, where the arms
+        # carry the results instead.
+        errors.append(f"{path}: 'cells' empty without repartition_arms")
+    else:
+        for i, cell in enumerate(cells):
+            where = f"{path}: cells[{i}]"
+            if not isinstance(cell, dict):
+                errors.append(f"{where}: not an object")
+                continue
+            _check_fields(cell, CELL_REQUIRED, where, errors)
+            if isinstance(cell.get("qps"), (int, float)) and cell["qps"] < 0:
+                errors.append(f"{where}: negative qps")
+            rate = cell.get("cache_hit_rate")
+            if isinstance(rate, (int, float)) and not 0 <= rate <= 1:
+                errors.append(f"{where}: cache_hit_rate {rate} not in [0,1]")
+
+    arms = doc.get("repartition_arms")
+    if arms is not None:
+        if not isinstance(arms, list):
+            errors.append(f"{path}: 'repartition_arms' is not a list")
+        else:
+            for i, arm in enumerate(arms):
+                where = f"{path}: repartition_arms[{i}]"
+                if not isinstance(arm, dict):
+                    errors.append(f"{where}: not an object")
+                    continue
+                _check_fields(arm, ARM_REQUIRED, where, errors)
+
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append(f"{path}: 'metrics' missing or not an object")
+    else:
+        counters = metrics.get("counters")
+        if not isinstance(counters, dict):
+            errors.append(f"{path}: metrics.counters missing")
+        else:
+            for name in METRIC_COUNTERS_REQUIRED:
+                if name not in counters:
+                    errors.append(f"{path}: metrics.counters['{name}'] missing")
+        for section in ("gauges", "histograms"):
+            if not isinstance(metrics.get(section), dict):
+                errors.append(f"{path}: metrics.{section} missing")
+
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        errors = validate(path)
+        if errors:
+            failures += 1
+            for line in errors:
+                print(f"FAIL {line}", file=sys.stderr)
+        else:
+            print(f"OK   {path}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -14,7 +14,9 @@
 //                        --queries 2000 --selectivity 0.0256%
 //                        --repartition 0|1 --incremental 0|1
 //                        --auto-shards 0|1 --cache-mb 64
-//                        --admission-window 200]
+//                        --admission-window 200
+//                        --stats-json out.json --trace-dump 50
+//                        --trace-sample 100]
 //
 // `throughput` (alias: `serve`) drives the concurrent serving engine
 // (src/serve/): N client threads issue range queries against the live
@@ -30,6 +32,12 @@
 // has a hot set to hold); `--admission-window US` routes reads through
 // the batched admission pipeline (SubmitQuery futures, 8 in flight per
 // client) with the given coalescing window in microseconds.
+// `--stats-json <path>` writes the run summary, the full serve metrics
+// registry and a trace-journal tail as one JSON document;
+// `--trace-dump N` prints the journal's last N serve events (snapshot
+// swaps, migration phases, stalls) to stderr after the run; and
+// `--trace-sample N` samples every Nth query into a full
+// submit→admit→execute→resolve span (see docs/OBSERVABILITY.md).
 //
 // The persisted format only covers the Z-index family (wazi/base); the
 // other baselines are in-memory research comparators.
@@ -49,6 +57,7 @@
 #include "common/timer.h"
 #include "core/serialize.h"
 #include "core/wazi.h"
+#include "obs/exporters.h"
 #include "serve/client_driver.h"
 #include "serve/serve_loop.h"
 #include "workload/io.h"
@@ -288,12 +297,22 @@ int CmdThroughput(const std::map<std::string, std::string>& flags) {
       std::strtol(FlagOr(flags, "cache-mb", "0").c_str(), nullptr, 10));
   const int adm_window = static_cast<int>(std::strtol(
       FlagOr(flags, "admission-window", "0").c_str(), nullptr, 10));
+  // --stats-json <path>: write the run summary + full metrics registry +
+  // trace-journal tail as JSON. --trace-dump N: print the last N journal
+  // events to stderr. --trace-sample N: sample every Nth query into a
+  // full span (0 = off; see docs/OBSERVABILITY.md).
+  const std::string stats_json = FlagOr(flags, "stats-json", "");
+  const long trace_dump =
+      std::strtol(FlagOr(flags, "trace-dump", "0").c_str(), nullptr, 10);
+  const long trace_sample =
+      std::strtol(FlagOr(flags, "trace-sample", "0").c_str(), nullptr, 10);
   if (threads < 1 || shards < 1 || write_pct < 0 || seconds <= 0.0 ||
-      cache_mb < 0 || adm_window < 0) {
+      cache_mb < 0 || adm_window < 0 || trace_dump < 0 || trace_sample < 0) {
     std::fprintf(stderr,
                  "--threads and --shards want >= 1, --mix wants e.g. "
-                 "95r/5w, --seconds wants > 0, --cache-mb and "
-                 "--admission-window want >= 0\n");
+                 "95r/5w, --seconds wants > 0, --cache-mb, "
+                 "--admission-window, --trace-dump and --trace-sample "
+                 "want >= 0\n");
     return 2;
   }
   if (MakeIndex(index_name) == nullptr) {
@@ -332,6 +351,7 @@ int CmdThroughput(const std::map<std::string, std::string>& flags) {
       FlagOr(flags, "auto-shards", "0") == "1";
   sopts.cache.capacity_bytes = static_cast<size_t>(cache_mb) * 1024 * 1024;
   sopts.admission.window_us = adm_window;
+  sopts.obs.trace_sample_every = static_cast<uint32_t>(trace_sample);
   // Admission arms execute batches on the engine pool, not the clients.
   if (adm_window > 0) sopts.num_threads = 4;
   serve::ServeLoop loop([&index_name] { return MakeIndex(index_name); }, data,
@@ -403,6 +423,47 @@ int CmdThroughput(const std::map<std::string, std::string>& flags) {
         static_cast<long long>(as.dispatched),
         static_cast<long long>(as.batches), as.mean_batch(),
         static_cast<long long>(as.max_batch));
+  }
+  if (trace_dump > 0) {
+    const std::vector<obs::TraceEvent> tail =
+        loop.journal().Tail(static_cast<size_t>(trace_dump));
+    std::fprintf(stderr,
+                 "--- trace journal: last %zu of %llu event(s), %llu "
+                 "dropped ---\n",
+                 tail.size(),
+                 static_cast<unsigned long long>(loop.journal().recorded()),
+                 static_cast<unsigned long long>(loop.journal().dropped()));
+    const int64_t origin = tail.empty() ? 0 : tail.front().t_ns;
+    for (const obs::TraceEvent& e : tail) {
+      std::fprintf(stderr, "%s\n", obs::FormatEvent(e, origin).c_str());
+    }
+  }
+  if (!stats_json.empty()) {
+    obs::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").String("wazi.cli.throughput/1");
+    w.Key("index").String(index_name);
+    w.Key("threads").Int(threads);
+    w.Key("shards").Int(loop.num_shards());
+    w.Key("write_pct").Int(write_pct);
+    w.Key("qps").Double(static_cast<double>(load.queries) /
+                        load.elapsed_seconds);
+    w.Key("writes_per_s").Double(static_cast<double>(load.writes) /
+                                 load.elapsed_seconds);
+    w.Key("p50_ns").Int(load.latencies.PercentileNs(50));
+    w.Key("p90_ns").Int(load.latencies.PercentileNs(90));
+    w.Key("p99_ns").Int(load.latencies.PercentileNs(99));
+    w.Key("epoch").UInt(loop.epoch());
+    w.Key("metrics").Raw(obs::ToJson(loop.metrics().Snapshot()));
+    w.Key("trace").Raw(obs::TraceTailJson(
+        loop.journal(), trace_dump > 0 ? static_cast<size_t>(trace_dump)
+                                       : size_t{64}));
+    w.EndObject();
+    if (!obs::WriteFile(stats_json, w.str() + "\n")) {
+      std::fprintf(stderr, "cannot write %s\n", stats_json.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", stats_json.c_str());
   }
   return 0;
 }
