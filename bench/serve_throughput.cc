@@ -16,6 +16,7 @@
 //                          [--json <path>]
 //   bench_serve_throughput --repartition 4 [--incremental 0|1]
 //                          [--json <path>]
+//   bench_serve_throughput --net [--threads 1,2,4,8] [--json <path>]
 //
 // --json <path> additionally writes a machine-readable snapshot of the
 // run (schema "wazi.bench.serve/1": per-cell QPS + latency percentiles +
@@ -41,6 +42,17 @@
 // monitor enabled (live router swap + data migration mid-phase). A
 // validator thread checks sentinel points through both phases; the
 // run must complete with zero query errors.
+//
+// --net replaces the sweep with a wire-vs-embedded experiment: one
+// ServeLoop is built, a WireServer (src/net/) listens on an ephemeral
+// loopback port, and for each client thread count the SAME read-only
+// workload runs twice — once in-process through the admission pipeline
+// (SubmitQuery futures, 8 in flight per client) and once over TCP
+// through pipelined WireClients (same depth). Both arms exercise
+// identical batching, so QPS and latency deltas isolate the wire:
+// framing, syscalls, loopback, and the server's reader/writer threads.
+// A 95r/5w pass rides along. Cells carry transport "embedded" | "wire"
+// in the JSON (CI publishes it as BENCH_serve_net.json).
 //
 // --incremental 1 (with --repartition N) adds a THIRD arm that allows
 // per-cell migrations: only shards whose cut boundaries move are
@@ -70,6 +82,8 @@
 
 #include "common/harness.h"
 #include "common/timer.h"
+#include "net/wire_load.h"
+#include "net/wire_server.h"
 #include "obs/exporters.h"
 #include "obs/metrics.h"
 #include "serve/client_driver.h"
@@ -313,10 +327,14 @@ struct JsonCell {
   int write_pct = 0;
   int threads = 0;
   CellResult cell;
+  // How the clients reached the engine: in-process ("embedded") or over
+  // the TCP wire protocol ("wire", --net mode only).
+  std::string transport = "embedded";
 };
 
 void WriteCellJson(obs::JsonWriter& w, const JsonCell& jc) {
   w.BeginObject();
+  w.Key("transport").String(jc.transport);
   w.Key("shards").Int(jc.shards);
   w.Key("cache_mb").Int(jc.cache_mb);
   w.Key("admission_window_us").Int(jc.adm_window);
@@ -383,6 +401,138 @@ int WriteBenchJson(const char* path, const std::string& index_name,
     return 1;
   }
   std::fprintf(stderr, "[serve] wrote %s\n", path);
+  return 0;
+}
+
+// Converts a client-load run into the common cell shape (no cache in
+// net mode, so hit rate stays 0).
+CellResult CellFromLoad(const ClientLoadResult& load) {
+  CellResult cell;
+  cell.qps = static_cast<double>(load.queries) / load.elapsed_seconds;
+  cell.writes_per_s =
+      static_cast<double>(load.writes) / load.elapsed_seconds;
+  cell.p50_ns = load.latencies.PercentileNs(50);
+  cell.p90_ns = load.latencies.PercentileNs(90);
+  cell.p99_ns = load.latencies.PercentileNs(99);
+  return cell;
+}
+
+// Wire-vs-embedded: the same workload, thread counts and pipelining
+// depth, once through in-process admission futures and once through TCP
+// WireClients against a WireServer on loopback. Both arms batch through
+// SubmitBatch with 8 requests in flight per client, so the reported
+// ratio charges only the wire: framing, syscalls, loopback transit and
+// the server's per-connection reader/writer threads.
+int RunNetExperiment(const std::string& index_name, const Dataset& data,
+                     const Workload& workload, int shards,
+                     const std::vector<int>& thread_counts, double seconds,
+                     const char* json_path) {
+  // Fixed admission window for both arms (the --net comparison is not an
+  // admission sweep; it just needs batching on and identical).
+  constexpr int kWindowUs = 100;
+  std::fprintf(stderr,
+               "[serve] building %d shard(s) of %s over %zu points "
+               "(net mode)...\n",
+               shards, index_name.c_str(), data.size());
+  Timer build_timer;
+  ServeOptions opts;
+  opts.num_shards = shards;
+  opts.num_threads = 4;
+  opts.auto_rebuild = false;
+  opts.writer_coalesce_ms = 8;
+  opts.admission.window_us = kWindowUs;
+  ServeLoop loop([&index_name] { return MakeIndex(index_name); }, data,
+                 workload, BuildOptions{}, opts);
+  std::fprintf(stderr, "[serve] built in %.1fs; hw_threads=%u\n",
+               build_timer.ElapsedSeconds(),
+               std::thread::hardware_concurrency());
+
+  net::WireServer server(&loop);
+  std::string error;
+  if (!server.Start(&error)) {
+    std::fprintf(stderr, "[serve] wire server: %s\n", error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[serve] wire server on 127.0.0.1:%u\n",
+               static_cast<unsigned>(server.port()));
+
+  std::vector<std::vector<std::string>> rows;
+  std::vector<JsonCell> json_cells;
+  const int ref_threads = thread_counts.back();
+  double emb_ref_qps = 0.0, wire_ref_qps = 0.0;
+  int64_t emb_ref_p50 = 0, wire_ref_p50 = 0;
+  int64_t emb_ref_p99 = 0, wire_ref_p99 = 0;
+  for (const int write_pct : {0, 5}) {
+    const std::string mode = write_pct == 0 ? "read-only" : "95r/5w";
+    for (const int threads : thread_counts) {
+      const CellResult emb =
+          RunCell(loop, workload, threads, write_pct, seconds,
+                  /*skewed_reads=*/false, /*via_admission=*/true);
+      ClientLoadOptions copts;
+      copts.threads = threads;
+      copts.write_pct = write_pct;
+      copts.seconds = seconds;
+      copts.admission_depth = 8;  // same pipelining depth as the embedded arm
+      const ClientLoadResult wire_load = net::RunWireClientLoad(
+          "127.0.0.1", server.port(), workload, copts);
+      if (wire_load.elapsed_seconds <= 0.0 || wire_load.queries == 0) {
+        std::fprintf(stderr,
+                     "[serve] wire arm produced no load (connect failed?)\n");
+        return 1;
+      }
+      const CellResult wire = CellFromLoad(wire_load);
+      if (write_pct == 0 && threads == ref_threads) {
+        emb_ref_qps = emb.qps;
+        wire_ref_qps = wire.qps;
+        emb_ref_p50 = emb.p50_ns;
+        wire_ref_p50 = wire.p50_ns;
+        emb_ref_p99 = emb.p99_ns;
+        wire_ref_p99 = wire.p99_ns;
+      }
+      for (const auto* arm : {&emb, &wire}) {
+        const bool is_wire = arm == &wire;
+        rows.push_back({is_wire ? "wire" : "embedded", mode,
+                        std::to_string(threads), FormatQps(arm->qps),
+                        FormatNs(static_cast<double>(arm->p50_ns)),
+                        FormatNs(static_cast<double>(arm->p90_ns)),
+                        FormatNs(static_cast<double>(arm->p99_ns)),
+                        FormatQps(arm->writes_per_s)});
+        if (json_path != nullptr) {
+          json_cells.push_back(JsonCell{shards, /*cache_mb=*/0, kWindowUs,
+                                        write_pct, threads, *arm,
+                                        is_wire ? "wire" : "embedded"});
+        }
+      }
+      std::fprintf(stderr,
+                   "[serve] net %s threads=%d: embedded %.0f q/s, wire "
+                   "%.0f q/s\n",
+                   mode.c_str(), threads, emb.qps, wire.qps);
+    }
+  }
+  server.Stop();
+
+  char title[200];
+  std::snprintf(title, sizeof(title),
+                "Wire vs embedded serving (%s, %zu pts, %d shard(s), "
+                "admission window %dus, depth 8, %.1fs/cell)",
+                index_name.c_str(), data.size(), shards, kWindowUs, seconds);
+  PrintTable(title, {"transport", "mode", "threads", "QPS", "p50", "p90",
+                     "p99", "w/s"},
+             rows);
+  if (emb_ref_qps > 0.0) {
+    std::printf(
+        "\nread-only at %d threads: wire carries %.0f%% of embedded QPS "
+        "(%.2fx overhead); p50 +%s, p99 +%s\n",
+        ref_threads, 100.0 * wire_ref_qps / emb_ref_qps,
+        emb_ref_qps / wire_ref_qps,
+        FormatNs(static_cast<double>(wire_ref_p50 - emb_ref_p50)).c_str(),
+        FormatNs(static_cast<double>(wire_ref_p99 - emb_ref_p99)).c_str());
+  }
+  if (json_path != nullptr) {
+    const obs::MetricsSnapshot metrics = loop.metrics().Snapshot();
+    return WriteBenchJson(json_path, index_name, data.size(), seconds,
+                          json_cells, /*arms=*/nullptr, &metrics);
+  }
   return 0;
 }
 
@@ -520,9 +670,21 @@ int Main(int argc, char** argv) {
   std::vector<int> adm_windows = {0};
   int repartition_shards = 0;
   bool incremental_arm = false;
+  bool net_mode = false;
   const char* json_path = nullptr;
   int argi = 1;
-  for (; argi + 1 < argc; argi += 2) {
+  while (argi < argc) {
+    // --net is the one valueless flag; everything else is a --flag value
+    // pair.
+    if (std::strcmp(argv[argi], "--net") == 0) {
+      net_mode = true;
+      argi += 1;
+      continue;
+    }
+    if (argi + 1 >= argc) {
+      std::fprintf(stderr, "flag '%s' is missing its value\n", argv[argi]);
+      return 2;
+    }
     if (std::strcmp(argv[argi], "--shards") == 0) {
       shard_counts = ParseIntList(argv[argi + 1], "--shards");
     } else if (std::strcmp(argv[argi], "--threads") == 0) {
@@ -542,15 +704,12 @@ int Main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown flag '%s' (known: --shards --threads --cache-mb "
-                   "--admission-window --repartition --incremental "
+                   "--admission-window --repartition --incremental --net "
                    "--json)\n",
                    argv[argi]);
       return 2;
     }
-  }
-  if (argi < argc) {
-    std::fprintf(stderr, "flag '%s' is missing its value\n", argv[argi]);
-    return 2;
+    argi += 2;
   }
   // The cache/admission arms only mean something against an off baseline
   // under the SAME (skewed) read stream, and the summaries read the
@@ -572,6 +731,14 @@ int Main(int argc, char** argv) {
   const Workload& workload =
       GetWorkload(Region::kCaliNev, scale.num_queries, 0.000256);
 
+  if (net_mode) {
+    if (repartition_shards > 0) {
+      std::fprintf(stderr, "--net and --repartition are exclusive\n");
+      return 2;
+    }
+    return RunNetExperiment(index_name, data, workload, shard_counts.back(),
+                            thread_counts, seconds, json_path);
+  }
   if (repartition_shards > 0) {
     return RunRepartitionExperiment(index_name, data, workload,
                                     repartition_shards, seconds,

@@ -1,0 +1,108 @@
+#include "net/socket_io.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace wazi::net {
+namespace {
+
+bool FillAddr(const std::string& host, uint16_t port, sockaddr_in* addr,
+              std::string* error) {
+  std::memset(addr, 0, sizeof(*addr));
+  addr->sin_family = AF_INET;
+  addr->sin_port = htons(port);
+  // Numeric IPv4 only: the serving layer targets loopback and
+  // explicitly-addressed lab hosts; name resolution stays out of the
+  // dependency set.
+  if (inet_pton(AF_INET, host.c_str(), &addr->sin_addr) != 1) {
+    if (error != nullptr) *error = "not a numeric IPv4 address: " + host;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void SetTcpNoDelay(int fd) {
+  const int one = 1;
+  (void)setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+int ListenTcp(const std::string& address, uint16_t port, int backlog,
+              uint16_t* bound_port, std::string* error) {
+  sockaddr_in addr;
+  if (!FillAddr(address, port, &addr, error)) return -1;
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return -1;
+  }
+  const int one = 1;
+  (void)setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      listen(fd, backlog) != 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    close(fd);
+    return -1;
+  }
+  if (bound_port != nullptr) {
+    sockaddr_in actual;
+    socklen_t len = sizeof(actual);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&actual), &len) == 0) {
+      *bound_port = ntohs(actual.sin_port);
+    }
+  }
+  return fd;
+}
+
+int ConnectTcp(const std::string& host, uint16_t port, std::string* error) {
+  sockaddr_in addr;
+  if (!FillAddr(host, port, &addr, error)) return -1;
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    return -1;
+  }
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    if (error != nullptr) *error = std::strerror(errno);
+    close(fd);
+    return -1;
+  }
+  SetTcpNoDelay(fd);
+  return fd;
+}
+
+bool SendAll(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    // MSG_NOSIGNAL: a vanished peer must surface as EPIPE, not SIGPIPE.
+    const ssize_t sent = send(fd, p, n, MSG_NOSIGNAL);
+    if (sent < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += sent;
+    n -= static_cast<size_t>(sent);
+  }
+  return true;
+}
+
+ptrdiff_t RecvSome(int fd, void* buf, size_t n) {
+  for (;;) {
+    const ssize_t got = recv(fd, buf, n, 0);
+    if (got < 0 && errno == EINTR) continue;
+    return got;
+  }
+}
+
+void ShutdownSocket(int fd) { (void)shutdown(fd, SHUT_RDWR); }
+
+void CloseSocket(int fd) { (void)close(fd); }
+
+}  // namespace wazi::net

@@ -1,0 +1,45 @@
+// Thin POSIX TCP helpers shared by WireServer and WireClient: loopback
+// listeners, blocking connects, and full-buffer send. Nothing here knows
+// about frames — byte-stream plumbing only.
+
+#ifndef WAZI_NET_SOCKET_IO_H_
+#define WAZI_NET_SOCKET_IO_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace wazi::net {
+
+// Binds and listens on `address:port` (port 0 = ephemeral). Returns the
+// listening fd, or -1 with *error filled. *bound_port receives the actual
+// port (the ephemeral pick included).
+int ListenTcp(const std::string& address, uint16_t port, int backlog,
+              uint16_t* bound_port, std::string* error);
+
+// Blocking connect to `host:port` with TCP_NODELAY set (pipelined
+// request/response traffic must not wait out Nagle). Returns the fd, or
+// -1 with *error filled.
+int ConnectTcp(const std::string& host, uint16_t port, std::string* error);
+
+// Sends the whole buffer, looping over partial writes. False on any error
+// (the peer vanished); errno is left for the caller.
+bool SendAll(int fd, const void* data, size_t n);
+
+// One recv() into `buf`; returns bytes read, 0 on orderly close, -1 on
+// error. Retries EINTR.
+ptrdiff_t RecvSome(int fd, void* buf, size_t n);
+
+// TCP_NODELAY for accepted server-side sockets (ConnectTcp sets it on the
+// client side already).
+void SetTcpNoDelay(int fd);
+
+// shutdown(SHUT_RDWR): unblocks any thread parked in recv/send on `fd`
+// without racing the close of the descriptor itself.
+void ShutdownSocket(int fd);
+
+void CloseSocket(int fd);
+
+}  // namespace wazi::net
+
+#endif  // WAZI_NET_SOCKET_IO_H_

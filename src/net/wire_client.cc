@@ -1,0 +1,216 @@
+#include "net/wire_client.h"
+
+#include <utility>
+
+#include "net/socket_io.h"
+
+namespace wazi::net {
+namespace {
+
+// A promise type may already hold a value/exception when the connection
+// dies between resolve and erase; swallow the double-set.
+template <typename P, typename E>
+void TrySetException(P& promise, const E& e) {
+  try {
+    promise.set_exception(std::make_exception_ptr(e));
+  } catch (const std::future_error&) {
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<WireClient> WireClient::Connect(const std::string& host,
+                                                uint16_t port,
+                                                std::string* error,
+                                                WireClientOptions opts) {
+  const int fd = ConnectTcp(host, port, error);
+  if (fd < 0) return nullptr;
+  return std::unique_ptr<WireClient>(new WireClient(fd, opts));
+}
+
+WireClient::WireClient(int fd, const WireClientOptions& opts)
+    : opts_(opts), fd_(fd) {
+  reader_ = std::thread([this] { ReaderLoop(); });
+}
+
+WireClient::~WireClient() { Close(); }
+
+void WireClient::Close() {
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  // Unblocks the reader's recv; it fails any still-pending ops and exits.
+  ShutdownSocket(fd_);
+  if (reader_.joinable()) reader_.join();
+  CloseSocket(fd_);
+}
+
+bool WireClient::connected() const {
+  if (closed_.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  return !dead_;
+}
+
+uint64_t WireClient::Register(std::unique_ptr<Pending> op) {
+  std::lock_guard<std::mutex> lock(pending_mu_);
+  if (dead_) {
+    const WireClientError e(WireError::kNone, "connection closed");
+    if (op->is_update) {
+      TrySetException(op->update, e);
+    } else {
+      TrySetException(op->query, e);
+    }
+    return 0;
+  }
+  const uint64_t corr = next_corr_++;
+  pending_[corr] = std::move(op);
+  return corr;
+}
+
+void WireClient::SendFrame(const std::string& frame) {
+  bool ok;
+  {
+    std::lock_guard<std::mutex> lock(send_mu_);
+    ok = SendAll(fd_, frame.data(), frame.size());
+  }
+  if (!ok) FailAllPending("send failed: connection lost");
+}
+
+std::future<serve::QueryResult> WireClient::SubmitRange(const Rect& rect) {
+  auto op = std::make_unique<Pending>();
+  std::future<serve::QueryResult> fut = op->query.get_future();
+  const uint64_t corr = Register(std::move(op));
+  if (corr == 0) return fut;
+  std::string frame;
+  EncodeRangeQuery(corr, rect, &frame);
+  SendFrame(frame);
+  return fut;
+}
+
+std::future<serve::QueryResult> WireClient::SubmitPoint(const Point& p) {
+  auto op = std::make_unique<Pending>();
+  std::future<serve::QueryResult> fut = op->query.get_future();
+  const uint64_t corr = Register(std::move(op));
+  if (corr == 0) return fut;
+  std::string frame;
+  EncodePointQuery(corr, p, &frame);
+  SendFrame(frame);
+  return fut;
+}
+
+std::future<serve::QueryResult> WireClient::SubmitKnn(const Point& center,
+                                                      int k) {
+  auto op = std::make_unique<Pending>();
+  std::future<serve::QueryResult> fut = op->query.get_future();
+  const uint64_t corr = Register(std::move(op));
+  if (corr == 0) return fut;
+  std::string frame;
+  EncodeKnnQuery(corr, center, k, &frame);
+  SendFrame(frame);
+  return fut;
+}
+
+std::future<void> WireClient::SubmitInsert(const Point& p) {
+  auto op = std::make_unique<Pending>();
+  op->is_update = true;
+  std::future<void> fut = op->update.get_future();
+  const uint64_t corr = Register(std::move(op));
+  if (corr == 0) return fut;
+  std::string frame;
+  EncodeInsert(corr, p, &frame);
+  SendFrame(frame);
+  return fut;
+}
+
+std::future<void> WireClient::SubmitRemove(const Point& p) {
+  auto op = std::make_unique<Pending>();
+  op->is_update = true;
+  std::future<void> fut = op->update.get_future();
+  const uint64_t corr = Register(std::move(op));
+  if (corr == 0) return fut;
+  std::string frame;
+  EncodeRemove(corr, p, &frame);
+  SendFrame(frame);
+  return fut;
+}
+
+void WireClient::ReaderLoop() {
+  FrameDecoder decoder(opts_.max_response_frame_bytes);
+  std::vector<char> buf(64 * 1024);
+  for (;;) {
+    const ptrdiff_t got = RecvSome(fd_, buf.data(), buf.size());
+    if (got <= 0) {
+      FailAllPending("connection closed by server");
+      return;
+    }
+    decoder.Feed(buf.data(), static_cast<size_t>(got));
+    Frame frame;
+    for (;;) {
+      const FrameDecoder::Status st = decoder.Next(&frame);
+      if (st == FrameDecoder::Status::kNeedMore) break;
+      if (st == FrameDecoder::Status::kError) {
+        FailAllPending(std::string("response framing error: ") +
+                       WireErrorName(decoder.error()));
+        return;
+      }
+      WireResponse resp;
+      if (!DecodeResponse(frame, &resp)) {
+        FailAllPending("malformed response payload");
+        return;
+      }
+      std::unique_ptr<Pending> op;
+      {
+        std::lock_guard<std::mutex> lock(pending_mu_);
+        auto it = pending_.find(resp.corr_id);
+        if (it != pending_.end()) {
+          op = std::move(it->second);
+          pending_.erase(it);
+        }
+      }
+      // A response with no pending op: the server's fatal corr_id-0 error
+      // frame, or a duplicate. Surface fatal errors to everyone waiting.
+      if (op == nullptr) {
+        if (resp.type == MsgType::kError) {
+          FailAllPending(std::string("server error: ") +
+                         WireErrorName(resp.error) + ": " + resp.error_msg);
+          return;
+        }
+        continue;
+      }
+      if (resp.type == MsgType::kError) {
+        const WireClientError e(resp.error,
+                                std::string(WireErrorName(resp.error)) + ": " +
+                                    resp.error_msg);
+        if (op->is_update) {
+          TrySetException(op->update, e);
+        } else {
+          TrySetException(op->query, e);
+        }
+        continue;
+      }
+      if (op->is_update) {
+        op->update.set_value();
+      } else {
+        op->query.set_value(std::move(resp.result));
+      }
+    }
+  }
+}
+
+void WireClient::FailAllPending(const std::string& what) {
+  std::unordered_map<uint64_t, std::unique_ptr<Pending>> orphans;
+  {
+    std::lock_guard<std::mutex> lock(pending_mu_);
+    dead_ = true;
+    orphans.swap(pending_);
+  }
+  const WireClientError e(WireError::kNone, what);
+  for (auto& [corr, op] : orphans) {
+    (void)corr;
+    if (op->is_update) {
+      TrySetException(op->update, e);
+    } else {
+      TrySetException(op->query, e);
+    }
+  }
+}
+
+}  // namespace wazi::net

@@ -1,0 +1,126 @@
+// Pipelined TCP client for the wire protocol (net/wire_format.h).
+//
+// Every Submit* encodes one frame, sends it (TCP_NODELAY, so a lone
+// request leaves immediately) and returns a future; a background reader
+// thread matches responses to futures by correlation id, so any number of
+// requests may be in flight and responses may resolve out of order.
+// Issuing a window of Submits before collecting the futures is the whole
+// pipelining story — no batch API needed on the wire.
+//
+// Error handling: a kError response resolves that request's future with a
+// WireClientError exception; a vanished server fails every outstanding
+// future the same way. The sync conveniences (Range/PointLookup/Knn)
+// just wrap submit + get and therefore throw on those paths.
+//
+// Thread-safety: Submit* from any thread (sends are serialized on one
+// mutex); Close/destructor from one thread after submitters are done.
+
+#ifndef WAZI_NET_WIRE_CLIENT_H_
+#define WAZI_NET_WIRE_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+#include "net/wire_format.h"
+#include "serve/query_engine.h"
+
+namespace wazi::net {
+
+// A per-request or connection-level wire failure, carrying the protocol
+// error code when the server reported one (kNone for transport failures).
+class WireClientError : public std::runtime_error {
+ public:
+  WireClientError(WireError code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+  WireError code() const { return code_; }
+
+ private:
+  WireError code_;
+};
+
+struct WireClientOptions {
+  // Response frame cap — sized for range results, which can carry an
+  // entire hot region (24 bytes per hit).
+  size_t max_response_frame_bytes = 64u << 20;
+};
+
+class WireClient {
+ public:
+  // Connects to `host:port` (numeric IPv4). Null with *error filled on a
+  // refused/failed connect.
+  static std::unique_ptr<WireClient> Connect(const std::string& host,
+                                             uint16_t port,
+                                             std::string* error,
+                                             WireClientOptions opts = {});
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  // --- pipelined submission (any thread) ---
+  std::future<serve::QueryResult> SubmitRange(const Rect& rect);
+  std::future<serve::QueryResult> SubmitPoint(const Point& p);
+  std::future<serve::QueryResult> SubmitKnn(const Point& center, int k);
+  // Resolves when the server ACCEPTED the op into the owning shard's
+  // writer queue (not when it applied — same contract as the in-process
+  // SubmitInsert/SubmitRemove, which return before application too).
+  std::future<void> SubmitInsert(const Point& p);
+  std::future<void> SubmitRemove(const Point& p);
+
+  // --- sync conveniences ---
+  serve::QueryResult Range(const Rect& rect) { return SubmitRange(rect).get(); }
+  bool PointLookup(const Point& p) { return SubmitPoint(p).get().found; }
+  serve::QueryResult Knn(const Point& center, int k) {
+    return SubmitKnn(center, k).get();
+  }
+
+  // Shuts the connection down and fails any outstanding futures; the
+  // destructor calls it. Idempotent.
+  void Close();
+
+  bool connected() const;
+
+ private:
+  struct Pending {
+    bool is_update = false;
+    std::promise<serve::QueryResult> query;
+    std::promise<void> update;
+  };
+
+  WireClient(int fd, const WireClientOptions& opts);
+
+  // Registers a pending op under a fresh corr_id (the caller holds the
+  // future already). Returns 0 — with the op failed dead-connection —
+  // when the transport is gone.
+  uint64_t Register(std::unique_ptr<Pending> op);
+  // Sends one encoded frame; on failure fails every pending op (the
+  // just-registered one included).
+  void SendFrame(const std::string& frame);
+  void ReaderLoop();
+  // Fails every pending op with `what` and marks the connection dead.
+  void FailAllPending(const std::string& what);
+
+  const WireClientOptions opts_;
+  int fd_;
+  std::atomic<bool> closed_{false};
+
+  std::mutex send_mu_;  // serializes SendAll (frames must not interleave)
+
+  mutable std::mutex pending_mu_;  // connected() reads dead_ under it
+  uint64_t next_corr_ = 1;
+  bool dead_ = false;  // transport failed; no new ops accepted
+  std::unordered_map<uint64_t, std::unique_ptr<Pending>> pending_;
+
+  std::thread reader_;
+};
+
+}  // namespace wazi::net
+
+#endif  // WAZI_NET_WIRE_CLIENT_H_

@@ -1,0 +1,183 @@
+// Binary wire protocol for serving the engine over TCP: length-prefixed
+// frames with a fixed 12-byte header, little-endian fixed-width payloads,
+// and explicit error frames for malformed input.
+//
+// Frame layout (everything little-endian):
+//
+//   uint32  len       byte count of the REST of the frame (header+payload),
+//                     so a reader needs exactly 4 bytes to know how much
+//                     more to wait for; len >= kFrameHeaderBytes
+//   uint8   version   kWireVersion; a mismatch is fatal for the connection
+//   uint8   type      MsgType below
+//   uint16  flags     reserved, must be 0 (rejected otherwise so the field
+//                     stays usable later)
+//   uint64  corr_id   client-chosen correlation id, echoed verbatim in the
+//                     response — responses may be matched out of order
+//   payload           per-type layout below
+//
+// Request payloads:
+//   kRangeQuery   f64 min_x, f64 min_y, f64 max_x, f64 max_y
+//   kPointQuery   f64 x, f64 y, i64 id
+//   kKnnQuery     f64 x, f64 y, i32 k            (k >= 1)
+//   kInsert       f64 x, f64 y, i64 id
+//   kRemove       f64 x, f64 y, i64 id
+//
+// Response payloads:
+//   kRangeResult  u64 epoch, u32 n, then n x (f64 x, f64 y, i64 id)
+//   kKnnResult    same layout as kRangeResult (neighbors, nearest first)
+//   kPointResult  u64 epoch, u8 found
+//   kUpdateAck    empty — the op was ACCEPTED into the owning shard's
+//                 writer queue, not yet necessarily applied
+//   kError        u16 code (WireError), u16 msg_len, msg bytes
+//
+// Error protocol: errors that leave the framing intact (unknown type, bad
+// payload size, non-zero flags) earn an error frame echoing the request's
+// corr_id and the connection keeps going; errors that poison the byte
+// stream (bad version, oversized frame) earn an error frame followed by a
+// close, and a truncated frame (the peer vanished mid-frame) is just a
+// close — the server never crashes and never leaves a request unanswered
+// on a healthy connection.
+//
+// The FrameDecoder below is the shared reassembly path of both ends: feed
+// it raw socket bytes, pull complete frames; it owns partial-frame
+// buffering and the max-frame guard, so pipelined and byte-at-a-time
+// delivery decode identically.
+
+#ifndef WAZI_NET_WIRE_FORMAT_H_
+#define WAZI_NET_WIRE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.h"
+#include "serve/query_engine.h"
+
+namespace wazi::net {
+
+inline constexpr uint8_t kWireVersion = 1;
+// Bytes of the fixed header counted by `len` (version..corr_id).
+inline constexpr size_t kFrameHeaderBytes = 12;
+// Bytes of the length prefix itself.
+inline constexpr size_t kLenPrefixBytes = 4;
+
+enum class MsgType : uint8_t {
+  // Requests.
+  kRangeQuery = 1,
+  kPointQuery = 2,
+  kKnnQuery = 3,
+  kInsert = 4,
+  kRemove = 5,
+  // Responses.
+  kRangeResult = 33,
+  kPointResult = 34,
+  kKnnResult = 35,
+  kUpdateAck = 36,
+  kError = 63,
+};
+
+enum class WireError : uint16_t {
+  kNone = 0,
+  kBadVersion = 1,    // fatal: the stream cannot be trusted past this frame
+  kUnknownType = 2,   // per-request: framing intact, connection continues
+  kBadPayload = 3,    // per-request: wrong payload size / invalid field
+  kFrameTooLarge = 4, // fatal: len exceeds the receiver's frame cap
+  kServerStopping = 5,
+};
+
+const char* WireErrorName(WireError e);
+
+// A decoded frame; `payload` points into the decoder's buffer and is valid
+// until the next Next()/Feed() call.
+struct Frame {
+  uint8_t version = 0;
+  MsgType type = MsgType::kError;
+  uint16_t flags = 0;
+  uint64_t corr_id = 0;
+  const uint8_t* payload = nullptr;
+  size_t payload_len = 0;
+};
+
+// A fully-decoded request, the server's working unit.
+struct WireRequest {
+  MsgType type = MsgType::kRangeQuery;
+  uint64_t corr_id = 0;
+  Rect rect;    // kRangeQuery
+  Point point;  // kPointQuery / kKnnQuery center / kInsert / kRemove
+  int k = 0;    // kKnnQuery
+};
+
+// A decoded response, the client's working unit.
+struct WireResponse {
+  MsgType type = MsgType::kError;
+  uint64_t corr_id = 0;
+  serve::QueryResult result;  // kRangeResult / kKnnResult / kPointResult
+  WireError error = WireError::kNone;  // kError
+  std::string error_msg;               // kError
+};
+
+// --- encoding (append a complete frame, length prefix included) ---------
+
+void EncodeRangeQuery(uint64_t corr_id, const Rect& rect, std::string* out);
+void EncodePointQuery(uint64_t corr_id, const Point& p, std::string* out);
+void EncodeKnnQuery(uint64_t corr_id, const Point& center, int k,
+                    std::string* out);
+void EncodeInsert(uint64_t corr_id, const Point& p, std::string* out);
+void EncodeRemove(uint64_t corr_id, const Point& p, std::string* out);
+
+// `type` is kRangeResult or kKnnResult (identical layout, distinct tags so
+// a client can sanity-check what it asked for).
+void EncodeHitsResult(MsgType type, uint64_t corr_id,
+                      const serve::QueryResult& result, std::string* out);
+void EncodePointResult(uint64_t corr_id, const serve::QueryResult& result,
+                       std::string* out);
+void EncodeUpdateAck(uint64_t corr_id, std::string* out);
+void EncodeError(uint64_t corr_id, WireError code, const std::string& msg,
+                 std::string* out);
+
+// --- decoding ------------------------------------------------------------
+
+// Validates a frame's payload as a request. Returns kNone and fills `req`
+// on success; otherwise the WireError to report (framing stays intact for
+// every error this can return).
+WireError DecodeRequest(const Frame& frame, WireRequest* req);
+
+// Validates a frame's payload as a response (client side). False on a
+// malformed payload — a protocol bug, not a per-request error.
+bool DecodeResponse(const Frame& frame, WireResponse* resp);
+
+// Incremental frame reassembly over a byte stream.
+class FrameDecoder {
+ public:
+  // `max_frame_bytes` caps the post-prefix frame length (header+payload).
+  // Requests are tiny, so the server uses a small cap; clients use a large
+  // one sized for range results.
+  explicit FrameDecoder(size_t max_frame_bytes);
+
+  // Appends raw bytes from the socket.
+  void Feed(const void* data, size_t n);
+
+  enum class Status {
+    kFrame,     // *frame filled; payload valid until the next call
+    kNeedMore,  // no complete frame buffered
+    kError,     // oversized or undersized frame length — the stream is
+                // poisoned; error() tells which
+  };
+  Status Next(Frame* frame);
+
+  WireError error() const { return error_; }
+  // Bytes buffered but not yet consumed (a non-empty value at EOF means
+  // the peer died mid-frame).
+  size_t pending_bytes() const { return buf_.size() - consumed_; }
+
+ private:
+  const size_t max_frame_bytes_;
+  std::vector<uint8_t> buf_;
+  size_t consumed_ = 0;  // bytes of buf_ already handed out as frames
+  WireError error_ = WireError::kNone;
+};
+
+}  // namespace wazi::net
+
+#endif  // WAZI_NET_WIRE_FORMAT_H_

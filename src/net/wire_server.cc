@@ -1,0 +1,367 @@
+#include "net/wire_server.h"
+
+#include <cerrno>
+#include <sys/socket.h>
+#include <utility>
+
+#include "net/socket_io.h"
+
+namespace wazi::net {
+
+WireServer::WireServer(serve::ServeLoop* loop, WireServerOptions opts)
+    : loop_(loop), opts_(std::move(opts)) {
+  obs::MetricsRegistry& reg = loop_->metrics();
+  conns_ctr_ = reg.GetCounter("net_connections_total");
+  active_gauge_ = reg.GetGauge("net_active_connections");
+  requests_ctr_ = reg.GetCounter("net_requests_total");
+  responses_ctr_ = reg.GetCounter("net_responses_total");
+  errors_ctr_ = reg.GetCounter("net_errors_total");
+  backpressure_ctr_ = reg.GetCounter("net_backpressure_pauses_total");
+  bytes_read_ctr_ = reg.GetCounter("net_bytes_read_total");
+  bytes_written_ctr_ = reg.GetCounter("net_bytes_written_total");
+  latency_hist_ = reg.GetHistogram("net_request_latency_ns");
+}
+
+WireServer::~WireServer() { Stop(); }
+
+bool WireServer::Start(std::string* error) {
+  if (running_.load(std::memory_order_acquire)) {
+    if (error != nullptr) *error = "already running";
+    return false;
+  }
+  stopping_.store(false, std::memory_order_release);
+  listen_fd_ = ListenTcp(opts_.bind_address, opts_.port, opts_.accept_backlog,
+                         &port_, error);
+  if (listen_fd_ < 0) return false;
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return true;
+}
+
+void WireServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  stopping_.store(true, std::memory_order_release);
+  // Unblock accept() first so no new connection slips in while we tear the
+  // existing ones down (shutdown on a listener makes accept fail).
+  ShutdownSocket(listen_fd_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  CloseSocket(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) {
+      // shutdown() kicks the reader out of recv and the writer out of a
+      // blocked send; `closing` releases a reader parked on backpressure.
+      // The writer then drains the queue (the serve stack resolves every
+      // future it handed out, so nothing hangs) and both loops exit.
+      ShutdownSocket(conn->fd);
+      std::lock_guard<std::mutex> clock(conn->mu);
+      conn->closing = true;
+      conn->queue_cv.notify_all();
+      conn->bp_cv.notify_all();
+    }
+  }
+  ReapConnections(/*all=*/true);
+}
+
+WireServerStats WireServer::stats() const {
+  WireServerStats s;
+  s.connections_opened = conns_ctr_->value();
+  s.active_connections = active_gauge_->value();
+  s.requests = requests_ctr_->value();
+  s.responses = responses_ctr_->value();
+  s.error_frames = errors_ctr_->value();
+  s.backpressure_pauses = backpressure_ctr_->value();
+  s.bytes_read = bytes_read_ctr_->value();
+  s.bytes_written = bytes_written_ctr_->value();
+  return s;
+}
+
+void WireServer::AcceptLoop() {
+  for (;;) {
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (stopping_.load(std::memory_order_acquire)) {
+      if (fd >= 0) CloseSocket(fd);
+      return;
+    }
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return;  // listener broken; Stop() still joins us
+    }
+    SetTcpNoDelay(fd);
+    conns_ctr_->Add(1);
+    active_gauge_->Add(1);
+    loop_->journal().Record(obs::TraceEventKind::kNetConn, 0, -1, 1,
+                            active_gauge_->value());
+
+    auto conn = std::make_unique<Connection>();
+    conn->fd = fd;
+    Connection* raw = conn.get();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conns_.push_back(std::move(conn));
+    }
+    raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
+    raw->writer = std::thread([this, raw] { WriterLoop(raw); });
+    // Reclaim connections that already finished so a long-lived server
+    // does not accumulate exited threads and closed-but-open fds.
+    ReapConnections(/*all=*/false);
+  }
+}
+
+void WireServer::ReaderLoop(Connection* conn) {
+  FrameDecoder decoder(opts_.max_request_frame_bytes);
+  char buf[16 * 1024];
+  for (;;) {
+    // Backpressure: stop reading the socket while the writer is behind on
+    // either axis; TCP flow control propagates the pause to the client.
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      if (conn->inflight >= opts_.max_inflight_per_conn ||
+          conn->queued_bytes >= opts_.max_queued_response_bytes) {
+        backpressure_ctr_->Add(1);
+        conn->bp_cv.wait(lock, [&] {
+          return conn->closing ||
+                 (conn->inflight < opts_.max_inflight_per_conn &&
+                  conn->queued_bytes < opts_.max_queued_response_bytes);
+        });
+      }
+      if (conn->closing) break;
+    }
+    const ptrdiff_t got = RecvSome(conn->fd, buf, sizeof(buf));
+    if (got <= 0) {
+      // Orderly close or error. Unconsumed decoder bytes here mean the
+      // peer died mid-frame; either way the contract is a clean close.
+      break;
+    }
+    bytes_read_ctr_->Add(got);
+    decoder.Feed(buf, static_cast<size_t>(got));
+    if (!DrainDecoder(conn, &decoder)) break;  // stream poisoned
+  }
+  // Stop accepting work and wake the writer: it drains what is queued
+  // (the fatal error frame, if any, is the last entry) and then exits.
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->closing = true;
+    conn->queue_cv.notify_all();
+    conn->bp_cv.notify_all();
+  }
+  conn->reader_done.store(true, std::memory_order_release);
+}
+
+bool WireServer::DrainDecoder(Connection* conn, FrameDecoder* decoder) {
+  // Collect every complete frame this chunk delivered, then admit all the
+  // queries as ONE SubmitBatch — a pipelining client's burst coalesces
+  // into a single shared-snapshot admission batch.
+  std::vector<serve::QueryRequest> batch;
+  std::vector<PendingResponse> slots;  // response queue entries, frame order
+  std::vector<size_t> batch_slot;      // slots[] index of batch[i]
+  bool poisoned = false;
+
+  Frame frame;
+  while (!poisoned) {
+    const FrameDecoder::Status st = decoder->Next(&frame);
+    if (st == FrameDecoder::Status::kNeedMore) break;
+    if (st == FrameDecoder::Status::kError) {
+      // Undersized/oversized frame length: the stream cannot be re-framed.
+      // corr_id 0 — the offending frame's header may not even exist.
+      PendingResponse err;
+      EncodeError(0, decoder->error(), "unrecoverable framing error",
+                  &err.ready_frame);
+      errors_ctr_->Add(1);
+      loop_->journal().Record(obs::TraceEventKind::kNetError, 0, -1,
+                              static_cast<int64_t>(decoder->error()), 1);
+      slots.push_back(std::move(err));
+      poisoned = true;
+      break;
+    }
+    if (frame.version != kWireVersion) {
+      PendingResponse err;
+      err.corr_id = frame.corr_id;
+      EncodeError(frame.corr_id, WireError::kBadVersion,
+                  "unsupported wire version", &err.ready_frame);
+      errors_ctr_->Add(1);
+      loop_->journal().Record(obs::TraceEventKind::kNetError, 0, -1,
+                              static_cast<int64_t>(WireError::kBadVersion), 1);
+      slots.push_back(std::move(err));
+      poisoned = true;
+      break;
+    }
+    requests_ctr_->Add(1);
+    const int64_t now_ns = obs::TraceJournal::NowNs();
+
+    WireRequest req;
+    const WireError decode_err = DecodeRequest(frame, &req);
+    if (decode_err != WireError::kNone) {
+      // Per-request error: framing is intact — answer it and keep going.
+      PendingResponse err;
+      err.corr_id = frame.corr_id;
+      EncodeError(frame.corr_id, decode_err, WireErrorName(decode_err),
+                  &err.ready_frame);
+      errors_ctr_->Add(1);
+      loop_->journal().Record(obs::TraceEventKind::kNetError, 0, -1,
+                              static_cast<int64_t>(decode_err), 0);
+      slots.push_back(std::move(err));
+      continue;
+    }
+
+    if (req.type == MsgType::kInsert || req.type == MsgType::kRemove) {
+      // Updates bypass admission: route to the owning shard's writer and
+      // ack the ACCEPTANCE (wire_format.h documents ack-on-accept).
+      if (req.type == MsgType::kInsert) {
+        loop_->SubmitInsert(req.point);
+      } else {
+        loop_->SubmitRemove(req.point);
+      }
+      PendingResponse ack;
+      ack.corr_id = req.corr_id;
+      ack.request_type = req.type;
+      ack.decode_ns = now_ns;
+      EncodeUpdateAck(req.corr_id, &ack.ready_frame);
+      slots.push_back(std::move(ack));
+      continue;
+    }
+
+    switch (req.type) {
+      case MsgType::kRangeQuery:
+        batch.push_back(serve::QueryRequest::Range(req.rect));
+        break;
+      case MsgType::kPointQuery:
+        batch.push_back(serve::QueryRequest::PointLookup(req.point));
+        break;
+      default:  // kKnnQuery — DecodeRequest admits no other type here
+        batch.push_back(serve::QueryRequest::Knn(req.point, req.k));
+        break;
+    }
+    PendingResponse q;
+    q.corr_id = req.corr_id;
+    q.request_type = req.type;
+    q.has_future = true;
+    q.decode_ns = now_ns;
+    batch_slot.push_back(slots.size());
+    slots.push_back(std::move(q));
+  }
+
+  if (!batch.empty()) {
+    std::vector<std::future<serve::QueryResult>> futures =
+        loop_->SubmitBatch(batch);
+    for (size_t i = 0; i < futures.size(); ++i) {
+      slots[batch_slot[i]].future = std::move(futures[i]);
+    }
+  }
+  for (PendingResponse& resp : slots) {
+    EnqueueResponse(conn, std::move(resp));
+  }
+  return !poisoned;
+}
+
+void WireServer::EnqueueResponse(Connection* conn, PendingResponse&& resp) {
+  std::lock_guard<std::mutex> lock(conn->mu);
+  conn->inflight += 1;
+  // Future responses are accounted when the writer encodes them (their
+  // size is unknown until the query resolves); ready frames count now.
+  conn->queued_bytes += resp.ready_frame.size();
+  conn->queue.push_back(std::move(resp));
+  conn->queue_cv.notify_one();
+}
+
+void WireServer::WriterLoop(Connection* conn) {
+  bool broken = false;  // send failed; drain without writing
+  for (;;) {
+    PendingResponse resp;
+    {
+      std::unique_lock<std::mutex> lock(conn->mu);
+      conn->queue_cv.wait(
+          lock, [&] { return !conn->queue.empty() || conn->closing; });
+      if (conn->queue.empty()) break;  // closing and fully drained
+      resp = std::move(conn->queue.front());
+      conn->queue.pop_front();
+    }
+    std::string frame;
+    if (resp.has_future) {
+      // Blocks until the admitted batch resolves. The serve stack resolves
+      // every future it hands out — Stop() included — so this never hangs.
+      const serve::QueryResult result = resp.future.get();
+      switch (resp.request_type) {
+        case MsgType::kRangeQuery:
+          EncodeHitsResult(MsgType::kRangeResult, resp.corr_id, result,
+                           &frame);
+          break;
+        case MsgType::kKnnQuery:
+          EncodeHitsResult(MsgType::kKnnResult, resp.corr_id, result, &frame);
+          break;
+        default:  // kPointQuery — the only other queued future type
+          EncodePointResult(resp.corr_id, result, &frame);
+          break;
+      }
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->queued_bytes += frame.size();
+    } else {
+      frame = std::move(resp.ready_frame);
+    }
+    if (resp.decode_ns != 0) {
+      latency_hist_->Record(obs::TraceJournal::NowNs() - resp.decode_ns);
+    }
+    bool sent = false;
+    if (!broken) {
+      // A blocked send (client not reading) keeps queued_bytes charged,
+      // which is exactly the signal that pauses the reader.
+      sent = SendAll(conn->fd, frame.data(), frame.size());
+      if (sent) {
+        bytes_written_ctr_->Add(static_cast<int64_t>(frame.size()));
+        responses_ctr_->Add(1);
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(conn->mu);
+      conn->inflight -= 1;
+      conn->queued_bytes -= frame.size();
+      if (!broken && !sent) {
+        // Peer gone mid-write: keep draining the queue (each future must
+        // resolve) but stop touching the socket, and release a reader
+        // that may be parked on backpressure with the socket half-open.
+        broken = true;
+        conn->closing = true;
+        conn->bp_cv.notify_all();
+      } else {
+        conn->bp_cv.notify_one();
+      }
+    }
+  }
+  // Unblock a reader still parked in recv (e.g. after a fatal error frame
+  // was sent: the stream is poisoned but the peer may never close).
+  ShutdownSocket(conn->fd);
+  {
+    std::lock_guard<std::mutex> lock(conn->mu);
+    conn->closing = true;
+    conn->bp_cv.notify_all();
+  }
+  conn->writer_done.store(true, std::memory_order_release);
+}
+
+void WireServer::ReapConnections(bool all) {
+  std::vector<std::unique_ptr<Connection>> dead;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (size_t i = 0; i < conns_.size();) {
+      Connection& c = *conns_[i];
+      if (all || (c.reader_done.load(std::memory_order_acquire) &&
+                  c.writer_done.load(std::memory_order_acquire))) {
+        dead.push_back(std::move(conns_[i]));
+        conns_.erase(conns_.begin() + static_cast<ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  for (auto& conn : dead) {
+    if (conn->reader.joinable()) conn->reader.join();
+    if (conn->writer.joinable()) conn->writer.join();
+    CloseSocket(conn->fd);
+    active_gauge_->Add(-1);
+    loop_->journal().Record(obs::TraceEventKind::kNetConn, 0, -1, 0,
+                            active_gauge_->value());
+  }
+}
+
+}  // namespace wazi::net

@@ -1,0 +1,186 @@
+// Multi-client TCP front end for a ServeLoop: the piece that turns the
+// in-process serving stack into a network service.
+//
+//   client ──frames──► reader thread ──decode──► ServeLoop::SubmitBatch
+//                        │  (one batch per read chunk: every complete
+//                        │   frame a recv() delivered is admitted under
+//                        │   one submission, so pipelined clients coalesce
+//                        │   into the admission layer's snapshot-shared
+//                        │   batches for free)
+//                        ▼
+//                      response queue (corr_id + future)
+//                        ▼
+//                      writer thread ──wait future──► encode ──► send
+//
+// Each connection gets a reader and a writer thread. The reader decodes
+// pipelined requests and feeds queries to the admission layer (updates go
+// straight to SubmitInsert/SubmitRemove and are acknowledged on accept);
+// the writer resolves the per-connection response queue in completion
+// order — batches resolve as units, so FIFO waiting tracks completion —
+// and every response carries the request's correlation id, so clients
+// must match on corr_id, never on arrival order.
+//
+// Backpressure is per-connection and bounded on two axes:
+//   * max_inflight_per_conn — decoded requests whose response has not yet
+//     been fully written;
+//   * max_queued_response_bytes — encoded response bytes not yet handed
+//     to the kernel.
+// When either cap is hit the reader STOPS READING the socket (counted in
+// net_backpressure_pauses_total); TCP flow control then pushes back on
+// the client. A malformed frame earns an explicit error frame (and, when
+// the byte stream is poisoned, a close) — see net/wire_format.h for the
+// error protocol. A mid-frame disconnect is a clean close. In every case
+// pending futures are drained, never leaked.
+//
+// Observability: the server registers net_* counters/gauges and the
+// net_request_latency_ns histogram in the loop's metrics registry and
+// journals connection lifecycle + protocol errors (kNetConn / kNetError).
+//
+// Thread-safety: Start/Stop from one controlling thread; Stop (or the
+// destructor) joins every connection thread. The ServeLoop must outlive
+// the server and must be stopped only after the server.
+
+#ifndef WAZI_NET_WIRE_SERVER_H_
+#define WAZI_NET_WIRE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/wire_format.h"
+#include "obs/metrics.h"
+#include "serve/serve_loop.h"
+
+namespace wazi::net {
+
+struct WireServerOptions {
+  // Numeric IPv4 listen address; loopback by default — exposing the
+  // engine beyond the host is an explicit operator decision.
+  std::string bind_address = "127.0.0.1";
+  // 0 picks an ephemeral port; port() reports the actual one after Start.
+  uint16_t port = 0;
+  int accept_backlog = 64;
+  // Backpressure caps (see the header comment). Both must be >= 1.
+  int max_inflight_per_conn = 128;
+  size_t max_queued_response_bytes = 4u << 20;
+  // Incoming frame cap. Requests are fixed-size and tiny; anything close
+  // to this is garbage or an attack, not traffic.
+  size_t max_request_frame_bytes = 1024;
+};
+
+// Monotone unless noted; a consistent-enough view over the same registry
+// handles the metrics snapshot exports.
+struct WireServerStats {
+  int64_t connections_opened = 0;
+  int64_t active_connections = 0;  // gauge
+  int64_t requests = 0;
+  int64_t responses = 0;
+  int64_t error_frames = 0;        // error responses sent
+  int64_t backpressure_pauses = 0;
+  int64_t bytes_read = 0;
+  int64_t bytes_written = 0;
+};
+
+class WireServer {
+ public:
+  // Registers the net_* metrics in `loop`'s registry and journals through
+  // its trace journal. The loop must outlive the server.
+  explicit WireServer(serve::ServeLoop* loop, WireServerOptions opts = {});
+  ~WireServer();
+
+  WireServer(const WireServer&) = delete;
+  WireServer& operator=(const WireServer&) = delete;
+
+  // Binds, listens and starts accepting. False (with *error filled) when
+  // the bind/listen fails. Idempotent failure: a failed Start leaves the
+  // server stoppable and restartable.
+  bool Start(std::string* error = nullptr);
+
+  // Stops accepting, shuts every connection down, drains their response
+  // queues and joins all threads. Idempotent; the destructor calls it.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  // The bound port (after a successful Start).
+  uint16_t port() const { return port_; }
+
+  WireServerStats stats() const;
+
+ private:
+  // One entry of a connection's response queue: either a future still
+  // being executed by the serve stack, or an already-encoded frame (acks
+  // and error responses).
+  struct PendingResponse {
+    uint64_t corr_id = 0;
+    MsgType request_type = MsgType::kRangeQuery;
+    bool has_future = false;
+    std::future<serve::QueryResult> future;
+    std::string ready_frame;   // encoded response when !has_future
+    int64_t decode_ns = 0;     // reader stamp for net_request_latency_ns
+  };
+
+  struct Connection {
+    int fd = -1;
+    std::thread reader;
+    std::thread writer;
+
+    std::mutex mu;
+    std::condition_variable queue_cv;  // writer: responses pending / close
+    std::condition_variable bp_cv;     // reader: backpressure released
+    std::deque<PendingResponse> queue;
+    int inflight = 0;            // decoded, response not fully written
+    size_t queued_bytes = 0;     // encoded, not yet handed to the kernel
+    bool closing = false;        // no more requests will arrive
+    // Set by each loop as its last act; both true = joinable without
+    // blocking (beyond the final few instructions of the thread).
+    std::atomic<bool> reader_done{false};
+    std::atomic<bool> writer_done{false};
+  };
+
+  void AcceptLoop();
+  void ReaderLoop(Connection* conn);
+  void WriterLoop(Connection* conn);
+  // Decodes every complete frame buffered in `decoder`, submits the query
+  // batch, enqueues responses. Returns false when the stream is poisoned
+  // and the connection must close.
+  bool DrainDecoder(Connection* conn, FrameDecoder* decoder);
+  void EnqueueResponse(Connection* conn, PendingResponse&& resp);
+  // Joins and erases finished connections (called from the accept loop
+  // between accepts, and from Stop for the rest).
+  void ReapConnections(bool all);
+
+  serve::ServeLoop* loop_;
+  WireServerOptions opts_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread accept_thread_;
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  // Registry handles (hosted by the loop's registry; see
+  // docs/OBSERVABILITY.md for the catalog).
+  obs::Counter* conns_ctr_ = nullptr;
+  obs::Gauge* active_gauge_ = nullptr;
+  obs::Counter* requests_ctr_ = nullptr;
+  obs::Counter* responses_ctr_ = nullptr;
+  obs::Counter* errors_ctr_ = nullptr;
+  obs::Counter* backpressure_ctr_ = nullptr;
+  obs::Counter* bytes_read_ctr_ = nullptr;
+  obs::Counter* bytes_written_ctr_ = nullptr;
+  obs::Histogram* latency_hist_ = nullptr;
+};
+
+}  // namespace wazi::net
+
+#endif  // WAZI_NET_WIRE_SERVER_H_

@@ -18,6 +18,8 @@ const char* KindName(TraceEventKind kind) {
     case TraceEventKind::kAdmissionDispatch: return "admission_dispatch";
     case TraceEventKind::kCacheEvict: return "cache_evict";
     case TraceEventKind::kQueryTrace: return "query_trace";
+    case TraceEventKind::kNetConn: return "net_conn";
+    case TraceEventKind::kNetError: return "net_error";
   }
   return "unknown";
 }
@@ -75,6 +77,14 @@ std::string FormatEvent(const TraceEvent& e, int64_t origin_ns) {
       out += " wait_ns=" + std::to_string(e.a) +
              " exec_ns=" + std::to_string(e.b) +
              (e.c != 0 ? " admitted" : " direct");
+      break;
+    case TraceEventKind::kNetConn:
+      out += std::string(e.a != 0 ? " opened" : " closed") +
+             " active=" + std::to_string(e.b);
+      break;
+    case TraceEventKind::kNetError:
+      out += " code=" + std::to_string(e.a) +
+             (e.b != 0 ? " fatal" : " continued");
       break;
   }
   return out;

@@ -26,6 +26,10 @@
 //   kQueryTrace          sampled query span: a = queue-wait ns (0 on the
 //                        direct path), b = execute ns, c = 1 admitted /
 //                        0 direct
+//   kNetConn             a = 1 opened / 0 closed, b = active connections
+//                        after the transition
+//   kNetError            a = WireError code (net/wire_format.h), b = 1 the
+//                        error closed the connection / 0 it continued
 //
 // Thread-safety: Record/Tail/recorded/dropped from any thread.
 
@@ -51,6 +55,8 @@ enum class TraceEventKind : uint8_t {
   kAdmissionDispatch,
   kCacheEvict,
   kQueryTrace,
+  kNetConn,
+  kNetError,
 };
 
 // Stable lowercase name ("snapshot_swap", "migration_plan", ...): the

@@ -59,9 +59,13 @@ std::future<QueryResult> AdmissionQueue::Submit(const QueryRequest& request) {
         ++stats_.admitted;
         admitted_ctr_->Add(1);
       }
+      // Dispatched BEFORE the future resolves — same ordering contract as
+      // DispatchBatch: a client that observes its result must also
+      // observe it in stats(), even on this inline path.
       QueryStats stats;
-      p.promise.set_value(engine_->Execute(request, &stats));
+      QueryResult result = engine_->Execute(request, &stats);
       CountDispatched(1);
+      p.promise.set_value(std::move(result));
       return future;
     }
     pending_.push_back(std::move(p));
@@ -99,9 +103,11 @@ std::vector<std::future<QueryResult>> AdmissionQueue::SubmitBatch(
         }
         std::promise<QueryResult> promise;
         futures.push_back(promise.get_future());
+        // Count before resolving (the DispatchBatch ordering contract).
         QueryStats stats;
-        promise.set_value(engine_->Execute(request, &stats));
+        QueryResult result = engine_->Execute(request, &stats);
         CountDispatched(1);
+        promise.set_value(std::move(result));
       }
       return futures;
     }

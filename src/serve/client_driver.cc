@@ -25,6 +25,10 @@ ClientLoadResult RunClientLoad(ServeLoop& loop, const Workload& workload,
   const int threads = std::max(1, opts.threads);
   std::atomic<int64_t> total_queries{0};
   std::atomic<int64_t> total_writes{0};
+  // Clients spin-wait on `start` so the wall clock below covers every
+  // counted op: queries issued while later threads were still being
+  // spawned used to land outside the timed window and inflate QPS.
+  std::atomic<bool> start{false};
   std::atomic<bool> stop{false};
   std::vector<LatencyRecorder> recorders(
       static_cast<size_t>(threads), LatencyRecorder(opts.latency_window));
@@ -60,6 +64,10 @@ ClientLoadResult RunClientLoad(ServeLoop& loop, const Workload& workload,
       };
       std::vector<Point> inserted;
       int64_t queries = 0, writes = 0;
+      while (!start.load(std::memory_order_acquire)) {
+        if (stop.load(std::memory_order_relaxed)) break;
+        std::this_thread::yield();
+      }
       while (!stop.load(std::memory_order_relaxed)) {
         const bool write = opts.write_pct > 0 &&
                            static_cast<int>(rng.NextBelow(100)) <
@@ -116,9 +124,13 @@ ClientLoadResult RunClientLoad(ServeLoop& loop, const Workload& workload,
       total_queries.fetch_add(queries, std::memory_order_relaxed);
       total_writes.fetch_add(writes, std::memory_order_relaxed);
     });
+    if (opts.spawn_hook) opts.spawn_hook(t);
   }
 
+  // Clock first, then release the latch: no client issues an op before
+  // the wall timer is running.
   Timer wall;
+  start.store(true, std::memory_order_release);
   std::this_thread::sleep_for(
       std::chrono::microseconds(static_cast<int64_t>(opts.seconds * 1e6)));
   stop.store(true, std::memory_order_relaxed);

@@ -7,6 +7,7 @@
 #define WAZI_SERVE_CLIENT_DRIVER_H_
 
 #include <cstdint>
+#include <functional>
 
 #include "serve/latency_recorder.h"
 #include "serve/serve_loop.h"
@@ -39,6 +40,11 @@ struct ClientLoadOptions {
   // included) up to the client's own time between iterations. 0 keeps
   // the direct execute-on-calling-thread path.
   int admission_depth = 0;
+  // Test-only: invoked on the driving thread right after client thread
+  // `t` is spawned (before the next spawn). Lets a test stretch the spawn
+  // phase and assert that slow spawns cannot inflate the reported QPS —
+  // clients gate on a start latch released only once the wall clock runs.
+  std::function<void(int)> spawn_hook;
 };
 
 struct ClientLoadResult {

@@ -246,5 +246,66 @@ TEST(AdmissionTest, ConcurrentSubmittersAllResolveAndStopDrains) {
             TruthIds(s.data, s.workload.queries[0]));
 }
 
+TEST(AdmissionTest, PostStopInlinePathCountsDispatchBeforeResolving) {
+  // Regression: the post-Stop inline paths of Submit and SubmitBatch used
+  // to resolve the promise BEFORE CountDispatched, so a waiter observing
+  // its result could catch stats() with that query admitted but not yet
+  // dispatched. The fix restores the DispatchBatch ordering contract:
+  // whoever holds a resolved future must find it counted.
+  TestScenario s = MakeScenario(Region::kCaliNev, 2000, 60, 2e-3, 806);
+  ServeOptions opts;
+  opts.num_shards = 2;
+  opts.num_threads = 2;
+  opts.auto_rebuild = false;
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(), opts);
+  loop.Stop();
+  const AdmissionStats before = loop.admission_stats();
+
+  // Stats poller from a separate (waiter-side) thread: the ordering
+  // invariant dispatched <= admitted must hold at every instant, both
+  // mid-run and across the inline executions below.
+  std::atomic<bool> poll{true};
+  std::thread poller([&] {
+    while (poll.load(std::memory_order_relaxed)) {
+      const AdmissionStats st = loop.admission_stats();
+      EXPECT_LE(st.dispatched, st.admitted);
+      EXPECT_LE(st.batches, st.dispatched);  // every batch has >= 1 query
+    }
+  });
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      int64_t observed = 0;
+      for (int i = 0; i < kPerThread; ++i) {
+        const Rect& q = s.workload.queries[(t * 31 + i) % 60];
+        std::future<QueryResult> f;
+        if (i % 2 == 0) {
+          f = loop.SubmitQuery(QueryRequest::Range(q));
+        } else {
+          f = std::move(
+              loop.SubmitBatch({QueryRequest::Range(q)}).front());
+        }
+        EXPECT_EQ(SortedIds(f.get().hits), TruthIds(s.data, q));
+        ++observed;
+        // The waiter-side guarantee: every result this thread has in
+        // hand is already visible in dispatched (other threads only add).
+        EXPECT_GE(loop.admission_stats().dispatched, observed);
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  poll.store(false, std::memory_order_relaxed);
+  poller.join();
+
+  const AdmissionStats after = loop.admission_stats();
+  EXPECT_EQ(after.admitted - before.admitted, kThreads * kPerThread);
+  EXPECT_EQ(after.dispatched - before.dispatched, kThreads * kPerThread);
+  // Inline executions are batches of one.
+  EXPECT_EQ(after.batches - before.batches, kThreads * kPerThread);
+}
+
 }  // namespace
 }  // namespace wazi::serve

@@ -1,0 +1,104 @@
+// Client-load driver timing: the reported QPS must be queries-in-window /
+// wall-of-window. The regression here is the spawn phase — clients used
+// to start issuing (and counting) queries while later threads were still
+// being spawned, BEFORE the wall clock started, so anything that slowed
+// thread spawning inflated QPS. The driver now gates every client on a
+// start latch released only once the clock runs.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "core/wazi.h"
+#include "serve/client_driver.h"
+#include "tests/test_util.h"
+
+namespace wazi::serve {
+namespace {
+
+IndexFactory WaziFactory() {
+  return [] { return std::unique_ptr<SpatialIndex>(new Wazi()); };
+}
+
+BuildOptions FastOpts() {
+  BuildOptions opts;
+  opts.leaf_capacity = 64;
+  return opts;
+}
+
+double RunQps(ServeLoop& loop, const Workload& workload,
+              ClientLoadOptions opts) {
+  const ClientLoadResult r = RunClientLoad(loop, workload, opts);
+  EXPECT_GT(r.elapsed_seconds, 0.0);
+  return static_cast<double>(r.queries) / r.elapsed_seconds;
+}
+
+TEST(ClientDriverTest, WallClockCoversConfiguredDuration) {
+  TestScenario s = MakeScenario(Region::kCaliNev, 2000, 40, 2e-3, 701);
+  ServeOptions opts;
+  opts.num_shards = 1;
+  opts.auto_rebuild = false;
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(), opts);
+
+  ClientLoadOptions load;
+  load.threads = 2;
+  load.seconds = 0.2;
+  const ClientLoadResult r = RunClientLoad(loop, s.workload, load);
+  EXPECT_GE(r.elapsed_seconds, load.seconds);
+  EXPECT_GT(r.queries, 0);
+}
+
+TEST(ClientDriverTest, SlowThreadSpawnCannotInflateQps) {
+  TestScenario s = MakeScenario(Region::kCaliNev, 2000, 40, 2e-3, 702);
+  ServeOptions opts;
+  opts.num_shards = 1;
+  opts.auto_rebuild = false;
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(), opts);
+
+  ClientLoadOptions base;
+  base.threads = 4;
+  base.seconds = 0.5;
+  const double base_qps = RunQps(loop, s.workload, base);
+  ASSERT_GT(base_qps, 0.0);
+
+  // Stretch the spawn phase to ~1.2 thread-seconds of pre-clock time.
+  // Pre-fix, already-spawned clients burned that whole stretch issuing
+  // counted queries outside the timed window, inflating QPS by ~1.6x;
+  // with the start latch the two runs measure the same engine.
+  ClientLoadOptions slow = base;
+  slow.spawn_hook = [](int) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  };
+  const double slow_qps = RunQps(loop, s.workload, slow);
+
+  EXPECT_LT(slow_qps, base_qps * 1.35)
+      << "slow spawns inflated QPS: " << slow_qps << " vs " << base_qps;
+  // And the hook must not TANK throughput either (sanity that the latch
+  // releases everyone).
+  EXPECT_GT(slow_qps, base_qps * 0.4);
+}
+
+TEST(ClientDriverTest, SpawnHookRunsOncePerThreadOnDrivingThread) {
+  TestScenario s = MakeScenario(Region::kCaliNev, 1000, 20, 2e-3, 703);
+  ServeOptions opts;
+  opts.num_shards = 1;
+  opts.auto_rebuild = false;
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(), opts);
+
+  const std::thread::id driver = std::this_thread::get_id();
+  std::vector<int> seen;
+  ClientLoadOptions load;
+  load.threads = 3;
+  load.seconds = 0.05;
+  load.spawn_hook = [&](int t) {
+    EXPECT_EQ(std::this_thread::get_id(), driver);
+    seen.push_back(t);
+  };
+  RunClientLoad(loop, s.workload, load);
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace wazi::serve

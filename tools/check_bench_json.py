@@ -92,6 +92,12 @@ def validate(path):
                 errors.append(f"{where}: not an object")
                 continue
             _check_fields(cell, CELL_REQUIRED, where, errors)
+            # Optional: --net mode tags each cell with how clients reached
+            # the engine.
+            transport = cell.get("transport")
+            if transport is not None and transport not in ("embedded", "wire"):
+                errors.append(f"{where}: transport {transport!r} not in "
+                              f"('embedded', 'wire')")
             if isinstance(cell.get("qps"), (int, float)) and cell["qps"] < 0:
                 errors.append(f"{where}: negative qps")
             rate = cell.get("cache_hit_rate")

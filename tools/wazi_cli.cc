@@ -17,6 +17,10 @@
 //                        --admission-window 200
 //                        --stats-json out.json --trace-dump 50
 //                        --trace-sample 100]
+//   wazi_cli serve      --listen 7450 [--bind 127.0.0.1 --seconds 0
+//                        --shards 4 --n 200000 ... (build flags as above)]
+//   wazi_cli throughput --connect 127.0.0.1:7450 [--threads 4
+//                        --mix 95r/5w --seconds 3 --queries 2000]
 //
 // `throughput` (alias: `serve`) drives the concurrent serving engine
 // (src/serve/): N client threads issue range queries against the live
@@ -39,11 +43,24 @@
 // `--trace-sample N` samples every Nth query into a full
 // submit→admit→execute→resolve span (see docs/OBSERVABILITY.md).
 //
+// `serve --listen PORT` builds the same engine but, instead of driving
+// it with in-process clients, exposes it over the binary TCP wire
+// protocol (src/net/, docs/ARCHITECTURE.md): a WireServer accepts any
+// number of connections and pipelines their requests through batched
+// admission. PORT 0 picks an ephemeral port (printed on stdout);
+// `--bind` widens the listen address beyond loopback (an explicit
+// operator decision); `--seconds 0` (the listen-mode default) serves
+// until SIGINT/SIGTERM. `throughput --connect HOST:PORT` is the other
+// half: it drives a REMOTE wazi_cli serve with pipelined WireClients
+// (8 requests in flight per thread) and reports the same QPS + latency
+// summary, measured through the wire.
+//
 // The persisted format only covers the Z-index family (wazi/base); the
 // other baselines are in-memory research comparators.
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +74,8 @@
 #include "common/timer.h"
 #include "core/serialize.h"
 #include "core/wazi.h"
+#include "net/wire_load.h"
+#include "net/wire_server.h"
 #include "obs/exporters.h"
 #include "serve/client_driver.h"
 #include "serve/serve_loop.h"
@@ -271,6 +290,26 @@ int CmdStats(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// serve --listen: flipped by SIGINT/SIGTERM so the serve loop can drain
+// and report stats instead of dying mid-connection.
+std::atomic<bool> g_shutdown{false};
+
+void HandleShutdownSignal(int) { g_shutdown.store(true); }
+
+// "host:port" -> (host, port). False on missing/invalid port.
+bool ParseHostPort(const std::string& s, std::string* host, uint16_t* port) {
+  const size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const long p = std::strtol(s.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || p < 1 || p > 65535) return false;
+  *host = s.substr(0, colon);
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
 // "95r/5w" -> 5 (write percentage); "100r" -> 0. Returns -1 on bad input.
 int ParseWritePct(const std::string& mix) {
   char* end = nullptr;
@@ -290,8 +329,18 @@ int CmdThroughput(const std::map<std::string, std::string>& flags) {
   const int shards = static_cast<int>(
       std::strtol(FlagOr(flags, "shards", "1").c_str(), nullptr, 10));
   const int write_pct = ParseWritePct(FlagOr(flags, "mix", "95r/5w"));
-  const double seconds =
-      std::strtod(FlagOr(flags, "seconds", "3").c_str(), nullptr);
+  // --listen PORT: serve the engine over TCP instead of driving it with
+  // in-process clients (seconds then defaults to 0 = until SIGINT).
+  // --connect HOST:PORT: drive a remote serve over TCP instead of
+  // building an engine here.
+  const std::string listen = FlagOr(flags, "listen", "");
+  const std::string connect = FlagOr(flags, "connect", "");
+  if (!listen.empty() && !connect.empty()) {
+    std::fprintf(stderr, "--listen and --connect are exclusive\n");
+    return 2;
+  }
+  const double seconds = std::strtod(
+      FlagOr(flags, "seconds", listen.empty() ? "3" : "0").c_str(), nullptr);
   const std::string index_name = FlagOr(flags, "index", "wazi");
   const int cache_mb = static_cast<int>(
       std::strtol(FlagOr(flags, "cache-mb", "0").c_str(), nullptr, 10));
@@ -306,8 +355,9 @@ int CmdThroughput(const std::map<std::string, std::string>& flags) {
       std::strtol(FlagOr(flags, "trace-dump", "0").c_str(), nullptr, 10);
   const long trace_sample =
       std::strtol(FlagOr(flags, "trace-sample", "0").c_str(), nullptr, 10);
-  if (threads < 1 || shards < 1 || write_pct < 0 || seconds <= 0.0 ||
-      cache_mb < 0 || adm_window < 0 || trace_dump < 0 || trace_sample < 0) {
+  if (threads < 1 || shards < 1 || write_pct < 0 ||
+      (seconds <= 0.0 && listen.empty()) || seconds < 0.0 || cache_mb < 0 ||
+      adm_window < 0 || trace_dump < 0 || trace_sample < 0) {
     std::fprintf(stderr,
                  "--threads and --shards want >= 1, --mix wants e.g. "
                  "95r/5w, --seconds wants > 0, --cache-mb, "
@@ -333,9 +383,48 @@ int CmdThroughput(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "--queries wants >= 1\n");
     return 2;
   }
-  const Dataset data = GenerateRegion(region, n, /*seed=*/42);
   const Workload workload =
       GenerateCheckinWorkload(region, Rect::Of(0, 0, 1, 1), qopts);
+
+  if (!connect.empty()) {
+    std::string host;
+    uint16_t port = 0;
+    if (!ParseHostPort(connect, &host, &port)) {
+      std::fprintf(stderr, "--connect wants HOST:PORT (numeric IPv4)\n");
+      return 2;
+    }
+    serve::ClientLoadOptions copts;
+    copts.threads = threads;
+    copts.write_pct = write_pct;
+    copts.seconds = seconds;
+    copts.admission_depth = 8;  // pipeline the wire: 8 in flight per client
+    std::fprintf(stderr, "driving %s:%u for %.1fs on %d threads "
+                 "(%d%% writes, depth 8)...\n",
+                 host.c_str(), port, seconds, threads, write_pct);
+    const serve::ClientLoadResult load =
+        net::RunWireClientLoad(host, port, workload, copts);
+    if (load.elapsed_seconds <= 0.0) {
+      std::fprintf(stderr, "cannot connect to %s:%u\n", host.c_str(), port);
+      return 1;
+    }
+    std::printf("threads:        %d\n", threads);
+    std::printf("mix:            %dr/%dw\n", 100 - write_pct, write_pct);
+    std::printf("queries:        %lld (%.0f QPS over the wire)\n",
+                static_cast<long long>(load.queries),
+                static_cast<double>(load.queries) / load.elapsed_seconds);
+    std::printf("writes:         %lld (%.0f/s)\n",
+                static_cast<long long>(load.writes),
+                static_cast<double>(load.writes) / load.elapsed_seconds);
+    std::printf("latency p50:    %lldns\n",
+                static_cast<long long>(load.latencies.PercentileNs(50)));
+    std::printf("latency p90:    %lldns\n",
+                static_cast<long long>(load.latencies.PercentileNs(90)));
+    std::printf("latency p99:    %lldns\n",
+                static_cast<long long>(load.latencies.PercentileNs(99)));
+    return 0;
+  }
+
+  const Dataset data = GenerateRegion(region, n, /*seed=*/42);
 
   std::fprintf(stderr, "building %d shard(s) of %s over %zu points...\n",
                shards, index_name.c_str(), data.size());
@@ -354,8 +443,55 @@ int CmdThroughput(const std::map<std::string, std::string>& flags) {
   sopts.obs.trace_sample_every = static_cast<uint32_t>(trace_sample);
   // Admission arms execute batches on the engine pool, not the clients.
   if (adm_window > 0) sopts.num_threads = 4;
+  // Listen mode runs the engine pool (wire requests go through batched
+  // admission, executed by engine threads, not client threads).
+  if (!listen.empty()) sopts.num_threads = 4;
   serve::ServeLoop loop([&index_name] { return MakeIndex(index_name); }, data,
                         workload, BuildOptions{}, sopts);
+
+  if (!listen.empty()) {
+    char* end = nullptr;
+    const long port_arg = std::strtol(listen.c_str(), &end, 10);
+    if (*end != '\0' || port_arg < 0 || port_arg > 65535) {
+      std::fprintf(stderr, "--listen wants a port (0 = ephemeral)\n");
+      return 2;
+    }
+    net::WireServerOptions wopts;
+    wopts.bind_address = FlagOr(flags, "bind", "127.0.0.1");
+    wopts.port = static_cast<uint16_t>(port_arg);
+    net::WireServer server(&loop, wopts);
+    std::string error;
+    if (!server.Start(&error)) {
+      std::fprintf(stderr, "wire server: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("listening on %s:%u (%s, %d shard(s), %zu points)\n",
+                wopts.bind_address.c_str(),
+                static_cast<unsigned>(server.port()), index_name.c_str(),
+                loop.num_shards(), data.size());
+    std::fflush(stdout);  // scripts wait for the port line
+    std::signal(SIGINT, HandleShutdownSignal);
+    std::signal(SIGTERM, HandleShutdownSignal);
+    Timer uptime;
+    while (!g_shutdown.load() &&
+           (seconds == 0.0 || uptime.ElapsedSeconds() < seconds)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    server.Stop();
+    const net::WireServerStats ws = server.stats();
+    std::printf("served %.1fs: %lld connection(s), %lld request(s), "
+                "%lld response(s), %lld error frame(s), %lld backpressure "
+                "pause(s), %lld B in / %lld B out\n",
+                uptime.ElapsedSeconds(),
+                static_cast<long long>(ws.connections_opened),
+                static_cast<long long>(ws.requests),
+                static_cast<long long>(ws.responses),
+                static_cast<long long>(ws.error_frames),
+                static_cast<long long>(ws.backpressure_pauses),
+                static_cast<long long>(ws.bytes_read),
+                static_cast<long long>(ws.bytes_written));
+    return 0;
+  }
   std::fprintf(stderr, "built in %.1fs; serving %.1fs on %d threads "
                "(%d%% writes, %d shards, %u hw threads)\n",
                build_timer.ElapsedSeconds(), seconds, threads, write_pct,
