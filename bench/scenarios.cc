@@ -1,0 +1,192 @@
+// Scenario-suite runner: executes named workload scenarios from
+// bench/workloads/ against a live ServeLoop and records one
+// BENCH_<scenario>.json per run ("wazi.bench.scenario/1" — the files CI
+// validates with tools/check_bench_json.py and gates against committed
+// baselines with tools/compare_bench_json.py).
+//
+//   bench_scenarios --list
+//   bench_scenarios --all [--scale smoke|default|paper] [--seed N]
+//                   [--seconds S] [--threads N] [--points N]
+//                   [--index NAME] [--net] [--out-dir DIR]
+//   bench_scenarios --scenario poi_lookup,ycsb_mix [...]
+//
+// Exit status: 0 iff every selected scenario's invariants passed (an
+// emitted JSON with "passed": false also fails the process, so CI can
+// gate on the exit code alone).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workloads/scenario.h"
+
+namespace wazi::bench::workloads {
+namespace {
+
+void PrintCatalog() {
+  std::printf("%-18s %s\n", "scenario", "description");
+  std::printf("%-18s %s\n", "--------", "-----------");
+  for (const Scenario* s : AllScenarios()) {
+    std::printf("%-18s %s\n", s->id().c_str(), s->description().c_str());
+    std::printf("%-18s   mix:      %s\n", "", s->op_mix().c_str());
+    std::printf("%-18s   stresses: %s\n", "", s->stresses().c_str());
+  }
+}
+
+std::vector<std::string> SplitCsv(const char* arg) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char* p = arg; *p != '\0'; ++p) {
+    if (*p == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(*p);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+void PrintOutcome(const ScenarioOutcome& o) {
+  std::printf("\n=== %s (%s, seed %llu, %zu points, %s) — %s\n",
+              o.scenario.c_str(), o.config.scale.c_str(),
+              static_cast<unsigned long long>(o.config.seed), o.points,
+              o.transport.c_str(), o.passed() ? "PASS" : "FAIL");
+  std::printf("  %-14s %10s %10s %9s %9s %9s %6s\n", "phase", "qps",
+              "writes/s", "p50(us)", "p90(us)", "p99(us)", "hit%");
+  for (const PhaseResult& p : o.phases) {
+    std::printf("  %-14s %10.0f %10.0f %9.1f %9.1f %9.1f %5.1f%%\n",
+                p.name.c_str(), p.qps, p.writes_per_s,
+                static_cast<double>(p.p50_ns) / 1e3,
+                static_cast<double>(p.p90_ns) / 1e3,
+                static_cast<double>(p.p99_ns) / 1e3,
+                p.cache_hit_rate * 100.0);
+  }
+  if (o.migrations > 0) {
+    std::printf("  migrations=%lld (incremental=%lld) moved_points=%lld "
+                "moved/carried=%lld/%lld epoch=%llu\n",
+                static_cast<long long>(o.migrations),
+                static_cast<long long>(o.incremental),
+                static_cast<long long>(o.moved_points),
+                static_cast<long long>(o.last_moved_shards),
+                static_cast<long long>(o.last_carried_shards),
+                static_cast<unsigned long long>(o.epoch));
+  }
+  std::printf("  invariant checks: %lld\n",
+              static_cast<long long>(o.invariant_checks));
+  for (const std::string& f : o.failures) {
+    std::printf("  FAIL: %s\n", f.c_str());
+  }
+}
+
+int Main(int argc, char** argv) {
+  ScenarioConfig cfg;
+  std::vector<std::string> selected;
+  bool all = false;
+  std::string out_dir = ".";
+  int argi = 1;
+  while (argi < argc) {
+    if (std::strcmp(argv[argi], "--list") == 0) {
+      PrintCatalog();
+      return 0;
+    }
+    if (std::strcmp(argv[argi], "--all") == 0) {
+      all = true;
+      argi += 1;
+      continue;
+    }
+    if (std::strcmp(argv[argi], "--net") == 0) {
+      cfg.net = true;
+      argi += 1;
+      continue;
+    }
+    if (argi + 1 >= argc) {
+      std::fprintf(stderr, "flag '%s' is missing its value\n", argv[argi]);
+      return 2;
+    }
+    if (std::strcmp(argv[argi], "--scenario") == 0) {
+      for (std::string& id : SplitCsv(argv[argi + 1])) {
+        selected.push_back(std::move(id));
+      }
+    } else if (std::strcmp(argv[argi], "--scale") == 0) {
+      cfg.scale = argv[argi + 1];
+      if (cfg.scale != "smoke" && cfg.scale != "default" &&
+          cfg.scale != "paper") {
+        std::fprintf(stderr, "--scale must be smoke|default|paper\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[argi], "--seed") == 0) {
+      cfg.seed = std::strtoull(argv[argi + 1], nullptr, 10);
+    } else if (std::strcmp(argv[argi], "--seconds") == 0) {
+      cfg.seconds = std::strtod(argv[argi + 1], nullptr);
+    } else if (std::strcmp(argv[argi], "--threads") == 0) {
+      cfg.threads = std::atoi(argv[argi + 1]);
+    } else if (std::strcmp(argv[argi], "--points") == 0) {
+      cfg.n_points = std::strtoull(argv[argi + 1], nullptr, 10);
+    } else if (std::strcmp(argv[argi], "--index") == 0) {
+      cfg.index = argv[argi + 1];
+    } else if (std::strcmp(argv[argi], "--out-dir") == 0) {
+      out_dir = argv[argi + 1];
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag '%s' (known: --list --all --scenario "
+                   "--scale --seed --seconds --threads --points --index "
+                   "--net --out-dir)\n",
+                   argv[argi]);
+      return 2;
+    }
+    argi += 2;
+  }
+
+  std::vector<Scenario*> to_run;
+  if (all) {
+    to_run = AllScenarios();
+  } else if (!selected.empty()) {
+    for (const std::string& id : selected) {
+      Scenario* s = FindScenario(id);
+      if (s == nullptr) {
+        std::fprintf(stderr,
+                     "unknown scenario '%s' (try --list)\n", id.c_str());
+        return 2;
+      }
+      to_run.push_back(s);
+    }
+  } else {
+    std::fprintf(stderr,
+                 "nothing selected: pass --all, --scenario <ids>, or "
+                 "--list\n");
+    return 2;
+  }
+
+  int failed = 0;
+  for (const Scenario* s : to_run) {
+    std::printf("running %s (%s scale)...\n", s->id().c_str(),
+                cfg.scale.c_str());
+    std::fflush(stdout);
+    const ScenarioOutcome outcome = s->Run(cfg);
+    PrintOutcome(outcome);
+    const std::string path = out_dir + "/BENCH_" + s->id() + ".json";
+    if (!WriteScenarioJson(outcome, path)) {
+      std::fprintf(stderr, "failed to write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("  wrote %s\n", path.c_str());
+    if (!outcome.passed()) ++failed;
+  }
+  if (failed > 0) {
+    std::printf("\n%d of %zu scenarios FAILED\n", failed, to_run.size());
+    return 1;
+  }
+  std::printf("\nall %zu scenarios passed\n", to_run.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace wazi::bench::workloads
+
+int main(int argc, char** argv) {
+  return wazi::bench::workloads::Main(argc, argv);
+}

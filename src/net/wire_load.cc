@@ -51,7 +51,7 @@ serve::ClientLoadResult RunWireClientLoad(
     clients.emplace_back([&, t] {
       WireClient& client = *clients_conn[static_cast<size_t>(t)];
       serve::LatencyRecorder& rec = recorders[static_cast<size_t>(t)];
-      Rng rng(static_cast<uint64_t>(1000 + t));
+      Rng rng(opts.seed + static_cast<uint64_t>(t));
       size_t qi = static_cast<size_t>(t) * 1337;
       size_t hot_i = static_cast<size_t>(t) * 13;
       const size_t hot_n =

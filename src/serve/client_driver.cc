@@ -38,7 +38,7 @@ ClientLoadResult RunClientLoad(ServeLoop& loop, const Workload& workload,
   for (int t = 0; t < threads; ++t) {
     clients.emplace_back([&, t] {
       LatencyRecorder& rec = recorders[static_cast<size_t>(t)];
-      Rng rng(static_cast<uint64_t>(1000 + t));
+      Rng rng(opts.seed + static_cast<uint64_t>(t));
       QueryStats qs;
       size_t qi = static_cast<size_t>(t) * 1337;
       size_t hot_i = static_cast<size_t>(t) * 13;
@@ -92,6 +92,7 @@ ClientLoadResult RunClientLoad(ServeLoop& loop, const Workload& workload,
           const Rect& q =
               hot ? workload.queries[hot_i++ % hot_n]
                   : workload.queries[qi++ % workload.queries.size()];
+          if (opts.read_hook) opts.read_hook(t, hot, q);
           if (opts.admission_depth > 0) {
             in_flight.push_back(
                 InFlight{Timer(), loop.SubmitQuery(QueryRequest::Range(q))});

@@ -40,6 +40,16 @@ struct ClientLoadOptions {
   // included) up to the client's own time between iterations. 0 keeps
   // the direct execute-on-calling-thread path.
   int admission_depth = 0;
+  // Base of every per-thread RNG stream (thread t draws from Rng(seed + t)).
+  // Two runs with the same seed and thread count issue byte-identical
+  // per-thread op streams, so a baseline comparison measures the engine,
+  // not the generator. The scenario library forks this from its --seed.
+  uint64_t seed = 1000;
+  // Test-only: observes every read op on its issuing client thread, with
+  // the thread index, whether the hot set supplied the rectangle, and the
+  // rectangle itself — the skew-distribution and determinism tests record
+  // the stream through this. Leave empty in benchmarks (per-op branch).
+  std::function<void(int thread, bool hot, const Rect& rect)> read_hook;
   // Test-only: invoked on the driving thread right after client thread
   // `t` is spawned (before the next spawn). Lets a test stretch the spawn
   // phase and assert that slow spawns cannot inflate the reported QPS —

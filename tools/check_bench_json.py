@@ -1,18 +1,28 @@
 #!/usr/bin/env python3
-"""Validates a BENCH_serve_*.json emitted by bench_serve_throughput --json.
+"""Validates the BENCH_*.json files the bench binaries emit.
 
-Stdlib-only schema check for the "wazi.bench.serve/1" layout, run by the
-CI bench-smoke job so a drive-by change to the bench's JSON writer cannot
-silently break downstream perf-trajectory tooling.
+Stdlib-only schema checks, dispatched on the document's "schema" field:
 
-Usage: check_bench_json.py BENCH_serve_smoke.json [more.json ...]
+  wazi.bench.serve/1     bench_serve_throughput --json   (sweep cells,
+                         optional repartition arms)
+  wazi.bench.scenario/1  bench_scenarios                 (named scenario,
+                         per-phase rows, invariant verdict)
+
+Run by the CI bench jobs so a drive-by change to a bench's JSON writer
+cannot silently break downstream perf-trajectory tooling (including
+tools/compare_bench_json.py, which trusts these shapes).
+
+Usage: check_bench_json.py BENCH_foo.json [more.json ...]
 Exits non-zero with one line per violation.
 """
 
 import json
 import sys
 
-SCHEMA = "wazi.bench.serve/1"
+SERVE_SCHEMA = "wazi.bench.serve/1"
+SCENARIO_SCHEMA = "wazi.bench.scenario/1"
+
+NUMBER = (int, float)
 
 CELL_REQUIRED = {
     "shards": int,
@@ -20,22 +30,47 @@ CELL_REQUIRED = {
     "admission_window_us": int,
     "write_pct": int,
     "threads": int,
-    "qps": (int, float),
-    "writes_per_s": (int, float),
-    "p50_ns": (int, float),
-    "p90_ns": (int, float),
-    "p99_ns": (int, float),
-    "cache_hit_rate": (int, float),
+    "qps": NUMBER,
+    "writes_per_s": NUMBER,
+    "p50_ns": NUMBER,
+    "p90_ns": NUMBER,
+    "p99_ns": NUMBER,
+    "cache_hit_rate": NUMBER,
 }
 
 ARM_REQUIRED = {
     "arm": str,
-    "qps_pre": (int, float),
-    "qps_post": (int, float),
-    "p99_post_ns": (int, float),
+    "qps_pre": NUMBER,
+    "qps_post": NUMBER,
+    "p99_post_ns": NUMBER,
     "migrations": int,
     "incremental": int,
     "moved_points": int,
+}
+
+PHASE_REQUIRED = {
+    "name": str,
+    "queries": int,
+    "writes": int,
+    "elapsed_seconds": NUMBER,
+    "qps": NUMBER,
+    "writes_per_s": NUMBER,
+    "p50_ns": NUMBER,
+    "p90_ns": NUMBER,
+    "p99_ns": NUMBER,
+    "cache_hit_rate": NUMBER,
+}
+
+TOTALS_REQUIRED = {
+    "queries": int,
+    "writes": int,
+    "migrations": int,
+    "incremental": int,
+    "moved_points": int,
+    "last_moved_shards": int,
+    "last_carried_shards": int,
+    "stall_copies": int,
+    "epoch": int,
 }
 
 # Counters the serve stack always registers; their presence proves the
@@ -46,6 +81,8 @@ METRIC_COUNTERS_REQUIRED = [
     "serve_cache_hits_total",
     "serve_cache_misses_total",
 ]
+
+TRANSPORTS = ("embedded", "wire")
 
 
 def _check_fields(obj, required, where, errors):
@@ -58,19 +95,25 @@ def _check_fields(obj, required, where, errors):
                 f"expected {types}")
 
 
-def validate(path):
-    errors = []
-    try:
-        with open(path, "r", encoding="utf-8") as f:
-            doc = json.load(f)
-    except (OSError, json.JSONDecodeError) as exc:
-        return [f"{path}: unreadable or invalid JSON: {exc}"]
+def _check_metrics(doc, path, errors):
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append(f"{path}: 'metrics' missing or not an object")
+        return
+    counters = metrics.get("counters")
+    if not isinstance(counters, dict):
+        errors.append(f"{path}: metrics.counters missing")
+    else:
+        for name in METRIC_COUNTERS_REQUIRED:
+            if name not in counters:
+                errors.append(f"{path}: metrics.counters['{name}'] missing")
+    for section in ("gauges", "histograms"):
+        if not isinstance(metrics.get(section), dict):
+            errors.append(f"{path}: metrics.{section} missing")
 
-    if not isinstance(doc, dict):
-        return [f"{path}: top level is not an object"]
-    if doc.get("schema") != SCHEMA:
-        errors.append(
-            f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+
+def _validate_serve(doc, path):
+    errors = []
     for key in ("bench", "scenario", "index"):
         if not isinstance(doc.get(key), str):
             errors.append(f"{path}: missing or non-string '{key}'")
@@ -95,13 +138,13 @@ def validate(path):
             # Optional: --net mode tags each cell with how clients reached
             # the engine.
             transport = cell.get("transport")
-            if transport is not None and transport not in ("embedded", "wire"):
-                errors.append(f"{where}: transport {transport!r} not in "
-                              f"('embedded', 'wire')")
-            if isinstance(cell.get("qps"), (int, float)) and cell["qps"] < 0:
+            if transport is not None and transport not in TRANSPORTS:
+                errors.append(
+                    f"{where}: transport {transport!r} not in {TRANSPORTS}")
+            if isinstance(cell.get("qps"), NUMBER) and cell["qps"] < 0:
                 errors.append(f"{where}: negative qps")
             rate = cell.get("cache_hit_rate")
-            if isinstance(rate, (int, float)) and not 0 <= rate <= 1:
+            if isinstance(rate, NUMBER) and not 0 <= rate <= 1:
                 errors.append(f"{where}: cache_hit_rate {rate} not in [0,1]")
 
     arms = doc.get("repartition_arms")
@@ -116,22 +159,91 @@ def validate(path):
                     continue
                 _check_fields(arm, ARM_REQUIRED, where, errors)
 
-    metrics = doc.get("metrics")
-    if not isinstance(metrics, dict):
-        errors.append(f"{path}: 'metrics' missing or not an object")
-    else:
-        counters = metrics.get("counters")
-        if not isinstance(counters, dict):
-            errors.append(f"{path}: metrics.counters missing")
-        else:
-            for name in METRIC_COUNTERS_REQUIRED:
-                if name not in counters:
-                    errors.append(f"{path}: metrics.counters['{name}'] missing")
-        for section in ("gauges", "histograms"):
-            if not isinstance(metrics.get(section), dict):
-                errors.append(f"{path}: metrics.{section} missing")
-
+    _check_metrics(doc, path, errors)
     return errors
+
+
+def _validate_scenario(doc, path):
+    errors = []
+    for key in ("bench", "scenario", "description", "scale", "index"):
+        if not isinstance(doc.get(key), str):
+            errors.append(f"{path}: missing or non-string '{key}'")
+    for key in ("seed", "points", "seconds_per_phase", "threads",
+                "invariant_checks"):
+        if not isinstance(doc.get(key), NUMBER) or isinstance(
+                doc.get(key), bool):
+            errors.append(f"{path}: missing or non-numeric '{key}'")
+    if not isinstance(doc.get("passed"), bool):
+        errors.append(f"{path}: missing or non-bool 'passed'")
+    transport = doc.get("transport")
+    if transport not in TRANSPORTS:
+        errors.append(f"{path}: transport {transport!r} not in {TRANSPORTS}")
+
+    failures = doc.get("failures")
+    if not isinstance(failures, list) or any(
+            not isinstance(f, str) for f in failures or []):
+        errors.append(f"{path}: 'failures' missing or not a string list")
+    elif doc.get("passed") is True and failures:
+        errors.append(f"{path}: passed=true but failures is non-empty")
+    elif doc.get("passed") is False and not failures:
+        errors.append(f"{path}: passed=false but failures is empty")
+
+    phases = doc.get("phases")
+    if not isinstance(phases, list) or not phases:
+        errors.append(f"{path}: 'phases' missing or empty")
+    else:
+        names = set()
+        for i, phase in enumerate(phases):
+            where = f"{path}: phases[{i}]"
+            if not isinstance(phase, dict):
+                errors.append(f"{where}: not an object")
+                continue
+            _check_fields(phase, PHASE_REQUIRED, where, errors)
+            name = phase.get("name")
+            if isinstance(name, str):
+                if name in names:
+                    errors.append(f"{where}: duplicate phase name {name!r}")
+                names.add(name)
+            if isinstance(phase.get("qps"), NUMBER) and phase["qps"] < 0:
+                errors.append(f"{where}: negative qps")
+            rate = phase.get("cache_hit_rate")
+            if isinstance(rate, NUMBER) and not 0 <= rate <= 1:
+                errors.append(f"{where}: cache_hit_rate {rate} not in [0,1]")
+
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        errors.append(f"{path}: 'totals' missing or not an object")
+    else:
+        _check_fields(totals, TOTALS_REQUIRED, f"{path}: totals", errors)
+        if isinstance(phases, list) and all(
+                isinstance(p, dict) and isinstance(p.get("queries"), int)
+                for p in phases):
+            summed = sum(p["queries"] for p in phases)
+            if totals.get("queries") not in (None, summed):
+                errors.append(
+                    f"{path}: totals.queries {totals.get('queries')} != "
+                    f"sum of phases {summed}")
+
+    _check_metrics(doc, path, errors)
+    return errors
+
+
+def validate(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: unreadable or invalid JSON: {exc}"]
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+
+    schema = doc.get("schema")
+    if schema == SERVE_SCHEMA:
+        return _validate_serve(doc, path)
+    if schema == SCENARIO_SCHEMA:
+        return _validate_scenario(doc, path)
+    return [f"{path}: unknown schema {schema!r} "
+            f"(known: {SERVE_SCHEMA!r}, {SCENARIO_SCHEMA!r})"]
 
 
 def main(argv):

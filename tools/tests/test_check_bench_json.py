@@ -1,0 +1,192 @@
+"""Unit tests for tools/check_bench_json.py (both schemas).
+
+Run from the repo root:  python3 -m unittest discover -s tools/tests
+"""
+
+import copy
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
+
+import check_bench_json as chk
+
+
+def _metrics():
+    return {
+        "counters": {
+            "serve_migrations_total": 0,
+            "serve_snapshot_publishes_total": 3,
+            "serve_cache_hits_total": 10,
+            "serve_cache_misses_total": 5,
+        },
+        "gauges": {},
+        "histograms": {},
+    }
+
+
+def serve_doc():
+    return {
+        "schema": "wazi.bench.serve/1",
+        "bench": "serve_throughput",
+        "scenario": "smoke",
+        "index": "wazi",
+        "points": 1000,
+        "seconds_per_cell": 0.3,
+        "cells": [{
+            "shards": 1,
+            "cache_mb": 0,
+            "admission_window_us": 0,
+            "write_pct": 0,
+            "threads": 2,
+            "qps": 1000.0,
+            "writes_per_s": 0.0,
+            "p50_ns": 1500,
+            "p90_ns": 2000,
+            "p99_ns": 3000,
+            "cache_hit_rate": 0.0,
+        }],
+        "metrics": _metrics(),
+    }
+
+
+def scenario_doc():
+    return {
+        "schema": "wazi.bench.scenario/1",
+        "bench": "scenarios",
+        "scenario": "poi_lookup",
+        "description": "d",
+        "scale": "smoke",
+        "seed": 42,
+        "index": "wazi",
+        "transport": "embedded",
+        "points": 1000,
+        "seconds_per_phase": 0.2,
+        "threads": 2,
+        "passed": True,
+        "failures": [],
+        "invariant_checks": 7,
+        "phases": [{
+            "name": "zipf_lookups",
+            "queries": 100,
+            "writes": 0,
+            "elapsed_seconds": 0.2,
+            "qps": 500.0,
+            "writes_per_s": 0.0,
+            "p50_ns": 1500,
+            "p90_ns": 2000,
+            "p99_ns": 3000,
+            "cache_hit_rate": 0.0,
+        }],
+        "totals": {
+            "queries": 100,
+            "writes": 0,
+            "migrations": 0,
+            "incremental": 0,
+            "moved_points": 0,
+            "last_moved_shards": 0,
+            "last_carried_shards": 0,
+            "stall_copies": 0,
+            "epoch": 1,
+        },
+        "metrics": _metrics(),
+    }
+
+
+class ValidateTest(unittest.TestCase):
+
+    def _validate(self, doc):
+        with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                         delete=False) as f:
+            json.dump(doc, f)
+            path = f.name
+        try:
+            return chk.validate(path)
+        finally:
+            os.unlink(path)
+
+    def test_valid_serve_doc_passes(self):
+        self.assertEqual(self._validate(serve_doc()), [])
+
+    def test_valid_scenario_doc_passes(self):
+        self.assertEqual(self._validate(scenario_doc()), [])
+
+    def test_unknown_schema_fails(self):
+        doc = serve_doc()
+        doc["schema"] = "wazi.bench.other/9"
+        errors = self._validate(doc)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("unknown schema", errors[0])
+
+    def test_serve_missing_cell_field(self):
+        doc = serve_doc()
+        del doc["cells"][0]["p99_ns"]
+        self.assertTrue(
+            any("p99_ns" in e for e in self._validate(doc)))
+
+    def test_scenario_missing_phase_field(self):
+        doc = scenario_doc()
+        del doc["phases"][0]["qps"]
+        self.assertTrue(any("qps" in e for e in self._validate(doc)))
+
+    def test_scenario_passed_failures_consistency(self):
+        doc = scenario_doc()
+        doc["failures"] = ["something broke"]
+        self.assertTrue(
+            any("passed=true but failures" in e
+                for e in self._validate(doc)))
+        doc = scenario_doc()
+        doc["passed"] = False
+        self.assertTrue(
+            any("passed=false but failures is empty" in e
+                for e in self._validate(doc)))
+
+    def test_scenario_duplicate_phase_names(self):
+        doc = scenario_doc()
+        doc["phases"].append(copy.deepcopy(doc["phases"][0]))
+        doc["totals"]["queries"] = 200
+        self.assertTrue(
+            any("duplicate phase name" in e for e in self._validate(doc)))
+
+    def test_scenario_totals_must_sum_phases(self):
+        doc = scenario_doc()
+        doc["totals"]["queries"] = 999
+        self.assertTrue(
+            any("totals.queries" in e for e in self._validate(doc)))
+
+    def test_scenario_bad_transport(self):
+        doc = scenario_doc()
+        doc["transport"] = "carrier-pigeon"
+        self.assertTrue(
+            any("transport" in e for e in self._validate(doc)))
+
+    def test_scenario_cache_hit_rate_bounds(self):
+        doc = scenario_doc()
+        doc["phases"][0]["cache_hit_rate"] = 1.5
+        self.assertTrue(
+            any("cache_hit_rate" in e for e in self._validate(doc)))
+
+    def test_missing_required_metric_counter(self):
+        doc = scenario_doc()
+        del doc["metrics"]["counters"]["serve_migrations_total"]
+        self.assertTrue(
+            any("serve_migrations_total" in e for e in self._validate(doc)))
+
+    def test_invalid_json_reported(self):
+        with tempfile.NamedTemporaryFile("w", suffix=".json",
+                                         delete=False) as f:
+            f.write("{nope")
+            path = f.name
+        try:
+            errors = chk.validate(path)
+        finally:
+            os.unlink(path)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("invalid JSON", errors[0])
+
+
+if __name__ == "__main__":
+    unittest.main()
