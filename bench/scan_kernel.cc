@@ -1,0 +1,192 @@
+// Microbenchmark: leaf-scan kernel throughput, scalar vs SSE2 vs AVX2.
+//
+// WaZI funnels query time into the leaf scan, so the point-in-rect filter
+// (common/simd.h) is the instruction budget that matters. This bench
+// sweeps leaf sizes and rect selectivities over every instruction tier
+// the host supports and FAILS (exit 1) if the best vector tier does not
+// beat the scalar reference on >= 4096-point leaves — the regression
+// gate for the kernel rewrite (a broken dispatch or a de-vectorized
+// kernel shows up as ratio <= 1).
+//
+// Emits BENCH_scan_kernel.json (schema wazi.bench.micro/1, validated by
+// tools/check_bench_json.py). Re-record protocol in BENCHMARKS.md.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simd.h"
+#include "common/timer.h"
+#include "obs/exporters.h"
+
+namespace {
+
+using wazi::Point;
+using wazi::Rect;
+using wazi::Rng;
+using wazi::Timer;
+namespace simd = wazi::simd;
+
+struct Row {
+  std::string name;   // kernel tier
+  size_t n = 0;       // leaf size
+  double selectivity = 0.0;
+  int64_t points = 0;  // total points filtered
+  double ns_per_point = 0.0;
+};
+
+std::vector<Point> MakeLeaf(size_t n, Rng* rng) {
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back(Point{rng->NextDouble(), rng->NextDouble(),
+                        static_cast<int64_t>(i)});
+  }
+  return pts;
+}
+
+// A centered square over uniform [0,1)^2 data whose area is `frac`.
+Rect RectForSelectivity(double frac) {
+  const double side = std::sqrt(frac);
+  const double lo = 0.5 - side / 2;
+  return Rect{lo, lo, lo + side, lo + side};
+}
+
+Row Measure(simd::Level level, const std::vector<Point>& leaf,
+            double selectivity, double seconds) {
+  const Rect rect = RectForSelectivity(selectivity);
+  std::vector<Point> out;
+  out.reserve(leaf.size());
+  // Warm-up + calibration: one pass to size the timed batch.
+  simd::FilterPointsInRectLevel(level, leaf.data(), leaf.size(), rect, &out,
+                                nullptr);
+  int64_t points = 0;
+  size_t hits = 0;
+  Timer timer;
+  while (timer.ElapsedSeconds() < seconds) {
+    for (int rep = 0; rep < 16; ++rep) {
+      out.clear();
+      hits += simd::FilterPointsInRectLevel(level, leaf.data(), leaf.size(),
+                                            rect, &out, nullptr);
+      points += static_cast<int64_t>(leaf.size());
+    }
+  }
+  const double elapsed_ns = static_cast<double>(timer.ElapsedNs());
+  Row row;
+  row.name = simd::LevelName(level);
+  row.n = leaf.size();
+  row.selectivity = selectivity;
+  row.points = points;
+  row.ns_per_point =
+      points > 0 ? elapsed_ns / static_cast<double>(points) : 0.0;
+  if (hits == static_cast<size_t>(-1)) std::fprintf(stderr, "sink\n");
+  return row;
+}
+
+int WriteJson(const char* path, const std::vector<Row>& rows,
+              double seconds, double min_speedup_large) {
+  wazi::obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("schema").String("wazi.bench.micro/1");
+  w.Key("bench").String("scan_kernel");
+  w.Key("scenario").String("leaf_filter_sweep");
+  w.Key("seconds_per_row").Double(seconds);
+  w.Key("detected_level").String(simd::LevelName(simd::DetectedLevel()));
+  w.Key("rows").BeginArray();
+  for (const Row& r : rows) {
+    w.BeginObject();
+    w.Key("name").String(r.name);
+    w.Key("leaf_points").Int(static_cast<int64_t>(r.n));
+    w.Key("selectivity").Double(r.selectivity);
+    w.Key("ops").Int(r.points);
+    w.Key("ns_per_op").Double(r.ns_per_point);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("summary").BeginObject();
+  w.Key("min_speedup_on_large_leaves").Double(min_speedup_large);
+  w.EndObject();
+  w.EndObject();
+  if (!wazi::obs::WriteFile(path, w.str() + "\n")) {
+    std::fprintf(stderr, "[scan_kernel] cannot write %s\n", path);
+    return 1;
+  }
+  std::printf("[scan_kernel] wrote %s\n", path);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* json_path = "BENCH_scan_kernel.json";
+  double seconds = 0.1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--seconds") == 0 && i + 1 < argc) {
+      seconds = std::atof(argv[++i]);
+    }
+  }
+  if (const char* env = std::getenv("WAZI_BENCH_SECONDS")) {
+    seconds = std::atof(env);
+  }
+
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  const int detected = static_cast<int>(simd::DetectedLevel());
+  if (detected >= static_cast<int>(simd::Level::kSse2)) {
+    levels.push_back(simd::Level::kSse2);
+  }
+  if (detected >= static_cast<int>(simd::Level::kAvx2)) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  std::printf("[scan_kernel] detected level: %s\n",
+              simd::LevelName(simd::DetectedLevel()));
+
+  Rng rng(7);
+  const size_t kLeafSizes[] = {256, 1024, 4096, 16384};
+  const double kSelectivities[] = {0.01, 0.1, 0.5, 1.0};
+  std::vector<Row> rows;
+  // Smallest (best vector tier / scalar) speedup across the >= 4096-point
+  // cells — the acceptance bar for the kernel rewrite.
+  double min_speedup_large = 1e30;
+  for (const size_t n : kLeafSizes) {
+    const std::vector<Point> leaf = MakeLeaf(n, &rng);
+    for (const double sel : kSelectivities) {
+      double scalar_ns = 0.0;
+      double best_vector_ns = 1e30;
+      for (const simd::Level level : levels) {
+        const Row row = Measure(level, leaf, sel, seconds);
+        std::printf("[scan_kernel] n=%6zu sel=%4.2f %-6s %7.3f ns/point\n",
+                    n, sel, row.name.c_str(), row.ns_per_point);
+        if (level == simd::Level::kScalar) {
+          scalar_ns = row.ns_per_point;
+        } else if (row.ns_per_point < best_vector_ns) {
+          best_vector_ns = row.ns_per_point;
+        }
+        rows.push_back(row);
+      }
+      if (n >= 4096 && levels.size() > 1 && best_vector_ns > 0) {
+        const double speedup = scalar_ns / best_vector_ns;
+        if (speedup < min_speedup_large) min_speedup_large = speedup;
+      }
+    }
+  }
+  if (levels.size() == 1) min_speedup_large = 0.0;  // scalar-only host
+
+  int rc = WriteJson(json_path, rows, seconds, min_speedup_large);
+  // The gate: on leaves >= 4096 points every cell's best vector tier must
+  // beat scalar (with a small tolerance for timer jitter). Skipped on
+  // hosts with no vector tier at all.
+  if (levels.size() > 1 && min_speedup_large < 1.02) {
+    std::fprintf(stderr,
+                 "[scan_kernel] FAIL: vector kernel does not beat scalar on "
+                 ">=4096-point leaves (min speedup %.3f)\n",
+                 min_speedup_large);
+    rc = 1;
+  }
+  return rc;
+}

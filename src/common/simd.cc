@@ -1,0 +1,273 @@
+#include "common/simd.h"
+
+#include <atomic>
+
+#if defined(__x86_64__) || defined(__i386__)
+#define WAZI_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define WAZI_SIMD_X86 0
+#endif
+
+namespace wazi::simd {
+namespace {
+
+// ---- scalar reference ---------------------------------------------------
+// The semantics every vector path must reproduce byte-for-byte.
+
+size_t FilterScalar(const Point* p, size_t n, const Rect& rect,
+                    std::vector<Point>* out, KernelCounters* kc) {
+  size_t appended = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (rect.Contains(p[i])) {
+      out->push_back(p[i]);
+      ++appended;
+    }
+  }
+  if (kc != nullptr) kc->scalar_tail += static_cast<int64_t>(n);
+  return appended;
+}
+
+size_t FindScalar(const Point* p, size_t n, double qx, double qy,
+                  KernelCounters* kc) {
+  for (size_t i = 0; i < n; ++i) {
+    if (p[i].x == qx && p[i].y == qy) {
+      if (kc != nullptr) kc->scalar_tail += static_cast<int64_t>(i) + 1;
+      return i;
+    }
+  }
+  if (kc != nullptr) kc->scalar_tail += static_cast<int64_t>(n);
+  return kNotFound;
+}
+
+#if WAZI_SIMD_X86
+
+// ---- SSE2 (x86-64 baseline) --------------------------------------------
+// Two points per iteration. Only CMPLE/CMPEQ are used for the rect test:
+// SSE2's GE/GT forms are NOT-compares (true on NaN operands), while
+// a <= b is an ordered compare that is false whenever either side is NaN
+// — exactly scalar `<=`. x >= min is therefore emitted as min <= x.
+
+size_t FilterSse2(const Point* p, size_t n, const Rect& rect,
+                  std::vector<Point>* out, KernelCounters* kc) {
+  const __m128d min_x = _mm_set1_pd(rect.min_x);
+  const __m128d max_x = _mm_set1_pd(rect.max_x);
+  const __m128d min_y = _mm_set1_pd(rect.min_y);
+  const __m128d max_y = _mm_set1_pd(rect.max_y);
+  size_t appended = 0;
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d xs = _mm_setr_pd(p[i].x, p[i + 1].x);
+    const __m128d ys = _mm_setr_pd(p[i].y, p[i + 1].y);
+    const __m128d in_x =
+        _mm_and_pd(_mm_cmple_pd(min_x, xs), _mm_cmple_pd(xs, max_x));
+    const __m128d in_y =
+        _mm_and_pd(_mm_cmple_pd(min_y, ys), _mm_cmple_pd(ys, max_y));
+    int mask = _mm_movemask_pd(_mm_and_pd(in_x, in_y));
+    // Compress: consume set bits low-to-high so output order matches the
+    // scalar loop.
+    while (mask != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+      out->push_back(p[i + static_cast<size_t>(lane)]);
+      ++appended;
+      mask &= mask - 1;
+    }
+  }
+  if (kc != nullptr) kc->simd_batches += static_cast<int64_t>(i / 2);
+  for (; i < n; ++i) {
+    if (rect.Contains(p[i])) {
+      out->push_back(p[i]);
+      ++appended;
+    }
+    if (kc != nullptr) ++kc->scalar_tail;
+  }
+  return appended;
+}
+
+size_t FindSse2(const Point* p, size_t n, double qx, double qy,
+                KernelCounters* kc) {
+  const __m128d qxs = _mm_set1_pd(qx);
+  const __m128d qys = _mm_set1_pd(qy);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d xs = _mm_setr_pd(p[i].x, p[i + 1].x);
+    const __m128d ys = _mm_setr_pd(p[i].y, p[i + 1].y);
+    const int mask = _mm_movemask_pd(
+        _mm_and_pd(_mm_cmpeq_pd(xs, qxs), _mm_cmpeq_pd(ys, qys)));
+    if (mask != 0) {
+      if (kc != nullptr) kc->simd_batches += static_cast<int64_t>(i / 2) + 1;
+      return i + static_cast<size_t>(__builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  if (kc != nullptr) kc->simd_batches += static_cast<int64_t>(i / 2);
+  for (; i < n; ++i) {
+    if (kc != nullptr) ++kc->scalar_tail;
+    if (p[i].x == qx && p[i].y == qy) return i;
+  }
+  return kNotFound;
+}
+
+// ---- AVX2 ---------------------------------------------------------------
+// Four points per iteration; _CMP_*_OQ predicates are ordered-quiet, so
+// NaN lanes fail containment exactly like the scalar reference.
+
+__attribute__((target("avx2"))) size_t FilterAvx2(const Point* p, size_t n,
+                                                  const Rect& rect,
+                                                  std::vector<Point>* out,
+                                                  KernelCounters* kc) {
+  const __m256d min_x = _mm256_set1_pd(rect.min_x);
+  const __m256d max_x = _mm256_set1_pd(rect.max_x);
+  const __m256d min_y = _mm256_set1_pd(rect.min_y);
+  const __m256d max_y = _mm256_set1_pd(rect.max_y);
+  size_t appended = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d xs =
+        _mm256_setr_pd(p[i].x, p[i + 1].x, p[i + 2].x, p[i + 3].x);
+    const __m256d ys =
+        _mm256_setr_pd(p[i].y, p[i + 1].y, p[i + 2].y, p[i + 3].y);
+    const __m256d in_x = _mm256_and_pd(_mm256_cmp_pd(xs, min_x, _CMP_GE_OQ),
+                                       _mm256_cmp_pd(xs, max_x, _CMP_LE_OQ));
+    const __m256d in_y = _mm256_and_pd(_mm256_cmp_pd(ys, min_y, _CMP_GE_OQ),
+                                       _mm256_cmp_pd(ys, max_y, _CMP_LE_OQ));
+    int mask = _mm256_movemask_pd(_mm256_and_pd(in_x, in_y));
+    if (mask == 0xF) {
+      // Whole batch inside (the common case on well-fitted leaves):
+      // bulk-append keeps the vector growth path out of the per-lane loop.
+      out->insert(out->end(), p + i, p + i + 4);
+      appended += 4;
+      continue;
+    }
+    while (mask != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+      out->push_back(p[i + static_cast<size_t>(lane)]);
+      ++appended;
+      mask &= mask - 1;
+    }
+  }
+  if (kc != nullptr) kc->simd_batches += static_cast<int64_t>(i / 4);
+  for (; i < n; ++i) {
+    if (rect.Contains(p[i])) {
+      out->push_back(p[i]);
+      ++appended;
+    }
+    if (kc != nullptr) ++kc->scalar_tail;
+  }
+  return appended;
+}
+
+__attribute__((target("avx2"))) size_t FindAvx2(const Point* p, size_t n,
+                                                double qx, double qy,
+                                                KernelCounters* kc) {
+  const __m256d qxs = _mm256_set1_pd(qx);
+  const __m256d qys = _mm256_set1_pd(qy);
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d xs =
+        _mm256_setr_pd(p[i].x, p[i + 1].x, p[i + 2].x, p[i + 3].x);
+    const __m256d ys =
+        _mm256_setr_pd(p[i].y, p[i + 1].y, p[i + 2].y, p[i + 3].y);
+    const int mask = _mm256_movemask_pd(
+        _mm256_and_pd(_mm256_cmp_pd(xs, qxs, _CMP_EQ_OQ),
+                      _mm256_cmp_pd(ys, qys, _CMP_EQ_OQ)));
+    if (mask != 0) {
+      if (kc != nullptr) kc->simd_batches += static_cast<int64_t>(i / 4) + 1;
+      return i + static_cast<size_t>(__builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  if (kc != nullptr) kc->simd_batches += static_cast<int64_t>(i / 4);
+  for (; i < n; ++i) {
+    if (kc != nullptr) ++kc->scalar_tail;
+    if (p[i].x == qx && p[i].y == qy) return i;
+  }
+  return kNotFound;
+}
+
+#endif  // WAZI_SIMD_X86
+
+// ---- dispatch -----------------------------------------------------------
+
+std::atomic<int> g_level_override{static_cast<int>(Level::kAvx2)};
+
+Level Clamp(Level level) {
+  const Level detected = DetectedLevel();
+  return static_cast<int>(level) < static_cast<int>(detected) ? level
+                                                              : detected;
+}
+
+}  // namespace
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return "scalar";
+    case Level::kSse2:
+      return "sse2";
+    case Level::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Level DetectedLevel() {
+#if WAZI_SIMD_X86
+  static const Level detected = [] {
+    if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+    if (__builtin_cpu_supports("sse2")) return Level::kSse2;
+    return Level::kScalar;
+  }();
+  return detected;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level ActiveLevel() {
+  return Clamp(
+      static_cast<Level>(g_level_override.load(std::memory_order_relaxed)));
+}
+
+void SetLevelOverride(Level level) {
+  g_level_override.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+size_t FilterPointsInRectLevel(Level level, const Point* p, size_t n,
+                               const Rect& rect, std::vector<Point>* out,
+                               KernelCounters* counters) {
+  switch (Clamp(level)) {
+#if WAZI_SIMD_X86
+    case Level::kAvx2:
+      return FilterAvx2(p, n, rect, out, counters);
+    case Level::kSse2:
+      return FilterSse2(p, n, rect, out, counters);
+#endif
+    default:
+      return FilterScalar(p, n, rect, out, counters);
+  }
+}
+
+size_t FindCoordLevel(Level level, const Point* p, size_t n, double qx,
+                      double qy, KernelCounters* counters) {
+  switch (Clamp(level)) {
+#if WAZI_SIMD_X86
+    case Level::kAvx2:
+      return FindAvx2(p, n, qx, qy, counters);
+    case Level::kSse2:
+      return FindSse2(p, n, qx, qy, counters);
+#endif
+    default:
+      return FindScalar(p, n, qx, qy, counters);
+  }
+}
+
+size_t FilterPointsInRect(const Point* p, size_t n, const Rect& rect,
+                          std::vector<Point>* out, KernelCounters* counters) {
+  return FilterPointsInRectLevel(ActiveLevel(), p, n, rect, out, counters);
+}
+
+size_t FindCoord(const Point* p, size_t n, double qx, double qy,
+                 KernelCounters* counters) {
+  return FindCoordLevel(ActiveLevel(), p, n, qx, qy, counters);
+}
+
+}  // namespace wazi::simd

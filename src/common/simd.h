@@ -1,0 +1,90 @@
+// Vectorized leaf-scan kernels for the query hot path.
+//
+// WaZI's design pushes query cost into the leaf scan (pages are read
+// start-to-end once the Z-order walk selects them), so the per-point
+// predicate — "is (x, y) inside the query rect" — is the single hottest
+// loop in the engine. This header exposes that loop as a small kernel
+// layer: a portable scalar reference plus SSE2/AVX2 compare-and-compress
+// paths selected at runtime from CPUID. Callers always get results
+// byte-identical to the scalar reference (tests/simd_kernel_fuzz_test.cc
+// enforces this across NaN, -0.0, infinities, and lane-misaligned
+// lengths):
+//
+//   - rect compares use ordered-quiet predicates, so NaN coordinates fail
+//     containment exactly like scalar `>=`/`<=`;
+//   - exact-coordinate match uses ordered-quiet equality, so -0.0 == 0.0
+//     and NaN != NaN, matching scalar `==`;
+//   - matches append in input order (movemask bits consumed low-to-high).
+//
+// Points are AoS (x, y, id — 24 bytes); the kernels gather x/y lanes with
+// strided scalar loads, which keeps the layout untouched and still wins
+// on wide leaves because the predicate+branch work vectorizes 4-wide.
+//
+// Every kernel reports work-shape counters (full vector batches vs scalar
+// tail points) that QueryStats carries as simd_batches/scalar_tail, so a
+// dispatch regression (AVX2 silently off → batches collapse to zero) is
+// visible in the metrics registry rather than only in throughput.
+
+#ifndef WAZI_COMMON_SIMD_H_
+#define WAZI_COMMON_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/geometry.h"
+
+namespace wazi::simd {
+
+// Instruction-set tiers, ordered; dispatch picks the highest supported.
+enum class Level : int {
+  kScalar = 0,
+  kSse2 = 1,
+  kAvx2 = 2,
+};
+
+const char* LevelName(Level level);
+
+// Highest tier the running CPU supports (CPUID, computed once).
+Level DetectedLevel();
+
+// Tier the dispatched kernels actually use: DetectedLevel() unless
+// lowered by SetLevelOverride.
+Level ActiveLevel();
+
+// Clamps dispatch to min(level, DetectedLevel()). For tests (differential
+// runs of every tier on one machine) and benchmarks (before/after arms);
+// not thread-safe against concurrent kernel calls, so flip it only around
+// single-threaded sections.
+void SetLevelOverride(Level level);
+
+// Work-shape counters a kernel call accumulates into (never resets).
+struct KernelCounters {
+  int64_t simd_batches = 0;  // full-width vector iterations
+  int64_t scalar_tail = 0;   // points handled by the scalar remainder
+};
+
+// Appends every point of p[0..n) contained in `rect` to *out, preserving
+// input order; returns the number appended. `counters` may be null.
+size_t FilterPointsInRect(const Point* p, size_t n, const Rect& rect,
+                          std::vector<Point>* out, KernelCounters* counters);
+
+// Index of the first point of p[0..n) with exactly (x == qx, y == qy), or
+// kNotFound. The early-exit position lets callers keep points_scanned
+// semantics identical to the scalar loop they replaced.
+inline constexpr size_t kNotFound = static_cast<size_t>(-1);
+size_t FindCoord(const Point* p, size_t n, double qx, double qy,
+                 KernelCounters* counters);
+
+// Fixed-tier variants (bypass dispatch) for differential testing and
+// before/after benchmarking. `level` above DetectedLevel() falls back to
+// the highest supported tier.
+size_t FilterPointsInRectLevel(Level level, const Point* p, size_t n,
+                               const Rect& rect, std::vector<Point>* out,
+                               KernelCounters* counters);
+size_t FindCoordLevel(Level level, const Point* p, size_t n, double qx,
+                      double qy, KernelCounters* counters);
+
+}  // namespace wazi::simd
+
+#endif  // WAZI_COMMON_SIMD_H_

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <limits>
 
+#include "common/simd.h"
+
 namespace wazi {
 namespace {
 
@@ -165,33 +167,36 @@ void ZIndex::WalkRange(const Rect& query, QueryStats* stats,
   }
 }
 
+namespace {
+
+// The leaf scan, vectorized (common/simd.h): filters one page span
+// against the query rect and folds the kernel's work-shape counters into
+// the query's stats. Byte-identical to the scalar loop it replaced.
+void ScanSpan(const Span& span, const Rect& query, std::vector<Point>* out,
+              QueryStats* stats) {
+  ++stats->pages_scanned;
+  const size_t n = static_cast<size_t>(span.end - span.begin);
+  stats->points_scanned += static_cast<int64_t>(n);
+  simd::KernelCounters kc;
+  stats->results += static_cast<int64_t>(
+      simd::FilterPointsInRect(span.begin, n, query, out, &kc));
+  stats->simd_batches += kc.simd_batches;
+  stats->scalar_tail += kc.scalar_tail;
+}
+
+}  // namespace
+
 void ZIndex::RangeQueryNaive(const Rect& query, std::vector<Point>* out,
                              QueryStats* stats) const {
   WalkRange<false>(query, stats, [&](const LeafRec& leaf) {
-    const Span span = store_.PageSpan(leaf.page);
-    ++stats->pages_scanned;
-    for (const Point* p = span.begin; p != span.end; ++p) {
-      ++stats->points_scanned;
-      if (query.Contains(*p)) {
-        out->push_back(*p);
-        ++stats->results;
-      }
-    }
+    ScanSpan(store_.PageSpan(leaf.page), query, out, stats);
   });
 }
 
 void ZIndex::RangeQuerySkipping(const Rect& query, std::vector<Point>* out,
                                 QueryStats* stats) const {
   WalkRange<true>(query, stats, [&](const LeafRec& leaf) {
-    const Span span = store_.PageSpan(leaf.page);
-    ++stats->pages_scanned;
-    for (const Point* p = span.begin; p != span.end; ++p) {
-      ++stats->points_scanned;
-      if (query.Contains(*p)) {
-        out->push_back(*p);
-        ++stats->results;
-      }
-    }
+    ScanSpan(store_.PageSpan(leaf.page), query, out, stats);
   });
 }
 
@@ -215,11 +220,16 @@ bool ZIndex::PointQuery(double x, double y, QueryStats* stats) const {
   ++stats->bbs_checked;
   const Span span = store_.PageSpan(leaf.page);
   ++stats->pages_scanned;
-  for (const Point* p = span.begin; p != span.end; ++p) {
-    ++stats->points_scanned;
-    if (p->x == x && p->y == y) return true;
-  }
-  return false;
+  const size_t n = static_cast<size_t>(span.end - span.begin);
+  simd::KernelCounters kc;
+  const size_t idx = simd::FindCoord(span.begin, n, x, y, &kc);
+  // Early-exit semantics preserved: count points up to and including the
+  // hit, or the whole page on a miss, exactly like the scalar loop.
+  stats->points_scanned +=
+      static_cast<int64_t>(idx == simd::kNotFound ? n : idx + 1);
+  stats->simd_batches += kc.simd_batches;
+  stats->scalar_tail += kc.scalar_tail;
+  return idx != simd::kNotFound;
 }
 
 void ZIndex::Insert(const Point& p, bool maintain_lookahead) {

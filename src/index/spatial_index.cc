@@ -1,19 +1,24 @@
 #include "index/spatial_index.h"
 
+#include "common/simd.h"
+
 namespace wazi {
 
 void SpatialIndex::DoScanProjection(const Projection& proj, const Rect& query,
                                     std::vector<Point>* out,
                                     QueryStats* stats) const {
+  // Projection scanning is the paper's deferred-materialization path: the
+  // spans were selected by the index walk, so all that remains is the
+  // point-in-rect filter — exactly the vectorized leaf kernel.
   for (const Span& span : proj) {
     ++stats->pages_scanned;
-    for (const Point* p = span.begin; p != span.end; ++p) {
-      ++stats->points_scanned;
-      if (query.Contains(*p)) {
-        out->push_back(*p);
-        ++stats->results;
-      }
-    }
+    const size_t n = static_cast<size_t>(span.end - span.begin);
+    stats->points_scanned += static_cast<int64_t>(n);
+    simd::KernelCounters kc;
+    stats->results += static_cast<int64_t>(
+        simd::FilterPointsInRect(span.begin, n, query, out, &kc));
+    stats->simd_batches += kc.simd_batches;
+    stats->scalar_tail += kc.scalar_tail;
   }
 }
 

@@ -77,6 +77,12 @@ struct QueryStats {
   // research path, where no cache sits in front of the index.
   int64_t cache_hits = 0;     // queries answered from a validated entry
   int64_t cache_misses = 0;   // cacheable queries that had to execute
+  // Leaf-kernel work shape (common/simd.h): full vector batches vs points
+  // filtered by the scalar remainder. Distinguishes a dispatch regression
+  // (simd_batches collapses, scalar_tail absorbs the scan) from a data
+  // regression (both scale up with points_scanned).
+  int64_t simd_batches = 0;
+  int64_t scalar_tail = 0;
   int64_t excess_points() const { return points_scanned - results; }
 
   void Reset() { *this = QueryStats{}; }
@@ -89,6 +95,8 @@ struct QueryStats {
     results += o.results;
     cache_hits += o.cache_hits;
     cache_misses += o.cache_misses;
+    simd_batches += o.simd_batches;
+    scalar_tail += o.scalar_tail;
   }
 };
 

@@ -1,0 +1,186 @@
+#include "serve/epoch.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <utility>
+
+namespace wazi::serve {
+namespace {
+
+using epoch_detail::kIdle;
+using epoch_detail::kMaxSlots;
+using epoch_detail::SlotBlock;
+using epoch_detail::ThreadRecord;
+
+// Per-thread registry of (domain -> record). Records are unique_ptr-held
+// so their addresses stay stable while the vector grows; each record pins
+// its slot block via shared_ptr, so claim-release on thread exit is safe
+// even if the domain died first.
+struct ThreadCache {
+  std::vector<std::unique_ptr<ThreadRecord>> records;
+
+  ~ThreadCache() {
+    for (const auto& rec : records) {
+      // A guard must not outlive its thread; by here depth == 0 and the
+      // slot reads kIdle, so recycling the claim is safe.
+      rec->block->claimed[static_cast<size_t>(rec->slot_index)].store(
+          false, std::memory_order_release);
+    }
+  }
+};
+
+ThreadCache& Cache() {
+  static thread_local ThreadCache cache;
+  return cache;
+}
+
+// One-entry lookaside over Cache(): almost every thread touches exactly
+// one domain (the global one), so Enter() usually skips the vector scan.
+thread_local ThreadRecord* tls_last_record = nullptr;
+
+uint64_t NextSerial() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
+
+EpochDomain::EpochDomain()
+    : serial_(NextSerial()),
+      block_(std::make_shared<epoch_detail::SlotBlock>()) {}
+
+EpochDomain::~EpochDomain() {
+  // Readers must have exited their critical sections (guards released);
+  // registered-but-idle threads are fine — their claims release against
+  // the shared_ptr-kept block, not against this object.
+  while (active_readers() > 0) {
+    std::this_thread::yield();
+  }
+  std::vector<LimboEntry> leftovers;
+  {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    leftovers.swap(limbo_);
+  }
+  for (const LimboEntry& e : leftovers) e.deleter(e.obj);
+  reclaimed_total_.fetch_add(static_cast<int64_t>(leftovers.size()),
+                             std::memory_order_relaxed);
+}
+
+EpochDomain& EpochDomain::Global() {
+  // Function-local static: destroyed at exit AFTER main's thread_local
+  // ThreadCache (per [basic.start.term]), so the final claim-release and
+  // the domain's limbo sweep cannot interleave badly — and LeakSanitizer
+  // sees an empty limbo.
+  static EpochDomain domain;
+  return domain;
+}
+
+epoch_detail::ThreadRecord* EpochDomain::CachedRecord() const {
+  ThreadRecord* rec = tls_last_record;
+  if (rec != nullptr && rec->domain_serial == serial_) return rec;
+  return nullptr;
+}
+
+epoch_detail::ThreadRecord* EpochDomain::RegisterThisThread() {
+  ThreadCache& cache = Cache();
+  for (const auto& rec : cache.records) {
+    if (rec->domain_serial == serial_) {
+      tls_last_record = rec.get();
+      return rec.get();
+    }
+  }
+  for (int i = 0; i < kMaxSlots; ++i) {
+    bool expected = false;
+    if (!block_->claimed[static_cast<size_t>(i)].compare_exchange_strong(
+            expected, true, std::memory_order_acq_rel)) {
+      continue;
+    }
+    // Raise the scan bound to cover this slot (monotonic max).
+    uint32_t hw = block_->high_water.load(std::memory_order_relaxed);
+    while (hw < static_cast<uint32_t>(i) + 1 &&
+           !block_->high_water.compare_exchange_weak(
+               hw, static_cast<uint32_t>(i) + 1,
+               std::memory_order_release, std::memory_order_relaxed)) {
+    }
+    auto rec = std::make_unique<ThreadRecord>();
+    rec->block = block_;
+    rec->slot = &block_->slots[static_cast<size_t>(i)];
+    rec->slot_index = i;
+    rec->domain_serial = serial_;
+    ThreadRecord* raw = rec.get();
+    cache.records.push_back(std::move(rec));
+    tls_last_record = raw;
+    return raw;
+  }
+  // More live threads than slots. The serving engine keeps thread counts
+  // two orders of magnitude below kMaxSlots; treat exhaustion as a
+  // configuration bug rather than silently blocking reclamation.
+  std::fprintf(stderr,
+               "EpochDomain: out of reader slots (%d live threads)\n",
+               kMaxSlots);
+  std::abort();
+}
+
+void EpochDomain::Retire(void* obj, void (*deleter)(void*)) {
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  // Tag with the PRE-increment epoch: every reader stamped <= this value
+  // may hold the pointer; readers entering after the bump stamp a larger
+  // epoch and can only see the successor object.
+  const uint64_t e = global_epoch_.fetch_add(1, std::memory_order_seq_cst);
+  limbo_.push_back(LimboEntry{obj, deleter, e});
+  retired_total_.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t EpochDomain::min_active_epoch() const {
+  const uint32_t hw = block_->high_water.load(std::memory_order_acquire);
+  uint64_t min = UINT64_MAX;
+  for (uint32_t i = 0; i < hw; ++i) {
+    const uint64_t e = block_->slots[i].epoch.load(std::memory_order_seq_cst);
+    if (e != kIdle && e < min) min = e;
+  }
+  return min;
+}
+
+int EpochDomain::active_readers() const {
+  const uint32_t hw = block_->high_water.load(std::memory_order_acquire);
+  int n = 0;
+  for (uint32_t i = 0; i < hw; ++i) {
+    if (block_->slots[i].epoch.load(std::memory_order_seq_cst) != kIdle) ++n;
+  }
+  return n;
+}
+
+size_t EpochDomain::limbo_size() const {
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  return limbo_.size();
+}
+
+size_t EpochDomain::Reclaim() {
+  std::vector<LimboEntry> free_now;
+  {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    if (limbo_.empty()) return 0;
+    // The slot scan happens while holding limbo_mu_, after the Retire
+    // that parked each candidate released it: the mutex ordering puts
+    // every candidate's retire increment before these seq_cst loads, so
+    // the safety argument in the header applies even when the reclaiming
+    // thread is not the retiring thread.
+    const uint64_t min = min_active_epoch();
+    size_t keep = 0;
+    for (size_t i = 0; i < limbo_.size(); ++i) {
+      if (limbo_[i].epoch < min) {
+        free_now.push_back(limbo_[i]);
+      } else {
+        limbo_[keep++] = limbo_[i];
+      }
+    }
+    limbo_.resize(keep);
+  }
+  for (const LimboEntry& e : free_now) e.deleter(e.obj);
+  reclaimed_total_.fetch_add(static_cast<int64_t>(free_now.size()),
+                             std::memory_order_relaxed);
+  return free_now.size();
+}
+
+}  // namespace wazi::serve

@@ -1,0 +1,205 @@
+// Epoch-based reclamation for the serving engine's read path.
+//
+// The refcounted snapshot scheme (atomic<shared_ptr>) charges every
+// Acquire/Release a pair of contended RMWs on the control block — one
+// cache line ping-ponging across every reader core. Epoch reclamation
+// moves that cost to memory the reader owns: on Acquire a reader stamps
+// the current global epoch into its OWN cache-line-padded slot (a plain
+// store), and clears it on release. Writers never block readers; retiring
+// a snapshot appends it to a limbo list tagged with the epoch at retire
+// time and bumps the global epoch. A limbo entry is freed once every
+// stamped slot has moved past its retire epoch — at that point no reader
+// can still have observed the retired pointer.
+//
+// Memory-order protocol (all seq_cst on the hot ops, which keeps the
+// argument short and TSan-checkable):
+//
+//   reader:  slot.store(E)        ;  p = live.load()
+//   writer:  live.store(new)      ;  R = global.fetch_add(1)  (retire old @ R)
+//   reaper:  scan slots, min M    ;  free entries with epoch < M
+//
+// If a reader loaded the OLD pointer, its slot store precedes the
+// writer's live store in the seq_cst total order, hence precedes the
+// retire increment, hence the reader's stamp E <= R — so the scan's
+// minimum M <= E <= R and the entry (epoch R) is not freed while the
+// reader is stamped. Slot-clear on release is a release store; a reaper
+// that reads the cleared slot knows the reader finished every access.
+//
+// Threads register lazily (thread_local cache) and claim one padded slot
+// per domain for their lifetime; slots recycle on thread exit. Nested
+// Enter() calls on one thread share the outermost stamp via a depth
+// counter, so a query that acquires two shards from one topology pins
+// one epoch, not two.
+
+#ifndef WAZI_SERVE_EPOCH_H_
+#define WAZI_SERVE_EPOCH_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace wazi::serve {
+
+class EpochDomain;
+
+namespace epoch_detail {
+
+inline constexpr int kMaxSlots = 256;
+inline constexpr uint64_t kIdle = 0;  // slot value: not inside a section
+
+struct alignas(64) Slot {
+  std::atomic<uint64_t> epoch{kIdle};
+};
+
+// Slot storage is shared_ptr-owned so a thread that outlives the domain
+// (or a domain that outlives a registered-but-idle thread) never touches
+// freed memory when it clears its claim.
+struct SlotBlock {
+  std::array<Slot, kMaxSlots> slots;
+  std::array<std::atomic<bool>, kMaxSlots> claimed{};
+  // Upper bound of ever-claimed slots: reapers scan [0, high_water).
+  std::atomic<uint32_t> high_water{0};
+};
+
+// One thread's registration with one domain. Owned by a thread_local
+// cache; `depth` is only touched by the owning thread.
+struct ThreadRecord {
+  std::shared_ptr<SlotBlock> block;
+  Slot* slot = nullptr;
+  int slot_index = -1;
+  uint64_t domain_serial = 0;
+  uint32_t depth = 0;
+};
+
+}  // namespace epoch_detail
+
+// A reclamation domain: one global epoch, one slot block, one limbo list.
+// Multiple VersionedIndexes share a domain (the process-wide Global() by
+// default), so a reader pins every shard's retired snapshots with one
+// stamp. Tests construct private domains for exact accounting.
+class EpochDomain {
+ public:
+  EpochDomain();
+  // Blocks until no reader is stamped, then frees everything in limbo.
+  ~EpochDomain();
+
+  EpochDomain(const EpochDomain&) = delete;
+  EpochDomain& operator=(const EpochDomain&) = delete;
+
+  // Process-wide default domain (function-local static: constructed on
+  // first use, destroyed at exit after main's thread_local cleanup).
+  static EpochDomain& Global();
+
+  // Movable guard for one read-side critical section. Destruction (or
+  // Release) clears the thread's stamp once the outermost guard goes.
+  // Thread-bound: must be released on the thread that entered.
+  class Guard {
+   public:
+    Guard() = default;
+    explicit Guard(epoch_detail::ThreadRecord* rec) : rec_(rec) {}
+    Guard(Guard&& other) noexcept : rec_(other.rec_) { other.rec_ = nullptr; }
+    Guard& operator=(Guard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        rec_ = other.rec_;
+        other.rec_ = nullptr;
+      }
+      return *this;
+    }
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { Release(); }
+
+    void Release() {
+      if (rec_ == nullptr) return;
+      if (--rec_->depth == 0) {
+        rec_->slot->epoch.store(epoch_detail::kIdle,
+                                std::memory_order_release);
+      }
+      rec_ = nullptr;
+    }
+
+    explicit operator bool() const { return rec_ != nullptr; }
+
+   private:
+    epoch_detail::ThreadRecord* rec_ = nullptr;
+  };
+
+  // Enters a read-side critical section: stamps this thread's slot with
+  // the current global epoch (outermost entry only). The caller must load
+  // the shared pointer AFTER Enter() returns.
+  Guard Enter() {
+    epoch_detail::ThreadRecord* rec = CachedRecord();
+    if (rec == nullptr) rec = RegisterThisThread();
+    if (rec->depth++ == 0) {
+      const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+      rec->slot->epoch.store(e, std::memory_order_seq_cst);
+    }
+    return Guard(rec);
+  }
+
+  // Parks `obj` on the limbo list, tagged with the pre-increment global
+  // epoch. The deleter runs (from Reclaim, the destructor, or a later
+  // Retire's amortized sweep) once no stamped reader can reach it.
+  // Callable from any thread.
+  void Retire(void* obj, void (*deleter)(void*));
+
+  template <typename T>
+  void Retire(std::unique_ptr<T> obj) {
+    Retire(const_cast<void*>(static_cast<const void*>(obj.release())),
+           [](void* p) { delete static_cast<T*>(const_cast<void*>(
+               static_cast<const void*>(p))); });
+  }
+
+  // Frees every limbo entry whose retire epoch every stamped reader has
+  // passed. Returns the number freed. Any thread; deleters run outside
+  // the limbo lock.
+  size_t Reclaim();
+
+  // --- introspection (tests, observability) ---
+
+  uint64_t global_epoch() const {
+    return global_epoch_.load(std::memory_order_seq_cst);
+  }
+  // Minimum stamped epoch across registered threads; UINT64_MAX when no
+  // reader is inside a critical section.
+  uint64_t min_active_epoch() const;
+  int active_readers() const;
+  size_t limbo_size() const;
+  int64_t retired_total() const {
+    return retired_total_.load(std::memory_order_relaxed);
+  }
+  int64_t reclaimed_total() const {
+    return reclaimed_total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct LimboEntry {
+    void* obj;
+    void (*deleter)(void*);
+    uint64_t epoch;
+  };
+
+  // Fast path: the record this thread last used for this domain.
+  epoch_detail::ThreadRecord* CachedRecord() const;
+  // Slow path: find or create this thread's record (claims a slot).
+  epoch_detail::ThreadRecord* RegisterThisThread();
+
+  const uint64_t serial_;  // distinguishes domains in the thread cache
+  std::shared_ptr<epoch_detail::SlotBlock> block_;
+  // Starts at 1: kIdle (0) is reserved for "not in a section".
+  std::atomic<uint64_t> global_epoch_{1};
+
+  mutable std::mutex limbo_mu_;
+  std::vector<LimboEntry> limbo_;
+  std::atomic<int64_t> retired_total_{0};
+  std::atomic<int64_t> reclaimed_total_{0};
+};
+
+}  // namespace wazi::serve
+
+#endif  // WAZI_SERVE_EPOCH_H_

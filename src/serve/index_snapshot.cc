@@ -21,6 +21,8 @@ VersionedIndex::VersionedIndex(IndexFactory factory, const Dataset& data,
     pos_by_id_[data_.points[i].id] = i;
   }
   num_points_.store(data_.points.size(), std::memory_order_relaxed);
+  epoch_domain_ = opts_.epoch_domain != nullptr ? opts_.epoch_domain
+                                          : &EpochDomain::Global();
   for (int s = 0; s < 2; ++s) {
     inst_[s] = factory_();
     inst_[s]->Build(data_, last_workload_, build_opts_);
@@ -35,24 +37,31 @@ VersionedIndex::VersionedIndex(IndexFactory factory, const Dataset& data,
 }
 
 VersionedIndex::~VersionedIndex() {
-  // Drop the live reference; once every reader lets go, the snapshot's
-  // destructor marks its instance drained. A hang here means a reader
-  // outlived the VersionedIndex, which the thread-safety contract forbids.
-  live_.Store(nullptr);
-  for (int s = 0; s < 2; ++s) {
-    while (!drained_[s]->load(std::memory_order_acquire)) {
-      std::this_thread::yield();
-    }
+  // Non-blocking teardown: everything a stamped reader could still reach
+  // — the live snapshot, both instances, any copy-on-stall zombies —
+  // retires to the epoch domain's limbo instead of spin-waiting for
+  // drains here. Retire order puts each snapshot at a lower epoch than
+  // the instance it wraps, so a reader pinning a snapshot transitively
+  // pins the instance. ~IndexSnapshot touches only its own members (drain
+  // flag, points copy), never the instance, so intra-Reclaim deletion
+  // order is irrelevant. This lets the last reader of a retired topology
+  // drop a whole shard generation without deadlocking on its own guard.
+  const IndexSnapshot* live = live_.exchange(nullptr, std::memory_order_seq_cst);
+  if (live != nullptr) {
+    epoch_domain_->Retire(std::unique_ptr<const IndexSnapshot>(live));
   }
-  // Zombies from copy-on-stall fallbacks drain under the same contract.
-  for (const ZombieInstance& z : zombies_) {
-    while (!z.drained->load(std::memory_order_acquire)) {
-      std::this_thread::yield();
-    }
+  for (int s = 0; s < 2; ++s) {
+    epoch_domain_->Retire(std::move(inst_[s]));
+  }
+  for (ZombieInstance& z : zombies_) {
+    epoch_domain_->Retire(std::move(z.index));
   }
   if (opts_.zombie_gauge != nullptr && !zombies_.empty()) {
     opts_.zombie_gauge->Add(-static_cast<int64_t>(zombies_.size()));
   }
+  // Free whatever is already unreachable so short-lived indexes (tests,
+  // benches) do not pile limbo onto the global domain.
+  epoch_domain_->Reclaim();
 }
 
 void VersionedIndex::ApplyBatch(const std::vector<UpdateOp>& ops) {
@@ -119,21 +128,25 @@ void VersionedIndex::Rebuild(const Workload& workload) {
 }
 
 SpatialIndex* VersionedIndex::AcquireShadow(bool catch_up) {
-  ReapZombies();
+  ReapRetired();
   const int shadow_slot = 1 - live_slot_;
   // Wait until the last snapshot wrapping this instance has drained. The
   // snapshot destructor's release-store pairs with this acquire-load, so
-  // every reader access happens-before the mutations that follow. Bounded
-  // by the longest in-flight query — or, when writer_stall_ms is set, by
-  // that deadline: a reader parking a snapshot past it triggers the
-  // copy-on-stall fallback below instead of stalling the writer (and any
-  // migration capture waiting on it) indefinitely.
+  // every reader access happens-before the mutations that follow. That
+  // destructor runs from epoch reclamation, so the loop pumps Reclaim():
+  // the flag flips on the first pump after the last stamped reader moves
+  // on. Bounded by the longest in-flight query — or, when writer_stall_ms
+  // is set, by that deadline: a reader parking a snapshot past it
+  // triggers the copy-on-stall fallback below instead of stalling the
+  // writer (and any migration capture waiting on it) indefinitely.
   const bool bounded = opts_.writer_stall_ms > 0;
   const auto deadline =
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(bounded ? opts_.writer_stall_ms : 0);
   bool stalled = false;
   while (!drained_[shadow_slot]->load(std::memory_order_acquire)) {
+    epoch_domain_->Reclaim();
+    if (drained_[shadow_slot]->load(std::memory_order_acquire)) break;
     if (bounded && std::chrono::steady_clock::now() >= deadline) {
       stalled = true;
       break;
@@ -219,13 +232,19 @@ void VersionedIndex::PublishShadow() {
     pts = std::make_shared<const std::vector<Point>>(data_.points);
   }
   drained_[shadow_slot]->store(false, std::memory_order_relaxed);
-  auto snap = std::make_shared<const IndexSnapshot>(
+  auto snap = std::make_unique<const IndexSnapshot>(
       inst_[shadow_slot].get(), v, std::move(pts), drained_[shadow_slot]);
   applied_through_[shadow_slot] = v;
   version_.store(v, std::memory_order_release);
   // The swap: readers Acquire() the new snapshot from here on. The old
-  // snapshot's refcount drains as in-flight readers finish.
-  live_.Store(std::move(snap));
+  // snapshot parks in the domain's limbo at an epoch no later than any
+  // stamp that could have observed it; reclamation destroys it (flipping
+  // its drain flag) once every such reader has released.
+  const IndexSnapshot* old =
+      live_.exchange(snap.release(), std::memory_order_seq_cst);
+  if (old != nullptr) {
+    epoch_domain_->Retire(std::unique_ptr<const IndexSnapshot>(old));
+  }
   live_slot_ = shadow_slot;
   if (opts_.publish_counter != nullptr) opts_.publish_counter->Add(1);
   if (opts_.journal != nullptr) {

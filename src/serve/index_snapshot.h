@@ -3,18 +3,22 @@
 //
 // A VersionedIndex owns two instances of one index type built over the
 // same data (a left-right pair). Exactly one instance is published at a
-// time, wrapped in an immutable IndexSnapshot behind an atomic
-// std::shared_ptr. Readers call Acquire() and run any number of queries on
-// the snapshot without further synchronization — the query path of
+// time, wrapped in an immutable IndexSnapshot behind an atomic raw
+// pointer. Readers call Acquire() and run any number of queries on the
+// snapshot without further synchronization — the query path of
 // SpatialIndex is const and takes explicit QueryStats, so concurrent reads
-// are data-race free, and the shared_ptr refcount keeps the snapshot's
-// instance alive (epoch-style reclamation).
+// are data-race free. Snapshot lifetime is epoch-based (serve/epoch.h):
+// Acquire stamps the reader's per-thread epoch slot (a store to memory the
+// reader owns — no contended refcount), and a superseded snapshot parks on
+// the domain's limbo list until every stamped reader has moved past its
+// retire epoch.
 //
 // A single writer applies batched Insert/Remove ops to the *unpublished*
 // instance, publishes it with a new version, and lets the previous
-// snapshot drain. Reclamation is signalled by the retired snapshot's
-// destructor (release-store on a drain flag observed with an acquire-load
-// by the writer), so the writer never mutates an instance a reader could
+// snapshot drain. Drain is signalled by the retired snapshot's destructor
+// (release-store on a drain flag observed with an acquire-load by the
+// writer), which now runs from epoch reclamation instead of a refcount
+// hitting zero, so the writer never mutates an instance a reader could
 // still be scanning — and the synchronization is explicit enough for
 // ThreadSanitizer to verify. Indexes that do not support updates
 // (SupportsUpdates() == false) fall back to a full rebuild of the shadow
@@ -44,6 +48,7 @@
 #include "index/spatial_index.h"
 #include "obs/metrics.h"
 #include "obs/trace_journal.h"
+#include "serve/epoch.h"
 #include "workload/dataset.h"
 
 // ThreadSanitizer cannot see through the lock-bit protocol inside
@@ -87,7 +92,7 @@ struct UpdateOp {
 using DrainFlag = std::shared_ptr<std::atomic<bool>>;
 
 // One published index version. Immutable; any thread holding a
-// shared_ptr to it may query `index()` concurrently with all others.
+// SnapshotRef to it may query `index()` concurrently with all others.
 class IndexSnapshot {
  public:
   IndexSnapshot(const SpatialIndex* index, uint64_t version,
@@ -99,8 +104,9 @@ class IndexSnapshot {
         drained_(std::move(drained)) {}
 
   ~IndexSnapshot() {
-    // Runs after the last reader released its reference; tells the writer
-    // the wrapped instance is safe to mutate again.
+    // Runs from epoch reclamation once no stamped reader can still reach
+    // the snapshot; tells the writer the wrapped instance is safe to
+    // mutate again.
     if (drained_ != nullptr) drained_->store(true, std::memory_order_release);
   }
 
@@ -124,11 +130,45 @@ class IndexSnapshot {
   DrainFlag drained_;
 };
 
+// A reader's lease on one published snapshot: a raw pointer kept alive by
+// the epoch Guard riding along, shaped like the shared_ptr it replaced so
+// call sites (`snap->index()`, `if (snap)`) read the same. Thread-bound
+// and move-only — acquire, query, and release on one thread; hold per
+// query block, don't park (a parked ref triggers the writer's
+// copy-on-stall fallback, exactly as a parked shared_ptr did).
+class SnapshotRef {
+ public:
+  SnapshotRef() = default;
+  SnapshotRef(const IndexSnapshot* snap, EpochDomain::Guard guard)
+      : snap_(snap), guard_(std::move(guard)) {}
+  SnapshotRef(SnapshotRef&&) noexcept = default;
+  SnapshotRef& operator=(SnapshotRef&&) noexcept = default;
+  SnapshotRef(const SnapshotRef&) = delete;
+  SnapshotRef& operator=(const SnapshotRef&) = delete;
+
+  const IndexSnapshot* get() const { return snap_; }
+  const IndexSnapshot* operator->() const { return snap_; }
+  const IndexSnapshot& operator*() const { return *snap_; }
+  explicit operator bool() const { return snap_ != nullptr; }
+
+  void Release() {
+    snap_ = nullptr;
+    guard_.Release();
+  }
+  // shared_ptr-style spelling, so call sites written against the old
+  // refcounted Acquire() keep reading naturally.
+  void reset() { Release(); }
+
+ private:
+  const IndexSnapshot* snap_ = nullptr;
+  EpochDomain::Guard guard_;
+};
+
 // A publication slot: one writer stores, many readers load. Lock-free
 // atomic<shared_ptr> in production builds; a mutex under TSan (see above).
-// Used at both snapshot levels of the serving engine: per-shard
-// IndexSnapshots (SnapshotCell) and the shard topology itself
-// (ShardedVersionedIndex publishes a ShardTopology through one).
+// Used for the serving engine's topology level (ShardedVersionedIndex
+// publishes a ShardTopology through one); the per-shard snapshot level
+// publishes through a plain atomic pointer under epoch reclamation.
 template <typename T>
 class AtomicCell {
  public:
@@ -163,8 +203,6 @@ class AtomicCell {
 #endif
 };
 
-using SnapshotCell = AtomicCell<const IndexSnapshot>;
-
 struct VersionedIndexOptions {
   // When true, every snapshot carries an immutable copy of the point set
   // it serves (O(n) copy per publish — testing/verification only).
@@ -191,11 +229,18 @@ struct VersionedIndexOptions {
   obs::TraceJournal* journal = nullptr;
   int shard_id = -1;
   uint64_t epoch = 0;
+  // Reclamation domain for retired snapshots/instances. Defaults to the
+  // process-wide EpochDomain::Global(); tests inject a private domain for
+  // exact limbo accounting.
+  EpochDomain* epoch_domain = nullptr;
 };
 
 // Thread-safety contract: Acquire()/version() from any thread; everything
-// else (ApplyBatch, Rebuild, data accessors) from ONE writer thread. All
-// snapshots must be released before the VersionedIndex is destroyed.
+// else (ApplyBatch, Rebuild, data accessors) from ONE writer thread. No
+// new Acquire() may race destruction, but destruction no longer waits for
+// outstanding refs: the live snapshot, both instances, and any zombies
+// retire to the epoch domain's limbo, which frees them once the last
+// stamped reader moves on.
 class VersionedIndex {
  public:
   VersionedIndex(IndexFactory factory, const Dataset& data,
@@ -206,8 +251,15 @@ class VersionedIndex {
   VersionedIndex(const VersionedIndex&) = delete;
   VersionedIndex& operator=(const VersionedIndex&) = delete;
 
-  // Wait-free on the reader's side of the swap: one atomic shared_ptr load.
-  std::shared_ptr<const IndexSnapshot> Acquire() const { return live_.Load(); }
+  // Wait-free on the reader's side of the swap: one store to the reader's
+  // own padded epoch slot plus one atomic pointer load — no shared
+  // refcount RMW. The stamp must land before the pointer load (see
+  // serve/epoch.h for the ordering argument).
+  SnapshotRef Acquire() const {
+    EpochDomain::Guard guard = epoch_domain_->Enter();
+    return SnapshotRef(live_.load(std::memory_order_seq_cst),
+                       std::move(guard));
+  }
 
   uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
@@ -238,12 +290,19 @@ class VersionedIndex {
   int64_t stall_copies() const {
     return stall_copies_.load(std::memory_order_relaxed);
   }
-  // Frees instances retired by copy-on-stall whose parked snapshot has
-  // since drained. Runs automatically before every batch/rebuild; call
-  // it from the writer's idle wake-ups too, or a fallback taken on a
-  // shard that then goes idle would hold its O(shard) duplicate until
-  // destruction. Writer thread only. Cheap when there is nothing to do.
-  void ReapRetired() { ReapZombies(); }
+  // Pumps the epoch domain (freeing reclaimable limbo snapshots, which
+  // flips their drain flags) and then frees instances retired by
+  // copy-on-stall whose parked snapshot has since drained. Runs
+  // automatically before every batch/rebuild; call it from the writer's
+  // idle wake-ups too, or a fallback taken on a shard that then goes idle
+  // would hold its O(shard) duplicate until destruction. Writer thread
+  // only. Cheap when there is nothing to do.
+  void ReapRetired() {
+    epoch_domain_->Reclaim();
+    ReapZombies();
+  }
+  // The reclamation domain this index retires into.
+  EpochDomain* epoch_domain() const { return epoch_domain_; }
   // Authoritative state, writer thread only.
   const Dataset& data() const { return data_; }
 
@@ -298,7 +357,11 @@ class VersionedIndex {
 
   std::atomic<size_t> num_points_{0};  // mirror of data_.points.size()
   std::atomic<uint64_t> version_{0};
-  SnapshotCell live_;
+  EpochDomain* epoch_domain_ = nullptr;  // resolved from opts_ at construction
+  // The publication slot. Raw pointer + epoch reclamation: the pointed-to
+  // snapshot is owned by whichever of {this, the domain's limbo list}
+  // currently holds it, never by readers.
+  std::atomic<const IndexSnapshot*> live_{nullptr};
 };
 
 }  // namespace wazi::serve

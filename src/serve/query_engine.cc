@@ -26,6 +26,17 @@ QueryEngine::QueryEngine(const ShardedVersionedIndex* index, int num_threads,
   range_queries_ = registry->GetCounter("serve_range_queries_total");
   point_queries_ = registry->GetCounter("serve_point_queries_total");
   knn_queries_ = registry->GetCounter("serve_knn_queries_total");
+  simd_batches_ = registry->GetCounter("serve_simd_batches_total");
+  scalar_tail_ = registry->GetCounter("serve_scalar_tail_total");
+}
+
+void QueryEngine::MirrorKernelShape(const QueryStats& st,
+                                    int64_t batches_before,
+                                    int64_t tail_before) const {
+  const int64_t batches = st.simd_batches - batches_before;
+  const int64_t tail = st.scalar_tail - tail_before;
+  if (batches > 0) simd_batches_->Add(batches);
+  if (tail > 0) scalar_tail_->Add(tail);
 }
 
 void QueryEngine::ExecuteBatch(const std::vector<QueryRequest>& requests,
@@ -99,24 +110,32 @@ QueryResult QueryEngine::ExecuteOn(
     const QueryRequest& request, QueryStats* stats,
     const ShardedVersionedIndex::SnapshotSet* snaps) const {
   QueryResult result;
+  // Kernel-shape counters mirror into the registry even when the caller
+  // discards its stats, so the OPERATIONS.md dispatch probe always sees
+  // production traffic.
+  QueryStats local;
+  QueryStats* st = stats != nullptr ? stats : &local;
+  const int64_t batches_before = st->simd_batches;
+  const int64_t tail_before = st->scalar_tail;
   switch (request.type) {
     case QueryRequest::Type::kRange:
-      result = ExecuteRange(request.rect, stats, snaps, /*parts=*/nullptr);
-      break;
+      // ExecuteRange mirrors its own kernel shape.
+      return ExecuteRange(request.rect, stats, snaps, /*parts=*/nullptr);
     case QueryRequest::Type::kPoint:
       point_queries_->Add(1);
-      result.found = index_->PointQuery(request.point, stats,
+      result.found = index_->PointQuery(request.point, st,
                                         &result.snapshot_version,
                                         /*home_shard=*/nullptr, snaps,
                                         &result.epoch);
       break;
     case QueryRequest::Type::kKnn:
       knn_queries_->Add(1);
-      result.hits = index_->Knn(request.point, request.k, stats,
+      result.hits = index_->Knn(request.point, request.k, st,
                                 &result.snapshot_version, snaps,
                                 &result.epoch);
       break;
   }
+  MirrorKernelShape(*st, batches_before, tail_before);
   return result;
 }
 
@@ -126,6 +145,10 @@ QueryResult QueryEngine::ExecuteRange(
     std::vector<ShardQueryPart>* parts) const {
   QueryResult result;
   range_queries_->Add(1);
+  QueryStats local;
+  QueryStats* st = stats != nullptr ? stats : &local;
+  const int64_t batches_before = st->simd_batches;
+  const int64_t tail_before = st->scalar_tail;
   const bool cached = cache_ != nullptr && cache_->enabled();
   if (cached) {
     // Pin the topology the probe validates against. With a caller
@@ -154,12 +177,13 @@ QueryResult QueryEngine::ExecuteRange(
   static thread_local std::vector<ShardQueryPart> scratch;
   std::vector<ShardQueryPart>* use_parts =
       parts != nullptr ? parts : (cached ? &scratch : nullptr);
-  index_->RangeQuery(rect, &result.hits, stats, use_parts,
+  index_->RangeQuery(rect, &result.hits, st, use_parts,
                      &result.snapshot_version, snaps, &result.epoch);
   if (cached) {
     cache_->Insert(rect, result.hits, result.epoch, *use_parts);
     if (stats != nullptr) ++stats->cache_misses;
   }
+  MirrorKernelShape(*st, batches_before, tail_before);
   return result;
 }
 

@@ -125,6 +125,10 @@ class QueryEngine {
  private:
   QueryResult ExecuteOn(const QueryRequest& request, QueryStats* stats,
                         const ShardedVersionedIndex::SnapshotSet* snaps) const;
+  // Adds the kernel-shape counter growth since (batches_before,
+  // tail_before) to the registry mirrors.
+  void MirrorKernelShape(const QueryStats& st, int64_t batches_before,
+                         int64_t tail_before) const;
   // Shared batch driver: fans the requests out across the pool; workers
   // run on `shared_snaps` when given, else each acquires its own set per
   // block.
@@ -138,6 +142,10 @@ class QueryEngine {
   obs::Counter* range_queries_ = nullptr;
   obs::Counter* point_queries_ = nullptr;
   obs::Counter* knn_queries_ = nullptr;
+  // Leaf-kernel work shape (QueryStats::simd_batches/scalar_tail) mirrored
+  // into the registry per executed query.
+  obs::Counter* simd_batches_ = nullptr;
+  obs::Counter* scalar_tail_ = nullptr;
   ThreadPool pool_;
   // Batch counters are accumulated in per-block (cache-line padded) locals
   // during execution and folded in here once the batch completes, so

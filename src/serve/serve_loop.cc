@@ -32,6 +32,8 @@ ServeLoop::ServeLoop(IndexFactory factory, const Dataset& data,
   // bypass the engine, so the loop counts those itself.
   point_queries_ctr_ = metrics_.GetCounter("serve_point_queries_total");
   knn_queries_ctr_ = metrics_.GetCounter("serve_knn_queries_total");
+  simd_batches_ctr_ = metrics_.GetCounter("serve_simd_batches_total");
+  scalar_tail_ctr_ = metrics_.GetCounter("serve_scalar_tail_total");
   latency_hist_ = metrics_.GetHistogram("serve_query_latency_ns");
   writer_gen_.Store(StartWriters(index_.AcquireTopology()));
   if (opts_.repartition.enabled) {
@@ -155,7 +157,12 @@ bool ServeLoop::PointLookup(const Point& p, QueryStats* stats) {
   // Point lookups carry no rectangle and touch O(1) work; they do not feed
   // the drift monitors.
   point_queries_ctr_->Add(1);
-  return index_.PointQuery(p, stats);
+  QueryStats qs;
+  const bool found = index_.PointQuery(p, &qs);
+  if (qs.simd_batches > 0) simd_batches_ctr_->Add(qs.simd_batches);
+  if (qs.scalar_tail > 0) scalar_tail_ctr_->Add(qs.scalar_tail);
+  if (stats != nullptr) stats->Add(qs);
+  return found;
 }
 
 QueryResult ServeLoop::Knn(const Point& center, int k, QueryStats* stats) {
@@ -164,6 +171,8 @@ QueryResult ServeLoop::Knn(const Point& center, int k, QueryStats* stats) {
   QueryResult result;
   result.hits = index_.Knn(center, k, &qs, &result.snapshot_version, nullptr,
                            &result.epoch);
+  if (qs.simd_batches > 0) simd_batches_ctr_->Add(qs.simd_batches);
+  if (qs.scalar_tail > 0) scalar_tail_ctr_->Add(qs.scalar_tail);
   // kNN work is attributed to the center's home shard (the expansion
   // usually stays inside it); no rectangle feeds the recent ring.
   const std::shared_ptr<WriterGen> gen = writer_gen_.Load();

@@ -461,6 +461,8 @@ class ServeLoop {
   obs::Gauge* last_carried_gauge_ = nullptr;
   obs::Counter* point_queries_ctr_ = nullptr;  // direct-path lookups
   obs::Counter* knn_queries_ctr_ = nullptr;    // direct-path kNN
+  obs::Counter* simd_batches_ctr_ = nullptr;   // direct-path kernel shape
+  obs::Counter* scalar_tail_ctr_ = nullptr;
   obs::Histogram* latency_hist_ = nullptr;     // sampled direct spans
   std::atomic<uint32_t> sample_tick_{0};
   RepartitionMonitor repartition_monitor_;

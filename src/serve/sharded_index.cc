@@ -536,7 +536,7 @@ const ShardTopology* ShardedVersionedIndex::TopoFor(
 
 const IndexSnapshot* ShardedVersionedIndex::SnapFor(
     const ShardTopology& topo, int s, const SnapshotSet* snaps,
-    std::shared_ptr<const IndexSnapshot>* owned) {
+    SnapshotRef* owned) {
   if (snaps != nullptr) return snaps->snaps[static_cast<size_t>(s)].get();
   *owned = topo.shards[static_cast<size_t>(s)]->Acquire();
   return owned->get();
@@ -577,7 +577,7 @@ void ShardedVersionedIndex::RangeQuery(const Rect& query,
   uint64_t vmass = 0;
   for (const ShardSubquery& sq : subs) {
     QueryStats local;
-    std::shared_ptr<const IndexSnapshot> owned;
+    SnapshotRef owned;
     const IndexSnapshot* snap = SnapFor(topo, sq.shard, snaps, &owned);
     snap->index().RangeQuery(sq.rect, out, &local);
     vmass += snap->version();
@@ -602,7 +602,7 @@ bool ShardedVersionedIndex::PointQuery(const Point& p, QueryStats* stats,
   const int s = topo.router.ShardOf(p);
   if (home_shard != nullptr) *home_shard = s;
   QueryStats local;
-  std::shared_ptr<const IndexSnapshot> owned;
+  SnapshotRef owned;
   const IndexSnapshot* snap = SnapFor(topo, s, snaps, &owned);
   const bool found = snap->index().PointQuery(p, &local);
   if (stats != nullptr) stats->Add(local);
@@ -642,7 +642,7 @@ std::vector<Point> ShardedVersionedIndex::Knn(const Point& center, int k,
       // Expansion bound: once k neighbours are closer than the next cell,
       // no unvisited shard can improve the result (ties still visited).
       if (heap.size() == want && min_d2 > heap.front().first) break;
-      std::shared_ptr<const IndexSnapshot> owned;
+      SnapshotRef owned;
       const IndexSnapshot* snap = SnapFor(topo, s, snaps, &owned);
       vmass += snap->version();
       QueryStats local;

@@ -223,7 +223,7 @@ struct ShardProjection {
   Rect rect;
   Projection proj;
   std::shared_ptr<ShardTopology> topology;
-  std::shared_ptr<const IndexSnapshot> snap;
+  SnapshotRef snap;
 };
 
 // N VersionedIndex shards behind one query facade, with a swappable
@@ -339,10 +339,13 @@ class ShardedVersionedIndex {
   // of once per query, and pins the epoch: every query run against the set
   // executes on this topology even if a repartition swaps the published
   // one mid-batch. Members are declared topology-first so the snapshots
-  // release before the topology on destruction.
+  // release before the topology on destruction. SnapshotRefs carry the
+  // acquiring thread's epoch stamp, so a set is thread-bound: acquire,
+  // query, and destroy it on one thread (workers may read through a
+  // dispatcher-held set while the dispatcher blocks on their completion).
   struct SnapshotSet {
     std::shared_ptr<ShardTopology> topology;
-    std::vector<std::shared_ptr<const IndexSnapshot>> snaps;
+    std::vector<SnapshotRef> snaps;
 
     // Version of the pinned (pre-acquired) snapshot of shard `s` — the
     // instance queries against this set actually run on. No atomics: the
@@ -425,7 +428,7 @@ class ShardedVersionedIndex {
   // lands in `*owned`.
   static const IndexSnapshot* SnapFor(
       const ShardTopology& topo, int s, const SnapshotSet* snaps,
-      std::shared_ptr<const IndexSnapshot>* owned);
+      SnapshotRef* owned);
 
   // Shared by the constructor and BuildNextTopology.
   static std::shared_ptr<ShardTopology> MakeTopology(

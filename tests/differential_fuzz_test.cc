@@ -5,11 +5,28 @@
 
 #include <gtest/gtest.h>
 
+#include "common/simd.h"
 #include "index/spatial_index.h"
 #include "tests/test_util.h"
 
 namespace wazi {
 namespace {
+
+// Kernel tiers to route the scans through: the leaf filter is vectorized
+// (common/simd.h), so the fuzz sweeps every tier the host supports to
+// catch a tier-specific divergence with real index traversals on top.
+std::vector<simd::Level> KernelLevels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  if (static_cast<int>(simd::DetectedLevel()) >=
+      static_cast<int>(simd::Level::kSse2)) {
+    levels.push_back(simd::Level::kSse2);
+  }
+  if (static_cast<int>(simd::DetectedLevel()) >=
+      static_cast<int>(simd::Level::kAvx2)) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  return levels;
+}
 
 Dataset RandomDataset(Rng& rng) {
   const int kind = static_cast<int>(rng.NextBelow(4));
@@ -71,16 +88,25 @@ TEST_P(DifferentialFuzzTest, AllIndexesAgreeWithReference) {
   opts.rank_bits = 8 + static_cast<int>(rng.NextBelow(9));
   opts.pgm_epsilon = 4 + static_cast<int>(rng.NextBelow(64));
 
+  const std::vector<simd::Level> levels = KernelLevels();
   for (const std::string& name : AllIndexNames()) {
     auto index = MakeIndex(name);
     index->Build(data, workload, opts);
     for (int i = 0; i < 60; ++i) {
       const Rect q = RandomQuery(rng);
-      std::vector<Point> got;
-      index->RangeQuery(q, &got);
-      ASSERT_EQ(SortedIds(got), TruthIds(data, q))
-          << name << " on " << data.name << " L=" << opts.leaf_capacity
-          << " query " << q.DebugString();
+      // Route the same query through every kernel tier; all must agree
+      // with the brute-force reference (and hence with each other).
+      const std::vector<int64_t> truth = TruthIds(data, q);
+      for (const simd::Level level : levels) {
+        simd::SetLevelOverride(level);
+        std::vector<Point> got;
+        index->RangeQuery(q, &got);
+        ASSERT_EQ(SortedIds(got), truth)
+            << name << " on " << data.name << " L=" << opts.leaf_capacity
+            << " kernel=" << simd::LevelName(level) << " query "
+            << q.DebugString();
+      }
+      simd::SetLevelOverride(simd::Level::kAvx2);  // restore full dispatch
     }
   }
 }

@@ -1,0 +1,243 @@
+// Differential fuzzing of the vectorized leaf-scan kernels
+// (common/simd.h): every instruction tier the host supports must produce
+// byte-identical results to the portable scalar reference — same hits, in
+// the same order, with the same early-exit index — across lane-misaligned
+// lengths, special values (NaN, -0.0, infinities), empty rectangles and
+// full-selectivity rectangles. The scalar reference itself is checked
+// against Rect::Contains so a bug in the reference cannot hide a matching
+// bug in the vector tiers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/simd.h"
+
+namespace wazi {
+namespace {
+
+namespace simd = wazi::simd;
+
+std::vector<simd::Level> SupportedLevels() {
+  std::vector<simd::Level> levels = {simd::Level::kScalar};
+  const int detected = static_cast<int>(simd::DetectedLevel());
+  if (detected >= static_cast<int>(simd::Level::kSse2)) {
+    levels.push_back(simd::Level::kSse2);
+  }
+  if (detected >= static_cast<int>(simd::Level::kAvx2)) {
+    levels.push_back(simd::Level::kAvx2);
+  }
+  return levels;
+}
+
+// Coordinate generator biased toward values that break sloppy compares:
+// exact rect corners land via the caller, here we mix ordinary uniforms
+// with NaN, signed zeros, infinities and denormal-scale magnitudes.
+double FuzzCoord(Rng& rng) {
+  switch (rng.NextBelow(12)) {
+    case 0: return std::numeric_limits<double>::quiet_NaN();
+    case 1: return -0.0;
+    case 2: return 0.0;
+    case 3: return std::numeric_limits<double>::infinity();
+    case 4: return -std::numeric_limits<double>::infinity();
+    case 5: return rng.Uniform(-1e-300, 1e-300);
+    default: return rng.Uniform(-2.0, 2.0);
+  }
+}
+
+Rect FuzzRect(Rng& rng) {
+  switch (rng.NextBelow(8)) {
+    case 0: return Rect();  // default = empty (min > max)
+    case 1:                 // full-selectivity: everything finite matches
+      return Rect::Of(-std::numeric_limits<double>::infinity(),
+                      -std::numeric_limits<double>::infinity(),
+                      std::numeric_limits<double>::infinity(),
+                      std::numeric_limits<double>::infinity());
+    case 2: {  // NaN bound: no point may ever match
+      Rect r = Rect::Of(0.0, 0.0, 1.0, 1.0);
+      r.max_x = std::numeric_limits<double>::quiet_NaN();
+      return r;
+    }
+    case 3: {  // degenerate line / point rect
+      const double x = rng.Uniform(-1.0, 1.0);
+      const double y = rng.Uniform(-1.0, 1.0);
+      return Rect::Of(x, y, x, rng.NextBelow(2) ? y : y + 0.25);
+    }
+    default: {
+      const double x0 = rng.Uniform(-2.0, 2.0);
+      const double y0 = rng.Uniform(-2.0, 2.0);
+      return Rect::Of(x0, y0, x0 + rng.Uniform(0.0, 2.0),
+                      y0 + rng.Uniform(0.0, 2.0));
+    }
+  }
+}
+
+std::vector<Point> FuzzLeaf(Rng& rng, size_t n) {
+  std::vector<Point> pts;
+  pts.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    pts.push_back(Point{FuzzCoord(rng), FuzzCoord(rng),
+                        static_cast<int64_t>(i + 1)});
+  }
+  return pts;
+}
+
+// Byte-level equality: catches -0.0 vs 0.0 substitutions that operator==
+// on doubles would wave through.
+bool BytesEqual(const std::vector<Point>& a, const std::vector<Point>& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(Point)) == 0;
+}
+
+class SimdKernelFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimdKernelFuzzTest, FilterMatchesScalarReferenceByteForByte) {
+  Rng rng(GetParam() * 0xd1b54a32d192ed03ULL + 11);
+  const std::vector<simd::Level> levels = SupportedLevels();
+  for (int iter = 0; iter < 120; ++iter) {
+    // Lengths sweep 0..~70 so every lane remainder (mod 2, mod 4) and the
+    // empty span are exercised, plus occasional wide leaves.
+    const size_t n = iter < 90 ? rng.NextBelow(71) : 512 + rng.NextBelow(700);
+    const std::vector<Point> leaf = FuzzLeaf(rng, n);
+    const Rect rect = FuzzRect(rng);
+
+    std::vector<Point> ref;
+    simd::KernelCounters ref_counters;
+    const size_t ref_hits = simd::FilterPointsInRectLevel(
+        simd::Level::kScalar, leaf.data(), n, rect, &ref, &ref_counters);
+    ASSERT_EQ(ref_hits, ref.size());
+    EXPECT_EQ(ref_counters.simd_batches, 0);
+    EXPECT_EQ(ref_counters.scalar_tail, static_cast<int64_t>(n));
+
+    // The scalar reference must agree with Rect::Contains point by point.
+    std::vector<Point> truth;
+    for (const Point& p : leaf) {
+      if (rect.Contains(p)) truth.push_back(p);
+    }
+    ASSERT_TRUE(BytesEqual(ref, truth))
+        << "scalar kernel disagrees with Rect::Contains at n=" << n
+        << " rect=" << rect.DebugString();
+
+    for (const simd::Level level : levels) {
+      if (level == simd::Level::kScalar) continue;
+      // Pre-seed *out to check append (not overwrite) semantics.
+      std::vector<Point> got = {Point{9.0, 9.0, -7}};
+      simd::KernelCounters counters;
+      const size_t hits = simd::FilterPointsInRectLevel(
+          level, leaf.data(), n, rect, &got, &counters);
+      ASSERT_EQ(hits, ref_hits)
+          << simd::LevelName(level) << " hit count at n=" << n
+          << " rect=" << rect.DebugString();
+      ASSERT_EQ(got.size(), ref.size() + 1);
+      ASSERT_EQ(got.front().id, -7) << "kernel clobbered existing output";
+      got.erase(got.begin());
+      ASSERT_TRUE(BytesEqual(got, ref))
+          << simd::LevelName(level) << " output diverges at n=" << n
+          << " rect=" << rect.DebugString();
+      // Work-shape counters must account for every point exactly once.
+      const int64_t width =
+          level == simd::Level::kAvx2 ? 4 : (level == simd::Level::kSse2 ? 2 : 1);
+      EXPECT_EQ(counters.simd_batches * width + counters.scalar_tail,
+                static_cast<int64_t>(n))
+          << simd::LevelName(level) << " counter accounting at n=" << n;
+      EXPECT_LT(counters.scalar_tail, width)
+          << simd::LevelName(level) << " tail longer than one batch";
+    }
+  }
+}
+
+TEST_P(SimdKernelFuzzTest, FindCoordMatchesScalarFirstMatchIndex) {
+  Rng rng(GetParam() * 0x9e3779b97f4a7c15ULL + 29);
+  const std::vector<simd::Level> levels = SupportedLevels();
+  for (int iter = 0; iter < 150; ++iter) {
+    const size_t n = rng.NextBelow(70);
+    std::vector<Point> leaf = FuzzLeaf(rng, n);
+    // Target: an existing point's exact coords (possibly duplicated so
+    // first-match order matters), a near miss, or raw fuzz.
+    double qx;
+    double qy;
+    if (!leaf.empty() && rng.NextBelow(2) == 0) {
+      const Point& t = leaf[rng.NextBelow(leaf.size())];
+      qx = t.x;
+      qy = t.y;
+      if (rng.NextBelow(3) == 0) {
+        // Plant a duplicate earlier to verify the FIRST index wins.
+        leaf[rng.NextBelow(leaf.size())] = Point{qx, qy, -1};
+      }
+    } else {
+      qx = FuzzCoord(rng);
+      qy = FuzzCoord(rng);
+    }
+
+    size_t truth = simd::kNotFound;
+    for (size_t i = 0; i < leaf.size(); ++i) {
+      if (leaf[i].x == qx && leaf[i].y == qy) {
+        truth = i;
+        break;
+      }
+    }
+    simd::KernelCounters ref_counters;
+    const size_t ref = simd::FindCoordLevel(simd::Level::kScalar, leaf.data(),
+                                            leaf.size(), qx, qy, &ref_counters);
+    ASSERT_EQ(ref, truth);
+
+    for (const simd::Level level : levels) {
+      if (level == simd::Level::kScalar) continue;
+      simd::KernelCounters counters;
+      const size_t got = simd::FindCoordLevel(level, leaf.data(), leaf.size(),
+                                              qx, qy, &counters);
+      ASSERT_EQ(got, ref)
+          << simd::LevelName(level) << " first-match index at n=" << n
+          << " qx=" << qx << " qy=" << qy;
+    }
+  }
+}
+
+TEST(SimdKernelTest, DispatchedEntryPointsAgreeWithScalar) {
+  Rng rng(424242);
+  const std::vector<Point> leaf = FuzzLeaf(rng, 1000);
+  const Rect rect = Rect::Of(-0.5, -0.5, 0.5, 0.5);
+
+  std::vector<Point> ref;
+  simd::FilterPointsInRectLevel(simd::Level::kScalar, leaf.data(), leaf.size(),
+                                rect, &ref, nullptr);
+  std::vector<Point> got;
+  simd::KernelCounters counters;
+  const size_t hits = simd::FilterPointsInRect(leaf.data(), leaf.size(), rect,
+                                               &got, &counters);
+  EXPECT_EQ(hits, ref.size());
+  EXPECT_TRUE(BytesEqual(got, ref));
+  if (simd::ActiveLevel() != simd::Level::kScalar) {
+    EXPECT_GT(counters.simd_batches, 0)
+        << "dispatch reports " << simd::LevelName(simd::ActiveLevel())
+        << " but did no vector batches";
+  }
+
+  const Point& target = leaf[777];
+  EXPECT_EQ(simd::FindCoord(leaf.data(), leaf.size(), target.x, target.y,
+                            nullptr),
+            static_cast<size_t>(777));
+  EXPECT_EQ(simd::FindCoord(leaf.data(), leaf.size(), 123.0, -456.0, nullptr),
+            simd::kNotFound);
+}
+
+TEST(SimdKernelTest, LevelOverrideClampsAndRestores) {
+  const simd::Level detected = simd::DetectedLevel();
+  simd::SetLevelOverride(simd::Level::kScalar);
+  EXPECT_EQ(simd::ActiveLevel(), simd::Level::kScalar);
+  // Asking for a tier above the host's support clamps to detected.
+  simd::SetLevelOverride(simd::Level::kAvx2);
+  EXPECT_EQ(simd::ActiveLevel(), detected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimdKernelFuzzTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace wazi

@@ -7,6 +7,8 @@ Stdlib-only schema checks, dispatched on the document's "schema" field:
                          optional repartition arms)
   wazi.bench.scenario/1  bench_scenarios                 (named scenario,
                          per-phase rows, invariant verdict)
+  wazi.bench.micro/1     bench_acquire / bench_scan_kernel (microbench
+                         rows: name + ops + ns_per_op, optional summary)
 
 Run by the CI bench jobs so a drive-by change to a bench's JSON writer
 cannot silently break downstream perf-trajectory tooling (including
@@ -21,8 +23,18 @@ import sys
 
 SERVE_SCHEMA = "wazi.bench.serve/1"
 SCENARIO_SCHEMA = "wazi.bench.scenario/1"
+MICRO_SCHEMA = "wazi.bench.micro/1"
 
 NUMBER = (int, float)
+
+# Microbenchmark rows are deliberately loose: every micro bench shares
+# name/ops/ns_per_op and adds its own sweep axes (threads, leaf_points,
+# selectivity, ...), which downstream tooling treats as opaque.
+MICRO_ROW_REQUIRED = {
+    "name": str,
+    "ops": int,
+    "ns_per_op": NUMBER,
+}
 
 CELL_REQUIRED = {
     "shards": int,
@@ -228,6 +240,47 @@ def _validate_scenario(doc, path):
     return errors
 
 
+def _validate_micro(doc, path):
+    errors = []
+    for key in ("bench", "scenario"):
+        if not isinstance(doc.get(key), str):
+            errors.append(f"{path}: missing or non-string '{key}'")
+    spr = doc.get("seconds_per_row")
+    if not isinstance(spr, NUMBER) or isinstance(spr, bool):
+        errors.append(f"{path}: missing or non-numeric 'seconds_per_row'")
+
+    rows = doc.get("rows")
+    if not isinstance(rows, list) or not rows:
+        errors.append(f"{path}: 'rows' missing or empty")
+    else:
+        for i, row in enumerate(rows):
+            where = f"{path}: rows[{i}]"
+            if not isinstance(row, dict):
+                errors.append(f"{where}: not an object")
+                continue
+            _check_fields(row, MICRO_ROW_REQUIRED, where, errors)
+            if isinstance(row.get("ops"), int) and not isinstance(
+                    row.get("ops"), bool) and row["ops"] <= 0:
+                errors.append(f"{where}: ops {row['ops']} not positive")
+            nspo = row.get("ns_per_op")
+            if isinstance(nspo, NUMBER) and not isinstance(
+                    nspo, bool) and nspo < 0:
+                errors.append(f"{where}: negative ns_per_op")
+
+    # summary is optional but, when present, must be an object of plain
+    # numbers (compare tooling diffs it key by key).
+    summary = doc.get("summary")
+    if summary is not None:
+        if not isinstance(summary, dict):
+            errors.append(f"{path}: 'summary' is not an object")
+        else:
+            for key, value in summary.items():
+                if not isinstance(value, NUMBER) or isinstance(value, bool):
+                    errors.append(
+                        f"{path}: summary['{key}'] is not a number")
+    return errors
+
+
 def validate(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -242,8 +295,11 @@ def validate(path):
         return _validate_serve(doc, path)
     if schema == SCENARIO_SCHEMA:
         return _validate_scenario(doc, path)
+    if schema == MICRO_SCHEMA:
+        return _validate_micro(doc, path)
     return [f"{path}: unknown schema {schema!r} "
-            f"(known: {SERVE_SCHEMA!r}, {SCENARIO_SCHEMA!r})"]
+            f"(known: {SERVE_SCHEMA!r}, {SCENARIO_SCHEMA!r}, "
+            f"{MICRO_SCHEMA!r})"]
 
 
 def main(argv):

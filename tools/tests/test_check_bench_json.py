@@ -96,6 +96,22 @@ def scenario_doc():
     }
 
 
+def micro_doc():
+    return {
+        "schema": "wazi.bench.micro/1",
+        "bench": "acquire",
+        "scenario": "snapshot_acquire_sweep",
+        "seconds_per_row": 0.3,
+        "rows": [
+            {"name": "shared_ptr", "threads": 8, "ops": 1000000,
+             "ns_per_op": 812.5},
+            {"name": "epoch", "threads": 8, "ops": 9000000,
+             "ns_per_op": 71.2},
+        ],
+        "summary": {"speedup_at_max_threads": 11.4},
+    }
+
+
 class ValidateTest(unittest.TestCase):
 
     def _validate(self, doc):
@@ -174,6 +190,67 @@ class ValidateTest(unittest.TestCase):
         del doc["metrics"]["counters"]["serve_migrations_total"]
         self.assertTrue(
             any("serve_migrations_total" in e for e in self._validate(doc)))
+
+    def test_valid_micro_doc_passes(self):
+        self.assertEqual(self._validate(micro_doc()), [])
+
+    def test_micro_doc_without_summary_passes(self):
+        doc = micro_doc()
+        del doc["summary"]
+        self.assertEqual(self._validate(doc), [])
+
+    def test_micro_extra_sweep_axes_are_opaque(self):
+        # scan_kernel rows carry leaf_points/selectivity instead of
+        # threads; unknown axes must not be errors.
+        doc = micro_doc()
+        doc["bench"] = "scan_kernel"
+        doc["rows"] = [{"name": "avx2", "leaf_points": 4096,
+                        "selectivity": 0.1, "ops": 123456,
+                        "ns_per_op": 0.8}]
+        self.assertEqual(self._validate(doc), [])
+
+    def test_micro_missing_row_field(self):
+        doc = micro_doc()
+        del doc["rows"][0]["ns_per_op"]
+        self.assertTrue(
+            any("ns_per_op" in e for e in self._validate(doc)))
+
+    def test_micro_empty_rows(self):
+        doc = micro_doc()
+        doc["rows"] = []
+        self.assertTrue(
+            any("'rows' missing or empty" in e for e in self._validate(doc)))
+
+    def test_micro_rejects_bool_ops(self):
+        doc = micro_doc()
+        doc["rows"][0]["ops"] = True
+        self.assertTrue(any("ops" in e for e in self._validate(doc)))
+
+    def test_micro_rejects_nonpositive_ops(self):
+        doc = micro_doc()
+        doc["rows"][0]["ops"] = 0
+        self.assertTrue(
+            any("not positive" in e for e in self._validate(doc)))
+
+    def test_micro_rejects_negative_ns_per_op(self):
+        doc = micro_doc()
+        doc["rows"][1]["ns_per_op"] = -1.0
+        self.assertTrue(
+            any("negative ns_per_op" in e for e in self._validate(doc)))
+
+    def test_micro_rejects_non_numeric_summary(self):
+        doc = micro_doc()
+        doc["summary"]["speedup_at_max_threads"] = "fast"
+        self.assertTrue(
+            any("summary['speedup_at_max_threads']" in e
+                for e in self._validate(doc)))
+
+    def test_unknown_schema_message_lists_micro(self):
+        doc = micro_doc()
+        doc["schema"] = "wazi.bench.micro/99"
+        errors = self._validate(doc)
+        self.assertEqual(len(errors), 1)
+        self.assertIn("wazi.bench.micro/1", errors[0])
 
     def test_invalid_json_reported(self):
         with tempfile.NamedTemporaryFile("w", suffix=".json",
