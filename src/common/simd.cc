@@ -223,11 +223,14 @@ Level DetectedLevel() {
 }
 
 Level ActiveLevel() {
+  // relaxed: the override is a standalone test/bench knob — no data is
+  // published through it, so no ordering is needed.
   return Clamp(
       static_cast<Level>(g_level_override.load(std::memory_order_relaxed)));
 }
 
 void SetLevelOverride(Level level) {
+  // relaxed: see ActiveLevel — the value itself is the whole payload.
   g_level_override.store(static_cast<int>(level), std::memory_order_relaxed);
 }
 

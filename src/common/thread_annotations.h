@@ -1,0 +1,147 @@
+// Clang Thread Safety Analysis annotations plus the capability-annotated
+// lock vocabulary the serve stack is written against.
+//
+// Every mutex in src/serve, src/obs, and src/net is a `wazi::Mutex`; every
+// field it protects is declared `GUARDED_BY(mu_)`; every `*Locked()` helper
+// that assumes the caller holds a lock is declared `REQUIRES(mu_)`. Under
+// clang with -Wthread-safety (the `WAZI_THREAD_SAFETY` CMake option, run in
+// CI) these contracts are compiler-checked on every path — a guarded field
+// touched without its mutex, or a Locked helper called bare, is a build
+// error. Under GCC (or clang without the flag) every macro expands to
+// nothing and `wazi::Mutex` behaves exactly like the std::mutex it wraps.
+//
+// The capability map — which mutex guards what, and where the deliberate
+// lock-free accesses are — lives in docs/CONCURRENCY.md.
+//
+// Conventions:
+//  * Prefer `MutexLock` (scoped) to manual lock()/unlock(). The manual
+//    calls exist for the rare mid-scope unlock the scoped form can't
+//    express; the analysis checks both.
+//  * Condition variables are `wazi::CondVar`, which waits directly on a
+//    `wazi::Mutex` (it is a std::condition_variable_any underneath).
+//    Predicate loops are written out explicitly (`while (!pred) cv.Wait`)
+//    so the predicate reads are analyzed in the frame that holds the lock
+//    — lambdas passed into wait() would be analyzed as unannotated
+//    functions and flagged.
+//  * `NO_THREAD_SAFETY_ANALYSIS` is an escape hatch of last resort. Every
+//    use MUST carry a `justification:` comment within the three lines
+//    above it explaining why the access is safe without the lock;
+//    tools/wazi_lint.py rejects bare uses.
+
+#ifndef WAZI_COMMON_THREAD_ANNOTATIONS_H_
+#define WAZI_COMMON_THREAD_ANNOTATIONS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define WAZI_TSA(x) __attribute__((x))
+#endif
+#endif
+#ifndef WAZI_TSA
+#define WAZI_TSA(x)  // not clang: annotations compile away
+#endif
+
+#define CAPABILITY(x) WAZI_TSA(capability(x))
+#define SCOPED_CAPABILITY WAZI_TSA(scoped_lockable)
+#define GUARDED_BY(x) WAZI_TSA(guarded_by(x))
+#define PT_GUARDED_BY(x) WAZI_TSA(pt_guarded_by(x))
+#define ACQUIRED_BEFORE(...) WAZI_TSA(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) WAZI_TSA(acquired_after(__VA_ARGS__))
+#define REQUIRES(...) WAZI_TSA(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) WAZI_TSA(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) WAZI_TSA(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) WAZI_TSA(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) WAZI_TSA(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) WAZI_TSA(release_shared_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) WAZI_TSA(try_acquire_capability(__VA_ARGS__))
+#define EXCLUDES(...) WAZI_TSA(locks_excluded(__VA_ARGS__))
+#define ASSERT_CAPABILITY(x) WAZI_TSA(assert_capability(x))
+#define RETURN_CAPABILITY(x) WAZI_TSA(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS WAZI_TSA(no_thread_safety_analysis)
+
+namespace wazi {
+
+// std::mutex with a capability the analysis can track. Satisfies
+// BasicLockable/Lockable, so it composes with std:: lock utilities where
+// the scoped wrapper below doesn't fit (those uses lose static checking —
+// prefer MutexLock).
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+// RAII lock with mid-scope Unlock()/Lock() (the analysis tracks the
+// transitions — a guarded access between Unlock and relock is an error).
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_->lock();
+  }
+  ~MutexLock() RELEASE() {
+    if (held_) mu_->unlock();
+  }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void Unlock() RELEASE() {
+    held_ = false;
+    mu_->unlock();
+  }
+  void Lock() ACQUIRE() {
+    mu_->lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex* mu_;
+  bool held_;
+};
+
+// Condition variable that waits directly on a wazi::Mutex, preserving the
+// capability across the wait (the callee unlocks/relocks internally; the
+// caller provably holds the lock before and after). Timed waits poll —
+// write the predicate loop out at the call site.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) REQUIRES(mu) { cv_.wait(mu); }
+
+  template <class Rep, class Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& dur)
+      REQUIRES(mu) {
+    return cv_.wait_for(mu, dur);
+  }
+
+  template <class Clock, class Duration>
+  std::cv_status WaitUntil(
+      Mutex& mu, const std::chrono::time_point<Clock, Duration>& deadline)
+      REQUIRES(mu) {
+    return cv_.wait_until(mu, deadline);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace wazi
+
+#endif  // WAZI_COMMON_THREAD_ANNOTATIONS_H_

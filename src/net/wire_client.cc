@@ -36,6 +36,8 @@ WireClient::WireClient(int fd, const WireClientOptions& opts)
 WireClient::~WireClient() { Close(); }
 
 void WireClient::Close() {
+  // acq_rel: exactly one caller wins the exchange and tears the socket
+  // down; acquire pairs with the winner-check in concurrent closers.
   if (closed_.exchange(true, std::memory_order_acq_rel)) return;
   // Unblocks the reader's recv; it fails any still-pending ops and exits.
   ShutdownSocket(fd_);
@@ -44,13 +46,15 @@ void WireClient::Close() {
 }
 
 bool WireClient::connected() const {
+  // acquire: pairs with Close's exchange so a true read implies the
+  // socket teardown has begun.
   if (closed_.load(std::memory_order_acquire)) return false;
-  std::lock_guard<std::mutex> lock(pending_mu_);
+  wazi::MutexLock lock(&pending_mu_);
   return !dead_;
 }
 
 uint64_t WireClient::Register(std::unique_ptr<Pending> op) {
-  std::lock_guard<std::mutex> lock(pending_mu_);
+  wazi::MutexLock lock(&pending_mu_);
   if (dead_) {
     const WireClientError e(WireError::kNone, "connection closed");
     if (op->is_update) {
@@ -68,7 +72,7 @@ uint64_t WireClient::Register(std::unique_ptr<Pending> op) {
 void WireClient::SendFrame(const std::string& frame) {
   bool ok;
   {
-    std::lock_guard<std::mutex> lock(send_mu_);
+    wazi::MutexLock lock(&send_mu_);
     ok = SendAll(fd_, frame.data(), frame.size());
   }
   if (!ok) FailAllPending("send failed: connection lost");
@@ -158,7 +162,7 @@ void WireClient::ReaderLoop() {
       }
       std::unique_ptr<Pending> op;
       {
-        std::lock_guard<std::mutex> lock(pending_mu_);
+        wazi::MutexLock lock(&pending_mu_);
         auto it = pending_.find(resp.corr_id);
         if (it != pending_.end()) {
           op = std::move(it->second);
@@ -198,7 +202,7 @@ void WireClient::ReaderLoop() {
 void WireClient::FailAllPending(const std::string& what) {
   std::unordered_map<uint64_t, std::unique_ptr<Pending>> orphans;
   {
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    wazi::MutexLock lock(&pending_mu_);
     dead_ = true;
     orphans.swap(pending_);
   }

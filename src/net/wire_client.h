@@ -22,12 +22,12 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <thread>
 #include <unordered_map>
 
+#include "common/thread_annotations.h"
 #include "net/wire_format.h"
 #include "serve/query_engine.h"
 
@@ -99,24 +99,25 @@ class WireClient {
   // Registers a pending op under a fresh corr_id (the caller holds the
   // future already). Returns 0 — with the op failed dead-connection —
   // when the transport is gone.
-  uint64_t Register(std::unique_ptr<Pending> op);
+  uint64_t Register(std::unique_ptr<Pending> op) EXCLUDES(pending_mu_);
   // Sends one encoded frame; on failure fails every pending op (the
   // just-registered one included).
-  void SendFrame(const std::string& frame);
-  void ReaderLoop();
+  void SendFrame(const std::string& frame) EXCLUDES(send_mu_, pending_mu_);
+  void ReaderLoop() EXCLUDES(pending_mu_);
   // Fails every pending op with `what` and marks the connection dead.
-  void FailAllPending(const std::string& what);
+  void FailAllPending(const std::string& what) EXCLUDES(pending_mu_);
 
   const WireClientOptions opts_;
   int fd_;
   std::atomic<bool> closed_{false};
 
-  std::mutex send_mu_;  // serializes SendAll (frames must not interleave)
+  wazi::Mutex send_mu_;  // serializes SendAll (frames must not interleave)
 
-  mutable std::mutex pending_mu_;  // connected() reads dead_ under it
-  uint64_t next_corr_ = 1;
-  bool dead_ = false;  // transport failed; no new ops accepted
-  std::unordered_map<uint64_t, std::unique_ptr<Pending>> pending_;
+  mutable wazi::Mutex pending_mu_;  // connected() reads dead_ under it
+  uint64_t next_corr_ GUARDED_BY(pending_mu_) = 1;
+  bool dead_ GUARDED_BY(pending_mu_) = false;  // transport failed
+  std::unordered_map<uint64_t, std::unique_ptr<Pending>> pending_
+      GUARDED_BY(pending_mu_);
 
   std::thread reader_;
 };

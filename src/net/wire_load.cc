@@ -79,6 +79,8 @@ serve::ClientLoadResult RunWireClientLoad(
         in_flight.pop_front();
       };
       std::vector<Point> inserted;
+      // acquire on start: pairs with the release-store below so workers
+      // see the fully set-up harness; stop is a plain flag (relaxed).
       while (!start.load(std::memory_order_acquire)) {
         if (stop.load(std::memory_order_relaxed)) break;
         std::this_thread::yield();
@@ -96,6 +98,7 @@ serve::ClientLoadResult RunWireClientLoad(
             inserted.pop_back();
           } else {
             const Rect& reg = opts.insert_region;
+            // relaxed: the counter only needs to hand out unique ids.
             Point p{reg.min_x + rng.NextDouble() * (reg.max_x - reg.min_x),
                     reg.min_y + rng.NextDouble() * (reg.max_y - reg.min_y),
                     g_next_insert_id.fetch_add(1, std::memory_order_relaxed)};
@@ -127,6 +130,7 @@ serve::ClientLoadResult RunWireClientLoad(
         }
       }
       while (!in_flight.empty()) drain_one();
+      // relaxed: totals are only read after the worker threads join.
       total_queries.fetch_add(queries, std::memory_order_relaxed);
       total_writes.fetch_add(writes, std::memory_order_relaxed);
     });
@@ -134,6 +138,8 @@ serve::ClientLoadResult RunWireClientLoad(
   }
 
   Timer wall;
+  // release: publishes the harness set-up to the workers' acquire spin;
+  // stop needs no ordering (the flag itself is the whole message).
   start.store(true, std::memory_order_release);
   std::this_thread::sleep_for(
       std::chrono::microseconds(static_cast<int64_t>(opts.seconds * 1e6)));

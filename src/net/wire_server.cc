@@ -25,20 +25,25 @@ WireServer::WireServer(serve::ServeLoop* loop, WireServerOptions opts)
 WireServer::~WireServer() { Stop(); }
 
 bool WireServer::Start(std::string* error) {
+  // acquire/release on running_: pairs Start/Stop so whichever thread
+  // observes running_ == true also observes the listener fully set up.
   if (running_.load(std::memory_order_acquire)) {
     if (error != nullptr) *error = "already running";
     return false;
   }
-  stopping_.store(false, std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);  // see acquire above
   listen_fd_ = ListenTcp(opts_.bind_address, opts_.port, opts_.accept_backlog,
                          &port_, error);
   if (listen_fd_ < 0) return false;
+  // release: the listener set-up above is visible to whoever sees true.
   running_.store(true, std::memory_order_release);
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   return true;
 }
 
 void WireServer::Stop() {
+  // acq_rel: exactly one Stop wins the teardown; release on stopping_
+  // publishes it to AcceptLoop's acquire-load before the listener closes.
   if (!running_.exchange(false, std::memory_order_acq_rel)) return;
   stopping_.store(true, std::memory_order_release);
   // Unblock accept() first so no new connection slips in while we tear the
@@ -48,17 +53,17 @@ void WireServer::Stop() {
   CloseSocket(listen_fd_);
   listen_fd_ = -1;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    wazi::MutexLock lock(&conns_mu_);
     for (auto& conn : conns_) {
       // shutdown() kicks the reader out of recv and the writer out of a
       // blocked send; `closing` releases a reader parked on backpressure.
       // The writer then drains the queue (the serve stack resolves every
       // future it handed out, so nothing hangs) and both loops exit.
       ShutdownSocket(conn->fd);
-      std::lock_guard<std::mutex> clock(conn->mu);
+      wazi::MutexLock clock(&conn->mu);
       conn->closing = true;
-      conn->queue_cv.notify_all();
-      conn->bp_cv.notify_all();
+      conn->queue_cv.NotifyAll();
+      conn->bp_cv.NotifyAll();
     }
   }
   ReapConnections(/*all=*/true);
@@ -80,6 +85,7 @@ WireServerStats WireServer::stats() const {
 void WireServer::AcceptLoop() {
   for (;;) {
     const int fd = accept(listen_fd_, nullptr, nullptr);
+    // acquire: pairs with Stop's release so teardown is visible here.
     if (stopping_.load(std::memory_order_acquire)) {
       if (fd >= 0) CloseSocket(fd);
       return;
@@ -98,7 +104,7 @@ void WireServer::AcceptLoop() {
     conn->fd = fd;
     Connection* raw = conn.get();
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      wazi::MutexLock lock(&conns_mu_);
       conns_.push_back(std::move(conn));
     }
     raw->reader = std::thread([this, raw] { ReaderLoop(raw); });
@@ -116,15 +122,15 @@ void WireServer::ReaderLoop(Connection* conn) {
     // Backpressure: stop reading the socket while the writer is behind on
     // either axis; TCP flow control propagates the pause to the client.
     {
-      std::unique_lock<std::mutex> lock(conn->mu);
+      wazi::MutexLock lock(&conn->mu);
       if (conn->inflight >= opts_.max_inflight_per_conn ||
           conn->queued_bytes >= opts_.max_queued_response_bytes) {
         backpressure_ctr_->Add(1);
-        conn->bp_cv.wait(lock, [&] {
-          return conn->closing ||
-                 (conn->inflight < opts_.max_inflight_per_conn &&
-                  conn->queued_bytes < opts_.max_queued_response_bytes);
-        });
+        while (!conn->closing &&
+               (conn->inflight >= opts_.max_inflight_per_conn ||
+                conn->queued_bytes >= opts_.max_queued_response_bytes)) {
+          conn->bp_cv.Wait(conn->mu);
+        }
       }
       if (conn->closing) break;
     }
@@ -141,11 +147,13 @@ void WireServer::ReaderLoop(Connection* conn) {
   // Stop accepting work and wake the writer: it drains what is queued
   // (the fatal error frame, if any, is the last entry) and then exits.
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    wazi::MutexLock lock(&conn->mu);
     conn->closing = true;
-    conn->queue_cv.notify_all();
-    conn->bp_cv.notify_all();
+    conn->queue_cv.NotifyAll();
+    conn->bp_cv.NotifyAll();
   }
+  // release: pairs with ReapConnections' acquire so the reaper sees this
+  // thread's final writes to the connection before destroying it.
   conn->reader_done.store(true, std::memory_order_release);
 }
 
@@ -256,13 +264,13 @@ bool WireServer::DrainDecoder(Connection* conn, FrameDecoder* decoder) {
 }
 
 void WireServer::EnqueueResponse(Connection* conn, PendingResponse&& resp) {
-  std::lock_guard<std::mutex> lock(conn->mu);
+  wazi::MutexLock lock(&conn->mu);
   conn->inflight += 1;
   // Future responses are accounted when the writer encodes them (their
   // size is unknown until the query resolves); ready frames count now.
   conn->queued_bytes += resp.ready_frame.size();
   conn->queue.push_back(std::move(resp));
-  conn->queue_cv.notify_one();
+  conn->queue_cv.NotifyOne();
 }
 
 void WireServer::WriterLoop(Connection* conn) {
@@ -270,9 +278,10 @@ void WireServer::WriterLoop(Connection* conn) {
   for (;;) {
     PendingResponse resp;
     {
-      std::unique_lock<std::mutex> lock(conn->mu);
-      conn->queue_cv.wait(
-          lock, [&] { return !conn->queue.empty() || conn->closing; });
+      wazi::MutexLock lock(&conn->mu);
+      while (conn->queue.empty() && !conn->closing) {
+        conn->queue_cv.Wait(conn->mu);
+      }
       if (conn->queue.empty()) break;  // closing and fully drained
       resp = std::move(conn->queue.front());
       conn->queue.pop_front();
@@ -294,7 +303,7 @@ void WireServer::WriterLoop(Connection* conn) {
           EncodePointResult(resp.corr_id, result, &frame);
           break;
       }
-      std::lock_guard<std::mutex> lock(conn->mu);
+      wazi::MutexLock lock(&conn->mu);
       conn->queued_bytes += frame.size();
     } else {
       frame = std::move(resp.ready_frame);
@@ -313,7 +322,7 @@ void WireServer::WriterLoop(Connection* conn) {
       }
     }
     {
-      std::lock_guard<std::mutex> lock(conn->mu);
+      wazi::MutexLock lock(&conn->mu);
       conn->inflight -= 1;
       conn->queued_bytes -= frame.size();
       if (!broken && !sent) {
@@ -322,9 +331,9 @@ void WireServer::WriterLoop(Connection* conn) {
         // that may be parked on backpressure with the socket half-open.
         broken = true;
         conn->closing = true;
-        conn->bp_cv.notify_all();
+        conn->bp_cv.NotifyAll();
       } else {
-        conn->bp_cv.notify_one();
+        conn->bp_cv.NotifyOne();
       }
     }
   }
@@ -332,19 +341,22 @@ void WireServer::WriterLoop(Connection* conn) {
   // was sent: the stream is poisoned but the peer may never close).
   ShutdownSocket(conn->fd);
   {
-    std::lock_guard<std::mutex> lock(conn->mu);
+    wazi::MutexLock lock(&conn->mu);
     conn->closing = true;
-    conn->bp_cv.notify_all();
+    conn->bp_cv.NotifyAll();
   }
+  // release: pairs with ReapConnections' acquire (see ReaderLoop's twin).
   conn->writer_done.store(true, std::memory_order_release);
 }
 
 void WireServer::ReapConnections(bool all) {
   std::vector<std::unique_ptr<Connection>> dead;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    wazi::MutexLock lock(&conns_mu_);
     for (size_t i = 0; i < conns_.size();) {
       Connection& c = *conns_[i];
+      // acquire: pairs with the loops' release-stores — a true read means
+      // that thread is done touching the connection, so it can be freed.
       if (all || (c.reader_done.load(std::memory_order_acquire) &&
                   c.writer_done.load(std::memory_order_acquire))) {
         dead.push_back(std::move(conns_[i]));

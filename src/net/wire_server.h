@@ -44,16 +44,15 @@
 #define WAZI_NET_WIRE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "net/wire_format.h"
 #include "obs/metrics.h"
 #include "serve/serve_loop.h"
@@ -127,34 +126,37 @@ class WireServer {
   };
 
   struct Connection {
-    int fd = -1;
+    int fd = -1;  // immutable after AcceptLoop hands the conn to its threads
     std::thread reader;
     std::thread writer;
 
-    std::mutex mu;
-    std::condition_variable queue_cv;  // writer: responses pending / close
-    std::condition_variable bp_cv;     // reader: backpressure released
-    std::deque<PendingResponse> queue;
-    int inflight = 0;            // decoded, response not fully written
-    size_t queued_bytes = 0;     // encoded, not yet handed to the kernel
-    bool closing = false;        // no more requests will arrive
+    // Lock order where both are held: conns_mu_ then mu (Stop()).
+    wazi::Mutex mu;
+    wazi::CondVar queue_cv;  // writer: responses pending / close
+    wazi::CondVar bp_cv;     // reader: backpressure released
+    std::deque<PendingResponse> queue GUARDED_BY(mu);
+    int inflight GUARDED_BY(mu) = 0;        // response not fully written
+    size_t queued_bytes GUARDED_BY(mu) = 0; // not yet handed to the kernel
+    bool closing GUARDED_BY(mu) = false;    // no more requests will arrive
     // Set by each loop as its last act; both true = joinable without
     // blocking (beyond the final few instructions of the thread).
     std::atomic<bool> reader_done{false};
     std::atomic<bool> writer_done{false};
   };
 
-  void AcceptLoop();
-  void ReaderLoop(Connection* conn);
-  void WriterLoop(Connection* conn);
+  void AcceptLoop() EXCLUDES(conns_mu_);
+  void ReaderLoop(Connection* conn) EXCLUDES(conn->mu);
+  void WriterLoop(Connection* conn) EXCLUDES(conn->mu);
   // Decodes every complete frame buffered in `decoder`, submits the query
   // batch, enqueues responses. Returns false when the stream is poisoned
   // and the connection must close.
-  bool DrainDecoder(Connection* conn, FrameDecoder* decoder);
-  void EnqueueResponse(Connection* conn, PendingResponse&& resp);
+  bool DrainDecoder(Connection* conn, FrameDecoder* decoder)
+      EXCLUDES(conn->mu);
+  void EnqueueResponse(Connection* conn, PendingResponse&& resp)
+      EXCLUDES(conn->mu);
   // Joins and erases finished connections (called from the accept loop
   // between accepts, and from Stop for the rest).
-  void ReapConnections(bool all);
+  void ReapConnections(bool all) EXCLUDES(conns_mu_);
 
   serve::ServeLoop* loop_;
   WireServerOptions opts_;
@@ -165,8 +167,8 @@ class WireServer {
   uint16_t port_ = 0;
   std::thread accept_thread_;
 
-  std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Connection>> conns_;
+  wazi::Mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_ GUARDED_BY(conns_mu_);
 
   // Registry handles (hosted by the loop's registry; see
   // docs/OBSERVABILITY.md for the catalog).

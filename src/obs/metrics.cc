@@ -9,6 +9,8 @@ Histogram::Histogram(std::vector<int64_t> bounds)
     : bounds_(bounds.empty() ? DefaultLatencyBoundsNs() : std::move(bounds)),
       buckets_(new std::atomic<int64_t>[bounds_.size() + 1]) {
   for (size_t i = 0; i <= bounds_.size(); ++i) {
+    // relaxed: single-threaded construction; publication happens via the
+    // registry's mutex when the histogram is handed out.
     buckets_[i].store(0, std::memory_order_relaxed);
   }
 }
@@ -25,6 +27,8 @@ std::vector<int64_t> Histogram::DefaultLatencyBoundsNs() {
 void Histogram::Record(int64_t value) {
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
   const size_t slot = static_cast<size_t>(it - bounds_.begin());
+  // relaxed: independent statistical counters — readers tolerate a
+  // momentarily torn count/sum/bucket view (see HistogramSnapshot).
   buckets_[slot].fetch_add(1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
   sum_.fetch_add(value, std::memory_order_relaxed);
@@ -102,7 +106,7 @@ int64_t MetricsSnapshot::GaugeValue(const std::string& name,
 }
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  wazi::MutexLock lock(&mu_);
   if (gauges_.count(name) != 0 || histograms_.count(name) != 0) {
     orphan_counters_.push_back(std::make_unique<Counter>());
     return orphan_counters_.back().get();
@@ -113,7 +117,7 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  wazi::MutexLock lock(&mu_);
   if (counters_.count(name) != 0 || histograms_.count(name) != 0) {
     orphan_gauges_.push_back(std::make_unique<Gauge>());
     return orphan_gauges_.back().get();
@@ -125,7 +129,7 @@ Gauge* MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram* MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<int64_t> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  wazi::MutexLock lock(&mu_);
   if (counters_.count(name) != 0 || gauges_.count(name) != 0) {
     orphan_histograms_.push_back(
         std::make_unique<Histogram>(std::move(bounds)));
@@ -137,7 +141,7 @@ Histogram* MetricsRegistry::GetHistogram(const std::string& name,
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  wazi::MutexLock lock(&mu_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, c] : counters_) {

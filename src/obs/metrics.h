@@ -31,9 +31,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace wazi::obs {
 
@@ -42,6 +43,8 @@ namespace wazi::obs {
 struct alignas(64) Counter {
   std::atomic<int64_t> v{0};
 
+  // relaxed: a pure statistic — no data is published through the counter,
+  // so only atomicity matters, not ordering.
   void Add(int64_t delta = 1) { v.fetch_add(delta, std::memory_order_relaxed); }
   int64_t value() const { return v.load(std::memory_order_relaxed); }
 };
@@ -52,6 +55,7 @@ struct alignas(64) Counter {
 struct alignas(64) Gauge {
   std::atomic<int64_t> v{0};
 
+  // relaxed: same as Counter — the value is the whole payload.
   void Set(int64_t value) { v.store(value, std::memory_order_relaxed); }
   void Add(int64_t delta) { v.fetch_add(delta, std::memory_order_relaxed); }
   int64_t value() const { return v.load(std::memory_order_relaxed); }
@@ -89,6 +93,7 @@ class Histogram {
   explicit Histogram(std::vector<int64_t> bounds);
 
   void Record(int64_t value);
+  // relaxed: statistics only (see Record's rationale in metrics.cc).
   int64_t count() const { return count_.load(std::memory_order_relaxed); }
   int64_t sum() const { return sum_.load(std::memory_order_relaxed); }
   double Percentile(double pct) const { return Snapshot().Percentile(pct); }
@@ -132,26 +137,28 @@ class MetricsRegistry {
   // error; the first kind wins and the mismatched call returns a handle
   // of a PRIVATE metric of the requested kind (never published) so the
   // caller cannot crash — tests assert the catalog has no such clashes.
-  Counter* GetCounter(const std::string& name);
-  Gauge* GetGauge(const std::string& name);
+  Counter* GetCounter(const std::string& name) EXCLUDES(mu_);
+  Gauge* GetGauge(const std::string& name) EXCLUDES(mu_);
   // `bounds` applies only on first registration (empty = default latency
   // layout); later calls with any bounds return the existing handle.
   Histogram* GetHistogram(const std::string& name,
-                          std::vector<int64_t> bounds = {});
+                          std::vector<int64_t> bounds = {}) EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
+  mutable wazi::Mutex mu_;
   // unique_ptr values: node-stable AND heap-stable, so handles survive any
-  // rebalancing; std::map for deterministic (sorted) export order.
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  // rebalancing; std::map for deterministic (sorted) export order. The
+  // maps are guarded; the handles they hand out are lock-free atomics.
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
   // Kind-mismatch fallbacks (see GetCounter contract); never exported.
-  std::vector<std::unique_ptr<Counter>> orphan_counters_;
-  std::vector<std::unique_ptr<Gauge>> orphan_gauges_;
-  std::vector<std::unique_ptr<Histogram>> orphan_histograms_;
+  std::vector<std::unique_ptr<Counter>> orphan_counters_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Gauge>> orphan_gauges_ GUARDED_BY(mu_);
+  std::vector<std::unique_ptr<Histogram>> orphan_histograms_ GUARDED_BY(mu_);
 };
 
 }  // namespace wazi::obs

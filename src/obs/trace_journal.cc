@@ -102,7 +102,7 @@ int64_t TraceJournal::NowNs() {
 
 void TraceJournal::Record(TraceEvent e) {
   if (e.t_ns == 0) e.t_ns = NowNs();
-  std::lock_guard<std::mutex> lock(mu_);
+  wazi::MutexLock lock(&mu_);
   ++recorded_;
   if (capacity_ == 0) return;
   if (ring_.size() < capacity_) {
@@ -126,7 +126,7 @@ void TraceJournal::Record(TraceEventKind kind, uint64_t epoch, int32_t shard,
 }
 
 std::vector<TraceEvent> TraceJournal::Tail(size_t n) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  wazi::MutexLock lock(&mu_);
   const size_t size = ring_.size();
   const size_t take = n < size ? n : size;
   std::vector<TraceEvent> out;
@@ -140,12 +140,12 @@ std::vector<TraceEvent> TraceJournal::Tail(size_t n) const {
 }
 
 int64_t TraceJournal::recorded() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  wazi::MutexLock lock(&mu_);
   return recorded_;
 }
 
 int64_t TraceJournal::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  wazi::MutexLock lock(&mu_);
   return recorded_ - static_cast<int64_t>(ring_.size());
 }
 

@@ -37,9 +37,10 @@
 #define WAZI_OBS_TRACE_JOURNAL_H_
 
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace wazi::obs {
 
@@ -87,18 +88,18 @@ class TraceJournal {
 
   // Stamps `e.t_ns` (steady clock) unless the caller already did, and
   // appends, overwriting the oldest event when full.
-  void Record(TraceEvent e);
+  void Record(TraceEvent e) EXCLUDES(mu_);
   // Convenience for the common call shape.
   void Record(TraceEventKind kind, uint64_t epoch, int32_t shard,
               int64_t a = 0, int64_t b = 0, int64_t c = 0);
 
   // The last min(n, size) events, oldest first.
-  std::vector<TraceEvent> Tail(size_t n) const;
+  std::vector<TraceEvent> Tail(size_t n) const EXCLUDES(mu_);
 
   size_t capacity() const { return capacity_; }
   // Events ever recorded / lost to overwrite. recorded - dropped = retained.
-  int64_t recorded() const;
-  int64_t dropped() const;
+  int64_t recorded() const EXCLUDES(mu_);
+  int64_t dropped() const EXCLUDES(mu_);
 
   // Steady-clock now in ns — the clock Record stamps with, exposed so
   // span-computing callers (the sampled query trace) use the same origin.
@@ -106,10 +107,10 @@ class TraceJournal {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> ring_;  // preallocated to capacity_
-  size_t next_ = 0;               // ring cursor once full
-  int64_t recorded_ = 0;
+  mutable wazi::Mutex mu_;
+  std::vector<TraceEvent> ring_ GUARDED_BY(mu_);  // preallocated to capacity_
+  size_t next_ GUARDED_BY(mu_) = 0;               // ring cursor once full
+  int64_t recorded_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace wazi::obs

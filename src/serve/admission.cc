@@ -48,14 +48,14 @@ std::future<QueryResult> AdmissionQueue::Submit(const QueryRequest& request) {
   std::future<QueryResult> future = p.promise.get_future();
   bool notify = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stop_) {
       // Late submit: keep the contract (a resolved future) without the
       // dispatcher. Inline execution is the degenerate batch of one,
       // counted as such so the stats invariants keep holding after Stop.
-      lock.unlock();
+      lock.Unlock();
       {
-        std::lock_guard<std::mutex> stats_lock(stats_mu_);
+        MutexLock stats_lock(&stats_mu_);
         ++stats_.admitted;
         admitted_ctr_->Add(1);
       }
@@ -73,7 +73,7 @@ std::future<QueryResult> AdmissionQueue::Submit(const QueryRequest& request) {
     // dispatched but not yet admitted (the dispatcher cannot even see it
     // until mu_ releases).
     {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      MutexLock stats_lock(&stats_mu_);
       ++stats_.admitted;
       admitted_ctr_->Add(1);
     }
@@ -82,7 +82,7 @@ std::future<QueryResult> AdmissionQueue::Submit(const QueryRequest& request) {
     // futex wake each.
     notify = pending_.size() == 1 || pending_.size() >= opts_.batch_limit;
   }
-  if (notify) cv_.notify_one();
+  if (notify) cv_.NotifyOne();
   return future;
 }
 
@@ -92,12 +92,12 @@ std::vector<std::future<QueryResult>> AdmissionQueue::SubmitBatch(
   futures.reserve(requests.size());
   bool notify = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stop_) {
-      lock.unlock();
+      lock.Unlock();
       for (const QueryRequest& request : requests) {
         {
-          std::lock_guard<std::mutex> stats_lock(stats_mu_);
+          MutexLock stats_lock(&stats_mu_);
           ++stats_.admitted;
           admitted_ctr_->Add(1);
         }
@@ -120,38 +120,38 @@ std::vector<std::future<QueryResult>> AdmissionQueue::SubmitBatch(
       pending_.push_back(std::move(p));
     }
     {
-      std::lock_guard<std::mutex> stats_lock(stats_mu_);
+      MutexLock stats_lock(&stats_mu_);
       stats_.admitted += static_cast<int64_t>(requests.size());
       admitted_ctr_->Add(static_cast<int64_t>(requests.size()));
     }
     notify = !requests.empty() &&
              (was_empty || pending_.size() >= opts_.batch_limit);
   }
-  if (notify) cv_.notify_one();
+  if (notify) cv_.NotifyOne();
   return futures;
 }
 
 void AdmissionQueue::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   // Synchronous drain: the dispatcher exits only once pending_ is empty,
   // so after the join every future ever handed out has resolved.
-  std::lock_guard<std::mutex> join_lock(join_mu_);
+  MutexLock join_lock(&join_mu_);
   if (dispatcher_.joinable()) dispatcher_.join();
 }
 
 AdmissionStats AdmissionQueue::stats() const {
   // One sequence point: every field of the returned snapshot comes from
   // the same instant, so the struct's documented invariants hold.
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   return stats_;
 }
 
-void AdmissionQueue::CountDispatched(size_t n) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+int64_t AdmissionQueue::CountDispatched(size_t n) {
+  MutexLock lock(&stats_mu_);
   stats_.dispatched += static_cast<int64_t>(n);
   ++stats_.batches;
   stats_.max_batch = std::max(stats_.max_batch, static_cast<int64_t>(n));
@@ -160,12 +160,13 @@ void AdmissionQueue::CountDispatched(size_t n) {
   dispatched_ctr_->Add(static_cast<int64_t>(n));
   batches_ctr_->Add(1);
   max_batch_gauge_->Set(stats_.max_batch);
+  return stats_.max_batch;
 }
 
 void AdmissionQueue::DispatcherLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (;;) {
-    cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    while (!stop_ && pending_.empty()) cv_.Wait(mu_);
     if (pending_.empty()) {
       if (stop_) return;  // drained
       continue;
@@ -176,10 +177,11 @@ void AdmissionQueue::DispatcherLoop() {
     // already full.
     if (opts_.window_us > 0 && !stop_ &&
         pending_.size() < opts_.batch_limit) {
-      cv_.wait_for(lock, std::chrono::microseconds(opts_.window_us),
-                   [this] {
-                     return stop_ || pending_.size() >= opts_.batch_limit;
-                   });
+      const auto deadline = std::chrono::steady_clock::now() +
+                            std::chrono::microseconds(opts_.window_us);
+      while (!stop_ && pending_.size() < opts_.batch_limit) {
+        if (cv_.WaitUntil(mu_, deadline) == std::cv_status::timeout) break;
+      }
     }
     std::vector<Pending> batch;
     const size_t take = std::min(pending_.size(), opts_.batch_limit);
@@ -188,9 +190,9 @@ void AdmissionQueue::DispatcherLoop() {
       batch.push_back(std::move(pending_.front()));
       pending_.pop_front();
     }
-    lock.unlock();
+    lock.Unlock();
     DispatchBatch(&batch);
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -231,11 +233,10 @@ void AdmissionQueue::DispatchBatch(std::vector<Pending>* batch) {
 
   // Counters before the futures resolve: a client that observes its
   // result (future.get()) must also observe it in stats().
-  CountDispatched(n);
+  const int64_t max_batch = CountDispatched(n);
   if (journal_ != nullptr) {
     journal_->Record(obs::TraceEventKind::kAdmissionDispatch, /*epoch=*/0,
-                     /*shard=*/-1, static_cast<int64_t>(n),
-                     max_batch_gauge_->value());
+                     /*shard=*/-1, static_cast<int64_t>(n), max_batch);
   }
   for (size_t slot = 0; slot < n; ++slot) {
     (*batch)[order[slot]].promise.set_value(std::move(results[slot]));

@@ -46,15 +46,14 @@
 #define WAZI_SERVE_ADMISSION_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace_journal.h"
 #include "serve/query_engine.h"
@@ -114,20 +113,21 @@ class AdmissionQueue {
   // Enqueues one query; the future resolves once its batch executes.
   // After Stop, falls back to inline execution on the calling thread (the
   // future is already resolved when returned).
-  std::future<QueryResult> Submit(const QueryRequest& request);
+  std::future<QueryResult> Submit(const QueryRequest& request)
+      EXCLUDES(mu_, stats_mu_);
 
   // Enqueues a block of queries as one unit (they may still be split
   // across dispatch batches by batch_limit, or merged with concurrent
   // submitters' queries). futures[i] corresponds to requests[i].
   std::vector<std::future<QueryResult>> SubmitBatch(
-      const std::vector<QueryRequest>& requests);
+      const std::vector<QueryRequest>& requests) EXCLUDES(mu_, stats_mu_);
 
   // Drains every pending query and joins the dispatcher: when Stop
   // returns, every future ever handed out has resolved. Idempotent; the
   // destructor calls it. Later submits execute inline.
-  void Stop();
+  void Stop() EXCLUDES(mu_);
 
-  AdmissionStats stats() const;
+  AdmissionStats stats() const EXCLUDES(stats_mu_);
 
  private:
   struct Pending {
@@ -138,11 +138,12 @@ class AdmissionQueue {
     int64_t submit_ns = 0;
   };
 
-  void DispatcherLoop();
+  void DispatcherLoop() EXCLUDES(mu_);
   // Groups, executes (one AcquireAll for the whole batch), and fulfils.
-  void DispatchBatch(std::vector<Pending>* batch);
-  // Folds one executed batch of `n` queries into stats_ (one seq point).
-  void CountDispatched(size_t n);
+  void DispatchBatch(std::vector<Pending>* batch) EXCLUDES(mu_, stats_mu_);
+  // Folds one executed batch of `n` queries into stats_ (one seq point);
+  // returns the updated max_batch so callers need not re-lock to read it.
+  int64_t CountDispatched(size_t n) EXCLUDES(stats_mu_);
   // True every trace_sample_every-th call (false forever at rate 0).
   bool SampleThisQuery();
 
@@ -150,27 +151,29 @@ class AdmissionQueue {
   const ShardedVersionedIndex* index_;
   AdmissionOptions opts_;
 
-  std::mutex mu_;
-  std::condition_variable cv_;  // dispatcher: pending work / stop
-  std::deque<Pending> pending_;
-  bool stop_ = false;
-  std::mutex join_mu_;  // serializes concurrent Stop() callers' join
+  Mutex mu_;
+  CondVar cv_;  // dispatcher: pending work / stop
+  std::deque<Pending> pending_ GUARDED_BY(mu_);
+  bool stop_ GUARDED_BY(mu_) = false;
+  Mutex join_mu_;  // serializes concurrent Stop() callers' join
 
   // All four counters move together under stats_mu_ — stats() is one
   // sequence point, never a torn mix of before/after a dispatch. Lock
   // order where both are held: mu_ then stats_mu_ (Submit counts the
   // admission while still holding mu_, so the dispatcher cannot dispatch
   // a query before it is counted as admitted).
-  mutable std::mutex stats_mu_;
-  AdmissionStats stats_;
+  mutable Mutex stats_mu_ ACQUIRED_AFTER(mu_);
+  AdmissionStats stats_ GUARDED_BY(stats_mu_);
 
   // Registry mirrors of stats_, updated under stats_mu_ so the exported
-  // values keep the same invariants as the snapshot accessor.
+  // values keep the same invariants as the snapshot accessor (the
+  // pointers are set once in the constructor; PT_GUARDED_BY holds their
+  // Add/Set calls to the same sequence-point discipline).
   std::unique_ptr<obs::MetricsRegistry> own_registry_;
-  obs::Counter* admitted_ctr_ = nullptr;
-  obs::Counter* dispatched_ctr_ = nullptr;
-  obs::Counter* batches_ctr_ = nullptr;
-  obs::Gauge* max_batch_gauge_ = nullptr;
+  obs::Counter* admitted_ctr_ PT_GUARDED_BY(stats_mu_) = nullptr;
+  obs::Counter* dispatched_ctr_ PT_GUARDED_BY(stats_mu_) = nullptr;
+  obs::Counter* batches_ctr_ PT_GUARDED_BY(stats_mu_) = nullptr;
+  obs::Gauge* max_batch_gauge_ PT_GUARDED_BY(stats_mu_) = nullptr;
   obs::Histogram* latency_hist_ = nullptr;  // sampled end-to-end spans
   obs::TraceJournal* journal_ = nullptr;
   const uint32_t trace_sample_every_;

@@ -64,6 +64,8 @@ ClientLoadResult RunClientLoad(ServeLoop& loop, const Workload& workload,
       };
       std::vector<Point> inserted;
       int64_t queries = 0, writes = 0;
+      // acquire on start: pairs with the harness's release-store so
+      // workers see the set-up; stop is a plain flag (relaxed).
       while (!start.load(std::memory_order_acquire)) {
         if (stop.load(std::memory_order_relaxed)) break;
         std::this_thread::yield();
@@ -78,6 +80,7 @@ ClientLoadResult RunClientLoad(ServeLoop& loop, const Workload& workload,
             inserted.pop_back();
           } else {
             const Rect& reg = opts.insert_region;
+            // relaxed: the counter only needs to hand out unique ids.
             Point p{reg.min_x + rng.NextDouble() * (reg.max_x - reg.min_x),
                     reg.min_y + rng.NextDouble() * (reg.max_y - reg.min_y),
                     g_next_insert_id.fetch_add(1, std::memory_order_relaxed)};
@@ -122,6 +125,7 @@ ClientLoadResult RunClientLoad(ServeLoop& loop, const Workload& workload,
         }
       }
       while (!in_flight.empty()) drain_one(&queries);
+      // relaxed: totals are only read after the worker threads join.
       total_queries.fetch_add(queries, std::memory_order_relaxed);
       total_writes.fetch_add(writes, std::memory_order_relaxed);
     });

@@ -41,6 +41,7 @@ thread_local ThreadRecord* tls_last_record = nullptr;
 
 uint64_t NextSerial() {
   static std::atomic<uint64_t> counter{0};
+  // relaxed: uniqueness is all that matters for domain serials.
   return counter.fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
@@ -59,10 +60,11 @@ EpochDomain::~EpochDomain() {
   }
   std::vector<LimboEntry> leftovers;
   {
-    std::lock_guard<std::mutex> lock(limbo_mu_);
+    MutexLock lock(&limbo_mu_);
     leftovers.swap(limbo_);
   }
   for (const LimboEntry& e : leftovers) e.deleter(e.obj);
+  // relaxed: statistics counter, no data published through it.
   reclaimed_total_.fetch_add(static_cast<int64_t>(leftovers.size()),
                              std::memory_order_relaxed);
 }
@@ -92,16 +94,21 @@ epoch_detail::ThreadRecord* EpochDomain::RegisterThisThread() {
   }
   for (int i = 0; i < kMaxSlots; ++i) {
     bool expected = false;
+    // acq_rel: winning the claim both publishes our ownership and makes
+    // any prior owner's slot release visible to us.
     if (!block_->claimed[static_cast<size_t>(i)].compare_exchange_strong(
             expected, true, std::memory_order_acq_rel)) {
       continue;
     }
-    // Raise the scan bound to cover this slot (monotonic max).
+    // Raise the scan bound to cover this slot (monotonic max). release on
+    // success pairs with the scanners' acquire-load of high_water so a
+    // covered slot is fully initialized before it is scanned.
     uint32_t hw = block_->high_water.load(std::memory_order_relaxed);
     while (hw < static_cast<uint32_t>(i) + 1 &&
            !block_->high_water.compare_exchange_weak(
                hw, static_cast<uint32_t>(i) + 1,
-               std::memory_order_release, std::memory_order_relaxed)) {
+               std::memory_order_release,  // pairs with scanners' acquire
+               std::memory_order_relaxed)) {  // relaxed failure: we retry
     }
     auto rec = std::make_unique<ThreadRecord>();
     rec->block = block_;
@@ -123,16 +130,23 @@ epoch_detail::ThreadRecord* EpochDomain::RegisterThisThread() {
 }
 
 void EpochDomain::Retire(void* obj, void (*deleter)(void*)) {
-  std::lock_guard<std::mutex> lock(limbo_mu_);
+  MutexLock lock(&limbo_mu_);
   // Tag with the PRE-increment epoch: every reader stamped <= this value
   // may hold the pointer; readers entering after the bump stamp a larger
-  // epoch and can only see the successor object.
+  // epoch and can only see the successor object. seq_cst: the bump must
+  // be totally ordered against every reader's Enter() stamp — with weaker
+  // orders a reader could stamp the old epoch after the retirer decided
+  // no such reader exists (the classic epoch-reclamation race).
   const uint64_t e = global_epoch_.fetch_add(1, std::memory_order_seq_cst);
   limbo_.push_back(LimboEntry{obj, deleter, e});
-  retired_total_.fetch_add(1, std::memory_order_relaxed);
+  retired_total_.fetch_add(1, std::memory_order_relaxed);  // statistic
 }
 
 uint64_t EpochDomain::min_active_epoch() const {
+  // acquire on high_water: slots below the bound are initialized (pairs
+  // with the claimer's release CAS). seq_cst on the slot epochs: the scan
+  // must order against Enter()'s seq_cst stamp and Retire()'s seq_cst
+  // bump, or a stamped reader could be missed and its object freed.
   const uint32_t hw = block_->high_water.load(std::memory_order_acquire);
   uint64_t min = UINT64_MAX;
   for (uint32_t i = 0; i < hw; ++i) {
@@ -143,6 +157,7 @@ uint64_t EpochDomain::min_active_epoch() const {
 }
 
 int EpochDomain::active_readers() const {
+  // Same ordering as min_active_epoch (this is the same scan, counting).
   const uint32_t hw = block_->high_water.load(std::memory_order_acquire);
   int n = 0;
   for (uint32_t i = 0; i < hw; ++i) {
@@ -152,14 +167,14 @@ int EpochDomain::active_readers() const {
 }
 
 size_t EpochDomain::limbo_size() const {
-  std::lock_guard<std::mutex> lock(limbo_mu_);
+  MutexLock lock(&limbo_mu_);
   return limbo_.size();
 }
 
 size_t EpochDomain::Reclaim() {
   std::vector<LimboEntry> free_now;
   {
-    std::lock_guard<std::mutex> lock(limbo_mu_);
+    MutexLock lock(&limbo_mu_);
     if (limbo_.empty()) return 0;
     // The slot scan happens while holding limbo_mu_, after the Retire
     // that parked each candidate released it: the mutex ordering puts
@@ -178,6 +193,7 @@ size_t EpochDomain::Reclaim() {
     limbo_.resize(keep);
   }
   for (const LimboEntry& e : free_now) e.deleter(e.obj);
+  // relaxed: statistics counter, no data published through it.
   reclaimed_total_.fetch_add(static_cast<int64_t>(free_now.size()),
                              std::memory_order_relaxed);
   return free_now.size();

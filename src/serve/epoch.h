@@ -39,8 +39,9 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace wazi::serve {
 
@@ -117,6 +118,8 @@ class EpochDomain {
     void Release() {
       if (rec_ == nullptr) return;
       if (--rec_->depth == 0) {
+        // release: everything this reader did inside the critical section
+        // happens-before a reclaimer that observes the slot idle.
         rec_->slot->epoch.store(epoch_detail::kIdle,
                                 std::memory_order_release);
       }
@@ -136,6 +139,10 @@ class EpochDomain {
     epoch_detail::ThreadRecord* rec = CachedRecord();
     if (rec == nullptr) rec = RegisterThisThread();
     if (rec->depth++ == 0) {
+      // seq_cst on both the epoch load and the slot stamp: the stamp must
+      // be totally ordered against Retire()'s epoch bump and the
+      // reclaimer's slot scan — with weaker orders the scan could miss
+      // this reader's stamp and free an object it is about to load.
       const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
       rec->slot->epoch.store(e, std::memory_order_seq_cst);
     }
@@ -146,7 +153,7 @@ class EpochDomain {
   // epoch. The deleter runs (from Reclaim, the destructor, or a later
   // Retire's amortized sweep) once no stamped reader can reach it.
   // Callable from any thread.
-  void Retire(void* obj, void (*deleter)(void*));
+  void Retire(void* obj, void (*deleter)(void*)) EXCLUDES(limbo_mu_);
 
   template <typename T>
   void Retire(std::unique_ptr<T> obj) {
@@ -158,7 +165,7 @@ class EpochDomain {
   // Frees every limbo entry whose retire epoch every stamped reader has
   // passed. Returns the number freed. Any thread; deleters run outside
   // the limbo lock.
-  size_t Reclaim();
+  size_t Reclaim() EXCLUDES(limbo_mu_);
 
   // --- introspection (tests, observability) ---
 
@@ -169,7 +176,8 @@ class EpochDomain {
   // reader is inside a critical section.
   uint64_t min_active_epoch() const;
   int active_readers() const;
-  size_t limbo_size() const;
+  size_t limbo_size() const EXCLUDES(limbo_mu_);
+  // relaxed: statistics accessors, no data published through them.
   int64_t retired_total() const {
     return retired_total_.load(std::memory_order_relaxed);
   }
@@ -194,8 +202,8 @@ class EpochDomain {
   // Starts at 1: kIdle (0) is reserved for "not in a section".
   std::atomic<uint64_t> global_epoch_{1};
 
-  mutable std::mutex limbo_mu_;
-  std::vector<LimboEntry> limbo_;
+  mutable Mutex limbo_mu_;
+  std::vector<LimboEntry> limbo_ GUARDED_BY(limbo_mu_);
   std::atomic<int64_t> retired_total_{0};
   std::atomic<int64_t> reclaimed_total_{0};
 };

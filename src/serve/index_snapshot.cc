@@ -20,6 +20,7 @@ VersionedIndex::VersionedIndex(IndexFactory factory, const Dataset& data,
   for (size_t i = 0; i < data_.points.size(); ++i) {
     pos_by_id_[data_.points[i].id] = i;
   }
+  // relaxed: single-threaded construction; the count is a statistic.
   num_points_.store(data_.points.size(), std::memory_order_relaxed);
   epoch_domain_ = opts_.epoch_domain != nullptr ? opts_.epoch_domain
                                           : &EpochDomain::Global();
@@ -72,6 +73,8 @@ void VersionedIndex::ApplyBatch(const std::vector<UpdateOp>& ops) {
   ApplyToData(effective);
   if (supports_updates_) {
     ApplyToInstance(shadow, effective);
+    // relaxed: version_ is only ever written by this (single) writer
+    // thread, so its own read needs no ordering.
     recent_batches_.emplace_back(version_.load(std::memory_order_relaxed) + 1,
                                  effective);
   } else {
@@ -144,6 +147,9 @@ SpatialIndex* VersionedIndex::AcquireShadow(bool catch_up) {
       std::chrono::steady_clock::now() +
       std::chrono::milliseconds(bounded ? opts_.writer_stall_ms : 0);
   bool stalled = false;
+  // acquire: pairs with the snapshot destructor's release-store on the
+  // drain flag — a true read means the last reader is provably gone and
+  // the instance is safe to mutate.
   while (!drained_[shadow_slot]->load(std::memory_order_acquire)) {
     epoch_domain_->Reclaim();
     if (drained_[shadow_slot]->load(std::memory_order_acquire)) break;
@@ -168,6 +174,7 @@ SpatialIndex* VersionedIndex::AcquireShadow(bool catch_up) {
     if (catch_up && supports_updates_) {
       inst_[shadow_slot]->Build(data_, last_workload_, build_opts_);
     }
+    // relaxed: single-writer read of our own version counter.
     applied_through_[shadow_slot] = version_.load(std::memory_order_relaxed);
     const uint64_t stalled_min =
         std::min(applied_through_[0], applied_through_[1]);
@@ -175,7 +182,7 @@ SpatialIndex* VersionedIndex::AcquireShadow(bool catch_up) {
            recent_batches_.front().first <= stalled_min) {
       recent_batches_.pop_front();
     }
-    stall_copies_.fetch_add(1, std::memory_order_relaxed);
+    stall_copies_.fetch_add(1, std::memory_order_relaxed);  // statistic
     if (opts_.stall_counter != nullptr) opts_.stall_counter->Add(1);
     if (opts_.zombie_gauge != nullptr) opts_.zombie_gauge->Add(1);
     if (opts_.journal != nullptr) {
@@ -188,6 +195,7 @@ SpatialIndex* VersionedIndex::AcquireShadow(bool catch_up) {
   SpatialIndex* index = inst_[shadow_slot].get();
   if (!catch_up || !supports_updates_) return index;
 
+  // relaxed: single-writer read of our own version counter.
   const uint64_t cur = version_.load(std::memory_order_relaxed);
   if (applied_through_[shadow_slot] < last_rebuild_version_) {
     // Missed a rebuild; replaying ops would restore content but not the
@@ -215,6 +223,8 @@ void VersionedIndex::ReapZombies() {
   zombies_.erase(
       std::remove_if(zombies_.begin(), zombies_.end(),
                      [](const ZombieInstance& z) {
+                       // acquire: pairs with the drain flag's release —
+                       // true means the last reader has let go.
                        return z.drained->load(std::memory_order_acquire);
                      }),
       zombies_.end());
@@ -226,20 +236,28 @@ void VersionedIndex::ReapZombies() {
 
 void VersionedIndex::PublishShadow() {
   const int shadow_slot = 1 - live_slot_;
+  // relaxed: single-writer read of our own version counter.
   const uint64_t v = version_.load(std::memory_order_relaxed) + 1;
   std::shared_ptr<const std::vector<Point>> pts;
   if (opts_.track_points) {
     pts = std::make_shared<const std::vector<Point>>(data_.points);
   }
+  // relaxed: the flag reset is published by the seq_cst exchange below —
+  // no reader can reach this snapshot before that swap.
   drained_[shadow_slot]->store(false, std::memory_order_relaxed);
   auto snap = std::make_unique<const IndexSnapshot>(
       inst_[shadow_slot].get(), v, std::move(pts), drained_[shadow_slot]);
   applied_through_[shadow_slot] = v;
+  // release: version() readers that observe v also observe the applied
+  // batches (paired with their acquire load).
   version_.store(v, std::memory_order_release);
   // The swap: readers Acquire() the new snapshot from here on. The old
   // snapshot parks in the domain's limbo at an epoch no later than any
   // stamp that could have observed it; reclamation destroys it (flipping
-  // its drain flag) once every such reader has released.
+  // its drain flag) once every such reader has released. seq_cst: the
+  // exchange must be totally ordered against readers' epoch stamps (see
+  // the protocol in serve/epoch.h) — weaker orders could free a snapshot
+  // a stamped reader is about to load.
   const IndexSnapshot* old =
       live_.exchange(snap.release(), std::memory_order_seq_cst);
   if (old != nullptr) {
@@ -270,6 +288,8 @@ void VersionedIndex::ApplyToData(const std::vector<UpdateOp>& ops) {
       data_.points.pop_back();
     }
   }
+  // relaxed: num_points_ is a statistic read by observers; no data is
+  // published through it.
   num_points_.store(data_.points.size(), std::memory_order_relaxed);
 }
 

@@ -45,6 +45,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "index/spatial_index.h"
 #include "obs/metrics.h"
 #include "obs/trace_journal.h"
@@ -174,9 +175,11 @@ class AtomicCell {
  public:
   std::shared_ptr<T> Load() const {
 #if WAZI_SERVE_TSAN
-    std::lock_guard<std::mutex> lock(mu_);
+    wazi::MutexLock lock(&mu_);
     return ptr_;
 #else
+    // acquire: pairs with Store's release so a reader that sees the new
+    // pointer also sees the pointee fully constructed.
     return ptr_.load(std::memory_order_acquire);
 #endif
   }
@@ -185,19 +188,20 @@ class AtomicCell {
 #if WAZI_SERVE_TSAN
     std::shared_ptr<T> old;  // destroy outside the lock
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      wazi::MutexLock lock(&mu_);
       old.swap(ptr_);
       ptr_ = std::move(value);
     }
 #else
+    // release: publishes the fully built value to acquire-loads above.
     ptr_.store(std::move(value), std::memory_order_release);
 #endif
   }
 
  private:
 #if WAZI_SERVE_TSAN
-  mutable std::mutex mu_;
-  std::shared_ptr<T> ptr_;
+  mutable wazi::Mutex mu_;
+  std::shared_ptr<T> ptr_ GUARDED_BY(mu_);
 #else
   std::atomic<std::shared_ptr<T>> ptr_;
 #endif
@@ -261,6 +265,8 @@ class VersionedIndex {
                        std::move(guard));
   }
 
+  // acquire: pairs with PublishShadow's release-store, so a reader that
+  // observes version v also observes the batches applied up to v.
   uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   // Query-domain rectangle (immutable after construction; safe anywhere).

@@ -97,7 +97,7 @@ void QueryEngine::RunBatch(
     });
   }
   done.wait();
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   for (const PaddedStats& ps : block_stats) batch_stats_.Add(ps.stats);
 }
 
@@ -188,12 +188,12 @@ QueryResult QueryEngine::ExecuteRange(
 }
 
 QueryStats QueryEngine::aggregated_stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   return batch_stats_;
 }
 
 void QueryEngine::ResetStats() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   batch_stats_.Reset();
 }
 

@@ -9,9 +9,9 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "index/spatial_index.h"
 #include "obs/metrics.h"
 #include "serve/sharded_index.h"
@@ -117,8 +117,8 @@ class QueryEngine {
 
   // Sum of the counters accumulated by every completed ExecuteBatch /
   // ExecuteBatchOn call.
-  QueryStats aggregated_stats() const;
-  void ResetStats();
+  QueryStats aggregated_stats() const EXCLUDES(stats_mu_);
+  void ResetStats() EXCLUDES(stats_mu_);
 
   int num_threads() const { return pool_.num_threads(); }
 
@@ -134,7 +134,8 @@ class QueryEngine {
   // block.
   void RunBatch(const std::vector<QueryRequest>& requests,
                 std::vector<QueryResult>* results,
-                const ShardedVersionedIndex::SnapshotSet* shared_snaps);
+                const ShardedVersionedIndex::SnapshotSet* shared_snaps)
+      EXCLUDES(stats_mu_);
 
   const ShardedVersionedIndex* index_;
   ResultCache* cache_;  // may be null / disabled
@@ -150,8 +151,8 @@ class QueryEngine {
   // Batch counters are accumulated in per-block (cache-line padded) locals
   // during execution and folded in here once the batch completes, so
   // concurrent ExecuteBatch calls never share a counter block.
-  mutable std::mutex stats_mu_;
-  QueryStats batch_stats_;
+  mutable Mutex stats_mu_;
+  QueryStats batch_stats_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace wazi::serve

@@ -96,7 +96,7 @@ bool ResultCache::Lookup(const Rect& query, const ShardTopology& topo,
   std::shared_ptr<const std::vector<Point>> payload;
   uint64_t mass = 0;
   {
-    std::lock_guard<std::mutex> lock(seg.mu);
+    MutexLock lock(&seg.mu);
     const auto it = seg.map.find(key);
     if (it == seg.map.end()) {
       misses_->Add(1);
@@ -150,7 +150,7 @@ void ResultCache::Insert(const Rect& query, const std::vector<Point>& hits,
   Segment& seg = SegmentFor(entry.key);
   int64_t evicted = 0;
   {
-    std::lock_guard<std::mutex> lock(seg.mu);
+    MutexLock lock(&seg.mu);
     const auto it = seg.map.find(entry.key);
     if (it != seg.map.end()) {
       // Last-writer-wins refresh of an existing slot.
@@ -186,7 +186,7 @@ void ResultCache::Insert(const Rect& query, const std::vector<Point>& hits,
 
 void ResultCache::Clear() {
   for (const auto& seg : segments_) {
-    std::lock_guard<std::mutex> lock(seg->mu);
+    MutexLock lock(&seg->mu);
     seg->lru.clear();
     seg->map.clear();
     bytes_gauge_->Add(-static_cast<int64_t>(seg->bytes));
@@ -204,7 +204,7 @@ ResultCacheStats ResultCache::stats() const {
   s.insertions = insertions_->value();
   s.evictions = evictions_->value();
   for (const auto& seg : segments_) {
-    std::lock_guard<std::mutex> lock(seg->mu);
+    MutexLock lock(&seg->mu);
     s.size_bytes += seg->bytes;
   }
   return s;

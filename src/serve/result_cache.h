@@ -44,10 +44,10 @@
 #include <cstddef>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 #include "obs/trace_journal.h"
 #include "serve/sharded_index.h"
@@ -148,10 +148,11 @@ class ResultCache {
     size_t bytes = 0;
   };
   struct Segment {
-    std::mutex mu;
-    std::list<Entry> lru;  // front = most recent
-    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map;
-    size_t bytes = 0;
+    Mutex mu;
+    std::list<Entry> lru GUARDED_BY(mu);  // front = most recent
+    std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map
+        GUARDED_BY(mu);
+    size_t bytes GUARDED_BY(mu) = 0;
   };
 
   Segment& SegmentFor(const Key& key);

@@ -75,7 +75,7 @@ void ServeLoop::FinishMigration(uint64_t old_epoch, uint64_t new_epoch,
                                 int64_t moved_points, bool incremental) {
   (void)old_epoch;
   {
-    std::lock_guard<std::mutex> lock(mig_mu_);
+    MutexLock lock(&mig_mu_);
     ++mig_.migrations;
     if (incremental) ++mig_.incremental;
     mig_.last_moved_shards = moved_shards;
@@ -90,6 +90,8 @@ void ServeLoop::FinishMigration(uint64_t old_epoch, uint64_t new_epoch,
     moved_points_ctr_->Add(moved_points);
     last_moved_gauge_->Set(moved_shards);
     last_carried_gauge_->Set(carried_shards);
+    // release: pairs with the acquire read in migration_stats(), so the
+    // counters updated above are visible once the bump is observed.
     repartitions_.fetch_add(1, std::memory_order_release);
   }
   journal_.Record(obs::TraceEventKind::kMigrationRetire, new_epoch,
@@ -105,9 +107,17 @@ std::shared_ptr<ServeLoop::WriterGen> ServeLoop::StartWriters(
   gen->writers.reserve(static_cast<size_t>(n));
   for (int s = 0; s < n; ++s) {
     gen->writers.push_back(std::make_unique<ShardWriter>(opts_.drift));
-    gen->writers.back()->recent.resize(opts_.recent_window);
+    ShardWriter& w = *gen->writers.back();
+    // Pre-thread initialization: nothing else can reach this shard yet,
+    // so the guards are uncontended — hold them anyway and keep the
+    // field contracts unconditional.
+    {
+      MutexLock lock(&w.monitor_mu);
+      w.recent.resize(opts_.recent_window);
+    }
     if (gated != nullptr && (*gated)[static_cast<size_t>(s)]) {
-      gen->writers.back()->gate = true;  // pre-thread: no lock needed
+      MutexLock lock(&w.queue_mu);
+      w.gate = true;
     }
   }
   // Threads last: WriterLoop touches gen->writers[s] and gen->topo. Each
@@ -220,7 +230,7 @@ bool ServeLoop::EnqueueTo(WriterGen& gen, const UpdateOp& op,
       *gen.writers[static_cast<size_t>(gen.topo->router.ShardOf(op.point))];
   bool notify = false;
   {
-    std::lock_guard<std::mutex> lock(w.queue_mu);
+    MutexLock lock(&w.queue_mu);
     if (w.closed) return false;
     w.queue.push_back(op);
     ++w.submitted;
@@ -232,7 +242,7 @@ bool ServeLoop::EnqueueTo(WriterGen& gen, const UpdateOp& op,
     // without a futex wake per op.
     notify = w.queue.size() == 1 || w.queue.size() >= batch_limit;
   }
-  if (notify) w.queue_cv.notify_one();
+  if (notify) w.queue_cv.NotifyOne();
   return true;
 }
 
@@ -240,10 +250,10 @@ void ServeLoop::TriggerRebuild() {
   const std::shared_ptr<WriterGen> gen = writer_gen_.Load();
   for (const auto& w : gen->writers) {
     {
-      std::lock_guard<std::mutex> lock(w->queue_mu);
+      MutexLock lock(&w->queue_mu);
       w->rebuild_requested = true;
     }
-    w->queue_cv.notify_one();
+    w->queue_cv.NotifyOne();
   }
 }
 
@@ -258,8 +268,8 @@ void ServeLoop::Flush() {
   for (;;) {
     const std::shared_ptr<WriterGen> gen = writer_gen_.Load();
     for (const auto& w : gen->writers) {
-      std::unique_lock<std::mutex> lock(w->queue_mu);
-      w->flush_cv.wait(lock, [&w] { return w->applied == w->submitted; });
+      MutexLock lock(&w->queue_mu);
+      while (w->applied != w->submitted) w->flush_cv.Wait(w->queue_mu);
     }
     if (writer_gen_.Load() == gen && index_.epoch() == gen->epoch) return;
     std::this_thread::yield();
@@ -267,7 +277,8 @@ void ServeLoop::Flush() {
 }
 
 bool ServeLoop::TriggerRepartition(int new_num_shards) {
-  std::lock_guard<std::mutex> lock(repartition_mu_);
+  MutexLock lock(&repartition_mu_);
+  // acquire: pairs with Stop()'s release-store of stopping_.
   if (stopping_.load(std::memory_order_acquire)) return false;
   RepartitionLocked(new_num_shards);
   repartition_monitor_.ResetAfterRepartition(std::chrono::steady_clock::now());
@@ -300,7 +311,7 @@ Workload ServeLoop::MigrationWorkload(const WriterGen& gen) {
     ShardWriter& w = *gen.writers[static_cast<size_t>(s)];
     recent.selectivity =
         topo.shard_workloads[static_cast<size_t>(s)].selectivity;
-    std::lock_guard<std::mutex> lock(w.monitor_mu);
+    MutexLock lock(&w.monitor_mu);
     for (size_t i = 0; i < w.recent_count; ++i) {
       recent.queries.push_back(w.recent[i]);
     }
@@ -325,14 +336,14 @@ void ServeLoop::BeginDualWriteAndCapture(WriterGen& gen,
     if (changed != nullptr && !(*changed)[s]) continue;
     ShardWriter& w = *gen.writers[s];
     {
-      std::lock_guard<std::mutex> lock(w.queue_mu);
+      MutexLock lock(&w.queue_mu);
       w.dual_write = true;
       w.capture_target = w.submitted;
       w.capture_requested = true;
       w.capture_done = false;
       w.captured.clear();
     }
-    w.queue_cv.notify_one();
+    w.queue_cv.NotifyOne();
   }
 }
 
@@ -346,8 +357,8 @@ std::vector<Point> ServeLoop::AwaitCaptures(WriterGen& gen,
   for (size_t s = 0; s < gen.writers.size(); ++s) {
     if (changed != nullptr && !(*changed)[s]) continue;
     ShardWriter& w = *gen.writers[s];
-    std::unique_lock<std::mutex> lock(w.queue_mu);
-    w.capture_cv.wait(lock, [&w] { return w.capture_done; });
+    MutexLock lock(&w.queue_mu);
+    while (!w.capture_done) w.capture_cv.Wait(w.queue_mu);
     points.insert(points.end(), w.captured.begin(), w.captured.end());
     w.captured.clear();
     w.captured.shrink_to_fit();
@@ -373,7 +384,7 @@ size_t ServeLoop::DrainDeltas(WriterGen& old_gen, WriterGen& new_gen,
       ShardWriter& w = *old_gen.writers[s];
       chunk.clear();
       {
-        std::lock_guard<std::mutex> lock(w.queue_mu);
+        MutexLock lock(&w.queue_mu);
         chunk.swap(w.delta);
       }
       for (const UpdateOp& op : chunk) {
@@ -428,13 +439,13 @@ void ServeLoop::FullRepartitionLocked(
   std::vector<UpdateOp> final_ops;
   for (const auto& w : old_gen->writers) {
     {
-      std::lock_guard<std::mutex> lock(w->queue_mu);
+      MutexLock lock(&w->queue_mu);
       w->closed = true;
       w->dual_write = false;
       final_ops.insert(final_ops.end(), w->delta.begin(), w->delta.end());
       w->delta.clear();
     }
-    w->queue_cv.notify_all();
+    w->queue_cv.NotifyAll();
   }
   // Replay the final chunks BEFORE opening the new generation to direct
   // submits, so per-coordinate op order spans the generations correctly.
@@ -443,7 +454,7 @@ void ServeLoop::FullRepartitionLocked(
   }
   std::vector<uint64_t> replay_targets(new_gen->writers.size());
   for (size_t s = 0; s < new_gen->writers.size(); ++s) {
-    std::lock_guard<std::mutex> lock(new_gen->writers[s]->queue_mu);
+    MutexLock lock(&new_gen->writers[s]->queue_mu);
     replay_targets[s] = new_gen->writers[s]->submitted;
   }
   // Open the flood gates: submits route to the new generation from here.
@@ -452,8 +463,8 @@ void ServeLoop::FullRepartitionLocked(
   // Old writers drain (closed shards accept nothing new, so this
   // terminates), making the old generation's final state fixed...
   for (const auto& w : old_gen->writers) {
-    std::unique_lock<std::mutex> lock(w->queue_mu);
-    w->flush_cv.wait(lock, [&w] { return w->applied == w->submitted; });
+    MutexLock lock(&w->queue_mu);
+    while (w->applied != w->submitted) w->flush_cv.Wait(w->queue_mu);
   }
   // ...which pins the version base that keeps the facade version monotone
   // across the swap.
@@ -463,9 +474,8 @@ void ServeLoop::FullRepartitionLocked(
   // everything the old generation's final state served.
   for (size_t s = 0; s < new_gen->writers.size(); ++s) {
     ShardWriter& w = *new_gen->writers[s];
-    std::unique_lock<std::mutex> lock(w.queue_mu);
-    w.flush_cv.wait(lock,
-                    [&] { return w.applied >= replay_targets[s]; });
+    MutexLock lock(&w.queue_mu);
+    while (w.applied < replay_targets[s]) w.flush_cv.Wait(w.queue_mu);
   }
   index_.PublishTopology(new_topo);
   journal_.Record(obs::TraceEventKind::kMigrationCutover, target_epoch,
@@ -474,10 +484,10 @@ void ServeLoop::FullRepartitionLocked(
   // --- RETIRE ------------------------------------------------------------
   for (const auto& w : old_gen->writers) {
     {
-      std::lock_guard<std::mutex> lock(w->queue_mu);
+      MutexLock lock(&w->queue_mu);
       w->stop = true;
     }
-    w->queue_cv.notify_all();
+    w->queue_cv.NotifyAll();
   }
   for (const auto& w : old_gen->writers) {
     if (w->thread.joinable()) w->thread.join();
@@ -517,6 +527,7 @@ bool ServeLoop::TryIncrementalRepartitionLocked(
         use_window
             ? (*window_loads)[static_cast<size_t>(s)].query_stabs
             : old_gen->writers[static_cast<size_t>(s)]
+                  // relaxed: pure statistic sampled for planning.
                   ->query_stabs.load(std::memory_order_relaxed);
   }
   const IncrementalPlan plan =
@@ -571,7 +582,7 @@ bool ServeLoop::TryIncrementalRepartitionLocked(
   std::vector<UpdateOp> final_ops;
   for (const auto& w : old_gen->writers) {
     {
-      std::lock_guard<std::mutex> lock(w->queue_mu);
+      MutexLock lock(&w->queue_mu);
       w->closed = true;
       if (w->dual_write) {
         w->dual_write = false;
@@ -579,7 +590,7 @@ bool ServeLoop::TryIncrementalRepartitionLocked(
         w->delta.clear();
       }
     }
-    w->queue_cv.notify_all();
+    w->queue_cv.NotifyAll();
   }
   // Replay the final chunks BEFORE opening the new generation to direct
   // submits, so per-coordinate op order spans the generations correctly.
@@ -589,7 +600,7 @@ bool ServeLoop::TryIncrementalRepartitionLocked(
   std::vector<uint64_t> replay_targets(new_gen->writers.size(), 0);
   for (size_t s = 0; s < new_gen->writers.size(); ++s) {
     if (!plan.changed[s]) continue;
-    std::lock_guard<std::mutex> lock(new_gen->writers[s]->queue_mu);
+    MutexLock lock(&new_gen->writers[s]->queue_mu);
     replay_targets[s] = new_gen->writers[s]->submitted;
   }
   // Open the flood gates: submits route to the new generation from here.
@@ -600,8 +611,8 @@ bool ServeLoop::TryIncrementalRepartitionLocked(
   // queued tail applies to the SHARED VersionedIndex here, before the
   // gate opens (per-coordinate order across the hand-off)...
   for (const auto& w : old_gen->writers) {
-    std::unique_lock<std::mutex> lock(w->queue_mu);
-    w->flush_cv.wait(lock, [&w] { return w->applied == w->submitted; });
+    MutexLock lock(&w->queue_mu);
+    while (w->applied != w->submitted) w->flush_cv.Wait(w->queue_mu);
   }
   // ...which freezes the old generation's final state. Version base:
   // carried shards keep their (still advancing) version counters, so the
@@ -618,18 +629,18 @@ bool ServeLoop::TryIncrementalRepartitionLocked(
   for (size_t s = 0; s < new_gen->writers.size(); ++s) {
     if (plan.changed[s]) continue;
     {
-      std::lock_guard<std::mutex> lock(new_gen->writers[s]->queue_mu);
+      MutexLock lock(&new_gen->writers[s]->queue_mu);
       new_gen->writers[s]->gate = false;
     }
-    new_gen->writers[s]->queue_cv.notify_all();
+    new_gen->writers[s]->queue_cv.NotifyAll();
   }
   // Rebuilt shards catch up through the replay before readers see the new
   // topology.
   for (size_t s = 0; s < new_gen->writers.size(); ++s) {
     if (!plan.changed[s]) continue;
     ShardWriter& w = *new_gen->writers[s];
-    std::unique_lock<std::mutex> lock(w.queue_mu);
-    w.flush_cv.wait(lock, [&] { return w.applied >= replay_targets[s]; });
+    MutexLock lock(&w.queue_mu);
+    while (w.applied < replay_targets[s]) w.flush_cv.Wait(w.queue_mu);
   }
   index_.PublishTopology(new_topo);
   journal_.Record(obs::TraceEventKind::kMigrationCutover, target_epoch,
@@ -638,10 +649,10 @@ bool ServeLoop::TryIncrementalRepartitionLocked(
   // --- RETIRE --------------------------------------------------------------
   for (const auto& w : old_gen->writers) {
     {
-      std::lock_guard<std::mutex> lock(w->queue_mu);
+      MutexLock lock(&w->queue_mu);
       w->stop = true;
     }
-    w->queue_cv.notify_all();
+    w->queue_cv.NotifyAll();
   }
   for (const auto& w : old_gen->writers) {
     if (w->thread.joinable()) w->thread.join();
@@ -661,7 +672,7 @@ MigrationStats ServeLoop::migration_stats() const {
   // point-in-time read.
   MigrationStats stats;
   {
-    std::lock_guard<std::mutex> lock(mig_mu_);
+    MutexLock lock(&mig_mu_);
     stats = mig_;
   }
   stats.stall_copies = stall_ctr_->value();
@@ -675,13 +686,21 @@ void ServeLoop::MonitorLoop() {
   // being diluted by a long balanced history.
   uint64_t last_epoch = 0;
   std::vector<int64_t> last_stabs;
-  std::unique_lock<std::mutex> lk(monitor_mu_);
+  MutexLock lk(&monitor_mu_);
+  // acquire on every stopping_ check in this loop: pairs with Stop()'s
+  // release-store, so the monitor also observes whatever Stop() published
+  // before raising the flag.
   while (!stopping_.load(std::memory_order_acquire)) {
-    monitor_cv_.wait_for(lk, poll, [this] {
-      return stopping_.load(std::memory_order_acquire);
-    });
-    if (stopping_.load(std::memory_order_acquire)) break;
-    lk.unlock();
+    // Sleep out one poll interval unless Stop() interrupts it.
+    const auto deadline = std::chrono::steady_clock::now() + poll;
+    while (!stopping_.load(std::memory_order_acquire)) {  // see above
+      if (monitor_cv_.WaitUntil(monitor_mu_, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
+    if (stopping_.load(std::memory_order_acquire)) break;  // see above
+    lk.Unlock();
 
     const std::shared_ptr<WriterGen> gen = writer_gen_.Load();
     if (gen->epoch != last_epoch) {
@@ -692,18 +711,20 @@ void ServeLoop::MonitorLoop() {
     for (size_t s = 0; s < gen->writers.size(); ++s) {
       ShardLoad& load = loads[s];
       load.items = gen->topo->shards[s]->num_points();
+      // relaxed: cumulative statistic; the monitor diffs it per interval.
       const int64_t stabs =
           gen->writers[s]->query_stabs.load(std::memory_order_relaxed);
       load.query_stabs = stabs - last_stabs[s];
       last_stabs[s] = stabs;
-      std::lock_guard<std::mutex> lock(gen->writers[s]->queue_mu);
+      MutexLock lock(&gen->writers[s]->queue_mu);
       load.queue_depth = gen->writers[s]->queue.size();
     }
     {
-      std::lock_guard<std::mutex> lock(repartition_mu_);
-      if (!stopping_.load(std::memory_order_acquire)) {
+      MutexLock lock(&repartition_mu_);
+      if (!stopping_.load(std::memory_order_acquire)) {  // see above
         const auto now = std::chrono::steady_clock::now();
         const bool go = repartition_monitor_.Observe(loads, now);
+        // relaxed: observability gauge, no data published through it.
         last_imbalance_.store(repartition_monitor_.imbalance(),
                               std::memory_order_relaxed);
         if (go) {
@@ -718,29 +739,38 @@ void ServeLoop::MonitorLoop() {
         }
       }
     }
-    lk.lock();
+    lk.Lock();
   }
 }
 
 void ServeLoop::Stop() {
+  // release: pairs with the acquire loads in the monitor loop and
+  // TriggerRepartition, ordering prior teardown state before the flag.
   stopping_.store(true, std::memory_order_release);
   // Drain the admission pipeline first: its dispatcher only reads
   // snapshots, but every pending future must resolve before the engine
   // and writers are torn down.
   admission_->Stop();
-  monitor_cv_.notify_all();
+  // The empty lock scope closes the classic lost-wakeup race: without it
+  // the monitor thread can check stopping_ (false), then Stop() stores
+  // true and notifies into the void, then the monitor blocks and sleeps
+  // out a full poll interval. Passing through monitor_mu_ after the store
+  // guarantees the monitor is either before its check (sees stopping_) or
+  // already waiting (receives the notify).
+  { MutexLock lock(&monitor_mu_); }
+  monitor_cv_.NotifyAll();
   if (monitor_thread_.joinable()) monitor_thread_.join();
   // Barrier: any in-flight TriggerRepartition finishes before the writers
   // are torn down; later calls observe stopping_ and bail.
-  { std::lock_guard<std::mutex> lock(repartition_mu_); }
+  { MutexLock lock(&repartition_mu_); }
   const std::shared_ptr<WriterGen> gen = writer_gen_.Load();
   for (const auto& w : gen->writers) {
     {
-      std::lock_guard<std::mutex> lock(w->queue_mu);
+      MutexLock lock(&w->queue_mu);
       if (w->stop) continue;
       w->stop = true;
     }
-    w->queue_cv.notify_all();
+    w->queue_cv.NotifyAll();
   }
   for (const auto& w : gen->writers) {
     if (w->thread.joinable()) w->thread.join();
@@ -751,7 +781,7 @@ double ServeLoop::drift_ratio() {
   double worst = 0.0;
   const std::shared_ptr<WriterGen> gen = writer_gen_.Load();
   for (const auto& w : gen->writers) {
-    std::lock_guard<std::mutex> lock(w->monitor_mu);
+    MutexLock lock(&w->monitor_mu);
     worst = std::max(worst, w->monitor.drift_ratio());
   }
   return worst;
@@ -767,12 +797,16 @@ void ServeLoop::WriterLoop(std::shared_ptr<WriterGen> gen, int s) {
     bool stopping = false;
     bool migrating = false;
     {
-      std::unique_lock<std::mutex> lock(w.queue_mu);
-      w.queue_cv.wait_for(lock, poll, [&w] {
-        return w.stop || (!w.gate && (w.rebuild_requested ||
+      MutexLock lock(&w.queue_mu);
+      const auto wake_deadline = std::chrono::steady_clock::now() + poll;
+      while (!(w.stop || (!w.gate && (w.rebuild_requested ||
                                       w.capture_requested ||
-                                      !w.queue.empty()));
-      });
+                                      !w.queue.empty())))) {
+        if (w.queue_cv.WaitUntil(w.queue_mu, wake_deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
       // Carried-shard hand-off: while gated, nothing applies — the OLD
       // generation's writer still owns the shared VersionedIndex; ops
       // queue up until the coordinator opens the gate after the old
@@ -785,12 +819,16 @@ void ServeLoop::WriterLoop(std::shared_ptr<WriterGen> gen, int s) {
           opts_.writer_coalesce_ms > 0) {
         // Group commit: linger briefly so a fast submit stream lands in one
         // batch (one snapshot publish) instead of one publish per op.
-        w.queue_cv.wait_for(
-            lock, std::chrono::milliseconds(opts_.writer_coalesce_ms),
-            [this, &w] {
-              return w.stop || w.rebuild_requested || w.capture_requested ||
-                     w.queue.size() >= opts_.writer_batch_limit;
-            });
+        const auto linger_deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(opts_.writer_coalesce_ms);
+        while (!(w.stop || w.rebuild_requested || w.capture_requested ||
+                 w.queue.size() >= opts_.writer_batch_limit)) {
+          if (w.queue_cv.WaitUntil(w.queue_mu, linger_deadline) ==
+              std::cv_status::timeout) {
+            break;
+          }
+        }
       }
       stopping = w.stop;
       if (stopping && w.queue.empty() && !w.rebuild_requested &&
@@ -807,9 +845,11 @@ void ServeLoop::WriterLoop(std::shared_ptr<WriterGen> gen, int s) {
 
     if (!batch.empty()) {
       shard.ApplyBatch(batch);
-      std::lock_guard<std::mutex> lock(w.queue_mu);
-      w.applied += batch.size();
-      w.flush_cv.notify_all();
+      {
+        MutexLock lock(&w.queue_mu);
+        w.applied += batch.size();
+      }
+      w.flush_cv.NotifyAll();
     } else if (!migrating) {
       // Idle wake-up: free any copy-on-stall zombie whose parked reader
       // has let go (ApplyBatch reaps on its own, but an idle shard would
@@ -827,37 +867,37 @@ void ServeLoop::WriterLoop(std::shared_ptr<WriterGen> gen, int s) {
     // in — harmless, they are also in the delta and replay idempotently.
     bool do_capture = false;
     {
-      std::lock_guard<std::mutex> lock(w.queue_mu);
+      MutexLock lock(&w.queue_mu);
       do_capture = w.capture_requested && w.applied >= w.capture_target;
     }
     if (do_capture) {
       std::vector<Point> snapshot = shard.data().points;
       {
-        std::lock_guard<std::mutex> lock(w.queue_mu);
+        MutexLock lock(&w.queue_mu);
         w.captured = std::move(snapshot);
         w.capture_requested = false;
         w.capture_done = true;
       }
-      w.capture_cv.notify_all();
+      w.capture_cv.NotifyAll();
     }
 
     // Drift rebuilds pause during a migration: the generation is about to
     // be replaced, so re-levelling it is wasted work.
     if (!rebuild && opts_.auto_rebuild && !stopping && !migrating) {
-      std::lock_guard<std::mutex> lock(w.monitor_mu);
+      MutexLock lock(&w.monitor_mu);
       rebuild = w.monitor.rebuild_recommended();
     }
     if (rebuild && !migrating) {
       Workload recent;
       {
-        std::lock_guard<std::mutex> lock(w.monitor_mu);
-        recent = RecentWorkloadLocked(*gen, s);
+        MutexLock lock(&w.monitor_mu);
+        recent = RecentWorkloadLocked(w, *gen, s);
       }
       // Per-shard rebuild: only this shard's left-right pair re-levels;
       // every other shard keeps serving its current snapshots.
       shard.Rebuild(recent);
       {
-        std::lock_guard<std::mutex> lock(w.monitor_mu);
+        MutexLock lock(&w.monitor_mu);
         w.monitor.ResetAfterRebuild();
       }
       rebuilds_ctr_->Add(1);
@@ -877,21 +917,23 @@ void ServeLoop::ObserveShard(WriterGen& gen, uint64_t epoch, int s,
     return;
   }
   ShardWriter& w = *gen.writers[static_cast<size_t>(s)];
-  w.query_stabs.fetch_add(1, std::memory_order_relaxed);
+  w.query_stabs.fetch_add(1, std::memory_order_relaxed);  // statistic
   // try_lock == sampling: under heavy reader contention most observations
-  // are dropped instead of serializing the hot path on this mutex.
-  std::unique_lock<std::mutex> lock(w.monitor_mu, std::try_to_lock);
-  if (!lock.owns_lock()) return;
+  // are dropped instead of serializing the hot path on this mutex. The
+  // manual try_lock/unlock pair (instead of a scoped guard) is the form
+  // the analysis tracks through TRY_ACQUIRE.
+  if (!w.monitor_mu.try_lock()) return;
   w.monitor.Observe(stats.points_scanned, stats.results);
   if (rect != nullptr && !w.recent.empty()) {
     w.recent[w.recent_next] = *rect;
     w.recent_next = (w.recent_next + 1) % w.recent.size();
     if (w.recent_count < w.recent.size()) ++w.recent_count;
   }
+  w.monitor_mu.unlock();
 }
 
-Workload ServeLoop::RecentWorkloadLocked(const WriterGen& gen, int s) {
-  const ShardWriter& w = *gen.writers[static_cast<size_t>(s)];
+Workload ServeLoop::RecentWorkloadLocked(const ShardWriter& w,
+                                         const WriterGen& gen, int s) {
   const Workload& built =
       gen.topo->shard_workloads[static_cast<size_t>(s)];
   // Too few live observations to characterize the shard's workload — fall

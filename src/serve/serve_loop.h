@@ -84,14 +84,13 @@
 
 #include <atomic>
 #include <cassert>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "core/drift_monitor.h"
 #include "obs/metrics.h"
 #include "obs/obs.h"
@@ -225,11 +224,12 @@ class ServeLoop {
   // Returns false without migrating when the loop is stopping.
   // Serialized: concurrent calls run one migration after another. Reader
   // backpressure on the capture phase is bounded by writer_stall_ms.
-  bool TriggerRepartition(int new_num_shards = 0);
+  bool TriggerRepartition(int new_num_shards = 0)
+      EXCLUDES(repartition_mu_);
 
   // Stops the repartition monitor and all writer threads after draining
   // pending updates (idempotent; the destructor calls it).
-  void Stop();
+  void Stop() EXCLUDES(repartition_mu_, monitor_mu_);
 
   // --- introspection ---
   // Facade version (monotone, incl. across repartitions; see
@@ -246,7 +246,7 @@ class ServeLoop {
   // moved/carried shards and moved points of the last migration, and the
   // writer copy-on-stall fallback count. One sequence point (see
   // MigrationStats above).
-  MigrationStats migration_stats() const;
+  MigrationStats migration_stats() const EXCLUDES(mig_mu_);
   // max/mean combined shard load of the monitor's last sample (1.0 =
   // balanced; only meaningful when the monitor is enabled).
   double imbalance() const {
@@ -292,44 +292,45 @@ class ServeLoop {
   struct ShardWriter {
     explicit ShardWriter(const DriftMonitorOptions& opts) : monitor(opts) {}
 
-    std::mutex queue_mu;
-    std::condition_variable queue_cv;  // writer: ops pending / stop
-    std::condition_variable flush_cv;  // waiters: applied advanced
-    std::vector<UpdateOp> queue;
-    uint64_t submitted = 0;
-    uint64_t applied = 0;
-    bool rebuild_requested = false;
-    bool stop = false;
+    Mutex queue_mu;
+    CondVar queue_cv;  // writer: ops pending / stop
+    CondVar flush_cv;  // waiters: applied advanced
+    std::vector<UpdateOp> queue GUARDED_BY(queue_mu);
+    uint64_t submitted GUARDED_BY(queue_mu) = 0;
+    uint64_t applied GUARDED_BY(queue_mu) = 0;
+    bool rebuild_requested GUARDED_BY(queue_mu) = false;
+    bool stop GUARDED_BY(queue_mu) = false;
 
     // --- migration state (all under queue_mu) ---
     // Dual-write: ops also append to `delta` for replay into the next
     // generation.
-    bool dual_write = false;
-    std::vector<UpdateOp> delta;
+    bool dual_write GUARDED_BY(queue_mu) = false;
+    std::vector<UpdateOp> delta GUARDED_BY(queue_mu);
     // Cutover passed this shard: it accepts no more ops; submitters retry
     // against the (about-to-be-installed) next writer generation.
-    bool closed = false;
+    bool closed GUARDED_BY(queue_mu) = false;
     // Carried-shard hand-off gate: this writer (of the NEW generation)
     // shares its VersionedIndex with its old-generation counterpart and
     // must not touch it until the old writer has drained — ops queue up
     // but nothing applies while gated. The coordinator clears the gate
     // right after the old generation quiesces (single-writer hand-off;
     // also preserves per-coordinate op order across the generations).
-    bool gate = false;
+    bool gate GUARDED_BY(queue_mu) = false;
     // Capture hand-off: once `applied >= capture_target`, the writer
     // copies its shard's authoritative point set into `captured`.
-    bool capture_requested = false;
-    uint64_t capture_target = 0;
-    bool capture_done = false;
-    std::vector<Point> captured;
-    std::condition_variable capture_cv;
+    bool capture_requested GUARDED_BY(queue_mu) = false;
+    uint64_t capture_target GUARDED_BY(queue_mu) = 0;
+    bool capture_done GUARDED_BY(queue_mu) = false;
+    std::vector<Point> captured GUARDED_BY(queue_mu);
+    CondVar capture_cv;
 
     // Drift state, shared by all client threads (try_lock sampling).
-    std::mutex monitor_mu;
-    DriftMonitor monitor;
-    std::vector<Rect> recent;  // ring of served per-shard sub-rectangles
-    size_t recent_next = 0;
-    size_t recent_count = 0;
+    Mutex monitor_mu;
+    DriftMonitor monitor GUARDED_BY(monitor_mu);
+    // Ring of served per-shard sub-rectangles.
+    std::vector<Rect> recent GUARDED_BY(monitor_mu);
+    size_t recent_next GUARDED_BY(monitor_mu) = 0;
+    size_t recent_count GUARDED_BY(monitor_mu) = 0;
 
     // Sub-queries served by this shard this epoch (repartition monitor
     // input; incremented lock-free on the query path).
@@ -366,9 +367,12 @@ class ServeLoop {
   // The caller loads the generation once per query, not once per part.
   static void ObserveShard(WriterGen& gen, uint64_t epoch, int s,
                            const Rect* rect, const QueryStats& stats);
-  // Recent per-shard rectangles as a workload; falls back to the shard's
-  // build-time slice. Caller holds writers[s]->monitor_mu.
-  static Workload RecentWorkloadLocked(const WriterGen& gen, int s);
+  // Recent per-shard rectangles of `w` (== *gen.writers[s]) as a
+  // workload; falls back to the shard's build-time slice. The caller
+  // already holds w.monitor_mu — REQUIRES makes that compiler-checked.
+  static Workload RecentWorkloadLocked(const ShardWriter& w,
+                                       const WriterGen& gen, int s)
+      REQUIRES(w.monitor_mu);
   // The recent recorded rectangles of EVERY shard, merged (router-cut
   // input of a migration); falls back to the old generation's training
   // slices when live traffic has been thin.
@@ -394,7 +398,8 @@ class ServeLoop {
   // query skew is not diluted by the generation's balanced history.
   void RepartitionLocked(int new_num_shards,
                          const std::vector<ShardLoad>* window_loads = nullptr,
-                         uint64_t window_epoch = 0);
+                         uint64_t window_epoch = 0)
+      REQUIRES(repartition_mu_);
   // The per-cell path: plan → capture changed cells only → recut moved
   // boundaries → carry/rebuild → gated cutover. Returns false (without
   // migrating) when the plan is infeasible. Stab inputs come from
@@ -404,11 +409,12 @@ class ServeLoop {
   // from the authoritative mirrors).
   bool TryIncrementalRepartitionLocked(
       const std::shared_ptr<WriterGen>& old_gen,
-      const std::vector<ShardLoad>* window_loads, uint64_t window_epoch);
+      const std::vector<ShardLoad>* window_loads, uint64_t window_epoch)
+      REQUIRES(repartition_mu_);
   // The original whole-topology pipeline.
   void FullRepartitionLocked(const std::shared_ptr<WriterGen>& old_gen,
-                             int n_new);
-  void MonitorLoop();
+                             int n_new) REQUIRES(repartition_mu_);
+  void MonitorLoop() EXCLUDES(monitor_mu_, repartition_mu_);
   // Builds the sharded-index options with the obs handles wired in
   // (called from the ctor init list — metrics_/journal_ are initialized
   // by then; see the member order below).
@@ -418,7 +424,8 @@ class ServeLoop {
   // on), and emits the kMigrationRetire journal event.
   void FinishMigration(uint64_t old_epoch, uint64_t new_epoch,
                        int64_t moved_shards, int64_t carried_shards,
-                       int64_t moved_points, bool incremental);
+                       int64_t moved_points, bool incremental)
+      EXCLUDES(mig_mu_);
   // True every obs.trace_sample_every-th direct query (false at rate 0).
   bool SampleThisQuery();
 
@@ -438,7 +445,7 @@ class ServeLoop {
   AtomicCell<WriterGen> writer_gen_;
 
   // Serializes migrations and Stop's writer teardown.
-  std::mutex repartition_mu_;
+  Mutex repartition_mu_;
   std::atomic<bool> stopping_{false};
   // repartitions_ stays a bare atomic for the cheap repartitions()
   // accessor; it is bumped inside FinishMigration's mig_mu_ block, so it
@@ -447,8 +454,8 @@ class ServeLoop {
   // Every MigrationStats field except stall_copies, published as one
   // block at the end of each migration — the single sequence point
   // migration_stats() snapshots under.
-  mutable std::mutex mig_mu_;
-  MigrationStats mig_;
+  mutable Mutex mig_mu_ ACQUIRED_AFTER(repartition_mu_);
+  MigrationStats mig_ GUARDED_BY(mig_mu_);
   std::atomic<double> last_imbalance_{1.0};
   // Registry handles the loop updates directly (the shard/cache/engine/
   // admission handles live in those components).
@@ -466,8 +473,8 @@ class ServeLoop {
   obs::Histogram* latency_hist_ = nullptr;     // sampled direct spans
   std::atomic<uint32_t> sample_tick_{0};
   RepartitionMonitor repartition_monitor_;
-  std::mutex monitor_mu_;  // monitor thread wake/stop
-  std::condition_variable monitor_cv_;
+  Mutex monitor_mu_;  // monitor thread wake/stop
+  CondVar monitor_cv_;
   std::thread monitor_thread_;
 };
 

@@ -15,41 +15,41 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stop_ = true;
   }
-  task_cv_.notify_all();
+  task_cv_.NotifyAll();
   for (std::thread& t : workers_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     tasks_.push_back(std::move(task));
     ++unfinished_;
   }
-  task_cv_.notify_one();
+  task_cv_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return unfinished_ == 0; });
+  MutexLock lock(&mu_);
+  while (unfinished_ != 0) idle_cv_.Wait(mu_);
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lock(&mu_);
+      while (!stop_ && tasks_.empty()) task_cv_.Wait(mu_);
       if (tasks_.empty()) return;  // stop_ set and queue drained
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
     task();
     {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--unfinished_ == 0) idle_cv_.notify_all();
+      MutexLock lock(&mu_);
+      if (--unfinished_ == 0) idle_cv_.NotifyAll();
     }
   }
 }

@@ -5,13 +5,13 @@
 #ifndef WAZI_SERVE_THREAD_POOL_H_
 #define WAZI_SERVE_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
 
 namespace wazi::serve {
 
@@ -25,23 +25,23 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
   // Blocks until every task submitted so far has finished running.
-  void Wait();
+  void Wait() EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> tasks_;
-  std::mutex mu_;
-  std::condition_variable task_cv_;  // workers: new task or shutdown
-  std::condition_variable idle_cv_;  // Wait(): all tasks finished
-  int64_t unfinished_ = 0;           // queued + running tasks
-  bool stop_ = false;
+  Mutex mu_;
+  std::deque<std::function<void()>> tasks_ GUARDED_BY(mu_);
+  CondVar task_cv_;  // workers: new task or shutdown
+  CondVar idle_cv_;  // Wait(): all tasks finished
+  int64_t unfinished_ GUARDED_BY(mu_) = 0;  // queued + running tasks
+  bool stop_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace wazi::serve

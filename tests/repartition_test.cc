@@ -448,6 +448,37 @@ TEST(RepartitionTest, MonitorTriggersOnSkewShift) {
   EXPECT_EQ(SortedIds(all.hits), BruteIds(expected, s.data.bounds));
 }
 
+// Regression: Stop() must interrupt the monitor's poll sleep, not wait
+// it out. The lost-wakeup variant of this bug — monitor checks stopping_
+// (false), Stop() stores true and notifies before the monitor blocks,
+// the notify lands on no waiter — made Stop() stall for a full poll
+// interval. With a deliberately huge interval, a correct Stop() returns
+// in milliseconds; the buggy one eats the whole minute.
+TEST(RepartitionTest, StopInterruptsMonitorPollSleep) {
+  TestScenario s = MakeScenario(Region::kIberia, 1200, 40, 2e-3, 305);
+  s.data = DedupeCoords(s.data);
+
+  ServeOptions opts;
+  opts.num_shards = 2;
+  opts.num_threads = 1;
+  opts.auto_rebuild = false;
+  opts.writer_coalesce_ms = 0;
+  opts.repartition.enabled = true;
+  opts.repartition.poll_ms = 60'000;
+  ServeLoop loop(WaziFactory(), s.data, s.workload, FastOpts(), opts);
+
+  // Give the monitor thread time to enter its first WaitUntil so the
+  // race window (check, then block) is actually exercised.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  loop.Stop();
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(10))
+      << "Stop() slept out the monitor poll interval instead of "
+         "interrupting it";
+}
+
 // The incremental acceptance bar: a skew that moves only a minority of
 // cuts must migrate ONLY the shards those cuts touch — carried shards
 // keep the very same VersionedIndex objects, the moved-point count is

@@ -1,0 +1,53 @@
+// Negative-compilation fixture for the thread-safety contracts.
+//
+// Compiled twice by tools/check_negcompile.py under
+//   clang++ -Wthread-safety -Wthread-safety-beta -Werror:
+//
+//   * without defines: must compile cleanly (proves the annotated
+//     vocabulary itself is warning-free), and
+//   * with -DWAZI_NEGCOMPILE_VIOLATION: must FAIL — the seeded access of a
+//     GUARDED_BY field without its mutex is exactly the class of bug the
+//     analysis exists to reject, so a toolchain or wrapper regression that
+//     silently stops flagging it turns this test red.
+//
+// Not part of the regular build (the directory is outside the tests/*.cc
+// glob); only the checker script compiles it.
+
+#include <cstdint>
+
+#include "common/thread_annotations.h"
+
+namespace {
+
+class Account {
+ public:
+  void Deposit(int64_t amount) EXCLUDES(mu_) {
+    wazi::MutexLock lock(&mu_);
+    balance_ += amount;
+  }
+
+  int64_t BalanceLocked() const REQUIRES(mu_) { return balance_; }
+
+  int64_t Balance() const EXCLUDES(mu_) {
+    wazi::MutexLock lock(&mu_);  // mu_ is mutable: lockable through const
+    return BalanceLocked();
+  }
+
+#ifdef WAZI_NEGCOMPILE_VIOLATION
+  // Seeded violation: guarded field read without holding mu_. Under
+  // -Wthread-safety -Werror this must not compile.
+  int64_t Racy() const { return balance_; }
+#endif
+
+ private:
+  mutable wazi::Mutex mu_;
+  int64_t balance_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.Deposit(1);
+  return account.Balance() == 1 ? 0 : 1;
+}

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Negative-compilation check for the thread-safety contracts.
+
+Compiles tests/thread_safety_negcompile/negcompile.cc twice with
+clang++ -Wthread-safety -Wthread-safety-beta -Werror:
+
+  1. without defines           -> must compile cleanly
+  2. -DWAZI_NEGCOMPILE_VIOLATION -> must FAIL, and the diagnostics must
+     mention the thread-safety analysis (proves the seeded GUARDED_BY
+     violation is rejected by the analysis, not by an unrelated error)
+
+Exit codes: 0 pass, 1 fail, 77 skipped (no clang++ on PATH — ctest maps
+77 to SKIPPED via SKIP_RETURN_CODE; the CI thread-safety job always has
+clang). Stdlib only; run from anywhere:
+
+    python3 tools/check_negcompile.py --source-dir .
+"""
+
+import argparse
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+SKIP = 77
+
+FIXTURE = os.path.join("tests", "thread_safety_negcompile", "negcompile.cc")
+TSA_FLAGS = ["-Wthread-safety", "-Wthread-safety-beta", "-Werror"]
+# Diagnostic markers of the analysis: -Wthread-safety-* group names appear
+# in clang's "[-Werror,-Wthread-safety-analysis]" suffix.
+TSA_MARKER = "-Wthread-safety"
+
+
+def find_clang():
+    for name in ("clang++", "clang++-18", "clang++-17", "clang++-16",
+                 "clang++-15", "clang++-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def compile_fixture(clang, source_dir, out_dir, defines):
+    cmd = [clang, "-std=c++20", "-fsyntax-only"] + TSA_FLAGS + [
+        "-I", os.path.join(source_dir, "src"),
+    ]
+    cmd += ["-D" + d for d in defines]
+    cmd.append(os.path.join(source_dir, FIXTURE))
+    proc = subprocess.run(cmd, cwd=out_dir, capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--source-dir", default=".",
+                        help="repo root (contains src/ and tests/)")
+    args = parser.parse_args(argv)
+    source_dir = os.path.abspath(args.source_dir)
+
+    fixture = os.path.join(source_dir, FIXTURE)
+    if not os.path.exists(fixture):
+        print(f"FAIL: fixture not found: {fixture}")
+        return 1
+
+    clang = find_clang()
+    if clang is None:
+        print("SKIP: no clang++ on PATH (thread-safety analysis is a "
+              "clang extension)")
+        return SKIP
+
+    with tempfile.TemporaryDirectory() as out_dir:
+        # 1. Clean build: the annotated vocabulary must be warning-free.
+        rc, output = compile_fixture(clang, source_dir, out_dir, [])
+        if rc != 0:
+            print("FAIL: fixture does not compile cleanly without the "
+                  "seeded violation:")
+            print(output)
+            return 1
+        print("ok: fixture compiles cleanly under -Wthread-safety -Werror")
+
+        # 2. Seeded violation: must be rejected, by the analysis itself.
+        rc, output = compile_fixture(clang, source_dir, out_dir,
+                                     ["WAZI_NEGCOMPILE_VIOLATION"])
+        if rc == 0:
+            print("FAIL: seeded GUARDED_BY violation compiled — the "
+                  "thread-safety analysis is not rejecting guard "
+                  "violations")
+            return 1
+        if TSA_MARKER not in output:
+            print("FAIL: seeded violation failed to compile, but not via "
+                  "the thread-safety analysis; diagnostics were:")
+            print(output)
+            return 1
+        print("ok: seeded GUARDED_BY violation rejected by the analysis")
+
+    print("PASS: negative-compilation check")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""clang-tidy driver for the checked-in .clang-tidy profile.
+
+Runs clang-tidy over every first-party translation unit recorded in a
+CMake compile_commands.json (src/ and tools/ .cc files; third-party and
+generated paths never appear because the tree has none), in parallel,
+and fails on any diagnostic (the profile sets WarningsAsErrors: '*').
+
+Generate the database first:
+
+    cmake -B build-tidy -DCMAKE_BUILD_TYPE=Release \
+          -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+    python3 tools/run_clang_tidy.py --build-dir build-tidy
+
+Exit codes: 0 clean, 1 diagnostics, 2 bad invocation / missing database,
+77 skipped (no clang-tidy on PATH — the CI static-analysis job always
+has it; local GCC-only environments skip instead of failing). Stdlib
+only.
+"""
+
+import argparse
+import json
+import multiprocessing
+import os
+import shutil
+import subprocess
+import sys
+
+SKIP = 77
+
+SOURCE_SUFFIX = ".cc"
+
+
+def find_clang_tidy():
+    for name in ("clang-tidy", "clang-tidy-18", "clang-tidy-17",
+                 "clang-tidy-16", "clang-tidy-15", "clang-tidy-14"):
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def first_party_sources(build_dir, source_dir):
+    """Absolute paths of repo-owned .cc files in the compile database."""
+    db_path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.exists(db_path):
+        return None
+    with open(db_path, encoding="utf-8") as f:
+        db = json.load(f)
+    sources = set()
+    for entry in db:
+        path = os.path.normpath(
+            os.path.join(entry.get("directory", build_dir), entry["file"]))
+        if not path.endswith(SOURCE_SUFFIX):
+            continue
+        rel = os.path.relpath(path, source_dir)
+        if rel.startswith(os.pardir):
+            continue  # outside the repo (toolchain feature probes)
+        sources.add(path)
+    return sorted(sources)
+
+
+def run_one(tidy, build_dir, path):
+    proc = subprocess.run(
+        [tidy, "-p", build_dir, "--quiet", path],
+        capture_output=True, text=True)
+    return path, proc.returncode, proc.stdout, proc.stderr
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True,
+                        help="CMake build dir with compile_commands.json")
+    parser.add_argument("--source-dir", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("-j", "--jobs", type=int, default=0,
+                        help="parallel clang-tidy processes (0 = ncpu)")
+    args = parser.parse_args(argv)
+
+    source_dir = os.path.abspath(
+        args.source_dir if args.source_dir is not None
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          os.pardir))
+    build_dir = os.path.abspath(args.build_dir)
+
+    tidy = find_clang_tidy()
+    if tidy is None:
+        print("SKIP: no clang-tidy on PATH")
+        return SKIP
+
+    sources = first_party_sources(build_dir, source_dir)
+    if sources is None:
+        print(f"run_clang_tidy: no compile_commands.json in {build_dir} "
+              "(configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON)",
+              file=sys.stderr)
+        return 2
+    if not sources:
+        print("run_clang_tidy: compile database has no first-party .cc "
+              "files", file=sys.stderr)
+        return 2
+
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 2)
+    print(f"run_clang_tidy: {len(sources)} files, {jobs} jobs, "
+          f"profile {os.path.join(source_dir, '.clang-tidy')}")
+
+    failed = 0
+    with multiprocessing.Pool(jobs) as pool:
+        results = pool.starmap(
+            run_one, [(tidy, build_dir, p) for p in sources])
+    for path, rc, out, err in results:
+        rel = os.path.relpath(path, source_dir)
+        if rc == 0 and not out.strip():
+            continue
+        failed += 1
+        print(f"--- {rel} (exit {rc})")
+        if out.strip():
+            print(out.strip())
+        # clang-tidy puts "N warnings generated" chatter on stderr; only
+        # surface it for failing files, where it frames the diagnostics.
+        if rc != 0 and err.strip():
+            print(err.strip())
+    if failed:
+        print(f"FAIL: clang-tidy diagnostics in {failed}/{len(sources)} "
+              "files")
+        return 1
+    print(f"PASS: clang-tidy clean over {len(sources)} files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,286 @@
+"""Unit tests for tools/wazi_lint.py (all four rules).
+
+Run from the repo root:  python3 -m unittest discover -s tools/tests
+"""
+
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
+
+import wazi_lint as lint
+
+
+class FixtureTree:
+    """A throwaway repo root: src/ plus optional docs/OBSERVABILITY.md."""
+
+    def __init__(self):
+        self._dir = tempfile.TemporaryDirectory()
+        self.root = self._dir.name
+        os.makedirs(os.path.join(self.root, "src"))
+
+    def write(self, relpath, text):
+        path = os.path.join(self.root, relpath)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+        return path
+
+    def cleanup(self):
+        self._dir.cleanup()
+
+
+class LintTestCase(unittest.TestCase):
+
+    def setUp(self):
+        self.tree = FixtureTree()
+        self.addCleanup(self.tree.cleanup)
+
+    def rules_of(self, findings):
+        return [rule for _, _, rule, _ in findings]
+
+
+class MemoryOrderTest(LintTestCase):
+
+    def test_commented_site_is_clean(self):
+        self.tree.write("src/a.cc", "\n".join([
+            "// relaxed: statistic only",
+            "x.fetch_add(1, std::memory_order_relaxed);",
+        ]))
+        self.assertEqual(lint.check_memory_order(self.tree.root), [])
+
+    def test_trailing_comment_counts(self):
+        self.tree.write("src/a.cc",
+                        "x.load(std::memory_order_acquire);  // pairs\n")
+        self.assertEqual(lint.check_memory_order(self.tree.root), [])
+
+    def test_bare_site_is_flagged(self):
+        self.tree.write("src/a.cc", "\n".join([
+            "int y = 0;",
+            "x.store(1, std::memory_order_release);",
+        ]))
+        findings = lint.check_memory_order(self.tree.root)
+        self.assertEqual(len(findings), 1)
+        self.assertEqual(findings[0][1], 2)  # 1-indexed line
+        self.assertEqual(findings[0][2], "memory-order")
+
+    def test_comment_outside_window_is_flagged(self):
+        self.tree.write("src/a.cc", "\n".join([
+            "// relaxed: statistic",
+            "int a;", "int b;", "int c;", "int d;",
+            "x.load(std::memory_order_relaxed);",
+        ]))
+        self.assertEqual(len(lint.check_memory_order(self.tree.root)), 1)
+
+    def test_cluster_shares_head_rationale(self):
+        # Second site sits within the window of the first: one comment
+        # covers the pair (the fetch_add/load idiom).
+        self.tree.write("src/a.cc", "\n".join([
+            "// acq_rel: ownership handoff",
+            "x.fetch_add(1, std::memory_order_acq_rel);",
+            "int mid = 0;",
+            "y.load(std::memory_order_acquire);",
+        ]))
+        self.assertEqual(lint.check_memory_order(self.tree.root), [])
+
+    def test_broken_cluster_is_flagged(self):
+        self.tree.write("src/a.cc", "\n".join([
+            "// acq_rel: ownership handoff",
+            "x.fetch_add(1, std::memory_order_acq_rel);",
+            "int a;", "int b;", "int c;", "int d;",
+            "y.load(std::memory_order_acquire);",
+        ]))
+        findings = lint.check_memory_order(self.tree.root)
+        self.assertEqual([f[1] for f in findings], [7])
+
+
+class AlignasAtomicTest(LintTestCase):
+
+    def test_full_cache_line_is_clean(self):
+        self.tree.write("src/a.h", "\n".join([
+            "struct alignas(64) Counter {",
+            "  std::atomic<int64_t> v{0};",
+            "};",
+        ]))
+        self.assertEqual(lint.check_alignas(self.tree.root), [])
+
+    def test_multiple_of_64_is_clean(self):
+        self.tree.write("src/a.h", "\n".join([
+            "struct alignas(128) Wide {",
+            "  std::atomic<int> v;",
+            "};",
+        ]))
+        self.assertEqual(lint.check_alignas(self.tree.root), [])
+
+    def test_partial_line_padding_is_flagged(self):
+        self.tree.write("src/a.h", "\n".join([
+            "struct alignas(8) Counter {",
+            "  std::atomic<int64_t> v{0};",
+            "};",
+        ]))
+        findings = lint.check_alignas(self.tree.root)
+        self.assertEqual(self.rules_of(findings), ["alignas-atomic"])
+
+    def test_alignas_after_keyword_order_also_matches(self):
+        self.tree.write("src/a.h", "\n".join([
+            "class alignas(16) Padded {",
+            "  std::atomic<bool> flag;",
+            "};",
+        ]))
+        self.assertEqual(len(lint.check_alignas(self.tree.root)), 1)
+
+    def test_non_atomic_struct_is_ignored(self):
+        self.tree.write("src/a.h", "\n".join([
+            "struct alignas(8) Plain {",
+            "  int64_t v;",
+            "};",
+        ]))
+        self.assertEqual(lint.check_alignas(self.tree.root), [])
+
+    def test_atomic_outside_body_is_ignored(self):
+        # The atomic after the closing brace belongs to another scope.
+        self.tree.write("src/a.h", "\n".join([
+            "struct alignas(8) Plain {",
+            "  int64_t v;",
+            "};",
+            "std::atomic<int> elsewhere;",
+        ]))
+        self.assertEqual(lint.check_alignas(self.tree.root), [])
+
+
+CATALOG_DOC = "\n".join([
+    "# Observability",
+    "",
+    "## Knobs",
+    "| `not_a_metric` | knob row in another section |",
+    "",
+    "## Metric catalog",
+    "| name | kind |",
+    "| --- | --- |",
+    "| `serve_hits_total` | counter |",
+    "",
+    "## Journal event reference",
+    "| `also_not_a_metric` | event row |",
+    "",
+])
+
+
+class MetricCatalogTest(LintTestCase):
+
+    def test_in_sync_is_clean(self):
+        self.tree.write("docs/OBSERVABILITY.md", CATALOG_DOC)
+        self.tree.write("src/a.cc",
+                        'reg.GetCounter("serve_hits_total");\n')
+        self.assertEqual(lint.check_metric_catalog(self.tree.root), [])
+
+    def test_registered_but_undocumented_is_flagged(self):
+        self.tree.write("docs/OBSERVABILITY.md", CATALOG_DOC)
+        self.tree.write("src/a.cc", "\n".join([
+            'reg.GetCounter("serve_hits_total");',
+            'reg.GetGauge("serve_depth");',
+        ]))
+        findings = lint.check_metric_catalog(self.tree.root)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("serve_depth", findings[0][3])
+        self.assertIn("missing from", findings[0][3])
+
+    def test_documented_but_unregistered_is_flagged(self):
+        self.tree.write("docs/OBSERVABILITY.md", CATALOG_DOC)
+        self.tree.write("src/a.cc", "int x;\n")
+        findings = lint.check_metric_catalog(self.tree.root)
+        self.assertEqual(len(findings), 1)
+        self.assertIn("serve_hits_total", findings[0][3])
+        self.assertIn("never registered", findings[0][3])
+
+    def test_rows_outside_catalog_section_are_ignored(self):
+        # `not_a_metric` / `also_not_a_metric` live in other sections and
+        # must not be treated as catalog entries.
+        self.tree.write("docs/OBSERVABILITY.md", CATALOG_DOC)
+        self.tree.write("src/a.cc",
+                        'reg.GetCounter("serve_hits_total");\n')
+        findings = lint.check_metric_catalog(self.tree.root)
+        self.assertEqual(findings, [])
+
+    def test_missing_document_is_flagged(self):
+        self.tree.write("src/a.cc", "int x;\n")
+        findings = lint.check_metric_catalog(self.tree.root)
+        self.assertEqual(self.rules_of(findings), ["metric-catalog"])
+        self.assertIn("missing", findings[0][3])
+
+    def test_histogram_registration_counts(self):
+        self.tree.write("docs/OBSERVABILITY.md", CATALOG_DOC.replace(
+            "| `serve_hits_total` | counter |",
+            "| `serve_latency_ns` | histogram |"))
+        self.tree.write("src/a.cc",
+                        'reg.GetHistogram("serve_latency_ns");\n')
+        self.assertEqual(lint.check_metric_catalog(self.tree.root), [])
+
+
+class SuppressionsTest(LintTestCase):
+
+    def test_justified_suppression_is_clean(self):
+        self.tree.write("src/a.cc", "\n".join([
+            "// justification: lock is held across the callback boundary;",
+            "// the caller's REQUIRES covers it.",
+            "void Drain() NO_THREAD_SAFETY_ANALYSIS {",
+            "}",
+        ]))
+        self.assertEqual(lint.check_suppressions(self.tree.root), [])
+
+    def test_bare_suppression_is_flagged(self):
+        self.tree.write("src/a.cc", "\n".join([
+            "void Drain() NO_THREAD_SAFETY_ANALYSIS {",
+            "}",
+        ]))
+        findings = lint.check_suppressions(self.tree.root)
+        self.assertEqual(self.rules_of(findings), ["suppressions"])
+
+    def test_definition_header_is_exempt(self):
+        self.tree.write("src/common/thread_annotations.h", "\n".join([
+            "#define NO_THREAD_SAFETY_ANALYSIS \\",
+            "  WAZI_TSA(no_thread_safety_analysis)",
+        ]))
+        self.assertEqual(lint.check_suppressions(self.tree.root), [])
+
+
+class MainTest(LintTestCase):
+
+    def test_clean_tree_exits_zero(self):
+        self.tree.write("docs/OBSERVABILITY.md", CATALOG_DOC)
+        self.tree.write("src/a.cc",
+                        'reg.GetCounter("serve_hits_total");\n')
+        self.assertEqual(lint.main(["--root", self.tree.root]), 0)
+
+    def test_findings_exit_one(self):
+        self.tree.write("docs/OBSERVABILITY.md", CATALOG_DOC)
+        self.tree.write("src/a.cc", "\n".join([
+            'reg.GetCounter("serve_hits_total");',
+            "int y;",
+            "int z;",
+            "int w;",
+            "x.store(1, std::memory_order_release);",
+        ]))
+        self.assertEqual(lint.main(["--root", self.tree.root]), 1)
+
+    def test_single_rule_ignores_other_findings(self):
+        # Same tree as above fails memory-order, but the suppressions
+        # rule alone is clean.
+        self.tree.write("docs/OBSERVABILITY.md", CATALOG_DOC)
+        self.tree.write("src/a.cc",
+                        "x.store(1, std::memory_order_release);\n")
+        self.assertEqual(
+            lint.main(["--root", self.tree.root, "--rule", "suppressions"]),
+            0)
+        self.assertEqual(
+            lint.main(["--root", self.tree.root, "--rule", "memory-order"]),
+            1)
+
+    def test_missing_src_exits_two(self):
+        with tempfile.TemporaryDirectory() as empty:
+            self.assertEqual(lint.main(["--root", empty]), 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

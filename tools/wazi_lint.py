@@ -1,0 +1,244 @@
+#!/usr/bin/env python3
+"""Repo-specific lint rules no off-the-shelf tool knows. Stdlib only.
+
+Rules (each also usable standalone via --rule):
+
+  memory-order   Every `memory_order_*` use carries an ordering-rationale
+                 comment: a `//` comment on the same line or within the
+                 three lines above it. A site within three lines of a
+                 previous `memory_order_*` site shares its rationale (one
+                 comment covers a cluster, e.g. a fetch_add/load pair).
+
+  alignas-atomic Every `struct`/`class` declared `alignas(N)` whose body
+                 contains a `std::atomic` must pad to full cache lines:
+                 N >= 64 and N % 64 == 0. (An alignas(8) "padded" counter
+                 still false-shares; this is the static proxy for "fills
+                 its cache line".)
+
+  metric-catalog Every metric name registered in code
+                 (`GetCounter/GetGauge/GetHistogram("...")` under src/)
+                 appears in the `## Metric catalog` section of
+                 docs/OBSERVABILITY.md, and vice versa — code and docs
+                 can never drift apart silently.
+
+  suppressions   Every `NO_THREAD_SAFETY_ANALYSIS` outside its definition
+                 carries a `justification:` comment within the three
+                 lines above it (see src/common/thread_annotations.h).
+
+Exit codes: 0 clean, 1 findings, 2 bad invocation / missing inputs.
+
+    python3 tools/wazi_lint.py [--root .] [--rule NAME]
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SRC_EXTENSIONS = (".h", ".cc")
+COMMENT_WINDOW = 3  # lines above a site in which its rationale may sit
+
+MEMORY_ORDER_RE = re.compile(r"memory_order_\w+")
+COMMENT_RE = re.compile(r"//\s*\S")
+ALIGNAS_RE = re.compile(r"(?:struct|class)\s+alignas\(\s*(\d+)\s*\)|"
+                        r"alignas\(\s*(\d+)\s*\)\s*(?:struct|class)\b")
+METRIC_CALL_RE = re.compile(
+    r"Get(?:Counter|Gauge|Histogram)\(\s*\"([a-z0-9_]+)\"")
+CATALOG_ROW_RE = re.compile(r"^\|\s*`([a-z0-9_]+)`")
+SUPPRESSION = "NO_THREAD_SAFETY_ANALYSIS"
+
+ANNOTATIONS_HEADER = os.path.join("src", "common", "thread_annotations.h")
+OBSERVABILITY_DOC = os.path.join("docs", "OBSERVABILITY.md")
+
+
+def iter_source_files(root):
+    src = os.path.join(root, "src")
+    for dirpath, _, filenames in os.walk(src):
+        for name in sorted(filenames):
+            if name.endswith(SRC_EXTENSIONS):
+                yield os.path.join(dirpath, name)
+
+
+def read_lines(path):
+    with open(path, encoding="utf-8") as f:
+        return f.read().splitlines()
+
+
+def rel(root, path):
+    return os.path.relpath(path, root)
+
+
+def has_comment_in_window(lines, idx, marker_re):
+    """True if lines[idx] or any of the COMMENT_WINDOW lines above it
+    matches marker_re."""
+    lo = max(0, idx - COMMENT_WINDOW)
+    for j in range(idx, lo - 1, -1):
+        if marker_re.search(lines[j]):
+            return True
+    return False
+
+
+def check_memory_order(root):
+    findings = []
+    for path in iter_source_files(root):
+        lines = read_lines(path)
+        last_site = None  # most recent memory_order_ line index
+        for i, line in enumerate(lines):
+            if not MEMORY_ORDER_RE.search(line):
+                continue
+            clustered = (last_site is not None and
+                         i - last_site <= COMMENT_WINDOW)
+            last_site = i
+            if clustered:
+                continue  # covered by the cluster head's rationale
+            if not has_comment_in_window(lines, i, COMMENT_RE):
+                findings.append((
+                    rel(root, path), i + 1, "memory-order",
+                    "memory_order_* use without an ordering-rationale "
+                    "comment on the line or within the %d lines above"
+                    % COMMENT_WINDOW))
+    return findings
+
+
+def _body_after(text, open_brace_idx):
+    """The brace-balanced block starting at text[open_brace_idx] ('{')."""
+    depth = 0
+    for i in range(open_brace_idx, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return text[open_brace_idx:i + 1]
+    return text[open_brace_idx:]
+
+
+def check_alignas(root):
+    findings = []
+    for path in iter_source_files(root):
+        text = "\n".join(read_lines(path))
+        for match in ALIGNAS_RE.finditer(text):
+            alignment = int(match.group(1) or match.group(2))
+            open_brace = text.find("{", match.end())
+            if open_brace < 0:
+                continue  # forward declaration
+            body = _body_after(text, open_brace)
+            if "std::atomic" not in body:
+                continue
+            if alignment >= 64 and alignment % 64 == 0:
+                continue
+            line = text.count("\n", 0, match.start()) + 1
+            findings.append((
+                rel(root, path), line, "alignas-atomic",
+                "alignas(%d) on a struct holding std::atomic does not "
+                "fill a cache line (need >= 64 and a multiple of 64)"
+                % alignment))
+    return findings
+
+
+def catalog_names(doc_lines):
+    """Metric names from the `## Metric catalog` section's table rows."""
+    names = {}
+    in_catalog = False
+    for i, line in enumerate(doc_lines):
+        if line.startswith("## "):
+            in_catalog = line.strip() == "## Metric catalog"
+            continue
+        if not in_catalog:
+            continue
+        match = CATALOG_ROW_RE.match(line)
+        if match:
+            names.setdefault(match.group(1), i + 1)
+    return names
+
+
+def check_metric_catalog(root):
+    doc_path = os.path.join(root, OBSERVABILITY_DOC)
+    if not os.path.exists(doc_path):
+        return [(OBSERVABILITY_DOC, 1, "metric-catalog",
+                 "metric catalog document missing")]
+    documented = catalog_names(read_lines(doc_path))
+
+    registered = {}  # name -> (file, line) of first registration
+    for path in iter_source_files(root):
+        text = "\n".join(read_lines(path))
+        for match in METRIC_CALL_RE.finditer(text):
+            line = text.count("\n", 0, match.start()) + 1
+            registered.setdefault(match.group(1), (rel(root, path), line))
+
+    findings = []
+    for name in sorted(set(registered) - set(documented)):
+        path, line = registered[name]
+        findings.append((
+            path, line, "metric-catalog",
+            "metric `%s` is registered in code but missing from the "
+            "`## Metric catalog` section of %s"
+            % (name, OBSERVABILITY_DOC)))
+    for name in sorted(set(documented) - set(registered)):
+        findings.append((
+            OBSERVABILITY_DOC, documented[name], "metric-catalog",
+            "metric `%s` is documented in the catalog but never "
+            "registered in src/" % name))
+    return findings
+
+
+def check_suppressions(root):
+    marker_re = re.compile(r"justification:", re.IGNORECASE)
+    findings = []
+    for path in iter_source_files(root):
+        if rel(root, path) == ANNOTATIONS_HEADER:
+            continue  # the definition site
+        lines = read_lines(path)
+        for i, line in enumerate(lines):
+            if SUPPRESSION not in line:
+                continue
+            if not has_comment_in_window(lines, i, marker_re):
+                findings.append((
+                    rel(root, path), i + 1, "suppressions",
+                    "%s without a `justification:` comment within the %d "
+                    "lines above it" % (SUPPRESSION, COMMENT_WINDOW)))
+    return findings
+
+
+RULES = {
+    "memory-order": check_memory_order,
+    "alignas-atomic": check_alignas,
+    "metric-catalog": check_metric_catalog,
+    "suppressions": check_suppressions,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: parent of this script)")
+    parser.add_argument("--rule", choices=sorted(RULES), default=None,
+                        help="run only this rule")
+    args = parser.parse_args(argv)
+
+    root = os.path.abspath(
+        args.root if args.root is not None
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                          os.pardir))
+    if not os.path.isdir(os.path.join(root, "src")):
+        print(f"wazi_lint: no src/ under {root}", file=sys.stderr)
+        return 2
+
+    rules = {args.rule: RULES[args.rule]} if args.rule else RULES
+    findings = []
+    for name in sorted(rules):
+        findings.extend(rules[name](root))
+
+    findings.sort()
+    for path, line, rule, message in findings:
+        print(f"{path}:{line}: [{rule}] {message}")
+    if findings:
+        print(f"wazi_lint: {len(findings)} finding(s)")
+        return 1
+    print(f"wazi_lint: clean ({', '.join(sorted(rules))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
